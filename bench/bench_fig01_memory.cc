@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig. 1 reproduction: total off-chip memory access of weights vs
+ * activations (incl. KV cache) for discriminative (256:1) and
+ * generative (256:256) tasks at batch size 1.  The paper's claim:
+ * weights dominate by orders of magnitude, and the gap *grows* on
+ * generative tasks.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "model/traffic.hh"
+
+using namespace bitmod;
+
+int
+main()
+{
+    TextTable t("Fig. 1 - memory access footprint (GB), batch 1");
+    t.setHeader({"Model", "Task", "Weights", "Act+KV", "W/A ratio",
+                 "log10 gap"});
+
+    for (const auto &name : benchutil::motivationModels()) {
+        const auto &model = llmByName(name);
+        for (const bool generative : {false, true}) {
+            const TaskSpec task = generative
+                                      ? TaskSpec::generative()
+                                      : TaskSpec::discriminative();
+            const auto traffic = computeTraffic(model, task, {});
+            const double act =
+                traffic.activationBytes + traffic.kvBytes;
+            const double ratio = traffic.weightBytes / act;
+            t.addRow({name, generative ? "gen 256:256" : "disc 256:1",
+                      TextTable::num(traffic.weightBytes / 1e9, 3),
+                      TextTable::num(act / 1e9, 4),
+                      TextTable::num(ratio, 1),
+                      TextTable::num(std::log10(ratio), 2)});
+        }
+        t.addSeparator();
+    }
+    t.addNote("paper: weight access is orders of magnitude above "
+              "activation access; gap widens for generative tasks");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 7 reproduction: speedup of ANT, OliVe and BitMoD over the
+ * baseline FP16 accelerator on discriminative (256:1) and generative
+ * (256:256) tasks at batch 1, under iso-compute area, for both the
+ * lossless (INT6) and lossy (4-/3-bit) BitMoD configurations.
+ */
+
+#include "accel/policy.hh"
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "core/bitmod_api.hh"
+
+using namespace bitmod;
+
+int
+main()
+{
+    TextTable t("Fig. 7 - speedup over the baseline FP16 accelerator");
+    t.setHeader({"Task", "Model", "ANT", "OliVe", "BitMoD-LL(INT6)",
+                 "BitMoD-LY(4b/3b)"});
+
+    std::vector<double> geoAnt, geoOlive, geoLl, geoLy;
+    std::vector<double> llVsBase, lyVsAnt, lyVsOlive;
+
+    for (const bool generative : {false, true}) {
+        for (const auto &name : benchutil::allModels()) {
+            const auto base = simulateDeployment("Baseline-FP16", name,
+                                                 generative, true);
+            const auto ant =
+                simulateDeployment("ANT", name, generative, false);
+            const auto olive =
+                simulateDeployment("OliVe", name, generative, false);
+            const auto ll =
+                simulateDeployment("BitMoD", name, generative, true);
+            const auto ly =
+                simulateDeployment("BitMoD", name, generative, false);
+
+            const double sAnt = base.latencyMs() / ant.latencyMs();
+            const double sOlive = base.latencyMs() / olive.latencyMs();
+            const double sLl = base.latencyMs() / ll.latencyMs();
+            const double sLy = base.latencyMs() / ly.latencyMs();
+            geoAnt.push_back(sAnt);
+            geoOlive.push_back(sOlive);
+            geoLl.push_back(sLl);
+            geoLy.push_back(sLy);
+            llVsBase.push_back(sLl);
+            lyVsAnt.push_back(ly.latencyMs() > 0
+                                  ? ant.latencyMs() / ly.latencyMs()
+                                  : 0.0);
+            lyVsOlive.push_back(olive.latencyMs() / ly.latencyMs());
+
+            t.addRow({generative ? "gen" : "disc", name,
+                      TextTable::num(sAnt, 2) + "x",
+                      TextTable::num(sOlive, 2) + "x",
+                      TextTable::num(sLl, 2) + "x",
+                      TextTable::num(sLy, 2) + "x"});
+        }
+        t.addSeparator();
+    }
+
+    t.addNote("geomean speedup vs baseline: ANT " +
+              TextTable::num(geoMean(geoAnt), 2) + "x | OliVe " +
+              TextTable::num(geoMean(geoOlive), 2) + "x | BitMoD-LL " +
+              TextTable::num(geoMean(geoLl), 2) + "x | BitMoD-LY " +
+              TextTable::num(geoMean(geoLy), 2) + "x");
+    t.addNote("BitMoD-LY vs ANT: " + TextTable::num(geoMean(lyVsAnt), 2) +
+              "x, vs OliVe: " + TextTable::num(geoMean(lyVsOlive), 2) +
+              "x (paper: 1.69x / 1.48x average)");
+    t.addNote("paper: lossless BitMoD 1.99x (disc) and 2.41x (gen) "
+              "over the FP16 baseline");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 8 reproduction: energy breakdown (DRAM vs on-chip buffers vs
+ * core) of all accelerators, normalized to the baseline FP16
+ * accelerator, for discriminative and generative tasks under the
+ * lossless (LL) and lossy (LY) configurations.
+ */
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "core/bitmod_api.hh"
+
+using namespace bitmod;
+
+int
+main()
+{
+    TextTable t("Fig. 8 - normalized energy breakdown "
+                "(1.0 = baseline total)");
+    t.setHeader({"Task", "Model", "Accel", "DRAM", "Buffer", "Core",
+                 "Total"});
+
+    std::vector<double> effLl, effLyAnt, effLyOlive;
+
+    for (const bool generative : {false, true}) {
+        for (const auto &name : benchutil::allModels()) {
+            const auto base = simulateDeployment("Baseline-FP16", name,
+                                                 generative, true);
+            const double ref = base.report.energy.totalNj();
+
+            const auto emit = [&](const char *label,
+                                  const DeploymentSummary &s) {
+                const auto &e = s.report.energy;
+                t.addRow({generative ? "gen" : "disc", name, label,
+                          TextTable::num(e.dramNj / ref, 3),
+                          TextTable::num(e.bufferNj / ref, 3),
+                          TextTable::num(e.coreNj / ref, 3),
+                          TextTable::num(e.totalNj() / ref, 3)});
+            };
+
+            emit("Baseline", base);
+            const auto ant =
+                simulateDeployment("ANT", name, generative, false);
+            emit("ANT-LY", ant);
+            const auto olive =
+                simulateDeployment("OliVe", name, generative, false);
+            emit("OliVe-LY", olive);
+            const auto ll =
+                simulateDeployment("BitMoD", name, generative, true);
+            emit("BitMoD-LL", ll);
+            const auto ly =
+                simulateDeployment("BitMoD", name, generative, false);
+            emit("BitMoD-LY", ly);
+
+            effLl.push_back(ref / ll.report.energy.totalNj());
+            effLyAnt.push_back(ant.report.energy.totalNj() /
+                               ly.report.energy.totalNj());
+            effLyOlive.push_back(olive.report.energy.totalNj() /
+                                 ly.report.energy.totalNj());
+            t.addSeparator();
+        }
+    }
+
+    t.addNote("geomean energy efficiency: BitMoD-LL vs baseline " +
+              TextTable::num(geoMean(effLl), 2) +
+              "x (paper 2.31x) | BitMoD-LY vs ANT " +
+              TextTable::num(geoMean(effLyAnt), 2) +
+              "x (paper 1.48x) | vs OliVe " +
+              TextTable::num(geoMean(effLyOlive), 2) +
+              "x (paper 1.31x)");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fig. 9 reproduction: Wikitext-2 proxy perplexity vs normalized
+ * energy-delay product (EDP) for Phi-2B and Llama-2-7B on generative
+ * tasks.  BitMoD points span INT8/INT6/INT5 (Booth bit-serial) and
+ * the 4-/3-bit BitMoD-FP mixtures; ANT and OliVe points span their
+ * 8-bit and per-channel 4-bit modes.  BitMoD should trace the Pareto
+ * frontier (lower-left).
+ */
+
+#include "accel/policy.hh"
+#include "bench_util.hh"
+#include "core/bitmod_api.hh"
+
+using namespace bitmod;
+
+namespace
+{
+
+struct Point
+{
+    std::string accel;
+    std::string config;
+    double ppl;
+    double edp;
+};
+
+} // namespace
+
+int
+main()
+{
+    const SampleConfig cfg = rtnSweepConfig();
+    benchutil::banner("fig09", cfg);
+
+    for (const char *name : {"Phi-2B", "Llama-2-7B"}) {
+        const auto &model = llmByName(name);
+        ModelEvalContext ctx(model, cfg);
+        const TaskSpec task = TaskSpec::generative();
+
+        // Baseline EDP for normalization.
+        const AccelSim baseSim(makeFp16Baseline());
+        const double baseEdp =
+            baseSim.run(model, task, PrecisionChoice::fp16()).edp(1.0);
+
+        std::vector<Point> points;
+
+        // BitMoD precision ladder.
+        const AccelSim bmSim(makeBitmod());
+        for (const auto &[label, dtype] :
+             std::vector<std::pair<const char *, Dtype>>{
+                 {"INT8", dtypes::intSym(8)},
+                 {"6-bit", dtypes::intSym(6)},
+                 {"5-bit", dtypes::intSym(5)},
+                 {"4-bit", dtypes::bitmodFp4()},
+                 {"3-bit", dtypes::bitmodFp3()}}) {
+            QuantConfig qc;
+            qc.dtype = dtype;
+            qc.scaleBits = 8;
+            const double ppl = ctx.pplWiki(ctx.rtnLoss(qc));
+            const auto r =
+                bmSim.run(model, task, PrecisionChoice::bitmod(dtype));
+            points.push_back(
+                {"BitMoD", label, ppl, r.edp(1.0) / baseEdp});
+        }
+
+        // ANT / OliVe per-channel ladder (their hardware granularity).
+        for (const auto &[accelName, w4] :
+             std::vector<std::pair<const char *, Dtype>>{
+                 {"ANT", dtypes::flint(4)},
+                 {"OliVe", dtypes::olive(4)}}) {
+            const AccelSim sim(accelByName(accelName));
+            for (const auto &[label, dtype] :
+                 std::vector<std::pair<const char *, Dtype>>{
+                     {"INT8", dtypes::intSym(8)}, {"4-bit", w4}}) {
+                QuantConfig qc;
+                qc.dtype = dtype;
+                qc.granularity = Granularity::PerChannel;
+                const double ppl = ctx.pplWiki(ctx.rtnLoss(qc));
+                const auto r = sim.run(
+                    model, task, PrecisionChoice::perChannel(dtype));
+                points.push_back(
+                    {accelName, label, ppl, r.edp(1.0) / baseEdp});
+            }
+        }
+
+        TextTable t(std::string("Fig. 9 - ") + name +
+                    " perplexity-EDP points (EDP normalized to "
+                    "FP16 baseline)");
+        t.setHeader({"Accelerator", "Precision", "proxy PPL",
+                     "norm EDP", "Pareto"});
+        // Pareto check: a point is on the frontier if no other point
+        // is better in both axes.
+        for (const auto &p : points) {
+            bool dominated = false;
+            for (const auto &q : points)
+                if (q.ppl < p.ppl - 1e-9 && q.edp < p.edp - 1e-9)
+                    dominated = true;
+            t.addRow({p.accel, p.config, TextTable::num(p.ppl, 2),
+                      TextTable::num(p.edp, 4),
+                      dominated ? "" : "frontier"});
+        }
+        t.addNote("paper Fig. 9: BitMoD always sits on the Pareto "
+                  "frontier");
+        t.print();
+    }
+    return 0;
+}

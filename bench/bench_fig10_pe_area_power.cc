@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fig. 10 reproduction: normalized area and power of the BitMoD PE
+ * against FIGNA-style bit-parallel PEs (fixed FP16xINT8 and the
+ * decomposable FP16xINT8 / 2xFP16xINT4 variant), all from the
+ * gate-level synthesis model.
+ */
+
+#include "bench_util.hh"
+#include "synth/pe_synth.hh"
+
+using namespace bitmod;
+
+int
+main()
+{
+    const auto rows = peComparison();
+    const double areaRef = rows[0].areaUm2;   // FP-FP16 PE
+    const double powerRef = rows[0].powerMw;
+
+    TextTable t("Fig. 10 - PE area & power normalized to FP-FP16");
+    t.setHeader({"PE", "Area um2", "Norm area", "Power mW",
+                 "Norm power"});
+    for (const auto &r : rows) {
+        t.addRow({r.name, TextTable::num(r.areaUm2, 1),
+                  TextTable::num(r.areaUm2 / areaRef, 3),
+                  TextTable::num(r.powerMw, 4),
+                  TextTable::num(r.powerMw / powerRef, 3)});
+    }
+    t.addNote("paper Fig. 10: FP-INT8 smallest; adding decomposable "
+              "mixed precision makes the bit-parallel PE *larger* than "
+              "FP-FP16, while the bit-serial BitMoD PE supports every "
+              "precision below both");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot kernels: Booth / LOD
+ * term generation, BitMoD PE group processing (exact and hardware-
+ * rounding modes), bit-serial dequantization, Algorithm 1 adaptive
+ * group quantization, and full-matrix quantization throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bitserial/termgen.hh"
+#include "common/rng.hh"
+#include "pe/bitmod_pe.hh"
+#include "quant/dtype.hh"
+#include "quant/quantizer.hh"
+#include "tensor/generator.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+void
+BM_BoothTermGen(benchmark::State &state)
+{
+    int v = -128;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(termsForInt(v, 8));
+        v = v == 127 ? -128 : v + 1;
+    }
+}
+BENCHMARK(BM_BoothTermGen);
+
+void
+BM_FixedPointTermGen(benchmark::State &state)
+{
+    const double values[] = {0.5, 1.5, 3, 6, -5, 8};
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(termsForFixedPoint(values[i % 6]));
+        ++i;
+    }
+}
+BENCHMARK(BM_FixedPointTermGen);
+
+void
+BM_BitSerialDequant(benchmark::State &state)
+{
+    int cycles = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            bitSerialDequant(1.2345, 173, 8, &cycles));
+}
+BENCHMARK(BM_BitSerialDequant);
+
+void
+BM_EncodeGroupAdaptive(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<float> w(128);
+    for (auto &x : w)
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    QuantConfig cfg;
+    cfg.dtype = state.range(0) == 3 ? dtypes::bitmodFp3()
+                                    : dtypes::bitmodFp4();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(encodeGroup({w.data(), w.size()}, cfg));
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_EncodeGroupAdaptive)->Arg(3)->Arg(4);
+
+void
+BM_PeProcessGroup(benchmark::State &state)
+{
+    Rng rng(2);
+    std::vector<float> w(128);
+    for (auto &x : w)
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    std::vector<Float16> acts;
+    for (int i = 0; i < 128; ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian()));
+    PeConfig pc;
+    pc.hwRounding = state.range(0) != 0;
+    const BitmodPe pe(pc);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pe.processGroup(
+            enc, {acts.data(), acts.size()}, cfg.dtype, 100, 1e-4));
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_PeProcessGroup)->Arg(0)->Arg(1);
+
+void
+BM_QuantizeMatrix(benchmark::State &state)
+{
+    Rng rng(3);
+    WeightGenParams p;
+    const Matrix w = generateWeights(64, 1024, p, rng);
+    QuantConfig cfg;
+    cfg.dtype = state.range(0) == 0 ? dtypes::intAsym(4)
+                                    : dtypes::bitmodFp4();
+    cfg.scaleBits = 8;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(quantizeMatrix(w, cfg));
+    state.SetItemsProcessed(state.iterations() * w.size());
+}
+BENCHMARK(BM_QuantizeMatrix)->Arg(0)->Arg(1);
+
+} // namespace
+} // namespace bitmod
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table I reproduction: Wikitext-2 proxy perplexity for 4-bit
+ * datatypes at per-channel (PC) vs per-group (PG, group 128)
+ * granularity.  The paper's observations: PG beats PC everywhere;
+ * Flint never wins at PG; INT4-Asym and FP4 split the PG wins.
+ */
+
+#include "bench_util.hh"
+
+using namespace bitmod;
+
+int
+main()
+{
+    SampleConfig cfg = rtnSweepConfig();
+    cfg.maxCols = 4096;  // realistic channel length matters for PC
+    benchutil::banner("tab01", cfg);
+
+    struct Row
+    {
+        const char *label;
+        Dtype dtype;
+    };
+    const std::vector<Row> rows = {
+        {"INT4-Sym", dtypes::intSym(4)},
+        {"INT4-Asym", dtypes::intAsym(4)},
+        {"FP4", dtypes::fp4()},
+        {"Flint", dtypes::flint(4)},
+    };
+
+    TextTable t("Table I - Wikitext-2 proxy perplexity, PC vs PG "
+                "(group 128)");
+    std::vector<std::string> header = {"Datatype"};
+    for (const auto &name : benchutil::motivationModels()) {
+        header.push_back(name + " PC");
+        header.push_back(name + " PG");
+    }
+    t.setHeader(header);
+
+    // FP16 reference row.
+    std::vector<std::string> fp16Row = {"FP16"};
+    for (const auto &name : benchutil::motivationModels()) {
+        const auto &m = llmByName(name);
+        fp16Row.push_back(TextTable::num(m.anchors.fp16PplWiki, 2));
+        fp16Row.push_back(TextTable::num(m.anchors.fp16PplWiki, 2));
+    }
+    t.addRow(fp16Row);
+    t.addSeparator();
+
+    for (const auto &row : rows) {
+        std::vector<std::string> cells = {row.label};
+        for (const auto &name : benchutil::motivationModels()) {
+            ModelEvalContext ctx(llmByName(name), cfg);
+            QuantConfig qc;
+            qc.dtype = row.dtype;
+            qc.granularity = Granularity::PerChannel;
+            cells.push_back(
+                TextTable::num(ctx.pplWiki(ctx.rtnLoss(qc)), 2));
+            qc.granularity = Granularity::PerGroup;
+            cells.push_back(
+                TextTable::num(ctx.pplWiki(ctx.rtnLoss(qc)), 2));
+        }
+        t.addRow(cells);
+    }
+    t.addNote("paper Table I: PG < PC for all datatypes; Flint never "
+              "best at PG");
+    t.print();
+    return 0;
+}

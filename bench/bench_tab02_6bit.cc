@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table II reproduction: Wikitext-2 and C4 proxy perplexity of 6-bit
+ * datatypes under per-group quantization.  The paper's point: all
+ * studied 6-bit types are near-lossless, motivating INT6 as BitMoD's
+ * "lossless" deployment precision.
+ */
+
+#include "bench_util.hh"
+
+using namespace bitmod;
+
+int
+main()
+{
+    const SampleConfig cfg = rtnSweepConfig();
+    benchutil::banner("tab02", cfg);
+
+    const std::vector<std::pair<const char *, Dtype>> rows = {
+        {"INT6-Sym", dtypes::intSym(6)},
+        {"INT6-Asym", dtypes::intAsym(6)},
+        {"FP6-E2M3", dtypes::fp6e2m3()},
+        {"FP6-E3M2", dtypes::fp6e3m2()},
+    };
+
+    TextTable t("Table II - 6-bit datatype proxy perplexity (PG 128)");
+    std::vector<std::string> header = {"Datatype"};
+    for (const auto &name : benchutil::motivationModels()) {
+        header.push_back(name + " Wiki");
+        header.push_back(name + " C4");
+    }
+    t.setHeader(header);
+
+    std::vector<std::string> fp16Row = {"FP16"};
+    for (const auto &name : benchutil::motivationModels()) {
+        const auto &m = llmByName(name);
+        fp16Row.push_back(TextTable::num(m.anchors.fp16PplWiki, 2));
+        fp16Row.push_back(TextTable::num(m.anchors.fp16PplC4, 2));
+    }
+    t.addRow(fp16Row);
+    t.addSeparator();
+
+    for (const auto &[label, dtype] : rows) {
+        std::vector<std::string> cells = {label};
+        for (const auto &name : benchutil::motivationModels()) {
+            ModelEvalContext ctx(llmByName(name), cfg);
+            QuantConfig qc;
+            qc.dtype = dtype;
+            const double loss = ctx.rtnLoss(qc);
+            cells.push_back(TextTable::num(ctx.pplWiki(loss), 2));
+            cells.push_back(TextTable::num(ctx.pplC4(loss), 2));
+        }
+        t.addRow(cells);
+    }
+    t.addNote("paper Table II: every 6-bit type is within ~0.05 PPL of "
+              "FP16 on average");
+    t.print();
+    return 0;
+}

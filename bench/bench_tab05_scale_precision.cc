@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table V reproduction: proxy perplexity as the per-group scale
+ * factors are quantized to INT8/6/4/2 (VS-Quant second level) with
+ * INT4-Asym weights at group 128.  The paper's conclusion — INT8
+ * scale factors are lossless — is what licenses the 8-cycle bit-serial
+ * dequantization unit.
+ */
+
+#include "bench_util.hh"
+
+using namespace bitmod;
+
+int
+main()
+{
+    const SampleConfig cfg = rtnSweepConfig();
+    benchutil::banner("tab05", cfg);
+
+    TextTable t("Table V - scale-factor precision sweep (INT4-Asym "
+                "weights, group 128)");
+    std::vector<std::string> header = {"SF bits"};
+    for (const auto &name : benchutil::motivationModels()) {
+        header.push_back(name + " Wiki");
+        header.push_back(name + " C4");
+    }
+    t.setHeader(header);
+
+    std::vector<ModelEvalContext> ctxs;
+    for (const auto &name : benchutil::motivationModels())
+        ctxs.emplace_back(llmByName(name), cfg);
+
+    for (const int sfBits : {0, 8, 6, 4, 2}) {
+        std::vector<std::string> cells = {
+            sfBits == 0 ? "FP16" : "INT" + std::to_string(sfBits)};
+        for (auto &ctx : ctxs) {
+            QuantConfig qc;
+            qc.dtype = dtypes::intAsym(4);
+            qc.scaleBits = sfBits;
+            const double loss = ctx.rtnLoss(qc);
+            cells.push_back(TextTable::num(ctx.pplWiki(loss), 2));
+            cells.push_back(TextTable::num(ctx.pplC4(loss), 2));
+        }
+        t.addRow(cells);
+    }
+    t.addNote("paper Table V: INT8 == FP16 scale factors; INT2 "
+              "degrades clearly");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table VIII reproduction: the ER/EA datatype ablation on the three
+ * Llama models.  Expected shape: at 4-bit ER helps more than EA; at
+ * 3-bit EA helps more than ER; the full BitMoD mixture is best at
+ * both precisions.
+ */
+
+#include "bench_util.hh"
+
+using namespace bitmod;
+
+int
+main()
+{
+    const SampleConfig cfg = rtnSweepConfig();
+    benchutil::banner("tab08", cfg);
+
+    std::vector<ModelEvalContext> ctxs;
+    for (const auto &name : benchutil::llamaModels())
+        ctxs.emplace_back(llmByName(name), cfg);
+
+    TextTable t("Table VIII - ER/EA ablation (proxy perplexity, "
+                "per-group 128)");
+    std::vector<std::string> header = {"Prec", "Datatype"};
+    for (const auto &name : benchutil::llamaModels()) {
+        header.push_back(name + " W");
+        header.push_back(name + " C4");
+    }
+    t.setHeader(header);
+
+    const auto emit = [&](const char *prec, const Dtype &dtype) {
+        std::vector<std::string> cells = {prec, dtype.name};
+        for (auto &ctx : ctxs) {
+            QuantConfig qc;
+            qc.dtype = dtype;
+            const double loss = ctx.rtnLoss(qc);
+            cells.push_back(TextTable::num(ctx.pplWiki(loss), 2));
+            cells.push_back(TextTable::num(ctx.pplC4(loss), 2));
+        }
+        t.addRow(cells);
+    };
+
+    emit("4b", dtypes::fp4());
+    emit("4b", dtypes::fp4Er());
+    emit("4b", dtypes::fp4Ea());
+    emit("4b", dtypes::bitmodFp4());
+    t.addSeparator();
+    emit("3b", dtypes::fp3());
+    emit("3b", dtypes::fp3Er());
+    emit("3b", dtypes::fp3Ea());
+    emit("3b", dtypes::bitmodFp3());
+
+    t.addNote("paper Table VIII: ER > EA at 4-bit, EA > ER at 3-bit, "
+              "full BitMoD best at both");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table IX reproduction: FP3 special-value set ablation — the adopted
+ * {+/-3, +/-6} mixture vs {+/-5, +/-6} (asymmetry-only) and
+ * {+/-3, +/-5}.
+ */
+
+#include "bench_util.hh"
+
+using namespace bitmod;
+
+int
+main()
+{
+    const SampleConfig cfg = rtnSweepConfig();
+    benchutil::banner("tab09", cfg);
+
+    const std::vector<std::string> models = {"OPT-1.3B", "Phi-2B",
+                                             "Llama-2-7B", "Llama-3-8B"};
+    std::vector<ModelEvalContext> ctxs;
+    for (const auto &name : models)
+        ctxs.emplace_back(llmByName(name), cfg);
+
+    const std::vector<std::pair<const char *, std::vector<double>>>
+        sets = {
+            {"{+/-5, +/-6}", {-5, 5, -6, 6}},
+            {"{+/-3, +/-5}", {-3, 3, -5, 5}},
+            {"{+/-3, +/-6}", {-3, 3, -6, 6}},
+        };
+
+    TextTable t("Table IX - FP3 special-value set ablation "
+                "(proxy perplexity)");
+    std::vector<std::string> header = {"Special values"};
+    for (const auto &name : models) {
+        header.push_back(name + " W");
+        header.push_back(name + " C4");
+    }
+    t.setHeader(header);
+
+    for (const auto &[label, values] : sets) {
+        std::vector<std::string> cells = {label};
+        for (auto &ctx : ctxs) {
+            QuantConfig qc;
+            qc.dtype = dtypes::bitmodFp3Custom(values, label);
+            const double loss = ctx.rtnLoss(qc);
+            cells.push_back(TextTable::num(ctx.pplWiki(loss), 2));
+            cells.push_back(TextTable::num(ctx.pplC4(loss), 2));
+        }
+        t.addRow(cells);
+    }
+    t.addNote("paper Table IX: the adopted {+/-3, +/-6} set achieves "
+              "the lowest average perplexity");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table X reproduction: PE-tile area and power of the baseline FP16
+ * accelerator vs BitMoD at 1 GHz, from the gate-level synthesis model
+ * (src/synth), alongside the paper's Synopsys DC / TSMC 28 nm numbers.
+ */
+
+#include "bench_util.hh"
+#include "synth/pe_synth.hh"
+
+using namespace bitmod;
+
+int
+main()
+{
+    const auto base = synthesizeBaselineTile();
+    const auto bm = synthesizeBitmodTile();
+
+    TextTable t("Table X - tile area & power @ 1 GHz");
+    t.setHeader({"Design", "PEs", "PE array um2", "Encoder um2",
+                 "Total um2", "PE array mW", "Encoder mW", "Total mW"});
+    t.addRow({"Baseline (model)",
+              std::to_string(base.peRows) + "x" +
+                  std::to_string(base.peCols),
+              TextTable::num(base.peArrayAreaUm2, 0), "-",
+              TextTable::num(base.totalAreaUm2(), 0),
+              TextTable::num(base.peArrayPowerMw, 2), "-",
+              TextTable::num(base.totalPowerMw(), 2)});
+    t.addRow({"Baseline (paper)", "6x8", "95498", "-", "95498",
+              "36.96", "-", "36.96"});
+    t.addSeparator();
+    t.addRow({"BitMoD (model)",
+              std::to_string(bm.peRows) + "x" + std::to_string(bm.peCols),
+              TextTable::num(bm.peArrayAreaUm2, 0),
+              TextTable::num(bm.encoderAreaUm2, 0),
+              TextTable::num(bm.totalAreaUm2(), 0),
+              TextTable::num(bm.peArrayPowerMw, 2),
+              TextTable::num(bm.encoderPowerMw, 2),
+              TextTable::num(bm.totalPowerMw(), 2)});
+    t.addRow({"BitMoD (paper)", "8x8", "97090", "2419", "99509",
+              "37.5", "1.86", "39.36"});
+
+    const double peRatio = bitmodPeNetlist().areaUm2() /
+                           fp16MacPeNetlist().areaUm2();
+    t.addNote("BitMoD PE / FP16 PE area ratio: " +
+              TextTable::num(peRatio, 3) + " (paper: 0.76, i.e. 24% "
+              "smaller)");
+    t.addNote("encoder share of PE array area: " +
+              TextTable::num(100.0 * bm.encoderAreaUm2 /
+                             bm.peArrayAreaUm2, 2) +
+              "% (paper: 2.5%)");
+    t.print();
+    return 0;
+}

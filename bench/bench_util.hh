@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries that regenerate the paper's
+ * tables and figures.  Every bench prints the sampler seed so rows are
+ * exactly reproducible.
+ */
+
+#ifndef BITMOD_BENCH_BENCH_UTIL_HH
+#define BITMOD_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/experiments.hh"
+#include "model/llm_zoo.hh"
+
+namespace bitmod::benchutil
+{
+
+/** The four models of the motivation studies (Figs. 1-2, Tables I/II/V). */
+inline std::vector<std::string>
+motivationModels()
+{
+    return {"OPT-1.3B", "Phi-2B", "Llama-2-7B", "Llama-2-13B"};
+}
+
+/** All six evaluated models (Tables VI/VII, Figs. 7/8). */
+inline std::vector<std::string>
+allModels()
+{
+    std::vector<std::string> names;
+    for (const auto &m : llmZoo())
+        names.push_back(m.name);
+    return names;
+}
+
+/** The three Llama models of Tables VIII/XI/XII. */
+inline std::vector<std::string>
+llamaModels()
+{
+    return {"Llama-2-7B", "Llama-2-13B", "Llama-3-8B"};
+}
+
+/** Print the standard reproducibility banner. */
+inline void
+banner(const char *experiment, const SampleConfig &cfg)
+{
+    std::printf("[%s] sampler: rows<=%zu cols<=%zu calib=%zu "
+                "seed=0x%llx\n\n",
+                experiment, cfg.maxRows, cfg.maxCols, cfg.calibSamples,
+                static_cast<unsigned long long>(cfg.seed));
+}
+
+} // namespace bitmod::benchutil
+
+#endif // BITMOD_BENCH_BENCH_UTIL_HH

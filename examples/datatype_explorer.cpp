@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Datatype explorer: design your own BitMoD special-value set and see
+ * how it fares against the paper's choices.  The BitMoD hardware can
+ * be programmed with arbitrary special values (Section IV-A), so this
+ * is a real design-space knob, not just a curiosity.
+ *
+ *   build/examples/datatype_explorer [sv1 sv2 sv3 sv4]
+ *
+ * e.g. build/examples/datatype_explorer -3 3 -7 7
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bitserial/termgen.hh"
+#include "core/experiments.hh"
+#include "quant/dtype.hh"
+
+using namespace bitmod;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<double> userSet = {-3, 3, -6, 6};  // the paper's set
+    if (argc == 5) {
+        userSet.clear();
+        for (int i = 1; i < 5; ++i)
+            userSet.push_back(std::atof(argv[i]));
+    }
+
+    // Special values must be decodable by the bit-serial term
+    // generator (two terms max) — check before evaluating.
+    for (const double sv : userSet) {
+        const auto terms = termsForFixedPoint(sv);
+        std::printf("special %+g decodes to %zu bit-serial terms\n",
+                    sv, terms.size());
+    }
+
+    std::printf("\n%-14s", "model");
+    std::printf(" %12s %12s %12s\n", "FP3 (base)", "paper {3,6}",
+                "your set");
+
+    for (const auto &model : llmZoo()) {
+        ModelEvalContext ctx(model, rtnSweepConfig());
+        QuantConfig base, paper, mine;
+        base.dtype = dtypes::fp3();
+        paper.dtype = dtypes::bitmodFp3();
+        mine.dtype = dtypes::bitmodFp3Custom(userSet, "custom");
+        std::printf("%-14s %12.4f %12.4f %12.4f\n",
+                    model.name.c_str(), ctx.rtnLoss(base),
+                    ctx.rtnLoss(paper), ctx.rtnLoss(mine));
+    }
+    std::printf("\n(values are weight-space losses; lower is better)\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * End-to-end LLM deployment study: quantize a model from the zoo,
+ * check the proxy quality, then simulate it on the BitMoD accelerator
+ * against the FP16 baseline, ANT and OliVe — the workflow of the
+ * paper's Section V, condensed.
+ *
+ *   build/examples/llm_deployment [model-name]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/bitmod_api.hh"
+#include "core/experiments.hh"
+
+using namespace bitmod;
+
+int
+main(int argc, char **argv)
+{
+    const std::string modelName = argc > 1 ? argv[1] : "Llama-2-7B";
+    const LlmSpec &model = llmByName(modelName);
+
+    std::printf("model %s: %.2fB params, %zu layers, hidden %zu\n\n",
+                model.name.c_str(), model.totalParams() / 1e9,
+                model.numLayers, model.hiddenDim);
+
+    // --- quality: what does each BitMoD precision cost? ------------
+    ModelEvalContext ctx(model, rtnSweepConfig());
+    std::printf("%-12s %10s %10s\n", "precision", "Wiki PPL", "C4 PPL");
+    for (const auto &[label, dtype] :
+         std::initializer_list<std::pair<const char *, Dtype>>{
+             {"FP16", dtypes::fp16()},
+             {"INT6 (LL)", dtypes::intSym(6)},
+             {"BitMoD-4b", dtypes::bitmodFp4()},
+             {"BitMoD-3b", dtypes::bitmodFp3()}}) {
+        QuantConfig cfg;
+        cfg.dtype = dtype;
+        cfg.scaleBits = dtype.kind == DtypeKind::Identity ? 0 : 8;
+        const double loss = dtype.kind == DtypeKind::Identity
+                                ? 0.0
+                                : ctx.rtnLoss(cfg);
+        std::printf("%-12s %10.2f %10.2f\n", label, ctx.pplWiki(loss),
+                    ctx.pplC4(loss));
+    }
+
+    // --- performance: generative task across accelerators ----------
+    std::printf("\ngenerative 256:256, batch 1:\n");
+    std::printf("%-15s %-12s %12s %12s %12s\n", "accelerator",
+                "precision", "latency ms", "energy mJ", "EDP (J*s)");
+    for (const char *accel :
+         {"Baseline-FP16", "ANT", "OliVe", "BitMoD"}) {
+        for (const bool lossless : {true, false}) {
+            if (std::string(accel) == "Baseline-FP16" && !lossless)
+                continue;
+            const auto s = simulateDeployment(accel, modelName,
+                                              /*generative=*/true,
+                                              lossless);
+            std::printf("%-15s %-12s %12.1f %12.1f %12.3e\n",
+                        s.accelerator.c_str(),
+                        s.precision.weightDtype.name.c_str(),
+                        s.latencyMs(), s.energyMj(), s.edp());
+        }
+    }
+
+    std::printf("\ndiscriminative 256:1, batch 1:\n");
+    for (const char *accel : {"Baseline-FP16", "BitMoD"}) {
+        const auto s = simulateDeployment(accel, modelName, false,
+                                          accel[0] == 'B' ? false
+                                                          : true);
+        std::printf("%-15s %-12s %12.2f ms\n", s.accelerator.c_str(),
+                    s.precision.weightDtype.name.c_str(),
+                    s.latencyMs());
+    }
+    return 0;
+}

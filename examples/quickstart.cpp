@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quickstart: quantize a weight matrix with BitMoD and compare against
+ * asymmetric integer quantization — the 60-second tour of the library.
+ *
+ *   build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "core/bitmod_api.hh"
+#include "quant/dtype.hh"
+#include "quant/quantizer.hh"
+#include "tensor/generator.hh"
+
+using namespace bitmod;
+
+int
+main()
+{
+    // 1. Make some LLM-like weights: Gaussian bulk, heavy tails, and
+    //    occasional one-sided group outliers (see tensor/generator.hh).
+    Rng rng(/*seed=*/42);
+    WeightGenParams params;
+    const Matrix weights = generateWeights(/*k=*/256, /*d=*/4096,
+                                           params, rng);
+    std::printf("weights: %zux%zu\n", weights.rows(), weights.cols());
+
+    // 2. Quantize with BitMoD at 4 and 3 bits (per-group 128, INT8
+    //    second-level scales — the paper's deployment configuration).
+    for (const int bits : {4, 3}) {
+        const QuantizedTensor q = bitmodQuantize(weights, bits);
+
+        // Compare against the INT-Asym baseline most PTQ work uses.
+        QuantConfig intCfg;
+        intCfg.dtype = dtypes::intAsym(bits);
+        intCfg.scaleBits = 8;
+        const QuantizedTensor qi = quantizeMatrix(weights, intCfg);
+
+        std::printf("\n-- %d-bit --\n", bits);
+        std::printf("BitMoD    : NMSE %.3e  (%.4f bits/weight)\n",
+                    q.stats.nmse, q.stats.bitsPerWeight);
+        std::printf("INT%d-Asym : NMSE %.3e  (%.4f bits/weight)\n",
+                    bits, qi.stats.nmse, qi.stats.bitsPerWeight);
+        std::printf("BitMoD error reduction: %.1f%%\n",
+                    100.0 * (1.0 - q.stats.nmse / qi.stats.nmse));
+
+        // 3. Peek at Algorithm 1's decisions: which special value did
+        //    each group pick?
+        std::printf("special-value histogram:");
+        const auto &dt = bitmodConfig(bits).dtype;
+        for (size_t c = 0; c < q.stats.svHistogram.size(); ++c)
+            std::printf("  %+g:%zu", dt.specialValues[c],
+                        q.stats.svHistogram[c]);
+        std::printf("\n");
+    }
+    return 0;
+}

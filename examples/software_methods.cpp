@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Composing BitMoD with software-only PTQ methods (the paper's Section
+ * V-E): run AWQ, GPTQ and OmniQuant-lite with both INT-Asym and BitMoD
+ * datatypes on one model and compare calibrated losses.
+ *
+ *   build/examples/software_methods [model-name]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiments.hh"
+#include "methods/awq.hh"
+#include "methods/gptq.hh"
+#include "methods/omniquant.hh"
+
+using namespace bitmod;
+
+int
+main(int argc, char **argv)
+{
+    const std::string modelName = argc > 1 ? argv[1] : "Llama-2-7B";
+    const LlmSpec &model = llmByName(modelName);
+
+    ModelEvalContext ctx(model, methodSweepConfig(), /*loss_mode=*/1);
+
+    QuantConfig intCfg, bmCfg;
+    intCfg.dtype = dtypes::intAsym(3);
+    bmCfg.dtype = dtypes::bitmodFp3();
+
+    std::printf("3-bit calibrated losses on %s (lower is better):\n\n",
+                model.name.c_str());
+    std::printf("%-14s %14s %14s\n", "method", "INT3-Asym", "BitMoD-FP3");
+
+    const auto row = [&](const char *label, const QuantFn &a,
+                         const QuantFn &b) {
+        std::printf("%-14s %14.5f %14.5f\n", label, ctx.loss(a),
+                    ctx.loss(b));
+    };
+    row("RTN", rtnQuantFn(intCfg), rtnQuantFn(bmCfg));
+    row("AWQ", awqFn(intCfg), awqFn(bmCfg));
+    row("OmniQuant", omniquantFn(intCfg), omniquantFn(bmCfg));
+    row("GPTQ", gptqFn(intCfg), gptqFn(bmCfg));
+
+    std::printf("\nproxy Wikitext-2 perplexity for the best column:\n");
+    const double best = ctx.loss(gptqFn(bmCfg));
+    std::printf("BitMoD-FP3 + GPTQ: %.2f (FP16 = %.2f)\n",
+                ctx.pplWiki(best), model.anchors.fp16PplWiki);
+    return 0;
+}

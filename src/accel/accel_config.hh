@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Accelerator configurations under the paper's iso-compute-area
+ * constraint (Section V-A): the FP16 baseline, ANT, OliVe, and BitMoD,
+ * all with 4x4 tiles, 512 KB weight + 512 KB activation buffers, and a
+ * 1 GHz clock over DDR4.
+ *
+ * Compute-throughput modeling (documented in DESIGN.md):
+ *  - baseline: 48 FP16 MAC PEs/tile, 1 MAC/PE/cycle;
+ *  - BitMoD:   64 bit-serial PEs/tile (iso-area with the baseline per
+ *              Table X), 4 lanes/PE, 1 term/cycle -> 4/terms MACs/PE;
+ *  - ANT:      bit-parallel 4-bit PEs, 2x the baseline MAC density at
+ *              W4, halved for W8 (temporal decomposition);
+ *  - OliVe:    ANT-like with its denser outlier-aware PE (~8% more
+ *              throughput at iso-area, per the OliVe paper's claim).
+ */
+
+#ifndef BITMOD_ACCEL_ACCEL_CONFIG_HH
+#define BITMOD_ACCEL_ACCEL_CONFIG_HH
+
+#include <string>
+
+#include "quant/dtype.hh"
+#include "sim/dram.hh"
+#include "sim/sram.hh"
+
+namespace bitmod
+{
+
+/** Which accelerator architecture. */
+enum class AccelKind
+{
+    Fp16Baseline,
+    Ant,
+    Olive,
+    Bitmod,
+};
+
+/** An accelerator instance. */
+struct AccelConfig
+{
+    AccelKind kind = AccelKind::Bitmod;
+    std::string name;
+    double clockGhz = 1.0;
+    int tiles = 16;       //!< 4 x 4 tile array
+    int peRows = 8;       //!< PE rows per tile (token dimension)
+    int peCols = 8;       //!< PE columns per tile (output channels)
+    int lanesPerPe = 4;   //!< dot-product lanes per PE (BitMoD)
+    /** Mapping efficiency for large GEMMs. */
+    double utilization = 0.85;
+    /** Tile power (mW) from synthesis, incl. encoder for BitMoD. */
+    double tilePowerMw = 0.0;
+
+    /** Peak MACs/cycle for weights of datatype @p dt. */
+    double macsPerCycle(const Dtype &dt) const;
+
+    /**
+     * MACs/cycle for the self-attention matmuls (FP16 x INT8-KV on
+     * BitMoD/ANT/OliVe, FP16 x FP16 on the baseline).
+     */
+    double attentionMacsPerCycle() const;
+};
+
+/** Factory functions for the four evaluated accelerators. */
+AccelConfig makeFp16Baseline();
+AccelConfig makeAnt();
+AccelConfig makeOlive();
+AccelConfig makeBitmod();
+
+} // namespace bitmod
+
+#endif // BITMOD_ACCEL_ACCEL_CONFIG_HH

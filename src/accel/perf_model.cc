@@ -1,0 +1,183 @@
+#include "accel/perf_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+PrecisionChoice
+PrecisionChoice::fp16()
+{
+    PrecisionChoice p;
+    p.weightDtype = dtypes::fp16();
+    p.weightBitsPerElem = 16.0;
+    p.kvBits = 16.0;
+    return p;
+}
+
+PrecisionChoice
+PrecisionChoice::bitmod(const Dtype &dt)
+{
+    PrecisionChoice p;
+    p.weightDtype = dt;
+    QuantConfig cfg;
+    cfg.dtype = dt;
+    cfg.scaleBits = 8;
+    cfg.groupSize = 128;
+    p.weightBitsPerElem = bitsPerWeight(cfg, 4096);
+    p.kvBits = 8.0;
+    return p;
+}
+
+PrecisionChoice
+PrecisionChoice::perChannel(const Dtype &dt)
+{
+    PrecisionChoice p;
+    p.weightDtype = dt;
+    QuantConfig cfg;
+    cfg.dtype = dt;
+    cfg.granularity = Granularity::PerChannel;
+    p.weightBitsPerElem = bitsPerWeight(cfg, 4096);
+    p.kvBits = 8.0;
+    return p;
+}
+
+AccelSim::AccelSim(AccelConfig accel, DramConfig dram, SramConfig sram)
+    : accel_(std::move(accel)), dram_(dram), sram_(sram)
+{
+}
+
+RunReport
+AccelSim::run(const LlmSpec &model, const TaskSpec &task,
+              const PrecisionChoice &precision) const
+{
+    BITMOD_ASSERT(task.inTokens >= 1 && task.outTokens >= 1,
+                  "task needs at least one input and output token");
+
+    RunReport report;
+
+    const double layers = static_cast<double>(model.numLayers);
+    const double blockParams =
+        static_cast<double>(model.blockLinearParams());
+    const double lmHead =
+        static_cast<double>(model.vocabSize) * model.hiddenDim;
+    const double allParams = layers * blockParams + lmHead;
+    const double weightBytes =
+        allParams * precision.weightBitsPerElem / 8.0;
+
+    const double heads = static_cast<double>(model.numHeads);
+    const double hd = static_cast<double>(model.headDim());
+    const double kvPerTokenLayerBytes =
+        2.0 * model.kvDim() * precision.kvBits / 8.0;
+    const double actPerTokenBytes =
+        (2.0 * layers + 1.0) * model.hiddenDim * precision.actBits / 8.0;
+
+    const double linMacsPerCycle =
+        accel_.macsPerCycle(precision.weightDtype) * accel_.utilization;
+    const double attMacsPerCycle =
+        accel_.attentionMacsPerCycle() * accel_.utilization;
+    // Decode runs one token row: only 1/peRows of the array's token
+    // dimension is occupied (memory-bound anyway).
+    const double decodeRowUtil = 1.0 / accel_.peRows;
+
+    // ------------------------------------------------------- prefill
+    const double m = static_cast<double>(task.inTokens);
+    {
+        const double linMacs = layers * blockParams * m + lmHead;
+        const double attMacs =
+            layers * heads * 2.0 * hd * (m * (m + 1.0) / 2.0);
+        const double computeCycles =
+            linMacs / linMacsPerCycle + attMacs / attMacsPerCycle;
+
+        const double memBytes = weightBytes +
+                                m * actPerTokenBytes +
+                                m * layers * kvPerTokenLayerBytes;
+        const double memCycles =
+            dram_.transferCycles(memBytes, accel_.clockGhz);
+        report.prefillCycles = std::max(computeCycles, memCycles);
+
+        report.energy.dramNj += dram_.transferEnergyNj(memBytes);
+        // Buffer traffic: everything passes the buffers once (write +
+        // read); weights are additionally re-read from the buffer once
+        // per token tile during prefill (output-stationary reuse).
+        const double weightBits = weightBytes * 8.0;
+        const double tokenTiles =
+            std::ceil(m / static_cast<double>(accel_.peRows));
+        report.energy.bufferNj +=
+            sram_.writeEnergyNj(memBytes * 8.0) +
+            sram_.readEnergyNj(memBytes * 8.0) +
+            sram_.readEnergyNj(weightBits * std::max(0.0, tokenTiles - 1));
+        // Core: full power while computing, 30% clock-gated otherwise.
+        const double activeNj = computeCycles * accel_.tiles *
+                                accel_.tilePowerMw * 1e-3;
+        const double idleCycles =
+            std::max(0.0, report.prefillCycles - computeCycles);
+        report.energy.coreNj +=
+            std::min(activeNj,
+                     report.prefillCycles * accel_.tiles *
+                         accel_.tilePowerMw * 1e-3) +
+            idleCycles * accel_.tiles * accel_.tilePowerMw * 0.3e-3;
+    }
+
+    // -------------------------------------------------------- decode
+    const size_t steps = task.outTokens - 1;
+    if (steps > 0) {
+        const double perStepLinMacs = layers * blockParams + lmHead;
+        const double perStepComputeBase =
+            perStepLinMacs / (linMacsPerCycle * decodeRowUtil);
+
+        // Closed forms over the decode steps for context-dependent
+        // attention compute and KV reads.
+        double ctxSum = 0.0;
+        for (size_t s = 1; s <= steps; ++s)
+            ctxSum += static_cast<double>(task.inTokens + s);
+
+        const double attMacsTotal = layers * heads * 2.0 * hd * ctxSum;
+        const double attCyclesTotal =
+            attMacsTotal / (attMacsPerCycle * decodeRowUtil);
+
+        const double perStepWeightBytes = weightBytes;
+        const double kvReadBytes =
+            layers * kvPerTokenLayerBytes * ctxSum;
+        const double kvWriteBytes =
+            layers * kvPerTokenLayerBytes * static_cast<double>(steps);
+        const double actBytes =
+            actPerTokenBytes * static_cast<double>(steps) +
+            static_cast<double>(steps) * model.vocabSize *
+                precision.actBits / 8.0;
+
+        const double computeCycles =
+            perStepComputeBase * static_cast<double>(steps) +
+            attCyclesTotal;
+        const double memBytes =
+            perStepWeightBytes * static_cast<double>(steps) +
+            kvReadBytes + kvWriteBytes + actBytes;
+        const double memCycles =
+            dram_.transferCycles(memBytes, accel_.clockGhz);
+        report.decodeCycles = std::max(computeCycles, memCycles);
+
+        report.energy.dramNj += dram_.transferEnergyNj(memBytes);
+        report.energy.bufferNj += sram_.writeEnergyNj(memBytes * 8.0) +
+                                  sram_.readEnergyNj(memBytes * 8.0);
+        const double activeNj = computeCycles * accel_.tiles *
+                                accel_.tilePowerMw * 1e-3;
+        const double idleCycles =
+            std::max(0.0, report.decodeCycles - computeCycles);
+        report.energy.coreNj +=
+            std::min(activeNj,
+                     report.decodeCycles * accel_.tiles *
+                         accel_.tilePowerMw * 1e-3) +
+            idleCycles * accel_.tiles * accel_.tilePowerMw * 0.3e-3;
+    }
+
+    // Buffer leakage across the whole run.
+    report.energy.bufferNj +=
+        2.0 * sram_.leakageEnergyNj(report.totalCycles(),
+                                    accel_.clockGhz);
+    return report;
+}
+
+} // namespace bitmod

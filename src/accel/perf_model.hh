@@ -1,0 +1,94 @@
+/**
+ * @file
+ * End-to-end cycle and energy model of LLM inference on an
+ * accelerator: prefill (compute-bound matrix-matrix work) plus
+ * token-by-token decode (weight-streaming-bound matrix-vector work),
+ * with double-buffered overlap of compute and DRAM transfers, KV-cache
+ * traffic, and a three-way energy breakdown (DRAM / on-chip buffers /
+ * compute core) matching Fig. 8's accounting.
+ */
+
+#ifndef BITMOD_ACCEL_PERF_MODEL_HH
+#define BITMOD_ACCEL_PERF_MODEL_HH
+
+#include "accel/accel_config.hh"
+#include "model/llm_zoo.hh"
+#include "model/traffic.hh"
+#include "quant/quantizer.hh"
+
+namespace bitmod
+{
+
+/** The precision an accelerator runs a model at. */
+struct PrecisionChoice
+{
+    Dtype weightDtype;           //!< Identity = FP16 weights
+    double weightBitsPerElem = 16.0;  //!< incl. scale/metadata
+    double actBits = 16.0;
+    double kvBits = 16.0;
+
+    /** FP16 weights (baseline accelerator). */
+    static PrecisionChoice fp16();
+
+    /**
+     * BitMoD per-group choice: element bits from @p dt, metadata from
+     * the 8-bit scale + selector bits at group size 128, INT8 KV.
+     */
+    static PrecisionChoice bitmod(const Dtype &dt);
+
+    /** ANT / OliVe per-channel choice (negligible metadata), INT8 KV. */
+    static PrecisionChoice perChannel(const Dtype &dt);
+};
+
+/** Fig. 8-style energy breakdown (nanojoules). */
+struct EnergyBreakdown
+{
+    double dramNj = 0.0;
+    double bufferNj = 0.0;
+    double coreNj = 0.0;
+
+    double totalNj() const { return dramNj + bufferNj + coreNj; }
+};
+
+/** Simulation output for one (model, task, precision) run. */
+struct RunReport
+{
+    double prefillCycles = 0.0;
+    double decodeCycles = 0.0;
+    EnergyBreakdown energy;
+
+    double totalCycles() const { return prefillCycles + decodeCycles; }
+    double latencyMs(double clock_ghz) const
+    {
+        return totalCycles() / (clock_ghz * 1e6);
+    }
+    /** Energy-delay product in J*s. */
+    double
+    edp(double clock_ghz) const
+    {
+        return energy.totalNj() * 1e-9 * latencyMs(clock_ghz) * 1e-3;
+    }
+};
+
+/** The cycle-level accelerator simulator. */
+class AccelSim
+{
+  public:
+    AccelSim(AccelConfig accel, DramConfig dram = {},
+             SramConfig sram = {});
+
+    const AccelConfig &config() const { return accel_; }
+
+    /** Simulate @p task on @p model at @p precision. */
+    RunReport run(const LlmSpec &model, const TaskSpec &task,
+                  const PrecisionChoice &precision) const;
+
+  private:
+    AccelConfig accel_;
+    DramModel dram_;
+    SramModel sram_;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_ACCEL_PERF_MODEL_HH

@@ -1,0 +1,102 @@
+#include "accel/policy.hh"
+
+#include "common/logging.hh"
+#include "model/proxy.hh"
+#include "model/sampler.hh"
+
+namespace bitmod
+{
+
+namespace
+{
+
+/**
+ * Proxy quality deltas of a per-channel 4-bit datatype on a model:
+ * perplexity delta (Wikitext anchor) and mean accuracy delta.
+ */
+std::pair<double, double>
+perChannelQualityDelta(const Dtype &dt, const LlmSpec &model,
+                       uint64_t seed)
+{
+    SampleConfig scfg;
+    scfg.maxRows = 96;
+    scfg.maxCols = 1024;
+    scfg.seed = seed;
+    const auto layers = sampleModel(model, scfg);
+
+    // Two-point anchors on the same sampled layers: per-group
+    // INT4-Asym and INT3-Asym (matching ModelEvalContext).
+    QuantConfig anchor3Cfg;
+    anchor3Cfg.dtype = dtypes::intAsym(3);
+    const double anchor3 = weightSpaceLoss(layers, rtnQuantFn(anchor3Cfg));
+    QuantConfig anchor4Cfg;
+    anchor4Cfg.dtype = dtypes::intAsym(4);
+    const double anchor4 = weightSpaceLoss(layers, rtnQuantFn(anchor4Cfg));
+
+    QuantConfig cfg;
+    cfg.dtype = dt;
+    cfg.granularity = Granularity::PerChannel;
+    const double loss = weightSpaceLoss(layers, rtnQuantFn(cfg));
+
+    const PerplexityModel ppl(model.anchors.fp16PplWiki, anchor4,
+                              model.anchors.int4AsymPplWiki, anchor3,
+                              model.anchors.int3AsymPplWiki);
+    double accFp16 = 0.0, acc4 = 0.0, acc3 = 0.0;
+    for (int t = 0; t < 3; ++t) {
+        accFp16 += model.anchors.fp16Acc[t] / 3.0;
+        acc4 += model.anchors.int4AsymAcc[t] / 3.0;
+        acc3 += model.anchors.int3AsymAcc[t] / 3.0;
+    }
+    const AccuracyModel acc(accFp16, anchor4, acc4, anchor3, acc3);
+
+    return {ppl.ppl(loss) - model.anchors.fp16PplWiki,
+            accFp16 - acc.accuracy(loss)};
+}
+
+} // namespace
+
+PrecisionChoice
+selectLossyPrecision(const AccelConfig &accel, const LlmSpec &model,
+                     bool generative, const LossyPolicy &policy)
+{
+    switch (accel.kind) {
+      case AccelKind::Fp16Baseline:
+        return PrecisionChoice::fp16();
+      case AccelKind::Bitmod:
+        return PrecisionChoice::bitmod(
+            generative ? dtypes::bitmodFp3() : dtypes::bitmodFp4());
+      case AccelKind::Ant:
+      case AccelKind::Olive: {
+        const Dtype w4 = accel.kind == AccelKind::Ant
+                             ? dtypes::flint(4)
+                             : dtypes::olive(4);
+        const auto [pplDelta, accDelta] =
+            perChannelQualityDelta(w4, model, policy.seed);
+        const bool ok = generative ? pplDelta <= policy.maxPplDelta
+                                   : accDelta <= policy.maxAccDelta;
+        if (ok)
+            return PrecisionChoice::perChannel(w4);
+        return PrecisionChoice::perChannel(dtypes::intSym(8));
+      }
+    }
+    BITMOD_PANIC("unhandled accelerator kind");
+}
+
+PrecisionChoice
+selectLosslessPrecision(const AccelConfig &accel)
+{
+    switch (accel.kind) {
+      case AccelKind::Fp16Baseline:
+        return PrecisionChoice::fp16();
+      case AccelKind::Bitmod: {
+        PrecisionChoice p = PrecisionChoice::bitmod(dtypes::intSym(6));
+        return p;
+      }
+      case AccelKind::Ant:
+      case AccelKind::Olive:
+        return PrecisionChoice::perChannel(dtypes::intSym(8));
+    }
+    BITMOD_PANIC("unhandled accelerator kind");
+}
+
+} // namespace bitmod

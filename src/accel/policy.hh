@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Precision-selection policy: which weight precision each accelerator
+ * actually deploys for a given model and task (Section V-C).
+ *
+ *  - "Lossless": BitMoD runs INT6 per-group (near-zero loss, Table II)
+ *    against the FP16 baseline.
+ *  - "Lossy": BitMoD runs 4-bit (discriminative) / 3-bit (generative)
+ *    BitMoD-FP datatypes.  ANT and OliVe lack per-group
+ *    dequantization hardware, so their candidate precisions are
+ *    per-channel 4-bit (Flint / OliVe-OVP) — accepted only when the
+ *    proxy quality degradation stays within the policy threshold —
+ *    falling back to 8-bit otherwise ("they must adopt a higher weight
+ *    precision to compensate").
+ */
+
+#ifndef BITMOD_ACCEL_POLICY_HH
+#define BITMOD_ACCEL_POLICY_HH
+
+#include "accel/accel_config.hh"
+#include "accel/perf_model.hh"
+#include "model/llm_zoo.hh"
+
+namespace bitmod
+{
+
+/** Quality thresholds for the lossy configurations. */
+struct LossyPolicy
+{
+    /** Max tolerated Wikitext perplexity increase (generative). */
+    double maxPplDelta = 0.5;
+    /** Max tolerated mean zero-shot accuracy drop, in points. */
+    double maxAccDelta = 1.0;
+    /** Sampler seed (quality is evaluated on sampled layers). */
+    uint64_t seed = 0xb17d0d;
+};
+
+/**
+ * Lossy precision for @p accel on @p model.  BitMoD returns its 4-/3-
+ * bit mixture; ANT/OliVe return their 4-bit datatype when the proxy
+ * quality check passes and INT8 otherwise.  The baseline returns FP16.
+ */
+PrecisionChoice selectLossyPrecision(const AccelConfig &accel,
+                                     const LlmSpec &model,
+                                     bool generative,
+                                     const LossyPolicy &policy = {});
+
+/** Lossless precision: FP16 for the baseline, INT6 per-group for
+ *  BitMoD, INT8 for ANT/OliVe. */
+PrecisionChoice selectLosslessPrecision(const AccelConfig &accel);
+
+} // namespace bitmod
+
+#endif // BITMOD_ACCEL_POLICY_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The unified bit-serial term of Eq. (4): every supported weight
+ * datatype decomposes into a short sequence of terms
+ *
+ *     v_term = (-1)^sign * 2^exp * man * 2^bsig
+ *
+ * with a 1-bit mantissa, a small exponent (0..3 in hardware), and a
+ * per-term bit significance.  INT weights produce one term per radix-4
+ * Booth string (Fig. 4a); extended FP4/FP3 weights produce at most two
+ * terms found by leading-one detection on their fixed-point form
+ * (Fig. 4b).
+ */
+
+#ifndef BITMOD_BITSERIAL_TERM_HH
+#define BITMOD_BITSERIAL_TERM_HH
+
+#include <cmath>
+#include <vector>
+
+namespace bitmod
+{
+
+/** One bit-serial weight term. */
+struct BitSerialTerm
+{
+    int sign = 0;  //!< 0 positive, 1 negative
+    int exp = 0;   //!< 2-bit exponent field (0..3)
+    int man = 0;   //!< 1-bit mantissa (0 encodes a null term)
+    int bsig = 0;  //!< bit significance; FP paths may use -1 (the
+                   //!< hardware folds the half-step into the scale)
+
+    /** Real value of the term. */
+    double
+    value() const
+    {
+        if (man == 0)
+            return 0.0;
+        const double v = std::ldexp(1.0, exp + bsig);
+        return sign ? -v : v;
+    }
+};
+
+/** Sum of a term sequence (verification helper). */
+double recomposeTerms(const std::vector<BitSerialTerm> &terms);
+
+} // namespace bitmod
+
+#endif // BITMOD_BITSERIAL_TERM_HH

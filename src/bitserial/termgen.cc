@@ -1,0 +1,150 @@
+#include "bitserial/termgen.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "numeric/booth.hh"
+
+namespace bitmod
+{
+
+double
+recomposeTerms(const std::vector<BitSerialTerm> &terms)
+{
+    double sum = 0.0;
+    for (const auto &t : terms)
+        sum += t.value();
+    return sum;
+}
+
+std::vector<BitSerialTerm>
+termsForInt(int value, int bits)
+{
+    const auto digits = boothEncode(value, bits);
+    std::vector<BitSerialTerm> terms;
+    terms.reserve(digits.size());
+    for (const auto &d : digits) {
+        BitSerialTerm t;
+        t.bsig = d.bsig;
+        if (d.digit == 0) {
+            t.man = 0;  // null term: the PE still spends the cycle
+        } else {
+            t.man = 1;
+            t.sign = d.digit < 0 ? 1 : 0;
+            t.exp = (d.digit == 2 || d.digit == -2) ? 1 : 0;
+        }
+        terms.push_back(t);
+    }
+    return terms;
+}
+
+std::vector<BitSerialTerm>
+termsForFixedPoint(double grid_value)
+{
+    // Scale to halves: I3..I0.F0 fixed point becomes a 6-bit signed
+    // integer in halves.
+    const double halves = grid_value * 2.0;
+    BITMOD_ASSERT(std::fabs(halves - std::nearbyint(halves)) < 1e-9,
+                  "grid value ", grid_value,
+                  " not representable in I4.F1 fixed point");
+    int mag2 = static_cast<int>(std::fabs(std::nearbyint(halves)));
+    BITMOD_ASSERT(mag2 <= 31, "grid value ", grid_value,
+                  " exceeds the fixed-point range");
+    const int sign = grid_value < 0.0 ? 1 : 0;
+
+    // Non-adjacent form of mag2: minimal signed-binary recoding.  For
+    // every Table IV value this emits <= 2 non-zero digits (and the
+    // LOD hardware extracts exactly those bits).
+    std::vector<BitSerialTerm> terms;
+    int k = 0;
+    while (mag2 != 0) {
+        if (mag2 & 1) {
+            int digit = 2 - (mag2 & 3);  // +-1, choosing NAF
+            mag2 -= digit;
+            BitSerialTerm t;
+            t.man = 1;
+            t.sign = (digit < 0) != (sign == 1) ? 1 : 0;
+            // weight of bit k in halves = 2^(k-1)
+            t.exp = 0;
+            t.bsig = k - 1;
+            terms.push_back(t);
+        }
+        mag2 >>= 1;
+        ++k;
+    }
+    // Pad with null terms up to the fixed 2-cycle budget so cycle
+    // accounting matches the hardware.
+    while (terms.size() < 2) {
+        BitSerialTerm t;
+        t.man = 0;
+        terms.push_back(t);
+    }
+    BITMOD_ASSERT(terms.size() <= 2,
+                  "extended-FP value ", grid_value, " needs ",
+                  terms.size(), " terms; decoder supports 2");
+    return terms;
+}
+
+std::vector<BitSerialTerm>
+termsForWeight(double qvalue, const Dtype &dt)
+{
+    switch (dt.kind) {
+      case DtypeKind::IntAsym:
+        // The caller passes the zero-point-subtracted value (q - z),
+        // which spans bits+1 in two's complement.
+        return termsForInt(static_cast<int>(qvalue), dt.bits + 1);
+      case DtypeKind::IntSym:
+      case DtypeKind::OliveOvp:
+        // OliVe normals are INT; its abfloat outliers are not
+        // BitMoD-decodable and are handled by OliVe's own hardware.
+        return termsForInt(static_cast<int>(qvalue), dt.bits);
+      case DtypeKind::NonLinear:
+      case DtypeKind::Mx:
+        return termsForFixedPoint(qvalue);
+      case DtypeKind::Identity:
+        BITMOD_FATAL("FP16 weights are not bit-serial decoded");
+    }
+    BITMOD_PANIC("unhandled dtype kind");
+}
+
+int
+termsPerWeight(const Dtype &dt)
+{
+    switch (dt.kind) {
+      case DtypeKind::IntSym:
+        return boothDigitCount(dt.bits);
+      case DtypeKind::IntAsym:
+        // Asymmetric integers carry a zero-point; the PE processes the
+        // (value - z) difference, which still spans `bits + 1` two's
+        // complement -> same Booth string count as bits for b <= 8
+        // when b is even, one more when odd.  We use the conservative
+        // boothDigitCount(bits + 1).
+        return boothDigitCount(dt.bits + 1);
+      case DtypeKind::OliveOvp:
+        return boothDigitCount(dt.bits);
+      case DtypeKind::NonLinear:
+      case DtypeKind::Mx:
+        return 2;
+      case DtypeKind::Identity:
+        BITMOD_FATAL("FP16 weights are not bit-serial decoded");
+    }
+    BITMOD_PANIC("unhandled dtype kind");
+}
+
+void
+SpecialValueRegFile::program(const std::vector<double> &values)
+{
+    BITMOD_ASSERT(values.size() <= 4, "SV_reg holds at most 4 values");
+    for (size_t i = 0; i < 4; ++i)
+        values_[i] = i < values.size() ? values[i] : 0.0;
+}
+
+double
+SpecialValueRegFile::select(int index) const
+{
+    BITMOD_ASSERT(index >= 0 && index < 4, "SV index out of range: ",
+                  index);
+    return values_[index];
+}
+
+} // namespace bitmod

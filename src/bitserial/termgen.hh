@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bit-serial term generation: the software model of the tile-level
+ * "bit-serial term generator" block (Fig. 6).
+ *
+ * INT datatypes go through the Booth encoder (one term per Booth
+ * string, including null strings: the PE spends a cycle per string, so
+ * INT8 = 4 cycles, INT6 = 3, INT4/INT3 = 2).  Extended FP datatypes are
+ * first converted to sign-magnitude fixed point I3..I0.F0 (after the
+ * special-value register substitutes the redundant -0 code), then
+ * decomposed by leading-one detection; every value of Table IV has at
+ * most two set bits, so two terms always suffice.  For programmable
+ * special values with three or more set bits (e.g. 7) the generator
+ * falls back to a non-adjacent-form recoding, which the paper notes
+ * needs only a simple decoder modification (7 = 8 - 1).
+ */
+
+#ifndef BITMOD_BITSERIAL_TERMGEN_HH
+#define BITMOD_BITSERIAL_TERMGEN_HH
+
+#include <vector>
+
+#include "bitserial/term.hh"
+#include "quant/dtype.hh"
+
+namespace bitmod
+{
+
+/** Booth-encode an integer weight (two's complement, @p bits wide). */
+std::vector<BitSerialTerm> termsForInt(int value, int bits);
+
+/**
+ * Decompose an extended-FP grid value (basic FP4/FP3 or a special
+ * value; in halves, i.e. value*2 must be an integer in [-31, 31]) into
+ * bit-serial terms via LOD / NAF recoding.
+ */
+std::vector<BitSerialTerm> termsForFixedPoint(double grid_value);
+
+/**
+ * Terms for one weight of datatype @p dt holding pre-scale quantized
+ * value @p qvalue (integer for INT kinds, grid value for FP kinds).
+ */
+std::vector<BitSerialTerm> termsForWeight(double qvalue, const Dtype &dt);
+
+/**
+ * Cycles the PE spends per weight of this datatype — the fixed term
+ * count (no term skipping): INT8 -> 4, INT6 -> 3, INT5 -> 3,
+ * INT4/INT3 -> 2, extended FP4/FP3 -> 2.
+ */
+int termsPerWeight(const Dtype &dt);
+
+/**
+ * The special-value register file (SV_reg in Fig. 4b): four
+ * programmable low-precision values, one-time programmed per model,
+ * selected by the 2-bit per-group metadata.
+ */
+class SpecialValueRegFile
+{
+  public:
+    SpecialValueRegFile() = default;
+
+    /** Program the four entries (pads/truncates to 4). */
+    void program(const std::vector<double> &values);
+
+    /** Selected special value for a group's 2-bit selector. */
+    double select(int index) const;
+
+    int size() const { return 4; }
+
+  private:
+    double values_[4] = {0, 0, 0, 0};
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_BITSERIAL_TERMGEN_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can capture state.
+ * fatal()  — the simulation cannot continue due to a user error (bad
+ *            configuration, invalid argument); exits with status 1.
+ * warn()   — something works but not as well as it should.
+ * inform() — neutral status for the user.
+ */
+
+#ifndef BITMOD_COMMON_LOGGING_HH
+#define BITMOD_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace bitmod
+{
+
+namespace detail
+{
+
+/** Stream a pack of arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort on an internal invariant violation. */
+#define BITMOD_PANIC(...) \
+    ::bitmod::detail::panicImpl(__FILE__, __LINE__, \
+                                ::bitmod::detail::concat(__VA_ARGS__))
+
+/** Exit(1) on an unrecoverable user/configuration error. */
+#define BITMOD_FATAL(...) \
+    ::bitmod::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::bitmod::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning about suspect behaviour. */
+#define BITMOD_WARN(...) \
+    ::bitmod::detail::warnImpl(::bitmod::detail::concat(__VA_ARGS__))
+
+/** Informational status message. */
+#define BITMOD_INFORM(...) \
+    ::bitmod::detail::informImpl(::bitmod::detail::concat(__VA_ARGS__))
+
+/**
+ * Library-internal assertion that survives NDEBUG builds.  Use for
+ * invariants whose violation indicates a bug in bitmod itself.
+ */
+#define BITMOD_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            BITMOD_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+} // namespace bitmod
+
+#endif // BITMOD_COMMON_LOGGING_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the library (synthetic weights,
+ * calibration activations, workload jitter) draw from Rng so that every
+ * experiment is exactly reproducible from a printed seed.  The core is
+ * xoshiro256** seeded via SplitMix64, which is fast, high quality, and
+ * trivially portable — we deliberately avoid std::mt19937 so the stream
+ * is stable across standard library implementations.
+ */
+
+#ifndef BITMOD_COMMON_RNG_HH
+#define BITMOD_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace bitmod
+{
+
+/** xoshiro256** generator with distribution helpers. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via SplitMix64. */
+    void
+    reseed(uint64_t seed)
+    {
+        for (auto &word : state_)
+            word = splitMix64(seed);
+        haveCachedGauss_ = false;
+    }
+
+    /** Next raw 64-bit draw. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Standard normal via Marsaglia polar method (cached pair). */
+    double
+    gaussian()
+    {
+        if (haveCachedGauss_) {
+            haveCachedGauss_ = false;
+            return cachedGauss_;
+        }
+        double u, v, s;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double scale = std::sqrt(-2.0 * std::log(s) / s);
+        cachedGauss_ = v * scale;
+        haveCachedGauss_ = true;
+        return u * scale;
+    }
+
+    /** Normal with explicit mean / standard deviation. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        return mean + stddev * gaussian();
+    }
+
+    /**
+     * Student-t with @p dof degrees of freedom; heavy-tailed samples used
+     * to model LLM weight outliers.
+     */
+    double
+    studentT(double dof)
+    {
+        // t = Z / sqrt(ChiSq(dof) / dof); ChiSq built from Gaussians via
+        // the Gamma(dof/2, 2) relation using Marsaglia-Tsang squeeze.
+        const double z = gaussian();
+        const double chi = gammaSample(0.5 * dof) * 2.0;
+        return z / std::sqrt(chi / dof);
+    }
+
+    /** Log-normal draw: exp(N(mu, sigma)). */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(gaussian(mu, sigma));
+    }
+
+    /** Bernoulli trial with probability p of true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** SplitMix64 step used for seeding; advances @p x. */
+    static uint64_t
+    splitMix64(uint64_t &x)
+    {
+        uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Gamma(shape, 1) via Marsaglia-Tsang; shape > 0. */
+    double
+    gammaSample(double shape)
+    {
+        if (shape < 1.0) {
+            // Boost small shapes: Gamma(a) = Gamma(a+1) * U^(1/a).
+            const double u = uniform();
+            return gammaSample(shape + 1.0) * std::pow(u, 1.0 / shape);
+        }
+        const double d = shape - 1.0 / 3.0;
+        const double c = 1.0 / std::sqrt(9.0 * d);
+        while (true) {
+            double x, v;
+            do {
+                x = gaussian();
+                v = 1.0 + c * x;
+            } while (v <= 0.0);
+            v = v * v * v;
+            const double u = uniform();
+            if (u < 1.0 - 0.0331 * x * x * x * x)
+                return d * v;
+            if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+                return d * v;
+        }
+    }
+
+    uint64_t state_[4] = {};
+    double cachedGauss_ = 0.0;
+    bool haveCachedGauss_ = false;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_COMMON_RNG_HH

@@ -1,0 +1,106 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+namespace
+{
+
+template <typename T>
+SampleStats
+computeStatsImpl(std::span<const T> xs)
+{
+    SampleStats s;
+    s.count = xs.size();
+    if (xs.empty())
+        return s;
+
+    double sum = 0.0;
+    s.min = s.max = static_cast<double>(xs[0]);
+    for (const T x : xs) {
+        const double v = static_cast<double>(x);
+        sum += v;
+        if (v < s.min) s.min = v;
+        if (v > s.max) s.max = v;
+    }
+    s.mean = sum / static_cast<double>(xs.size());
+
+    double sq = 0.0;
+    for (const T x : xs) {
+        const double d = static_cast<double>(x) - s.mean;
+        sq += d * d;
+    }
+    s.stddev = std::sqrt(sq / static_cast<double>(xs.size()));
+    s.absMax = std::max(std::fabs(s.min), std::fabs(s.max));
+    s.range = s.max - s.min;
+    return s;
+}
+
+} // namespace
+
+SampleStats
+computeStats(std::span<const float> xs)
+{
+    return computeStatsImpl(xs);
+}
+
+SampleStats
+computeStats(std::span<const double> xs)
+{
+    return computeStatsImpl(xs);
+}
+
+double
+meanSquareError(std::span<const float> a, std::span<const float> b)
+{
+    BITMOD_ASSERT(a.size() == b.size(),
+                  "MSE requires equal sizes, got ", a.size(), " vs ",
+                  b.size());
+    if (a.empty())
+        return 0.0;
+    double sq = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) -
+                         static_cast<double>(b[i]);
+        sq += d * d;
+    }
+    return sq / static_cast<double>(a.size());
+}
+
+double
+normalizedMse(std::span<const float> a, std::span<const float> b)
+{
+    BITMOD_ASSERT(a.size() == b.size(),
+                  "NMSE requires equal sizes, got ", a.size(), " vs ",
+                  b.size());
+    double err = 0.0, ref = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) -
+                         static_cast<double>(b[i]);
+        err += d * d;
+        ref += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+    }
+    if (ref == 0.0)
+        return err == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    return err / ref;
+}
+
+double
+geoMean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (const double x : xs) {
+        BITMOD_ASSERT(x > 0.0, "geoMean requires positive values, got ", x);
+        logSum += std::log(x);
+    }
+    return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+} // namespace bitmod

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Descriptive statistics over value spans, shared by the synthetic
+ * weight analysis (Fig. 2), the quantization-error studies (Fig. 3),
+ * and the simulator's stat counters.
+ */
+
+#ifndef BITMOD_COMMON_STATS_HH
+#define BITMOD_COMMON_STATS_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bitmod
+{
+
+/** Summary statistics of a sample. */
+struct SampleStats
+{
+    size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;   //!< population standard deviation
+    double min = 0.0;
+    double max = 0.0;
+    double absMax = 0.0;   //!< max |x|
+    double range = 0.0;    //!< max - min
+};
+
+/** Compute SampleStats over @p xs (empty input yields zeros). */
+SampleStats computeStats(std::span<const float> xs);
+SampleStats computeStats(std::span<const double> xs);
+
+/** Mean squared error between two equally sized spans. */
+double meanSquareError(std::span<const float> a, std::span<const float> b);
+
+/**
+ * Normalized MSE: ||a-b||^2 / ||a||^2.  Returns 0 for an all-zero
+ * reference with a zero error, and +inf for a zero reference with error.
+ */
+double normalizedMse(std::span<const float> a, std::span<const float> b);
+
+/** Simple running average/total accumulator for simulator counters. */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        total_ += x;
+        ++count_;
+        if (count_ == 1 || x < min_) min_ = x;
+        if (count_ == 1 || x > max_) max_ = x;
+    }
+
+    double total() const { return total_; }
+    size_t count() const { return count_; }
+    double mean() const { return count_ ? total_ / count_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    double total_ = 0.0;
+    size_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Geometric mean of a list of positive values (0 for empty). */
+double geoMean(std::span<const double> xs);
+
+} // namespace bitmod
+
+#endif // BITMOD_COMMON_STATS_HH

@@ -1,0 +1,107 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace bitmod
+{
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();  // empty row encodes a separator
+}
+
+void
+TextTable::addNote(std::string note)
+{
+    notes_.push_back(std::move(note));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    if (std::isinf(value))
+        return value > 0 ? "inf" : "-inf";
+    if (std::isnan(value))
+        return "nan";
+    char buf[64];
+    if (std::fabs(value) >= 1e5)
+        std::snprintf(buf, sizeof(buf), "%.3g", value);
+    else
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    // Column widths across header and all rows.
+    size_t ncols = header_.size();
+    for (const auto &row : rows_)
+        ncols = std::max(ncols, row.size());
+
+    std::vector<size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    size_t total = 0;
+    for (size_t w : width)
+        total += w + 3;
+
+    std::ostringstream out;
+    out << "== " << title_ << " ==\n";
+
+    auto emitRule = [&]() {
+        out << std::string(total, '-') << "\n";
+    };
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < ncols; ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            out << cell << std::string(width[c] - cell.size() + 3, ' ');
+        }
+        out << "\n";
+    };
+
+    if (!header_.empty()) {
+        emitRow(header_);
+        emitRule();
+    }
+    for (const auto &row : rows_) {
+        if (row.empty())
+            emitRule();
+        else
+            emitRow(row);
+    }
+    for (const auto &note : notes_)
+        out << "  * " << note << "\n";
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::cout << render() << std::endl;
+}
+
+} // namespace bitmod

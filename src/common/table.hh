@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table rendering used by the bench harnesses so every
+ * reproduced paper table/figure prints with aligned, labelled columns.
+ */
+
+#ifndef BITMOD_COMMON_TABLE_HH
+#define BITMOD_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace bitmod
+{
+
+/** Column-aligned text table with a title and optional footnotes. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row (column names). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row; ragged rows are padded with "". */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator between row groups. */
+    void addSeparator();
+
+    /** Append a footnote line printed under the table. */
+    void addNote(std::string note);
+
+    /** Render to a string. */
+    std::string render() const;
+
+    /** Render directly to stdout. */
+    void print() const;
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string num(double value, int precision = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;  //!< empty row = separator
+    std::vector<std::string> notes_;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_COMMON_TABLE_HH

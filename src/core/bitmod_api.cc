@@ -1,0 +1,64 @@
+#include "core/bitmod_api.hh"
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+QuantConfig
+bitmodConfig(int bits, int group_size)
+{
+    BITMOD_ASSERT(bits == 3 || bits == 4,
+                  "BitMoD datatypes exist at 3 and 4 bits, got ", bits);
+    QuantConfig cfg;
+    cfg.dtype = bits == 3 ? dtypes::bitmodFp3() : dtypes::bitmodFp4();
+    cfg.granularity = Granularity::PerGroup;
+    cfg.groupSize = group_size;
+    cfg.scaleBits = 8;
+    return cfg;
+}
+
+QuantizedTensor
+bitmodQuantize(const Matrix &weights, int bits, int group_size)
+{
+    return quantizeMatrix(weights, bitmodConfig(bits, group_size));
+}
+
+AccelConfig
+accelByName(const std::string &name)
+{
+    if (name == "Baseline-FP16")
+        return makeFp16Baseline();
+    if (name == "ANT")
+        return makeAnt();
+    if (name == "OliVe")
+        return makeOlive();
+    if (name == "BitMoD")
+        return makeBitmod();
+    BITMOD_FATAL("unknown accelerator: '", name, "'");
+}
+
+DeploymentSummary
+simulateDeployment(const std::string &accel_name,
+                   const std::string &model_name, bool generative,
+                   bool lossless)
+{
+    const AccelConfig accel = accelByName(accel_name);
+    const LlmSpec &model = llmByName(model_name);
+    const TaskSpec task = generative ? TaskSpec::generative()
+                                     : TaskSpec::discriminative();
+    const PrecisionChoice precision =
+        lossless ? selectLosslessPrecision(accel)
+                 : selectLossyPrecision(accel, model, generative);
+
+    const AccelSim sim(accel);
+    DeploymentSummary s;
+    s.accelerator = accel.name;
+    s.model = model.name;
+    s.precision = precision;
+    s.report = sim.run(model, task, precision);
+    s.clockGhz = accel.clockGhz;
+    return s;
+}
+
+} // namespace bitmod

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The top-level BitMoD public API — what a downstream user calls to
+ * (1) quantize weights with the BitMoD mixture-of-datatype scheme,
+ * (2) estimate model quality via the proxy evaluation, and
+ * (3) simulate deployment on the BitMoD accelerator or a baseline.
+ *
+ * Everything here is a thin, stable facade over the per-module APIs
+ * (quant/, model/, accel/), which remain available for power users.
+ */
+
+#ifndef BITMOD_CORE_BITMOD_API_HH
+#define BITMOD_CORE_BITMOD_API_HH
+
+#include <string>
+
+#include "accel/perf_model.hh"
+#include "accel/policy.hh"
+#include "model/llm_zoo.hh"
+#include "quant/quantizer.hh"
+#include "tensor/matrix.hh"
+
+namespace bitmod
+{
+
+/**
+ * Quantize a weight matrix with the BitMoD datatype at @p bits (3 or
+ * 4), per-group granularity (group 128), INT8 second-level scales —
+ * the paper's deployment configuration.
+ */
+QuantizedTensor bitmodQuantize(const Matrix &weights, int bits,
+                               int group_size = 128);
+
+/** The QuantConfig behind bitmodQuantize, for composition. */
+QuantConfig bitmodConfig(int bits, int group_size = 128);
+
+/** Result of a deployment simulation. */
+struct DeploymentSummary
+{
+    std::string accelerator;
+    std::string model;
+    PrecisionChoice precision;
+    RunReport report;
+    double clockGhz = 1.0;
+
+    double latencyMs() const { return report.latencyMs(clockGhz); }
+    double energyMj() const { return report.energy.totalNj() * 1e-6; }
+    double edp() const { return report.edp(clockGhz); }
+};
+
+/**
+ * Simulate running @p model_name on @p accel_name ("Baseline-FP16",
+ * "ANT", "OliVe", "BitMoD").
+ *
+ * @param generative true = 256:256 generative task, false = 256:1
+ *                   discriminative task
+ * @param lossless   true = lossless precision policy (INT6 BitMoD),
+ *                   false = lossy (4-/3-bit BitMoD, quality-gated
+ *                   4-/8-bit ANT & OliVe)
+ */
+DeploymentSummary simulateDeployment(const std::string &accel_name,
+                                     const std::string &model_name,
+                                     bool generative, bool lossless);
+
+/** Accelerator factory by name; fatal on unknown names. */
+AccelConfig accelByName(const std::string &name);
+
+} // namespace bitmod
+
+#endif // BITMOD_CORE_BITMOD_API_HH

@@ -1,0 +1,94 @@
+#include "core/experiments.hh"
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+ModelEvalContext::ModelEvalContext(const LlmSpec &model,
+                                   const SampleConfig &cfg,
+                                   int loss_mode)
+    : model_(&model), lossMode_(loss_mode)
+{
+    BITMOD_ASSERT(loss_mode == 0 || loss_mode == 1, "bad loss mode");
+    BITMOD_ASSERT(loss_mode == 0 || cfg.calibSamples > 0,
+                  "calibrated loss mode needs calibration samples");
+    layers_ = sampleModel(model, cfg);
+
+    // Anchors: per-group INT3-Asym and INT4-Asym RTN losses measured
+    // on the sampled layers, paired with the paper's Table VI / VII
+    // rows for those exact configurations (two-point calibration).
+    QuantConfig anchorCfg;
+    anchorCfg.dtype = dtypes::intAsym(3);
+    anchorLoss_ = loss(rtnQuantFn(anchorCfg));
+    QuantConfig anchor4Cfg;
+    anchor4Cfg.dtype = dtypes::intAsym(4);
+    const double anchor4Loss = loss(rtnQuantFn(anchor4Cfg));
+
+    pplWiki_ = std::make_unique<PerplexityModel>(
+        model.anchors.fp16PplWiki, anchor4Loss,
+        model.anchors.int4AsymPplWiki, anchorLoss_,
+        model.anchors.int3AsymPplWiki);
+    pplC4_ = std::make_unique<PerplexityModel>(
+        model.anchors.fp16PplC4, anchor4Loss,
+        model.anchors.int4AsymPplC4, anchorLoss_,
+        model.anchors.int3AsymPplC4);
+    for (int t = 0; t < 3; ++t)
+        acc_.emplace_back(model.anchors.fp16Acc[t], anchor4Loss,
+                          model.anchors.int4AsymAcc[t], anchorLoss_,
+                          model.anchors.int3AsymAcc[t]);
+}
+
+double
+ModelEvalContext::loss(const QuantFn &fn) const
+{
+    return lossMode_ == 0 ? weightSpaceLoss(layers_, fn)
+                          : calibratedLoss(layers_, fn);
+}
+
+double
+ModelEvalContext::rtnLoss(const QuantConfig &cfg) const
+{
+    return loss(rtnQuantFn(cfg));
+}
+
+double
+ModelEvalContext::pplWiki(double loss) const
+{
+    return pplWiki_->ppl(loss);
+}
+
+double
+ModelEvalContext::pplC4(double loss) const
+{
+    return pplC4_->ppl(loss);
+}
+
+double
+ModelEvalContext::accuracy(int task, double loss) const
+{
+    BITMOD_ASSERT(task >= 0 && task < 3, "task index out of range");
+    return acc_[static_cast<size_t>(task)].accuracy(loss);
+}
+
+SampleConfig
+rtnSweepConfig()
+{
+    SampleConfig cfg;
+    cfg.maxRows = 96;
+    cfg.maxCols = 2048;
+    cfg.calibSamples = 0;
+    return cfg;
+}
+
+SampleConfig
+methodSweepConfig()
+{
+    SampleConfig cfg;
+    cfg.maxRows = 64;
+    cfg.maxCols = 512;
+    cfg.calibSamples = 128;
+    return cfg;
+}
+
+} // namespace bitmod

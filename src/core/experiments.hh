@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared experiment drivers used by the bench binaries: a per-model
+ * evaluation context that samples layers once, measures losses for any
+ * quantization function, and maps them through the anchored proxy
+ * perplexity / accuracy models (DESIGN.md section 1).
+ */
+
+#ifndef BITMOD_CORE_EXPERIMENTS_HH
+#define BITMOD_CORE_EXPERIMENTS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/llm_zoo.hh"
+#include "model/proxy.hh"
+#include "model/sampler.hh"
+#include "quant/quantizer.hh"
+
+namespace bitmod
+{
+
+/**
+ * Everything needed to evaluate quantization schemes on one model:
+ * sampled layers, the measured anchor loss (per-group INT3-Asym RTN),
+ * and the anchored perplexity/accuracy maps for both datasets and all
+ * three zero-shot tasks.
+ */
+class ModelEvalContext
+{
+  public:
+    /**
+     * @param loss_mode 0 = weight-space loss, 1 = calibrated loss
+     *                  (requires cfg.calibSamples > 0)
+     */
+    ModelEvalContext(const LlmSpec &model, const SampleConfig &cfg,
+                     int loss_mode = 0);
+
+    const LlmSpec &spec() const { return *model_; }
+    const std::vector<EvalLayer> &layers() const { return layers_; }
+
+    /** Measured loss of a quantization function on this model. */
+    double loss(const QuantFn &fn) const;
+
+    /** Loss of plain RTN with @p cfg. */
+    double rtnLoss(const QuantConfig &cfg) const;
+
+    double anchorLoss() const { return anchorLoss_; }
+
+    /** Proxy Wikitext-2 perplexity for a measured loss. */
+    double pplWiki(double loss) const;
+    /** Proxy C4 perplexity for a measured loss. */
+    double pplC4(double loss) const;
+    /** Proxy accuracy for task 0=HellaSwag, 1=WinoGrande, 2=Piqa. */
+    double accuracy(int task, double loss) const;
+
+  private:
+    const LlmSpec *model_;
+    std::vector<EvalLayer> layers_;
+    int lossMode_;
+    double anchorLoss_ = 0.0;
+    std::unique_ptr<PerplexityModel> pplWiki_;
+    std::unique_ptr<PerplexityModel> pplC4_;
+    std::vector<AccuracyModel> acc_;
+};
+
+/** Default sampler settings for RTN datatype sweeps (fast). */
+SampleConfig rtnSweepConfig();
+
+/** Sampler settings for calibration-aware method sweeps (Table XI). */
+SampleConfig methodSweepConfig();
+
+} // namespace bitmod
+
+#endif // BITMOD_CORE_EXPERIMENTS_HH

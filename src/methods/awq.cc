@@ -1,0 +1,99 @@
+#include "methods/awq.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "tensor/linalg.hh"
+
+namespace bitmod
+{
+
+namespace
+{
+
+/** Mean absolute activation magnitude per input channel. */
+std::vector<double>
+channelMagnitude(const Matrix &x)
+{
+    std::vector<double> mag(x.cols(), 0.0);
+    for (size_t s = 0; s < x.rows(); ++s)
+        for (size_t c = 0; c < x.cols(); ++c)
+            mag[c] += std::fabs(x(s, c));
+    for (auto &m : mag)
+        m = m / static_cast<double>(x.rows()) + 1e-8;
+    return mag;
+}
+
+} // namespace
+
+Matrix
+awqQuantize(const Matrix &w, const Matrix &x, const QuantConfig &cfg,
+            const AwqConfig &acfg)
+{
+    BITMOD_ASSERT(x.cols() == w.cols(),
+                  "AWQ calibration dim mismatch: ", x.cols(), " vs ",
+                  w.cols());
+    BITMOD_ASSERT(acfg.alphaSteps >= 1, "alphaSteps must be >= 1");
+
+    const auto mag = channelMagnitude(x);
+    Matrix h = gram(x);
+    dampDiagonal(h, 0.01);
+    const double refEnergy = quadraticForm(w, h);
+
+    Matrix best;
+    double bestErr = std::numeric_limits<double>::infinity();
+
+    Matrix scaled(w.rows(), w.cols());
+    Matrix err(w.rows(), w.cols());
+    for (int step = 0; step <= acfg.alphaSteps; ++step) {
+        const double alpha =
+            static_cast<double>(step) / acfg.alphaSteps;
+        // s_j = mag_j^alpha, normalized so the geometric mean is 1
+        // (keeps group scales in a sane range).
+        std::vector<double> s(w.cols());
+        double logSum = 0.0;
+        for (size_t j = 0; j < w.cols(); ++j) {
+            s[j] = std::pow(mag[j], alpha);
+            logSum += std::log(s[j]);
+        }
+        const double norm =
+            std::exp(logSum / static_cast<double>(w.cols()));
+        for (auto &v : s)
+            v /= norm;
+
+        for (size_t r = 0; r < w.rows(); ++r)
+            for (size_t j = 0; j < w.cols(); ++j)
+                scaled(r, j) = static_cast<float>(w(r, j) * s[j]);
+
+        const Matrix q = quantizeMatrix(scaled, cfg).dequant;
+
+        // Effective weights after folding the scales back.
+        Matrix eff(w.rows(), w.cols());
+        for (size_t r = 0; r < w.rows(); ++r)
+            for (size_t j = 0; j < w.cols(); ++j)
+                eff(r, j) = static_cast<float>(q(r, j) / s[j]);
+
+        for (size_t i = 0; i < w.size(); ++i)
+            err.flat()[i] = w.flat()[i] - eff.flat()[i];
+        const double outErr = quadraticForm(err, h) /
+                              std::max(refEnergy, 1e-30);
+        if (outErr < bestErr) {
+            bestErr = outErr;
+            best = std::move(eff);
+        }
+    }
+    return best;
+}
+
+QuantFn
+awqFn(const QuantConfig &cfg, const AwqConfig &acfg)
+{
+    return [cfg, acfg](const EvalLayer &layer) {
+        BITMOD_ASSERT(!layer.calibration.empty(),
+                      "AWQ requires calibration data for ", layer.name);
+        return awqQuantize(layer.weights, layer.calibration, cfg, acfg);
+    };
+}
+
+} // namespace bitmod

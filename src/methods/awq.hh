@@ -1,0 +1,44 @@
+/**
+ * @file
+ * AWQ-lite (Lin et al.): activation-aware weight quantization.
+ *
+ * Salient input channels (those with large calibration activation
+ * magnitudes) are protected by scaling the corresponding weight
+ * columns up before quantization and folding the inverse scale into
+ * the activation path: s_j = mean|X_j|^alpha, W'[:,j] = W[:,j]*s_j.
+ * The exponent alpha is grid-searched to minimize the calibrated
+ * output error, exactly AWQ's one-hyperparameter search.  The folded
+ * scales only perturb the per-group scale factors, so the BitMoD
+ * accelerator runs the result unchanged (Section V-E).
+ */
+
+#ifndef BITMOD_METHODS_AWQ_HH
+#define BITMOD_METHODS_AWQ_HH
+
+#include "model/proxy.hh"
+#include "quant/quantizer.hh"
+
+namespace bitmod
+{
+
+/** AWQ hyper-parameters. */
+struct AwqConfig
+{
+    int alphaSteps = 20;  //!< grid resolution over alpha in [0, 1]
+};
+
+/**
+ * Quantize @p w with per-input-channel scaling searched against the
+ * calibration set @p x (n x D).  Returns the *effective* dequantized
+ * weights W_eff[:,j] = Q(W[:,j] * s_j) / s_j, i.e. what the layer
+ * computes after the activation-side folding.
+ */
+Matrix awqQuantize(const Matrix &w, const Matrix &x,
+                   const QuantConfig &cfg, const AwqConfig &acfg = {});
+
+/** QuantFn adaptor using the layer's calibration data. */
+QuantFn awqFn(const QuantConfig &cfg, const AwqConfig &acfg = {});
+
+} // namespace bitmod
+
+#endif // BITMOD_METHODS_AWQ_HH

@@ -1,0 +1,85 @@
+#include "methods/gptq.hh"
+
+#include "common/logging.hh"
+#include "tensor/linalg.hh"
+
+namespace bitmod
+{
+
+Matrix
+gptqQuantize(const Matrix &w, const Matrix &hessian,
+             const QuantConfig &cfg, const GptqConfig &gcfg)
+{
+    const size_t k = w.rows(), d = w.cols();
+    BITMOD_ASSERT(hessian.rows() == d && hessian.cols() == d,
+                  "GPTQ Hessian shape mismatch");
+
+    // Identity datatype: nothing to do.
+    if (cfg.dtype.kind == DtypeKind::Identity)
+        return w;
+
+    Matrix h = hessian;
+    dampDiagonal(h, gcfg.dampPercent);
+    const Matrix u = gptqInverseFactor(h);  // H^-1 = U^T U, U upper
+
+    // Effective group extent.
+    size_t groupSize;
+    switch (cfg.granularity) {
+      case Granularity::PerTensor:
+      case Granularity::PerChannel:
+        groupSize = d;
+        break;
+      case Granularity::PerGroup:
+        groupSize = static_cast<size_t>(
+            cfg.dtype.kind == DtypeKind::Mx ? 32 : cfg.groupSize);
+        break;
+      default:
+        BITMOD_PANIC("unhandled granularity");
+    }
+    BITMOD_ASSERT(d % groupSize == 0, "cols ", d,
+                  " not divisible by group ", groupSize);
+
+    Matrix work = w;   // residual-updated weights
+    Matrix out(k, d);  // dequantized result
+    std::vector<EncodedGroup> groupEnc(k);
+
+    for (size_t j = 0; j < d; ++j) {
+        // Freeze per-row group encodings (scale / zero-point / special
+        // value) from the *updated* weights at each group boundary.
+        if (j % groupSize == 0) {
+            const size_t g = j / groupSize;
+            for (size_t r = 0; r < k; ++r)
+                groupEnc[r] =
+                    encodeGroup(work.group(r, g, groupSize), cfg);
+        }
+
+        const double ujj = u(j, j);
+        for (size_t r = 0; r < k; ++r) {
+            const float wv = work(r, j);
+            const float qv = quantizeValueInGroup(wv, groupEnc[r], cfg);
+            out(r, j) = qv;
+            // Error feedback: w[r, j+1..] -= e/U[j,j] * U[j, j+1..].
+            const double e = (static_cast<double>(wv) - qv) / ujj;
+            if (e == 0.0)
+                continue;
+            float *row = work.data() + r * d;
+            const float *urow = u.data() + j * d;
+            for (size_t c = j + 1; c < d; ++c)
+                row[c] -= static_cast<float>(e * urow[c]);
+        }
+    }
+    return out;
+}
+
+QuantFn
+gptqFn(const QuantConfig &cfg, const GptqConfig &gcfg)
+{
+    return [cfg, gcfg](const EvalLayer &layer) {
+        BITMOD_ASSERT(!layer.calibration.empty(),
+                      "GPTQ requires calibration data for ", layer.name);
+        const Matrix h = gram(layer.calibration);
+        return gptqQuantize(layer.weights, h, cfg, gcfg);
+    };
+}
+
+} // namespace bitmod

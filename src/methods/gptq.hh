@@ -1,0 +1,44 @@
+/**
+ * @file
+ * GPTQ (Frantar et al.): Hessian-aware post-training quantization with
+ * column-by-column error feedback.
+ *
+ * For every layer, H = X^T X is built from calibration activations,
+ * and columns are quantized in order while the residual error is
+ * propagated into the not-yet-quantized columns through the upper
+ * Cholesky factor of H^-1.  Works with *any* registered datatype: the
+ * per-(row, group) grid, scale and BitMoD special value are frozen from
+ * the updated weights when the column sweep enters the group, exactly
+ * as groupwise GPTQ freezes its scales.
+ */
+
+#ifndef BITMOD_METHODS_GPTQ_HH
+#define BITMOD_METHODS_GPTQ_HH
+
+#include "model/proxy.hh"
+#include "quant/quantizer.hh"
+#include "tensor/matrix.hh"
+
+namespace bitmod
+{
+
+/** GPTQ hyper-parameters. */
+struct GptqConfig
+{
+    double dampPercent = 0.01;  //!< diagonal damping (percdamp)
+};
+
+/**
+ * Quantize @p w against Hessian @p hessian (D x D, from X^T X, not yet
+ * damped) using datatype/granularity from @p cfg.  Returns dequantized
+ * weights.
+ */
+Matrix gptqQuantize(const Matrix &w, const Matrix &hessian,
+                    const QuantConfig &cfg, const GptqConfig &gcfg = {});
+
+/** QuantFn adaptor: builds H from the layer's calibration data. */
+QuantFn gptqFn(const QuantConfig &cfg, const GptqConfig &gcfg = {});
+
+} // namespace bitmod
+
+#endif // BITMOD_METHODS_GPTQ_HH

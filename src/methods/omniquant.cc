@@ -1,0 +1,96 @@
+#include "methods/omniquant.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+namespace
+{
+
+/**
+ * Quantize one group with the scale shrunk by @p gamma; values beyond
+ * the clipped range saturate.  Returns the dequantized group and its
+ * squared error.
+ */
+double
+quantizeClipped(std::span<const float> w, const QuantConfig &cfg,
+                double gamma, std::span<float> out)
+{
+    // Encode at full range, then shrink the scale: quantizeValueInGroup
+    // handles saturation against the grid/int range.
+    EncodedGroup enc = encodeGroup(w, cfg);
+    enc.scale *= gamma;
+    double err = 0.0;
+    for (size_t i = 0; i < w.size(); ++i) {
+        const float q = quantizeValueInGroup(w[i], enc, cfg);
+        out[i] = q;
+        const double d = static_cast<double>(w[i]) - q;
+        err += d * d;
+    }
+    return err;
+}
+
+} // namespace
+
+Matrix
+omniquantQuantize(const Matrix &w, const QuantConfig &cfg,
+                  const OmniquantConfig &ocfg)
+{
+    BITMOD_ASSERT(ocfg.gammaSteps >= 1 && ocfg.gammaMin > 0.0 &&
+                      ocfg.gammaMin <= 1.0,
+                  "bad OmniQuant config");
+    if (cfg.dtype.kind == DtypeKind::Identity)
+        return w;
+
+    size_t groupSize;
+    switch (cfg.granularity) {
+      case Granularity::PerTensor:
+      case Granularity::PerChannel:
+        groupSize = w.cols();
+        break;
+      case Granularity::PerGroup:
+        groupSize = static_cast<size_t>(
+            cfg.dtype.kind == DtypeKind::Mx ? 32 : cfg.groupSize);
+        break;
+      default:
+        BITMOD_PANIC("unhandled granularity");
+    }
+    BITMOD_ASSERT(w.cols() % groupSize == 0, "group size mismatch");
+
+    Matrix out(w.rows(), w.cols());
+    std::vector<float> trial(groupSize);
+    const size_t ngroups = w.cols() / groupSize;
+    for (size_t r = 0; r < w.rows(); ++r) {
+        for (size_t g = 0; g < ngroups; ++g) {
+            const auto src = w.group(r, g, groupSize);
+            auto dst = out.group(r, g, groupSize);
+            double bestErr = std::numeric_limits<double>::infinity();
+            for (int s = 0; s <= ocfg.gammaSteps; ++s) {
+                const double gamma =
+                    ocfg.gammaMin +
+                    (1.0 - ocfg.gammaMin) * s / ocfg.gammaSteps;
+                const double err = quantizeClipped(
+                    src, cfg, gamma, {trial.data(), trial.size()});
+                if (err < bestErr) {
+                    bestErr = err;
+                    std::copy(trial.begin(), trial.end(), dst.begin());
+                }
+            }
+        }
+    }
+    return out;
+}
+
+QuantFn
+omniquantFn(const QuantConfig &cfg, const OmniquantConfig &ocfg)
+{
+    return [cfg, ocfg](const EvalLayer &layer) {
+        return omniquantQuantize(layer.weights, cfg, ocfg);
+    };
+}
+
+} // namespace bitmod

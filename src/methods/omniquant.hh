@@ -1,0 +1,46 @@
+/**
+ * @file
+ * OmniQuant-lite (Shao et al.): learned weight clipping.
+ *
+ * OmniQuant's core weight-side knob is a learnable clipping threshold
+ * per quantization group that shrinks the scale so the bulk of the
+ * distribution is represented more finely at the cost of saturating
+ * the extremes.  The -lite version replaces the gradient-based search
+ * with an exact grid search over the clip ratio gamma per group —
+ * deterministic and within a hair of the learned optimum for one
+ * scalar.  Like AWQ it only modifies per-group scale factors, so the
+ * BitMoD hardware runs the result directly.
+ */
+
+#ifndef BITMOD_METHODS_OMNIQUANT_HH
+#define BITMOD_METHODS_OMNIQUANT_HH
+
+#include "model/proxy.hh"
+#include "quant/quantizer.hh"
+
+namespace bitmod
+{
+
+/** OmniQuant-lite hyper-parameters. */
+struct OmniquantConfig
+{
+    double gammaMin = 0.5;  //!< smallest clip ratio explored
+    int gammaSteps = 10;    //!< grid points between gammaMin and 1.0
+};
+
+/**
+ * Quantize @p w with a per-group clip-ratio search minimizing group
+ * MSE.  Works with every datatype: the group scale produced by the
+ * datatype's own rule is multiplied by gamma and values saturate onto
+ * the grid ends.
+ */
+Matrix omniquantQuantize(const Matrix &w, const QuantConfig &cfg,
+                         const OmniquantConfig &ocfg = {});
+
+/** QuantFn adaptor. */
+QuantFn omniquantFn(const QuantConfig &cfg,
+                    const OmniquantConfig &ocfg = {});
+
+} // namespace bitmod
+
+#endif // BITMOD_METHODS_OMNIQUANT_HH

@@ -1,0 +1,26 @@
+#include "methods/quarot.hh"
+
+#include "tensor/hadamard.hh"
+
+namespace bitmod
+{
+
+Matrix
+quarotQuantize(const Matrix &w, const QuantConfig &cfg, size_t block)
+{
+    Matrix rotated = w;
+    blockHadamardRows(rotated, block);
+    Matrix q = quantizeMatrix(rotated, cfg).dequant;
+    blockHadamardRowsInverse(q, block);  // involution: rotate back
+    return q;
+}
+
+QuantFn
+quarotFn(const QuantConfig &cfg, size_t block)
+{
+    return [cfg, block](const EvalLayer &layer) {
+        return quarotQuantize(layer.weights, cfg, block);
+    };
+}
+
+} // namespace bitmod

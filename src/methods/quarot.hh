@@ -1,0 +1,35 @@
+/**
+ * @file
+ * QuaRot-lite (Ashkboos et al.): outlier suppression by orthogonal
+ * Hadamard rotation.
+ *
+ * Weights (and, conceptually, the matching activations) are rotated by
+ * a block-diagonal normalized Hadamard matrix before quantization; the
+ * rotation is folded back afterwards, so the layer's function is
+ * unchanged while the quantizer sees a flattened, outlier-free
+ * distribution.  Block size 128 divides every hidden dimension in the
+ * model zoo.
+ */
+
+#ifndef BITMOD_METHODS_QUAROT_HH
+#define BITMOD_METHODS_QUAROT_HH
+
+#include "model/proxy.hh"
+#include "quant/quantizer.hh"
+
+namespace bitmod
+{
+
+/**
+ * Rotate @p w's input dimension, quantize, rotate back.  Returns the
+ * effective dequantized weights in the original basis.
+ */
+Matrix quarotQuantize(const Matrix &w, const QuantConfig &cfg,
+                      size_t block = 128);
+
+/** QuantFn adaptor. */
+QuantFn quarotFn(const QuantConfig &cfg, size_t block = 128);
+
+} // namespace bitmod
+
+#endif // BITMOD_METHODS_QUAROT_HH

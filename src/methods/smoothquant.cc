@@ -1,0 +1,101 @@
+#include "methods/smoothquant.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "tensor/linalg.hh"
+
+namespace bitmod
+{
+
+namespace
+{
+
+/** Per-tensor dynamic symmetric INT8 quantization of activations. */
+Matrix
+quantizeActInt8(const Matrix &x)
+{
+    double absMax = 0.0;
+    for (const float v : x.flat())
+        absMax = std::max<double>(absMax, std::fabs(v));
+    Matrix q(x.rows(), x.cols());
+    if (absMax == 0.0)
+        return q;
+    const double scale = absMax / 127.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        const double r = std::nearbyint(x.flat()[i] / scale);
+        q.flat()[i] =
+            static_cast<float>(std::clamp(r, -127.0, 127.0) * scale);
+    }
+    return q;
+}
+
+/** ||A B^T - ref||_F^2 / ||ref||_F^2 with ref = X W^T. */
+double
+relativeOutputError(const Matrix &xq, const Matrix &wq, const Matrix &x,
+                    const Matrix &w)
+{
+    const Matrix ref = matmul(x, transpose(w));
+    const Matrix got = matmul(xq, transpose(wq));
+    double err = 0.0, energy = 0.0;
+    for (size_t i = 0; i < ref.size(); ++i) {
+        const double d = static_cast<double>(got.flat()[i]) -
+                         ref.flat()[i];
+        err += d * d;
+        energy += static_cast<double>(ref.flat()[i]) * ref.flat()[i];
+    }
+    return energy > 0.0 ? err / energy : 0.0;
+}
+
+} // namespace
+
+double
+smoothQuantOutputLoss(const EvalLayer &layer, const QuantConfig &wcfg,
+                      const SmoothQuantConfig &scfg)
+{
+    const Matrix &w = layer.weights;
+    const Matrix &x = layer.calibration;
+    BITMOD_ASSERT(!x.empty(), "SmoothQuant requires calibration data");
+    BITMOD_ASSERT(x.cols() == w.cols(), "calibration dim mismatch");
+
+    // Migration scales.
+    std::vector<double> xMax(w.cols(), 1e-8), wMax(w.cols(), 1e-8);
+    for (size_t s = 0; s < x.rows(); ++s)
+        for (size_t c = 0; c < x.cols(); ++c)
+            xMax[c] = std::max<double>(xMax[c], std::fabs(x(s, c)));
+    for (size_t r = 0; r < w.rows(); ++r)
+        for (size_t c = 0; c < w.cols(); ++c)
+            wMax[c] = std::max<double>(wMax[c], std::fabs(w(r, c)));
+
+    std::vector<double> s(w.cols());
+    for (size_t c = 0; c < w.cols(); ++c)
+        s[c] = std::pow(xMax[c], scfg.alpha) /
+               std::pow(wMax[c], 1.0 - scfg.alpha);
+
+    Matrix wMig(w.rows(), w.cols());
+    for (size_t r = 0; r < w.rows(); ++r)
+        for (size_t c = 0; c < w.cols(); ++c)
+            wMig(r, c) = static_cast<float>(w(r, c) * s[c]);
+    Matrix xMig(x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r)
+        for (size_t c = 0; c < x.cols(); ++c)
+            xMig(r, c) = static_cast<float>(x(r, c) / s[c]);
+
+    const Matrix wq = quantizeMatrix(wMig, wcfg).dequant;
+    const Matrix xq =
+        scfg.quantizeActInt8 ? quantizeActInt8(xMig) : xMig;
+    return relativeOutputError(xq, wq, x, w);
+}
+
+double
+plainOutputLoss(const EvalLayer &layer, const QuantConfig &wcfg)
+{
+    BITMOD_ASSERT(!layer.calibration.empty(),
+                  "output loss requires calibration data");
+    const Matrix wq = quantizeMatrix(layer.weights, wcfg).dequant;
+    return relativeOutputError(layer.calibration, wq, layer.calibration,
+                               layer.weights);
+}
+
+} // namespace bitmod

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * SmoothQuant (Xiao et al.): migrating activation quantization
+ * difficulty into the weights.
+ *
+ * Per input channel j, s_j = max|X_j|^alpha / max|W_:,j|^(1-alpha);
+ * activations are divided by s and weights multiplied by s, after
+ * which activations quantize to INT8 with little loss.  Table XII
+ * composes this with BitMoD / INT-Asym *weight* datatypes, so the loss
+ * here is measured in output space with both operands quantized.
+ */
+
+#ifndef BITMOD_METHODS_SMOOTHQUANT_HH
+#define BITMOD_METHODS_SMOOTHQUANT_HH
+
+#include "model/sampler.hh"
+#include "quant/quantizer.hh"
+
+namespace bitmod
+{
+
+/** SmoothQuant hyper-parameters. */
+struct SmoothQuantConfig
+{
+    double alpha = 0.5;   //!< migration strength
+    bool quantizeActInt8 = true;  //!< per-tensor dynamic INT8 acts
+};
+
+/**
+ * Relative output error ||X_q W_q^T - X W^T||_F^2 / ||X W^T||_F^2 for
+ * one layer after SmoothQuant migration, weight quantization with
+ * @p wcfg, and (optionally) INT8 activation quantization.
+ */
+double smoothQuantOutputLoss(const EvalLayer &layer,
+                             const QuantConfig &wcfg,
+                             const SmoothQuantConfig &scfg = {});
+
+/**
+ * Relative output error with plain FP16 activations (no migration) —
+ * the "FP16" activation columns of Table XII.
+ */
+double plainOutputLoss(const EvalLayer &layer, const QuantConfig &wcfg);
+
+} // namespace bitmod
+
+#endif // BITMOD_METHODS_SMOOTHQUANT_HH

@@ -1,0 +1,216 @@
+#include "model/llm_zoo.hh"
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+std::vector<LinearShape>
+LlmSpec::blockLinears() const
+{
+    std::vector<LinearShape> shapes;
+    shapes.push_back({"q_proj", hiddenDim, hiddenDim, 1});
+    shapes.push_back({"k_proj", kvDim(), hiddenDim, 1});
+    shapes.push_back({"v_proj", kvDim(), hiddenDim, 1});
+    shapes.push_back({"o_proj", hiddenDim, hiddenDim, 1});
+    if (gatedFfn) {
+        shapes.push_back({"ffn_gate", ffnDim, hiddenDim, 1});
+        shapes.push_back({"ffn_up", ffnDim, hiddenDim, 1});
+        shapes.push_back({"ffn_down", hiddenDim, ffnDim, 1});
+    } else {
+        shapes.push_back({"ffn_fc1", ffnDim, hiddenDim, 1});
+        shapes.push_back({"ffn_fc2", hiddenDim, ffnDim, 1});
+    }
+    return shapes;
+}
+
+size_t
+LlmSpec::blockLinearParams() const
+{
+    size_t params = 0;
+    for (const auto &s : blockLinears())
+        params += s.outFeatures * s.inFeatures * s.perBlock;
+    return params;
+}
+
+size_t
+LlmSpec::totalParams() const
+{
+    // Embedding + (tied or untied) LM head + per-block linears.  Norm
+    // and bias parameters are < 0.1 % of the total and are ignored.
+    return numLayers * blockLinearParams() + 2 * vocabSize * hiddenDim;
+}
+
+double
+LlmSpec::weightBytes(double bits_per_weight) const
+{
+    return static_cast<double>(totalParams()) * bits_per_weight / 8.0;
+}
+
+namespace
+{
+
+std::vector<LlmSpec>
+buildZoo()
+{
+    std::vector<LlmSpec> zoo;
+
+    // Per-model synthetic weight profiles.  Outlier structure tracks
+    // the folklore (and the paper's Fig. 2/3 behaviour): OPT is by far
+    // the most outlier-heavy; Llama-2 is the mildest; Llama-3's wider
+    // FFN and huge vocabulary make it more quantization-sensitive.
+    {
+        LlmSpec m;
+        m.name = "OPT-1.3B";
+        m.hiddenDim = 2048;
+        m.numLayers = 24;
+        m.numHeads = 32;
+        m.numKvHeads = 32;
+        m.ffnDim = 8192;
+        m.vocabSize = 50272;
+        m.gatedFfn = false;
+        m.genParams.channelSigmaSpread = 0.45;
+        m.genParams.tailFraction = 0.04;
+        m.genParams.tailDof = 3.0;
+        m.genParams.groupOutlierRate = 0.16;
+        m.genParams.outlierSigmaLo = 4.0;
+        m.genParams.outlierSigmaHi = 9.0;
+        m.genParams.oneSidedFraction = 0.80;
+        m.genParams.outliersPerGroup = 3;
+        m.anchors = {14.62, 14.72, 139.4, 144.9,
+                     15.41, 15.74,
+                     {53.72, 59.43, 72.41}, {38.98, 55.01, 64.25},
+                     {52.31, 59.35, 71.05}};
+        zoo.push_back(m);
+    }
+    {
+        LlmSpec m;
+        m.name = "Phi-2B";
+        m.hiddenDim = 2560;
+        m.numLayers = 32;
+        m.numHeads = 32;
+        m.numKvHeads = 32;
+        m.ffnDim = 10240;
+        m.vocabSize = 51200;
+        m.gatedFfn = false;
+        m.genParams.channelSigmaSpread = 0.35;
+        m.genParams.tailFraction = 0.025;
+        m.genParams.tailDof = 4.0;
+        m.genParams.groupOutlierRate = 0.10;
+        m.genParams.outlierSigmaLo = 3.5;
+        m.genParams.outlierSigmaHi = 7.5;
+        m.genParams.oneSidedFraction = 0.70;
+        m.anchors = {9.71, 12.74, 13.92, 16.79,
+                     10.67, 13.65,
+                     {73.74, 75.77, 79.22}, {67.75, 71.74, 77.48},
+                     {72.29, 75.14, 78.4}};
+        zoo.push_back(m);
+    }
+    {
+        LlmSpec m;
+        m.name = "Yi-6B";
+        m.hiddenDim = 4096;
+        m.numLayers = 32;
+        m.numHeads = 32;
+        m.numKvHeads = 4;
+        m.ffnDim = 11008;
+        m.vocabSize = 64000;
+        m.gatedFfn = true;
+        m.genParams.channelSigmaSpread = 0.32;
+        m.genParams.tailFraction = 0.02;
+        m.genParams.tailDof = 4.5;
+        m.genParams.groupOutlierRate = 0.09;
+        m.genParams.oneSidedFraction = 0.70;
+        m.anchors = {5.84, 8.91, 8.66, 13.33,
+                     6.32, 9.69,
+                     {74.96, 70.72, 78.78}, {71.30, 67.32, 76.71},
+                     {73.91, 70.51, 77.64}};
+        zoo.push_back(m);
+    }
+    {
+        LlmSpec m;
+        m.name = "Llama-2-7B";
+        m.hiddenDim = 4096;
+        m.numLayers = 32;
+        m.numHeads = 32;
+        m.numKvHeads = 32;
+        m.ffnDim = 11008;
+        m.vocabSize = 32000;
+        m.gatedFfn = true;
+        m.genParams.channelSigmaSpread = 0.28;
+        m.genParams.tailFraction = 0.015;
+        m.genParams.tailDof = 5.0;
+        m.genParams.groupOutlierRate = 0.06;
+        m.genParams.oneSidedFraction = 0.65;
+        m.anchors = {5.47, 6.97, 7.08, 9.29,
+                     5.77, 7.31,
+                     {75.98, 69.06, 79.11}, {71.87, 66.46, 76.66},
+                     {75.29, 68.74, 78.22}};
+        zoo.push_back(m);
+    }
+    {
+        LlmSpec m;
+        m.name = "Llama-2-13B";
+        m.hiddenDim = 5120;
+        m.numLayers = 40;
+        m.numHeads = 40;
+        m.numKvHeads = 40;
+        m.ffnDim = 13824;
+        m.vocabSize = 32000;
+        m.gatedFfn = true;
+        m.genParams.channelSigmaSpread = 0.26;
+        m.genParams.tailFraction = 0.012;
+        m.genParams.tailDof = 5.0;
+        m.genParams.groupOutlierRate = 0.05;
+        m.genParams.oneSidedFraction = 0.65;
+        m.anchors = {4.88, 6.47, 5.64, 7.35,
+                     5.01, 6.62,
+                     {79.39, 72.38, 80.50}, {76.58, 69.61, 78.94},
+                     {78.76, 72.45, 80.2}};
+        zoo.push_back(m);
+    }
+    {
+        LlmSpec m;
+        m.name = "Llama-3-8B";
+        m.hiddenDim = 4096;
+        m.numLayers = 32;
+        m.numHeads = 32;
+        m.numKvHeads = 8;
+        m.ffnDim = 14336;
+        m.vocabSize = 128256;
+        m.gatedFfn = true;
+        m.genParams.channelSigmaSpread = 0.38;
+        m.genParams.tailFraction = 0.03;
+        m.genParams.tailDof = 3.5;
+        m.genParams.groupOutlierRate = 0.12;
+        m.genParams.outlierSigmaLo = 4.0;
+        m.genParams.outlierSigmaHi = 8.0;
+        m.genParams.oneSidedFraction = 0.75;
+        m.anchors = {6.13, 8.88, 13.26, 17.80,
+                     6.84, 9.79,
+                     {79.18, 72.85, 80.74}, {68.56, 66.61, 75.03},
+                     {78.07, 73.24, 79.76}};
+        zoo.push_back(m);
+    }
+    return zoo;
+}
+
+} // namespace
+
+const std::vector<LlmSpec> &
+llmZoo()
+{
+    static const std::vector<LlmSpec> zoo = buildZoo();
+    return zoo;
+}
+
+const LlmSpec &
+llmByName(const std::string &name)
+{
+    for (const auto &m : llmZoo())
+        if (m.name == name)
+            return m;
+    BITMOD_FATAL("unknown model: '", name, "'");
+}
+
+} // namespace bitmod

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Layer-shape zoo for the six LLMs the paper evaluates, together with
+ * per-model synthetic-weight distribution profiles and the paper's
+ * published FP16 / INT3-Asym reference numbers used to anchor the proxy
+ * perplexity and accuracy models (DESIGN.md section 1).
+ *
+ * All architectural constants (hidden dims, layer counts, FFN dims,
+ * vocabulary sizes, GQA head counts) are the public configurations of
+ * the corresponding HuggingFace checkpoints.
+ */
+
+#ifndef BITMOD_MODEL_LLM_ZOO_HH
+#define BITMOD_MODEL_LLM_ZOO_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/generator.hh"
+
+namespace bitmod
+{
+
+/** One distinct linear-layer shape inside a transformer block. */
+struct LinearShape
+{
+    std::string name;     //!< e.g. "q_proj", "ffn_down"
+    size_t outFeatures;   //!< K (output channels)
+    size_t inFeatures;    //!< D (dot-product length)
+    size_t perBlock = 1;  //!< instances of this shape per block
+};
+
+/** Reference numbers lifted from the paper, used as proxy anchors. */
+struct PaperAnchors
+{
+    double fp16PplWiki = 0.0;
+    double fp16PplC4 = 0.0;
+    double int3AsymPplWiki = 0.0;  //!< Table VI, per-group INT3-Asym
+    double int3AsymPplC4 = 0.0;
+    double int4AsymPplWiki = 0.0;  //!< Table VI, per-group INT4-Asym
+    double int4AsymPplC4 = 0.0;
+    /** Table VII zero-shot accuracy: HellaSwag / WinoGrande / Piqa. */
+    double fp16Acc[3] = {0, 0, 0};
+    double int3AsymAcc[3] = {0, 0, 0};
+    double int4AsymAcc[3] = {0, 0, 0};
+};
+
+/** Architecture + distribution profile of one LLM. */
+struct LlmSpec
+{
+    std::string name;
+    size_t hiddenDim = 0;
+    size_t numLayers = 0;
+    size_t numHeads = 0;
+    size_t numKvHeads = 0;   //!< < numHeads under GQA
+    size_t ffnDim = 0;
+    size_t vocabSize = 0;
+    bool gatedFfn = false;   //!< Llama-style gate+up+down vs fc1+fc2
+
+    WeightGenParams genParams;  //!< synthetic weight profile
+    PaperAnchors anchors;
+
+    size_t headDim() const { return hiddenDim / numHeads; }
+    size_t kvDim() const { return numKvHeads * headDim(); }
+
+    /** Distinct linear shapes of one transformer block. */
+    std::vector<LinearShape> blockLinears() const;
+
+    /** Linear (matmul) parameters per block. */
+    size_t blockLinearParams() const;
+
+    /** Total parameters: blocks + embedding + LM head. */
+    size_t totalParams() const;
+
+    /** Bytes of all weights at @p bits_per_weight bits. */
+    double weightBytes(double bits_per_weight) const;
+};
+
+/** The six evaluated models, in the paper's order. */
+const std::vector<LlmSpec> &llmZoo();
+
+/** Lookup by name; fatal on unknown model. */
+const LlmSpec &llmByName(const std::string &name);
+
+} // namespace bitmod
+
+#endif // BITMOD_MODEL_LLM_ZOO_HH

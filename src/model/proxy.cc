@@ -1,0 +1,148 @@
+#include "model/proxy.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "tensor/linalg.hh"
+
+namespace bitmod
+{
+
+QuantFn
+rtnQuantFn(const QuantConfig &cfg)
+{
+    return [cfg](const EvalLayer &layer) {
+        return quantizeMatrix(layer.weights, cfg).dequant;
+    };
+}
+
+double
+weightSpaceLoss(const std::vector<EvalLayer> &layers, const QuantFn &fn)
+{
+    double loss = 0.0;
+    for (const auto &layer : layers) {
+        const Matrix q = fn(layer);
+        BITMOD_ASSERT(q.rows() == layer.weights.rows() &&
+                          q.cols() == layer.weights.cols(),
+                      "QuantFn changed the layer shape");
+        double err = 0.0, ref = 0.0;
+        const auto w = layer.weights.flat();
+        const auto d = q.flat();
+        for (size_t i = 0; i < w.size(); ++i) {
+            const double e = static_cast<double>(w[i]) - d[i];
+            err += e * e;
+            ref += static_cast<double>(w[i]) * w[i];
+        }
+        loss += layer.paramWeight * (ref > 0.0 ? err / ref : 0.0);
+    }
+    return loss;
+}
+
+double
+calibratedLoss(const std::vector<EvalLayer> &layers, const QuantFn &fn)
+{
+    double loss = 0.0;
+    for (const auto &layer : layers) {
+        BITMOD_ASSERT(!layer.calibration.empty(),
+                      "calibratedLoss requires calibration data for ",
+                      layer.name);
+        Matrix h = gram(layer.calibration);
+        dampDiagonal(h, 0.01);
+
+        const Matrix q = fn(layer);
+        Matrix err(q.rows(), q.cols());
+        for (size_t i = 0; i < q.size(); ++i)
+            err.flat()[i] = layer.weights.flat()[i] - q.flat()[i];
+
+        const double num = quadraticForm(err, h);
+        const double den = quadraticForm(layer.weights, h);
+        loss += layer.paramWeight * (den > 0.0 ? num / den : 0.0);
+    }
+    return loss;
+}
+
+PerplexityModel::PerplexityModel(double ppl_fp16, double anchor_loss,
+                                 double anchor_ppl)
+    : pplFp16_(ppl_fp16)
+{
+    BITMOD_ASSERT(ppl_fp16 > 0.0 && anchor_ppl >= ppl_fp16,
+                  "bad perplexity anchor: fp16=", ppl_fp16, " anchor=",
+                  anchor_ppl);
+    BITMOD_ASSERT(anchor_loss > 0.0, "anchor loss must be positive");
+    p_ = 1.0;
+    k_ = std::log(anchor_ppl / ppl_fp16) / anchor_loss;
+}
+
+PerplexityModel::PerplexityModel(double ppl_fp16, double loss_lo,
+                                 double ppl_lo, double loss_hi,
+                                 double ppl_hi)
+    : pplFp16_(ppl_fp16)
+{
+    BITMOD_ASSERT(ppl_fp16 > 0.0 && ppl_hi >= ppl_fp16,
+                  "bad perplexity anchors");
+    BITMOD_ASSERT(loss_hi > 0.0, "anchor loss must be positive");
+    const double rHi = std::log(ppl_hi / ppl_fp16);
+    const double rLo = std::log(std::max(ppl_lo, ppl_fp16) / ppl_fp16);
+    if (loss_lo > 0.0 && loss_lo < loss_hi && rLo > 0.0 && rHi > rLo) {
+        p_ = std::log(rHi / rLo) / std::log(loss_hi / loss_lo);
+        // Keep the curvature in a sane band; outside it the two points
+        // are inconsistent with a power law and we fall back.
+        if (p_ < 0.25 || p_ > 6.0)
+            p_ = 1.0;
+    } else {
+        p_ = 1.0;
+    }
+    k_ = rHi / std::pow(loss_hi, p_);
+}
+
+double
+PerplexityModel::ppl(double loss) const
+{
+    BITMOD_ASSERT(loss >= 0.0, "negative loss");
+    // Far beyond the calibration anchors the exponential extrapolation
+    // is meaningless (real perplexity saturates near the unigram
+    // entropy); cap at 1e5 — the paper similarly truncates divergent
+    // cells to "1E+3".
+    const double raw = pplFp16_ * std::exp(k_ * std::pow(loss, p_));
+    return std::min(raw, 1e5);
+}
+
+AccuracyModel::AccuracyModel(double acc_fp16, double anchor_loss,
+                             double anchor_acc)
+    : accFp16_(acc_fp16)
+{
+    BITMOD_ASSERT(anchor_loss > 0.0 && anchor_acc <= acc_fp16,
+                  "bad accuracy anchor");
+    q_ = 0.5;
+    c_ = (acc_fp16 - anchor_acc) / std::sqrt(anchor_loss);
+}
+
+AccuracyModel::AccuracyModel(double acc_fp16, double loss_lo,
+                             double acc_lo, double loss_hi,
+                             double acc_hi)
+    : accFp16_(acc_fp16)
+{
+    BITMOD_ASSERT(loss_hi > 0.0 && acc_hi <= acc_fp16,
+                  "bad accuracy anchors");
+    const double dHi = acc_fp16 - acc_hi;
+    const double dLo = acc_fp16 - acc_lo;
+    if (loss_lo > 0.0 && loss_lo < loss_hi && dLo > 0.0 && dHi > dLo) {
+        q_ = std::log(dHi / dLo) / std::log(loss_hi / loss_lo);
+        if (q_ < 0.2 || q_ > 4.0)
+            q_ = 0.5;
+    } else {
+        q_ = 0.5;
+    }
+    c_ = dHi / std::pow(loss_hi, q_);
+}
+
+double
+AccuracyModel::accuracy(double loss) const
+{
+    BITMOD_ASSERT(loss >= 0.0, "negative loss");
+    if (loss == 0.0)
+        return accFp16_;
+    return std::max(0.0, accFp16_ - c_ * std::pow(loss, q_));
+}
+
+} // namespace bitmod

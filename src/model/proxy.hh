@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Proxy perplexity / accuracy models (DESIGN.md section 1).
+ *
+ * Losses are measured, anchors are taken from the paper:
+ *
+ *   loss L       = sum_l paramWeight_l * NMSE_l            (weight space)
+ *              or = sum_l paramWeight_l * tr(E H E^T)/tr(W H W^T)
+ *                                                        (calibrated)
+ *   PPL(L)       = PPL_fp16 * exp(k * L),  k from one anchor point
+ *   Acc(L)       = Acc_fp16 - c * sqrt(L), c from one anchor point
+ *
+ * Both maps are monotone, so "who wins / where crossovers fall" is
+ * decided entirely by the measured losses; the anchor only fixes the
+ * scale of the reported numbers.
+ */
+
+#ifndef BITMOD_MODEL_PROXY_HH
+#define BITMOD_MODEL_PROXY_HH
+
+#include <functional>
+#include <vector>
+
+#include "model/sampler.hh"
+#include "quant/quantizer.hh"
+
+namespace bitmod
+{
+
+/**
+ * A weight transform under evaluation: given a layer, produce the
+ * dequantized weights the model would run with (RTN datatypes, GPTQ,
+ * AWQ-scaled quantization, ...).
+ */
+using QuantFn = std::function<Matrix(const EvalLayer &)>;
+
+/** Convenience QuantFn: plain RTN with a QuantConfig. */
+QuantFn rtnQuantFn(const QuantConfig &cfg);
+
+/** Parameter-weighted NMSE across layers. */
+double weightSpaceLoss(const std::vector<EvalLayer> &layers,
+                       const QuantFn &fn);
+
+/**
+ * Parameter-weighted calibrated loss: tr(E H E^T) / tr(W H W^T) with
+ * H = X^T X (damped) from each layer's calibration activations.
+ * Requires calibration data in the layers.
+ */
+double calibratedLoss(const std::vector<EvalLayer> &layers,
+                      const QuantFn &fn);
+
+/**
+ * Perplexity map PPL(L) = PPL_fp16 * exp(k * L^p), anchored at one or
+ * two (loss, ppl) points.  With two anchors (the paper's per-group
+ * INT3-Asym and INT4-Asym rows of Table VI), both k and the curvature
+ * p are pinned; every other datatype interpolates/extrapolates through
+ * its *measured* loss, so rank order is decided entirely by
+ * measurement.
+ */
+class PerplexityModel
+{
+  public:
+    /** Single-anchor form (p = 1). */
+    PerplexityModel(double ppl_fp16, double anchor_loss,
+                    double anchor_ppl);
+
+    /**
+     * Two-anchor form: @p loss_lo / @p ppl_lo from the lower-loss
+     * anchor (INT4-Asym), @p loss_hi / @p ppl_hi from the higher-loss
+     * anchor (INT3-Asym).  Falls back to the single high anchor with
+     * p = 1 when the points are degenerate.
+     */
+    PerplexityModel(double ppl_fp16, double loss_lo, double ppl_lo,
+                    double loss_hi, double ppl_hi);
+
+    /** Perplexity for a measured loss. */
+    double ppl(double loss) const;
+
+    double pplFp16() const { return pplFp16_; }
+
+  private:
+    double pplFp16_;
+    double k_;
+    double p_ = 1.0;
+};
+
+/**
+ * Accuracy map Acc(L) = Acc_fp16 - c * L^q, anchored at one (q = 1/2)
+ * or two points (q fitted), floored at zero.
+ */
+class AccuracyModel
+{
+  public:
+    AccuracyModel(double acc_fp16, double anchor_loss, double anchor_acc);
+
+    AccuracyModel(double acc_fp16, double loss_lo, double acc_lo,
+                  double loss_hi, double acc_hi);
+
+    double accuracy(double loss) const;
+
+  private:
+    double accFp16_;
+    double c_;
+    double q_ = 0.5;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_MODEL_PROXY_HH

@@ -1,0 +1,47 @@
+#include "model/sampler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+std::vector<EvalLayer>
+sampleModel(const LlmSpec &model, const SampleConfig &cfg)
+{
+    BITMOD_ASSERT(cfg.maxRows > 0 && cfg.maxCols >= 128,
+                  "sample config too small");
+    Rng rng(cfg.seed ^ std::hash<std::string>{}(model.name));
+
+    const auto shapes = model.blockLinears();
+    double totalParams = 0.0;
+    for (const auto &s : shapes)
+        totalParams += static_cast<double>(s.outFeatures) *
+                       s.inFeatures * s.perBlock;
+
+    std::vector<EvalLayer> layers;
+    layers.reserve(shapes.size());
+    for (const auto &s : shapes) {
+        EvalLayer layer;
+        layer.name = s.name;
+        const size_t rows = std::min(cfg.maxRows, s.outFeatures);
+        // Keep a whole number of 128-groups in the sampled columns.
+        size_t cols = std::min(cfg.maxCols, s.inFeatures);
+        cols -= cols % 128;
+        BITMOD_ASSERT(cols >= 128, "layer ", s.name, " too narrow");
+        layer.weights =
+            generateWeights(rows, cols, model.genParams, rng);
+        layer.paramWeight = static_cast<double>(s.outFeatures) *
+                            s.inFeatures * s.perBlock / totalParams;
+        if (cfg.calibSamples > 0) {
+            ActivationGenParams ap;
+            layer.calibration =
+                generateActivations(cfg.calibSamples, cols, ap, rng);
+        }
+        layers.push_back(std::move(layer));
+    }
+    return layers;
+}
+
+} // namespace bitmod

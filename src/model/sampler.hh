@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Statistical layer sampling: materializes representative sub-layers
+ * of an LLM for quantization studies.
+ *
+ * Full checkpoints are unavailable (and unnecessary): quantization
+ * error statistics are per-element averages that converge with a few
+ * hundred channels.  For each distinct linear shape in a block we
+ * sample min(K, maxRows) output channels and min(D, maxCols) input
+ * columns (keeping the group structure intact), generate synthetic
+ * weights with the model's distribution profile, and weight each
+ * layer's contribution by its share of the model's parameters.
+ */
+
+#ifndef BITMOD_MODEL_SAMPLER_HH
+#define BITMOD_MODEL_SAMPLER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "model/llm_zoo.hh"
+#include "tensor/matrix.hh"
+
+namespace bitmod
+{
+
+/** Sampling configuration. */
+struct SampleConfig
+{
+    size_t maxRows = 128;       //!< sampled output channels per layer
+    size_t maxCols = 2048;      //!< sampled input columns per layer
+    size_t calibSamples = 0;    //!< >0: also build calibration data
+    uint64_t seed = 0xb17d0d;   //!< generator seed (printed by benches)
+};
+
+/** One sampled evaluation layer. */
+struct EvalLayer
+{
+    std::string name;
+    Matrix weights;       //!< sampled K x D weights
+    Matrix calibration;   //!< n x D activations (empty unless requested)
+    double paramWeight;   //!< this shape's share of model linear params
+};
+
+/** Materialize the distinct block linears of @p model. */
+std::vector<EvalLayer> sampleModel(const LlmSpec &model,
+                                   const SampleConfig &cfg);
+
+} // namespace bitmod
+
+#endif // BITMOD_MODEL_SAMPLER_HH

@@ -1,0 +1,86 @@
+#include "model/traffic.hh"
+
+namespace bitmod
+{
+
+MemoryTraffic
+computeTraffic(const LlmSpec &model, const TaskSpec &task,
+               const PrecisionSpec &precision)
+{
+    MemoryTraffic t;
+    const double wBytesPerElem = precision.weightBits / 8.0;
+    const double aBytesPerElem = precision.activationBits / 8.0;
+    const double kvBytesPerElem = precision.kvBits / 8.0;
+
+    const double blockParams =
+        static_cast<double>(model.blockLinearParams());
+    const double layers = static_cast<double>(model.numLayers);
+    const double lmHead =
+        static_cast<double>(model.vocabSize) * model.hiddenDim;
+
+    // Weights: prefill reads everything once; each decode step reads
+    // everything again (batch 1, nothing stays resident on chip).
+    const double weightReads =
+        1.0 + static_cast<double>(task.outTokens - 1);
+    t.weightBytes =
+        (layers * blockParams + lmHead) * wBytesPerElem * weightReads;
+
+    // Activations: intra-block intermediates (attention heads, FFN
+    // expansion) fit in the 512 KB activation buffer and never leave
+    // the chip; off-chip activation traffic is the residual stream
+    // entering and leaving each block, plus embeddings and logits.
+    const double totalTokens =
+        static_cast<double>(task.inTokens + task.outTokens - 1);
+    t.activationBytes = layers * 2.0 * model.hiddenDim * totalTokens *
+                        aBytesPerElem;
+    // Embedding output + final logits.
+    t.activationBytes += totalTokens * model.hiddenDim * aBytesPerElem;
+    t.activationBytes +=
+        static_cast<double>(task.outTokens) * model.vocabSize *
+        aBytesPerElem;
+
+    // KV cache: every token writes K and V (kvDim each) per layer;
+    // every decode step reads the whole history per layer.
+    const double kvPerTokenLayer = 2.0 * model.kvDim();
+    t.kvBytes =
+        layers * kvPerTokenLayer * totalTokens * kvBytesPerElem;
+    double decodeReads = 0.0;
+    for (size_t s = 0; s < task.outTokens - 0; ++s) {
+        if (s == 0)
+            continue;  // prefill attention reads stay on chip per tile
+        const double ctx = static_cast<double>(task.inTokens + s);
+        decodeReads += ctx;
+    }
+    t.kvBytes += layers * kvPerTokenLayer * decodeReads * kvBytesPerElem;
+    return t;
+}
+
+double
+computeMacs(const LlmSpec &model, const TaskSpec &task)
+{
+    const double layers = static_cast<double>(model.numLayers);
+    const double blockParams =
+        static_cast<double>(model.blockLinearParams());
+    const double lmHead =
+        static_cast<double>(model.vocabSize) * model.hiddenDim;
+    const double totalTokens =
+        static_cast<double>(task.inTokens + task.outTokens - 1);
+
+    // Linear layers: one MAC per weight per token.
+    double macs = layers * blockParams * totalTokens;
+    // LM head: once per produced token.
+    macs += lmHead * static_cast<double>(task.outTokens);
+
+    // Attention: q.k^T and softmax.v, per head, causal.  Token i
+    // attends to i+1 keys; each attended position costs 2*headDim MACs
+    // per query head.
+    const double heads = static_cast<double>(model.numHeads);
+    const double hd = static_cast<double>(model.headDim());
+    double attended = 0.0;
+    for (size_t i = 0; i < task.inTokens + task.outTokens - 1; ++i)
+        attended += static_cast<double>(i + 1);
+    macs += layers * heads * attended * 2.0 * hd;
+    return macs;
+}
+
+} // namespace bitmod

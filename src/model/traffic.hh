@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Analytic memory-traffic model of transformer inference (Fig. 1 and
+ * the DRAM side of the accelerator simulator).
+ *
+ * Counts off-chip bytes moved for weights, activations and the KV
+ * cache when running a discriminative (prefill-only) or generative
+ * (prefill + token-by-token decode) task at batch size 1.  The model
+ * follows the paper's premise: prefill touches every weight once;
+ * every decoded token re-fetches all weights; activations are streamed
+ * per layer; decode attention reads the full per-layer KV history.
+ */
+
+#ifndef BITMOD_MODEL_TRAFFIC_HH
+#define BITMOD_MODEL_TRAFFIC_HH
+
+#include <cstddef>
+
+#include "model/llm_zoo.hh"
+
+namespace bitmod
+{
+
+/** Inference task shape (batch fixed at 1 for edge scenarios). */
+struct TaskSpec
+{
+    size_t inTokens = 256;
+    size_t outTokens = 1;  //!< 1 = discriminative, >1 = generative
+
+    static TaskSpec discriminative() { return {256, 1}; }
+    static TaskSpec generative() { return {256, 256}; }
+};
+
+/** Per-component off-chip traffic in bytes. */
+struct MemoryTraffic
+{
+    double weightBytes = 0.0;
+    double activationBytes = 0.0;  //!< layer I/O activations
+    double kvBytes = 0.0;          //!< KV-cache writes + decode reads
+
+    double total() const
+    {
+        return weightBytes + activationBytes + kvBytes;
+    }
+};
+
+/** Bit-widths of the three traffic classes. */
+struct PrecisionSpec
+{
+    double weightBits = 16.0;  //!< may be fractional (incl. metadata)
+    double activationBits = 16.0;
+    double kvBits = 16.0;
+};
+
+/**
+ * Off-chip traffic for running @p task on @p model with @p precision.
+ * Weight traffic assumes the weights do not fit on chip (true for all
+ * six models against a 512 KB buffer) and are re-read per decode step.
+ */
+MemoryTraffic computeTraffic(const LlmSpec &model, const TaskSpec &task,
+                             const PrecisionSpec &precision);
+
+/**
+ * Total multiply-accumulate operations of the task (linear layers plus
+ * attention score/value matmuls) — the compute side of the roofline.
+ */
+double computeMacs(const LlmSpec &model, const TaskSpec &task);
+
+} // namespace bitmod
+
+#endif // BITMOD_MODEL_TRAFFIC_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the bit-serial decoders.
+ */
+
+#ifndef BITMOD_NUMERIC_BITS_HH
+#define BITMOD_NUMERIC_BITS_HH
+
+#include <cstdint>
+
+namespace bitmod
+{
+
+/**
+ * Leading-one detector: index of the most significant set bit of @p x,
+ * or -1 when x == 0.  Mirrors the LOD block in the FP4 bit-serial
+ * decoder (Fig. 4b).
+ */
+inline int
+leadingOneIndex(uint32_t x)
+{
+    if (x == 0)
+        return -1;
+    int idx = 0;
+    while (x >>= 1)
+        ++idx;
+    return idx;
+}
+
+/** Population count of set bits. */
+inline int
+popcount32(uint32_t x)
+{
+    int count = 0;
+    while (x) {
+        x &= x - 1;
+        ++count;
+    }
+    return count;
+}
+
+/** True when x is a power of two (x > 0). */
+inline bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Ceiling division for positive integers. */
+inline uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace bitmod
+
+#endif // BITMOD_NUMERIC_BITS_HH

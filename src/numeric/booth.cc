@@ -1,0 +1,65 @@
+#include "numeric/booth.hh"
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+int
+boothDigitCount(int bits)
+{
+    BITMOD_ASSERT(bits >= 2 && bits <= 32, "bad Booth width: ", bits);
+    return (bits + 1) / 2;
+}
+
+std::vector<BoothDigit>
+boothEncode(int64_t value, int bits)
+{
+    const int64_t lo = -(int64_t(1) << (bits - 1));
+    const int64_t hi = (int64_t(1) << (bits - 1)) - 1;
+    BITMOD_ASSERT(value >= lo && value <= hi,
+                  "value ", value, " does not fit in INT", bits);
+
+    const int ndigits = boothDigitCount(bits);
+    // Sign-extend into a working register wide enough for all windows.
+    const uint64_t uval = static_cast<uint64_t>(value);
+
+    auto bitAt = [&](int i) -> int {
+        if (i < 0)
+            return 0;
+        if (i >= bits)  // sign extension
+            return static_cast<int>((uval >> (bits - 1)) & 1);
+        return static_cast<int>((uval >> i) & 1);
+    };
+
+    std::vector<BoothDigit> digits;
+    digits.reserve(ndigits);
+    for (int d = 0; d < ndigits; ++d) {
+        const int i = 2 * d;
+        // digit = b_{i-1} + b_i - 2*b_{i+1}
+        const int digit = bitAt(i - 1) + bitAt(i) - 2 * bitAt(i + 1);
+        digits.push_back({digit, i});
+    }
+    return digits;
+}
+
+int64_t
+boothDecode(const std::vector<BoothDigit> &digits)
+{
+    int64_t value = 0;
+    for (const auto &d : digits)
+        value += static_cast<int64_t>(d.digit) << d.bsig;
+    return value;
+}
+
+int
+boothNonZeroCount(int64_t value, int bits)
+{
+    int count = 0;
+    for (const auto &d : boothEncode(value, bits))
+        if (d.digit != 0)
+            ++count;
+    return count;
+}
+
+} // namespace bitmod

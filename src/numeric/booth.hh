@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Radix-4 (modified) Booth encoding of two's-complement integers.
+ *
+ * BitMoD's unified bit-serial representation decomposes INT8/INT6 (and
+ * by extension INT3..INT8) weights into 3-bit Booth strings, each
+ * becoming one bit-serial term with digit value in {-2,-1,0,+1,+2}
+ * (Fig. 4a): adjacent strings differ by 2 in bit-significance, and each
+ * string's truth table maps to (sign, exp, man) with man in {0,1} and
+ * exp in {0,1}.
+ */
+
+#ifndef BITMOD_NUMERIC_BOOTH_HH
+#define BITMOD_NUMERIC_BOOTH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace bitmod
+{
+
+/** One radix-4 Booth digit: value digit * 2^bsig, digit in [-2, 2]. */
+struct BoothDigit
+{
+    int digit = 0;  //!< in {-2, -1, 0, +1, +2}
+    int bsig = 0;   //!< bit significance (0, 2, 4, ...)
+};
+
+/**
+ * Number of Booth strings for a @p bits -wide two's-complement integer:
+ * ceil(bits / 2).  INT8 -> 4, INT6 -> 3, INT4/INT3 -> 2 as in the paper.
+ */
+int boothDigitCount(int bits);
+
+/**
+ * Encode @p value (must fit in @p bits two's complement) into Booth
+ * digits, least significant first.  The digits always recompose as
+ * sum(digit_i * 2^bsig_i) == value.
+ */
+std::vector<BoothDigit> boothEncode(int64_t value, int bits);
+
+/** Recompose digits back into the integer (testing/verification aid). */
+int64_t boothDecode(const std::vector<BoothDigit> &digits);
+
+/**
+ * Count of non-zero Booth digits — the effectual-term count that a
+ * term-skipping bit-serial PE would actually process.
+ */
+int boothNonZeroCount(int64_t value, int bits);
+
+} // namespace bitmod
+
+#endif // BITMOD_NUMERIC_BOOTH_HH

@@ -1,0 +1,103 @@
+#include "numeric/float16.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace bitmod
+{
+
+uint16_t
+Float16::fromFloatBits(float value)
+{
+    const uint32_t f = std::bit_cast<uint32_t>(value);
+    const uint32_t sign = (f >> 16) & 0x8000u;
+    const uint32_t absF = f & 0x7fffffffu;
+
+    // NaN / Inf.
+    if (absF >= 0x7f800000u) {
+        if (absF > 0x7f800000u)
+            return static_cast<uint16_t>(sign | 0x7e00u);  // quiet NaN
+        return static_cast<uint16_t>(sign | 0x7c00u);      // infinity
+    }
+
+    // Overflow to half infinity: anything >= 2^16 * (1 - 2^-11) rounds
+    // past the largest finite half (65504).
+    if (absF >= 0x477ff000u)
+        return static_cast<uint16_t>(sign | 0x7c00u);
+
+    // Normal half range: exponent >= -14 after rebias.
+    if (absF >= 0x38800000u) {
+        const uint32_t mant = absF & 0x007fffffu;
+        const int32_t exp = static_cast<int32_t>(absF >> 23) - 127 + 15;
+        uint32_t half = (static_cast<uint32_t>(exp) << 10) | (mant >> 13);
+        // RNE on the 13 truncated bits.
+        const uint32_t rem = mant & 0x1fffu;
+        if (rem > 0x1000u || (rem == 0x1000u && (half & 1u)))
+            ++half;  // carry may roll into the exponent; that is correct
+        return static_cast<uint16_t>(sign | half);
+    }
+
+    // Subnormal half range (|x| < 2^-14) down to rounding to zero.
+    if (absF >= 0x33000000u) {
+        // Half subnormal code q = mant24 * 2^(e32 - 126) with mant24
+        // the 24-bit significand incl. hidden bit; drop in [14, 24].
+        const int32_t drop = 126 - static_cast<int32_t>(absF >> 23);
+        const uint32_t mant = (absF & 0x007fffffu) | 0x00800000u;
+        uint32_t half = mant >> drop;
+        const uint32_t rem = mant & ((1u << drop) - 1u);
+        const uint32_t halfway = 1u << (drop - 1);
+        if (rem > halfway || (rem == halfway && (half & 1u)))
+            ++half;
+        return static_cast<uint16_t>(sign | half);
+    }
+
+    return static_cast<uint16_t>(sign);  // rounds to (signed) zero
+}
+
+float
+Float16::toFloatImpl(uint16_t bits)
+{
+    const uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
+    const uint32_t exp = (bits >> 10) & 0x1fu;
+    uint32_t mant = bits & 0x3ffu;
+
+    uint32_t out;
+    if (exp == 0) {
+        if (mant == 0) {
+            out = sign;  // zero
+        } else {
+            // Normalize the subnormal.
+            int e = -1;
+            do {
+                ++e;
+                mant <<= 1;
+            } while ((mant & 0x400u) == 0);
+            mant &= 0x3ffu;
+            out = sign | ((127 - 15 - e) << 23) | (mant << 13);
+        }
+    } else if (exp == 0x1f) {
+        out = sign | 0x7f800000u | (mant << 13);  // inf / nan
+    } else {
+        out = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+    }
+    return std::bit_cast<float>(out);
+}
+
+Float16
+Float16::mul(Float16 a, Float16 b)
+{
+    // binary32 holds the 22-bit product exactly, so one rounding step.
+    return Float16(a.toFloat() * b.toFloat());
+}
+
+Float16
+Float16::add(Float16 a, Float16 b)
+{
+    // binary32 holds any half sum exactly (11-bit significands, max
+    // exponent distance 29 < 24 only when result is representable --
+    // when bits are lost the result is dominated by the larger operand
+    // and binary32 RNE matches half RNE after the final narrowing).
+    return Float16(a.toFloat() + b.toFloat());
+}
+
+} // namespace bitmod

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Bit-exact software IEEE-754 binary16.
+ *
+ * BitMoD keeps activations in FP16 while weights are quantized; the PE
+ * model (src/pe) consumes activations through this type so that sign /
+ * exponent / mantissa fields can be routed exactly as the hardware
+ * would.  Conversions implement round-to-nearest-even, and arithmetic
+ * helpers round through binary32 the way a half-precision FPU with a
+ * single-rounding fused path would.
+ */
+
+#ifndef BITMOD_NUMERIC_FLOAT16_HH
+#define BITMOD_NUMERIC_FLOAT16_HH
+
+#include <cstdint>
+
+namespace bitmod
+{
+
+/** IEEE-754 binary16 value held as its 16-bit pattern. */
+class Float16
+{
+  public:
+    Float16() = default;
+
+    /** Construct from a binary32 value with RNE rounding. */
+    explicit Float16(float value) : bits_(fromFloatBits(value)) {}
+
+    /** Reinterpret a raw 16-bit pattern as a Float16. */
+    static Float16
+    fromBits(uint16_t bits)
+    {
+        Float16 h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    /** Raw bit pattern. */
+    uint16_t bits() const { return bits_; }
+
+    /** Widen to binary32 (exact). */
+    float toFloat() const { return toFloatImpl(bits_); }
+
+    /** Sign bit (0 or 1). */
+    int sign() const { return (bits_ >> 15) & 0x1; }
+
+    /** Biased exponent field (5 bits). */
+    int exponentField() const { return (bits_ >> 10) & 0x1f; }
+
+    /** Mantissa field (10 bits, without hidden bit). */
+    int mantissaField() const { return bits_ & 0x3ff; }
+
+    /**
+     * 11-bit significand including the hidden bit (0 for zero /
+     * subnormal hidden bit).  This is the "am" operand of the PE's
+     * bit-serial multiplier (Fig. 5).
+     */
+    int
+    significand11() const
+    {
+        const int man = mantissaField();
+        return exponentField() == 0 ? man : (man | 0x400);
+    }
+
+    /**
+     * Unbiased exponent of the value as an aligned fixed-point shift:
+     * exponentField()-15 for normals, -14 for subnormals.
+     */
+    int
+    unbiasedExponent() const
+    {
+        const int e = exponentField();
+        return e == 0 ? -14 : e - 15;
+    }
+
+    bool isZero() const { return (bits_ & 0x7fff) == 0; }
+    bool isNan() const
+    {
+        return exponentField() == 0x1f && mantissaField() != 0;
+    }
+    bool isInf() const
+    {
+        return exponentField() == 0x1f && mantissaField() == 0;
+    }
+
+    bool operator==(const Float16 &o) const { return bits_ == o.bits_; }
+
+    /** a*b rounded to FP16 (via exact binary32 product). */
+    static Float16 mul(Float16 a, Float16 b);
+    /** a+b rounded to FP16. */
+    static Float16 add(Float16 a, Float16 b);
+
+    /** Convert binary32 to the nearest binary16 pattern (RNE). */
+    static uint16_t fromFloatBits(float value);
+
+  private:
+    static float toFloatImpl(uint16_t bits);
+
+    uint16_t bits_ = 0;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_NUMERIC_FLOAT16_HH

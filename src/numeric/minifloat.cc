@@ -1,0 +1,121 @@
+#include "numeric/minifloat.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+MiniFloatFormat::MiniFloatFormat(int exp_bits, int man_bits, int bias)
+    : expBits_(exp_bits), manBits_(man_bits), bias_(bias)
+{
+    BITMOD_ASSERT(exp_bits >= 1 && exp_bits <= 8,
+                  "exponent bits out of range: ", exp_bits);
+    BITMOD_ASSERT(man_bits >= 0 && man_bits <= 10,
+                  "mantissa bits out of range: ", man_bits);
+}
+
+MiniFloatFormat::MiniFloatFormat(int exp_bits, int man_bits)
+    : MiniFloatFormat(exp_bits, man_bits,
+                      std::max(1, (1 << (exp_bits - 1)) - 1))
+{
+}
+
+double
+MiniFloatFormat::decode(uint32_t code) const
+{
+    const uint32_t mask = (1u << storageBits()) - 1;
+    BITMOD_ASSERT((code & ~mask) == 0, "code out of range: ", code);
+
+    const int sign = (code >> (expBits_ + manBits_)) & 0x1;
+    const int expField =
+        (code >> manBits_) & ((1 << expBits_) - 1);
+    const int manField = code & ((1 << manBits_) - 1);
+
+    double magnitude;
+    const double manScale = std::ldexp(1.0, -manBits_);
+    if (expField == 0) {
+        // Subnormal binade: value = man * 2^-m * 2^(1-bias).
+        magnitude = manField * manScale * std::ldexp(1.0, 1 - bias_);
+    } else {
+        magnitude = (1.0 + manField * manScale) *
+                    std::ldexp(1.0, expField - bias_);
+    }
+    return sign ? -magnitude : magnitude;
+}
+
+uint32_t
+MiniFloatFormat::encode(double value) const
+{
+    const uint32_t signBit =
+        (std::signbit(value) ? 1u : 0u) << (expBits_ + manBits_);
+    double mag = std::fabs(value);
+
+    if (mag >= maxValue()) {
+        // Saturate to the largest magnitude.
+        const uint32_t maxCode =
+            (((1u << expBits_) - 1) << manBits_) | ((1u << manBits_) - 1);
+        return signBit | maxCode;
+    }
+
+    // Find the enclosing pair on the positive grid and round to nearest,
+    // ties away from zero resolved to even mantissa code.
+    uint32_t best = 0;
+    double bestDist = mag;  // distance to zero code
+    const uint32_t magCodes = 1u << (expBits_ + manBits_);
+    for (uint32_t code = 0; code < magCodes; ++code) {
+        const double v = decode(code);
+        const double d = std::fabs(v - mag);
+        if (d < bestDist - 1e-300 ||
+            (std::fabs(d - bestDist) < 1e-12 * (1.0 + mag) &&
+             (code & 1u) == 0 && (best & 1u) != 0)) {
+            bestDist = d;
+            best = code;
+        }
+    }
+    return signBit | best;
+}
+
+double
+MiniFloatFormat::maxValue() const
+{
+    const int manField = (1 << manBits_) - 1;
+    return (1.0 + manField * std::ldexp(1.0, -manBits_)) *
+           std::ldexp(1.0, ((1 << expBits_) - 1) - bias_);
+}
+
+double
+MiniFloatFormat::minSubnormal() const
+{
+    if (manBits_ == 0)
+        return std::ldexp(1.0, 1 - bias_);  // first normal instead
+    return std::ldexp(1.0, -manBits_) * std::ldexp(1.0, 1 - bias_);
+}
+
+std::vector<double>
+MiniFloatFormat::valueGrid() const
+{
+    std::vector<double> grid;
+    const uint32_t magCodes = 1u << (expBits_ + manBits_);
+    grid.reserve(2 * magCodes);
+    for (uint32_t code = 0; code < magCodes; ++code) {
+        const double v = decode(code);
+        grid.push_back(v);
+        if (v != 0.0)
+            grid.push_back(-v);
+    }
+    std::sort(grid.begin(), grid.end());
+    grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+    return grid;
+}
+
+std::string
+MiniFloatFormat::name() const
+{
+    return "FP" + std::to_string(storageBits()) + "-E" +
+           std::to_string(expBits_) + "M" + std::to_string(manBits_);
+}
+
+} // namespace bitmod

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Generic parameterized minifloat (ExMy) codec.
+ *
+ * Low-precision floating-point weight formats in BitMoD (FP3, FP4-E2M1,
+ * FP6-E2M3, FP6-E3M2, and the MX element types) are all instances of a
+ * sign-magnitude minifloat with:
+ *   - e exponent bits and m mantissa bits,
+ *   - subnormals (exponent field 0),
+ *   - NO inf/nan encodings: the top exponent is an ordinary binade
+ *     (matching how quantization datatypes use every code), and
+ *   - a configurable bias.
+ *
+ * The codec enumerates the exact representable value grid and converts
+ * values to/from codes, which is what the quantizer and the bit-serial
+ * decoder both consume.
+ */
+
+#ifndef BITMOD_NUMERIC_MINIFLOAT_HH
+#define BITMOD_NUMERIC_MINIFLOAT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bitmod
+{
+
+/** A sign-magnitude ExMy minifloat format without inf/nan. */
+class MiniFloatFormat
+{
+  public:
+    /**
+     * @param exp_bits  exponent field width (>= 1)
+     * @param man_bits  mantissa field width (>= 0)
+     * @param bias      exponent bias (defaults to 2^(e-1) - 1, floored
+     *                  at 1 so FP4-E2M1 gets the OCP-standard bias 1)
+     */
+    MiniFloatFormat(int exp_bits, int man_bits, int bias);
+    MiniFloatFormat(int exp_bits, int man_bits);
+
+    int expBits() const { return expBits_; }
+    int manBits() const { return manBits_; }
+    int bias() const { return bias_; }
+
+    /** Total storage bits including the sign. */
+    int storageBits() const { return 1 + expBits_ + manBits_; }
+
+    /** Number of codes = 2^storageBits (includes the redundant -0). */
+    int codeCount() const { return 1 << storageBits(); }
+
+    /** Decode a code (sign|exp|man bit layout) to its real value. */
+    double decode(uint32_t code) const;
+
+    /** Encode: nearest representable value, ties to even mantissa. */
+    uint32_t encode(double value) const;
+
+    /** Largest representable magnitude. */
+    double maxValue() const;
+
+    /** Smallest positive representable magnitude (subnormal step). */
+    double minSubnormal() const;
+
+    /**
+     * All distinct representable values, sorted ascending (the +0/-0
+     * pair contributes a single 0 entry).
+     */
+    std::vector<double> valueGrid() const;
+
+    /** Human-readable name, e.g. "FP6-E3M2". */
+    std::string name() const;
+
+  private:
+    int expBits_;
+    int manBits_;
+    int bias_;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_NUMERIC_MINIFLOAT_HH

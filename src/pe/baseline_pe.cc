@@ -1,0 +1,52 @@
+#include "pe/baseline_pe.hh"
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+Float16
+Fp16MacPe::dotProduct(std::span<const Float16> w,
+                      std::span<const Float16> a)
+{
+    BITMOD_ASSERT(w.size() == a.size(), "dot-product size mismatch");
+    Float16 acc(0.0f);
+    for (size_t i = 0; i < w.size(); ++i)
+        acc = Float16::add(acc, Float16::mul(w[i], a[i]));
+    return acc;
+}
+
+double
+FignaPe::dotProductInt8(std::span<const Float16> a, std::span<const int> w,
+                        double scale)
+{
+    BITMOD_ASSERT(w.size() == a.size(), "dot-product size mismatch");
+    double acc = 0.0;
+    for (size_t i = 0; i < w.size(); ++i) {
+        BITMOD_ASSERT(w[i] >= -128 && w[i] <= 127, "INT8 weight range");
+        acc += static_cast<double>(a[i].toFloat()) * w[i];
+    }
+    return acc * scale;
+}
+
+void
+FignaPe::dotProductDualInt4(std::span<const Float16> a,
+                            std::span<const int> w0,
+                            std::span<const int> w1, double scale0,
+                            double scale1, double *out0, double *out1)
+{
+    BITMOD_ASSERT(w0.size() == a.size() && w1.size() == a.size(),
+                  "dot-product size mismatch");
+    double acc0 = 0.0, acc1 = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        BITMOD_ASSERT(w0[i] >= -8 && w0[i] <= 7, "INT4 weight range");
+        BITMOD_ASSERT(w1[i] >= -8 && w1[i] <= 7, "INT4 weight range");
+        const double av = a[i].toFloat();
+        acc0 += av * w0[i];
+        acc1 += av * w1[i];
+    }
+    *out0 = acc0 * scale0;
+    *out1 = acc1 * scale1;
+}
+
+} // namespace bitmod

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Baseline processing elements the paper compares against:
+ *
+ *  - Fp16MacPe: the baseline accelerator's FP16 multiply-accumulate PE
+ *    (1 MAC/cycle; Section V-A's "FP16 multiply-accumulate PE").
+ *  - FignaPe: FIGNA-style bit-parallel FP-INT PEs, either fixed
+ *    FP16xINT8 or the decomposable FP16xINT8 / 2xFP16xINT4 variant
+ *    studied in Fig. 10.
+ */
+
+#ifndef BITMOD_PE_BASELINE_PE_HH
+#define BITMOD_PE_BASELINE_PE_HH
+
+#include <span>
+
+#include "numeric/float16.hh"
+
+namespace bitmod
+{
+
+/** Baseline FP16 MAC PE: functional model + timing. */
+class Fp16MacPe
+{
+  public:
+    /**
+     * FP16 dot product with FP16 rounding after every multiply and
+     * accumulate (the conservative baseline datapath).
+     */
+    static Float16 dotProduct(std::span<const Float16> w,
+                              std::span<const Float16> a);
+
+    /** One MAC per cycle. */
+    static int cyclesForGroup(size_t n) { return static_cast<int>(n); }
+
+    static double throughputMacsPerCycle() { return 1.0; }
+};
+
+/** FIGNA-style bit-parallel FP-INT PE (functional). */
+class FignaPe
+{
+  public:
+    /**
+     * FP16 activation x INT8 weight dot product with a shared
+     * dequantization scale, accumulated in double (FIGNA keeps a wide
+     * fixed-point accumulator, which is effectively exact).
+     */
+    static double dotProductInt8(std::span<const Float16> a,
+                                 std::span<const int> w, double scale);
+
+    /**
+     * Decomposed mode: two INT4 weight streams against the same
+     * activations, producing two outputs per cycle.
+     */
+    static void dotProductDualInt4(std::span<const Float16> a,
+                                   std::span<const int> w0,
+                                   std::span<const int> w1, double scale0,
+                                   double scale1, double *out0,
+                                   double *out1);
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_PE_BASELINE_PE_HH

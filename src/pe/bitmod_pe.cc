@@ -1,0 +1,182 @@
+#include "pe/bitmod_pe.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bitserial/termgen.hh"
+#include "common/logging.hh"
+#include "numeric/bits.hh"
+
+namespace bitmod
+{
+
+namespace
+{
+
+/**
+ * One lane's contribution in hardware-rounding mode: the 11-bit
+ * activation significand (plus 3 guard bits) shifted right to the
+ * cycle's max exponent with round-to-nearest-even.
+ */
+int64_t
+alignedMantissa(int significand, int shift)
+{
+    BITMOD_ASSERT(shift >= 0, "negative alignment shift");
+    int64_t m = static_cast<int64_t>(significand) << 3;  // guard bits
+    if (shift == 0)
+        return m;
+    if (shift >= 40)
+        return 0;
+    const int64_t dropped = m & ((int64_t(1) << shift) - 1);
+    const int64_t halfway = int64_t(1) << (shift - 1);
+    m >>= shift;
+    if (dropped > halfway || (dropped == halfway && (m & 1)))
+        ++m;
+    return m;
+}
+
+} // namespace
+
+double
+bitSerialDequant(double partial_sum, int scale_int, int scale_bits,
+                 int *cycles)
+{
+    BITMOD_ASSERT(scale_bits >= 1 && scale_bits <= 16,
+                  "scale bits out of range: ", scale_bits);
+    BITMOD_ASSERT(scale_int >= 0 && scale_int < (1 << scale_bits),
+                  "scale ", scale_int, " exceeds ", scale_bits, " bits");
+    // Shift-and-add, one scale bit per cycle (Fig. 5 step 4).
+    double acc = 0.0;
+    for (int b = 0; b < scale_bits; ++b) {
+        if ((scale_int >> b) & 1)
+            acc += std::ldexp(partial_sum, b);
+    }
+    if (cycles)
+        *cycles = scale_bits;
+    return acc;
+}
+
+int
+BitmodPe::dotCycles(size_t n, const Dtype &dt) const
+{
+    return static_cast<int>(ceilDiv(n, cfg_.lanes)) * termsPerWeight(dt);
+}
+
+double
+BitmodPe::throughputMacsPerCycle(const Dtype &dt) const
+{
+    return static_cast<double>(cfg_.lanes) / termsPerWeight(dt);
+}
+
+double
+BitmodPe::dotProduct(const EncodedGroup &enc,
+                     std::span<const Float16> acts, const Dtype &dt) const
+{
+    const size_t n = enc.qvalues.size();
+    BITMOD_ASSERT(acts.size() == n, "activation count ", acts.size(),
+                  " != group size ", n);
+
+    // Expand every weight into its fixed-length term sequence.
+    const int tpw = termsPerWeight(dt);
+    std::vector<std::vector<BitSerialTerm>> terms(n);
+    for (size_t i = 0; i < n; ++i) {
+        const double q = dt.kind == DtypeKind::IntAsym
+                             ? enc.qvalues[i] - enc.zeroPoint
+                             : enc.qvalues[i];
+        terms[i] = termsForWeight(q, dt);
+        while (static_cast<int>(terms[i].size()) < tpw)
+            terms[i].push_back(BitSerialTerm{});  // null padding
+    }
+
+    if (!cfg_.hwRounding) {
+        // Exact mode: term decomposition is lossless, so this equals
+        // the plain dot product of decoded weights and activations.
+        double sum = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const double a = acts[i].toFloat();
+            for (const auto &t : terms[i])
+                sum += t.value() * a;
+        }
+        return sum;
+    }
+
+    // Hardware mode: process lane chunks term-index by term-index with
+    // per-cycle exponent alignment and 3-guard-bit RNE.
+    double acc = 0.0;
+    const size_t lanes = static_cast<size_t>(cfg_.lanes);
+    for (size_t base = 0; base < n; base += lanes) {
+        const size_t chunk = std::min(lanes, n - base);
+        for (int t = 0; t < tpw; ++t) {
+            // Lane exponents: activation exponent (value = sig11 *
+            // 2^(e-10)) plus the weight term exponent and bsig.
+            int laneExp[8];
+            int laneSig[8];
+            int laneSign[8];
+            int eMax = 0;
+            bool any = false;
+            for (size_t l = 0; l < chunk; ++l) {
+                const auto &term = terms[base + l][t];
+                const Float16 a = acts[base + l];
+                if (term.man == 0 || a.isZero()) {
+                    laneSig[l] = 0;
+                    laneExp[l] = 0;
+                    laneSign[l] = 0;
+                    continue;
+                }
+                laneSig[l] = a.significand11();
+                laneExp[l] = a.unbiasedExponent() - 10 + term.exp +
+                             term.bsig;
+                laneSign[l] = a.sign() ^ term.sign;
+                if (!any || laneExp[l] > eMax)
+                    eMax = laneExp[l];
+                any = true;
+            }
+            if (!any)
+                continue;
+            int64_t s = 0;
+            for (size_t l = 0; l < chunk; ++l) {
+                if (laneSig[l] == 0)
+                    continue;
+                const int64_t m =
+                    alignedMantissa(laneSig[l], eMax - laneExp[l]);
+                s += laneSign[l] ? -m : m;
+            }
+            // Guard bits scale the chunk sum by 2^-3.
+            acc += std::ldexp(static_cast<double>(s), eMax - 3);
+        }
+    }
+    return acc;
+}
+
+PeGroupResult
+BitmodPe::processGroup(const EncodedGroup &enc,
+                       std::span<const Float16> acts, const Dtype &dt,
+                       int scale_int, double scale_base,
+                       int scale_bits) const
+{
+    PeGroupResult result;
+    result.dotCycles = dotCycles(enc.qvalues.size(), dt);
+    const double partial = dotProduct(enc, acts, dt);
+    const double scaled =
+        bitSerialDequant(partial, scale_int, scale_bits,
+                         &result.dequantCycles);
+    result.value = scaled * scale_base;
+    result.wouldStall = result.dequantCycles > result.dotCycles;
+    return result;
+}
+
+PeGroupResult
+BitmodPe::processGroupFp16Scale(const EncodedGroup &enc,
+                                std::span<const Float16> acts,
+                                const Dtype &dt) const
+{
+    PeGroupResult result;
+    result.dotCycles = dotCycles(enc.qvalues.size(), dt);
+    result.dequantCycles = 1;  // single FP multiply
+    result.value = dotProduct(enc, acts, dt) * enc.scale;
+    result.wouldStall = false;
+    return result;
+}
+
+} // namespace bitmod

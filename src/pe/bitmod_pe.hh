@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Functional-plus-timing model of the BitMoD processing element
+ * (Fig. 5) and its bit-serial dequantization unit.
+ *
+ * Per cycle the PE consumes one bit-serial term for each of four
+ * weights and multiplies them against four FP16 activations:
+ *   1. exponent alignment across the four lanes,
+ *   2. 1-bit x 11-bit mantissa "multiplication" + aligned adder tree
+ *      (3 guard bits, round-to-nearest-even, as in FPRaker),
+ *   3. accumulation scaled by the shared term bit-significance,
+ *   4. after the whole group: bit-serial dequantization, multiplying
+ *      the group partial sum by the INT8 scale one bit per cycle.
+ *
+ * The model exposes both an exact mode (products in double — the term
+ * decomposition itself is lossless) and a hardware-rounding mode that
+ * applies the per-cycle alignment rounding; tests bound the difference.
+ */
+
+#ifndef BITMOD_PE_BITMOD_PE_HH
+#define BITMOD_PE_BITMOD_PE_HH
+
+#include <span>
+
+#include "numeric/float16.hh"
+#include "quant/quantizer.hh"
+
+namespace bitmod
+{
+
+/** PE configuration. */
+struct PeConfig
+{
+    int lanes = 4;          //!< dot-product width per cycle
+    bool hwRounding = false;  //!< model the 3-guard-bit alignment RNE
+};
+
+/** Result of processing one weight group. */
+struct PeGroupResult
+{
+    double value = 0.0;      //!< dequantized partial sum
+    int dotCycles = 0;       //!< bit-serial dot-product cycles
+    int dequantCycles = 0;   //!< bit-serial dequantization cycles
+    /** True if dequantization would stall the pipeline (it never
+     *  should for G = 128; Section IV-B). */
+    bool wouldStall = false;
+};
+
+/** The BitMoD mixed-precision bit-serial PE. */
+class BitmodPe
+{
+  public:
+    explicit BitmodPe(PeConfig cfg = {}) : cfg_(cfg) {}
+
+    /**
+     * Process one encoded weight group against FP16 activations.
+     *
+     * @param enc        group encoding (pre-scale values + scale)
+     * @param acts       activations, same length as the group
+     * @param dt         the weight datatype (fixes terms per weight)
+     * @param scale_int  integer part of the second-level-quantized
+     *                   scale (0..2^scale_bits-1)
+     * @param scale_base per-channel scale base so that the effective
+     *                   group scale is scale_int * scale_base
+     * @param scale_bits bit-serial dequantization width (8 in BitMoD)
+     */
+    PeGroupResult processGroup(const EncodedGroup &enc,
+                               std::span<const Float16> acts,
+                               const Dtype &dt, int scale_int,
+                               double scale_base,
+                               int scale_bits = 8) const;
+
+    /**
+     * Convenience wrapper when the scale stays in FP16 (no second
+     * level): dequantization is a single FP multiply.
+     */
+    PeGroupResult processGroupFp16Scale(const EncodedGroup &enc,
+                                        std::span<const Float16> acts,
+                                        const Dtype &dt) const;
+
+    /** Dot-product cycles for a group of @p n weights of type @p dt. */
+    int dotCycles(size_t n, const Dtype &dt) const;
+
+    /** MACs per cycle this PE sustains for datatype @p dt. */
+    double throughputMacsPerCycle(const Dtype &dt) const;
+
+  private:
+    double dotProduct(const EncodedGroup &enc,
+                      std::span<const Float16> acts,
+                      const Dtype &dt) const;
+
+    PeConfig cfg_;
+};
+
+/**
+ * Bit-serial dequantization: multiply a group partial sum by an
+ * unsigned integer scale, one scale bit per cycle (shift-and-add).
+ * Returns the exact product; the cycle count equals @p scale_bits.
+ */
+double bitSerialDequant(double partial_sum, int scale_int,
+                        int scale_bits, int *cycles);
+
+} // namespace bitmod
+
+#endif // BITMOD_PE_BITMOD_PE_HH

@@ -1,0 +1,83 @@
+#include "pe/pe_column.hh"
+
+#include "common/logging.hh"
+#include "quant/quantizer.hh"
+
+namespace bitmod
+{
+
+ColumnResult
+PeColumn::processChannel(std::span<const EncodedGroup> groups,
+                         std::span<const Float16> acts, const Dtype &dt,
+                         size_t group_size, int scale_bits) const
+{
+    BITMOD_ASSERT(groups.size() * group_size == acts.size(),
+                  "activation length ", acts.size(),
+                  " does not match ", groups.size(), " groups of ",
+                  group_size);
+
+    ColumnResult result;
+    int lastDrainCycle = -1;
+    for (size_t g = 0; g < groups.size(); ++g) {
+        // The group scale is already second-level-quantized upstream;
+        // run the dequant unit against its 8-bit code with a unit base
+        // by splitting the scale (scale = code * base).
+        const double scale = groups[g].scale;
+        int code = 255;
+        double base = scale / code;
+        if (scale == 0.0) {
+            code = 0;
+            base = 0.0;
+        }
+        const auto r = pe_.processGroup(
+            groups[g], acts.subspan(g * group_size, group_size), dt,
+            code, base, scale_bits);
+        result.value += r.value;
+        result.cycles += r.dotCycles;
+
+        // Drain check: the shared accumulator accepts one group
+        // partial sum per hand-off; with pesPerColumn_ PEs staggered
+        // over a group's dot cycles, two drains collide only if the
+        // group is shorter than the column is deep.
+        const int drainCycle = result.cycles;
+        if (drainCycle == lastDrainCycle)
+            result.accumulatorContention = true;
+        lastDrainCycle = drainCycle;
+        ++result.drainEvents;
+        if (r.dotCycles < pesPerColumn_)
+            result.accumulatorContention = true;
+    }
+    return result;
+}
+
+std::vector<double>
+tileGemv(const Matrix &weights, const QuantConfig &cfg,
+         std::span<const Float16> acts)
+{
+    BITMOD_ASSERT(acts.size() == weights.cols(),
+                  "GEMV activation length mismatch");
+    QuantConfig capture = cfg;
+    capture.captureEncoding = true;
+    const auto q = quantizeMatrix(weights, capture);
+
+    const size_t groupSize =
+        cfg.granularity == Granularity::PerGroup
+            ? static_cast<size_t>(
+                  cfg.dtype.kind == DtypeKind::Mx ? 32 : cfg.groupSize)
+            : weights.cols();
+    const size_t groupsPerRow = weights.cols() / groupSize;
+
+    PeColumn column;
+    std::vector<double> out(weights.rows());
+    for (size_t r = 0; r < weights.rows(); ++r) {
+        const std::span<const EncodedGroup> rowGroups(
+            q.encodings.data() + r * groupsPerRow, groupsPerRow);
+        out[r] = column
+                     .processChannel(rowGroups, acts, cfg.dtype,
+                                     groupSize)
+                     .value;
+    }
+    return out;
+}
+
+} // namespace bitmod

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * PE-column and tile functional models (Section IV-C): a column of
+ * eight PEs shares one output accumulator; the bit-serial weight term
+ * is broadcast down the column, inputs are broadcast along rows, and
+ * the column drains group partial sums through the shared accumulator
+ * — which never stalls because a group occupies a PE for many cycles.
+ */
+
+#ifndef BITMOD_PE_PE_COLUMN_HH
+#define BITMOD_PE_PE_COLUMN_HH
+
+#include <span>
+#include <vector>
+
+#include "pe/bitmod_pe.hh"
+
+namespace bitmod
+{
+
+/** Result of a full-channel dot product on one PE column. */
+struct ColumnResult
+{
+    double value = 0.0;     //!< final per-channel output
+    int cycles = 0;         //!< dot-product cycles across all groups
+    int drainEvents = 0;    //!< accumulator hand-offs (one per group)
+    bool accumulatorContention = false;  //!< two drains same cycle?
+};
+
+/**
+ * One PE column computing a full output-channel dot product: the
+ * channel's weights arrive as per-group encodings; each group is
+ * processed by a PE, bit-serial-dequantized, and accumulated into the
+ * shared column accumulator.
+ */
+class PeColumn
+{
+  public:
+    explicit PeColumn(PeConfig cfg = {}, int pes_per_column = 8)
+        : pe_(cfg), pesPerColumn_(pes_per_column)
+    {
+    }
+
+    /**
+     * Process a channel of `groups.size()` encoded groups against
+     * matching activation slices.
+     *
+     * @param groups      per-group encodings (from quantizeMatrix with
+     *                    captureEncoding)
+     * @param acts        the full activation vector (channel length)
+     * @param dt          weight datatype
+     * @param group_size  elements per group
+     * @param scale_bits  bit-serial dequantization width
+     */
+    ColumnResult processChannel(std::span<const EncodedGroup> groups,
+                                std::span<const Float16> acts,
+                                const Dtype &dt, size_t group_size,
+                                int scale_bits = 8) const;
+
+  private:
+    BitmodPe pe_;
+    int pesPerColumn_;
+};
+
+/**
+ * Functional check of a whole tile column set: dequantized GEMV
+ * y = W_q x computed entirely through the bit-serial pipeline.
+ * Returns one output per weight row.
+ */
+std::vector<double> tileGemv(const Matrix &weights,
+                             const QuantConfig &cfg,
+                             std::span<const Float16> acts);
+
+} // namespace bitmod
+
+#endif // BITMOD_PE_PE_COLUMN_HH

@@ -1,0 +1,296 @@
+#include "quant/dtype.hh"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "numeric/minifloat.hh"
+
+namespace bitmod
+{
+
+int
+Dtype::groupMetaBits() const
+{
+    if (kind != DtypeKind::NonLinear || candidates.size() <= 1)
+        return 0;
+    return static_cast<int>(
+        std::ceil(std::log2(static_cast<double>(candidates.size()))));
+}
+
+namespace dtypes
+{
+
+namespace
+{
+
+Grid
+minifloatGrid(int exp_bits, int man_bits)
+{
+    return Grid(MiniFloatFormat(exp_bits, man_bits).valueGrid());
+}
+
+/** Basic FP3 {0, +/-1, +/-2, +/-4}. */
+Grid
+fp3Grid()
+{
+    return minifloatGrid(2, 0);
+}
+
+/** Basic FP4-E2M1 {0, +/-0.5, ..., +/-6}. */
+Grid
+fp4Grid()
+{
+    return minifloatGrid(2, 1);
+}
+
+Dtype
+adaptiveType(const std::string &name, int bits, const Grid &base,
+             const std::vector<double> &specials)
+{
+    Dtype d;
+    d.name = name;
+    d.kind = DtypeKind::NonLinear;
+    d.bits = bits;
+    for (const double sv : specials) {
+        d.candidates.push_back(base.withSpecial(sv));
+        d.specialValues.push_back(sv);
+    }
+    BITMOD_ASSERT(!d.candidates.empty(), "adaptive type needs candidates");
+    return d;
+}
+
+} // namespace
+
+Dtype
+fp16()
+{
+    Dtype d;
+    d.name = "FP16";
+    d.kind = DtypeKind::Identity;
+    d.bits = 16;
+    return d;
+}
+
+Dtype
+intSym(int bits)
+{
+    BITMOD_ASSERT(bits >= 2 && bits <= 8, "INT-Sym bits: ", bits);
+    Dtype d;
+    d.name = "INT" + std::to_string(bits) + "-Sym";
+    d.kind = DtypeKind::IntSym;
+    d.bits = bits;
+    return d;
+}
+
+Dtype
+intAsym(int bits)
+{
+    BITMOD_ASSERT(bits >= 2 && bits <= 8, "INT-Asym bits: ", bits);
+    Dtype d;
+    d.name = "INT" + std::to_string(bits) + "-Asym";
+    d.kind = DtypeKind::IntAsym;
+    d.bits = bits;
+    return d;
+}
+
+Dtype
+fp3()
+{
+    Dtype d;
+    d.name = "FP3";
+    d.kind = DtypeKind::NonLinear;
+    d.bits = 3;
+    d.candidates = {fp3Grid()};
+    d.specialValues = {0.0};
+    return d;
+}
+
+Dtype
+fp4()
+{
+    Dtype d;
+    d.name = "FP4";
+    d.kind = DtypeKind::NonLinear;
+    d.bits = 4;
+    d.candidates = {fp4Grid()};
+    d.specialValues = {0.0};
+    return d;
+}
+
+Dtype
+fp6e2m3()
+{
+    Dtype d;
+    d.name = "FP6-E2M3";
+    d.kind = DtypeKind::NonLinear;
+    d.bits = 6;
+    d.candidates = {minifloatGrid(2, 3)};
+    d.specialValues = {0.0};
+    return d;
+}
+
+Dtype
+fp6e3m2()
+{
+    Dtype d;
+    d.name = "FP6-E3M2";
+    d.kind = DtypeKind::NonLinear;
+    d.bits = 6;
+    d.candidates = {minifloatGrid(3, 2)};
+    d.specialValues = {0.0};
+    return d;
+}
+
+Dtype
+fp3Er()
+{
+    return adaptiveType("FP3-ER", 3, fp3Grid(), {-3.0, +3.0});
+}
+
+Dtype
+fp3Ea()
+{
+    return adaptiveType("FP3-EA", 3, fp3Grid(), {-6.0, +6.0});
+}
+
+Dtype
+fp4Er()
+{
+    return adaptiveType("FP4-ER", 4, fp4Grid(), {-5.0, +5.0});
+}
+
+Dtype
+fp4Ea()
+{
+    return adaptiveType("FP4-EA", 4, fp4Grid(), {-8.0, +8.0});
+}
+
+Dtype
+bitmodFp3()
+{
+    return adaptiveType("BitMoD-FP3", 3, fp3Grid(),
+                        {-3.0, +3.0, -6.0, +6.0});
+}
+
+Dtype
+bitmodFp4()
+{
+    return adaptiveType("BitMoD-FP4", 4, fp4Grid(),
+                        {-5.0, +5.0, -8.0, +8.0});
+}
+
+Dtype
+bitmodFp3Custom(const std::vector<double> &specials,
+                const std::string &label)
+{
+    return adaptiveType(label, 3, fp3Grid(), specials);
+}
+
+Dtype
+bitmodFp4Custom(const std::vector<double> &specials,
+                const std::string &label)
+{
+    return adaptiveType(label, 4, fp4Grid(), specials);
+}
+
+Dtype
+flint(int bits)
+{
+    Dtype d;
+    d.kind = DtypeKind::NonLinear;
+    d.bits = bits;
+    if (bits == 4) {
+        d.name = "Flint4";
+        // Reconstructed ANT flint-4: int-like spacing near zero,
+        // float-like doubling at the top (see DESIGN.md section 3).
+        d.candidates = {Grid({0, 1, 2, 3, 4, 6, 8, 16,
+                              -1, -2, -3, -4, -6, -8, -16})};
+    } else if (bits == 3) {
+        d.name = "Flint3";
+        d.candidates = {Grid({0, 1, 2, 4, -1, -2, -4})};
+    } else {
+        BITMOD_FATAL("flint supports 3 or 4 bits, got ", bits);
+    }
+    d.specialValues = {0.0};
+    return d;
+}
+
+Dtype
+olive(int bits)
+{
+    BITMOD_ASSERT(bits == 3 || bits == 4, "OliVe bits: ", bits);
+    Dtype d;
+    d.name = "OliVe" + std::to_string(bits);
+    d.kind = DtypeKind::OliveOvp;
+    d.bits = bits;
+    return d;
+}
+
+Dtype
+mxfp(int bits)
+{
+    BITMOD_ASSERT(bits == 3 || bits == 4, "MXFP bits: ", bits);
+    Dtype d;
+    d.name = "MX-FP" + std::to_string(bits);
+    d.kind = DtypeKind::Mx;
+    d.bits = bits;
+    d.mxElementGrid = bits == 4 ? fp4Grid() : fp3Grid();
+    return d;
+}
+
+Dtype
+byName(const std::string &name)
+{
+    static const std::map<std::string, Dtype (*)()> simple = {
+        {"FP16", fp16},
+        {"FP3", fp3},
+        {"FP4", fp4},
+        {"FP6-E2M3", fp6e2m3},
+        {"FP6-E3M2", fp6e3m2},
+        {"FP3-ER", fp3Er},
+        {"FP3-EA", fp3Ea},
+        {"FP4-ER", fp4Er},
+        {"FP4-EA", fp4Ea},
+        {"BitMoD-FP3", bitmodFp3},
+        {"BitMoD-FP4", bitmodFp4},
+    };
+    if (auto it = simple.find(name); it != simple.end())
+        return it->second();
+    if (name.rfind("INT", 0) == 0 && name.size() >= 4) {
+        const int bits = name[3] - '0';
+        if (name.find("Asym") != std::string::npos)
+            return intAsym(bits);
+        return intSym(bits);
+    }
+    if (name == "Flint4")
+        return flint(4);
+    if (name == "Flint3")
+        return flint(3);
+    if (name == "OliVe4")
+        return olive(4);
+    if (name == "OliVe3")
+        return olive(3);
+    if (name == "MX-FP4")
+        return mxfp(4);
+    if (name == "MX-FP3")
+        return mxfp(3);
+    BITMOD_FATAL("unknown datatype name: '", name, "'");
+}
+
+std::vector<std::string>
+allNames()
+{
+    return {"FP16",
+            "INT3-Sym", "INT3-Asym", "INT4-Sym", "INT4-Asym",
+            "INT5-Sym", "INT5-Asym", "INT6-Sym", "INT6-Asym",
+            "INT8-Sym", "INT8-Asym",
+            "FP3", "FP4", "FP6-E2M3", "FP6-E3M2",
+            "FP3-ER", "FP3-EA", "FP4-ER", "FP4-EA",
+            "BitMoD-FP3", "BitMoD-FP4",
+            "Flint3", "Flint4", "OliVe3", "OliVe4",
+            "MX-FP3", "MX-FP4"};
+}
+
+} // namespace dtypes
+} // namespace bitmod

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The datatype registry: every weight datatype evaluated in the paper.
+ *
+ * Plain grid types (FP3/FP4/FP6*, Flint) expose a single candidate
+ * grid.  BitMoD types (FP3-ER/EA, FP4-ER/EA and the full 4-special
+ * mixtures) expose one candidate grid *per special value*; Algorithm 1
+ * (fine-grained datatype adaptation) picks the best candidate per
+ * weight group.  Integer, MX and OliVe datatypes use dedicated
+ * quantizer paths and are tagged by kind.
+ */
+
+#ifndef BITMOD_QUANT_DTYPE_HH
+#define BITMOD_QUANT_DTYPE_HH
+
+#include <string>
+#include <vector>
+
+#include "quant/grid.hh"
+
+namespace bitmod
+{
+
+/** Quantizer path selector. */
+enum class DtypeKind
+{
+    Identity,   //!< FP16 passthrough (no quantization)
+    IntSym,     //!< symmetric integer, Eq. (1)
+    IntAsym,    //!< asymmetric integer, Eq. (2)
+    NonLinear,  //!< grid-based, possibly multi-candidate (BitMoD)
+    Mx,         //!< microscaling: shared power-of-two scale, group 32
+    OliveOvp,   //!< outlier-victim pair encoding
+};
+
+/** A fully specified weight datatype. */
+struct Dtype
+{
+    std::string name;          //!< e.g. "BitMoD-FP3", "INT4-Asym"
+    DtypeKind kind = DtypeKind::Identity;
+    int bits = 16;             //!< stored bits per weight element
+
+    /**
+     * Candidate grids for NonLinear types.  One entry for plain FP /
+     * Flint; one per special value for BitMoD types.  Empty otherwise.
+     */
+    std::vector<Grid> candidates;
+
+    /** Special values matching @ref candidates (NaN-free bookkeeping). */
+    std::vector<double> specialValues;
+
+    /** Element grid for MX types (FP4-E2M1 or FP3). */
+    Grid mxElementGrid;
+
+    /**
+     * Per-group side metadata bits (e.g. 2-bit special-value selector
+     * for BitMoD's four candidates).  Scale-factor storage is accounted
+     * separately by the quantizer configuration.
+     */
+    int groupMetaBits() const;
+};
+
+/** Factory functions for every datatype used in the evaluation. */
+namespace dtypes
+{
+
+Dtype fp16();
+Dtype intSym(int bits);
+Dtype intAsym(int bits);
+
+/** Basic minifloats: FP3, FP4 (E2M1), FP6-E2M3, FP6-E3M2. */
+Dtype fp3();
+Dtype fp4();
+Dtype fp6e2m3();
+Dtype fp6e3m2();
+
+/**
+ * BitMoD extended types (Table IV).  ER = extra resolution, EA = extra
+ * asymmetry; each is a 2-candidate adaptive type (+v or -v).  The full
+ * BitMoD mixtures adapt over all four special values.
+ */
+Dtype fp3Er();
+Dtype fp3Ea();
+Dtype fp4Er();
+Dtype fp4Ea();
+Dtype bitmodFp3();
+Dtype bitmodFp4();
+
+/**
+ * BitMoD FP3 with a caller-supplied special-value set, for the Table IX
+ * ablation (e.g. {+/-5, +/-6} or {+/-3, +/-5}).
+ */
+Dtype bitmodFp3Custom(const std::vector<double> &specials,
+                      const std::string &label);
+/** Same for FP4 (used by the datatype-explorer example). */
+Dtype bitmodFp4Custom(const std::vector<double> &specials,
+                      const std::string &label);
+
+/**
+ * ANT's Flint ("float-int") reconstruction; see DESIGN.md section 3.
+ * flint4 grid: {0, +/-1, +/-2, +/-3, +/-4, +/-6, +/-8, +/-16};
+ * flint3 coincides with FP3.
+ */
+Dtype flint(int bits);
+
+/** OliVe outlier-victim pair at 3 or 4 bits. */
+Dtype olive(int bits);
+
+/** Microscaling MXFP4 / MXFP3 (group 32, shared 8-bit exponent). */
+Dtype mxfp(int bits);
+
+/** Look up by canonical name (used by benches/examples CLI). */
+Dtype byName(const std::string &name);
+
+/** All names registered for byName(). */
+std::vector<std::string> allNames();
+
+} // namespace dtypes
+
+} // namespace bitmod
+
+#endif // BITMOD_QUANT_DTYPE_HH

@@ -1,0 +1,89 @@
+#include "quant/grid.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+Grid::Grid(std::vector<double> values) : values_(std::move(values))
+{
+    BITMOD_ASSERT(!values_.empty(), "grid must not be empty");
+    std::sort(values_.begin(), values_.end());
+    values_.erase(std::unique(values_.begin(), values_.end()),
+                  values_.end());
+}
+
+Grid
+Grid::withSpecial(double special) const
+{
+    std::vector<double> v = values_;
+    v.push_back(special);
+    return Grid(std::move(v));
+}
+
+double
+Grid::absMax() const
+{
+    return std::max(std::fabs(values_.front()),
+                    std::fabs(values_.back()));
+}
+
+size_t
+Grid::nearestIndex(double x) const
+{
+    // values_ sorted: lower_bound then compare the two neighbours.
+    const auto it = std::lower_bound(values_.begin(), values_.end(), x);
+    if (it == values_.begin())
+        return 0;
+    if (it == values_.end())
+        return values_.size() - 1;
+    const size_t hi = static_cast<size_t>(it - values_.begin());
+    const size_t lo = hi - 1;
+    const double dLo = x - values_[lo];
+    const double dHi = values_[hi] - x;
+    return dLo <= dHi ? lo : hi;
+}
+
+double
+Grid::nearest(double x) const
+{
+    return values_[nearestIndex(x)];
+}
+
+double
+Grid::fitScale(double w_min, double w_max) const
+{
+    BITMOD_ASSERT(w_min <= w_max, "bad extremes: ", w_min, " > ", w_max);
+    double scale = 0.0;
+    if (w_max > 0.0) {
+        BITMOD_ASSERT(max() > 0.0,
+                      "grid has no positive values for positive data");
+        scale = std::max(scale, w_max / max());
+    }
+    if (w_min < 0.0) {
+        BITMOD_ASSERT(min() < 0.0,
+                      "grid has no negative values for negative data");
+        scale = std::max(scale, w_min / min());
+    }
+    return scale;
+}
+
+std::string
+Grid::describe() const
+{
+    std::ostringstream oss;
+    oss << "{";
+    for (size_t i = 0; i < values_.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << values_[i];
+    }
+    oss << "}";
+    return oss.str();
+}
+
+} // namespace bitmod

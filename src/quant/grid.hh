@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quantization value grids.
+ *
+ * A Grid is the sorted set of representable (pre-scale) values of a
+ * non-linear datatype — e.g. FP4's {0, ±0.5, ±1, ±1.5, ±2, ±3, ±4, ±6}
+ * or that grid extended with a BitMoD special value.  Quantizing a
+ * weight group against a grid means (1) fitting a scale so the group's
+ * extremes land inside the grid's range and (2) rounding each scaled
+ * weight to the nearest grid point (the paper's NonLinearQuantize).
+ */
+
+#ifndef BITMOD_QUANT_GRID_HH
+#define BITMOD_QUANT_GRID_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bitmod
+{
+
+/** A sorted set of representable values for non-linear quantization. */
+class Grid
+{
+  public:
+    Grid() = default;
+
+    /** Build from arbitrary values; sorts and deduplicates. */
+    explicit Grid(std::vector<double> values);
+
+    /** Grid extended with one extra (special) value. */
+    Grid withSpecial(double special) const;
+
+    const std::vector<double> &values() const { return values_; }
+    bool empty() const { return values_.empty(); }
+    size_t size() const { return values_.size(); }
+
+    double min() const { return values_.front(); }
+    double max() const { return values_.back(); }
+    /** Largest magnitude on the grid. */
+    double absMax() const;
+
+    /** Nearest grid value to @p x (ties toward the smaller value). */
+    double nearest(double x) const;
+
+    /** Index of the nearest grid value (the stored code). */
+    size_t nearestIndex(double x) const;
+
+    /**
+     * Range-fit scale for a group with extremes [w_min, w_max]: the
+     * smallest scale Delta such that w_max/Delta <= grid.max() and
+     * w_min/Delta >= grid.min().  The quantized group then spans the
+     * full grid, matching the absmax-driven scaling the paper describes
+     * (Section III-A).  Returns 0 for an all-zero group.
+     */
+    double fitScale(double w_min, double w_max) const;
+
+    std::string describe() const;
+
+  private:
+    std::vector<double> values_;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_QUANT_GRID_HH

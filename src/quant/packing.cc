@@ -1,0 +1,168 @@
+#include "quant/packing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+void
+appendBits(std::vector<uint8_t> &bytes, size_t &bit_pos, uint32_t value,
+           int bits)
+{
+    BITMOD_ASSERT(bits >= 0 && bits <= 32, "bad field width");
+    BITMOD_ASSERT(bits == 32 || (value >> bits) == 0,
+                  "value ", value, " exceeds ", bits, " bits");
+    for (int b = 0; b < bits; ++b) {
+        const size_t byteIdx = (bit_pos + b) / 8;
+        const int bitIdx = static_cast<int>((bit_pos + b) % 8);
+        if (byteIdx >= bytes.size())
+            bytes.push_back(0);
+        if ((value >> b) & 1u)
+            bytes[byteIdx] |= static_cast<uint8_t>(1u << bitIdx);
+    }
+    bit_pos += bits;
+}
+
+uint32_t
+readBits(const std::vector<uint8_t> &bytes, size_t &bit_pos, int bits)
+{
+    BITMOD_ASSERT(bits >= 0 && bits <= 32, "bad field width");
+    uint32_t value = 0;
+    for (int b = 0; b < bits; ++b) {
+        const size_t byteIdx = (bit_pos + b) / 8;
+        BITMOD_ASSERT(byteIdx < bytes.size(), "bitstream underrun");
+        const int bitIdx = static_cast<int>((bit_pos + b) % 8);
+        if ((bytes[byteIdx] >> bitIdx) & 1u)
+            value |= 1u << b;
+    }
+    bit_pos += bits;
+    return value;
+}
+
+GroupPacker::GroupPacker(const QuantConfig &cfg) : cfg_(cfg)
+{
+    BITMOD_ASSERT(cfg.dtype.kind != DtypeKind::Identity,
+                  "FP16 weights are not packed");
+    elementBits_ = cfg.dtype.bits;
+    // Metadata: 8-bit scale code always; 2-bit selector for adaptive
+    // types; 8-bit zero point for asymmetric integers.
+    metaBits_ = 8 + cfg.dtype.groupMetaBits();
+    if (cfg.dtype.kind == DtypeKind::IntAsym)
+        metaBits_ += 8;
+}
+
+uint32_t
+GroupPacker::codeOf(float qvalue, const EncodedGroup &enc) const
+{
+    switch (cfg_.dtype.kind) {
+      case DtypeKind::IntSym:
+      case DtypeKind::OliveOvp: {
+        // Bias to unsigned.  OliVe outliers are stored through their
+        // pair encoding in real hardware; this packer covers the
+        // normal-value path only and clamps anything beyond it.
+        const int bias = 1 << (elementBits_ - 1);
+        const int v = static_cast<int>(qvalue) + bias;
+        return static_cast<uint32_t>(
+            std::clamp(v, 0, (1 << elementBits_) - 1));
+      }
+      case DtypeKind::IntAsym:
+        return static_cast<uint32_t>(qvalue);
+      case DtypeKind::NonLinear:
+      case DtypeKind::Mx: {
+        const Grid &grid = cfg_.dtype.kind == DtypeKind::Mx
+                               ? cfg_.dtype.mxElementGrid
+                               : cfg_.dtype.candidates[std::max(
+                                     0, enc.svIndex)];
+        return static_cast<uint32_t>(grid.nearestIndex(qvalue));
+      }
+      case DtypeKind::Identity:
+        break;
+    }
+    BITMOD_PANIC("unhandled dtype kind");
+}
+
+float
+GroupPacker::valueOf(uint32_t code, int sv_index) const
+{
+    switch (cfg_.dtype.kind) {
+      case DtypeKind::IntSym:
+      case DtypeKind::OliveOvp: {
+        const int bias = 1 << (elementBits_ - 1);
+        return static_cast<float>(static_cast<int>(code) - bias);
+      }
+      case DtypeKind::IntAsym:
+        return static_cast<float>(code);
+      case DtypeKind::NonLinear:
+      case DtypeKind::Mx: {
+        const Grid &grid = cfg_.dtype.kind == DtypeKind::Mx
+                               ? cfg_.dtype.mxElementGrid
+                               : cfg_.dtype.candidates[std::max(
+                                     0, sv_index)];
+        BITMOD_ASSERT(code < grid.size(), "grid code out of range");
+        return static_cast<float>(grid.values()[code]);
+      }
+      case DtypeKind::Identity:
+        break;
+    }
+    BITMOD_PANIC("unhandled dtype kind");
+}
+
+PackedGroup
+GroupPacker::pack(const EncodedGroup &enc, int scale_code) const
+{
+    BITMOD_ASSERT(scale_code >= 0 && scale_code < 256,
+                  "scale code must fit 8 bits");
+    PackedGroup out;
+    out.elementBits = elementBits_;
+    out.metaBits = metaBits_;
+    size_t pos = 0;
+    for (const float q : enc.qvalues)
+        appendBits(out.bytes, pos, codeOf(q, enc), elementBits_);
+    appendBits(out.bytes, pos, static_cast<uint32_t>(scale_code), 8);
+    if (cfg_.dtype.groupMetaBits() > 0)
+        appendBits(out.bytes, pos,
+                   static_cast<uint32_t>(std::max(0, enc.svIndex)),
+                   cfg_.dtype.groupMetaBits());
+    if (cfg_.dtype.kind == DtypeKind::IntAsym)
+        appendBits(out.bytes, pos,
+                   static_cast<uint32_t>(enc.zeroPoint), 8);
+    return out;
+}
+
+EncodedGroup
+GroupPacker::unpack(const PackedGroup &packed, size_t group_size,
+                    double scale_base) const
+{
+    EncodedGroup enc;
+    size_t pos = 0;
+    std::vector<uint32_t> codes(group_size);
+    for (size_t i = 0; i < group_size; ++i)
+        codes[i] = readBits(packed.bytes, pos, elementBits_);
+    const uint32_t scaleCode = readBits(packed.bytes, pos, 8);
+    enc.svIndex = cfg_.dtype.groupMetaBits() > 0
+                      ? static_cast<int>(readBits(
+                            packed.bytes, pos,
+                            cfg_.dtype.groupMetaBits()))
+                      : (cfg_.dtype.kind == DtypeKind::NonLinear ? 0
+                                                                 : -1);
+    if (cfg_.dtype.kind == DtypeKind::IntAsym)
+        enc.zeroPoint = readBits(packed.bytes, pos, 8);
+    enc.scale = scaleCode * scale_base;
+    enc.qvalues.resize(group_size);
+    for (size_t i = 0; i < group_size; ++i)
+        enc.qvalues[i] = valueOf(codes[i], enc.svIndex);
+    return enc;
+}
+
+double
+GroupPacker::packedBitsPerWeight(size_t group_size) const
+{
+    BITMOD_ASSERT(group_size > 0, "empty group");
+    return elementBits_ +
+           static_cast<double>(metaBits_) / group_size;
+}
+
+} // namespace bitmod

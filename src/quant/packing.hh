@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bit-packing of quantized weight groups into the memory image the
+ * accelerator streams: element codes packed LSB-first at their
+ * datatype width, followed by the per-group metadata (8-bit scale
+ * code, 2-bit special-value selector, 8-bit zero-point where the
+ * datatype needs one).  This is the byte-exact layout a deployment
+ * would write to DRAM — Section III-C's "10-bit extra memory per
+ * group" made concrete.
+ */
+
+#ifndef BITMOD_QUANT_PACKING_HH
+#define BITMOD_QUANT_PACKING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/quantizer.hh"
+
+namespace bitmod
+{
+
+/** One group's packed image. */
+struct PackedGroup
+{
+    std::vector<uint8_t> bytes;  //!< element codes + metadata
+    int elementBits = 0;
+    int metaBits = 0;
+};
+
+/**
+ * Serializer for encoded groups of one quantization configuration.
+ * Grid codes are indices into the candidate grid; integer codes are
+ * biased to unsigned.  The packer also owns the scale codec: scales
+ * are stored as the 8-bit second-level integer plus one per-channel
+ * FP16 base (kept out-of-band by the caller).
+ */
+class GroupPacker
+{
+  public:
+    explicit GroupPacker(const QuantConfig &cfg);
+
+    /** Pack one encoded group (with its INT8 scale code). */
+    PackedGroup pack(const EncodedGroup &enc, int scale_code) const;
+
+    /** Unpack back to an EncodedGroup; @p scale_base rebuilds scale. */
+    EncodedGroup unpack(const PackedGroup &packed, size_t group_size,
+                        double scale_base) const;
+
+    /** Stored bits per weight for a group of @p group_size. */
+    double packedBitsPerWeight(size_t group_size) const;
+
+    int elementBits() const { return elementBits_; }
+    int metaBits() const { return metaBits_; }
+
+  private:
+    /** Map a qvalue to its unsigned storage code. */
+    uint32_t codeOf(float qvalue, const EncodedGroup &enc) const;
+    /** Map a storage code back to the qvalue. */
+    float valueOf(uint32_t code, int sv_index) const;
+
+    QuantConfig cfg_;
+    int elementBits_ = 0;
+    int metaBits_ = 0;
+};
+
+/** Append @p bits low bits of @p value to a bitstream. */
+void appendBits(std::vector<uint8_t> &bytes, size_t &bit_pos,
+                uint32_t value, int bits);
+
+/** Read @p bits from a bitstream at @p bit_pos (advances it). */
+uint32_t readBits(const std::vector<uint8_t> &bytes, size_t &bit_pos,
+                  int bits);
+
+} // namespace bitmod
+
+#endif // BITMOD_QUANT_PACKING_HH

@@ -1,0 +1,507 @@
+#include "quant/quantizer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace bitmod
+{
+
+namespace
+{
+
+/** Extremes of a span. */
+std::pair<double, double>
+extremes(std::span<const float> w)
+{
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (const float x : w) {
+        lo = std::min<double>(lo, x);
+        hi = std::max<double>(hi, x);
+    }
+    return {lo, hi};
+}
+
+double
+groupMse(std::span<const float> w, std::span<const float> q)
+{
+    double e = 0.0;
+    for (size_t i = 0; i < w.size(); ++i) {
+        const double d = static_cast<double>(w[i]) - q[i];
+        e += d * d;
+    }
+    return e / static_cast<double>(w.size());
+}
+
+EncodedGroup
+encodeIntSym(std::span<const float> w, int bits)
+{
+    EncodedGroup enc;
+    enc.qvalues.resize(w.size());
+    const double qmax = (1 << (bits - 1)) - 1;
+    double absMax = 0.0;
+    for (const float x : w)
+        absMax = std::max<double>(absMax, std::fabs(x));
+    if (absMax == 0.0)
+        return enc;
+    enc.scale = absMax / qmax;
+    for (size_t i = 0; i < w.size(); ++i) {
+        double q = std::nearbyint(w[i] / enc.scale);
+        q = std::clamp(q, -qmax, qmax);
+        enc.qvalues[i] = static_cast<float>(q);
+    }
+    return enc;
+}
+
+EncodedGroup
+encodeIntAsym(std::span<const float> w, int bits)
+{
+    EncodedGroup enc;
+    enc.qvalues.resize(w.size());
+    auto [lo, hi] = extremes(w);
+    // Always include zero in the representable range, the standard
+    // asymmetric-quantization convention (Eq. 2 assumes min <= 0).
+    lo = std::min(lo, 0.0);
+    hi = std::max(hi, 0.0);
+    const double range = hi - lo;
+    const double qmax = (1 << bits) - 1;
+    if (range == 0.0)
+        return enc;
+    enc.scale = range / qmax;
+    enc.zeroPoint = std::nearbyint(-lo / enc.scale);
+    for (size_t i = 0; i < w.size(); ++i) {
+        double q = std::nearbyint(w[i] / enc.scale) + enc.zeroPoint;
+        q = std::clamp(q, 0.0, qmax);
+        enc.qvalues[i] = static_cast<float>(q);
+    }
+    return enc;
+}
+
+/** NonLinearQuantize of Algorithm 1 against one candidate grid. */
+EncodedGroup
+encodeGrid(std::span<const float> w, const Grid &grid)
+{
+    EncodedGroup enc;
+    enc.qvalues.resize(w.size());
+    auto [lo, hi] = extremes(w);
+    const double scale = grid.fitScale(lo, hi);
+    enc.scale = scale;
+    if (scale == 0.0)
+        return enc;
+    for (size_t i = 0; i < w.size(); ++i)
+        enc.qvalues[i] = static_cast<float>(grid.nearest(w[i] / scale));
+    return enc;
+}
+
+/** Algorithm 1: adapt the special value per group by MSE. */
+EncodedGroup
+encodeAdaptive(std::span<const float> w, const Dtype &dt)
+{
+    EncodedGroup best;
+    double bestErr = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < dt.candidates.size(); ++c) {
+        EncodedGroup enc = encodeGrid(w, dt.candidates[c]);
+        enc.svIndex = static_cast<int>(c);
+        std::vector<float> deq(w.size());
+        for (size_t i = 0; i < w.size(); ++i)
+            deq[i] = static_cast<float>(enc.qvalues[i] * enc.scale);
+        const double err = groupMse(w, {deq.data(), deq.size()});
+        if (err < bestErr) {
+            bestErr = err;
+            best = std::move(enc);
+        }
+    }
+    return best;
+}
+
+/** MX: shared power-of-two scale (8-bit exponent), elements on grid. */
+EncodedGroup
+encodeMx(std::span<const float> w, const Grid &element_grid)
+{
+    EncodedGroup enc;
+    enc.qvalues.resize(w.size());
+    double absMax = 0.0;
+    for (const float x : w)
+        absMax = std::max<double>(absMax, std::fabs(x));
+    if (absMax == 0.0)
+        return enc;
+    // OCP MX: shared exponent = floor(log2(absmax)) - emax(element).
+    const int emaxElem =
+        static_cast<int>(std::floor(std::log2(element_grid.absMax())));
+    int e = static_cast<int>(std::floor(std::log2(absMax))) - emaxElem;
+    e = std::clamp(e, -127, 127);
+    enc.scale = std::ldexp(1.0, e);
+    for (size_t i = 0; i < w.size(); ++i) {
+        const double scaled = w[i] / enc.scale;
+        // Saturating round-to-nearest onto the element grid.
+        enc.qvalues[i] = static_cast<float>(element_grid.nearest(scaled));
+    }
+    return enc;
+}
+
+/** OliVe abfloat magnitude grid (in units of the normal scale). */
+std::vector<double>
+oliveAbfloatMagnitudes(int bits)
+{
+    // 4-bit: sign + 2-bit exponent + 1-bit mantissa, biased past the
+    // normal INT4 range: (1 + m/2) * 2^(4+e) -> {16,24,32,48,64,96,128,192}.
+    // 3-bit: sign + 2-bit exponent: 2^(3+e) -> {8,16,32,64}.
+    std::vector<double> mags;
+    if (bits == 4) {
+        for (int e = 0; e < 4; ++e)
+            for (int m = 0; m < 2; ++m)
+                mags.push_back((1.0 + 0.5 * m) * std::ldexp(1.0, 4 + e));
+    } else {
+        for (int e = 0; e < 4; ++e)
+            mags.push_back(std::ldexp(1.0, 3 + e));
+    }
+    std::sort(mags.begin(), mags.end());
+    return mags;
+}
+
+/**
+ * OliVe outlier-victim pair encoding: the top-t magnitudes become
+ * abfloat outliers whose pair-partner is pruned to zero; t is chosen
+ * per group to minimize MSE (the mechanism of the OliVe paper with an
+ * optimal threshold instead of a heuristic one).
+ */
+EncodedGroup
+encodeOlive(std::span<const float> w, int bits, int max_outliers)
+{
+    const size_t n = w.size();
+    const double qmax = (1 << (bits - 1)) - 1;
+    const auto abfloat = oliveAbfloatMagnitudes(bits);
+
+    // Magnitude-sorted candidate outlier order.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return std::fabs(w[a]) > std::fabs(w[b]);
+    });
+
+    EncodedGroup best;
+    double bestErr = std::numeric_limits<double>::infinity();
+
+    // The outlier budget scales with the quantization extent: OliVe
+    // protects a fixed *fraction* of values (~6%), so per-channel
+    // operation on long channels must allow proportionally more
+    // outliers than a 128-wide group.
+    const int budget =
+        std::max(max_outliers, static_cast<int>(n / 16));
+    const int tMax = std::min<int>(budget, static_cast<int>(n / 2));
+    for (int t = 0; t <= tMax; ++t) {
+        // Outlier set: top-t magnitudes, skipping pair conflicts (both
+        // elements of a pair cannot be outliers; the smaller clamps).
+        std::vector<bool> isOutlier(n, false);
+        std::vector<bool> isVictim(n, false);
+        int placed = 0;
+        for (size_t idx : order) {
+            if (placed == t)
+                break;
+            const size_t partner = idx ^ 1;
+            if (partner < n && (isOutlier[partner] || isVictim[idx]))
+                continue;
+            isOutlier[idx] = true;
+            if (partner < n)
+                isVictim[partner] = true;
+            ++placed;
+        }
+
+        // Normal scale from the remaining values.
+        double normMax = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            if (!isOutlier[i] && !isVictim[i])
+                normMax = std::max<double>(normMax, std::fabs(w[i]));
+        const double scale = normMax > 0.0 ? normMax / qmax : 0.0;
+
+        EncodedGroup enc;
+        enc.qvalues.resize(n);
+        enc.scale = scale;
+        double err = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            double q;
+            if (isVictim[i]) {
+                q = 0.0;
+            } else if (isOutlier[i] && scale > 0.0) {
+                const double mag = std::fabs(w[i]) / scale;
+                double bestMag = abfloat[0];
+                double bestDist = std::fabs(mag - abfloat[0]);
+                for (const double m : abfloat) {
+                    const double dist = std::fabs(mag - m);
+                    if (dist < bestDist) {
+                        bestDist = dist;
+                        bestMag = m;
+                    }
+                }
+                q = std::copysign(bestMag, w[i]);
+            } else if (scale > 0.0) {
+                q = std::clamp<double>(std::nearbyint(w[i] / scale),
+                                       -qmax, qmax);
+            } else {
+                q = 0.0;
+            }
+            enc.qvalues[i] = static_cast<float>(q);
+            const double d = w[i] - q * scale;
+            err += d * d;
+        }
+        if (err < bestErr) {
+            bestErr = err;
+            best = std::move(enc);
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+EncodedGroup
+encodeGroup(std::span<const float> w, const QuantConfig &cfg)
+{
+    switch (cfg.dtype.kind) {
+      case DtypeKind::Identity: {
+        EncodedGroup enc;
+        enc.qvalues.assign(w.begin(), w.end());
+        enc.scale = 1.0;
+        return enc;
+      }
+      case DtypeKind::IntSym:
+        return encodeIntSym(w, cfg.dtype.bits);
+      case DtypeKind::IntAsym:
+        return encodeIntAsym(w, cfg.dtype.bits);
+      case DtypeKind::NonLinear:
+        if (cfg.dtype.candidates.size() == 1) {
+            EncodedGroup enc = encodeGrid(w, cfg.dtype.candidates[0]);
+            enc.svIndex = 0;
+            return enc;
+        }
+        return encodeAdaptive(w, cfg.dtype);
+      case DtypeKind::Mx:
+        return encodeMx(w, cfg.dtype.mxElementGrid);
+      case DtypeKind::OliveOvp:
+        return encodeOlive(w, cfg.dtype.bits, cfg.oliveMaxOutliers);
+    }
+    BITMOD_PANIC("unhandled dtype kind");
+}
+
+std::vector<float>
+decodeGroup(const EncodedGroup &enc, const QuantConfig &cfg)
+{
+    std::vector<float> out(enc.qvalues.size());
+    const bool asym = cfg.dtype.kind == DtypeKind::IntAsym;
+    for (size_t i = 0; i < out.size(); ++i) {
+        const double q = asym ? enc.qvalues[i] - enc.zeroPoint
+                              : enc.qvalues[i];
+        out[i] = static_cast<float>(q * enc.scale);
+    }
+    return out;
+}
+
+float
+quantizeValueInGroup(float w, const EncodedGroup &enc,
+                     const QuantConfig &cfg)
+{
+    if (enc.scale == 0.0)
+        return 0.0f;
+    switch (cfg.dtype.kind) {
+      case DtypeKind::Identity:
+        return w;
+      case DtypeKind::IntSym: {
+        const double qmax = (1 << (cfg.dtype.bits - 1)) - 1;
+        const double q = std::clamp<double>(
+            std::nearbyint(w / enc.scale), -qmax, qmax);
+        return static_cast<float>(q * enc.scale);
+      }
+      case DtypeKind::IntAsym: {
+        const double qmax = (1 << cfg.dtype.bits) - 1;
+        const double q = std::clamp<double>(
+            std::nearbyint(w / enc.scale) + enc.zeroPoint, 0.0, qmax);
+        return static_cast<float>((q - enc.zeroPoint) * enc.scale);
+      }
+      case DtypeKind::NonLinear: {
+        BITMOD_ASSERT(enc.svIndex >= 0, "group missing special index");
+        const Grid &grid = cfg.dtype.candidates[enc.svIndex];
+        return static_cast<float>(grid.nearest(w / enc.scale) *
+                                  enc.scale);
+      }
+      case DtypeKind::Mx: {
+        return static_cast<float>(
+            cfg.dtype.mxElementGrid.nearest(w / enc.scale) * enc.scale);
+      }
+      case DtypeKind::OliveOvp: {
+        // Value-level requantization uses the normal grid only (the
+        // outlier structure is fixed at group encode time).
+        const double qmax = (1 << (cfg.dtype.bits - 1)) - 1;
+        const double q = std::clamp<double>(
+            std::nearbyint(w / enc.scale), -qmax, qmax);
+        return static_cast<float>(q * enc.scale);
+      }
+    }
+    BITMOD_PANIC("unhandled dtype kind");
+}
+
+std::vector<double>
+quantizeScales(std::span<const double> scales, int bits)
+{
+    BITMOD_ASSERT(bits >= 2 && bits <= 8, "scale bits: ", bits);
+    double maxScale = 0.0;
+    for (const double s : scales) {
+        BITMOD_ASSERT(s >= 0.0, "negative scale factor");
+        maxScale = std::max(maxScale, s);
+    }
+    std::vector<double> out(scales.size(), 0.0);
+    if (maxScale == 0.0)
+        return out;
+    // Eq. (1) applied to the scale vector (VS-Quant second level).
+    const double qmax = (1 << (bits - 1)) - 1;
+    const double d2 = maxScale / qmax;
+    for (size_t i = 0; i < scales.size(); ++i)
+        out[i] = std::nearbyint(scales[i] / d2) * d2;
+    return out;
+}
+
+double
+bitsPerWeight(const QuantConfig &cfg, size_t channel_size)
+{
+    if (cfg.dtype.kind == DtypeKind::Identity)
+        return 16.0;
+    double group = 0.0;
+    switch (cfg.granularity) {
+      case Granularity::PerTensor:
+      case Granularity::PerChannel:
+        group = static_cast<double>(channel_size);
+        break;
+      case Granularity::PerGroup:
+        group = static_cast<double>(cfg.groupSize);
+        break;
+    }
+    const double scaleBits = cfg.scaleBits > 0 ? cfg.scaleBits : 16.0;
+    double meta = scaleBits;
+    if (cfg.dtype.kind == DtypeKind::IntAsym)
+        meta += 8.0;  // stored zero-point
+    meta += cfg.dtype.groupMetaBits();
+    if (cfg.dtype.kind == DtypeKind::Mx)
+        meta = 8.0;  // shared 8-bit exponent only, per the MX spec
+    return cfg.dtype.bits + meta / group;
+}
+
+QuantizedTensor
+quantizeMatrix(const Matrix &w, const QuantConfig &cfg)
+{
+    QuantizedTensor result;
+    result.dequant = Matrix(w.rows(), w.cols());
+    result.stats.svHistogram.assign(
+        std::max<size_t>(1, cfg.dtype.candidates.size()), 0);
+
+    if (cfg.dtype.kind == DtypeKind::Identity) {
+        result.dequant = w;
+        result.stats.bitsPerWeight = 16.0;
+        return result;
+    }
+
+    // Effective group extent per granularity.
+    size_t groupSize;
+    switch (cfg.granularity) {
+      case Granularity::PerTensor:
+        groupSize = 0;  // handled specially below
+        break;
+      case Granularity::PerChannel:
+        groupSize = w.cols();
+        break;
+      case Granularity::PerGroup:
+        groupSize = static_cast<size_t>(
+            cfg.dtype.kind == DtypeKind::Mx ? 32 : cfg.groupSize);
+        BITMOD_ASSERT(w.cols() % groupSize == 0,
+                      "cols ", w.cols(), " not divisible by group ",
+                      groupSize);
+        break;
+      default:
+        BITMOD_PANIC("unhandled granularity");
+    }
+
+    double errSum = 0.0, refSum = 0.0;
+
+    auto processGroup = [&](std::span<const float> src,
+                            std::span<float> dst, size_t channel) {
+        EncodedGroup enc = encodeGroup(src, cfg);
+        (void)channel;
+        if (enc.svIndex >= 0 &&
+            enc.svIndex < static_cast<int>(result.stats.svHistogram.size()))
+            ++result.stats.svHistogram[enc.svIndex];
+        const auto deq = decodeGroup(enc, cfg);
+        for (size_t i = 0; i < src.size(); ++i) {
+            dst[i] = deq[i];
+            const double d = static_cast<double>(src[i]) - deq[i];
+            errSum += d * d;
+            refSum += static_cast<double>(src[i]) * src[i];
+        }
+        ++result.stats.groups;
+        if (cfg.captureEncoding)
+            result.encodings.push_back(std::move(enc));
+    };
+
+    if (cfg.granularity == Granularity::PerTensor) {
+        // One group spanning the whole tensor.
+        std::vector<float> flat(w.flat().begin(), w.flat().end());
+        std::vector<float> deq(flat.size());
+        processGroup({flat.data(), flat.size()},
+                     {deq.data(), deq.size()}, 0);
+        std::copy(deq.begin(), deq.end(), result.dequant.flat().begin());
+    } else if (cfg.scaleBits > 0 &&
+               cfg.granularity == Granularity::PerGroup &&
+               cfg.dtype.kind != DtypeKind::Mx) {
+        // Two passes per channel: encode groups, second-level quantize
+        // the channel's scale vector, then decode with the re-quantized
+        // scales (Section III-C).
+        const size_t ngroups = w.cols() / groupSize;
+        for (size_t r = 0; r < w.rows(); ++r) {
+            std::vector<EncodedGroup> encs(ngroups);
+            std::vector<double> scales(ngroups);
+            for (size_t g = 0; g < ngroups; ++g) {
+                encs[g] = encodeGroup(w.group(r, g, groupSize), cfg);
+                scales[g] = encs[g].scale;
+            }
+            const auto qScales =
+                quantizeScales({scales.data(), scales.size()},
+                               cfg.scaleBits);
+            for (size_t g = 0; g < ngroups; ++g) {
+                encs[g].scale = qScales[g];
+                if (encs[g].svIndex >= 0)
+                    ++result.stats.svHistogram[encs[g].svIndex];
+                const auto deq = decodeGroup(encs[g], cfg);
+                auto src = w.group(r, g, groupSize);
+                auto dst = result.dequant.group(r, g, groupSize);
+                for (size_t i = 0; i < groupSize; ++i) {
+                    dst[i] = deq[i];
+                    const double d =
+                        static_cast<double>(src[i]) - deq[i];
+                    errSum += d * d;
+                    refSum += static_cast<double>(src[i]) * src[i];
+                }
+                ++result.stats.groups;
+                if (cfg.captureEncoding)
+                    result.encodings.push_back(std::move(encs[g]));
+            }
+        }
+    } else {
+        const size_t ngroups = w.cols() / groupSize;
+        for (size_t r = 0; r < w.rows(); ++r) {
+            for (size_t g = 0; g < ngroups; ++g) {
+                processGroup(w.group(r, g, groupSize),
+                             result.dequant.group(r, g, groupSize), r);
+            }
+        }
+    }
+
+    const size_t n = w.size();
+    result.stats.mse = n ? errSum / static_cast<double>(n) : 0.0;
+    result.stats.nmse = refSum > 0.0 ? errSum / refSum : 0.0;
+    result.stats.bitsPerWeight = bitsPerWeight(cfg, w.cols());
+    return result;
+}
+
+} // namespace bitmod

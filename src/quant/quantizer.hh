@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The quantization engine: granularity handling, Algorithm 1
+ * (fine-grained datatype adaptation), the MX shared-exponent path, the
+ * OliVe outlier-victim-pair path, and VS-Quant-style second-level
+ * quantization of per-group scale factors (Section III-C).
+ */
+
+#ifndef BITMOD_QUANT_QUANTIZER_HH
+#define BITMOD_QUANT_QUANTIZER_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "quant/dtype.hh"
+#include "tensor/matrix.hh"
+
+namespace bitmod
+{
+
+/** Quantization granularity (Section II-C). */
+enum class Granularity
+{
+    PerTensor,
+    PerChannel,
+    PerGroup,
+};
+
+/** Full quantizer configuration. */
+struct QuantConfig
+{
+    Dtype dtype;
+    Granularity granularity = Granularity::PerGroup;
+    int groupSize = 128;
+
+    /**
+     * Second-level scale-factor precision: 0 keeps FP16 scales;
+     * 2/4/6/8 quantizes the per-group scales of each channel to that
+     * many bits with symmetric integer quantization (Table V).
+     */
+    int scaleBits = 0;
+
+    /** Capture per-group encodings for hardware-model consumption. */
+    bool captureEncoding = false;
+
+    /** Max outliers per group the OliVe path may protect. */
+    int oliveMaxOutliers = 8;
+};
+
+/**
+ * One encoded weight group as the hardware sees it: pre-scale grid
+ * values (integers for INT types), the group scale, the asymmetric
+ * zero-point (quantized domain) and the selected special value index.
+ */
+struct EncodedGroup
+{
+    std::vector<float> qvalues;
+    double scale = 0.0;
+    double zeroPoint = 0.0;  //!< IntAsym only
+    int svIndex = -1;        //!< adaptive NonLinear only
+};
+
+/** Aggregate quantization statistics. */
+struct QuantStats
+{
+    double mse = 0.0;
+    double nmse = 0.0;
+    size_t groups = 0;
+    /** Histogram over chosen special values (adaptive types). */
+    std::vector<size_t> svHistogram;
+    /** Average per-weight storage incl. scales + metadata, in bits. */
+    double bitsPerWeight = 0.0;
+};
+
+/** Result of quantizing a full matrix. */
+struct QuantizedTensor
+{
+    Matrix dequant;  //!< dequantized weights (what the math sees)
+    QuantStats stats;
+    /** Row-major list of encoded groups when captureEncoding is set. */
+    std::vector<EncodedGroup> encodings;
+};
+
+/** Quantize a weight matrix according to @p cfg. */
+QuantizedTensor quantizeMatrix(const Matrix &w, const QuantConfig &cfg);
+
+/**
+ * Quantize a single group (Algorithm 1 for adaptive types).  Exposed
+ * for unit tests and the GPTQ inner loop.
+ */
+EncodedGroup encodeGroup(std::span<const float> w, const QuantConfig &cfg);
+
+/** Dequantize an encoded group back to real values. */
+std::vector<float> decodeGroup(const EncodedGroup &enc,
+                               const QuantConfig &cfg);
+
+/**
+ * Quantize one value against an already-chosen group encoding (scale /
+ * zero-point / grid fixed).  This is what GPTQ's column-by-column loop
+ * needs.  Returns the dequantized value.
+ */
+float quantizeValueInGroup(float w, const EncodedGroup &enc,
+                           const QuantConfig &cfg);
+
+/**
+ * Second-level symmetric integer quantization of positive scale
+ * factors (Eq. 1 applied to the scales of one channel): returns the
+ * re-quantized scales.  @p bits >= 2.
+ */
+std::vector<double> quantizeScales(std::span<const double> scales,
+                                   int bits);
+
+/**
+ * Average stored bits per weight for a given configuration and channel
+ * size: element bits + (scale bits + zero-point bits + special-value
+ * selector bits) / group size.  Matches the paper's memory-overhead
+ * analysis (Section III-C).
+ */
+double bitsPerWeight(const QuantConfig &cfg, size_t channel_size);
+
+} // namespace bitmod
+
+#endif // BITMOD_QUANT_QUANTIZER_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * DDR4 DRAM timing/energy model — the stand-in for DRAMSim3 in the
+ * authors' simulator (DESIGN.md section 1).  The accelerator consumes
+ * DRAM through exactly two quantities per transfer: cycles occupied at
+ * the accelerator clock (bandwidth roof with a page-hit derating) and
+ * energy (pJ/bit).
+ */
+
+#ifndef BITMOD_SIM_DRAM_HH
+#define BITMOD_SIM_DRAM_HH
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+/** DDR4-3200 x64-channel-class configuration. */
+struct DramConfig
+{
+    double bandwidthGBs = 25.6;   //!< peak channel bandwidth
+    double efficiency = 0.85;     //!< page-hit / refresh derating
+    double energyPerBitPj = 18.0; //!< access + I/O energy (DDR4-class)
+    double burstBytes = 64.0;     //!< minimum transfer granularity
+};
+
+/** Simple bandwidth/energy DRAM model. */
+class DramModel
+{
+  public:
+    explicit DramModel(DramConfig cfg = {}) : cfg_(cfg)
+    {
+        BITMOD_ASSERT(cfg_.bandwidthGBs > 0 && cfg_.efficiency > 0 &&
+                          cfg_.efficiency <= 1.0,
+                      "bad DRAM config");
+    }
+
+    const DramConfig &config() const { return cfg_; }
+
+    /** Effective sustainable bandwidth in bytes per second. */
+    double
+    effectiveBandwidth() const
+    {
+        return cfg_.bandwidthGBs * 1e9 * cfg_.efficiency;
+    }
+
+    /**
+     * Accelerator cycles to move @p bytes at @p clock_ghz (transfers
+     * are padded up to whole bursts).
+     */
+    double
+    transferCycles(double bytes, double clock_ghz) const
+    {
+        BITMOD_ASSERT(bytes >= 0.0 && clock_ghz > 0.0, "bad transfer");
+        const double bursts =
+            bytes == 0.0 ? 0.0
+                         : std::max(1.0, bytes / cfg_.burstBytes);
+        const double padded = bursts * cfg_.burstBytes;
+        const double seconds = padded / effectiveBandwidth();
+        return seconds * clock_ghz * 1e9;
+    }
+
+    /** Transfer energy in nanojoules. */
+    double
+    transferEnergyNj(double bytes) const
+    {
+        return bytes * 8.0 * cfg_.energyPerBitPj * 1e-3;
+    }
+
+  private:
+    DramConfig cfg_;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_SIM_DRAM_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * On-chip SRAM buffer model with CACTI-class 28 nm energy constants —
+ * the stand-in for the paper's CACTI-modelled 512 KB activation and
+ * weight buffers.
+ */
+
+#ifndef BITMOD_SIM_SRAM_HH
+#define BITMOD_SIM_SRAM_HH
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+/** Buffer configuration. */
+struct SramConfig
+{
+    double capacityKiB = 512.0;
+    /** Read/write energy per bit (pJ), CACTI-class for a banked
+     *  512 KB 28 nm SRAM. */
+    double readEnergyPerBitPj = 0.06;
+    double writeEnergyPerBitPj = 0.08;
+    /** Leakage power (mW) while the accelerator is on. */
+    double leakageMw = 15.0;
+};
+
+/** Energy-accounting SRAM model. */
+class SramModel
+{
+  public:
+    explicit SramModel(SramConfig cfg = {}) : cfg_(cfg)
+    {
+        BITMOD_ASSERT(cfg_.capacityKiB > 0, "bad SRAM config");
+    }
+
+    const SramConfig &config() const { return cfg_; }
+
+    double capacityBytes() const { return cfg_.capacityKiB * 1024.0; }
+
+    /** Energy (nJ) to read @p bits from the buffer. */
+    double
+    readEnergyNj(double bits) const
+    {
+        return bits * cfg_.readEnergyPerBitPj * 1e-3;
+    }
+
+    /** Energy (nJ) to write @p bits into the buffer. */
+    double
+    writeEnergyNj(double bits) const
+    {
+        return bits * cfg_.writeEnergyPerBitPj * 1e-3;
+    }
+
+    /** Leakage energy (nJ) over @p cycles at @p clock_ghz. */
+    double
+    leakageEnergyNj(double cycles, double clock_ghz) const
+    {
+        const double seconds = cycles / (clock_ghz * 1e9);
+        return cfg_.leakageMw * seconds * 1e6;
+    }
+
+  private:
+    SramConfig cfg_;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_SIM_SRAM_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Gate-level area/power estimation — the stand-in for the paper's
+ * Synopsys DC + TSMC 28 nm synthesis flow (DESIGN.md section 1).
+ *
+ * Every datapath is described as a bag of components with NAND2-
+ * equivalent gate counts; area and power follow from 28 nm-class
+ * per-gate constants.  Per-gate area is calibrated so that the
+ * baseline FP16 MAC PE matches the paper's Table X (95,498 um^2 for a
+ * 6x8-PE tile => ~1,990 um^2/PE); all *ratios* — the quantities the
+ * paper's hardware claims rest on — come from the netlist structure.
+ */
+
+#ifndef BITMOD_SYNTH_NETLIST_HH
+#define BITMOD_SYNTH_NETLIST_HH
+
+#include <string>
+#include <vector>
+
+namespace bitmod
+{
+
+/** 28 nm-class technology constants. */
+namespace tech
+{
+/** NAND2-equivalent cell area (um^2), incl. placement utilization. */
+inline constexpr double kAreaPerGateUm2 = 0.49;
+/** Dynamic + leakage power per gate at 1 GHz, nominal activity (mW). */
+inline constexpr double kPowerPerGateMw = 0.00019;
+} // namespace tech
+
+/** One component instance group in a netlist. */
+struct NetComponent
+{
+    std::string name;
+    double gates = 0.0;      //!< NAND2-equivalents per instance
+    int count = 1;           //!< instances
+    double activity = 1.0;   //!< relative switching activity factor
+};
+
+/** A synthesizable block as a bag of components. */
+class Netlist
+{
+  public:
+    explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+    /** Add @p count instances of a component. */
+    void
+    add(const std::string &component, double gates, int count = 1,
+        double activity = 1.0)
+    {
+        components_.push_back({component, gates, count, activity});
+    }
+
+    const std::string &name() const { return name_; }
+    const std::vector<NetComponent> &components() const
+    {
+        return components_;
+    }
+
+    /** Total NAND2-equivalent gates. */
+    double totalGates() const;
+
+    /** Area in um^2. */
+    double areaUm2() const;
+
+    /** Power in mW at 1 GHz. */
+    double powerMw() const;
+
+  private:
+    std::string name_;
+    std::vector<NetComponent> components_;
+};
+
+/** Gate-count building blocks (NAND2-equivalents, textbook figures). */
+namespace gatecount
+{
+/** n-bit ripple-carry adder (6 gates per full adder). */
+inline double adder(int n) { return 6.0 * n; }
+/** n x m array multiplier: partial products + FA reduction + final add. */
+inline double multiplier(int n, int m)
+{
+    return n * m + 6.0 * (n - 2) * m + 6.0 * (n + m);
+}
+/** n-bit barrel shifter with s mux stages (3 gates per 2:1 mux bit). */
+inline double barrelShifter(int n, int s) { return 3.0 * n * s; }
+/** n-bit leading-zero/one detector. */
+inline double lzd(int n) { return 2.0 * n; }
+/** n-bit register (7 gates per DFF). */
+inline double reg(int n) { return 7.0 * n; }
+/** n-bit 2:1 mux. */
+inline double mux2(int n) { return 3.0 * n; }
+/** n-bit conditional negate (XOR row + increment). */
+inline double negate(int n) { return 3.0 * n + 3.0; }
+/** n-bit comparator. */
+inline double comparator(int n) { return 7.0 * n; }
+} // namespace gatecount
+
+} // namespace bitmod
+
+#endif // BITMOD_SYNTH_NETLIST_HH

@@ -1,0 +1,205 @@
+#include "synth/pe_synth.hh"
+
+#include "synth/netlist.hh"
+
+namespace bitmod
+{
+
+double
+Netlist::totalGates() const
+{
+    double total = 0.0;
+    for (const auto &c : components_)
+        total += c.gates * c.count;
+    return total;
+}
+
+double
+Netlist::areaUm2() const
+{
+    return totalGates() * tech::kAreaPerGateUm2;
+}
+
+double
+Netlist::powerMw() const
+{
+    double power = 0.0;
+    for (const auto &c : components_)
+        power += c.gates * c.count * c.activity * tech::kPowerPerGateMw;
+    return power;
+}
+
+namespace
+{
+using namespace gatecount;
+}
+
+Netlist
+fp16MacPeNetlist()
+{
+    // A fused FP16 multiply-accumulate datapath with a wide aligned
+    // accumulator (34-bit: 22-bit product + alignment headroom) and a
+    // two-path close/far add for single-cycle operation at 1 GHz.
+    Netlist n("FP16-MAC-PE");
+    n.add("sig_multiplier_11x11", multiplier(11, 11));
+    n.add("exp_add_bias", adder(6));
+    n.add("exp_compare", comparator(6));
+    n.add("product_align_shifter_34b", barrelShifter(34, 5));
+    n.add("mantissa_adder_34b", adder(34));
+    n.add("close_path_adder_24b", adder(24));  // two-path FP add
+    n.add("lzd_34b", lzd(34));
+    n.add("norm_shifter_34b", barrelShifter(34, 5));
+    n.add("rne_rounding", 90.0);
+    n.add("sign_special_logic", 120.0);
+    n.add("subnormal_handling", 250.0);
+    n.add("exception_logic", 120.0);
+    n.add("operand_registers_32b", reg(32), 1, 0.5);
+    n.add("acc_register_40b", reg(40), 1, 0.6);
+    n.add("output_register_16b", reg(16), 1, 0.4);
+    n.add("pipeline_registers_40b", reg(40), 1, 0.6);
+    n.add("control", 150.0, 1, 0.5);
+    return n;
+}
+
+Netlist
+bitmodPeNetlist()
+{
+    // Fig. 5: four bit-serial lanes share one fixed-point accumulator
+    // and one bit-serial dequantization unit.  The 11x11 multiplier of
+    // the FP16 PE collapses to four 1x11 AND rows; that saving pays
+    // for the extra lanes and the dequant unit with room to spare.
+    Netlist n("BitMoD-PE");
+    // Step 1: exponent alignment.
+    n.add("exp_adders_7b", adder(7), 4);
+    n.add("delta_exp_sub_7b", adder(7), 4);
+    n.add("emax_compare_tree", comparator(7), 3);
+    n.add("sign_xor", 6.0, 4);
+    // Step 2: bit-serial multiplication + aligned add.
+    n.add("and_row_1x11", 11.0, 4);
+    // Bounded 3-stage alignment (FPRaker-style: products shifted past
+    // the guard window are flushed), which is what keeps the lane cheap.
+    n.add("align_shifter_15b", barrelShifter(15, 3), 4);
+    n.add("negate_15b", negate(15), 4);
+    n.add("adder_tree_16b", adder(16), 2);
+    n.add("adder_tree_17b", adder(17), 1);
+    // Step 3: group accumulation.
+    n.add("bsig_shifter_18b", barrelShifter(18, 3));
+    n.add("acc_adder_24b", adder(24));
+    n.add("acc_lzd_24b", lzd(24));
+    n.add("acc_norm_shifter_24b", barrelShifter(24, 2));
+    n.add("eacc_update_6b", adder(6));
+    // Step 4: bit-serial dequantization.
+    n.add("dequant_and_row_24b", 24.0);
+    n.add("dequant_adder_26b", adder(26));
+    n.add("dequant_shift_control", 110.0);
+    // State.
+    n.add("acc_registers_30b", reg(30), 1, 0.6);
+    n.add("dequant_registers_26b", reg(26), 1, 0.5);
+    n.add("output_register_16b", reg(16), 1, 0.4);
+    n.add("pipeline_registers_16b", reg(16), 1, 0.6);
+    n.add("control", 130.0, 1, 0.5);
+    return n;
+}
+
+Netlist
+termEncoderNetlist()
+{
+    // Per tile: eight column decoders (one per PE column), each with a
+    // Booth recoder for INT8/6/5/4/3, the FP fixed-point converter +
+    // LOD pair of Fig. 4b, and the shared 4-entry special-value
+    // register file.
+    Netlist n("BitSerial-Term-Encoder");
+    n.add("booth_recoder_8b", 110.0, 8, 2.2);
+    n.add("fp_fixed_converter", 90.0, 8, 2.2);
+    n.add("lod_pair_5b", 2 * lzd(5), 8, 2.2);
+    n.add("neg_zero_compare", comparator(5), 8, 2.2);
+    n.add("sv_select_mux", mux2(6) * 3, 8, 2.2);
+    n.add("term_registers_24b", reg(24), 8, 2.0);
+    n.add("sv_regfile_4x6b", reg(24), 1, 0.1);
+    n.add("control", 260.0, 1, 1.0);
+    return n;
+}
+
+Netlist
+fignaFpInt8PeNetlist()
+{
+    // FIGNA-style FP16 x INT8 PE: integer multiplier against the
+    // 11-bit significand, fixed-point accumulation, one final
+    // normalization; no per-operand FP rounding datapath.
+    Netlist n("FP16xINT8-PE");
+    n.add("sig_multiplier_11x8", multiplier(11, 8));
+    n.add("exp_path", adder(6) + comparator(6));
+    n.add("product_align_shifter_30b", barrelShifter(30, 5));
+    n.add("acc_adder_32b", adder(32));
+    n.add("final_norm", lzd(32) + barrelShifter(32, 5) / 2.0);
+    n.add("sign_logic", 80.0);
+    n.add("acc_register_36b", reg(36), 1, 0.6);
+    n.add("output_register_16b", reg(16), 1, 0.4);
+    n.add("pipeline_registers_30b", reg(30), 1, 0.6);
+    n.add("control", 120.0, 1, 0.5);
+    return n;
+}
+
+Netlist
+fignaDualPrecisionPeNetlist()
+{
+    // The decomposable variant (Section V-D): one FP16xINT8 operation
+    // or two FP16xINT4 operations.  Two outputs per cycle double the
+    // accumulator, normalization and output-register cost and add
+    // decomposition muxing — which is why it ends up *larger* than the
+    // plain FP-FP16 PE (Fig. 10).
+    Netlist n("FP16xINT8/INT4x2-PE");
+    n.add("sig_multiplier_11x8_decomposable",
+          multiplier(11, 8) + mux2(44));
+    n.add("exp_path", (adder(6) + comparator(6)) * 2);
+    n.add("product_align_shifter_30b", barrelShifter(30, 5), 2);
+    n.add("acc_adder_32b", adder(32), 2);
+    n.add("final_norm", lzd(32) + barrelShifter(32, 5) / 2.0, 2);
+    n.add("sign_logic", 80.0, 2);
+    n.add("acc_register_36b", reg(36), 2, 0.6);
+    n.add("output_register_16b", reg(16), 2, 0.4);
+    n.add("pipeline_registers_30b", reg(30), 2, 0.6);
+    n.add("decompose_control", 200.0, 1, 0.5);
+    return n;
+}
+
+TileSynthesis
+synthesizeBaselineTile()
+{
+    TileSynthesis t;
+    t.peRows = 6;
+    t.peCols = 8;
+    const Netlist pe = fp16MacPeNetlist();
+    t.peArrayAreaUm2 = pe.areaUm2() * t.peCount();
+    t.peArrayPowerMw = pe.powerMw() * t.peCount();
+    return t;
+}
+
+TileSynthesis
+synthesizeBitmodTile()
+{
+    TileSynthesis t;
+    t.peRows = 8;
+    t.peCols = 8;
+    const Netlist pe = bitmodPeNetlist();
+    const Netlist enc = termEncoderNetlist();
+    t.peArrayAreaUm2 = pe.areaUm2() * t.peCount();
+    t.peArrayPowerMw = pe.powerMw() * t.peCount();
+    t.encoderAreaUm2 = enc.areaUm2();
+    t.encoderPowerMw = enc.powerMw();
+    return t;
+}
+
+std::vector<PeAreaPower>
+peComparison()
+{
+    std::vector<PeAreaPower> rows;
+    for (const Netlist &n :
+         {fp16MacPeNetlist(), fignaFpInt8PeNetlist(),
+          fignaDualPrecisionPeNetlist(), bitmodPeNetlist()}) {
+        rows.push_back({n.name(), n.areaUm2(), n.powerMw()});
+    }
+    return rows;
+}
+
+} // namespace bitmod

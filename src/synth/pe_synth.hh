@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Netlist descriptions of every processing element and the tile-level
+ * bit-serial term encoder, plus tile roll-ups reproducing Table X and
+ * the Fig. 10 bit-parallel comparison.
+ */
+
+#ifndef BITMOD_SYNTH_PE_SYNTH_HH
+#define BITMOD_SYNTH_PE_SYNTH_HH
+
+#include <vector>
+
+#include "synth/netlist.hh"
+
+namespace bitmod
+{
+
+/** Baseline FP16 multiply-accumulate PE (1 MAC/cycle). */
+Netlist fp16MacPeNetlist();
+
+/** BitMoD 4-lane bit-serial PE with dequantization unit (Fig. 5). */
+Netlist bitmodPeNetlist();
+
+/** Tile-level bit-serial term generator (8 column decoders + SV_reg). */
+Netlist termEncoderNetlist();
+
+/** FIGNA-style fixed FP16 x INT8 bit-parallel PE. */
+Netlist fignaFpInt8PeNetlist();
+
+/** Decomposable FP16 x INT8 / 2x(FP16 x INT4) bit-parallel PE. */
+Netlist fignaDualPrecisionPeNetlist();
+
+/** Tile synthesis summary (Table X). */
+struct TileSynthesis
+{
+    int peRows = 0;
+    int peCols = 0;
+    double peArrayAreaUm2 = 0.0;
+    double encoderAreaUm2 = 0.0;
+    double peArrayPowerMw = 0.0;
+    double encoderPowerMw = 0.0;
+
+    double totalAreaUm2() const { return peArrayAreaUm2 + encoderAreaUm2; }
+    double totalPowerMw() const
+    {
+        return peArrayPowerMw + encoderPowerMw;
+    }
+    int peCount() const { return peRows * peCols; }
+};
+
+/** Baseline tile: 6 x 8 FP16 MAC PEs, no encoder. */
+TileSynthesis synthesizeBaselineTile();
+
+/** BitMoD tile: 8 x 8 bit-serial PEs + term encoder (iso-area). */
+TileSynthesis synthesizeBitmodTile();
+
+/** One bar of Fig. 10. */
+struct PeAreaPower
+{
+    std::string name;
+    double areaUm2 = 0.0;
+    double powerMw = 0.0;
+};
+
+/**
+ * The Fig. 10 comparison: FP-FP16, FP-INT8, the decomposable
+ * FP-INT8/INT4x2 PE, and the BitMoD PE.
+ */
+std::vector<PeAreaPower> peComparison();
+
+} // namespace bitmod
+
+#endif // BITMOD_SYNTH_PE_SYNTH_HH

@@ -1,0 +1,86 @@
+#include "tensor/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+Matrix
+generateWeights(size_t k, size_t d, const WeightGenParams &params,
+                Rng &rng)
+{
+    BITMOD_ASSERT(k > 0 && d > 0, "empty weight matrix requested");
+    Matrix w(k, d);
+
+    const size_t g = static_cast<size_t>(params.groupSize);
+    for (size_t r = 0; r < k; ++r) {
+        // Per-channel sigma: log-normal around a base that keeps the
+        // tensor RMS near 0.02 (typical of trained transformer blocks).
+        const double sigma =
+            0.02 * rng.logNormal(0.0, params.channelSigmaSpread);
+        float *row = w.data() + r * d;
+
+        for (size_t c = 0; c < d; ++c) {
+            double v;
+            if (rng.bernoulli(params.tailFraction))
+                v = sigma * rng.studentT(params.tailDof);
+            else
+                v = rng.gaussian(0.0, sigma);
+            row[c] = static_cast<float>(v);
+        }
+
+        // Group-level outlier injection.
+        if (g == 0 || d < g)
+            continue;
+        const size_t ngroups = d / g;
+        for (size_t grp = 0; grp < ngroups; ++grp) {
+            if (!rng.bernoulli(params.groupOutlierRate))
+                continue;
+            const bool oneSided = rng.bernoulli(params.oneSidedFraction);
+            const double side = rng.bernoulli(0.5) ? 1.0 : -1.0;
+            for (int o = 0; o < params.outliersPerGroup; ++o) {
+                const size_t pos = grp * g + rng.below(g);
+                const double mag =
+                    sigma * rng.uniform(params.outlierSigmaLo,
+                                        params.outlierSigmaHi);
+                const double sgn =
+                    oneSided ? side : (rng.bernoulli(0.5) ? 1.0 : -1.0);
+                row[pos] = static_cast<float>(sgn * mag);
+            }
+        }
+    }
+    return w;
+}
+
+Matrix
+generateActivations(size_t n, size_t d, const ActivationGenParams &params,
+                    Rng &rng)
+{
+    BITMOD_ASSERT(n > 0 && d > 0, "empty activation matrix requested");
+
+    // Persistent per-channel scale profile.
+    std::vector<double> channelScale(d);
+    for (size_t c = 0; c < d; ++c) {
+        double s = params.baseSigma * rng.logNormal(0.0, 0.25);
+        if (rng.bernoulli(params.massiveChannelRate))
+            s *= params.massiveScale * rng.uniform(0.5, 1.5);
+        channelScale[c] = s;
+    }
+
+    Matrix x(n, d);
+    for (size_t s = 0; s < n; ++s) {
+        float *row = x.data() + s * d;
+        for (size_t c = 0; c < d; ++c) {
+            double v = rng.gaussian(0.0, channelScale[c]);
+            if (rng.bernoulli(params.spikeFraction))
+                v *= params.spikeScale;
+            row[c] = static_cast<float>(v);
+        }
+    }
+    return x;
+}
+
+} // namespace bitmod

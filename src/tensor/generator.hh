@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synthetic weight and calibration-activation generators.
+ *
+ * These stand in for HuggingFace checkpoints and Wikitext/C4 token
+ * batches (see DESIGN.md section 1).  The generator reproduces the
+ * distributional structure that drives every quantization result in the
+ * paper:
+ *
+ *  - a Gaussian bulk per weight group;
+ *  - per-channel scale spread (log-normal sigma), so per-tensor and
+ *    per-channel granularities see wider ranges than per-group (Fig. 2);
+ *  - heavy tails (Student-t mixture), the classic LLM weight shape;
+ *  - sporadic *one-sided* group outliers — groups whose largest values
+ *    are solely positive or solely negative, which is precisely the
+ *    asymmetry the paper's FP-EA datatypes exploit (Section II-C).
+ *
+ * Activation generation mirrors the LLM "massive channel" phenomenon:
+ * a few channels carry persistently large magnitudes, which is what
+ * AWQ / SmoothQuant react to.
+ */
+
+#ifndef BITMOD_TENSOR_GENERATOR_HH
+#define BITMOD_TENSOR_GENERATOR_HH
+
+#include "common/rng.hh"
+#include "tensor/matrix.hh"
+
+namespace bitmod
+{
+
+/** Tunable distribution parameters for one model family. */
+struct WeightGenParams
+{
+    /** Log-std of the per-channel sigma spread (log-normal). */
+    double channelSigmaSpread = 0.30;
+    /** Fraction of elements drawn from the heavy Student-t tail. */
+    double tailFraction = 0.02;
+    /** Degrees of freedom of the tail component (lower = heavier). */
+    double tailDof = 4.0;
+    /** Probability that a group receives injected outliers. */
+    double groupOutlierRate = 0.08;
+    /** Outlier magnitude in group-sigmas (uniform in [lo, hi]). */
+    double outlierSigmaLo = 3.5;
+    double outlierSigmaHi = 7.0;
+    /** Probability an outlier-bearing group is one-sided. */
+    double oneSidedFraction = 0.7;
+    /** Outliers injected per flagged group (1..n). */
+    int outliersPerGroup = 2;
+    /** Group size used when flagging outlier groups. */
+    int groupSize = 128;
+};
+
+/** Generate a K x D synthetic weight matrix. */
+Matrix generateWeights(size_t k, size_t d, const WeightGenParams &params,
+                       Rng &rng);
+
+/** Parameters of the synthetic calibration activations. */
+struct ActivationGenParams
+{
+    /** Fraction of channels that are "massive" outlier channels. */
+    double massiveChannelRate = 0.01;
+    /** Magnitude multiplier of massive channels. */
+    double massiveScale = 20.0;
+    /** Base activation standard deviation. */
+    double baseSigma = 1.0;
+    /** Heavy-tail fraction for token-level spikes. */
+    double spikeFraction = 0.005;
+    double spikeScale = 6.0;
+};
+
+/**
+ * Generate n x D calibration activations with persistent per-channel
+ * scales (the same channels are large across all samples).
+ */
+Matrix generateActivations(size_t n, size_t d,
+                           const ActivationGenParams &params, Rng &rng);
+
+} // namespace bitmod
+
+#endif // BITMOD_TENSOR_GENERATOR_HH

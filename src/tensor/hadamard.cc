@@ -1,0 +1,44 @@
+#include "tensor/hadamard.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "numeric/bits.hh"
+
+namespace bitmod
+{
+
+void
+fwht(std::span<float> xs)
+{
+    const size_t n = xs.size();
+    BITMOD_ASSERT(isPow2(n), "FWHT size must be a power of two, got ", n);
+
+    for (size_t len = 1; len < n; len <<= 1) {
+        for (size_t i = 0; i < n; i += len << 1) {
+            for (size_t j = i; j < i + len; ++j) {
+                const float a = xs[j];
+                const float b = xs[j + len];
+                xs[j] = a + b;
+                xs[j + len] = a - b;
+            }
+        }
+    }
+    const float scale = 1.0f / std::sqrt(static_cast<float>(n));
+    for (auto &x : xs)
+        x *= scale;
+}
+
+void
+blockHadamardRows(Matrix &m, size_t block)
+{
+    BITMOD_ASSERT(block > 0 && m.cols() % block == 0,
+                  "cols ", m.cols(), " not a multiple of block ", block);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        auto row = m.row(r);
+        for (size_t b = 0; b + block <= m.cols(); b += block)
+            fwht(row.subspan(b, block));
+    }
+}
+
+} // namespace bitmod

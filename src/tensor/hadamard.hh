@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Walsh-Hadamard transform utilities for the QuaRot-style rotation
+ * (src/methods/quarot.*).  Rotating weight columns by an orthogonal
+ * Hadamard matrix spreads outlier energy across a block, reducing
+ * per-group ranges before quantization.
+ */
+
+#ifndef BITMOD_TENSOR_HADAMARD_HH
+#define BITMOD_TENSOR_HADAMARD_HH
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/matrix.hh"
+
+namespace bitmod
+{
+
+/**
+ * In-place normalized fast Walsh-Hadamard transform of @p xs; size must
+ * be a power of two.  Applying it twice returns the input (orthonormal
+ * involution).
+ */
+void fwht(std::span<float> xs);
+
+/**
+ * Apply a block-diagonal normalized Hadamard rotation of @p block
+ * columns at a time to every row of @p m.  Requires cols % block == 0
+ * and block a power of two.  All supported LLM hidden dims are
+ * multiples of 128, so block = 128 covers the model zoo.
+ */
+void blockHadamardRows(Matrix &m, size_t block);
+
+/** Inverse of blockHadamardRows (the transform is an involution). */
+inline void
+blockHadamardRowsInverse(Matrix &m, size_t block)
+{
+    blockHadamardRows(m, block);
+}
+
+} // namespace bitmod
+
+#endif // BITMOD_TENSOR_HADAMARD_HH

@@ -1,0 +1,262 @@
+#include "tensor/linalg.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+namespace
+{
+
+/** Dense double-precision scratch copy of a float Matrix. */
+std::vector<double>
+toDouble(const Matrix &m)
+{
+    std::vector<double> d(m.size());
+    for (size_t i = 0; i < m.size(); ++i)
+        d[i] = m.flat()[i];
+    return d;
+}
+
+Matrix
+toFloat(const std::vector<double> &d, size_t rows, size_t cols)
+{
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < d.size(); ++i)
+        m.flat()[i] = static_cast<float>(d[i]);
+    return m;
+}
+
+/**
+ * In-place lower Cholesky of a dense symmetric positive definite
+ * matrix held row-major in doubles.  The strict upper triangle is
+ * zeroed.  Fatal on a non-SPD pivot (user should raise damping).
+ */
+void
+choleskyInPlace(std::vector<double> &a, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j <= i; ++j) {
+            double sum = a[i * n + j];
+            for (size_t k = 0; k < j; ++k)
+                sum -= a[i * n + k] * a[j * n + k];
+            if (i == j) {
+                if (sum <= 0.0) {
+                    BITMOD_FATAL("cholesky: matrix not positive definite "
+                                 "at pivot ", i, " (", sum, "); increase "
+                                 "damping");
+                }
+                a[i * n + j] = std::sqrt(sum);
+            } else {
+                a[i * n + j] = sum / a[j * n + j];
+            }
+        }
+        for (size_t j = i + 1; j < n; ++j)
+            a[i * n + j] = 0.0;
+    }
+}
+
+/** SPD inverse from an in-place-factored lower Cholesky L. */
+std::vector<double>
+inverseFromCholesky(const std::vector<double> &l, size_t n)
+{
+    std::vector<double> inv(n * n, 0.0);
+    std::vector<double> y(n);
+    for (size_t c = 0; c < n; ++c) {
+        // Forward solve L y = e_c.
+        for (size_t i = 0; i < n; ++i) {
+            double sum = i == c ? 1.0 : 0.0;
+            for (size_t k = 0; k < i; ++k)
+                sum -= l[i * n + k] * y[k];
+            y[i] = sum / l[i * n + i];
+        }
+        // Backward solve L^T x = y.
+        for (size_t ii = n; ii-- > 0;) {
+            double sum = y[ii];
+            for (size_t k = ii + 1; k < n; ++k)
+                sum -= l[k * n + ii] * inv[k * n + c];
+            inv[ii * n + c] = sum / l[ii * n + ii];
+        }
+    }
+    // Symmetrize.
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i + 1; j < n; ++j) {
+            const double v = 0.5 * (inv[i * n + j] + inv[j * n + i]);
+            inv[i * n + j] = v;
+            inv[j * n + i] = v;
+        }
+    return inv;
+}
+
+} // namespace
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    BITMOD_ASSERT(a.cols() == b.rows(), "matmul shape mismatch: ",
+                  a.rows(), "x", a.cols(), " * ", b.rows(), "x", b.cols());
+    Matrix c(a.rows(), b.cols());
+    std::vector<double> acc(b.cols());
+    for (size_t i = 0; i < a.rows(); ++i) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (size_t k = 0; k < a.cols(); ++k) {
+            const double aik = a(i, k);
+            if (aik == 0.0)
+                continue;
+            const float *brow = b.data() + k * b.cols();
+            for (size_t j = 0; j < b.cols(); ++j)
+                acc[j] += aik * brow[j];
+        }
+        for (size_t j = 0; j < b.cols(); ++j)
+            c(i, j) = static_cast<float>(acc[j]);
+    }
+    return c;
+}
+
+Matrix
+transpose(const Matrix &a)
+{
+    Matrix t(a.cols(), a.rows());
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < a.cols(); ++j)
+            t(j, i) = a(i, j);
+    return t;
+}
+
+Matrix
+gram(const Matrix &x)
+{
+    const size_t n = x.rows(), d = x.cols();
+    Matrix g(d, d);
+    std::vector<double> acc(d);
+    for (size_t i = 0; i < d; ++i) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (size_t s = 0; s < n; ++s) {
+            const double xi = x(s, i);
+            if (xi == 0.0)
+                continue;
+            const float *xrow = x.data() + s * d;
+            for (size_t j = i; j < d; ++j)
+                acc[j] += xi * xrow[j];
+        }
+        for (size_t j = i; j < d; ++j) {
+            const float v = static_cast<float>(acc[j]);
+            g(i, j) = v;
+            g(j, i) = v;
+        }
+    }
+    return g;
+}
+
+void
+dampDiagonal(Matrix &h, double lambda)
+{
+    BITMOD_ASSERT(h.rows() == h.cols(), "dampDiagonal requires square");
+    double mean = 0.0;
+    for (size_t i = 0; i < h.rows(); ++i)
+        mean += h(i, i);
+    mean /= static_cast<double>(h.rows());
+    const float add = static_cast<float>(lambda * mean);
+    for (size_t i = 0; i < h.rows(); ++i)
+        h(i, i) += add;
+}
+
+Matrix
+cholesky(const Matrix &h)
+{
+    BITMOD_ASSERT(h.rows() == h.cols(), "cholesky requires square");
+    const size_t n = h.rows();
+    auto a = toDouble(h);
+    choleskyInPlace(a, n);
+    return toFloat(a, n, n);
+}
+
+std::vector<double>
+forwardSolve(const Matrix &l, const std::vector<double> &b)
+{
+    const size_t n = l.rows();
+    BITMOD_ASSERT(b.size() == n, "forwardSolve size mismatch");
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (size_t k = 0; k < i; ++k)
+            sum -= static_cast<double>(l(i, k)) * y[k];
+        y[i] = sum / l(i, i);
+    }
+    return y;
+}
+
+std::vector<double>
+backwardSolve(const Matrix &l, const std::vector<double> &y)
+{
+    const size_t n = l.rows();
+    BITMOD_ASSERT(y.size() == n, "backwardSolve size mismatch");
+    std::vector<double> x(n);
+    for (size_t ii = n; ii-- > 0;) {
+        double sum = y[ii];
+        for (size_t k = ii + 1; k < n; ++k)
+            sum -= static_cast<double>(l(k, ii)) * x[k];
+        x[ii] = sum / l(ii, ii);
+    }
+    return x;
+}
+
+Matrix
+spdInverse(const Matrix &h)
+{
+    BITMOD_ASSERT(h.rows() == h.cols(), "spdInverse requires square");
+    const size_t n = h.rows();
+    auto a = toDouble(h);
+    choleskyInPlace(a, n);
+    return toFloat(inverseFromCholesky(a, n), n, n);
+}
+
+Matrix
+gptqInverseFactor(const Matrix &h)
+{
+    // Upper-triangular U with H^-1 = U^T U.  Writing L = U^T this is
+    // the ordinary lower Cholesky of H^-1, so: invert (via the Cholesky
+    // of H), factor, transpose.  Everything runs in double: calibration
+    // Hessians with "massive" activation channels are ill-conditioned
+    // enough that a float pipeline visibly corrupts the GPTQ update
+    // coefficients.
+    BITMOD_ASSERT(h.rows() == h.cols(), "factor requires square");
+    const size_t n = h.rows();
+    auto a = toDouble(h);
+    choleskyInPlace(a, n);
+    auto inv = inverseFromCholesky(a, n);
+    choleskyInPlace(inv, n);  // inv := lower L with H^-1 = L L^T
+
+    std::vector<double> u(n * n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j <= i; ++j)
+            u[j * n + i] = inv[i * n + j];  // U = L^T
+    return toFloat(u, n, n);
+}
+
+double
+quadraticForm(const Matrix &e, const Matrix &h)
+{
+    BITMOD_ASSERT(e.cols() == h.rows() && h.rows() == h.cols(),
+                  "quadraticForm shape mismatch");
+    const size_t k = e.rows(), d = e.cols();
+    double total = 0.0;
+    std::vector<double> tmp(d);
+    for (size_t r = 0; r < k; ++r) {
+        const float *er = e.data() + r * d;
+        for (size_t i = 0; i < d; ++i) {
+            double sum = 0.0;
+            const float *hrow = h.data() + i * d;
+            for (size_t j = 0; j < d; ++j)
+                sum += static_cast<double>(hrow[j]) * er[j];
+            tmp[i] = sum;
+        }
+        for (size_t i = 0; i < d; ++i)
+            total += tmp[i] * er[i];
+    }
+    return total;
+}
+
+} // namespace bitmod

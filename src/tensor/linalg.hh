@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Dense linear algebra needed by the calibration-aware quantization
+ * methods: Gram matrices for layer Hessians (H = X^T X), Cholesky
+ * factorization, triangular solves and SPD inversion (GPTQ's H^-1).
+ * Accumulation is double precision throughout.
+ */
+
+#ifndef BITMOD_TENSOR_LINALG_HH
+#define BITMOD_TENSOR_LINALG_HH
+
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace bitmod
+{
+
+/** C = A * B (rows_A x cols_B). */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/** Transpose. */
+Matrix transpose(const Matrix &a);
+
+/** Gram matrix G = X^T X for X[n x d] (symmetric d x d). */
+Matrix gram(const Matrix &x);
+
+/**
+ * In-place diagonal damping: H += lambda * mean(diag(H)) * I.  This is
+ * the standard GPTQ regularization (percdamp).
+ */
+void dampDiagonal(Matrix &h, double lambda);
+
+/**
+ * Cholesky factorization H = L L^T for a symmetric positive definite
+ * matrix.  Returns the lower-triangular L.  Fatal on a non-SPD input.
+ */
+Matrix cholesky(const Matrix &h);
+
+/** Solve L y = b (forward substitution), L lower triangular. */
+std::vector<double> forwardSolve(const Matrix &l,
+                                 const std::vector<double> &b);
+
+/** Solve L^T x = y (backward substitution). */
+std::vector<double> backwardSolve(const Matrix &l,
+                                  const std::vector<double> &y);
+
+/** SPD inverse via Cholesky (used to form GPTQ's H^-1). */
+Matrix spdInverse(const Matrix &h);
+
+/**
+ * Upper-triangular Cholesky of the *inverse*: returns U such that
+ * H^-1 = U^T U has U upper triangular — exactly the factor GPTQ's
+ * column update consumes.
+ */
+Matrix gptqInverseFactor(const Matrix &h);
+
+/** Quadratic form tr(E H E^T) for E[K x D], H[D x D]. */
+double quadraticForm(const Matrix &e, const Matrix &h);
+
+} // namespace bitmod
+
+#endif // BITMOD_TENSOR_LINALG_HH

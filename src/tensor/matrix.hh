@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal dense row-major matrix used throughout the quantization and
+ * evaluation stack.  Weights follow the paper's W[K x D] convention:
+ * K output channels (rows), D input-channel elements per row; per-group
+ * quantization slices each row into D/G groups of G elements.
+ */
+
+#ifndef BITMOD_TENSOR_MATRIX_HH
+#define BITMOD_TENSOR_MATRIX_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+/** Dense row-major float matrix with bounds-checked accessors. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    Matrix(size_t rows, size_t cols, float fill = 0.0f)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {
+    }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float &
+    at(size_t r, size_t c)
+    {
+        BITMOD_ASSERT(r < rows_ && c < cols_,
+                      "matrix index (", r, ",", c, ") out of (", rows_,
+                      ",", cols_, ")");
+        return data_[r * cols_ + c];
+    }
+
+    float
+    at(size_t r, size_t c) const
+    {
+        BITMOD_ASSERT(r < rows_ && c < cols_,
+                      "matrix index (", r, ",", c, ") out of (", rows_,
+                      ",", cols_, ")");
+        return data_[r * cols_ + c];
+    }
+
+    /** Unchecked fast accessors for inner loops. */
+    float &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    float operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Mutable view of row @p r. */
+    std::span<float>
+    row(size_t r)
+    {
+        BITMOD_ASSERT(r < rows_, "row ", r, " out of ", rows_);
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    std::span<const float>
+    row(size_t r) const
+    {
+        BITMOD_ASSERT(r < rows_, "row ", r, " out of ", rows_);
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    /** Contiguous view of group @p g (size @p group) within row @p r. */
+    std::span<float>
+    group(size_t r, size_t g, size_t group_size)
+    {
+        BITMOD_ASSERT((g + 1) * group_size <= cols_,
+                      "group ", g, " x", group_size, " out of ", cols_);
+        return {data_.data() + r * cols_ + g * group_size, group_size};
+    }
+
+    std::span<const float>
+    group(size_t r, size_t g, size_t group_size) const
+    {
+        BITMOD_ASSERT((g + 1) * group_size <= cols_,
+                      "group ", g, " x", group_size, " out of ", cols_);
+        return {data_.data() + r * cols_ + g * group_size, group_size};
+    }
+
+    /** Whole storage as a flat span. */
+    std::span<float> flat() { return {data_.data(), data_.size()}; }
+    std::span<const float> flat() const
+    {
+        return {data_.data(), data_.size()};
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_TENSOR_MATRIX_HH

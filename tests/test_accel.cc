@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for src/sim and src/accel: DRAM/SRAM models, iso-area
+ * accelerator configurations, the cycle/energy model's compute- vs
+ * memory-bound behaviour (the Fig. 7 mechanism), and the precision-
+ * selection policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accel_config.hh"
+#include "accel/perf_model.hh"
+#include "accel/policy.hh"
+#include "model/llm_zoo.hh"
+#include "sim/dram.hh"
+#include "sim/sram.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+// ------------------------------------------------------------------- DRAM
+
+TEST(Dram, BandwidthAndEnergy)
+{
+    DramModel d;
+    // 25.6 GB/s * 0.85 at 1 GHz: 1 GiB takes ~49.3e6 cycles.
+    const double cycles = d.transferCycles(1e9, 1.0);
+    EXPECT_NEAR(cycles, 1e9 / (25.6e9 * 0.85) * 1e9, 1e4);
+    EXPECT_NEAR(d.transferEnergyNj(1.0), 8.0 * 18.0 * 1e-3, 1e-12);
+    EXPECT_EQ(d.transferCycles(0.0, 1.0), 0.0);
+}
+
+TEST(Dram, BurstPadding)
+{
+    DramModel d;
+    // 1 byte still moves one 64-byte burst.
+    EXPECT_DOUBLE_EQ(d.transferCycles(1.0, 1.0),
+                     d.transferCycles(64.0, 1.0));
+    EXPECT_GT(d.transferCycles(65.0, 1.0), d.transferCycles(64.0, 1.0));
+}
+
+TEST(Sram, EnergyAccounting)
+{
+    SramModel s;
+    EXPECT_NEAR(s.readEnergyNj(1000.0), 1000.0 * 0.06 * 1e-3, 1e-12);
+    EXPECT_GT(s.writeEnergyNj(1000.0), s.readEnergyNj(1000.0));
+    EXPECT_GT(s.leakageEnergyNj(1e9, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.capacityBytes(), 512.0 * 1024.0);
+}
+
+// ----------------------------------------------------------- AccelConfig
+
+TEST(AccelConfig, BaselineThroughput)
+{
+    const auto base = makeFp16Baseline();
+    EXPECT_DOUBLE_EQ(base.macsPerCycle(dtypes::fp16()), 16.0 * 48.0);
+}
+
+TEST(AccelConfig, BitmodThroughputPerDatatype)
+{
+    const auto bm = makeBitmod();
+    const double pes = 16.0 * 64.0;
+    EXPECT_DOUBLE_EQ(bm.macsPerCycle(dtypes::intSym(8)), pes);
+    EXPECT_NEAR(bm.macsPerCycle(dtypes::intSym(6)), pes * 4.0 / 3.0,
+                1e-9);
+    EXPECT_DOUBLE_EQ(bm.macsPerCycle(dtypes::bitmodFp4()), pes * 2.0);
+    EXPECT_DOUBLE_EQ(bm.macsPerCycle(dtypes::bitmodFp3()), pes * 2.0);
+}
+
+TEST(AccelConfig, BitmodRejectsFp16Weights)
+{
+    const auto bm = makeBitmod();
+    EXPECT_EXIT(bm.macsPerCycle(dtypes::fp16()),
+                ::testing::ExitedWithCode(1), "quantize first");
+}
+
+TEST(AccelConfig, AntOliveW8HalvesThroughput)
+{
+    const auto ant = makeAnt();
+    EXPECT_DOUBLE_EQ(ant.macsPerCycle(dtypes::flint(4)),
+                     2.0 * ant.macsPerCycle(dtypes::intSym(8)));
+    const auto olive = makeOlive();
+    EXPECT_GT(olive.macsPerCycle(dtypes::olive(4)),
+              ant.macsPerCycle(dtypes::flint(4)));
+}
+
+TEST(PrecisionChoice, BitmodBitsIncludeMetadata)
+{
+    const auto p3 = PrecisionChoice::bitmod(dtypes::bitmodFp3());
+    EXPECT_NEAR(p3.weightBitsPerElem, 3.078125, 1e-9);
+    EXPECT_DOUBLE_EQ(p3.kvBits, 8.0);
+    const auto p6 = PrecisionChoice::bitmod(dtypes::intSym(6));
+    EXPECT_NEAR(p6.weightBitsPerElem, 6.0625, 1e-9);
+}
+
+// -------------------------------------------------------------- AccelSim
+
+TEST(AccelSim, DiscriminativeIsComputeBoundOnBaseline)
+{
+    const AccelSim sim(makeFp16Baseline());
+    const auto &model = llmByName("Llama-2-7B");
+    const auto r = sim.run(model, TaskSpec::discriminative(),
+                           PrecisionChoice::fp16());
+    // Compute estimate: ~params * 256 / (768 * 0.85) cycles.
+    const double linMacs = 256.0 * model.numLayers *
+                           model.blockLinearParams();
+    const double computeCycles = linMacs / (768.0 * 0.85);
+    EXPECT_GT(r.prefillCycles, computeCycles * 0.95);
+    // And far above the pure DRAM time for the weights.
+    const DramModel dram;
+    EXPECT_GT(r.prefillCycles,
+              2.0 * dram.transferCycles(model.weightBytes(16.0), 1.0));
+}
+
+TEST(AccelSim, GenerativeIsMemoryBound)
+{
+    const AccelSim sim(makeFp16Baseline());
+    const auto &model = llmByName("Llama-2-7B");
+    const auto r = sim.run(model, TaskSpec::generative(),
+                           PrecisionChoice::fp16());
+    // Decode = 255 weight re-reads; must track the DRAM time closely.
+    const DramModel dram;
+    const double weightStream =
+        dram.transferCycles(model.weightBytes(16.0) * 255.0, 1.0);
+    EXPECT_GT(r.decodeCycles, weightStream * 0.95);
+    EXPECT_LT(r.decodeCycles, weightStream * 1.40);
+}
+
+TEST(AccelSim, LosslessBitmodSpeedsUpBothTasks)
+{
+    const AccelSim base(makeFp16Baseline());
+    const AccelSim bm(makeBitmod());
+    const auto &model = llmByName("Phi-2B");
+    const auto pBase = PrecisionChoice::fp16();
+    const auto pBm = selectLosslessPrecision(makeBitmod());
+    for (const auto task :
+         {TaskSpec::discriminative(), TaskSpec::generative()}) {
+        const auto rb = base.run(model, task, pBase);
+        const auto rm = bm.run(model, task, pBm);
+        const double speedup = rb.totalCycles() / rm.totalCycles();
+        EXPECT_GT(speedup, 1.2);
+        EXPECT_LT(speedup, 3.5);
+    }
+}
+
+TEST(AccelSim, GenerativeSpeedupTracksWeightCompression)
+{
+    // Memory-bound decode: lossless INT6 speedup should sit near
+    // 16 / 6.06 with KV/activation overheads pulling it down a bit.
+    const AccelSim base(makeFp16Baseline());
+    const AccelSim bm(makeBitmod());
+    const auto &model = llmByName("Llama-2-13B");
+    const auto rb = base.run(model, TaskSpec::generative(),
+                             PrecisionChoice::fp16());
+    const auto rm = bm.run(model, TaskSpec::generative(),
+                           selectLosslessPrecision(makeBitmod()));
+    const double speedup = rb.totalCycles() / rm.totalCycles();
+    EXPECT_GT(speedup, 1.8);
+    EXPECT_LT(speedup, 16.0 / 6.0);
+}
+
+TEST(AccelSim, DramEnergyDominatesGenerative)
+{
+    const AccelSim sim(makeFp16Baseline());
+    const auto r = sim.run(llmByName("Llama-2-7B"),
+                           TaskSpec::generative(),
+                           PrecisionChoice::fp16());
+    EXPECT_GT(r.energy.dramNj,
+              3.0 * (r.energy.bufferNj + r.energy.coreNj));
+}
+
+TEST(AccelSim, EnergyScalesWithWeightPrecision)
+{
+    const AccelSim bm(makeBitmod());
+    const auto &model = llmByName("Yi-6B");
+    const auto r6 = bm.run(model, TaskSpec::generative(),
+                           PrecisionChoice::bitmod(dtypes::intSym(6)));
+    const auto r3 = bm.run(model, TaskSpec::generative(),
+                           PrecisionChoice::bitmod(dtypes::bitmodFp3()));
+    EXPECT_LT(r3.energy.totalNj(), r6.energy.totalNj());
+    EXPECT_LT(r3.totalCycles(), r6.totalCycles());
+}
+
+TEST(AccelSim, EdpPositiveAndConsistent)
+{
+    const AccelSim sim(makeBitmod());
+    const auto r = sim.run(llmByName("Phi-2B"), TaskSpec::generative(),
+                           PrecisionChoice::bitmod(dtypes::bitmodFp4()));
+    EXPECT_GT(r.edp(1.0), 0.0);
+    EXPECT_NEAR(r.edp(1.0),
+                r.energy.totalNj() * 1e-9 * r.latencyMs(1.0) * 1e-3,
+                1e-15);
+}
+
+// ---------------------------------------------------------------- policy
+
+TEST(Policy, LosslessChoices)
+{
+    EXPECT_EQ(selectLosslessPrecision(makeFp16Baseline())
+                  .weightDtype.kind,
+              DtypeKind::Identity);
+    const auto bm = selectLosslessPrecision(makeBitmod());
+    EXPECT_EQ(bm.weightDtype.name, "INT6-Sym");
+    const auto ant = selectLosslessPrecision(makeAnt());
+    EXPECT_EQ(ant.weightDtype.bits, 8);
+}
+
+TEST(Policy, BitmodLossyUsesThreeBitForGenerative)
+{
+    const auto &model = llmByName("Llama-2-7B");
+    const auto gen =
+        selectLossyPrecision(makeBitmod(), model, /*generative=*/true);
+    EXPECT_EQ(gen.weightDtype.name, "BitMoD-FP3");
+    const auto disc =
+        selectLossyPrecision(makeBitmod(), model, /*generative=*/false);
+    EXPECT_EQ(disc.weightDtype.name, "BitMoD-FP4");
+}
+
+TEST(Policy, AntFallsBackToInt8OnOutlierHeavyModel)
+{
+    // OPT-1.3B per-channel 4-bit quality is unacceptable (Table I), so
+    // ANT must deploy 8-bit weights for generative tasks.
+    const auto p = selectLossyPrecision(makeAnt(), llmByName("OPT-1.3B"),
+                                        /*generative=*/true);
+    EXPECT_EQ(p.weightDtype.bits, 8);
+}
+
+TEST(Policy, BaselineAlwaysFp16)
+{
+    const auto p = selectLossyPrecision(
+        makeFp16Baseline(), llmByName("Phi-2B"), true);
+    EXPECT_EQ(p.weightDtype.kind, DtypeKind::Identity);
+    EXPECT_DOUBLE_EQ(p.weightBitsPerElem, 16.0);
+}
+
+} // namespace
+} // namespace bitmod

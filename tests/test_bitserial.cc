@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for src/bitserial: exact recomposition of the unified
+ * bit-serial representation (Fig. 4) for every value of every
+ * supported datatype, term-count budgets, and the special-value
+ * register file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bitserial/term.hh"
+#include "bitserial/termgen.hh"
+#include "quant/dtype.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+TEST(Term, ValueFollowsEq4)
+{
+    BitSerialTerm t{/*sign=*/1, /*exp=*/1, /*man=*/1, /*bsig=*/2};
+    EXPECT_DOUBLE_EQ(t.value(), -8.0);  // (-1)^1 * 2^1 * 1 * 2^2
+    t.man = 0;
+    EXPECT_DOUBLE_EQ(t.value(), 0.0);
+}
+
+TEST(TermGen, IntTermsRecomposeAllValues)
+{
+    for (int bits : {3, 4, 5, 6, 8}) {
+        const int lo = -(1 << (bits - 1));
+        const int hi = (1 << (bits - 1)) - 1;
+        for (int v = lo; v <= hi; ++v) {
+            const auto terms = termsForInt(v, bits);
+            ASSERT_DOUBLE_EQ(recomposeTerms(terms), v)
+                << "INT" << bits << " value " << v;
+        }
+    }
+}
+
+TEST(TermGen, IntTermCountsMatchFig4)
+{
+    EXPECT_EQ(termsForInt(77, 8).size(), 4u);   // INT8 -> 4 strings
+    EXPECT_EQ(termsForInt(-31, 6).size(), 3u);  // INT6 -> 3 strings
+    EXPECT_EQ(termsForInt(5, 4).size(), 2u);
+}
+
+TEST(TermGen, IntTermExponentsAreBounded)
+{
+    for (int v = -128; v <= 127; ++v)
+        for (const auto &t : termsForInt(v, 8)) {
+            ASSERT_GE(t.exp, 0);
+            ASSERT_LE(t.exp, 1);  // Booth digits are +-1x or +-2x
+            ASSERT_TRUE(t.man == 0 || t.man == 1);
+        }
+}
+
+TEST(TermGen, FixedPointRecomposesTableIvValues)
+{
+    // Every basic FP4 value and every BitMoD special value.
+    const std::vector<double> values = {0,   0.5, 1,  1.5, 2,  3, 4, 6,
+                                        5,   8,   -5, -8,  -3, -6,
+                                        -0.5, -1.5, -4};
+    for (const double v : values) {
+        const auto terms = termsForFixedPoint(v);
+        ASSERT_NEAR(recomposeTerms(terms), v, 1e-12) << "value " << v;
+        ASSERT_LE(terms.size(), 2u) << "value " << v;
+    }
+}
+
+TEST(TermGen, FixedPointPadsToTwoTerms)
+{
+    // Cycle accounting: even 0 and powers of two consume two cycles.
+    EXPECT_EQ(termsForFixedPoint(0.0).size(), 2u);
+    EXPECT_EQ(termsForFixedPoint(4.0).size(), 2u);
+}
+
+TEST(TermGen, NafHandlesThreeBitPatterns)
+{
+    // 7 = 111b would need 3 LOD terms; NAF recodes as 8 - 1 (paper's
+    // decoder-modification example).
+    const auto terms = termsForFixedPoint(7.0);
+    EXPECT_EQ(terms.size(), 2u);
+    EXPECT_NEAR(recomposeTerms(terms), 7.0, 1e-12);
+}
+
+TEST(TermGen, FixedPointRejectsUnrepresentable)
+{
+    EXPECT_DEATH(termsForFixedPoint(0.3), "not representable");
+    EXPECT_DEATH(termsForFixedPoint(40.0), "exceeds");
+}
+
+TEST(TermGen, TermsForWeightBitmodGrid)
+{
+    const Dtype dt = dtypes::bitmodFp4();
+    for (const Grid &grid : dt.candidates)
+        for (const double v : grid.values()) {
+            const auto terms = termsForWeight(v, dt);
+            ASSERT_NEAR(recomposeTerms(terms), v, 1e-12)
+                << "grid value " << v;
+        }
+}
+
+TEST(TermGen, TermsForWeightIntAsymUsesWidenedRange)
+{
+    // q - z for INT4-Asym spans [-15, 15]: must encode at bits+1.
+    const Dtype dt = dtypes::intAsym(4);
+    for (int v = -15; v <= 15; ++v) {
+        const auto terms = termsForWeight(v, dt);
+        ASSERT_DOUBLE_EQ(recomposeTerms(terms), v);
+        ASSERT_EQ(terms.size(), 3u);
+    }
+}
+
+TEST(TermGen, TermsPerWeightBudget)
+{
+    EXPECT_EQ(termsPerWeight(dtypes::intSym(8)), 4);
+    EXPECT_EQ(termsPerWeight(dtypes::intSym(6)), 3);
+    EXPECT_EQ(termsPerWeight(dtypes::intSym(5)), 3);
+    EXPECT_EQ(termsPerWeight(dtypes::intSym(4)), 2);
+    EXPECT_EQ(termsPerWeight(dtypes::intSym(3)), 2);
+    EXPECT_EQ(termsPerWeight(dtypes::bitmodFp4()), 2);
+    EXPECT_EQ(termsPerWeight(dtypes::bitmodFp3()), 2);
+    EXPECT_EQ(termsPerWeight(dtypes::fp4()), 2);
+    EXPECT_EQ(termsPerWeight(dtypes::mxfp(4)), 2);
+}
+
+TEST(TermGen, ThroughputClaimsOfSectionIvB)
+{
+    // "BitMoD achieves a throughput improvement of 1.33x and 2x for
+    // INT6 and FP4/FP3" vs the 1-MAC/cycle FP16 PE.
+    const double int6 = 4.0 / termsPerWeight(dtypes::intSym(6));
+    const double fp4 = 4.0 / termsPerWeight(dtypes::bitmodFp4());
+    EXPECT_NEAR(int6, 4.0 / 3.0, 1e-12);
+    EXPECT_NEAR(fp4, 2.0, 1e-12);
+}
+
+TEST(SvRegFile, ProgramAndSelect)
+{
+    SpecialValueRegFile rf;
+    rf.program({-3, 3, -6, 6});
+    EXPECT_DOUBLE_EQ(rf.select(0), -3.0);
+    EXPECT_DOUBLE_EQ(rf.select(3), 6.0);
+    rf.program({5});
+    EXPECT_DOUBLE_EQ(rf.select(0), 5.0);
+    EXPECT_DOUBLE_EQ(rf.select(1), 0.0);  // unprogrammed entries zero
+}
+
+TEST(SvRegFile, OutOfRangeDies)
+{
+    SpecialValueRegFile rf;
+    EXPECT_DEATH(rf.select(4), "out of range");
+}
+
+} // namespace
+} // namespace bitmod

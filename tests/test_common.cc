@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for src/common: RNG determinism and distribution sanity,
+ * descriptive statistics, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(42);
+    std::vector<uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.reseed(42);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(9);
+    const int n = 50000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(10);
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(3.0, 0.5);
+    EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, StudentTHeavierTailThanGaussian)
+{
+    Rng rng(11);
+    const int n = 100000;
+    int tBig = 0, gBig = 0;
+    for (int i = 0; i < n; ++i) {
+        if (std::fabs(rng.studentT(3.0)) > 4.0)
+            ++tBig;
+        if (std::fabs(rng.gaussian()) > 4.0)
+            ++gBig;
+    }
+    EXPECT_GT(tBig, 10 * (gBig + 1));
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(12);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.2))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.2, 0.01);
+}
+
+TEST(Rng, LogNormalIsPositive)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.logNormal(0.0, 0.5), 0.0);
+}
+
+TEST(Stats, BasicSummary)
+{
+    const std::vector<float> xs = {1.0f, 2.0f, 3.0f, -4.0f};
+    const auto s = computeStats(std::span<const float>(xs));
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.5);
+    EXPECT_DOUBLE_EQ(s.min, -4.0);
+    EXPECT_DOUBLE_EQ(s.max, 3.0);
+    EXPECT_DOUBLE_EQ(s.absMax, 4.0);
+    EXPECT_DOUBLE_EQ(s.range, 7.0);
+}
+
+TEST(Stats, EmptyInputYieldsZeros)
+{
+    const std::vector<float> xs;
+    const auto s = computeStats(std::span<const float>(xs));
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, StddevOfConstantIsZero)
+{
+    const std::vector<float> xs(64, 2.5f);
+    const auto s = computeStats(std::span<const float>(xs));
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, MseAndNmse)
+{
+    const std::vector<float> a = {1.0f, 2.0f, 2.0f};
+    const std::vector<float> b = {1.0f, 1.0f, 3.0f};
+    EXPECT_NEAR(meanSquareError(a, b), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(normalizedMse(a, b), 2.0 / 9.0, 1e-12);
+}
+
+TEST(Stats, NmseZeroReference)
+{
+    const std::vector<float> z = {0.0f, 0.0f};
+    const std::vector<float> e = {1.0f, 0.0f};
+    EXPECT_EQ(normalizedMse(z, z), 0.0);
+    EXPECT_TRUE(std::isinf(normalizedMse(z, e)));
+}
+
+TEST(Stats, RunningStatAccumulates)
+{
+    RunningStat rs;
+    rs.add(1.0);
+    rs.add(3.0);
+    rs.add(-2.0);
+    EXPECT_EQ(rs.count(), 3u);
+    EXPECT_DOUBLE_EQ(rs.total(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.min(), -2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 3.0);
+    EXPECT_NEAR(rs.mean(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, GeoMean)
+{
+    const std::vector<double> xs = {1.0, 4.0};
+    EXPECT_NEAR(geoMean(xs), 2.0, 1e-12);
+    EXPECT_EQ(geoMean({}), 0.0);
+}
+
+TEST(Table, RenderContainsHeaderAndCells)
+{
+    TextTable t("Demo");
+    t.setHeader({"A", "B"});
+    t.addRow({"x", "1.00"});
+    t.addSeparator();
+    t.addRow({"y", "2.00"});
+    t.addNote("a note");
+    const std::string s = t.render();
+    EXPECT_NE(s.find("Demo"), std::string::npos);
+    EXPECT_NE(s.find("A"), std::string::npos);
+    EXPECT_NE(s.find("2.00"), std::string::npos);
+    EXPECT_NE(s.find("a note"), std::string::npos);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::num(std::nan(""), 2), "nan");
+}
+
+} // namespace
+} // namespace bitmod

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Integration tests for src/core: the public facade API, the shared
+ * experiment context (anchor reproduction, datatype ordering — the
+ * headline Table VI/VII claims), and end-to-end deployment simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bitmod_api.hh"
+#include "core/experiments.hh"
+#include "methods/awq.hh"
+#include "tensor/generator.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+// ------------------------------------------------------------ facade API
+
+TEST(Api, BitmodQuantizeBasics)
+{
+    Rng rng(201);
+    WeightGenParams p;
+    const Matrix w = generateWeights(16, 512, p, rng);
+    const auto q4 = bitmodQuantize(w, 4);
+    const auto q3 = bitmodQuantize(w, 3);
+    EXPECT_GT(q3.stats.nmse, q4.stats.nmse);
+    EXPECT_GT(q4.stats.groups, 0u);
+    EXPECT_NEAR(q3.stats.bitsPerWeight, 3.078125, 1e-9);
+}
+
+TEST(Api, BitmodQuantizeRejectsBadBits)
+{
+    Matrix w(1, 128, 0.1f);
+    EXPECT_DEATH(bitmodQuantize(w, 5), "3 and 4 bits");
+}
+
+TEST(Api, AccelByNameCoversAll)
+{
+    for (const char *name :
+         {"Baseline-FP16", "ANT", "OliVe", "BitMoD"}) {
+        EXPECT_EQ(accelByName(name).name, name);
+    }
+    EXPECT_EXIT(accelByName("TPU"), ::testing::ExitedWithCode(1),
+                "unknown accelerator");
+}
+
+// ---------------------------------------------------------- eval context
+
+TEST(EvalContext, AnchorsReproducePaperNumbers)
+{
+    const auto &model = llmByName("Llama-2-7B");
+    ModelEvalContext ctx(model, rtnSweepConfig());
+    // FP16 endpoint and the INT3-Asym anchor match Table VI rows.
+    EXPECT_NEAR(ctx.pplWiki(0.0), 5.47, 1e-9);
+    EXPECT_NEAR(ctx.pplWiki(ctx.anchorLoss()), 7.08, 1e-9);
+    EXPECT_NEAR(ctx.pplC4(ctx.anchorLoss()), 9.29, 1e-9);
+    EXPECT_NEAR(ctx.accuracy(0, 0.0), 75.98, 1e-9);
+    EXPECT_NEAR(ctx.accuracy(0, ctx.anchorLoss()), 71.87, 1e-9);
+}
+
+TEST(EvalContext, HeadlineDatatypeOrderingAt3Bit)
+{
+    // Table VI at 3-bit: BitMoD < INT3-Asym < {ANT(Flint), MX} for
+    // every studied model.
+    for (const char *name : {"OPT-1.3B", "Llama-2-7B", "Llama-3-8B"}) {
+        ModelEvalContext ctx(llmByName(name), rtnSweepConfig());
+        QuantConfig bm, ia, flint, mx;
+        bm.dtype = dtypes::bitmodFp3();
+        ia.dtype = dtypes::intAsym(3);
+        flint.dtype = dtypes::flint(3);
+        mx.dtype = dtypes::mxfp(3);
+        const double lBm = ctx.rtnLoss(bm);
+        const double lIa = ctx.rtnLoss(ia);
+        const double lFl = ctx.rtnLoss(flint);
+        const double lMx = ctx.rtnLoss(mx);
+        EXPECT_LT(lBm, lIa) << name;
+        EXPECT_LT(lIa, lFl) << name;
+        EXPECT_LT(lIa, lMx) << name;
+    }
+}
+
+TEST(EvalContext, HeadlineDatatypeOrderingAt4Bit)
+{
+    for (const char *name : {"Phi-2B", "Llama-2-13B"}) {
+        ModelEvalContext ctx(llmByName(name), rtnSweepConfig());
+        QuantConfig bm, ia;
+        bm.dtype = dtypes::bitmodFp4();
+        ia.dtype = dtypes::intAsym(4);
+        EXPECT_LT(ctx.rtnLoss(bm), ctx.rtnLoss(ia)) << name;
+    }
+}
+
+TEST(EvalContext, ErEaAblationDirections)
+{
+    // Table VIII: at 3-bit EA beats ER; both beat basic FP3; the full
+    // BitMoD mixture is best.
+    ModelEvalContext ctx(llmByName("Llama-2-7B"), rtnSweepConfig());
+    QuantConfig fp3, er, ea, bm;
+    fp3.dtype = dtypes::fp3();
+    er.dtype = dtypes::fp3Er();
+    ea.dtype = dtypes::fp3Ea();
+    bm.dtype = dtypes::bitmodFp3();
+    const double lFp = ctx.rtnLoss(fp3);
+    const double lEr = ctx.rtnLoss(er);
+    const double lEa = ctx.rtnLoss(ea);
+    const double lBm = ctx.rtnLoss(bm);
+    EXPECT_LT(lEr, lFp);
+    EXPECT_LT(lEa, lEr);
+    EXPECT_LE(lBm, lEa);
+}
+
+TEST(EvalContext, CalibratedModeSupportsMethods)
+{
+    ModelEvalContext ctx(llmByName("Llama-2-7B"), methodSweepConfig(),
+                         /*loss_mode=*/1);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp3();
+    const double rtn = ctx.loss(rtnQuantFn(cfg));
+    const double awq = ctx.loss(awqFn(cfg));
+    EXPECT_LE(awq, rtn * 1.001);
+    EXPECT_GT(ctx.pplWiki(awq), 5.47);
+}
+
+// ------------------------------------------------------------ deployment
+
+TEST(Deployment, EndToEndLossless)
+{
+    const auto s =
+        simulateDeployment("BitMoD", "Phi-2B", /*generative=*/true,
+                           /*lossless=*/true);
+    EXPECT_EQ(s.accelerator, "BitMoD");
+    EXPECT_EQ(s.precision.weightDtype.name, "INT6-Sym");
+    EXPECT_GT(s.latencyMs(), 0.0);
+    EXPECT_GT(s.energyMj(), 0.0);
+
+    const auto base = simulateDeployment("Baseline-FP16", "Phi-2B",
+                                         true, true);
+    EXPECT_GT(base.latencyMs() / s.latencyMs(), 1.5);
+}
+
+TEST(Deployment, LossyBeatsAntAndOlive)
+{
+    // The Fig. 7 headline: lossy BitMoD outperforms both ANT and OliVe
+    // on generative tasks.
+    const auto bm =
+        simulateDeployment("BitMoD", "Llama-2-7B", true, false);
+    const auto ant = simulateDeployment("ANT", "Llama-2-7B", true,
+                                        false);
+    const auto olive = simulateDeployment("OliVe", "Llama-2-7B", true,
+                                          false);
+    EXPECT_LT(bm.latencyMs(), ant.latencyMs());
+    EXPECT_LT(bm.latencyMs(), olive.latencyMs());
+    EXPECT_LT(bm.energyMj(), ant.energyMj());
+}
+
+} // namespace
+} // namespace bitmod

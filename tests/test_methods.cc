@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for src/methods: each calibration-aware method must (a)
+ * preserve layer shape/function and (b) improve its own objective over
+ * plain RTN — the property the paper's Table XI rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "methods/awq.hh"
+#include "methods/gptq.hh"
+#include "methods/omniquant.hh"
+#include "methods/quarot.hh"
+#include "methods/smoothquant.hh"
+#include "model/proxy.hh"
+#include "model/sampler.hh"
+#include "quant/dtype.hh"
+#include "tensor/linalg.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+std::vector<EvalLayer>
+testLayers(const char *model = "Llama-2-7B", size_t rows = 48,
+           size_t cols = 256, size_t calib = 96)
+{
+    SampleConfig cfg;
+    cfg.maxRows = rows;
+    cfg.maxCols = cols;
+    cfg.calibSamples = calib;
+    return sampleModel(llmByName(model), cfg);
+}
+
+QuantConfig
+int3Cfg()
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intAsym(3);
+    return cfg;
+}
+
+QuantConfig
+bitmod3Cfg()
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp3();
+    return cfg;
+}
+
+// ------------------------------------------------------------------- GPTQ
+
+TEST(Gptq, ImprovesCalibratedLossOverRtn)
+{
+    const auto layers = testLayers();
+    const auto cfg = int3Cfg();
+    const double rtn = calibratedLoss(layers, rtnQuantFn(cfg));
+    const double gptq = calibratedLoss(layers, gptqFn(cfg));
+    EXPECT_LT(gptq, rtn);
+}
+
+TEST(Gptq, WorksWithBitmodDatatype)
+{
+    const auto layers = testLayers("Llama-2-7B", 32, 256, 64);
+    const auto cfg = bitmod3Cfg();
+    const double rtn = calibratedLoss(layers, rtnQuantFn(cfg));
+    const double gptq = calibratedLoss(layers, gptqFn(cfg));
+    EXPECT_LT(gptq, rtn * 1.02);  // never meaningfully worse
+    EXPECT_GT(gptq, 0.0);
+}
+
+TEST(Gptq, IdentityDtypePassesThrough)
+{
+    const auto layers = testLayers("OPT-1.3B", 8, 128, 32);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::fp16();
+    const Matrix h = gram(layers[0].calibration);
+    const Matrix q = gptqQuantize(layers[0].weights, h, cfg);
+    for (size_t i = 0; i < q.size(); ++i)
+        ASSERT_FLOAT_EQ(q.flat()[i], layers[0].weights.flat()[i]);
+}
+
+TEST(Gptq, OutputIsOnQuantGrid)
+{
+    // Every output element must be representable: re-quantizing the
+    // dequantized output with the same per-group params is a no-op.
+    const auto layers = testLayers("Phi-2B", 16, 256, 64);
+    const auto cfg = int3Cfg();
+    const Matrix h = gram(layers[0].calibration);
+    const Matrix q = gptqQuantize(layers[0].weights, h, cfg);
+    // Int-asym with 3 bits has 8 levels per group: check every group
+    // has at most 8 distinct values.
+    for (size_t r = 0; r < q.rows(); ++r) {
+        for (size_t g = 0; g < q.cols() / 128; ++g) {
+            std::set<float> distinct;
+            for (float v : q.group(r, g, 128))
+                distinct.insert(v);
+            EXPECT_LE(distinct.size(), 8u);
+        }
+    }
+}
+
+// -------------------------------------------------------------------- AWQ
+
+TEST(Awq, ImprovesCalibratedLossOverRtn)
+{
+    const auto layers = testLayers();
+    const auto cfg = int3Cfg();
+    const double rtn = calibratedLoss(layers, rtnQuantFn(cfg));
+    const double awq = calibratedLoss(layers, awqFn(cfg));
+    // alpha = 0 reproduces RTN, so the search can only improve.
+    EXPECT_LE(awq, rtn * 1.001);
+}
+
+TEST(Awq, AlphaZeroEqualsRtn)
+{
+    const auto layers = testLayers("Yi-6B", 16, 256, 48);
+    const auto cfg = int3Cfg();
+    AwqConfig a;
+    a.alphaSteps = 1;  // grid = {0, 1}; 0 must be tried
+    const Matrix eff =
+        awqQuantize(layers[0].weights, layers[0].calibration, cfg, a);
+    EXPECT_EQ(eff.rows(), layers[0].weights.rows());
+    EXPECT_EQ(eff.cols(), layers[0].weights.cols());
+}
+
+TEST(Awq, ComposesWithBitmod)
+{
+    const auto layers = testLayers("Llama-2-7B", 32, 256, 64);
+    const double awqInt =
+        calibratedLoss(layers, awqFn(int3Cfg()));
+    const double awqBm =
+        calibratedLoss(layers, awqFn(bitmod3Cfg()));
+    // BitMoD + AWQ beats INT + AWQ at 3-bit (the Table XI claim).
+    EXPECT_LT(awqBm, awqInt);
+}
+
+// -------------------------------------------------------------- OmniQuant
+
+TEST(Omniquant, NeverWorseThanRtnInWeightSpace)
+{
+    const auto layers = testLayers("Llama-3-8B", 24, 256, 0);
+    const auto cfg = int3Cfg();
+    // gamma = 1 reproduces RTN exactly, so the group-wise search can
+    // only lower the weight-space loss.
+    const double rtn = weightSpaceLoss(layers, rtnQuantFn(cfg));
+    const double omni = weightSpaceLoss(layers, omniquantFn(cfg));
+    EXPECT_LE(omni, rtn + 1e-12);
+}
+
+TEST(Omniquant, ClipsOutlierGroupsTighter)
+{
+    // A group with one huge outlier should quantize better clipped.
+    Matrix w(1, 128);
+    Rng rng(55);
+    for (auto &v : w.flat())
+        v = static_cast<float>(rng.gaussian(0.0, 0.02));
+    w(0, 7) = 1.0f;
+    QuantConfig cfg = int3Cfg();
+    const Matrix rtn = quantizeMatrix(w, cfg).dequant;
+    const Matrix omni = omniquantQuantize(w, cfg);
+    double errR = 0, errO = 0;
+    for (size_t i = 0; i < w.size(); ++i) {
+        errR += std::pow(w.flat()[i] - rtn.flat()[i], 2);
+        errO += std::pow(w.flat()[i] - omni.flat()[i], 2);
+    }
+    EXPECT_LT(errO, errR);
+}
+
+TEST(Omniquant, WorksWithAdaptiveDatatype)
+{
+    const auto layers = testLayers("Llama-2-13B", 16, 256, 0);
+    const auto cfg = bitmod3Cfg();
+    const double rtn = weightSpaceLoss(layers, rtnQuantFn(cfg));
+    const double omni = weightSpaceLoss(layers, omniquantFn(cfg));
+    EXPECT_LE(omni, rtn + 1e-12);
+}
+
+// ----------------------------------------------------------------- QuaRot
+
+TEST(Quarot, PreservesShapeAndReducesIntLoss)
+{
+    const auto layers = testLayers("OPT-1.3B", 32, 512, 0);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intSym(4);
+    const double rtn = weightSpaceLoss(layers, rtnQuantFn(cfg));
+    const double rot = weightSpaceLoss(layers, quarotFn(cfg));
+    // Rotation flattens outliers; symmetric INT on OPT-like weights
+    // benefits.
+    EXPECT_LT(rot, rtn);
+}
+
+TEST(Quarot, RotationIsFunctionPreservingAtFp16)
+{
+    // With the identity datatype the rotate-quantize-rotate-back
+    // pipeline must reproduce the weights (involution property).
+    const auto layers = testLayers("Phi-2B", 8, 256, 0);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::fp16();
+    const Matrix out = quarotQuantize(layers[0].weights, cfg);
+    for (size_t i = 0; i < out.size(); ++i)
+        ASSERT_NEAR(out.flat()[i], layers[0].weights.flat()[i], 1e-4);
+}
+
+// ------------------------------------------------------------ SmoothQuant
+
+TEST(SmoothQuant, Int8ActivationsCloseToFp16)
+{
+    const auto layers = testLayers("Llama-2-7B", 24, 256, 64);
+    QuantConfig w8;
+    w8.dtype = dtypes::intSym(8);
+    const double fp16Act = plainOutputLoss(layers[0], w8);
+    SmoothQuantConfig scfg;
+    const double sq8 = smoothQuantOutputLoss(layers[0], w8, scfg);
+    // INT8 W + SQ INT8 A stays within a small factor of weight-only.
+    EXPECT_LT(sq8, fp16Act + 0.01);
+}
+
+TEST(SmoothQuant, MigrationBeatsNaiveActQuant)
+{
+    const auto layers = testLayers("Llama-3-8B", 24, 256, 64);
+    QuantConfig w4;
+    w4.dtype = dtypes::intAsym(4);
+    SmoothQuantConfig mig;        // alpha = 0.5
+    SmoothQuantConfig noMig;
+    noMig.alpha = 0.0;            // no difficulty migration
+    const double with = smoothQuantOutputLoss(layers[0], w4, mig);
+    const double without = smoothQuantOutputLoss(layers[0], w4, noMig);
+    EXPECT_LT(with, without);
+}
+
+TEST(SmoothQuant, BitmodBeatsIntAsymUnderSq8)
+{
+    const auto layers = testLayers("Llama-2-7B", 24, 256, 64);
+    SmoothQuantConfig scfg;
+    double lossInt = 0.0, lossBm = 0.0;
+    for (const auto &l : layers) {
+        lossInt += l.paramWeight *
+                   smoothQuantOutputLoss(l, int3Cfg(), scfg);
+        lossBm += l.paramWeight *
+                  smoothQuantOutputLoss(l, bitmod3Cfg(), scfg);
+    }
+    // Table XII: BitMoD's advantage survives INT8 activations.
+    EXPECT_LT(lossBm, lossInt);
+}
+
+} // namespace
+} // namespace bitmod

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Unit tests for src/model: LLM shape zoo parameter counts, the
+ * analytic traffic model behind Fig. 1, the layer sampler, and the
+ * anchored proxy perplexity/accuracy maps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/llm_zoo.hh"
+#include "model/proxy.hh"
+#include "model/sampler.hh"
+#include "model/traffic.hh"
+#include "quant/dtype.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+// -------------------------------------------------------------------- zoo
+
+TEST(LlmZoo, HasSixModelsInPaperOrder)
+{
+    const auto &zoo = llmZoo();
+    ASSERT_EQ(zoo.size(), 6u);
+    EXPECT_EQ(zoo[0].name, "OPT-1.3B");
+    EXPECT_EQ(zoo[1].name, "Phi-2B");
+    EXPECT_EQ(zoo[2].name, "Yi-6B");
+    EXPECT_EQ(zoo[3].name, "Llama-2-7B");
+    EXPECT_EQ(zoo[4].name, "Llama-2-13B");
+    EXPECT_EQ(zoo[5].name, "Llama-3-8B");
+}
+
+TEST(LlmZoo, ParamCountsNearPublished)
+{
+    // Linear+embedding params should land within ~15% of the nameplate
+    // size (we ignore norms/biases).
+    const auto check = [](const char *name, double billions) {
+        const double params =
+            static_cast<double>(llmByName(name).totalParams()) / 1e9;
+        EXPECT_NEAR(params, billions, billions * 0.18) << name;
+    };
+    check("OPT-1.3B", 1.3);
+    check("Llama-2-7B", 6.7);
+    check("Llama-2-13B", 13.0);
+    check("Llama-3-8B", 8.0);
+}
+
+TEST(LlmZoo, GqaShapesSmallerKv)
+{
+    const auto &yi = llmByName("Yi-6B");
+    EXPECT_EQ(yi.kvDim(), 512u);  // 4 kv heads * 128 head dim
+    const auto shapes = yi.blockLinears();
+    bool foundK = false;
+    for (const auto &s : shapes)
+        if (s.name == "k_proj") {
+            foundK = true;
+            EXPECT_EQ(s.outFeatures, 512u);
+            EXPECT_EQ(s.inFeatures, 4096u);
+        }
+    EXPECT_TRUE(foundK);
+}
+
+TEST(LlmZoo, GatedFfnHasThreeMatrices)
+{
+    EXPECT_EQ(llmByName("Llama-2-7B").blockLinears().size(), 7u);
+    EXPECT_EQ(llmByName("OPT-1.3B").blockLinears().size(), 6u);
+}
+
+TEST(LlmZoo, UnknownModelDies)
+{
+    EXPECT_EXIT(llmByName("GPT-5"), ::testing::ExitedWithCode(1),
+                "unknown model");
+}
+
+TEST(LlmZoo, WeightBytesScaleWithPrecision)
+{
+    const auto &m = llmByName("Llama-2-7B");
+    EXPECT_NEAR(m.weightBytes(8.0) / m.weightBytes(16.0), 0.5, 1e-12);
+}
+
+// ---------------------------------------------------------------- traffic
+
+TEST(Traffic, WeightsDominateDiscriminative)
+{
+    // Fig. 1: weight access orders of magnitude above activations.
+    for (const auto &m : llmZoo()) {
+        const auto t = computeTraffic(m, TaskSpec::discriminative(), {});
+        EXPECT_GT(t.weightBytes, 20.0 * (t.activationBytes + t.kvBytes))
+            << m.name;
+    }
+}
+
+TEST(Traffic, GenerativeMultipliesWeightTraffic)
+{
+    const auto &m = llmByName("Llama-2-7B");
+    const auto disc = computeTraffic(m, TaskSpec::discriminative(), {});
+    const auto gen = computeTraffic(m, TaskSpec::generative(), {});
+    // 256 decode steps -> ~256x the weight traffic.
+    EXPECT_NEAR(gen.weightBytes / disc.weightBytes, 256.0, 1.0);
+    // The weight/activation gap *grows* for generative tasks (Fig. 1).
+    const double discGap = disc.weightBytes / (disc.activationBytes +
+                                               disc.kvBytes);
+    const double genGap = gen.weightBytes / (gen.activationBytes +
+                                             gen.kvBytes);
+    EXPECT_GT(genGap, discGap);
+}
+
+TEST(Traffic, WeightQuantizationCutsWeightBytesOnly)
+{
+    const auto &m = llmByName("Phi-2B");
+    PrecisionSpec p16, p4;
+    p4.weightBits = 4.0;
+    const auto a = computeTraffic(m, TaskSpec::generative(), p16);
+    const auto b = computeTraffic(m, TaskSpec::generative(), p4);
+    EXPECT_NEAR(b.weightBytes / a.weightBytes, 0.25, 1e-9);
+    EXPECT_DOUBLE_EQ(b.activationBytes, a.activationBytes);
+    EXPECT_DOUBLE_EQ(b.kvBytes, a.kvBytes);
+}
+
+TEST(Traffic, MacsPositiveAndScaleWithTokens)
+{
+    const auto &m = llmByName("OPT-1.3B");
+    const double disc = computeMacs(m, TaskSpec::discriminative());
+    const double gen = computeMacs(m, TaskSpec::generative());
+    EXPECT_GT(disc, 0.0);
+    EXPECT_GT(gen, disc * 1.5);
+}
+
+TEST(Traffic, PrefillMacsNearTwoParamsPerToken)
+{
+    // Prefill linear MACs ~= params * tokens (attention adds a little).
+    const auto &m = llmByName("Llama-2-7B");
+    TaskSpec task{256, 1};
+    const double macs = computeMacs(m, task);
+    const double linear =
+        static_cast<double>(m.numLayers) * m.blockLinearParams() * 256.0;
+    EXPECT_GT(macs, linear);
+    EXPECT_LT(macs, linear * 1.2);
+}
+
+// ---------------------------------------------------------------- sampler
+
+TEST(Sampler, ShapesRespectConfig)
+{
+    SampleConfig cfg;
+    cfg.maxRows = 64;
+    cfg.maxCols = 1024;
+    const auto layers = sampleModel(llmByName("Llama-2-7B"), cfg);
+    ASSERT_EQ(layers.size(), 7u);
+    for (const auto &l : layers) {
+        EXPECT_LE(l.weights.rows(), 64u);
+        EXPECT_LE(l.weights.cols(), 1024u);
+        EXPECT_EQ(l.weights.cols() % 128, 0u);
+        EXPECT_TRUE(l.calibration.empty());
+    }
+}
+
+TEST(Sampler, ParamWeightsSumToOne)
+{
+    SampleConfig cfg;
+    const auto layers = sampleModel(llmByName("Yi-6B"), cfg);
+    double sum = 0.0;
+    for (const auto &l : layers)
+        sum += l.paramWeight;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Sampler, CalibrationOnRequest)
+{
+    SampleConfig cfg;
+    cfg.calibSamples = 32;
+    cfg.maxCols = 512;
+    const auto layers = sampleModel(llmByName("OPT-1.3B"), cfg);
+    for (const auto &l : layers) {
+        EXPECT_EQ(l.calibration.rows(), 32u);
+        EXPECT_EQ(l.calibration.cols(), l.weights.cols());
+    }
+}
+
+TEST(Sampler, DeterministicPerSeed)
+{
+    SampleConfig cfg;
+    cfg.maxRows = 16;
+    cfg.maxCols = 256;
+    const auto a = sampleModel(llmByName("Phi-2B"), cfg);
+    const auto b = sampleModel(llmByName("Phi-2B"), cfg);
+    for (size_t i = 0; i < a.size(); ++i)
+        for (size_t j = 0; j < a[i].weights.size(); ++j)
+            ASSERT_FLOAT_EQ(a[i].weights.flat()[j],
+                            b[i].weights.flat()[j]);
+}
+
+TEST(Sampler, DifferentModelsDifferentWeights)
+{
+    SampleConfig cfg;
+    cfg.maxRows = 16;
+    cfg.maxCols = 256;
+    const auto a = sampleModel(llmByName("Phi-2B"), cfg);
+    const auto b = sampleModel(llmByName("Yi-6B"), cfg);
+    // Same seed but model-name-hashed: streams must differ.
+    EXPECT_NE(a[0].weights(0, 0), b[0].weights(0, 0));
+}
+
+// ------------------------------------------------------------------ proxy
+
+TEST(Proxy, WeightSpaceLossOrdersPrecisions)
+{
+    SampleConfig cfg;
+    cfg.maxRows = 32;
+    cfg.maxCols = 512;
+    const auto layers = sampleModel(llmByName("Llama-2-7B"), cfg);
+    QuantConfig q3, q4, q8;
+    q3.dtype = dtypes::intAsym(3);
+    q4.dtype = dtypes::intAsym(4);
+    q8.dtype = dtypes::intAsym(8);
+    const double l3 = weightSpaceLoss(layers, rtnQuantFn(q3));
+    const double l4 = weightSpaceLoss(layers, rtnQuantFn(q4));
+    const double l8 = weightSpaceLoss(layers, rtnQuantFn(q8));
+    EXPECT_GT(l3, l4);
+    EXPECT_GT(l4, l8);
+    EXPECT_GT(l8, 0.0);
+}
+
+TEST(Proxy, CalibratedLossPositiveAndOrdered)
+{
+    SampleConfig cfg;
+    cfg.maxRows = 32;
+    cfg.maxCols = 256;
+    cfg.calibSamples = 64;
+    const auto layers = sampleModel(llmByName("Llama-2-7B"), cfg);
+    QuantConfig q3, q4;
+    q3.dtype = dtypes::intAsym(3);
+    q4.dtype = dtypes::intAsym(4);
+    const double l3 = calibratedLoss(layers, rtnQuantFn(q3));
+    const double l4 = calibratedLoss(layers, rtnQuantFn(q4));
+    EXPECT_GT(l3, l4);
+    EXPECT_GT(l4, 0.0);
+}
+
+TEST(Proxy, PerplexityModelInterpolates)
+{
+    PerplexityModel m(5.47, 0.01, 7.08);
+    EXPECT_NEAR(m.ppl(0.0), 5.47, 1e-9);       // FP16 endpoint
+    EXPECT_NEAR(m.ppl(0.01), 7.08, 1e-9);      // anchor endpoint
+    const double mid = m.ppl(0.005);
+    EXPECT_GT(mid, 5.47);
+    EXPECT_LT(mid, 7.08);
+    EXPECT_GT(m.ppl(0.02), 7.08);              // extrapolates upward
+}
+
+TEST(Proxy, TwoAnchorModelHitsBothPoints)
+{
+    // loss 0.01 -> 5.77 (INT4 row), loss 0.04 -> 7.08 (INT3 row).
+    PerplexityModel m(5.47, 0.01, 5.77, 0.04, 7.08);
+    EXPECT_NEAR(m.ppl(0.0), 5.47, 1e-9);
+    EXPECT_NEAR(m.ppl(0.01), 5.77, 1e-9);
+    EXPECT_NEAR(m.ppl(0.04), 7.08, 1e-9);
+    // Strictly increasing between and beyond the anchors.
+    EXPECT_GT(m.ppl(0.02), 5.77);
+    EXPECT_LT(m.ppl(0.02), 7.08);
+    EXPECT_GT(m.ppl(0.08), 7.08);
+}
+
+TEST(Proxy, TwoAnchorAccuracyHitsBothPoints)
+{
+    AccuracyModel m(75.98, 0.01, 75.29, 0.04, 71.87);
+    EXPECT_NEAR(m.accuracy(0.0), 75.98, 1e-9);
+    EXPECT_NEAR(m.accuracy(0.01), 75.29, 1e-9);
+    EXPECT_NEAR(m.accuracy(0.04), 71.87, 1e-9);
+}
+
+TEST(Proxy, TwoAnchorDegenerateFallsBack)
+{
+    // Inconsistent low anchor (ppl below fp16) must not crash.
+    PerplexityModel m(10.0, 0.01, 9.5, 0.04, 12.0);
+    EXPECT_NEAR(m.ppl(0.04), 12.0, 1e-9);
+    EXPECT_GT(m.ppl(0.05), 12.0);
+}
+
+TEST(Proxy, PerplexityMonotone)
+{
+    PerplexityModel m(10.0, 0.05, 20.0);
+    double prev = 0.0;
+    for (double loss = 0.0; loss <= 0.2; loss += 0.01) {
+        const double p = m.ppl(loss);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Proxy, AccuracyModelAnchorsAndFloors)
+{
+    AccuracyModel m(75.98, 0.01, 71.87);
+    EXPECT_NEAR(m.accuracy(0.0), 75.98, 1e-9);
+    EXPECT_NEAR(m.accuracy(0.01), 71.87, 1e-9);
+    EXPECT_GE(m.accuracy(100.0), 0.0);  // floored at zero
+}
+
+TEST(Proxy, BadAnchorsDie)
+{
+    EXPECT_DEATH(PerplexityModel(5.0, 0.0, 7.0), "anchor");
+    EXPECT_DEATH(PerplexityModel(5.0, 0.1, 4.0), "anchor");
+}
+
+} // namespace
+} // namespace bitmod

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit tests for src/numeric: bit-exact Float16 conversions, the
+ * generic minifloat codec (value grids of Table IV's basic types), and
+ * radix-4 Booth encoding (the INT side of Fig. 4a).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "numeric/bits.hh"
+#include "numeric/booth.hh"
+#include "numeric/float16.hh"
+#include "numeric/minifloat.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+// ---------------------------------------------------------------- Float16
+
+TEST(Float16, KnownConstants)
+{
+    EXPECT_EQ(Float16(1.0f).bits(), 0x3c00);
+    EXPECT_EQ(Float16(-2.0f).bits(), 0xc000);
+    EXPECT_EQ(Float16(0.5f).bits(), 0x3800);
+    EXPECT_EQ(Float16(65504.0f).bits(), 0x7bff);  // max finite half
+    EXPECT_EQ(Float16(0.0f).bits(), 0x0000);
+    EXPECT_EQ(Float16(-0.0f).bits(), 0x8000);
+}
+
+TEST(Float16, OverflowGoesToInfinity)
+{
+    EXPECT_TRUE(Float16(65520.0f).isInf());
+    EXPECT_TRUE(Float16(1e10f).isInf());
+    EXPECT_TRUE(Float16(-1e10f).isInf());
+    EXPECT_EQ(Float16(-1e10f).sign(), 1);
+}
+
+TEST(Float16, SubnormalsRepresentable)
+{
+    const float minSub = std::ldexp(1.0f, -24);
+    EXPECT_EQ(Float16(minSub).bits(), 0x0001);
+    const float maxSub = std::ldexp(1023.0f, -24);
+    EXPECT_EQ(Float16(maxSub).bits(), 0x03ff);
+}
+
+TEST(Float16, TinyRoundsToZero)
+{
+    EXPECT_EQ(Float16(std::ldexp(1.0f, -26)).bits(), 0x0000);
+}
+
+TEST(Float16, RoundToNearestEvenTie)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10; RNE keeps
+    // the even mantissa (1.0).
+    const float tie = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(Float16(tie).bits(), 0x3c00);
+    // 1 + 3*2^-11 is halfway between odd and even; rounds up to even.
+    const float tie2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+    EXPECT_EQ(Float16(tie2).bits(), 0x3c02);
+}
+
+TEST(Float16, RoundTripAllFinitePatterns)
+{
+    // half -> float -> half must be the identity for every non-NaN.
+    for (uint32_t bits = 0; bits < 0x10000; ++bits) {
+        const Float16 h = Float16::fromBits(static_cast<uint16_t>(bits));
+        if (h.isNan())
+            continue;
+        const Float16 back(h.toFloat());
+        ASSERT_EQ(back.bits(), h.bits()) << "pattern " << bits;
+    }
+}
+
+TEST(Float16, NanPreservedAsNan)
+{
+    const Float16 nan = Float16::fromBits(0x7e01);
+    EXPECT_TRUE(nan.isNan());
+    EXPECT_TRUE(std::isnan(nan.toFloat()));
+    EXPECT_TRUE(Float16(std::nanf("")).isNan());
+}
+
+TEST(Float16, FieldExtraction)
+{
+    const Float16 h(-1.5f);  // 1 10111 1000000000 -> 0xbe00
+    EXPECT_EQ(h.bits(), 0xbe00);
+    EXPECT_EQ(h.sign(), 1);
+    EXPECT_EQ(h.exponentField(), 15);
+    EXPECT_EQ(h.mantissaField(), 0x200);
+    EXPECT_EQ(h.significand11(), 0x600);
+    EXPECT_EQ(h.unbiasedExponent(), 0);
+}
+
+TEST(Float16, SubnormalSignificand)
+{
+    const Float16 h = Float16::fromBits(0x0001);
+    EXPECT_EQ(h.significand11(), 1);       // no hidden bit
+    EXPECT_EQ(h.unbiasedExponent(), -14);  // fixed subnormal exponent
+    EXPECT_FLOAT_EQ(h.toFloat(), std::ldexp(1.0f, -24));
+}
+
+TEST(Float16, SignificandReconstructsValue)
+{
+    // value == (-1)^s * significand11 * 2^(exp - 10) for all finite
+    // patterns; this identity is what the PE datapath relies on.
+    for (uint32_t bits = 0; bits < 0x10000; bits += 7) {
+        const Float16 h = Float16::fromBits(static_cast<uint16_t>(bits));
+        if (h.isNan() || h.isInf())
+            continue;
+        const double v = (h.sign() ? -1.0 : 1.0) *
+                         std::ldexp(static_cast<double>(h.significand11()),
+                                    h.unbiasedExponent() - 10);
+        ASSERT_DOUBLE_EQ(v, static_cast<double>(h.toFloat()))
+            << "pattern " << bits;
+    }
+}
+
+TEST(Float16, MulMatchesReference)
+{
+    const Float16 a(1.5f), b(-2.5f);
+    EXPECT_FLOAT_EQ(Float16::mul(a, b).toFloat(), -3.75f);
+}
+
+TEST(Float16, AddMatchesReference)
+{
+    const Float16 a(1.5f), b(0.25f);
+    EXPECT_FLOAT_EQ(Float16::add(a, b).toFloat(), 1.75f);
+}
+
+// -------------------------------------------------------------- MiniFloat
+
+TEST(MiniFloat, Fp3GridMatchesPaper)
+{
+    const MiniFloatFormat fp3(2, 0);
+    const auto grid = fp3.valueGrid();
+    const std::vector<double> expect = {-4, -2, -1, 0, 1, 2, 4};
+    EXPECT_EQ(grid, expect);
+}
+
+TEST(MiniFloat, Fp4GridMatchesPaper)
+{
+    const MiniFloatFormat fp4(2, 1);
+    const auto grid = fp4.valueGrid();
+    const std::vector<double> expect = {-6,   -4, -3, -2, -1.5, -1, -0.5,
+                                        0,    0.5, 1, 1.5, 2,   3,  4, 6};
+    EXPECT_EQ(grid, expect);
+}
+
+TEST(MiniFloat, Fp6E2M3MaxAndStep)
+{
+    const MiniFloatFormat f(2, 3);
+    EXPECT_DOUBLE_EQ(f.maxValue(), 7.5);
+    EXPECT_DOUBLE_EQ(f.minSubnormal(), 0.125);
+    EXPECT_EQ(f.valueGrid().size(), 63u);  // 64 codes, one duplicate zero
+}
+
+TEST(MiniFloat, Fp6E3M2MaxValue)
+{
+    const MiniFloatFormat f(3, 2);
+    EXPECT_DOUBLE_EQ(f.maxValue(), 28.0);
+}
+
+TEST(MiniFloat, DecodeEncodeRoundTripAllCodes)
+{
+    const MiniFloatFormat f(2, 1);
+    for (uint32_t code = 0; code < static_cast<uint32_t>(f.codeCount());
+         ++code) {
+        const double v = f.decode(code);
+        const uint32_t back = f.encode(v);
+        // -0 encodes to +0; otherwise codes must round trip by value.
+        EXPECT_DOUBLE_EQ(f.decode(back), v) << "code " << code;
+    }
+}
+
+TEST(MiniFloat, EncodeSaturates)
+{
+    const MiniFloatFormat f(2, 1);
+    EXPECT_DOUBLE_EQ(f.decode(f.encode(100.0)), 6.0);
+    EXPECT_DOUBLE_EQ(f.decode(f.encode(-100.0)), -6.0);
+}
+
+TEST(MiniFloat, EncodeNearest)
+{
+    const MiniFloatFormat f(2, 1);
+    EXPECT_DOUBLE_EQ(f.decode(f.encode(2.4)), 2.0);
+    EXPECT_DOUBLE_EQ(f.decode(f.encode(2.6)), 3.0);
+    EXPECT_DOUBLE_EQ(f.decode(f.encode(-0.2)), 0.0);
+}
+
+TEST(MiniFloat, Name)
+{
+    EXPECT_EQ(MiniFloatFormat(2, 3).name(), "FP6-E2M3");
+    EXPECT_EQ(MiniFloatFormat(3, 2).name(), "FP6-E3M2");
+}
+
+// ------------------------------------------------------------------ Booth
+
+TEST(Booth, DigitCountsMatchPaper)
+{
+    EXPECT_EQ(boothDigitCount(8), 4);  // INT8 -> 4 strings (Fig. 4a)
+    EXPECT_EQ(boothDigitCount(6), 3);  // INT6 -> 3 strings
+    EXPECT_EQ(boothDigitCount(5), 3);
+    EXPECT_EQ(boothDigitCount(4), 2);
+    EXPECT_EQ(boothDigitCount(3), 2);
+}
+
+TEST(Booth, RecomposeAllInt8)
+{
+    for (int v = -128; v <= 127; ++v) {
+        const auto digits = boothEncode(v, 8);
+        ASSERT_EQ(digits.size(), 4u);
+        ASSERT_EQ(boothDecode(digits), v) << "value " << v;
+    }
+}
+
+TEST(Booth, RecomposeAllInt6)
+{
+    for (int v = -32; v <= 31; ++v)
+        ASSERT_EQ(boothDecode(boothEncode(v, 6)), v);
+}
+
+TEST(Booth, RecomposeAllNarrowWidths)
+{
+    for (int bits = 2; bits <= 8; ++bits) {
+        const int lo = -(1 << (bits - 1));
+        const int hi = (1 << (bits - 1)) - 1;
+        for (int v = lo; v <= hi; ++v)
+            ASSERT_EQ(boothDecode(boothEncode(v, bits)), v)
+                << "bits " << bits << " value " << v;
+    }
+}
+
+TEST(Booth, DigitsStayInRadix4Range)
+{
+    for (int v = -128; v <= 127; ++v)
+        for (const auto &d : boothEncode(v, 8)) {
+            ASSERT_GE(d.digit, -2);
+            ASSERT_LE(d.digit, 2);
+        }
+}
+
+TEST(Booth, BitSignificanceSteps)
+{
+    const auto digits = boothEncode(77, 8);
+    for (size_t i = 0; i < digits.size(); ++i)
+        EXPECT_EQ(digits[i].bsig, static_cast<int>(2 * i));
+}
+
+TEST(Booth, NonZeroCountBounds)
+{
+    EXPECT_EQ(boothNonZeroCount(0, 8), 0);
+    for (int v = -128; v <= 127; ++v) {
+        const int nz = boothNonZeroCount(v, 8);
+        ASSERT_LE(nz, 4);
+        if (v != 0) {
+            ASSERT_GE(nz, 1);
+        }
+    }
+}
+
+TEST(Booth, RejectsOutOfRange)
+{
+    EXPECT_DEATH(boothEncode(128, 8), "does not fit");
+}
+
+// ------------------------------------------------------------------- Bits
+
+TEST(Bits, LeadingOneIndex)
+{
+    EXPECT_EQ(leadingOneIndex(0), -1);
+    EXPECT_EQ(leadingOneIndex(1), 0);
+    EXPECT_EQ(leadingOneIndex(0x10), 4);
+    EXPECT_EQ(leadingOneIndex(0x1f), 4);
+}
+
+TEST(Bits, Popcount)
+{
+    EXPECT_EQ(popcount32(0), 0);
+    EXPECT_EQ(popcount32(0xff), 8);
+    EXPECT_EQ(popcount32(0x101), 2);
+}
+
+TEST(Bits, Pow2AndCeilDiv)
+{
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(65));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_EQ(ceilDiv(128, 4), 32u);
+    EXPECT_EQ(ceilDiv(129, 4), 33u);
+}
+
+} // namespace
+} // namespace bitmod

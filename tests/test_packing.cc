@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for quant/packing: bitstream primitives and byte-exact
+ * pack/unpack round trips for every packable datatype, plus the
+ * storage-size accounting of Section III-C.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "quant/dtype.hh"
+#include "quant/packing.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+TEST(BitStream, AppendReadRoundTrip)
+{
+    std::vector<uint8_t> bytes;
+    size_t w = 0;
+    appendBits(bytes, w, 0b101, 3);
+    appendBits(bytes, w, 0xff, 8);
+    appendBits(bytes, w, 0, 2);
+    appendBits(bytes, w, 0x1234, 16);
+    size_t r = 0;
+    EXPECT_EQ(readBits(bytes, r, 3), 0b101u);
+    EXPECT_EQ(readBits(bytes, r, 8), 0xffu);
+    EXPECT_EQ(readBits(bytes, r, 2), 0u);
+    EXPECT_EQ(readBits(bytes, r, 16), 0x1234u);
+    EXPECT_EQ(r, w);
+}
+
+TEST(BitStream, RejectsOversizedValue)
+{
+    std::vector<uint8_t> bytes;
+    size_t pos = 0;
+    EXPECT_DEATH(appendBits(bytes, pos, 8, 3), "exceeds");
+}
+
+TEST(BitStream, UnderrunDies)
+{
+    std::vector<uint8_t> bytes = {0xab};
+    size_t pos = 0;
+    readBits(bytes, pos, 8);
+    EXPECT_DEATH(readBits(bytes, pos, 1), "underrun");
+}
+
+class PackerRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PackerRoundTrip, PackUnpackIsLossless)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::byName(GetParam());
+    const GroupPacker packer(cfg);
+
+    Rng rng(301);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<float> w(128);
+        for (auto &x : w)
+            x = static_cast<float>(rng.gaussian(0.0, 0.02));
+        const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+        // Second-level scale: code in [1, 255] with a base.
+        const int scaleCode = 100 + trial;
+        const double base = enc.scale / scaleCode;
+
+        const auto packed = packer.pack(enc, scaleCode);
+        const auto back = packer.unpack(packed, 128, base);
+
+        ASSERT_EQ(back.qvalues.size(), enc.qvalues.size());
+        for (size_t i = 0; i < enc.qvalues.size(); ++i)
+            ASSERT_FLOAT_EQ(back.qvalues[i], enc.qvalues[i])
+                << GetParam() << " trial " << trial << " elem " << i;
+        ASSERT_NEAR(back.scale, enc.scale,
+                    1e-12 + 1e-9 * enc.scale);
+        if (cfg.dtype.kind == DtypeKind::IntAsym) {
+            ASSERT_DOUBLE_EQ(back.zeroPoint, enc.zeroPoint);
+        }
+        if (cfg.dtype.groupMetaBits() > 0) {
+            ASSERT_EQ(back.svIndex, enc.svIndex);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datatypes, PackerRoundTrip,
+    ::testing::Values("INT4-Sym", "INT3-Asym", "INT4-Asym", "INT6-Sym",
+                      "FP4", "FP3", "BitMoD-FP3", "BitMoD-FP4",
+                      "MX-FP4"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (auto &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Packer, StorageMatchesOverheadAnalysis)
+{
+    QuantConfig bm;
+    bm.dtype = dtypes::bitmodFp3();
+    const GroupPacker p(bm);
+    // 3-bit elements, 8-bit scale + 2-bit selector (Section III-C).
+    EXPECT_EQ(p.elementBits(), 3);
+    EXPECT_EQ(p.metaBits(), 10);
+    EXPECT_NEAR(p.packedBitsPerWeight(128), 3.078125, 1e-9);
+
+    QuantConfig ia;
+    ia.dtype = dtypes::intAsym(4);
+    const GroupPacker pi(ia);
+    EXPECT_EQ(pi.metaBits(), 16);  // 8-bit scale code + 8-bit ZP
+}
+
+TEST(Packer, PackedSizeIsExact)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    const GroupPacker p(cfg);
+    std::vector<float> w(128, 0.01f);
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    const auto packed = p.pack(enc, 200);
+    // 128 * 4 + 10 bits = 522 bits = 66 bytes (ceil).
+    EXPECT_EQ(packed.bytes.size(), 66u);
+}
+
+TEST(Packer, RejectsFp16)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::fp16();
+    EXPECT_DEATH(GroupPacker{cfg}, "not packed");
+}
+
+} // namespace
+} // namespace bitmod

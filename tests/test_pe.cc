@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Unit tests for src/pe: the BitMoD PE must compute exactly the dot
+ * product of the dequantized weights with the FP16 activations (term
+ * decomposition is lossless), its hardware-rounding mode must stay
+ * within the guard-bit error bound, the bit-serial dequantization must
+ * be exact and never stall the pipeline for G = 128, and the baseline
+ * PEs must agree with references.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "pe/baseline_pe.hh"
+#include "pe/bitmod_pe.hh"
+#include "quant/dtype.hh"
+#include "quant/quantizer.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+std::vector<Float16>
+randomActivations(size_t n, Rng &rng, double sigma = 1.0)
+{
+    std::vector<Float16> acts;
+    acts.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian(0.0, sigma)));
+    return acts;
+}
+
+double
+referenceDot(const EncodedGroup &enc, const QuantConfig &cfg,
+             const std::vector<Float16> &acts)
+{
+    const auto deq = decodeGroup(enc, cfg);
+    double sum = 0.0;
+    for (size_t i = 0; i < deq.size(); ++i)
+        sum += static_cast<double>(deq[i]) * acts[i].toFloat();
+    return sum;
+}
+
+// -------------------------------------------------------------- dequant
+
+TEST(BitSerialDequant, ExactForAllInt8Scales)
+{
+    for (int s = 0; s < 256; ++s) {
+        int cycles = 0;
+        const double out = bitSerialDequant(0.37, s, 8, &cycles);
+        ASSERT_NEAR(out, 0.37 * s, 1e-12) << "scale " << s;
+        ASSERT_EQ(cycles, 8);
+    }
+}
+
+TEST(BitSerialDequant, RejectsOverflowScale)
+{
+    EXPECT_DEATH(bitSerialDequant(1.0, 256, 8, nullptr), "exceeds");
+}
+
+// ------------------------------------------------------------- BitmodPe
+
+struct PeDtypeCase
+{
+    const char *name;
+    Dtype dtype;
+};
+
+class BitmodPeDtype : public ::testing::TestWithParam<PeDtypeCase>
+{
+};
+
+TEST_P(BitmodPeDtype, ExactModeMatchesReferenceDot)
+{
+    // Property: for random groups, the bit-serial PE result equals the
+    // dot product of the dequantized weights and activations.
+    const Dtype dt = GetParam().dtype;
+    QuantConfig cfg;
+    cfg.dtype = dt;
+    BitmodPe pe;
+    Rng rng(101);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<float> w(128);
+        for (auto &x : w)
+            x = static_cast<float>(rng.gaussian(0.0, 0.02));
+        const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+        const auto acts = randomActivations(128, rng);
+        const auto res = pe.processGroupFp16Scale(
+            enc, {acts.data(), acts.size()}, dt);
+        const double ref = referenceDot(enc, cfg, acts);
+        ASSERT_NEAR(res.value, ref, 1e-6 + 1e-6 * std::fabs(ref))
+            << GetParam().name << " trial " << trial;
+    }
+}
+
+TEST_P(BitmodPeDtype, CycleCountsMatchSectionIvB)
+{
+    const Dtype dt = GetParam().dtype;
+    BitmodPe pe;
+    const int cycles = pe.dotCycles(128, dt);
+    // group 128 / 4 lanes * terms-per-weight
+    EXPECT_EQ(cycles, 32 * ((dt.kind == DtypeKind::IntSym ||
+                             dt.kind == DtypeKind::OliveOvp)
+                                ? (dt.bits + 1) / 2
+                            : dt.kind == DtypeKind::IntAsym
+                                ? (dt.bits + 2) / 2
+                                : 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatatypes, BitmodPeDtype,
+    ::testing::Values(
+        PeDtypeCase{"int8sym", dtypes::intSym(8)},
+        PeDtypeCase{"int6sym", dtypes::intSym(6)},
+        PeDtypeCase{"int5sym", dtypes::intSym(5)},
+        PeDtypeCase{"int4asym", dtypes::intAsym(4)},
+        PeDtypeCase{"int3asym", dtypes::intAsym(3)},
+        PeDtypeCase{"fp4", dtypes::fp4()},
+        PeDtypeCase{"fp3", dtypes::fp3()},
+        PeDtypeCase{"bitmodfp4", dtypes::bitmodFp4()},
+        PeDtypeCase{"bitmodfp3", dtypes::bitmodFp3()},
+        PeDtypeCase{"mxfp4", dtypes::mxfp(4)}),
+    [](const ::testing::TestParamInfo<PeDtypeCase> &info) {
+        return info.param.name;
+    });
+
+TEST(BitmodPe, HwRoundingStaysWithinGuardBitBound)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    PeConfig hw;
+    hw.hwRounding = true;
+    BitmodPe exactPe, hwPe(hw);
+    Rng rng(102);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<float> w(128);
+        for (auto &x : w)
+            x = static_cast<float>(rng.gaussian(0.0, 0.02));
+        const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+        const auto acts = randomActivations(128, rng);
+        const auto ex = exactPe.processGroupFp16Scale(
+            enc, {acts.data(), acts.size()}, cfg.dtype);
+        const auto hwRes = hwPe.processGroupFp16Scale(
+            enc, {acts.data(), acts.size()}, cfg.dtype);
+        // 3 guard bits + RNE per 4-lane chunk: relative error per chunk
+        // ~2^-12 of the chunk magnitude; allow a generous bound over
+        // the total absolute dot-product magnitude.
+        double magnitude = 0.0;
+        const auto deq = decodeGroup(enc, cfg);
+        for (size_t i = 0; i < deq.size(); ++i)
+            magnitude += std::fabs(deq[i] * acts[i].toFloat());
+        ASSERT_NEAR(hwRes.value, ex.value, 1e-3 * magnitude + 1e-9);
+    }
+}
+
+TEST(BitmodPe, DequantNeverStallsForGroup128)
+{
+    // Section IV-B: 8-cycle dequant vs >= 64-cycle group dot product.
+    BitmodPe pe;
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp3();  // fastest datatype (2 terms)
+    std::vector<float> w(128, 0.01f);
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    Rng rng(103);
+    const auto acts = randomActivations(128, rng);
+    const auto res = pe.processGroup(enc, {acts.data(), acts.size()},
+                                     cfg.dtype, 100, 1e-4);
+    EXPECT_EQ(res.dotCycles, 64);
+    EXPECT_EQ(res.dequantCycles, 8);
+    EXPECT_FALSE(res.wouldStall);
+}
+
+TEST(BitmodPe, StallFlagTriggersOnTinyGroups)
+{
+    BitmodPe pe;
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp3();
+    std::vector<float> w(8, 0.01f);  // 8/4 * 2 = 4 dot cycles < 8
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    Rng rng(104);
+    const auto acts = randomActivations(8, rng);
+    const auto res = pe.processGroup(enc, {acts.data(), acts.size()},
+                                     cfg.dtype, 5, 1.0);
+    EXPECT_TRUE(res.wouldStall);
+}
+
+TEST(BitmodPe, IntScaleDequantMatchesDirectScale)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intSym(6);
+    BitmodPe pe;
+    Rng rng(105);
+    std::vector<float> w(128);
+    for (auto &x : w)
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    const auto acts = randomActivations(128, rng);
+    // Split enc.scale into int8 x base.
+    const int scaleInt = 93;
+    const double base = enc.scale / scaleInt;
+    const auto res = pe.processGroup(enc, {acts.data(), acts.size()},
+                                     cfg.dtype, scaleInt, base);
+    const double ref = referenceDot(enc, cfg, acts);
+    EXPECT_NEAR(res.value, ref, 1e-6 + 1e-6 * std::fabs(ref));
+}
+
+TEST(BitmodPe, ThroughputTable)
+{
+    BitmodPe pe;
+    EXPECT_DOUBLE_EQ(pe.throughputMacsPerCycle(dtypes::intSym(8)), 1.0);
+    EXPECT_NEAR(pe.throughputMacsPerCycle(dtypes::intSym(6)), 4.0 / 3,
+                1e-12);
+    EXPECT_DOUBLE_EQ(pe.throughputMacsPerCycle(dtypes::bitmodFp4()), 2.0);
+}
+
+// ------------------------------------------------------------ baselines
+
+TEST(Fp16MacPe, MatchesFloatReferenceClosely)
+{
+    Rng rng(106);
+    std::vector<Float16> w, a;
+    double ref = 0.0;
+    for (int i = 0; i < 64; ++i) {
+        w.emplace_back(static_cast<float>(rng.gaussian(0.0, 0.1)));
+        a.emplace_back(static_cast<float>(rng.gaussian(0.0, 1.0)));
+        ref += static_cast<double>(w.back().toFloat()) *
+               a.back().toFloat();
+    }
+    const Float16 out =
+        Fp16MacPe::dotProduct({w.data(), w.size()}, {a.data(), a.size()});
+    // FP16 accumulate rounds every step: tolerate ~1% of magnitude.
+    EXPECT_NEAR(out.toFloat(), ref, 0.05 + 0.02 * std::fabs(ref));
+    EXPECT_EQ(Fp16MacPe::cyclesForGroup(128), 128);
+}
+
+TEST(FignaPe, Int8DotProductExact)
+{
+    Rng rng(107);
+    std::vector<Float16> a;
+    std::vector<int> w;
+    double ref = 0.0;
+    const double scale = 0.013;
+    for (int i = 0; i < 32; ++i) {
+        a.emplace_back(static_cast<float>(rng.gaussian()));
+        w.push_back(static_cast<int>(rng.below(255)) - 127);
+        ref += a.back().toFloat() * w.back();
+    }
+    const double out = FignaPe::dotProductInt8({a.data(), a.size()},
+                                               {w.data(), w.size()},
+                                               scale);
+    EXPECT_NEAR(out, ref * scale, 1e-9 * (1.0 + std::fabs(ref)));
+}
+
+TEST(FignaPe, DualInt4ProducesTwoOutputs)
+{
+    Rng rng(108);
+    std::vector<Float16> a;
+    std::vector<int> w0, w1;
+    for (int i = 0; i < 16; ++i) {
+        a.emplace_back(static_cast<float>(rng.gaussian()));
+        w0.push_back(static_cast<int>(rng.below(15)) - 7);
+        w1.push_back(static_cast<int>(rng.below(15)) - 7);
+    }
+    double out0 = 0, out1 = 0;
+    FignaPe::dotProductDualInt4({a.data(), a.size()},
+                                {w0.data(), w0.size()},
+                                {w1.data(), w1.size()}, 0.01, 0.02,
+                                &out0, &out1);
+    double ref0 = 0, ref1 = 0;
+    for (int i = 0; i < 16; ++i) {
+        ref0 += a[i].toFloat() * w0[i] * 0.01;
+        ref1 += a[i].toFloat() * w1[i] * 0.02;
+    }
+    EXPECT_NEAR(out0, ref0, 1e-9);
+    EXPECT_NEAR(out1, ref1, 1e-9);
+}
+
+} // namespace
+} // namespace bitmod

@@ -1,0 +1,524 @@
+/**
+ * @file
+ * Unit tests for src/quant: datatype grids (Table IV), the range-fit
+ * scale rule, integer/grid/MX/OliVe quantizer paths, Algorithm 1's
+ * adaptive special-value selection, and the VS-Quant second-level scale
+ * quantization (Section III-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "quant/dtype.hh"
+#include "quant/quantizer.hh"
+#include "tensor/generator.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+std::vector<float>
+toVec(std::initializer_list<float> xs)
+{
+    return std::vector<float>(xs);
+}
+
+// ------------------------------------------------------------------- Grid
+
+TEST(Grid, SortsAndDedups)
+{
+    const Grid g({2.0, -1.0, 2.0, 0.0});
+    EXPECT_EQ(g.size(), 3u);
+    EXPECT_DOUBLE_EQ(g.min(), -1.0);
+    EXPECT_DOUBLE_EQ(g.max(), 2.0);
+}
+
+TEST(Grid, NearestTiesAndEnds)
+{
+    const Grid g({-4, -2, -1, 0, 1, 2, 4});
+    EXPECT_DOUBLE_EQ(g.nearest(0.4), 0.0);
+    EXPECT_DOUBLE_EQ(g.nearest(0.6), 1.0);
+    EXPECT_DOUBLE_EQ(g.nearest(3.0), 2.0);  // tie -> smaller
+    EXPECT_DOUBLE_EQ(g.nearest(100.0), 4.0);
+    EXPECT_DOUBLE_EQ(g.nearest(-100.0), -4.0);
+}
+
+TEST(Grid, FitScaleSymmetric)
+{
+    const Grid g({-4, -2, -1, 0, 1, 2, 4});
+    EXPECT_DOUBLE_EQ(g.fitScale(-0.4, 0.4), 0.1);
+    EXPECT_DOUBLE_EQ(g.fitScale(-0.8, 0.4), 0.2);
+    EXPECT_DOUBLE_EQ(g.fitScale(0.0, 0.0), 0.0);
+}
+
+TEST(Grid, FitScaleAsymmetricGrid)
+{
+    // FP3-EA(+6): {-4,...,+6}; a positive-heavy group uses the +6 slot.
+    const Grid g = Grid({-4, -2, -1, 0, 1, 2, 4}).withSpecial(6.0);
+    EXPECT_DOUBLE_EQ(g.fitScale(-0.2, 0.6), 0.1);
+    // Negative-heavy group is limited by the -4 end.
+    EXPECT_DOUBLE_EQ(g.fitScale(-0.8, 0.1), 0.2);
+}
+
+// ----------------------------------------------------------------- Dtypes
+
+TEST(Dtype, TableIvGrids)
+{
+    // FP3-ER adds +/-3 inside the FP3 range; FP3-EA adds +/-6 outside.
+    const Dtype er = dtypes::fp3Er();
+    ASSERT_EQ(er.candidates.size(), 2u);
+    EXPECT_DOUBLE_EQ(er.candidates[0].min(), -4.0);
+    EXPECT_TRUE(er.candidates[1].max() == 4.0 &&
+                er.candidates[1].nearest(3.0) == 3.0);
+    const Dtype ea = dtypes::fp3Ea();
+    EXPECT_DOUBLE_EQ(ea.candidates[1].max(), 6.0);
+    EXPECT_DOUBLE_EQ(ea.candidates[0].min(), -6.0);
+
+    const Dtype er4 = dtypes::fp4Er();
+    EXPECT_DOUBLE_EQ(er4.candidates[1].nearest(5.0), 5.0);
+    const Dtype ea4 = dtypes::fp4Ea();
+    EXPECT_DOUBLE_EQ(ea4.candidates[1].max(), 8.0);
+
+    const Dtype bm3 = dtypes::bitmodFp3();
+    ASSERT_EQ(bm3.candidates.size(), 4u);
+    EXPECT_EQ(bm3.groupMetaBits(), 2);  // 2-bit selector for 4 specials
+    const Dtype bm4 = dtypes::bitmodFp4();
+    ASSERT_EQ(bm4.candidates.size(), 4u);
+}
+
+TEST(Dtype, BasicFp3Fp4AreSingleCandidate)
+{
+    EXPECT_EQ(dtypes::fp3().candidates.size(), 1u);
+    EXPECT_EQ(dtypes::fp3().groupMetaBits(), 0);
+    EXPECT_EQ(dtypes::fp4().candidates.size(), 1u);
+}
+
+TEST(Dtype, ByNameRoundTrip)
+{
+    for (const auto &name : dtypes::allNames()) {
+        const Dtype d = dtypes::byName(name);
+        EXPECT_EQ(d.name, name) << name;
+    }
+}
+
+TEST(Dtype, ByNameUnknownDies)
+{
+    EXPECT_EXIT(dtypes::byName("BOGUS"), ::testing::ExitedWithCode(1),
+                "unknown datatype");
+}
+
+TEST(Dtype, FlintGridShape)
+{
+    const Dtype f4 = dtypes::flint(4);
+    const auto &g = f4.candidates[0];
+    EXPECT_DOUBLE_EQ(g.max(), 16.0);
+    EXPECT_DOUBLE_EQ(g.nearest(12.0), 16.0 - 4.0 > 12.0 - 8.0 ? 8.0 : 16.0);
+    EXPECT_EQ(g.size(), 15u);  // 16 codes incl. redundant zero
+}
+
+// ------------------------------------------------------------ Int paths
+
+TEST(Quantizer, IntSymKnownValues)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intSym(4);
+    const auto w = toVec({0.7f, -0.7f, 0.1f, 0.0f});
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    EXPECT_DOUBLE_EQ(enc.scale, static_cast<double>(0.7f) / 7.0);
+    EXPECT_FLOAT_EQ(enc.qvalues[0], 7.0f);
+    EXPECT_FLOAT_EQ(enc.qvalues[1], -7.0f);
+    EXPECT_FLOAT_EQ(enc.qvalues[2], 1.0f);
+    const auto deq = decodeGroup(enc, cfg);
+    EXPECT_NEAR(deq[0], 0.7f, 1e-6);
+    EXPECT_NEAR(deq[2], 0.1f, 1e-6);
+}
+
+TEST(Quantizer, IntAsymUsesFullRange)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intAsym(4);
+    // One-sided group: asym uses all 16 levels across [0, 1.5].
+    std::vector<float> w(16);
+    for (int i = 0; i < 16; ++i)
+        w[i] = 0.1f * i;
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    EXPECT_NEAR(enc.scale, 1.5 / 15.0, 1e-9);
+    EXPECT_NEAR(enc.zeroPoint, 0.0, 1e-9);
+    const auto deq = decodeGroup(enc, cfg);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_NEAR(deq[i], w[i], 1e-6);
+}
+
+TEST(Quantizer, IntAsymBeatsSymOnOneSidedData)
+{
+    Rng rng(21);
+    std::vector<float> w(128);
+    for (auto &x : w)
+        x = static_cast<float>(std::fabs(rng.gaussian()) + 0.5);
+    QuantConfig sym, asym;
+    sym.dtype = dtypes::intSym(4);
+    asym.dtype = dtypes::intAsym(4);
+    const auto es = encodeGroup({w.data(), w.size()}, sym);
+    const auto ea = encodeGroup({w.data(), w.size()}, asym);
+    const auto ds = decodeGroup(es, sym);
+    const auto da = decodeGroup(ea, asym);
+    double errS = 0, errA = 0;
+    for (size_t i = 0; i < w.size(); ++i) {
+        errS += (w[i] - ds[i]) * (w[i] - ds[i]);
+        errA += (w[i] - da[i]) * (w[i] - da[i]);
+    }
+    EXPECT_LT(errA, errS);
+}
+
+TEST(Quantizer, AllZeroGroupSafe)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intAsym(4);
+    std::vector<float> w(8, 0.0f);
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    EXPECT_EQ(enc.scale, 0.0);
+    for (float q : decodeGroup(enc, cfg))
+        EXPECT_EQ(q, 0.0f);
+}
+
+// ------------------------------------------------------------- Algorithm 1
+
+TEST(Adaptive, PicksMseOptimalSpecial)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp3();
+    Rng rng(22);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<float> w(128);
+        for (auto &x : w)
+            x = static_cast<float>(rng.gaussian(0.0, 0.02));
+        if (trial % 2)
+            w[rng.below(128)] = 0.1f;  // one-sided outlier
+        const auto best = encodeGroup({w.data(), w.size()}, cfg);
+        const auto bestDeq = decodeGroup(best, cfg);
+        double bestErr = 0;
+        for (size_t i = 0; i < w.size(); ++i)
+            bestErr += (w[i] - bestDeq[i]) * (w[i] - bestDeq[i]);
+        // Compare against every fixed candidate.
+        for (size_t c = 0; c < cfg.dtype.candidates.size(); ++c) {
+            Dtype fixed = cfg.dtype;
+            fixed.candidates = {cfg.dtype.candidates[c]};
+            fixed.specialValues = {cfg.dtype.specialValues[c]};
+            QuantConfig fcfg = cfg;
+            fcfg.dtype = fixed;
+            const auto enc = encodeGroup({w.data(), w.size()}, fcfg);
+            const auto deq = decodeGroup(enc, fcfg);
+            double err = 0;
+            for (size_t i = 0; i < w.size(); ++i)
+                err += (w[i] - deq[i]) * (w[i] - deq[i]);
+            ASSERT_LE(bestErr, err + 1e-12)
+                << "trial " << trial << " candidate " << c;
+        }
+    }
+}
+
+TEST(Adaptive, BitmodNeverWorseThanBasicFp)
+{
+    // Every BitMoD candidate grid is a superset of basic FP3, so the
+    // adaptive MSE can never exceed the basic FP3 MSE.
+    Rng rng(23);
+    WeightGenParams p;
+    const Matrix w = generateWeights(16, 512, p, rng);
+    QuantConfig bm, fp;
+    bm.dtype = dtypes::bitmodFp3();
+    fp.dtype = dtypes::fp3();
+    const auto rb = quantizeMatrix(w, bm);
+    const auto rf = quantizeMatrix(w, fp);
+    EXPECT_LE(rb.stats.mse, rf.stats.mse + 1e-15);
+}
+
+TEST(Adaptive, OneSidedGroupPrefersAsymmetricSpecial)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp3();
+    Rng rng(24);
+    std::vector<float> w(128);
+    for (auto &x : w)
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    // Strong positive outliers only.
+    w[3] = 0.12f;
+    w[70] = 0.11f;
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    // specials are {-3,+3,-6,+6}: expect +6 (index 3) for this shape.
+    EXPECT_EQ(enc.svIndex, 3);
+}
+
+TEST(Adaptive, HistogramTracksSelections)
+{
+    Rng rng(25);
+    WeightGenParams p;
+    const Matrix w = generateWeights(8, 1024, p, rng);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp3();
+    const auto r = quantizeMatrix(w, cfg);
+    size_t total = 0;
+    for (size_t h : r.stats.svHistogram)
+        total += h;
+    EXPECT_EQ(total, r.stats.groups);
+    EXPECT_EQ(r.stats.groups, 8u * (1024 / 128));
+}
+
+// ---------------------------------------------------------------- MX path
+
+TEST(Mx, ScaleIsPowerOfTwo)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::mxfp(4);
+    Rng rng(26);
+    std::vector<float> w(32);
+    for (auto &x : w)
+        x = static_cast<float>(rng.gaussian(0.0, 0.05));
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    const double l2 = std::log2(enc.scale);
+    EXPECT_NEAR(l2, std::nearbyint(l2), 1e-12);
+}
+
+TEST(Mx, GroupSizeForcedTo32)
+{
+    Rng rng(27);
+    WeightGenParams p;
+    const Matrix w = generateWeights(4, 256, p, rng);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::mxfp(4);
+    cfg.groupSize = 128;  // MX overrides to 32
+    const auto r = quantizeMatrix(w, cfg);
+    EXPECT_EQ(r.stats.groups, 4u * (256 / 32));
+}
+
+TEST(Mx, PowerOfTwoScaleCoarserThanFitScale)
+{
+    // MX restricts scales to powers of two, so its error should be at
+    // least that of FP4 with a free scale on typical data.
+    Rng rng(28);
+    WeightGenParams p;
+    const Matrix w = generateWeights(16, 512, p, rng);
+    QuantConfig mx, fp;
+    mx.dtype = dtypes::mxfp(4);
+    fp.dtype = dtypes::fp4();
+    fp.groupSize = 32;  // compare at identical group size
+    const auto rm = quantizeMatrix(w, mx);
+    const auto rf = quantizeMatrix(w, fp);
+    EXPECT_GE(rm.stats.mse, rf.stats.mse * 0.99);
+}
+
+// ------------------------------------------------------------- OliVe path
+
+TEST(Olive, ProtectsLargeOutlier)
+{
+    QuantConfig olive, plain;
+    olive.dtype = dtypes::olive(4);
+    plain.dtype = dtypes::intSym(4);
+    Rng rng(29);
+    std::vector<float> w(128);
+    for (auto &x : w)
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    w[17] = 1.0f;  // enormous outlier
+    const auto eo = encodeGroup({w.data(), w.size()}, olive);
+    const auto ep = encodeGroup({w.data(), w.size()}, plain);
+    const auto dq_o = decodeGroup(eo, olive);
+    const auto dq_p = decodeGroup(ep, plain);
+    double errO = 0, errP = 0;
+    for (size_t i = 0; i < w.size(); ++i) {
+        errO += (w[i] - dq_o[i]) * (w[i] - dq_o[i]);
+        errP += (w[i] - dq_p[i]) * (w[i] - dq_p[i]);
+    }
+    EXPECT_LT(errO, errP * 0.25);
+}
+
+TEST(Olive, VictimIsZeroed)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::olive(4);
+    std::vector<float> w(16, 0.01f);
+    w[6] = 2.0f;  // outlier at even index -> victim at 7
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    const auto deq = decodeGroup(enc, cfg);
+    EXPECT_EQ(deq[7], 0.0f);
+    EXPECT_GT(deq[6], 0.5f);
+}
+
+TEST(Olive, NoOutliersFallsBackToIntSym)
+{
+    QuantConfig olive, plain;
+    olive.dtype = dtypes::olive(4);
+    plain.dtype = dtypes::intSym(4);
+    Rng rng(30);
+    std::vector<float> w(128);
+    for (auto &x : w)
+        x = static_cast<float>(rng.uniform(-0.05, 0.05));
+    const auto eo = encodeGroup({w.data(), w.size()}, olive);
+    const auto ep = encodeGroup({w.data(), w.size()}, plain);
+    // OliVe's optimal-t search can only improve on t=0 == int-sym.
+    const auto dq_o = decodeGroup(eo, olive);
+    const auto dq_p = decodeGroup(ep, plain);
+    double errO = 0, errP = 0;
+    for (size_t i = 0; i < w.size(); ++i) {
+        errO += (w[i] - dq_o[i]) * (w[i] - dq_o[i]);
+        errP += (w[i] - dq_p[i]) * (w[i] - dq_p[i]);
+    }
+    EXPECT_LE(errO, errP + 1e-12);
+}
+
+// ------------------------------------------------- scale-factor quant
+
+TEST(ScaleQuant, Int8NearLossless)
+{
+    Rng rng(31);
+    std::vector<double> scales(40);
+    for (auto &s : scales)
+        s = rng.uniform(0.001, 0.01);
+    const auto q = quantizeScales({scales.data(), scales.size()}, 8);
+    for (size_t i = 0; i < scales.size(); ++i)
+        EXPECT_NEAR(q[i], scales[i], scales[i] * 0.01 + 1e-4);
+}
+
+TEST(ScaleQuant, Int2IsCoarse)
+{
+    std::vector<double> scales = {0.001, 0.004, 0.010};
+    const auto q = quantizeScales({scales.data(), scales.size()}, 2);
+    // qmax = 1 -> every scale becomes 0 or max.
+    for (double v : q)
+        EXPECT_TRUE(v == 0.0 || std::fabs(v - 0.010) < 1e-12);
+}
+
+TEST(ScaleQuant, ErrorMonotoneInBits)
+{
+    Rng rng(32);
+    std::vector<double> scales(128);
+    for (auto &s : scales)
+        s = rng.uniform(0.001, 0.02);
+    double prevErr = -1.0;
+    for (int bits : {8, 6, 4, 2}) {
+        const auto q =
+            quantizeScales({scales.data(), scales.size()}, bits);
+        double err = 0;
+        for (size_t i = 0; i < scales.size(); ++i)
+            err += (q[i] - scales[i]) * (q[i] - scales[i]);
+        if (prevErr >= 0.0) {
+            EXPECT_GE(err, prevErr - 1e-15);
+        }
+        prevErr = err;
+    }
+}
+
+// ------------------------------------------------------ matrix-level
+
+TEST(QuantizeMatrix, GranularityErrorOrdering)
+{
+    // Per-group <= per-channel <= per-tensor error on outlier-bearing
+    // weights (the Fig. 2 motivation).
+    Rng rng(33);
+    WeightGenParams p;
+    p.groupOutlierRate = 0.15;
+    const Matrix w = generateWeights(32, 1024, p, rng);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intSym(4);
+    cfg.granularity = Granularity::PerGroup;
+    const double g = quantizeMatrix(w, cfg).stats.mse;
+    cfg.granularity = Granularity::PerChannel;
+    const double c = quantizeMatrix(w, cfg).stats.mse;
+    cfg.granularity = Granularity::PerTensor;
+    const double t = quantizeMatrix(w, cfg).stats.mse;
+    EXPECT_LE(g, c * 1.001);
+    EXPECT_LE(c, t * 1.001);
+}
+
+TEST(QuantizeMatrix, MoreBitsLessError)
+{
+    Rng rng(34);
+    WeightGenParams p;
+    const Matrix w = generateWeights(16, 512, p, rng);
+    QuantConfig cfg;
+    double prev = -1.0;
+    for (int bits : {8, 6, 4, 3, 2}) {
+        cfg.dtype = dtypes::intAsym(bits);
+        const double e = quantizeMatrix(w, cfg).stats.mse;
+        if (prev >= 0.0) {
+            EXPECT_GT(e, prev);
+        }
+        prev = e;
+    }
+}
+
+TEST(QuantizeMatrix, Fp16IdentityIsExact)
+{
+    Rng rng(35);
+    WeightGenParams p;
+    const Matrix w = generateWeights(4, 256, p, rng);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::fp16();
+    const auto r = quantizeMatrix(w, cfg);
+    EXPECT_EQ(r.stats.mse, 0.0);
+    EXPECT_EQ(r.stats.bitsPerWeight, 16.0);
+}
+
+TEST(QuantizeMatrix, ScaleBitsDegradeGracefully)
+{
+    Rng rng(36);
+    WeightGenParams p;
+    const Matrix w = generateWeights(16, 512, p, rng);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intAsym(4);
+    const double fp16sf = quantizeMatrix(w, cfg).stats.mse;
+    cfg.scaleBits = 8;
+    const double int8sf = quantizeMatrix(w, cfg).stats.mse;
+    cfg.scaleBits = 2;
+    const double int2sf = quantizeMatrix(w, cfg).stats.mse;
+    EXPECT_LT(int8sf, fp16sf * 1.05);   // INT8 SF ~ lossless
+    EXPECT_GT(int2sf, int8sf * 1.5);    // INT2 SF clearly lossy
+}
+
+TEST(QuantizeMatrix, CaptureEncodingCounts)
+{
+    Rng rng(37);
+    WeightGenParams p;
+    const Matrix w = generateWeights(4, 512, p, rng);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    cfg.captureEncoding = true;
+    const auto r = quantizeMatrix(w, cfg);
+    EXPECT_EQ(r.encodings.size(), 4u * (512 / 128));
+    for (const auto &e : r.encodings)
+        EXPECT_EQ(e.qvalues.size(), 128u);
+}
+
+TEST(QuantizeMatrix, BitsPerWeightAccounting)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp3();
+    cfg.scaleBits = 8;
+    cfg.groupSize = 128;
+    // 3 bits + (8-bit SF + 2-bit selector)/128 = 3.078125 (Section III-C).
+    EXPECT_NEAR(bitsPerWeight(cfg, 4096), 3.078125, 1e-9);
+
+    QuantConfig asym;
+    asym.dtype = dtypes::intAsym(4);
+    asym.groupSize = 128;
+    // 4 bits + (16-bit SF + 8-bit zero point)/128 = 4.1875.
+    EXPECT_NEAR(bitsPerWeight(asym, 4096), 4.1875, 1e-9);
+}
+
+TEST(QuantizeMatrix, QuantizeValueInGroupConsistent)
+{
+    Rng rng(38);
+    std::vector<float> w(128);
+    for (auto &x : w)
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    const auto deq = decodeGroup(enc, cfg);
+    for (size_t i = 0; i < w.size(); ++i)
+        EXPECT_NEAR(quantizeValueInGroup(w[i], enc, cfg), deq[i], 1e-6);
+}
+
+} // namespace
+} // namespace bitmod

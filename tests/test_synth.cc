@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for src/synth: the gate-level model must reproduce the
+ * paper's synthesized ratios — BitMoD PE ~24% smaller than the FP16
+ * MAC PE, an 8x8 BitMoD tile fitting the 6x8 baseline tile's compute
+ * area (Table X), the encoder being a ~2.5% overhead, and the Fig. 10
+ * ordering of the bit-parallel FIGNA-style PEs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "synth/netlist.hh"
+#include "synth/pe_synth.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+TEST(Netlist, GateAccounting)
+{
+    Netlist n("demo");
+    n.add("a", 100.0, 2);
+    n.add("b", 50.0, 1, 2.0);
+    EXPECT_DOUBLE_EQ(n.totalGates(), 250.0);
+    EXPECT_DOUBLE_EQ(n.areaUm2(), 250.0 * tech::kAreaPerGateUm2);
+    EXPECT_DOUBLE_EQ(n.powerMw(),
+                     (200.0 + 100.0) * tech::kPowerPerGateMw);
+}
+
+TEST(Netlist, GateCountHelpers)
+{
+    EXPECT_DOUBLE_EQ(gatecount::adder(16), 96.0);
+    EXPECT_DOUBLE_EQ(gatecount::reg(8), 56.0);
+    EXPECT_DOUBLE_EQ(gatecount::barrelShifter(16, 4), 192.0);
+    EXPECT_GT(gatecount::multiplier(11, 11),
+              gatecount::multiplier(11, 8));
+}
+
+TEST(PeSynth, BitmodPeIsAboutQuarterSmaller)
+{
+    // Paper: "the BitMoD PE consumes 24% less area than an FP16 PE".
+    const double base = fp16MacPeNetlist().areaUm2();
+    const double bm = bitmodPeNetlist().areaUm2();
+    const double ratio = bm / base;
+    EXPECT_GT(ratio, 0.68);
+    EXPECT_LT(ratio, 0.84);
+}
+
+TEST(PeSynth, BaselineTileMatchesTableXCalibration)
+{
+    // Table X: 6x8 baseline tile = 95,498 um^2; we calibrate the
+    // per-gate area to land within 10%.
+    const auto t = synthesizeBaselineTile();
+    EXPECT_EQ(t.peCount(), 48);
+    EXPECT_NEAR(t.totalAreaUm2(), 95498.0, 9550.0);
+    EXPECT_NEAR(t.totalPowerMw(), 36.96, 8.0);
+}
+
+TEST(PeSynth, BitmodTileIsoComputeArea)
+{
+    // Table X: 8x8 BitMoD PEs + encoder fit within ~4% of the baseline
+    // tile area (97,090 + 2,419 vs 95,498 um^2 in the paper).
+    const auto base = synthesizeBaselineTile();
+    const auto bm = synthesizeBitmodTile();
+    EXPECT_EQ(bm.peCount(), 64);
+    const double ratio = bm.totalAreaUm2() / base.totalAreaUm2();
+    EXPECT_GT(ratio, 0.92);
+    EXPECT_LT(ratio, 1.10);
+}
+
+TEST(PeSynth, EncoderIsSmallFractionOfTile)
+{
+    // Paper: the bit-serial term encoder is ~2.5% of the PE array area.
+    const auto bm = synthesizeBitmodTile();
+    const double frac = bm.encoderAreaUm2 / bm.peArrayAreaUm2;
+    EXPECT_GT(frac, 0.01);
+    EXPECT_LT(frac, 0.05);
+}
+
+TEST(PeSynth, PowerTracksTableX)
+{
+    const auto bm = synthesizeBitmodTile();
+    // Table X: 37.5 mW PE array + 1.86 mW encoder.
+    EXPECT_NEAR(bm.peArrayPowerMw, 37.5, 10.0);
+    EXPECT_NEAR(bm.encoderPowerMw, 1.86, 1.5);
+}
+
+TEST(PeSynth, Fig10Ordering)
+{
+    // Fig. 10: FP-INT8 < BitMoD < FP-FP16 < decomposable FP-INT8/4.
+    const auto rows = peComparison();
+    ASSERT_EQ(rows.size(), 4u);
+    const double fpfp = rows[0].areaUm2;
+    const double fpint8 = rows[1].areaUm2;
+    const double dual = rows[2].areaUm2;
+    const double bitmod = rows[3].areaUm2;
+    EXPECT_LT(fpint8, bitmod);
+    EXPECT_LT(bitmod, fpfp);
+    EXPECT_GT(dual, fpfp);  // mixed-precision bit-parallel costs more
+    // Power follows the same ordering.
+    EXPECT_LT(rows[1].powerMw, rows[0].powerMw);
+    EXPECT_GT(rows[2].powerMw, rows[0].powerMw);
+}
+
+TEST(PeSynth, NetlistsNonTrivial)
+{
+    for (const Netlist &n :
+         {fp16MacPeNetlist(), bitmodPeNetlist(), termEncoderNetlist(),
+          fignaFpInt8PeNetlist(), fignaDualPrecisionPeNetlist()}) {
+        EXPECT_GT(n.components().size(), 5u) << n.name();
+        EXPECT_GT(n.totalGates(), 500.0) << n.name();
+    }
+}
+
+} // namespace
+} // namespace bitmod

@@ -8,6 +8,8 @@
  * frontier (lower-left).
  */
 
+#include <limits>
+
 #include "accel/policy.hh"
 #include "bench_util.hh"
 #include "core/bitmod_api.hh"
@@ -76,6 +78,12 @@ main()
                 QuantConfig qc;
                 qc.dtype = dtype;
                 qc.granularity = Granularity::PerChannel;
+                // OliVe protects a ~6% fraction of each extent; lift
+                // the per-group default cap so long channels keep the
+                // proportional budget (the fraction itself is the
+                // quantizer default).
+                qc.oliveMaxOutliers =
+                    std::numeric_limits<int>::max();
                 const double ppl = ctx.pplWiki(ctx.rtnLoss(qc));
                 const auto r = sim.run(
                     model, task, PrecisionChoice::perChannel(dtype));

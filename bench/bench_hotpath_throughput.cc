@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Hot-path throughput benchmark: measures weights/sec through the two
+ * pipeline hot paths — adaptive-datatype quantizeMatrix (Algorithm 1)
+ * and BitmodPe dot products — against faithful re-implementations of
+ * the pre-optimization (seed) code: per-candidate EncodedGroup
+ * allocation with a dequantized temporary for the MSE, and per-weight
+ * Booth/NAF term recoding with a vector-of-vectors per group.
+ *
+ * Besides the speedups, the bench verifies that the optimized paths
+ * are bit-identical to the reference: same QuantStats (mse / nmse /
+ * svHistogram), same dequantized matrix, same dot-product values.
+ * Results are also written as BENCH_hotpath.json so CI can track the
+ * perf trajectory across PRs.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bitserial/termgen.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "pe/bitmod_pe.hh"
+#include "quant/dtype.hh"
+#include "quant/quantizer.hh"
+#include "tensor/generator.hh"
+
+using namespace bitmod;
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Reference (pre-optimization) implementations, kept verbatim from the
+// seed code so the speedup is measured against a fixed baseline.
+// ---------------------------------------------------------------------
+
+/** Seed Grid::nearest: lower_bound plus a neighbour comparison. */
+double
+refNearest(const Grid &grid, double x)
+{
+    const auto &values = grid.values();
+    const auto it = std::lower_bound(values.begin(), values.end(), x);
+    if (it == values.begin())
+        return values.front();
+    if (it == values.end())
+        return values.back();
+    const size_t hi = static_cast<size_t>(it - values.begin());
+    const size_t lo = hi - 1;
+    const double dLo = x - values[lo];
+    const double dHi = values[hi] - x;
+    return dLo <= dHi ? values[lo] : values[hi];
+}
+
+double
+refGroupMse(std::span<const float> w, std::span<const float> q)
+{
+    double e = 0.0;
+    for (size_t i = 0; i < w.size(); ++i) {
+        const double d = static_cast<double>(w[i]) - q[i];
+        e += d * d;
+    }
+    return e / static_cast<double>(w.size());
+}
+
+EncodedGroup
+refEncodeGrid(std::span<const float> w, const Grid &grid)
+{
+    EncodedGroup enc;
+    enc.qvalues.resize(w.size());
+    double lo = w[0], hi = w[0];
+    for (const float x : w) {
+        lo = std::min<double>(lo, x);
+        hi = std::max<double>(hi, x);
+    }
+    const double scale = grid.fitScale(lo, hi);
+    enc.scale = scale;
+    if (scale == 0.0)
+        return enc;
+    for (size_t i = 0; i < w.size(); ++i)
+        enc.qvalues[i] =
+            static_cast<float>(refNearest(grid, w[i] / scale));
+    return enc;
+}
+
+/** Seed Algorithm 1: one EncodedGroup + dequant temporary per candidate. */
+EncodedGroup
+refEncodeAdaptive(std::span<const float> w, const Dtype &dt)
+{
+    EncodedGroup best;
+    double bestErr = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < dt.candidates.size(); ++c) {
+        EncodedGroup enc = refEncodeGrid(w, dt.candidates[c]);
+        enc.svIndex = static_cast<int>(c);
+        std::vector<float> deq(w.size());
+        for (size_t i = 0; i < w.size(); ++i)
+            deq[i] = static_cast<float>(enc.qvalues[i] * enc.scale);
+        const double err = refGroupMse(w, {deq.data(), deq.size()});
+        if (err < bestErr) {
+            bestErr = err;
+            best = std::move(enc);
+        }
+    }
+    return best;
+}
+
+/** Seed quantizeMatrix, specialized to per-group adaptive NonLinear. */
+QuantizedTensor
+refQuantizeMatrix(const Matrix &w, const QuantConfig &cfg)
+{
+    QuantizedTensor result;
+    result.dequant = Matrix(w.rows(), w.cols());
+    result.stats.svHistogram.assign(cfg.dtype.candidates.size(), 0);
+    const size_t groupSize = static_cast<size_t>(cfg.groupSize);
+    const size_t ngroups = w.cols() / groupSize;
+    double errSum = 0.0, refSum = 0.0;
+    for (size_t r = 0; r < w.rows(); ++r) {
+        for (size_t g = 0; g < ngroups; ++g) {
+            const auto src = w.group(r, g, groupSize);
+            EncodedGroup enc = refEncodeAdaptive(src, cfg.dtype);
+            if (enc.svIndex >= 0)
+                ++result.stats.svHistogram[enc.svIndex];
+            const auto deq = decodeGroup(enc, cfg);
+            auto dst = result.dequant.group(r, g, groupSize);
+            for (size_t i = 0; i < src.size(); ++i) {
+                dst[i] = deq[i];
+                const double d = static_cast<double>(src[i]) - deq[i];
+                errSum += d * d;
+                refSum += static_cast<double>(src[i]) * src[i];
+            }
+            ++result.stats.groups;
+        }
+    }
+    const size_t n = w.size();
+    result.stats.mse = n ? errSum / static_cast<double>(n) : 0.0;
+    result.stats.nmse = refSum > 0.0 ? errSum / refSum : 0.0;
+    result.stats.bitsPerWeight = bitsPerWeight(cfg, w.cols());
+    return result;
+}
+
+/** Seed exact-mode dot product: per-weight term vectors, per group. */
+double
+refDotExact(const EncodedGroup &enc, std::span<const Float16> acts,
+            const Dtype &dt)
+{
+    const size_t n = enc.qvalues.size();
+    const int tpw = termsPerWeight(dt);
+    std::vector<std::vector<BitSerialTerm>> terms(n);
+    for (size_t i = 0; i < n; ++i) {
+        const double q = dt.kind == DtypeKind::IntAsym
+                             ? enc.qvalues[i] - enc.zeroPoint
+                             : enc.qvalues[i];
+        terms[i] = termsForWeight(q, dt);
+        while (static_cast<int>(terms[i].size()) < tpw)
+            terms[i].push_back(BitSerialTerm{});
+    }
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double a = acts[i].toFloat();
+        for (const auto &t : terms[i])
+            sum += t.value() * a;
+    }
+    return sum;
+}
+
+// ---------------------------------------------------------------------
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+bool
+statsIdentical(const QuantStats &a, const QuantStats &b)
+{
+    return a.mse == b.mse && a.nmse == b.nmse &&
+           a.svHistogram == b.svHistogram && a.groups == b.groups;
+}
+
+bool
+dequantIdentical(const Matrix &a, const Matrix &b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(float)) == 0;
+}
+
+struct QuantResult
+{
+    double refWps = 0.0;
+    double serialWps = 0.0;
+    double parallelWps = 0.0;
+    bool identical = false;
+};
+
+QuantResult
+benchQuantize(const Matrix &w, int iters)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    cfg.groupSize = 128;
+
+    QuantConfig serial = cfg;
+    serial.threads = 1;
+    QuantConfig parallel = cfg;
+    parallel.threads = 0;
+
+    const auto ref = refQuantizeMatrix(w, cfg);
+    const auto fastSerial = quantizeMatrix(w, serial);
+    const auto fastParallel = quantizeMatrix(w, parallel);
+
+    QuantResult out;
+    out.identical =
+        statsIdentical(ref.stats, fastSerial.stats) &&
+        statsIdentical(ref.stats, fastParallel.stats) &&
+        dequantIdentical(ref.dequant, fastSerial.dequant) &&
+        dequantIdentical(ref.dequant, fastParallel.dequant);
+
+    const double weights =
+        static_cast<double>(w.size()) * iters;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        refQuantizeMatrix(w, cfg);
+    out.refWps = weights / secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        quantizeMatrix(w, serial);
+    out.serialWps = weights / secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        quantizeMatrix(w, parallel);
+    out.parallelWps = weights / secondsSince(t0);
+    return out;
+}
+
+struct DotResult
+{
+    double refWps = 0.0;
+    double newWps = 0.0;
+    bool identical = false;
+};
+
+DotResult
+benchDot(const Matrix &w, const Dtype &dt, int iters, Rng &rng)
+{
+    QuantConfig cfg;
+    cfg.dtype = dt;
+    cfg.groupSize = 128;
+    cfg.captureEncoding = true;
+    const auto q = quantizeMatrix(w, cfg);
+    const size_t groupSize = 128;
+
+    std::vector<Float16> acts;
+    acts.reserve(groupSize);
+    for (size_t i = 0; i < groupSize; ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian(0.0, 1.0)));
+    const std::span<const Float16> actSpan{acts.data(), acts.size()};
+
+    BitmodPe pe;
+    DotResult out;
+    out.identical = true;
+    for (const auto &enc : q.encodings) {
+        const double a = refDotExact(enc, actSpan, dt) * enc.scale;
+        const double b =
+            pe.processGroupFp16Scale(enc, actSpan, dt).value;
+        if (a != b)
+            out.identical = false;
+    }
+
+    const double weights = static_cast<double>(q.encodings.size()) *
+                           groupSize * iters;
+    auto t0 = std::chrono::steady_clock::now();
+    double sink = 0.0;
+    for (int i = 0; i < iters; ++i)
+        for (const auto &enc : q.encodings)
+            sink += refDotExact(enc, actSpan, dt);
+    out.refWps = weights / secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        for (const auto &enc : q.encodings)
+            sink += pe.processGroupFp16Scale(enc, actSpan, dt).value;
+    out.newWps = weights / secondsSince(t0);
+    if (sink == 12345.678)  // defeat dead-code elimination
+        std::printf("%f\n", sink);
+    return out;
+}
+
+void
+writeJson(const std::string &path, size_t rows, size_t cols,
+          int threads, const QuantResult &qr, const DotResult &fp4,
+          const DotResult &int8)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"hotpath_throughput\",\n");
+    std::fprintf(f, "  \"rows\": %zu,\n  \"cols\": %zu,\n", rows, cols);
+    std::fprintf(f, "  \"threads\": %d,\n", threads);
+    std::fprintf(f,
+                 "  \"quantize_adaptive\": {\"ref_wps\": %.0f, "
+                 "\"serial_wps\": %.0f, \"parallel_wps\": %.0f, "
+                 "\"speedup_serial\": %.2f, \"speedup_parallel\": %.2f, "
+                 "\"bit_identical\": %s},\n",
+                 qr.refWps, qr.serialWps, qr.parallelWps,
+                 qr.serialWps / qr.refWps, qr.parallelWps / qr.refWps,
+                 qr.identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"dot_bitmod_fp4\": {\"ref_wps\": %.0f, "
+                 "\"new_wps\": %.0f, \"speedup\": %.2f, "
+                 "\"bit_identical\": %s},\n",
+                 fp4.refWps, fp4.newWps, fp4.newWps / fp4.refWps,
+                 fp4.identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"dot_int8\": {\"ref_wps\": %.0f, "
+                 "\"new_wps\": %.0f, \"speedup\": %.2f, "
+                 "\"bit_identical\": %s}\n",
+                 int8.refWps, int8.newWps, int8.newWps / int8.refWps,
+                 int8.identical ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t rows = 128, cols = 4096;
+    int iters = 5;
+    std::string out = "BENCH_hotpath.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--rows")
+            rows = std::stoul(next());
+        else if (arg == "--cols")
+            cols = std::stoul(next());
+        else if (arg == "--iters")
+            iters = std::stoi(next());
+        else if (arg == "--out")
+            out = next();
+        else if (arg == "--smoke") {
+            rows = 16;
+            cols = 1024;
+            iters = 2;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--rows N] [--cols N] [--iters N] "
+                         "[--out FILE] [--smoke]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    Rng rng(7);
+    WeightGenParams p;
+    const Matrix w = generateWeights(rows, cols, p, rng);
+    const int threads = WorkerPool::shared().threadCount();
+
+    const auto qr = benchQuantize(w, iters);
+    const auto dFp4 = benchDot(w, dtypes::bitmodFp4(), iters, rng);
+    const auto dInt8 = benchDot(w, dtypes::intSym(8), iters, rng);
+
+    TextTable t("Hot-path throughput (weights/sec, " +
+                std::to_string(rows) + "x" + std::to_string(cols) +
+                ", " + std::to_string(threads) + " threads)");
+    t.setHeader({"path", "seed ref", "optimized", "speedup",
+                 "bit-identical"});
+    t.addRow({"quantizeMatrix bitmod-fp4 (serial)",
+              TextTable::num(qr.refWps, 0),
+              TextTable::num(qr.serialWps, 0),
+              TextTable::num(qr.serialWps / qr.refWps, 2) + "x",
+              qr.identical ? "yes" : "NO"});
+    t.addRow({"quantizeMatrix bitmod-fp4 (parallel)",
+              TextTable::num(qr.refWps, 0),
+              TextTable::num(qr.parallelWps, 0),
+              TextTable::num(qr.parallelWps / qr.refWps, 2) + "x",
+              qr.identical ? "yes" : "NO"});
+    t.addRow({"BitmodPe dot bitmod-fp4",
+              TextTable::num(dFp4.refWps, 0),
+              TextTable::num(dFp4.newWps, 0),
+              TextTable::num(dFp4.newWps / dFp4.refWps, 2) + "x",
+              dFp4.identical ? "yes" : "NO"});
+    t.addRow({"BitmodPe dot int8",
+              TextTable::num(dInt8.refWps, 0),
+              TextTable::num(dInt8.newWps, 0),
+              TextTable::num(dInt8.newWps / dInt8.refWps, 2) + "x",
+              dInt8.identical ? "yes" : "NO"});
+    t.addNote("seed ref = pre-optimization code path (per-candidate "
+              "allocation, per-weight term recoding)");
+    t.print();
+
+    writeJson(out, rows, cols, threads, qr, dFp4, dInt8);
+    std::printf("wrote %s\n", out.c_str());
+
+    return (qr.identical && dFp4.identical && dInt8.identical) ? 0 : 2;
+}

@@ -1,5 +1,7 @@
 #include "accel/policy.hh"
 
+#include <limits>
+
 #include "common/logging.hh"
 #include "model/proxy.hh"
 #include "model/sampler.hh"
@@ -36,6 +38,10 @@ perChannelQualityDelta(const Dtype &dt, const LlmSpec &model,
     QuantConfig cfg;
     cfg.dtype = dt;
     cfg.granularity = Granularity::PerChannel;
+    // OliVe's outlier budget is a fraction (~6%) of the quantization
+    // extent; per-channel operation needs the cap lifted so long
+    // channels keep the proportional budget.
+    cfg.oliveMaxOutliers = std::numeric_limits<int>::max();
     const double loss = weightSpaceLoss(layers, rtnQuantFn(cfg));
 
     const PerplexityModel ppl(model.anchors.fp16PplWiki, anchor4,

@@ -1,0 +1,141 @@
+#include "bitserial/term_table.hh"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "bitserial/termgen.hh"
+#include "common/logging.hh"
+#include "numeric/booth.hh"
+
+namespace bitmod
+{
+
+TermTable::TermTable(IntDomain dom)
+{
+    const int bits = dom.bits;
+    BITMOD_ASSERT(bits >= 2 && bits <= 16, "bad term-table width: ",
+                  bits);
+    tpw_ = boothDigitCount(bits);
+    keyScale_ = 1.0;
+    const int lo = -(1 << (bits - 1));
+    const int hi = (1 << (bits - 1)) - 1;
+    offset_ = -lo;
+    const size_t n = static_cast<size_t>(hi - lo + 1);
+    flat_.resize(n * tpw_);
+    valid_.assign(n, true);
+    for (int v = lo; v <= hi; ++v) {
+        const auto terms = termsForInt(v, bits);
+        BITMOD_ASSERT(static_cast<int>(terms.size()) == tpw_,
+                      "Booth term count mismatch for ", v);
+        std::copy(terms.begin(), terms.end(),
+                  flat_.begin() + static_cast<size_t>(v - lo) * tpw_);
+    }
+    fillValues();
+}
+
+TermTable::TermTable(FixedPointDomain)
+{
+    tpw_ = 2;
+    keyScale_ = 2.0;  // table is indexed by half-steps
+    offset_ = 31.0;
+    const size_t n = 63;  // halves in [-31, 31]
+    flat_.resize(n * tpw_);
+    valid_.assign(n, false);
+    std::vector<BitSerialTerm> terms;
+    for (int h = -31; h <= 31; ++h) {
+        if (!nafDecompose(0.5 * h, tpw_, terms))
+            continue;  // needs > 2 NAF digits: not BitMoD-decodable
+        const size_t idx = static_cast<size_t>(h + 31);
+        valid_[idx] = true;
+        std::copy(terms.begin(), terms.end(),
+                  flat_.begin() + idx * tpw_);
+    }
+    fillValues();
+}
+
+void
+TermTable::fillValues()
+{
+    flatVals_.resize(flat_.size());
+    for (size_t i = 0; i < flat_.size(); ++i)
+        flatVals_[i] = flat_[i].value();
+}
+
+size_t
+TermTable::indexFor(double qvalue) const
+{
+    const double key = qvalue * keyScale_ + offset_;
+    const double rounded = std::nearbyint(key);
+    BITMOD_ASSERT(std::fabs(key - rounded) < 1e-9 && rounded >= 0.0 &&
+                      rounded < static_cast<double>(valid_.size()),
+                  "qvalue ", qvalue, " outside the term-table domain");
+    const size_t idx = static_cast<size_t>(rounded);
+    BITMOD_ASSERT(valid_[idx], "qvalue ", qvalue,
+                  " needs more terms than the decoder supports");
+    return idx;
+}
+
+bool
+TermTable::representable(double qvalue) const
+{
+    const double key = qvalue * keyScale_ + offset_;
+    const double rounded = std::nearbyint(key);
+    if (std::fabs(key - rounded) >= 1e-9 || rounded < 0.0 ||
+        rounded >= static_cast<double>(valid_.size()))
+        return false;
+    return valid_[static_cast<size_t>(rounded)];
+}
+
+const TermTable &
+TermTable::forIntWidth(int bits)
+{
+    // Lock-free fast path: this runs once per processed group, so the
+    // steady state must not serialize concurrent PEs on a mutex.
+    static std::atomic<const TermTable *> cache[17];
+    static std::mutex buildMutex;
+    BITMOD_ASSERT(bits >= 2 && bits <= 16, "bad term-table width: ",
+                  bits);
+    const TermTable *table =
+        cache[bits].load(std::memory_order_acquire);
+    if (table)
+        return *table;
+    std::lock_guard<std::mutex> lock(buildMutex);
+    table = cache[bits].load(std::memory_order_relaxed);
+    if (!table) {
+        table = new TermTable(IntDomain{bits});  // interned for the
+                                                 // process lifetime
+        cache[bits].store(table, std::memory_order_release);
+    }
+    return *table;
+}
+
+const TermTable &
+TermTable::forFixedPoint()
+{
+    static const TermTable table{FixedPointDomain{}};
+    return table;
+}
+
+const TermTable &
+TermTable::forDtype(const Dtype &dt)
+{
+    switch (dt.kind) {
+      case DtypeKind::IntSym:
+      case DtypeKind::OliveOvp:
+        return forIntWidth(dt.bits);
+      case DtypeKind::IntAsym:
+        // The PE consumes the zero-point-subtracted difference, which
+        // spans bits + 1 in two's complement.
+        return forIntWidth(dt.bits + 1);
+      case DtypeKind::NonLinear:
+      case DtypeKind::Mx:
+        return forFixedPoint();
+      case DtypeKind::Identity:
+        BITMOD_FATAL("FP16 weights are not bit-serial decoded");
+    }
+    BITMOD_PANIC("unhandled dtype kind");
+}
+
+} // namespace bitmod

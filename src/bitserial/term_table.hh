@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Precomputed bit-serial term tables.
+ *
+ * Every quantized weight comes from a tiny finite domain — at most
+ * 2^(bits+1) two's-complement integers for the INT paths, or the 63
+ * half-step fixed-point codes I3..I0.F0 for the extended-FP paths — so
+ * re-running the Booth / NAF recoding per weight (as the seed code did
+ * in BitmodPe::dotProduct) repeats identical work millions of times.
+ * A TermTable runs the recoding once per representable value and stores
+ * the fixed-length term sequences in one flat array; the per-weight hot
+ * path becomes a single indexed lookup with no heap traffic.
+ *
+ * Tables are interned process-wide: forDtype() returns a shared
+ * immutable table, so construction cost is paid once per datatype
+ * family, not per PE or per call.
+ */
+
+#ifndef BITMOD_BITSERIAL_TERM_TABLE_HH
+#define BITMOD_BITSERIAL_TERM_TABLE_HH
+
+#include <span>
+#include <vector>
+
+#include "bitserial/term.hh"
+#include "quant/dtype.hh"
+
+namespace bitmod
+{
+
+/**
+ * Flat lookup table from a pre-scale quantized value to its fixed-length
+ * BitSerialTerm sequence (null-padded to termsPerWeight entries, exactly
+ * as termsForWeight produces them).
+ */
+class TermTable
+{
+  public:
+    /**
+     * Shared table for datatype @p dt.  INT kinds map to the
+     * two's-complement table of their effective width (bits + 1 for
+     * IntAsym, whose PE operand is the zero-point-subtracted
+     * difference); NonLinear / MX kinds share the universal half-step
+     * fixed-point table.
+     */
+    static const TermTable &forDtype(const Dtype &dt);
+
+    /** Shared table for a @p bits-wide two's-complement integer. */
+    static const TermTable &forIntWidth(int bits);
+
+    /** Shared table for the I3..I0.F0 half-step fixed-point domain. */
+    static const TermTable &forFixedPoint();
+
+    /** Fixed terms per weight (the PE cycle budget per weight). */
+    int termsPerWeight() const { return tpw_; }
+
+    /** Number of table entries (representable-domain size). */
+    size_t entries() const { return valid_.size(); }
+
+    /** Quantized value of entry @p idx (for exhaustive iteration). */
+    double
+    entryValue(size_t idx) const
+    {
+        return (static_cast<double>(idx) - offset_) / keyScale_;
+    }
+
+    /**
+     * True when @p qvalue is inside the table domain and decodable in
+     * the fixed term budget (a handful of half-step codes need three
+     * NAF digits and are not BitMoD-representable).
+     */
+    bool representable(double qvalue) const;
+
+    /**
+     * Term sequence for @p qvalue (IntAsym callers pass the zero-point
+     * subtracted difference).  Panics on unrepresentable values, just
+     * as the per-weight recoding path did.
+     */
+    std::span<const BitSerialTerm>
+    terms(double qvalue) const
+    {
+        const size_t idx = indexFor(qvalue);
+        return {flat_.data() + idx * tpw_, static_cast<size_t>(tpw_)};
+    }
+
+    /**
+     * Precomputed real value of each term of @p qvalue (same order and
+     * padding as terms()), so exact-mode consumers skip the per-term
+     * ldexp recomputation.  Summing these in order reproduces the
+     * per-term accumulation of the recoding path bit for bit.
+     */
+    std::span<const double>
+    termValues(double qvalue) const
+    {
+        const size_t idx = indexFor(qvalue);
+        return {flatVals_.data() + idx * tpw_,
+                static_cast<size_t>(tpw_)};
+    }
+
+  private:
+    struct IntDomain
+    {
+        int bits;
+    };
+    struct FixedPointDomain
+    {
+    };
+
+    explicit TermTable(IntDomain dom);
+    explicit TermTable(FixedPointDomain dom);
+
+    void fillValues();
+    size_t indexFor(double qvalue) const;
+
+    int tpw_ = 0;
+    double keyScale_ = 1.0;  //!< 1 for INT entries, 2 for half-steps
+    double offset_ = 0.0;    //!< index = qvalue * keyScale + offset
+    std::vector<BitSerialTerm> flat_;  //!< entries * tpw_, fixed stride
+    std::vector<double> flatVals_;     //!< term values, same layout
+    std::vector<bool> valid_;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_BITSERIAL_TERM_TABLE_HH

@@ -38,24 +38,24 @@ termsForInt(int value, int bits)
     return terms;
 }
 
-std::vector<BitSerialTerm>
-termsForFixedPoint(double grid_value)
+bool
+nafDecompose(double grid_value, int max_terms,
+             std::vector<BitSerialTerm> &out)
 {
+    out.clear();
     // Scale to halves: I3..I0.F0 fixed point becomes a 6-bit signed
     // integer in halves.
     const double halves = grid_value * 2.0;
-    BITMOD_ASSERT(std::fabs(halves - std::nearbyint(halves)) < 1e-9,
-                  "grid value ", grid_value,
-                  " not representable in I4.F1 fixed point");
+    if (std::fabs(halves - std::nearbyint(halves)) >= 1e-9)
+        return false;
     int mag2 = static_cast<int>(std::fabs(std::nearbyint(halves)));
-    BITMOD_ASSERT(mag2 <= 31, "grid value ", grid_value,
-                  " exceeds the fixed-point range");
+    if (mag2 > 31)
+        return false;
     const int sign = grid_value < 0.0 ? 1 : 0;
 
     // Non-adjacent form of mag2: minimal signed-binary recoding.  For
     // every Table IV value this emits <= 2 non-zero digits (and the
     // LOD hardware extracts exactly those bits).
-    std::vector<BitSerialTerm> terms;
     int k = 0;
     while (mag2 != 0) {
         if (mag2 & 1) {
@@ -67,21 +67,39 @@ termsForFixedPoint(double grid_value)
             // weight of bit k in halves = 2^(k-1)
             t.exp = 0;
             t.bsig = k - 1;
-            terms.push_back(t);
+            out.push_back(t);
         }
         mag2 >>= 1;
         ++k;
     }
-    // Pad with null terms up to the fixed 2-cycle budget so cycle
+    if (static_cast<int>(out.size()) > max_terms) {
+        out.clear();
+        return false;
+    }
+    // Pad with null terms up to the fixed cycle budget so cycle
     // accounting matches the hardware.
-    while (terms.size() < 2) {
+    while (static_cast<int>(out.size()) < max_terms) {
         BitSerialTerm t;
         t.man = 0;
-        terms.push_back(t);
+        out.push_back(t);
     }
-    BITMOD_ASSERT(terms.size() <= 2,
-                  "extended-FP value ", grid_value, " needs ",
-                  terms.size(), " terms; decoder supports 2");
+    return true;
+}
+
+std::vector<BitSerialTerm>
+termsForFixedPoint(double grid_value)
+{
+    const double halves = grid_value * 2.0;
+    BITMOD_ASSERT(std::fabs(halves - std::nearbyint(halves)) < 1e-9,
+                  "grid value ", grid_value,
+                  " not representable in I4.F1 fixed point");
+    BITMOD_ASSERT(std::fabs(std::nearbyint(halves)) <= 31.0,
+                  "grid value ", grid_value,
+                  " exceeds the fixed-point range");
+    std::vector<BitSerialTerm> terms;
+    const bool ok = nafDecompose(grid_value, 2, terms);
+    BITMOD_ASSERT(ok, "extended-FP value ", grid_value,
+                  " needs more than 2 terms; decoder supports 2");
     return terms;
 }
 

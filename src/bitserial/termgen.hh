@@ -37,6 +37,17 @@ std::vector<BitSerialTerm> termsForInt(int value, int bits);
 std::vector<BitSerialTerm> termsForFixedPoint(double grid_value);
 
 /**
+ * NAF-recode a half-step fixed-point value into at most @p max_terms
+ * bit-serial terms, null-padded to exactly @p max_terms.  Returns
+ * false (leaving @p out cleared) when the value is not a half-step
+ * code in the I3..I0.F0 range or its NAF needs more than @p max_terms
+ * non-zero digits.  This is the shared kernel behind
+ * termsForFixedPoint() and the precomputed TermTable.
+ */
+bool nafDecompose(double grid_value, int max_terms,
+                  std::vector<BitSerialTerm> &out);
+
+/**
  * Terms for one weight of datatype @p dt holding pre-scale quantized
  * value @p qvalue (integer for INT kinds, grid value for FP kinds).
  */

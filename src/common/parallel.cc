@@ -1,0 +1,107 @@
+#include "common/parallel.hh"
+
+#include <algorithm>
+
+namespace bitmod
+{
+
+WorkerPool::WorkerPool(int threads)
+{
+    int total = threads;
+    if (total <= 0)
+        total = static_cast<int>(
+            std::max(1u, std::thread::hardware_concurrency()));
+    workers_.reserve(static_cast<size_t>(total - 1));
+    for (int i = 0; i < total - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+WorkerPool::workerLoop()
+{
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(m_);
+    for (;;) {
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        const auto *body = body_;
+        const size_t n = n_;
+        lock.unlock();
+        for (size_t i = next_.fetch_add(1); i < n;
+             i = next_.fetch_add(1))
+            (*body)(i);
+        lock.lock();
+        if (--pending_ == 0)
+            done_.notify_one();
+    }
+}
+
+void
+WorkerPool::parallelFor(size_t n,
+                        const std::function<void(size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    std::lock_guard<std::mutex> serialize(jobSerialize_);
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        body_ = &body;
+        n_ = n;
+        next_.store(0);
+        pending_ = workers_.size();
+        ++generation_;
+    }
+    wake_.notify_all();
+    // The caller shares the work instead of idling.
+    for (size_t i = next_.fetch_add(1); i < n; i = next_.fetch_add(1))
+        body(i);
+    std::unique_lock<std::mutex> lock(m_);
+    done_.wait(lock, [&] { return pending_ == 0; });
+    body_ = nullptr;
+}
+
+WorkerPool &
+WorkerPool::shared()
+{
+    static WorkerPool pool(0);
+    return pool;
+}
+
+void
+parallelFor(size_t n, int threads,
+            const std::function<void(size_t)> &body)
+{
+    if (threads == 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    if (threads <= 0) {
+        WorkerPool::shared().parallelFor(n, body);
+        return;
+    }
+    // A dedicated pool for an explicit non-default width.  Loops large
+    // enough to warrant this are long compared to thread spawn cost.
+    WorkerPool pool(threads);
+    pool.parallelFor(n, body);
+}
+
+} // namespace bitmod

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A small shared worker pool for data-parallel loops (no external
+ * dependencies).  quantizeMatrix shards rows across the pool; callers
+ * are responsible for writing results into per-index slots so the
+ * outcome is deterministic — and, with per-index accumulators merged in
+ * index order, bit-identical — regardless of thread count or
+ * scheduling.
+ *
+ * The pool keeps its threads parked on a condition variable between
+ * jobs, so a parallelFor costs two notifications, not thread spawns.
+ * The calling thread participates in the loop, so threadCount() == 1
+ * means fully inline execution with zero synchronization.
+ */
+
+#ifndef BITMOD_COMMON_PARALLEL_HH
+#define BITMOD_COMMON_PARALLEL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bitmod
+{
+
+/** Persistent worker pool driving index-sharded parallel loops. */
+class WorkerPool
+{
+  public:
+    /**
+     * @param threads total threads including the caller; 0 picks the
+     *                hardware concurrency.
+     */
+    explicit WorkerPool(int threads = 0);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Total threads that serve a loop (workers + the caller). */
+    int
+    threadCount() const
+    {
+        return static_cast<int>(workers_.size()) + 1;
+    }
+
+    /**
+     * Invoke @p body(i) for every i in [0, n), sharded across the pool.
+     * Blocks until all indices are done.  @p body must be thread-safe;
+     * it must not throw and must not call parallelFor on the same pool.
+     * Concurrent calls from different threads are serialized.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &body);
+
+    /** Process-wide pool sized to the hardware concurrency. */
+    static WorkerPool &shared();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex jobSerialize_;  //!< one loop in flight at a time
+
+    std::mutex m_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    uint64_t generation_ = 0;
+    const std::function<void(size_t)> *body_ = nullptr;
+    size_t n_ = 0;
+    std::atomic<size_t> next_{0};
+    size_t pending_ = 0;  //!< workers still draining the current job
+    bool stop_ = false;
+};
+
+/**
+ * Convenience wrapper: run @p body(i) for i in [0, n) on @p threads
+ * threads (0 = hardware concurrency via the shared pool, 1 = inline).
+ */
+void parallelFor(size_t n, int threads,
+                 const std::function<void(size_t)> &body);
+
+} // namespace bitmod
+
+#endif // BITMOD_COMMON_PARALLEL_HH

@@ -6,7 +6,7 @@ namespace bitmod
 {
 
 QuantConfig
-bitmodConfig(int bits, int group_size)
+bitmodConfig(int bits, int group_size, int threads)
 {
     BITMOD_ASSERT(bits == 3 || bits == 4,
                   "BitMoD datatypes exist at 3 and 4 bits, got ", bits);
@@ -15,13 +15,16 @@ bitmodConfig(int bits, int group_size)
     cfg.granularity = Granularity::PerGroup;
     cfg.groupSize = group_size;
     cfg.scaleBits = 8;
+    cfg.threads = threads;
     return cfg;
 }
 
 QuantizedTensor
-bitmodQuantize(const Matrix &weights, int bits, int group_size)
+bitmodQuantize(const Matrix &weights, int bits, int group_size,
+               int threads)
 {
-    return quantizeMatrix(weights, bitmodConfig(bits, group_size));
+    return quantizeMatrix(weights,
+                          bitmodConfig(bits, group_size, threads));
 }
 
 AccelConfig

@@ -29,10 +29,15 @@ namespace bitmod
  * the paper's deployment configuration.
  */
 QuantizedTensor bitmodQuantize(const Matrix &weights, int bits,
-                               int group_size = 128);
+                               int group_size = 128, int threads = 0);
 
-/** The QuantConfig behind bitmodQuantize, for composition. */
-QuantConfig bitmodConfig(int bits, int group_size = 128);
+/**
+ * The QuantConfig behind bitmodQuantize, for composition.
+ * @p threads shards matrix rows across the worker pool (0 = all
+ * hardware threads, 1 = serial); results are bit-identical either way.
+ */
+QuantConfig bitmodConfig(int bits, int group_size = 128,
+                         int threads = 0);
 
 /** Result of a deployment simulation. */
 struct DeploymentSummary

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
 
+#include "bitserial/term_table.hh"
 #include "bitserial/termgen.hh"
 #include "common/logging.hh"
 #include "numeric/bits.hh"
@@ -76,71 +76,80 @@ BitmodPe::dotProduct(const EncodedGroup &enc,
     const size_t n = enc.qvalues.size();
     BITMOD_ASSERT(acts.size() == n, "activation count ", acts.size(),
                   " != group size ", n);
+    if (n == 0)
+        return 0.0;
 
-    // Expand every weight into its fixed-length term sequence.
-    const int tpw = termsPerWeight(dt);
-    std::vector<std::vector<BitSerialTerm>> terms(n);
-    for (size_t i = 0; i < n; ++i) {
-        const double q = dt.kind == DtypeKind::IntAsym
-                             ? enc.qvalues[i] - enc.zeroPoint
-                             : enc.qvalues[i];
-        terms[i] = termsForWeight(q, dt);
-        while (static_cast<int>(terms[i].size()) < tpw)
-            terms[i].push_back(BitSerialTerm{});  // null padding
-    }
+    // Weight terms come from the precomputed table: one indexed lookup
+    // per weight instead of re-running the Booth / NAF recoding (the
+    // seed code heap-allocated two vectors per weight here).
+    const TermTable &table = TermTable::forDtype(dt);
+    const int tpw = table.termsPerWeight();
+    const bool asym = dt.kind == DtypeKind::IntAsym;
 
     if (!cfg_.hwRounding) {
         // Exact mode: term decomposition is lossless, so this equals
         // the plain dot product of decoded weights and activations.
         double sum = 0.0;
         for (size_t i = 0; i < n; ++i) {
+            const double q = asym ? enc.qvalues[i] - enc.zeroPoint
+                                  : enc.qvalues[i];
             const double a = acts[i].toFloat();
-            for (const auto &t : terms[i])
-                sum += t.value() * a;
+            for (const double v : table.termValues(q))
+                sum += v * a;
         }
         return sum;
     }
 
     // Hardware mode: process lane chunks term-index by term-index with
-    // per-cycle exponent alignment and 3-guard-bit RNE.
-    double acc = 0.0;
+    // per-cycle exponent alignment and 3-guard-bit RNE.  The scratch
+    // is sized by the configured lane count (not a fixed [8]).
     const size_t lanes = static_cast<size_t>(cfg_.lanes);
+    if (laneExp_.size() < lanes) {
+        laneExp_.resize(lanes);
+        laneSig_.resize(lanes);
+        laneSign_.resize(lanes);
+        laneTerms_.resize(lanes);
+    }
+    double acc = 0.0;
     for (size_t base = 0; base < n; base += lanes) {
         const size_t chunk = std::min(lanes, n - base);
+        for (size_t l = 0; l < chunk; ++l) {
+            const double q = asym
+                                 ? enc.qvalues[base + l] - enc.zeroPoint
+                                 : enc.qvalues[base + l];
+            laneTerms_[l] = table.terms(q).data();
+        }
         for (int t = 0; t < tpw; ++t) {
             // Lane exponents: activation exponent (value = sig11 *
             // 2^(e-10)) plus the weight term exponent and bsig.
-            int laneExp[8];
-            int laneSig[8];
-            int laneSign[8];
             int eMax = 0;
             bool any = false;
             for (size_t l = 0; l < chunk; ++l) {
-                const auto &term = terms[base + l][t];
+                const auto &term = laneTerms_[l][t];
                 const Float16 a = acts[base + l];
                 if (term.man == 0 || a.isZero()) {
-                    laneSig[l] = 0;
-                    laneExp[l] = 0;
-                    laneSign[l] = 0;
+                    laneSig_[l] = 0;
+                    laneExp_[l] = 0;
+                    laneSign_[l] = 0;
                     continue;
                 }
-                laneSig[l] = a.significand11();
-                laneExp[l] = a.unbiasedExponent() - 10 + term.exp +
-                             term.bsig;
-                laneSign[l] = a.sign() ^ term.sign;
-                if (!any || laneExp[l] > eMax)
-                    eMax = laneExp[l];
+                laneSig_[l] = a.significand11();
+                laneExp_[l] = a.unbiasedExponent() - 10 + term.exp +
+                              term.bsig;
+                laneSign_[l] = a.sign() ^ term.sign;
+                if (!any || laneExp_[l] > eMax)
+                    eMax = laneExp_[l];
                 any = true;
             }
             if (!any)
                 continue;
             int64_t s = 0;
             for (size_t l = 0; l < chunk; ++l) {
-                if (laneSig[l] == 0)
+                if (laneSig_[l] == 0)
                     continue;
                 const int64_t m =
-                    alignedMantissa(laneSig[l], eMax - laneExp[l]);
-                s += laneSign[l] ? -m : m;
+                    alignedMantissa(laneSig_[l], eMax - laneExp_[l]);
+                s += laneSign_[l] ? -m : m;
             }
             // Guard bits scale the chunk sum by 2^-3.
             acc += std::ldexp(static_cast<double>(s), eMax - 3);

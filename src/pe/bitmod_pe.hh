@@ -21,7 +21,9 @@
 #define BITMOD_PE_BITMOD_PE_HH
 
 #include <span>
+#include <vector>
 
+#include "bitserial/term.hh"
 #include "numeric/float16.hh"
 #include "quant/quantizer.hh"
 
@@ -46,7 +48,16 @@ struct PeGroupResult
     bool wouldStall = false;
 };
 
-/** The BitMoD mixed-precision bit-serial PE. */
+/**
+ * The BitMoD mixed-precision bit-serial PE.
+ *
+ * Weight terms come from the precomputed TermTable (one lookup per
+ * weight, no per-weight recoding), and the lane-alignment scratch is
+ * owned by the instance and sized by the configured lane count, so a
+ * processGroup call performs no heap allocation after warm-up.  The
+ * scratch makes an instance non-thread-safe: use one BitmodPe per
+ * thread.
+ */
 class BitmodPe
 {
   public:
@@ -90,6 +101,14 @@ class BitmodPe
                       const Dtype &dt) const;
 
     PeConfig cfg_;
+
+    // Hardware-mode per-cycle lane scratch, sized by cfg_.lanes on
+    // first use (the seed code used fixed [8] stack arrays, which
+    // silently overflowed for lanes > 8).
+    mutable std::vector<int> laneExp_;
+    mutable std::vector<int> laneSig_;
+    mutable std::vector<int> laneSign_;
+    mutable std::vector<const BitSerialTerm *> laneTerms_;
 };
 
 /**

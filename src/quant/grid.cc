@@ -15,6 +15,9 @@ Grid::Grid(std::vector<double> values) : values_(std::move(values))
     std::sort(values_.begin(), values_.end());
     values_.erase(std::unique(values_.begin(), values_.end()),
                   values_.end());
+    mids_.resize(values_.size() - 1);
+    for (size_t i = 0; i + 1 < values_.size(); ++i)
+        mids_[i] = 0.5 * (values_[i] + values_[i + 1]);
 }
 
 Grid
@@ -30,28 +33,6 @@ Grid::absMax() const
 {
     return std::max(std::fabs(values_.front()),
                     std::fabs(values_.back()));
-}
-
-size_t
-Grid::nearestIndex(double x) const
-{
-    // values_ sorted: lower_bound then compare the two neighbours.
-    const auto it = std::lower_bound(values_.begin(), values_.end(), x);
-    if (it == values_.begin())
-        return 0;
-    if (it == values_.end())
-        return values_.size() - 1;
-    const size_t hi = static_cast<size_t>(it - values_.begin());
-    const size_t lo = hi - 1;
-    const double dLo = x - values_[lo];
-    const double dHi = values_[hi] - x;
-    return dLo <= dHi ? lo : hi;
-}
-
-double
-Grid::nearest(double x) const
-{
-    return values_[nearestIndex(x)];
 }
 
 double

@@ -33,6 +33,8 @@ class Grid
     Grid withSpecial(double special) const;
 
     const std::vector<double> &values() const { return values_; }
+    /** Decision boundaries between adjacent values (size() - 1). */
+    const std::vector<double> &midpoints() const { return mids_; }
     bool empty() const { return values_.empty(); }
     size_t size() const { return values_.size(); }
 
@@ -42,10 +44,26 @@ class Grid
     double absMax() const;
 
     /** Nearest grid value to @p x (ties toward the smaller value). */
-    double nearest(double x) const;
+    double
+    nearest(double x) const
+    {
+        return values_[nearestIndex(x)];
+    }
 
-    /** Index of the nearest grid value (the stored code). */
-    size_t nearestIndex(double x) const;
+    /**
+     * Index of the nearest grid value (the stored code).  BitMoD grids
+     * hold at most 17 values, so this is a branch-light counting scan
+     * over the precomputed midpoint table — cheaper and far more
+     * predictable than a binary search at this size.
+     */
+    size_t
+    nearestIndex(double x) const
+    {
+        size_t idx = 0;
+        for (const double m : mids_)
+            idx += x > m;  // x == mid ties toward the smaller value
+        return idx;
+    }
 
     /**
      * Range-fit scale for a group with extremes [w_min, w_max]: the
@@ -60,6 +78,7 @@ class Grid
 
   private:
     std::vector<double> values_;
+    std::vector<double> mids_;  //!< decision boundaries between values
 };
 
 } // namespace bitmod

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/stats.hh"
 
 namespace bitmod
@@ -13,6 +15,63 @@ namespace bitmod
 
 namespace
 {
+
+/**
+ * Branchless nearest-index scan over pre-scaled decision boundaries.
+ * The boundary array is padded to a fixed width with +infinity so the
+ * compiler fully unrolls and vectorizes the compare-accumulate; a
+ * padded slot never matches (x > inf is false).
+ */
+template <size_t Width>
+inline size_t
+countingScan(const double *bounds, double x)
+{
+    size_t idx = 0;
+    for (size_t k = 0; k < Width; ++k)
+        idx += x > bounds[k];
+    return idx;
+}
+
+/** Boundary count the padded fast path supports (BitMoD grids fit). */
+constexpr size_t kScanPad = 16;
+
+/**
+ * Nearest-grid-index scan over a whole group: invokes
+ * consume(element index, grid index) for every element, in order.
+ * The fast path runs two passes per block — the index scan alone
+ * vectorizes (a data-dependent value lookup in the same loop would
+ * force it scalar), then the consumer drains the index buffer.  Both
+ * encodeAdaptive passes (MSE search and winner materialization) go
+ * through this one helper so their nearest decisions cannot diverge.
+ */
+template <typename Consumer>
+inline void
+nearestScan(std::span<const float> w, const double *bounds, size_t nm,
+            Consumer &&consume)
+{
+    if (nm <= kScanPad) {
+        constexpr size_t kBlock = 128;
+        uint8_t idxBuf[kBlock];
+        const size_t n = w.size();
+        for (size_t base = 0; base < n; base += kBlock) {
+            const size_t m = std::min(kBlock, n - base);
+            const float *xs = w.data() + base;
+            for (size_t j = 0; j < m; ++j)
+                idxBuf[j] = static_cast<uint8_t>(
+                    countingScan<kScanPad>(bounds, xs[j]));
+            for (size_t j = 0; j < m; ++j)
+                consume(base + j, static_cast<size_t>(idxBuf[j]));
+        }
+    } else {
+        for (size_t i = 0; i < w.size(); ++i) {
+            const double xd = w[i];
+            size_t idx = 0;
+            for (size_t k = 0; k < nm; ++k)
+                idx += xd > bounds[k];
+            consume(i, idx);
+        }
+    }
+}
 
 /** Extremes of a span. */
 std::pair<double, double>
@@ -27,42 +86,38 @@ extremes(std::span<const float> w)
     return {lo, hi};
 }
 
-double
-groupMse(std::span<const float> w, std::span<const float> q)
+/** Reset @p enc to n zero qvalues, reusing its buffer capacity. */
+void
+resetGroup(EncodedGroup &enc, size_t n)
 {
-    double e = 0.0;
-    for (size_t i = 0; i < w.size(); ++i) {
-        const double d = static_cast<double>(w[i]) - q[i];
-        e += d * d;
-    }
-    return e / static_cast<double>(w.size());
+    enc.qvalues.assign(n, 0.0f);
+    enc.scale = 0.0;
+    enc.zeroPoint = 0.0;
+    enc.svIndex = -1;
 }
 
-EncodedGroup
-encodeIntSym(std::span<const float> w, int bits)
+void
+encodeIntSym(std::span<const float> w, int bits, EncodedGroup &enc)
 {
-    EncodedGroup enc;
-    enc.qvalues.resize(w.size());
+    resetGroup(enc, w.size());
     const double qmax = (1 << (bits - 1)) - 1;
     double absMax = 0.0;
     for (const float x : w)
         absMax = std::max<double>(absMax, std::fabs(x));
     if (absMax == 0.0)
-        return enc;
+        return;
     enc.scale = absMax / qmax;
     for (size_t i = 0; i < w.size(); ++i) {
         double q = std::nearbyint(w[i] / enc.scale);
         q = std::clamp(q, -qmax, qmax);
         enc.qvalues[i] = static_cast<float>(q);
     }
-    return enc;
 }
 
-EncodedGroup
-encodeIntAsym(std::span<const float> w, int bits)
+void
+encodeIntAsym(std::span<const float> w, int bits, EncodedGroup &enc)
 {
-    EncodedGroup enc;
-    enc.qvalues.resize(w.size());
+    resetGroup(enc, w.size());
     auto [lo, hi] = extremes(w);
     // Always include zero in the representable range, the standard
     // asymmetric-quantization convention (Eq. 2 assumes min <= 0).
@@ -71,7 +126,7 @@ encodeIntAsym(std::span<const float> w, int bits)
     const double range = hi - lo;
     const double qmax = (1 << bits) - 1;
     if (range == 0.0)
-        return enc;
+        return;
     enc.scale = range / qmax;
     enc.zeroPoint = std::nearbyint(-lo / enc.scale);
     for (size_t i = 0; i < w.size(); ++i) {
@@ -79,57 +134,114 @@ encodeIntAsym(std::span<const float> w, int bits)
         q = std::clamp(q, 0.0, qmax);
         enc.qvalues[i] = static_cast<float>(q);
     }
-    return enc;
 }
 
 /** NonLinearQuantize of Algorithm 1 against one candidate grid. */
-EncodedGroup
-encodeGrid(std::span<const float> w, const Grid &grid)
+void
+encodeGrid(std::span<const float> w, const Grid &grid,
+           EncodedGroup &enc)
 {
-    EncodedGroup enc;
-    enc.qvalues.resize(w.size());
+    resetGroup(enc, w.size());
     auto [lo, hi] = extremes(w);
     const double scale = grid.fitScale(lo, hi);
     enc.scale = scale;
     if (scale == 0.0)
-        return enc;
+        return;
     for (size_t i = 0; i < w.size(); ++i)
         enc.qvalues[i] = static_cast<float>(grid.nearest(w[i] / scale));
-    return enc;
 }
 
-/** Algorithm 1: adapt the special value per group by MSE. */
-EncodedGroup
-encodeAdaptive(std::span<const float> w, const Dtype &dt)
+/**
+ * Algorithm 1: adapt the special value per group by MSE.  The MSE of
+ * each candidate is fused into the grid-nearest pass — no dequantized
+ * temporary, no per-candidate EncodedGroup — and only the winning
+ * candidate is materialized into @p enc.
+ *
+ * The inner pass is division-free: the grid's decision boundaries and
+ * values are pre-multiplied by the candidate scale once per group, so
+ * each element costs one branchless counting scan over <= 16 boundaries
+ * plus a fused difference-square.  The dequantized value float(v *
+ * scale) comes from the same double product as the encode-then-decode
+ * chain.  Nearest decisions compare w > fl(mid * scale) where the
+ * division form compares fl(w / scale) > mid; the two can only disagree
+ * when w / scale is within one rounding step of a decision boundary
+ * (never observed in practice — the hot-path bench asserts bit-identity
+ * against the division-based reference on every run).
+ */
+void
+encodeAdaptive(std::span<const float> w, const Dtype &dt,
+               EncodedGroup &enc)
 {
-    EncodedGroup best;
+    const size_t n = w.size();
+    const auto [lo, hi] = extremes(w);
+    thread_local std::vector<double> scaledMids;
+    thread_local std::vector<double> scaledVals;
+    size_t bestC = 0;
+    double bestScale = 0.0;
     double bestErr = std::numeric_limits<double>::infinity();
+
+    auto loadScaled = [&](const Grid &grid, double scale) -> size_t {
+        const auto &mids = grid.midpoints();
+        const size_t nm = mids.size();
+        const size_t padded = std::max(nm, kScanPad);
+        scaledMids.assign(padded,
+                          std::numeric_limits<double>::infinity());
+        for (size_t k = 0; k < nm; ++k)
+            scaledMids[k] = mids[k] * scale;
+        return nm;
+    };
+
     for (size_t c = 0; c < dt.candidates.size(); ++c) {
-        EncodedGroup enc = encodeGrid(w, dt.candidates[c]);
-        enc.svIndex = static_cast<int>(c);
-        std::vector<float> deq(w.size());
-        for (size_t i = 0; i < w.size(); ++i)
-            deq[i] = static_cast<float>(enc.qvalues[i] * enc.scale);
-        const double err = groupMse(w, {deq.data(), deq.size()});
+        const Grid &grid = dt.candidates[c];
+        const double scale = grid.fitScale(lo, hi);
+        double err = 0.0;
+        if (scale != 0.0) {
+            const size_t nm = loadScaled(grid, scale);
+            const auto &vals = grid.values();
+            scaledVals.resize(vals.size());
+            for (size_t k = 0; k < vals.size(); ++k)
+                scaledVals[k] = vals[k] * scale;
+            nearestScan(w, scaledMids.data(), nm,
+                        [&](size_t i, size_t idx) {
+                            const double d =
+                                static_cast<double>(w[i]) -
+                                static_cast<float>(scaledVals[idx]);
+                            err += d * d;
+                        });
+        }
+        err /= static_cast<double>(n);
         if (err < bestErr) {
             bestErr = err;
-            best = std::move(enc);
+            bestC = c;
+            bestScale = scale;
         }
     }
-    return best;
+    resetGroup(enc, n);
+    enc.svIndex = static_cast<int>(bestC);
+    enc.scale = bestScale;
+    if (bestScale != 0.0) {
+        const Grid &grid = dt.candidates[bestC];
+        const size_t nm = loadScaled(grid, bestScale);
+        const auto &vals = grid.values();
+        nearestScan(w, scaledMids.data(), nm,
+                    [&](size_t i, size_t idx) {
+                        enc.qvalues[i] =
+                            static_cast<float>(vals[idx]);
+                    });
+    }
 }
 
 /** MX: shared power-of-two scale (8-bit exponent), elements on grid. */
-EncodedGroup
-encodeMx(std::span<const float> w, const Grid &element_grid)
+void
+encodeMx(std::span<const float> w, const Grid &element_grid,
+         EncodedGroup &enc)
 {
-    EncodedGroup enc;
-    enc.qvalues.resize(w.size());
+    resetGroup(enc, w.size());
     double absMax = 0.0;
     for (const float x : w)
         absMax = std::max<double>(absMax, std::fabs(x));
     if (absMax == 0.0)
-        return enc;
+        return;
     // OCP MX: shared exponent = floor(log2(absmax)) - emax(element).
     const int emaxElem =
         static_cast<int>(std::floor(std::log2(element_grid.absMax())));
@@ -141,7 +253,6 @@ encodeMx(std::span<const float> w, const Grid &element_grid)
         // Saturating round-to-nearest onto the element grid.
         enc.qvalues[i] = static_cast<float>(element_grid.nearest(scaled));
     }
-    return enc;
 }
 
 /** OliVe abfloat magnitude grid (in units of the normal scale). */
@@ -170,35 +281,40 @@ oliveAbfloatMagnitudes(int bits)
  * per group to minimize MSE (the mechanism of the OliVe paper with an
  * optimal threshold instead of a heuristic one).
  */
-EncodedGroup
-encodeOlive(std::span<const float> w, int bits, int max_outliers)
+void
+encodeOlive(std::span<const float> w, int bits, int max_outliers,
+            EncodedGroup &best)
 {
     const size_t n = w.size();
     const double qmax = (1 << (bits - 1)) - 1;
     const auto abfloat = oliveAbfloatMagnitudes(bits);
 
     // Magnitude-sorted candidate outlier order.
-    std::vector<size_t> order(n);
+    thread_local std::vector<size_t> order;
+    order.resize(n);
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         return std::fabs(w[a]) > std::fabs(w[b]);
     });
 
-    EncodedGroup best;
+    resetGroup(best, n);
     double bestErr = std::numeric_limits<double>::infinity();
 
-    // The outlier budget scales with the quantization extent: OliVe
-    // protects a fixed *fraction* of values (~6%), so per-channel
-    // operation on long channels must allow proportionally more
-    // outliers than a 128-wide group.
-    const int budget =
-        std::max(max_outliers, static_cast<int>(n / 16));
+    // The outlier budget defaults to a fixed *fraction* of the
+    // quantization extent (~6%, i.e. extent/16, the OliVe paper's
+    // outlier rate) but honors max_outliers as a hard cap: long
+    // per-channel extents saturate at the configured limit instead of
+    // silently growing the search.
+    const int budget = std::min(
+        max_outliers, std::max(1, static_cast<int>(n / 16)));
     const int tMax = std::min<int>(budget, static_cast<int>(n / 2));
+    thread_local std::vector<bool> isOutlier, isVictim;
+    thread_local EncodedGroup trial;
     for (int t = 0; t <= tMax; ++t) {
         // Outlier set: top-t magnitudes, skipping pair conflicts (both
         // elements of a pair cannot be outliers; the smaller clamps).
-        std::vector<bool> isOutlier(n, false);
-        std::vector<bool> isVictim(n, false);
+        isOutlier.assign(n, false);
+        isVictim.assign(n, false);
         int placed = 0;
         for (size_t idx : order) {
             if (placed == t)
@@ -219,9 +335,8 @@ encodeOlive(std::span<const float> w, int bits, int max_outliers)
                 normMax = std::max<double>(normMax, std::fabs(w[i]));
         const double scale = normMax > 0.0 ? normMax / qmax : 0.0;
 
-        EncodedGroup enc;
-        enc.qvalues.resize(n);
-        enc.scale = scale;
+        resetGroup(trial, n);
+        trial.scale = scale;
         double err = 0.0;
         for (size_t i = 0; i < n; ++i) {
             double q;
@@ -245,59 +360,81 @@ encodeOlive(std::span<const float> w, int bits, int max_outliers)
             } else {
                 q = 0.0;
             }
-            enc.qvalues[i] = static_cast<float>(q);
+            trial.qvalues[i] = static_cast<float>(q);
             const double d = w[i] - q * scale;
             err += d * d;
         }
         if (err < bestErr) {
             bestErr = err;
-            best = std::move(enc);
+            std::swap(best, trial);
         }
     }
-    return best;
 }
 
 } // namespace
 
-EncodedGroup
-encodeGroup(std::span<const float> w, const QuantConfig &cfg)
+void
+encodeGroupInto(std::span<const float> w, const QuantConfig &cfg,
+                EncodedGroup &out)
 {
     switch (cfg.dtype.kind) {
-      case DtypeKind::Identity: {
-        EncodedGroup enc;
-        enc.qvalues.assign(w.begin(), w.end());
-        enc.scale = 1.0;
-        return enc;
-      }
+      case DtypeKind::Identity:
+        resetGroup(out, w.size());
+        out.qvalues.assign(w.begin(), w.end());
+        out.scale = 1.0;
+        return;
       case DtypeKind::IntSym:
-        return encodeIntSym(w, cfg.dtype.bits);
+        encodeIntSym(w, cfg.dtype.bits, out);
+        return;
       case DtypeKind::IntAsym:
-        return encodeIntAsym(w, cfg.dtype.bits);
+        encodeIntAsym(w, cfg.dtype.bits, out);
+        return;
       case DtypeKind::NonLinear:
         if (cfg.dtype.candidates.size() == 1) {
-            EncodedGroup enc = encodeGrid(w, cfg.dtype.candidates[0]);
-            enc.svIndex = 0;
-            return enc;
+            encodeGrid(w, cfg.dtype.candidates[0], out);
+            out.svIndex = 0;
+            return;
         }
-        return encodeAdaptive(w, cfg.dtype);
+        encodeAdaptive(w, cfg.dtype, out);
+        return;
       case DtypeKind::Mx:
-        return encodeMx(w, cfg.dtype.mxElementGrid);
+        encodeMx(w, cfg.dtype.mxElementGrid, out);
+        return;
       case DtypeKind::OliveOvp:
-        return encodeOlive(w, cfg.dtype.bits, cfg.oliveMaxOutliers);
+        encodeOlive(w, cfg.dtype.bits, cfg.oliveMaxOutliers, out);
+        return;
     }
     BITMOD_PANIC("unhandled dtype kind");
 }
 
-std::vector<float>
-decodeGroup(const EncodedGroup &enc, const QuantConfig &cfg)
+EncodedGroup
+encodeGroup(std::span<const float> w, const QuantConfig &cfg)
 {
-    std::vector<float> out(enc.qvalues.size());
+    EncodedGroup enc;
+    encodeGroupInto(w, cfg, enc);
+    return enc;
+}
+
+void
+decodeGroupInto(const EncodedGroup &enc, const QuantConfig &cfg,
+                std::span<float> out)
+{
+    BITMOD_ASSERT(out.size() == enc.qvalues.size(),
+                  "decode span size ", out.size(), " != group size ",
+                  enc.qvalues.size());
     const bool asym = cfg.dtype.kind == DtypeKind::IntAsym;
     for (size_t i = 0; i < out.size(); ++i) {
         const double q = asym ? enc.qvalues[i] - enc.zeroPoint
                               : enc.qvalues[i];
         out[i] = static_cast<float>(q * enc.scale);
     }
+}
+
+std::vector<float>
+decodeGroup(const EncodedGroup &enc, const QuantConfig &cfg)
+{
+    std::vector<float> out(enc.qvalues.size());
+    decodeGroupInto(enc, cfg, {out.data(), out.size()});
     return out;
 }
 
@@ -394,8 +531,8 @@ quantizeMatrix(const Matrix &w, const QuantConfig &cfg)
 {
     QuantizedTensor result;
     result.dequant = Matrix(w.rows(), w.cols());
-    result.stats.svHistogram.assign(
-        std::max<size_t>(1, cfg.dtype.candidates.size()), 0);
+    const size_t nc = std::max<size_t>(1, cfg.dtype.candidates.size());
+    result.stats.svHistogram.assign(nc, 0);
 
     if (cfg.dtype.kind == DtypeKind::Identity) {
         result.dequant = w;
@@ -423,80 +560,98 @@ quantizeMatrix(const Matrix &w, const QuantConfig &cfg)
         BITMOD_PANIC("unhandled granularity");
     }
 
-    double errSum = 0.0, refSum = 0.0;
-
-    auto processGroup = [&](std::span<const float> src,
-                            std::span<float> dst, size_t channel) {
-        EncodedGroup enc = encodeGroup(src, cfg);
-        (void)channel;
-        if (enc.svIndex >= 0 &&
-            enc.svIndex < static_cast<int>(result.stats.svHistogram.size()))
+    if (cfg.granularity == Granularity::PerTensor) {
+        // One group spanning the whole tensor; not worth sharding.
+        std::vector<float> flat(w.flat().begin(), w.flat().end());
+        EncodedGroup enc = encodeGroup({flat.data(), flat.size()}, cfg);
+        if (enc.svIndex >= 0 && enc.svIndex < static_cast<int>(nc))
             ++result.stats.svHistogram[enc.svIndex];
-        const auto deq = decodeGroup(enc, cfg);
-        for (size_t i = 0; i < src.size(); ++i) {
-            dst[i] = deq[i];
-            const double d = static_cast<double>(src[i]) - deq[i];
-            errSum += d * d;
-            refSum += static_cast<double>(src[i]) * src[i];
-        }
-        ++result.stats.groups;
+        decodeGroupInto(enc, cfg, result.dequant.flat());
+        result.stats.groups = 1;
         if (cfg.captureEncoding)
             result.encodings.push_back(std::move(enc));
-    };
-
-    if (cfg.granularity == Granularity::PerTensor) {
-        // One group spanning the whole tensor.
-        std::vector<float> flat(w.flat().begin(), w.flat().end());
-        std::vector<float> deq(flat.size());
-        processGroup({flat.data(), flat.size()},
-                     {deq.data(), deq.size()}, 0);
-        std::copy(deq.begin(), deq.end(), result.dequant.flat().begin());
-    } else if (cfg.scaleBits > 0 &&
-               cfg.granularity == Granularity::PerGroup &&
-               cfg.dtype.kind != DtypeKind::Mx) {
-        // Two passes per channel: encode groups, second-level quantize
-        // the channel's scale vector, then decode with the re-quantized
-        // scales (Section III-C).
-        const size_t ngroups = w.cols() / groupSize;
-        for (size_t r = 0; r < w.rows(); ++r) {
-            std::vector<EncodedGroup> encs(ngroups);
-            std::vector<double> scales(ngroups);
-            for (size_t g = 0; g < ngroups; ++g) {
-                encs[g] = encodeGroup(w.group(r, g, groupSize), cfg);
-                scales[g] = encs[g].scale;
-            }
-            const auto qScales =
-                quantizeScales({scales.data(), scales.size()},
-                               cfg.scaleBits);
-            for (size_t g = 0; g < ngroups; ++g) {
-                encs[g].scale = qScales[g];
-                if (encs[g].svIndex >= 0)
-                    ++result.stats.svHistogram[encs[g].svIndex];
-                const auto deq = decodeGroup(encs[g], cfg);
-                auto src = w.group(r, g, groupSize);
-                auto dst = result.dequant.group(r, g, groupSize);
-                for (size_t i = 0; i < groupSize; ++i) {
-                    dst[i] = deq[i];
-                    const double d =
-                        static_cast<double>(src[i]) - deq[i];
-                    errSum += d * d;
-                    refSum += static_cast<double>(src[i]) * src[i];
-                }
-                ++result.stats.groups;
-                if (cfg.captureEncoding)
-                    result.encodings.push_back(std::move(encs[g]));
-            }
-        }
     } else {
+        const size_t rows = w.rows();
         const size_t ngroups = w.cols() / groupSize;
-        for (size_t r = 0; r < w.rows(); ++r) {
-            for (size_t g = 0; g < ngroups; ++g) {
-                processGroup(w.group(r, g, groupSize),
-                             result.dequant.group(r, g, groupSize), r);
+        const bool twoPass = cfg.scaleBits > 0 &&
+                             cfg.granularity == Granularity::PerGroup &&
+                             cfg.dtype.kind != DtypeKind::Mx;
+
+        // Rows are independent: shard them across the worker pool.
+        // Every output — dequant rows, captured encodings, the per-row
+        // histogram slots — lands in a per-index slot, so the result is
+        // bit-identical for any thread count.
+        std::vector<size_t> rowHist(rows * nc, 0);
+        if (cfg.captureEncoding)
+            result.encodings.resize(rows * ngroups);
+
+        auto quantizeRow = [&](size_t r) {
+            // Reused across groups and rows: no allocation after the
+            // first group on each worker thread.
+            thread_local EncodedGroup enc;
+            thread_local std::vector<EncodedGroup> rowEncs;
+            thread_local std::vector<double> scales;
+            size_t *hist = rowHist.data() + r * nc;
+
+            if (twoPass) {
+                // Two passes per channel: encode groups, second-level
+                // quantize the channel's scale vector, then decode with
+                // the re-quantized scales (Section III-C).
+                if (rowEncs.size() < ngroups)
+                    rowEncs.resize(ngroups);
+                scales.resize(ngroups);
+                for (size_t g = 0; g < ngroups; ++g) {
+                    encodeGroupInto(w.group(r, g, groupSize), cfg,
+                                    rowEncs[g]);
+                    scales[g] = rowEncs[g].scale;
+                }
+                const auto qScales =
+                    quantizeScales({scales.data(), scales.size()},
+                                   cfg.scaleBits);
+                for (size_t g = 0; g < ngroups; ++g) {
+                    rowEncs[g].scale = qScales[g];
+                    if (rowEncs[g].svIndex >= 0 &&
+                        rowEncs[g].svIndex < static_cast<int>(nc))
+                        ++hist[rowEncs[g].svIndex];
+                    decodeGroupInto(rowEncs[g], cfg,
+                                    result.dequant.group(r, g,
+                                                         groupSize));
+                    if (cfg.captureEncoding)
+                        result.encodings[r * ngroups + g] = rowEncs[g];
+                }
+            } else {
+                for (size_t g = 0; g < ngroups; ++g) {
+                    encodeGroupInto(w.group(r, g, groupSize), cfg, enc);
+                    if (enc.svIndex >= 0 &&
+                        enc.svIndex < static_cast<int>(nc))
+                        ++hist[enc.svIndex];
+                    decodeGroupInto(enc, cfg,
+                                    result.dequant.group(r, g,
+                                                         groupSize));
+                    if (cfg.captureEncoding)
+                        result.encodings[r * ngroups + g] = enc;
+                }
             }
-        }
+        };
+        parallelFor(rows, cfg.threads, quantizeRow);
+
+        result.stats.groups = rows * ngroups;
+        for (size_t r = 0; r < rows; ++r)
+            for (size_t c = 0; c < nc; ++c)
+                result.stats.svHistogram[c] += rowHist[r * nc + c];
     }
 
+    // Error statistics in one flat row-major pass — the element order
+    // (and therefore the floating-point accumulation) matches the
+    // serial group-by-group accumulation exactly.
+    double errSum = 0.0, refSum = 0.0;
+    const auto src = w.flat();
+    const auto deq = result.dequant.flat();
+    for (size_t i = 0; i < src.size(); ++i) {
+        const double d = static_cast<double>(src[i]) - deq[i];
+        errSum += d * d;
+        refSum += static_cast<double>(src[i]) * src[i];
+    }
     const size_t n = w.size();
     result.stats.mse = n ? errSum / static_cast<double>(n) : 0.0;
     result.stats.nmse = refSum > 0.0 ? errSum / refSum : 0.0;

@@ -44,8 +44,21 @@ struct QuantConfig
     /** Capture per-group encodings for hardware-model consumption. */
     bool captureEncoding = false;
 
-    /** Max outliers per group the OliVe path may protect. */
+    /**
+     * Hard cap on outliers per quantization extent for the OliVe path.
+     * The search budget defaults to a ~6% fraction of the extent
+     * (extent/16, the OliVe paper's outlier rate), but never exceeds
+     * this cap — long per-channel extents hit the cap rather than
+     * silently growing the budget.
+     */
     int oliveMaxOutliers = 8;
+
+    /**
+     * Worker threads for quantizeMatrix row sharding: 0 uses all
+     * hardware threads (the shared pool), 1 runs serial.  Results are
+     * bit-identical for every thread count.
+     */
+    int threads = 0;
 };
 
 /**
@@ -91,9 +104,22 @@ QuantizedTensor quantizeMatrix(const Matrix &w, const QuantConfig &cfg);
  */
 EncodedGroup encodeGroup(std::span<const float> w, const QuantConfig &cfg);
 
+/**
+ * Allocation-free variant: encodes into @p out, reusing its buffers.
+ * After the first call on a given EncodedGroup no heap traffic occurs
+ * (capacity is retained across calls).  This is the hot-path entry the
+ * matrix quantizer drives once per group.
+ */
+void encodeGroupInto(std::span<const float> w, const QuantConfig &cfg,
+                     EncodedGroup &out);
+
 /** Dequantize an encoded group back to real values. */
 std::vector<float> decodeGroup(const EncodedGroup &enc,
                                const QuantConfig &cfg);
+
+/** Allocation-free decode into @p out (same length as the group). */
+void decodeGroupInto(const EncodedGroup &enc, const QuantConfig &cfg,
+                     std::span<float> out);
 
 /**
  * Quantize one value against an already-chosen group encoding (scale /

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Tests for the hot-path machinery: TermTable equivalence with the
+ * per-weight recoding over every representable value of every datatype,
+ * bit-identity of parallel vs. serial quantizeMatrix, fused-MSE
+ * candidate selection vs. the reference per-candidate MSE, the
+ * WorkerPool, the midpoint-table Grid::nearest, the OliVe outlier cap,
+ * and the lanes > 8 PE scratch regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "bitserial/term_table.hh"
+#include "bitserial/termgen.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "pe/bitmod_pe.hh"
+#include "quant/dtype.hh"
+#include "quant/quantizer.hh"
+#include "tensor/generator.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+void
+expectTermsEqual(std::span<const BitSerialTerm> a,
+                 const std::vector<BitSerialTerm> &b,
+                 const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (size_t t = 0; t < a.size(); ++t) {
+        EXPECT_EQ(a[t].sign, b[t].sign) << what << " term " << t;
+        EXPECT_EQ(a[t].exp, b[t].exp) << what << " term " << t;
+        EXPECT_EQ(a[t].man, b[t].man) << what << " term " << t;
+        EXPECT_EQ(a[t].bsig, b[t].bsig) << what << " term " << t;
+    }
+}
+
+/** termsForWeight null-padded to the fixed per-weight budget. */
+std::vector<BitSerialTerm>
+paddedReferenceTerms(double qvalue, const Dtype &dt)
+{
+    auto terms = termsForWeight(qvalue, dt);
+    const int tpw = termsPerWeight(dt);
+    while (static_cast<int>(terms.size()) < tpw)
+        terms.push_back(BitSerialTerm{});
+    return terms;
+}
+
+// ------------------------------------------------------------ TermTable
+
+TEST(TermTable, MatchesBoothRecodingForAllIntValues)
+{
+    for (const Dtype &dt :
+         {dtypes::intSym(3), dtypes::intSym(4), dtypes::intSym(5),
+          dtypes::intSym(6), dtypes::intSym(8), dtypes::olive(4)}) {
+        const TermTable &table = TermTable::forDtype(dt);
+        EXPECT_EQ(table.termsPerWeight(), termsPerWeight(dt)) << dt.name;
+        // Exhaustive: every value the quantizer can emit.
+        const int qmax = (1 << (dt.bits - 1)) - 1;
+        for (int v = -qmax; v <= qmax; ++v) {
+            ASSERT_TRUE(table.representable(v)) << dt.name << " " << v;
+            expectTermsEqual(table.terms(v),
+                             paddedReferenceTerms(v, dt),
+                             dt.name + std::string(" value ") +
+                                 std::to_string(v));
+        }
+    }
+}
+
+TEST(TermTable, MatchesBoothRecodingForAsymDifferences)
+{
+    for (const Dtype &dt : {dtypes::intAsym(3), dtypes::intAsym(4)}) {
+        const TermTable &table = TermTable::forDtype(dt);
+        EXPECT_EQ(table.termsPerWeight(), termsPerWeight(dt)) << dt.name;
+        // The PE operand is q - z, spanning the full bits+1 domain.
+        const int span = (1 << dt.bits) - 1;
+        for (int v = -span; v <= span; ++v)
+            expectTermsEqual(table.terms(v),
+                             paddedReferenceTerms(v, dt),
+                             dt.name + std::string(" diff ") +
+                                 std::to_string(v));
+    }
+}
+
+TEST(TermTable, MatchesNafRecodingForAllGridValues)
+{
+    for (const Dtype &dt :
+         {dtypes::fp3(), dtypes::fp4(), dtypes::fp3Er(), dtypes::fp3Ea(),
+          dtypes::fp4Er(), dtypes::fp4Ea(), dtypes::bitmodFp3(),
+          dtypes::bitmodFp4(), dtypes::mxfp(4), dtypes::mxfp(3)}) {
+        const TermTable &table = TermTable::forDtype(dt);
+        EXPECT_EQ(table.termsPerWeight(), termsPerWeight(dt)) << dt.name;
+        std::vector<const Grid *> grids;
+        for (const auto &g : dt.candidates)
+            grids.push_back(&g);
+        if (dt.kind == DtypeKind::Mx)
+            grids.push_back(&dt.mxElementGrid);
+        for (const Grid *grid : grids) {
+            for (const double gv : grid->values()) {
+                ASSERT_TRUE(table.representable(gv))
+                    << dt.name << " " << gv;
+                expectTermsEqual(table.terms(gv),
+                                 paddedReferenceTerms(gv, dt),
+                                 dt.name + std::string(" grid value ") +
+                                     std::to_string(gv));
+            }
+        }
+    }
+}
+
+TEST(TermTable, TermValuesRecomposeTheQuantizedValue)
+{
+    const TermTable &table = TermTable::forFixedPoint();
+    for (size_t i = 0; i < table.entries(); ++i) {
+        const double v = table.entryValue(i);
+        if (!table.representable(v))
+            continue;
+        double sum = 0.0;
+        for (const double tv : table.termValues(v))
+            sum += tv;
+        EXPECT_DOUBLE_EQ(sum, v);
+    }
+}
+
+TEST(TermTable, RejectsUnrepresentableValues)
+{
+    const TermTable &fx = TermTable::forFixedPoint();
+    EXPECT_FALSE(fx.representable(40.0));   // out of range
+    EXPECT_FALSE(fx.representable(0.3));    // not a half step
+    EXPECT_FALSE(fx.representable(10.5));   // 3 NAF digits
+    EXPECT_TRUE(fx.representable(7.0));     // 8 - 1
+    EXPECT_DEATH(fx.terms(10.5), "more terms");
+    const TermTable &i4 = TermTable::forIntWidth(4);
+    EXPECT_FALSE(i4.representable(9.0));
+    EXPECT_DEATH(i4.terms(9.0), "outside");
+}
+
+// ----------------------------------------------------- Grid::nearest
+
+TEST(GridMidpoints, NearestMatchesBruteForce)
+{
+    Rng rng(401);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<double> vals;
+        const int nvals = 2 + static_cast<int>(rng.uniform(0, 15));
+        for (int i = 0; i < nvals; ++i)
+            vals.push_back(std::round(rng.uniform(-40, 40)) * 0.5);
+        const Grid g(vals);
+        for (int i = 0; i < 200; ++i) {
+            const double x = rng.uniform(-25, 25);
+            // Brute force argmin with ties toward the smaller value.
+            size_t best = 0;
+            for (size_t k = 1; k < g.size(); ++k)
+                if (std::fabs(x - g.values()[k]) <
+                    std::fabs(x - g.values()[best]))
+                    best = k;
+            EXPECT_EQ(g.nearestIndex(x), best)
+                << "x=" << x << " grid=" << g.describe();
+        }
+    }
+}
+
+// ------------------------------------------------- parallel quantize
+
+void
+expectTensorsIdentical(const QuantizedTensor &a, const QuantizedTensor &b,
+                       const std::string &what)
+{
+    ASSERT_EQ(a.dequant.size(), b.dequant.size()) << what;
+    EXPECT_EQ(std::memcmp(a.dequant.data(), b.dequant.data(),
+                          a.dequant.size() * sizeof(float)),
+              0)
+        << what << ": dequant differs";
+    EXPECT_EQ(a.stats.mse, b.stats.mse) << what;
+    EXPECT_EQ(a.stats.nmse, b.stats.nmse) << what;
+    EXPECT_EQ(a.stats.groups, b.stats.groups) << what;
+    EXPECT_EQ(a.stats.svHistogram, b.stats.svHistogram) << what;
+    ASSERT_EQ(a.encodings.size(), b.encodings.size()) << what;
+    for (size_t i = 0; i < a.encodings.size(); ++i) {
+        EXPECT_EQ(a.encodings[i].qvalues, b.encodings[i].qvalues)
+            << what << " group " << i;
+        EXPECT_EQ(a.encodings[i].scale, b.encodings[i].scale)
+            << what << " group " << i;
+        EXPECT_EQ(a.encodings[i].zeroPoint, b.encodings[i].zeroPoint)
+            << what << " group " << i;
+        EXPECT_EQ(a.encodings[i].svIndex, b.encodings[i].svIndex)
+            << what << " group " << i;
+    }
+}
+
+TEST(ParallelQuantize, BitIdenticalToSerialAcrossConfigs)
+{
+    Rng rng(402);
+    WeightGenParams p;
+    const Matrix w = generateWeights(24, 512, p, rng);
+
+    std::vector<QuantConfig> configs;
+    {
+        QuantConfig c;
+        c.dtype = dtypes::bitmodFp4();
+        configs.push_back(c);
+        c.dtype = dtypes::intAsym(4);
+        configs.push_back(c);
+        c.dtype = dtypes::olive(4);
+        configs.push_back(c);
+        c.dtype = dtypes::bitmodFp3();
+        c.scaleBits = 8;  // two-pass second-level scale path
+        configs.push_back(c);
+        QuantConfig pc;
+        pc.dtype = dtypes::bitmodFp4();
+        pc.granularity = Granularity::PerChannel;
+        configs.push_back(pc);
+        QuantConfig mx;
+        mx.dtype = dtypes::mxfp(4);
+        configs.push_back(mx);
+    }
+    for (auto &cfg : configs) {
+        cfg.captureEncoding = true;
+        QuantConfig serial = cfg;
+        serial.threads = 1;
+        QuantConfig parallel = cfg;
+        parallel.threads = 4;
+        const auto rs = quantizeMatrix(w, serial);
+        const auto rp = quantizeMatrix(w, parallel);
+        expectTensorsIdentical(rs, rp, cfg.dtype.name);
+    }
+}
+
+// --------------------------------------------------------- fused MSE
+
+TEST(FusedMse, SelectionMatchesReferenceGroupMse)
+{
+    const Dtype dt = dtypes::bitmodFp4();
+    QuantConfig cfg;
+    cfg.dtype = dt;
+    Rng rng(403);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<float> w(64);
+        for (auto &x : w)
+            x = static_cast<float>(rng.gaussian(0.0, 0.02));
+        const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+
+        // Reference: per-candidate encode + dequantized temporary +
+        // groupMse, exactly as the seed Algorithm 1 did.
+        int bestC = -1;
+        double bestErr = std::numeric_limits<double>::infinity();
+        double bestEncErr = 0.0;
+        for (size_t c = 0; c < dt.candidates.size(); ++c) {
+            const Grid &grid = dt.candidates[c];
+            double lo = w[0], hi = w[0];
+            for (const float x : w) {
+                lo = std::min<double>(lo, x);
+                hi = std::max<double>(hi, x);
+            }
+            const double scale = grid.fitScale(lo, hi);
+            double err = 0.0;
+            for (const float x : w) {
+                const float q = scale == 0.0
+                                    ? 0.0f
+                                    : static_cast<float>(
+                                          grid.nearest(x / scale));
+                const float dq = static_cast<float>(q * scale);
+                const double d = static_cast<double>(x) - dq;
+                err += d * d;
+            }
+            err /= static_cast<double>(w.size());
+            if (err < bestErr) {
+                bestErr = err;
+                bestC = static_cast<int>(c);
+            }
+            if (static_cast<int>(c) == enc.svIndex)
+                bestEncErr = err;
+        }
+        ASSERT_EQ(enc.svIndex, bestC) << "trial " << trial;
+
+        // And the encoded group reproduces that reference MSE.
+        const auto deq = decodeGroup(enc, cfg);
+        double err = 0.0;
+        for (size_t i = 0; i < w.size(); ++i) {
+            const double d = static_cast<double>(w[i]) - deq[i];
+            err += d * d;
+        }
+        err /= static_cast<double>(w.size());
+        EXPECT_EQ(err, bestEncErr) << "trial " << trial;
+    }
+}
+
+TEST(EncodeGroupInto, ReusedBufferMatchesFreshEncode)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    Rng rng(404);
+    EncodedGroup reused;
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<float> w(128);
+        for (auto &x : w)
+            x = static_cast<float>(rng.gaussian(0.0, 0.02));
+        encodeGroupInto({w.data(), w.size()}, cfg, reused);
+        const auto fresh = encodeGroup({w.data(), w.size()}, cfg);
+        EXPECT_EQ(reused.qvalues, fresh.qvalues);
+        EXPECT_EQ(reused.scale, fresh.scale);
+        EXPECT_EQ(reused.svIndex, fresh.svIndex);
+    }
+}
+
+// -------------------------------------------------------- WorkerPool
+
+TEST(WorkerPool, CoversEveryIndexExactlyOnce)
+{
+    WorkerPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+    constexpr size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(WorkerPool, HandlesEmptyAndSingleAndRepeatedLoops)
+{
+    WorkerPool pool(3);
+    int calls = 0;
+    pool.parallelFor(0, [&](size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+    // Reuse across jobs must not deadlock or drop work.
+    for (int rep = 0; rep < 50; ++rep) {
+        std::atomic<int> sum{0};
+        pool.parallelFor(17, [&](size_t) { ++sum; });
+        ASSERT_EQ(sum.load(), 17);
+    }
+}
+
+TEST(ParallelForHelper, SerialAndPooledAgree)
+{
+    std::vector<int> a(100, 0), b(100, 0);
+    parallelFor(100, 1, [&](size_t i) { a[i] = static_cast<int>(i); });
+    parallelFor(100, 0, [&](size_t i) { b[i] = static_cast<int>(i); });
+    EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------ OliVe budget
+
+TEST(OliveBudget, HonorsMaxOutliersCap)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::olive(4);
+    cfg.oliveMaxOutliers = 2;
+    // Bulk values on exact INT4 steps of the expected normal scale
+    // (normMax 0.07 -> scale 0.01), outliers exactly on abfloat points
+    // (16/24/32/48/64/96 x scale) with zero pair-partners, so
+    // protecting all six is unambiguously MSE-optimal.
+    std::vector<float> w(128);
+    for (size_t i = 0; i < w.size(); ++i)
+        w[i] = (i % 2 == 0 ? 0.05f : -0.03f);
+    w[126] = 0.07f;
+    w[127] = -0.07f;
+    const float outliers[6] = {0.16f, 0.24f, 0.32f, 0.48f, 0.64f,
+                               0.96f};
+    for (size_t k = 0; k < 6; ++k) {
+        w[2 * k] = outliers[k];
+        w[2 * k + 1] = 0.0f;  // victim slot
+    }
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    const double qmax = 7.0;  // INT4 normal range
+    int protectedCount = 0;
+    for (const float q : enc.qvalues)
+        if (std::fabs(q) > qmax)
+            ++protectedCount;
+    EXPECT_LE(protectedCount, 2);
+
+    // With the default cap the fraction-based budget protects them all.
+    cfg.oliveMaxOutliers = 8;
+    const auto enc8 = encodeGroup({w.data(), w.size()}, cfg);
+    int protected8 = 0;
+    for (const float q : enc8.qvalues)
+        if (std::fabs(q) > qmax)
+            ++protected8;
+    EXPECT_EQ(protected8, 6);
+}
+
+// -------------------------------------------------- PE lane scratch
+
+TEST(PeLanes, WideAndOddLaneCountsMatchExactDot)
+{
+    // Regression for the seed's fixed laneExp[8] scratch: lanes > 8
+    // overflowed the stack.  The exact-mode result must not depend on
+    // the lane count, and hardware rounding must stay near it.
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intSym(8);
+    Rng rng(405);
+    std::vector<float> w(128);
+    for (auto &x : w)
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    std::vector<Float16> acts;
+    for (size_t i = 0; i < w.size(); ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian(0.0, 1.0)));
+    const std::span<const Float16> actSpan{acts.data(), acts.size()};
+
+    BitmodPe narrow;  // default 4 lanes
+    const double ref =
+        narrow.processGroupFp16Scale(enc, actSpan, cfg.dtype).value;
+    for (const int lanes : {5, 8, 16, 32}) {
+        PeConfig pc;
+        pc.lanes = lanes;
+        BitmodPe exactPe(pc);
+        EXPECT_EQ(
+            exactPe.processGroupFp16Scale(enc, actSpan, cfg.dtype).value,
+            ref)
+            << "lanes " << lanes;
+        pc.hwRounding = true;
+        BitmodPe hwPe(pc);
+        const double hw =
+            hwPe.processGroupFp16Scale(enc, actSpan, cfg.dtype).value;
+        EXPECT_NEAR(hw, ref, 1e-2 + 1e-2 * std::fabs(ref))
+            << "lanes " << lanes;
+    }
+}
+
+} // namespace
+} // namespace bitmod

@@ -14,8 +14,21 @@
 using namespace bitmod;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --functional: before the analytic tables, validate the batched
+    // bit-serial PE-column pipeline at a real model shape (full
+    // hidden-dim GEMV vs the dequantized reference).
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--functional") {
+            benchutil::functionalGemvCheck(
+                benchutil::allModels().front());
+        } else {
+            std::fprintf(stderr, "usage: %s [--functional]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
     TextTable t("Fig. 7 - speedup over the baseline FP16 accelerator");
     t.setHeader({"Task", "Model", "ANT", "OliVe", "BitMoD-LL(INT6)",
                  "BitMoD-LY(4b/3b)"});

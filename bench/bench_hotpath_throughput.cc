@@ -25,7 +25,7 @@
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
-#include "pe/bitmod_pe.hh"
+#include "pe/pe_column.hh"
 #include "quant/dtype.hh"
 #include "quant/quantizer.hh"
 #include "tensor/generator.hh"
@@ -145,7 +145,7 @@ refQuantizeMatrix(const Matrix &w, const QuantConfig &cfg)
 
 /** Seed exact-mode dot product: per-weight term vectors, per group. */
 double
-refDotExact(const EncodedGroup &enc, std::span<const Float16> acts,
+refDotExact(const EncodedGroupView &enc, std::span<const Float16> acts,
             const Dtype &dt)
 {
     const size_t n = enc.qvalues.size();
@@ -202,7 +202,7 @@ struct QuantResult
 };
 
 QuantResult
-benchQuantize(const Matrix &w, int iters)
+benchQuantize(const Matrix &w, int iters, int threads)
 {
     QuantConfig cfg;
     cfg.dtype = dtypes::bitmodFp4();
@@ -211,7 +211,7 @@ benchQuantize(const Matrix &w, int iters)
     QuantConfig serial = cfg;
     serial.threads = 1;
     QuantConfig parallel = cfg;
-    parallel.threads = 0;
+    parallel.threads = threads;
 
     const auto ref = refQuantizeMatrix(w, cfg);
     const auto fastSerial = quantizeMatrix(w, serial);
@@ -269,7 +269,8 @@ benchDot(const Matrix &w, const Dtype &dt, int iters, Rng &rng)
     BitmodPe pe;
     DotResult out;
     out.identical = true;
-    for (const auto &enc : q.encodings) {
+    for (size_t i = 0; i < q.encoded.size(); ++i) {
+        const EncodedGroupView enc = q.encoded.group(i);
         const double a = refDotExact(enc, actSpan, dt) * enc.scale;
         const double b =
             pe.processGroupFp16Scale(enc, actSpan, dt).value;
@@ -277,21 +278,105 @@ benchDot(const Matrix &w, const Dtype &dt, int iters, Rng &rng)
             out.identical = false;
     }
 
-    const double weights = static_cast<double>(q.encodings.size()) *
+    const double weights = static_cast<double>(q.encoded.size()) *
                            groupSize * iters;
     auto t0 = std::chrono::steady_clock::now();
     double sink = 0.0;
     for (int i = 0; i < iters; ++i)
-        for (const auto &enc : q.encodings)
-            sink += refDotExact(enc, actSpan, dt);
+        for (size_t g = 0; g < q.encoded.size(); ++g)
+            sink += refDotExact(q.encoded.group(g), actSpan, dt);
     out.refWps = weights / secondsSince(t0);
 
     t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < iters; ++i)
-        for (const auto &enc : q.encodings)
-            sink += pe.processGroupFp16Scale(enc, actSpan, dt).value;
+        for (size_t g = 0; g < q.encoded.size(); ++g)
+            sink += pe.processGroupFp16Scale(q.encoded.group(g),
+                                             actSpan, dt)
+                        .value;
     out.newWps = weights / secondsSince(t0);
     if (sink == 12345.678)  // defeat dead-code elimination
+        std::printf("%f\n", sink);
+    return out;
+}
+
+struct ColumnBatchResult
+{
+    double groupAtATimeWps = 0.0;
+    double batchedWps = 0.0;
+    bool identical = false;
+};
+
+/**
+ * PE-column batching: a full-channel GEMV simulated group-at-a-time
+ * (one processChannel walk per row) vs the batched strip walk that
+ * hoists the term-table and reuses each activation slice across the
+ * column.  Values and cycle counts must match bit for bit.
+ */
+ColumnBatchResult
+benchColumnBatch(const Matrix &w, const Dtype &dt, int iters, Rng &rng)
+{
+    QuantConfig cfg;
+    cfg.dtype = dt;
+    cfg.groupSize = 128;
+    cfg.scaleBits = 8;
+    cfg.captureEncoding = true;
+    const auto q = quantizeMatrix(w, cfg);
+
+    std::vector<Float16> acts;
+    acts.reserve(w.cols());
+    for (size_t i = 0; i < w.cols(); ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian(0.0, 1.0)));
+    const std::span<const Float16> actSpan{acts.data(), acts.size()};
+
+    PeColumn column;
+    const size_t rows = w.rows();
+    const size_t depth = static_cast<size_t>(column.pesPerColumn());
+
+    ColumnBatchResult out;
+    out.identical = true;
+    long long cyclesA = 0, cyclesB = 0;
+    {
+        std::vector<double> a(rows), b(rows);
+        for (size_t r = 0; r < rows; ++r) {
+            const auto res =
+                column.processChannel(q.encoded, r, actSpan, dt);
+            a[r] = res.value;
+            cyclesA += res.cycles;
+        }
+        for (size_t r0 = 0; r0 < rows; r0 += depth) {
+            const size_t n = std::min(depth, rows - r0);
+            const auto strip =
+                column.processStrip(q.encoded, r0, n, actSpan, dt);
+            for (size_t r = 0; r < n; ++r)
+                b[r0 + r] = strip.values[r];
+            cyclesB += strip.cycles;
+        }
+        for (size_t r = 0; r < rows; ++r)
+            if (a[r] != b[r])
+                out.identical = false;
+        if (cyclesA != cyclesB)
+            out.identical = false;
+    }
+
+    const double weights =
+        static_cast<double>(w.size()) * iters;
+    double sink = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        for (size_t r = 0; r < rows; ++r)
+            sink += column.processChannel(q.encoded, r, actSpan, dt)
+                        .value;
+    out.groupAtATimeWps = weights / secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        for (size_t r0 = 0; r0 < rows; r0 += depth) {
+            const size_t n = std::min(depth, rows - r0);
+            sink += column.processStrip(q.encoded, r0, n, actSpan, dt)
+                        .values[0];
+        }
+    out.batchedWps = weights / secondsSince(t0);
+    if (sink == 12345.678)
         std::printf("%f\n", sink);
     return out;
 }
@@ -299,7 +384,7 @@ benchDot(const Matrix &w, const Dtype &dt, int iters, Rng &rng)
 void
 writeJson(const std::string &path, size_t rows, size_t cols,
           int threads, const QuantResult &qr, const DotResult &fp4,
-          const DotResult &int8)
+          const DotResult &int8, const ColumnBatchResult &col)
 {
     FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -327,9 +412,16 @@ writeJson(const std::string &path, size_t rows, size_t cols,
     std::fprintf(f,
                  "  \"dot_int8\": {\"ref_wps\": %.0f, "
                  "\"new_wps\": %.0f, \"speedup\": %.2f, "
-                 "\"bit_identical\": %s}\n",
+                 "\"bit_identical\": %s},\n",
                  int8.refWps, int8.newWps, int8.newWps / int8.refWps,
                  int8.identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"pe_column_batch\": {\"group_wps\": %.0f, "
+                 "\"batched_wps\": %.0f, \"speedup\": %.2f, "
+                 "\"bit_identical\": %s}\n",
+                 col.groupAtATimeWps, col.batchedWps,
+                 col.batchedWps / col.groupAtATimeWps,
+                 col.identical ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
 }
@@ -341,6 +433,7 @@ main(int argc, char **argv)
 {
     size_t rows = 128, cols = 4096;
     int iters = 5;
+    int threadsOpt = 0;  // 0 = all hardware threads
     std::string out = "BENCH_hotpath.json";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -358,6 +451,8 @@ main(int argc, char **argv)
             cols = std::stoul(next());
         else if (arg == "--iters")
             iters = std::stoi(next());
+        else if (arg == "--threads")
+            threadsOpt = std::stoi(next());
         else if (arg == "--out")
             out = next();
         else if (arg == "--smoke") {
@@ -367,7 +462,7 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--rows N] [--cols N] [--iters N] "
-                         "[--out FILE] [--smoke]\n",
+                         "[--threads N] [--out FILE] [--smoke]\n",
                          argv[0]);
             return 1;
         }
@@ -376,11 +471,15 @@ main(int argc, char **argv)
     Rng rng(7);
     WeightGenParams p;
     const Matrix w = generateWeights(rows, cols, p, rng);
-    const int threads = WorkerPool::shared().threadCount();
+    const int threads = threadsOpt > 0
+                            ? threadsOpt
+                            : WorkerPool::shared().threadCount();
 
-    const auto qr = benchQuantize(w, iters);
+    const auto qr = benchQuantize(w, iters, threadsOpt);
     const auto dFp4 = benchDot(w, dtypes::bitmodFp4(), iters, rng);
     const auto dInt8 = benchDot(w, dtypes::intSym(8), iters, rng);
+    const auto col = benchColumnBatch(w, dtypes::bitmodFp4(),
+                                      std::max(1, iters / 2), rng);
 
     TextTable t("Hot-path throughput (weights/sec, " +
                 std::to_string(rows) + "x" + std::to_string(cols) +
@@ -407,12 +506,22 @@ main(int argc, char **argv)
               TextTable::num(dInt8.newWps, 0),
               TextTable::num(dInt8.newWps / dInt8.refWps, 2) + "x",
               dInt8.identical ? "yes" : "NO"});
+    t.addRow({"PeColumn GEMV batched strips",
+              TextTable::num(col.groupAtATimeWps, 0),
+              TextTable::num(col.batchedWps, 0),
+              TextTable::num(col.batchedWps / col.groupAtATimeWps, 2) +
+                  "x",
+              col.identical ? "yes" : "NO"});
     t.addNote("seed ref = pre-optimization code path (per-candidate "
-              "allocation, per-weight term recoding)");
+              "allocation, per-weight term recoding); PeColumn row = "
+              "group-at-a-time channel walk vs batched strip walk");
     t.print();
 
-    writeJson(out, rows, cols, threads, qr, dFp4, dInt8);
+    writeJson(out, rows, cols, threads, qr, dFp4, dInt8, col);
     std::printf("wrote %s\n", out.c_str());
 
-    return (qr.identical && dFp4.identical && dInt8.identical) ? 0 : 2;
+    return (qr.identical && dFp4.identical && dInt8.identical &&
+            col.identical)
+               ? 0
+               : 2;
 }

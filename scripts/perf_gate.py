@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate over BENCH_hotpath.json.
+
+Compares every weights-per-second field of the current bench output
+against the previous run's artifact and fails (exit 1) when any field
+regressed by more than the threshold.  The delta table is always
+printed, regression or not, so the trajectory is visible in every CI
+log.  A missing baseline (first run on a branch, expired artifact) is
+not an error: the gate prints a note and passes.
+
+Bit-identity flags are also enforced: a section reporting
+"bit_identical": false fails the gate regardless of throughput, since
+a fast-but-wrong path must never ride a green build.
+
+Usage:
+    perf_gate.py --prev PREV.json --curr CURR.json [--max-regression 10]
+    perf_gate.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+
+def wps_fields(doc):
+    """Yield (section.key, value) for every *_wps field, recursively."""
+    for section, body in sorted(doc.items()):
+        if isinstance(body, dict):
+            for key, value in sorted(body.items()):
+                if key.endswith("_wps") and isinstance(value, (int, float)):
+                    yield f"{section}.{key}", float(value)
+
+
+def bit_identity_failures(doc):
+    return [
+        section
+        for section, body in sorted(doc.items())
+        if isinstance(body, dict) and body.get("bit_identical") is False
+    ]
+
+
+def compare(prev, curr, max_regression_pct):
+    """Return (table_rows, regressions, removed).
+
+    Rows: (field, prev, curr, delta%).  A field present in the
+    baseline but missing from the current run lands in `removed` —
+    silently dropping a measurement must not pass the gate.
+    """
+    prev_fields = dict(wps_fields(prev)) if prev else {}
+    curr_fields = dict(wps_fields(curr))
+    rows, regressions = [], []
+    for field, curr_val in curr_fields.items():
+        prev_val = prev_fields.get(field)
+        if prev_val is None or prev_val <= 0:
+            rows.append((field, prev_val, curr_val, None))
+            continue
+        delta_pct = (curr_val - prev_val) / prev_val * 100.0
+        rows.append((field, prev_val, curr_val, delta_pct))
+        if delta_pct < -max_regression_pct:
+            regressions.append((field, delta_pct))
+    removed = sorted(set(prev_fields) - set(curr_fields))
+    return rows, regressions, removed
+
+
+def print_table(rows, removed):
+    print(f"{'field':<40} {'prev wps':>14} {'curr wps':>14} {'delta':>9}")
+    print("-" * 80)
+    for field, prev_val, curr_val, delta_pct in rows:
+        prev_s = f"{prev_val:,.0f}" if prev_val is not None else "(none)"
+        delta_s = f"{delta_pct:+.1f}%" if delta_pct is not None else "n/a"
+        print(f"{field:<40} {prev_s:>14} {curr_val:>14,.0f} {delta_s:>9}")
+    for field in removed:
+        print(f"{field:<40} {'(was set)':>14} {'(removed)':>14} {'!!':>9}")
+
+
+def run_gate(prev, curr, max_regression_pct):
+    """Gate logic on parsed documents; returns the process exit code."""
+    broken = bit_identity_failures(curr)
+    rows, regressions, removed = compare(prev, curr, max_regression_pct)
+    print_table(rows, removed)
+    if prev is None:
+        print("\nno previous BENCH_hotpath artifact: baseline recorded, "
+              "gate passes")
+    for field, delta_pct in regressions:
+        print(f"\nREGRESSION: {field} dropped {delta_pct:+.1f}% "
+              f"(limit -{max_regression_pct:.0f}%)")
+    for field in removed:
+        print(f"\nMISSING FIELD: {field} was in the baseline but is "
+              "not emitted by the current bench — the perf signal for "
+              "that path would silently vanish")
+    for section in broken:
+        print(f"\nBIT-IDENTITY FAILURE: section '{section}' reports "
+              "bit_identical: false")
+    if not (regressions or removed or broken):
+        print(f"\nperf gate passed (threshold -{max_regression_pct:.0f}%)")
+    return 1 if (regressions or removed or broken) else 0
+
+
+def self_test():
+    base = {
+        "quantize_adaptive": {"ref_wps": 1000.0, "serial_wps": 5000.0,
+                              "bit_identical": True},
+        "pe_column_batch": {"batched_wps": 9000.0, "bit_identical": True},
+    }
+
+    def variant(factor, identical=True):
+        doc = json.loads(json.dumps(base))
+        doc["pe_column_batch"]["batched_wps"] *= factor
+        doc["pe_column_batch"]["bit_identical"] = identical
+        return doc
+
+    dropped = json.loads(json.dumps(base))
+    del dropped["pe_column_batch"]
+
+    checks = [
+        ("identical run passes", run_gate(base, base, 10) == 0),
+        ("+30% passes", run_gate(base, variant(1.3), 10) == 0),
+        ("-5% within threshold passes", run_gate(base, variant(0.95), 10) == 0),
+        ("-20% regression fails", run_gate(base, variant(0.8), 10) == 1),
+        ("missing baseline passes", run_gate(None, variant(0.5), 10) == 0),
+        ("bit-identity false fails", run_gate(base, variant(1.0, False), 10) == 1),
+        ("dropped field fails", run_gate(base, dropped, 10) == 1),
+        ("new field passes", run_gate(dropped, base, 10) == 0),
+    ]
+    print("\n--- self-test results ---")
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"{'PASS' if ok else 'FAIL'}: {name}")
+    if failed:
+        sys.exit(1)
+    print("self-test OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--prev", help="previous run's BENCH_hotpath.json")
+    ap.add_argument("--curr", help="current run's BENCH_hotpath.json")
+    ap.add_argument("--max-regression", type=float, default=10.0,
+                    metavar="PCT", help="allowed wps drop in percent")
+    ap.add_argument("--self-test", action="store_true",
+                    help="exercise the gate logic on synthetic data")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+
+    if not args.curr:
+        ap.error("--curr is required (or use --self-test)")
+    with open(args.curr) as f:
+        curr = json.load(f)
+
+    prev = None
+    if args.prev:
+        try:
+            with open(args.prev) as f:
+                prev = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"note: previous artifact unreadable ({e}); "
+                  "treating as first run")
+
+    sys.exit(run_gate(prev, curr, args.max_regression))
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,15 @@ bitmodQuantize(const Matrix &weights, int bits, int group_size,
                           bitmodConfig(bits, group_size, threads));
 }
 
+QuantizedTensor
+bitmodQuantizeEncoded(const Matrix &weights, int bits, int group_size,
+                      int threads)
+{
+    QuantConfig cfg = bitmodConfig(bits, group_size, threads);
+    cfg.captureEncoding = true;
+    return quantizeMatrix(weights, cfg);
+}
+
 AccelConfig
 accelByName(const std::string &name)
 {

@@ -39,6 +39,17 @@ QuantizedTensor bitmodQuantize(const Matrix &weights, int bits,
 QuantConfig bitmodConfig(int bits, int group_size = 128,
                          int threads = 0);
 
+/**
+ * bitmodQuantize with encoding capture: the result carries the SoA
+ * EncodedMatrix pool (one contiguous qvalue buffer + per-group
+ * descriptors) that the hardware models stream — PeColumn strips, the
+ * packer, the bit-serial benches.  Same deployment configuration as
+ * bitmodQuantize.
+ */
+QuantizedTensor bitmodQuantizeEncoded(const Matrix &weights, int bits,
+                                      int group_size = 128,
+                                      int threads = 0);
+
 /** Result of a deployment simulation. */
 struct DeploymentSummary
 {

@@ -41,7 +41,12 @@ gptqQuantize(const Matrix &w, const Matrix &hessian,
 
     Matrix work = w;   // residual-updated weights
     Matrix out(k, d);  // dequantized result
-    std::vector<EncodedGroup> groupEnc(k);
+    // One frozen encoding per output row, kept in an SoA pool that is
+    // allocated once and re-encoded in place at every group boundary
+    // (the seed kept k separate EncodedGroups and re-allocated their
+    // qvalue vectors each boundary).
+    EncodedMatrix groupEnc;
+    groupEnc.reset(k, 1, groupSize);
 
     for (size_t j = 0; j < d; ++j) {
         // Freeze per-row group encodings (scale / zero-point / special
@@ -49,14 +54,15 @@ gptqQuantize(const Matrix &w, const Matrix &hessian,
         if (j % groupSize == 0) {
             const size_t g = j / groupSize;
             for (size_t r = 0; r < k; ++r)
-                groupEnc[r] =
-                    encodeGroup(work.group(r, g, groupSize), cfg);
+                encodeGroupInto(work.group(r, g, groupSize), cfg,
+                                groupEnc.slot(r), groupEnc.desc(r));
         }
 
         const double ujj = u(j, j);
         for (size_t r = 0; r < k; ++r) {
             const float wv = work(r, j);
-            const float qv = quantizeValueInGroup(wv, groupEnc[r], cfg);
+            const float qv =
+                quantizeValueInGroup(wv, groupEnc.group(r), cfg);
             out(r, j) = qv;
             // Error feedback: w[r, j+1..] -= e/U[j,j] * U[j, j+1..].
             const double e = (static_cast<double>(wv) - qv) / ujj;

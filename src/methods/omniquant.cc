@@ -12,17 +12,20 @@ namespace
 {
 
 /**
- * Quantize one group with the scale shrunk by @p gamma; values beyond
- * the clipped range saturate.  Returns the dequantized group and its
- * squared error.
+ * Quantize one group against the already-encoded full-range base with
+ * the scale shrunk by @p gamma; values beyond the clipped range
+ * saturate.  Returns the dequantized group and its squared error.
+ * The base encoding is gamma-independent, so the caller encodes once
+ * per group and sweeps gamma over a rescaled view.
  */
 double
 quantizeClipped(std::span<const float> w, const QuantConfig &cfg,
-                double gamma, std::span<float> out)
+                const EncodedGroupView &base, double gamma,
+                std::span<float> out)
 {
-    // Encode at full range, then shrink the scale: quantizeValueInGroup
-    // handles saturation against the grid/int range.
-    EncodedGroup enc = encodeGroup(w, cfg);
+    // Shrinking the scale of the full-range encoding clips the range:
+    // quantizeValueInGroup saturates against the grid/int limits.
+    EncodedGroupView enc = base;
     enc.scale *= gamma;
     double err = 0.0;
     for (size_t i = 0; i < w.size(); ++i) {
@@ -63,18 +66,21 @@ omniquantQuantize(const Matrix &w, const QuantConfig &cfg,
 
     Matrix out(w.rows(), w.cols());
     std::vector<float> trial(groupSize);
+    EncodedGroup base;  // reused full-range encoding, one per group
     const size_t ngroups = w.cols() / groupSize;
     for (size_t r = 0; r < w.rows(); ++r) {
         for (size_t g = 0; g < ngroups; ++g) {
             const auto src = w.group(r, g, groupSize);
             auto dst = out.group(r, g, groupSize);
+            encodeGroupInto(src, cfg, base);
             double bestErr = std::numeric_limits<double>::infinity();
             for (int s = 0; s <= ocfg.gammaSteps; ++s) {
                 const double gamma =
                     ocfg.gammaMin +
                     (1.0 - ocfg.gammaMin) * s / ocfg.gammaSteps;
                 const double err = quantizeClipped(
-                    src, cfg, gamma, {trial.data(), trial.size()});
+                    src, cfg, base, gamma,
+                    {trial.data(), trial.size()});
                 if (err < bestErr) {
                     bestErr = err;
                     std::copy(trial.begin(), trial.end(), dst.begin());

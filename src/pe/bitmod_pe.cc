@@ -70,8 +70,9 @@ BitmodPe::throughputMacsPerCycle(const Dtype &dt) const
 }
 
 double
-BitmodPe::dotProduct(const EncodedGroup &enc,
-                     std::span<const Float16> acts, const Dtype &dt) const
+BitmodPe::dotProduct(const EncodedGroupView &enc,
+                     std::span<const Float16> acts, const Dtype &dt,
+                     const TermTable &table) const
 {
     const size_t n = enc.qvalues.size();
     BITMOD_ASSERT(acts.size() == n, "activation count ", acts.size(),
@@ -81,8 +82,8 @@ BitmodPe::dotProduct(const EncodedGroup &enc,
 
     // Weight terms come from the precomputed table: one indexed lookup
     // per weight instead of re-running the Booth / NAF recoding (the
-    // seed code heap-allocated two vectors per weight here).
-    const TermTable &table = TermTable::forDtype(dt);
+    // seed code heap-allocated two vectors per weight here).  Batched
+    // callers resolve the table once per strip and pass it in.
     const int tpw = table.termsPerWeight();
     const bool asym = dt.kind == DtypeKind::IntAsym;
 
@@ -159,14 +160,24 @@ BitmodPe::dotProduct(const EncodedGroup &enc,
 }
 
 PeGroupResult
-BitmodPe::processGroup(const EncodedGroup &enc,
+BitmodPe::processGroup(const EncodedGroupView &enc,
                        std::span<const Float16> acts, const Dtype &dt,
                        int scale_int, double scale_base,
                        int scale_bits) const
 {
+    return processGroup(enc, acts, dt, TermTable::forDtype(dt),
+                        scale_int, scale_base, scale_bits);
+}
+
+PeGroupResult
+BitmodPe::processGroup(const EncodedGroupView &enc,
+                       std::span<const Float16> acts, const Dtype &dt,
+                       const TermTable &table, int scale_int,
+                       double scale_base, int scale_bits) const
+{
     PeGroupResult result;
     result.dotCycles = dotCycles(enc.qvalues.size(), dt);
-    const double partial = dotProduct(enc, acts, dt);
+    const double partial = dotProduct(enc, acts, dt, table);
     const double scaled =
         bitSerialDequant(partial, scale_int, scale_bits,
                          &result.dequantCycles);
@@ -176,14 +187,15 @@ BitmodPe::processGroup(const EncodedGroup &enc,
 }
 
 PeGroupResult
-BitmodPe::processGroupFp16Scale(const EncodedGroup &enc,
+BitmodPe::processGroupFp16Scale(const EncodedGroupView &enc,
                                 std::span<const Float16> acts,
                                 const Dtype &dt) const
 {
     PeGroupResult result;
     result.dotCycles = dotCycles(enc.qvalues.size(), dt);
     result.dequantCycles = 1;  // single FP multiply
-    result.value = dotProduct(enc, acts, dt) * enc.scale;
+    result.value =
+        dotProduct(enc, acts, dt, TermTable::forDtype(dt)) * enc.scale;
     result.wouldStall = false;
     return result;
 }

@@ -30,6 +30,8 @@
 namespace bitmod
 {
 
+class TermTable;
+
 /** PE configuration. */
 struct PeConfig
 {
@@ -66,7 +68,8 @@ class BitmodPe
     /**
      * Process one encoded weight group against FP16 activations.
      *
-     * @param enc        group encoding (pre-scale values + scale)
+     * @param enc        group encoding view (pool slot or stand-alone
+     *                   EncodedGroup, which converts implicitly)
      * @param acts       activations, same length as the group
      * @param dt         the weight datatype (fixes terms per weight)
      * @param scale_int  integer part of the second-level-quantized
@@ -75,17 +78,29 @@ class BitmodPe
      *                   group scale is scale_int * scale_base
      * @param scale_bits bit-serial dequantization width (8 in BitMoD)
      */
-    PeGroupResult processGroup(const EncodedGroup &enc,
+    PeGroupResult processGroup(const EncodedGroupView &enc,
                                std::span<const Float16> acts,
                                const Dtype &dt, int scale_int,
                                double scale_base,
                                int scale_bits = 8) const;
 
     /**
+     * Batched-caller variant: @p table must be TermTable::forDtype(dt).
+     * The PE column resolves the table once per strip of groups and
+     * passes it down, keeping the shared-registry lookup out of the
+     * per-group loop.
+     */
+    PeGroupResult processGroup(const EncodedGroupView &enc,
+                               std::span<const Float16> acts,
+                               const Dtype &dt, const TermTable &table,
+                               int scale_int, double scale_base,
+                               int scale_bits = 8) const;
+
+    /**
      * Convenience wrapper when the scale stays in FP16 (no second
      * level): dequantization is a single FP multiply.
      */
-    PeGroupResult processGroupFp16Scale(const EncodedGroup &enc,
+    PeGroupResult processGroupFp16Scale(const EncodedGroupView &enc,
                                         std::span<const Float16> acts,
                                         const Dtype &dt) const;
 
@@ -96,9 +111,9 @@ class BitmodPe
     double throughputMacsPerCycle(const Dtype &dt) const;
 
   private:
-    double dotProduct(const EncodedGroup &enc,
-                      std::span<const Float16> acts,
-                      const Dtype &dt) const;
+    double dotProduct(const EncodedGroupView &enc,
+                      std::span<const Float16> acts, const Dtype &dt,
+                      const TermTable &table) const;
 
     PeConfig cfg_;
 

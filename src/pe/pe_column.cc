@@ -1,53 +1,108 @@
 #include "pe/pe_column.hh"
 
+#include "bitserial/term_table.hh"
 #include "common/logging.hh"
 #include "quant/quantizer.hh"
 
 namespace bitmod
 {
 
-ColumnResult
-PeColumn::processChannel(std::span<const EncodedGroup> groups,
-                         std::span<const Float16> acts, const Dtype &dt,
-                         size_t group_size, int scale_bits) const
+PeGroupResult
+PeColumn::processOneGroup(const EncodedGroupView &g,
+                          std::span<const Float16> acts, const Dtype &dt,
+                          const TermTable &table, int scale_bits) const
 {
-    BITMOD_ASSERT(groups.size() * group_size == acts.size(),
-                  "activation length ", acts.size(),
-                  " does not match ", groups.size(), " groups of ",
-                  group_size);
-
-    ColumnResult result;
-    int lastDrainCycle = -1;
-    for (size_t g = 0; g < groups.size(); ++g) {
-        // The group scale is already second-level-quantized upstream;
-        // run the dequant unit against its 8-bit code with a unit base
-        // by splitting the scale (scale = code * base).
-        const double scale = groups[g].scale;
-        int code = 255;
-        double base = scale / code;
-        if (scale == 0.0) {
-            code = 0;
-            base = 0.0;
-        }
-        const auto r = pe_.processGroup(
-            groups[g], acts.subspan(g * group_size, group_size), dt,
-            code, base, scale_bits);
-        result.value += r.value;
-        result.cycles += r.dotCycles;
-
-        // Drain check: the shared accumulator accepts one group
-        // partial sum per hand-off; with pesPerColumn_ PEs staggered
-        // over a group's dot cycles, two drains collide only if the
-        // group is shorter than the column is deep.
-        const int drainCycle = result.cycles;
-        if (drainCycle == lastDrainCycle)
-            result.accumulatorContention = true;
-        lastDrainCycle = drainCycle;
-        ++result.drainEvents;
-        if (r.dotCycles < pesPerColumn_)
-            result.accumulatorContention = true;
+    // The group scale is already second-level-quantized upstream; run
+    // the dequant unit against its 8-bit code with a unit base by
+    // splitting the scale (scale = code * base).
+    const double scale = g.scale;
+    int code = 255;
+    double base = scale / code;
+    if (scale == 0.0) {
+        code = 0;
+        base = 0.0;
     }
+    return pe_.processGroup(g, acts, dt, table, code, base, scale_bits);
+}
+
+ColumnResult
+PeColumn::processChannel(const EncodedMatrix &enc, size_t row,
+                         std::span<const Float16> acts, const Dtype &dt,
+                         int scale_bits) const
+{
+    // A channel is a strip of one row: both walks share the same
+    // accumulator bookkeeping by construction, so they cannot drift.
+    const auto strip = processStrip(enc, row, 1, acts, dt, scale_bits);
+    ColumnResult result;
+    result.value = strip.values[0];
+    result.cycles = static_cast<int>(strip.cycles);
+    result.drainEvents = strip.drainEvents;
+    result.accumulatorContention = strip.accumulatorContention;
     return result;
+}
+
+StripResult
+PeColumn::processStrip(const EncodedMatrix &enc, size_t row_begin,
+                       size_t row_count, std::span<const Float16> acts,
+                       const Dtype &dt, int scale_bits) const
+{
+    BITMOD_ASSERT(row_begin + row_count <= enc.rows(), "strip [",
+                  row_begin, ", ", row_begin + row_count,
+                  ") out of ", enc.rows(), " rows");
+    const size_t ngroups = enc.groupsPerRow();
+
+    StripResult strip;
+    strip.values.assign(row_count, 0.0);
+
+    // Per-row running state so the drain/contention bookkeeping is
+    // exactly what row_count independent processChannel walks produce.
+    std::vector<int> rowCycles(row_count, 0);
+    std::vector<int> lastDrain(row_count, -1);
+
+    // Resolve the shared term table once for the whole strip instead
+    // of once per group: the registry lookup (an atomic load at best)
+    // leaves the inner loop entirely.
+    const TermTable &table = TermTable::forDtype(dt);
+
+    // Groups outermost: every PE down the column consumes the same
+    // activation slice while it is cache-hot, mirroring the hardware's
+    // activation broadcast along rows.
+    size_t actOff = 0;
+    for (size_t g = 0; g < ngroups; ++g) {
+        const size_t len = enc.desc(row_begin * ngroups + g).len;
+        BITMOD_ASSERT(actOff + len <= acts.size(),
+                      "activation length ", acts.size(),
+                      " shorter than the strip's group extent");
+        const auto actSlice = acts.subspan(actOff, len);
+        actOff += len;
+        for (size_t r = 0; r < row_count; ++r) {
+            const size_t idx = (row_begin + r) * ngroups + g;
+            BITMOD_ASSERT(enc.desc(idx).len == len,
+                          "strip rows disagree on group ", g,
+                          " length");
+            const auto res = processOneGroup(enc.group(idx), actSlice,
+                                             dt, table, scale_bits);
+            strip.values[r] += res.value;
+            rowCycles[r] += res.dotCycles;
+            strip.cycles += res.dotCycles;
+
+            // Drain check: the shared accumulator accepts one group
+            // partial sum per hand-off; with pesPerColumn_ PEs
+            // staggered over a group's dot cycles, two drains collide
+            // only if the group is shorter than the column is deep.
+            const int drainCycle = rowCycles[r];
+            if (drainCycle == lastDrain[r])
+                strip.accumulatorContention = true;
+            lastDrain[r] = drainCycle;
+            ++strip.drainEvents;
+            if (res.dotCycles < pesPerColumn_)
+                strip.accumulatorContention = true;
+        }
+    }
+    BITMOD_ASSERT(actOff == acts.size(), "activation length ",
+                  acts.size(), " does not match the strip's group "
+                  "extent ", actOff);
+    return strip;
 }
 
 std::vector<double>
@@ -60,22 +115,15 @@ tileGemv(const Matrix &weights, const QuantConfig &cfg,
     capture.captureEncoding = true;
     const auto q = quantizeMatrix(weights, capture);
 
-    const size_t groupSize =
-        cfg.granularity == Granularity::PerGroup
-            ? static_cast<size_t>(
-                  cfg.dtype.kind == DtypeKind::Mx ? 32 : cfg.groupSize)
-            : weights.cols();
-    const size_t groupsPerRow = weights.cols() / groupSize;
-
     PeColumn column;
+    const size_t depth = static_cast<size_t>(column.pesPerColumn());
     std::vector<double> out(weights.rows());
-    for (size_t r = 0; r < weights.rows(); ++r) {
-        const std::span<const EncodedGroup> rowGroups(
-            q.encodings.data() + r * groupsPerRow, groupsPerRow);
-        out[r] = column
-                     .processChannel(rowGroups, acts, cfg.dtype,
-                                     groupSize)
-                     .value;
+    for (size_t r0 = 0; r0 < weights.rows(); r0 += depth) {
+        const size_t n = std::min(depth, weights.rows() - r0);
+        const auto strip = column.processStrip(q.encoded, r0, n, acts,
+                                               cfg.dtype);
+        for (size_t r = 0; r < n; ++r)
+            out[r0 + r] = strip.values[r];
     }
     return out;
 }

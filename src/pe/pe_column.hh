@@ -5,6 +5,14 @@
  * is broadcast down the column, inputs are broadcast along rows, and
  * the column drains group partial sums through the shared accumulator
  * — which never stalls because a group occupies a PE for many cycles.
+ *
+ * Channels stream from the SoA EncodedMatrix pool.  Two entry points:
+ * processChannel walks one row's groups one at a time (the original
+ * simulation loop); processStrip batches a strip of rows per call —
+ * the term table is resolved once, the group loop runs outermost so
+ * every PE in the column consumes the same activation slice while it
+ * is hot, and per-row accumulation order matches the group-at-a-time
+ * path bit for bit.
  */
 
 #ifndef BITMOD_PE_PE_COLUMN_HH
@@ -27,9 +35,18 @@ struct ColumnResult
     bool accumulatorContention = false;  //!< two drains same cycle?
 };
 
+/** Result of a batched strip of channels through one column set. */
+struct StripResult
+{
+    std::vector<double> values;  //!< one output per row in the strip
+    long long cycles = 0;        //!< dot cycles summed over the strip
+    int drainEvents = 0;         //!< total accumulator hand-offs
+    bool accumulatorContention = false;  //!< any row collided?
+};
+
 /**
- * One PE column computing a full output-channel dot product: the
- * channel's weights arrive as per-group encodings; each group is
+ * One PE column computing full output-channel dot products: a
+ * channel's weights arrive as a row of pool groups; each group is
  * processed by a PE, bit-serial-dequantized, and accumulated into the
  * shared column accumulator.
  */
@@ -41,31 +58,56 @@ class PeColumn
     {
     }
 
+    int pesPerColumn() const { return pesPerColumn_; }
+
     /**
-     * Process a channel of `groups.size()` encoded groups against
-     * matching activation slices.
+     * Process row @p row of the encoded pool against the matching
+     * activation vector, group at a time.  Group sizes come from the
+     * pool descriptors (ragged rows are fine); the descriptor lengths
+     * must sum to @p acts.size().
      *
-     * @param groups      per-group encodings (from quantizeMatrix with
+     * @param enc         SoA pool (from quantizeMatrix with
      *                    captureEncoding)
+     * @param row         which output channel to process
      * @param acts        the full activation vector (channel length)
      * @param dt          weight datatype
-     * @param group_size  elements per group
      * @param scale_bits  bit-serial dequantization width
      */
-    ColumnResult processChannel(std::span<const EncodedGroup> groups,
+    ColumnResult processChannel(const EncodedMatrix &enc, size_t row,
                                 std::span<const Float16> acts,
-                                const Dtype &dt, size_t group_size,
+                                const Dtype &dt,
                                 int scale_bits = 8) const;
 
+    /**
+     * Batched: process rows [row_begin, row_begin + row_count) of a
+     * uniform pool against one shared activation vector.  Per-row
+     * values and cycle counts are bit-identical to row_count
+     * processChannel calls; the batching only changes the walk order
+     * (groups outermost) and hoists the per-group term-table and
+     * scale-split work.
+     */
+    StripResult processStrip(const EncodedMatrix &enc, size_t row_begin,
+                             size_t row_count,
+                             std::span<const Float16> acts,
+                             const Dtype &dt, int scale_bits = 8) const;
+
   private:
+    /** Scale split + PE dispatch shared by both walk orders. */
+    PeGroupResult processOneGroup(const EncodedGroupView &g,
+                                  std::span<const Float16> acts,
+                                  const Dtype &dt,
+                                  const TermTable &table,
+                                  int scale_bits) const;
+
     BitmodPe pe_;
     int pesPerColumn_;
 };
 
 /**
  * Functional check of a whole tile column set: dequantized GEMV
- * y = W_q x computed entirely through the bit-serial pipeline.
- * Returns one output per weight row.
+ * y = W_q x computed entirely through the bit-serial pipeline, one
+ * column-depth strip of rows at a time.  Returns one output per
+ * weight row.
  */
 std::vector<double> tileGemv(const Matrix &weights,
                              const QuantConfig &cfg,

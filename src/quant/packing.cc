@@ -55,7 +55,7 @@ GroupPacker::GroupPacker(const QuantConfig &cfg) : cfg_(cfg)
 }
 
 uint32_t
-GroupPacker::codeOf(float qvalue, const EncodedGroup &enc) const
+GroupPacker::codeOf(float qvalue, const EncodedGroupView &enc) const
 {
     switch (cfg_.dtype.kind) {
       case DtypeKind::IntSym:
@@ -111,7 +111,7 @@ GroupPacker::valueOf(uint32_t code, int sv_index) const
 }
 
 PackedGroup
-GroupPacker::pack(const EncodedGroup &enc, int scale_code) const
+GroupPacker::pack(const EncodedGroupView &enc, int scale_code) const
 {
     BITMOD_ASSERT(scale_code >= 0 && scale_code < 256,
                   "scale code must fit 8 bits");

@@ -40,8 +40,12 @@ class GroupPacker
   public:
     explicit GroupPacker(const QuantConfig &cfg);
 
-    /** Pack one encoded group (with its INT8 scale code). */
-    PackedGroup pack(const EncodedGroup &enc, int scale_code) const;
+    /**
+     * Pack one encoded group (with its INT8 scale code).  Takes a
+     * view, so both stand-alone EncodedGroups and EncodedMatrix pool
+     * slots serialize without a copy.
+     */
+    PackedGroup pack(const EncodedGroupView &enc, int scale_code) const;
 
     /** Unpack back to an EncodedGroup; @p scale_base rebuilds scale. */
     EncodedGroup unpack(const PackedGroup &packed, size_t group_size,
@@ -55,7 +59,7 @@ class GroupPacker
 
   private:
     /** Map a qvalue to its unsigned storage code. */
-    uint32_t codeOf(float qvalue, const EncodedGroup &enc) const;
+    uint32_t codeOf(float qvalue, const EncodedGroupView &enc) const;
     /** Map a storage code back to the qvalue. */
     float valueOf(uint32_t code, int sv_index) const;
 

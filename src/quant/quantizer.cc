@@ -86,38 +86,44 @@ extremes(std::span<const float> w)
     return {lo, hi};
 }
 
-/** Reset @p enc to n zero qvalues, reusing its buffer capacity. */
+/**
+ * Reset a pool slot: zero the qvalue span and the encoder-owned
+ * descriptor fields (offset/len belong to the pool layout and are
+ * never touched here).
+ */
 void
-resetGroup(EncodedGroup &enc, size_t n)
+resetSlot(std::span<float> q, GroupDesc &meta)
 {
-    enc.qvalues.assign(n, 0.0f);
-    enc.scale = 0.0;
-    enc.zeroPoint = 0.0;
-    enc.svIndex = -1;
+    std::fill(q.begin(), q.end(), 0.0f);
+    meta.scale = 0.0;
+    meta.zeroPoint = 0.0;
+    meta.svIndex = -1;
 }
 
 void
-encodeIntSym(std::span<const float> w, int bits, EncodedGroup &enc)
+encodeIntSym(std::span<const float> w, int bits, std::span<float> q,
+             GroupDesc &meta)
 {
-    resetGroup(enc, w.size());
+    resetSlot(q, meta);
     const double qmax = (1 << (bits - 1)) - 1;
     double absMax = 0.0;
     for (const float x : w)
         absMax = std::max<double>(absMax, std::fabs(x));
     if (absMax == 0.0)
         return;
-    enc.scale = absMax / qmax;
+    meta.scale = absMax / qmax;
     for (size_t i = 0; i < w.size(); ++i) {
-        double q = std::nearbyint(w[i] / enc.scale);
-        q = std::clamp(q, -qmax, qmax);
-        enc.qvalues[i] = static_cast<float>(q);
+        double v = std::nearbyint(w[i] / meta.scale);
+        v = std::clamp(v, -qmax, qmax);
+        q[i] = static_cast<float>(v);
     }
 }
 
 void
-encodeIntAsym(std::span<const float> w, int bits, EncodedGroup &enc)
+encodeIntAsym(std::span<const float> w, int bits, std::span<float> q,
+              GroupDesc &meta)
 {
-    resetGroup(enc, w.size());
+    resetSlot(q, meta);
     auto [lo, hi] = extremes(w);
     // Always include zero in the representable range, the standard
     // asymmetric-quantization convention (Eq. 2 assumes min <= 0).
@@ -127,28 +133,28 @@ encodeIntAsym(std::span<const float> w, int bits, EncodedGroup &enc)
     const double qmax = (1 << bits) - 1;
     if (range == 0.0)
         return;
-    enc.scale = range / qmax;
-    enc.zeroPoint = std::nearbyint(-lo / enc.scale);
+    meta.scale = range / qmax;
+    meta.zeroPoint = std::nearbyint(-lo / meta.scale);
     for (size_t i = 0; i < w.size(); ++i) {
-        double q = std::nearbyint(w[i] / enc.scale) + enc.zeroPoint;
-        q = std::clamp(q, 0.0, qmax);
-        enc.qvalues[i] = static_cast<float>(q);
+        double v = std::nearbyint(w[i] / meta.scale) + meta.zeroPoint;
+        v = std::clamp(v, 0.0, qmax);
+        q[i] = static_cast<float>(v);
     }
 }
 
 /** NonLinearQuantize of Algorithm 1 against one candidate grid. */
 void
 encodeGrid(std::span<const float> w, const Grid &grid,
-           EncodedGroup &enc)
+           std::span<float> q, GroupDesc &meta)
 {
-    resetGroup(enc, w.size());
+    resetSlot(q, meta);
     auto [lo, hi] = extremes(w);
     const double scale = grid.fitScale(lo, hi);
-    enc.scale = scale;
+    meta.scale = scale;
     if (scale == 0.0)
         return;
     for (size_t i = 0; i < w.size(); ++i)
-        enc.qvalues[i] = static_cast<float>(grid.nearest(w[i] / scale));
+        q[i] = static_cast<float>(grid.nearest(w[i] / scale));
 }
 
 /**
@@ -170,7 +176,7 @@ encodeGrid(std::span<const float> w, const Grid &grid,
  */
 void
 encodeAdaptive(std::span<const float> w, const Dtype &dt,
-               EncodedGroup &enc)
+               std::span<float> q, GroupDesc &meta)
 {
     const size_t n = w.size();
     const auto [lo, hi] = extremes(w);
@@ -216,17 +222,16 @@ encodeAdaptive(std::span<const float> w, const Dtype &dt,
             bestScale = scale;
         }
     }
-    resetGroup(enc, n);
-    enc.svIndex = static_cast<int>(bestC);
-    enc.scale = bestScale;
+    resetSlot(q, meta);
+    meta.svIndex = static_cast<int>(bestC);
+    meta.scale = bestScale;
     if (bestScale != 0.0) {
         const Grid &grid = dt.candidates[bestC];
         const size_t nm = loadScaled(grid, bestScale);
         const auto &vals = grid.values();
         nearestScan(w, scaledMids.data(), nm,
                     [&](size_t i, size_t idx) {
-                        enc.qvalues[i] =
-                            static_cast<float>(vals[idx]);
+                        q[i] = static_cast<float>(vals[idx]);
                     });
     }
 }
@@ -234,9 +239,9 @@ encodeAdaptive(std::span<const float> w, const Dtype &dt,
 /** MX: shared power-of-two scale (8-bit exponent), elements on grid. */
 void
 encodeMx(std::span<const float> w, const Grid &element_grid,
-         EncodedGroup &enc)
+         std::span<float> q, GroupDesc &meta)
 {
-    resetGroup(enc, w.size());
+    resetSlot(q, meta);
     double absMax = 0.0;
     for (const float x : w)
         absMax = std::max<double>(absMax, std::fabs(x));
@@ -247,11 +252,11 @@ encodeMx(std::span<const float> w, const Grid &element_grid,
         static_cast<int>(std::floor(std::log2(element_grid.absMax())));
     int e = static_cast<int>(std::floor(std::log2(absMax))) - emaxElem;
     e = std::clamp(e, -127, 127);
-    enc.scale = std::ldexp(1.0, e);
+    meta.scale = std::ldexp(1.0, e);
     for (size_t i = 0; i < w.size(); ++i) {
-        const double scaled = w[i] / enc.scale;
+        const double scaled = w[i] / meta.scale;
         // Saturating round-to-nearest onto the element grid.
-        enc.qvalues[i] = static_cast<float>(element_grid.nearest(scaled));
+        q[i] = static_cast<float>(element_grid.nearest(scaled));
     }
 }
 
@@ -283,7 +288,7 @@ oliveAbfloatMagnitudes(int bits)
  */
 void
 encodeOlive(std::span<const float> w, int bits, int max_outliers,
-            EncodedGroup &best)
+            std::span<float> bestQ, GroupDesc &meta)
 {
     const size_t n = w.size();
     const double qmax = (1 << (bits - 1)) - 1;
@@ -297,7 +302,7 @@ encodeOlive(std::span<const float> w, int bits, int max_outliers,
         return std::fabs(w[a]) > std::fabs(w[b]);
     });
 
-    resetGroup(best, n);
+    resetSlot(bestQ, meta);
     double bestErr = std::numeric_limits<double>::infinity();
 
     // The outlier budget defaults to a fixed *fraction* of the
@@ -309,7 +314,7 @@ encodeOlive(std::span<const float> w, int bits, int max_outliers,
         max_outliers, std::max(1, static_cast<int>(n / 16)));
     const int tMax = std::min<int>(budget, static_cast<int>(n / 2));
     thread_local std::vector<bool> isOutlier, isVictim;
-    thread_local EncodedGroup trial;
+    thread_local std::vector<float> trialQ;
     for (int t = 0; t <= tMax; ++t) {
         // Outlier set: top-t magnitudes, skipping pair conflicts (both
         // elements of a pair cannot be outliers; the smaller clamps).
@@ -335,8 +340,7 @@ encodeOlive(std::span<const float> w, int bits, int max_outliers,
                 normMax = std::max<double>(normMax, std::fabs(w[i]));
         const double scale = normMax > 0.0 ? normMax / qmax : 0.0;
 
-        resetGroup(trial, n);
-        trial.scale = scale;
+        trialQ.assign(n, 0.0f);
         double err = 0.0;
         for (size_t i = 0; i < n; ++i) {
             double q;
@@ -360,13 +364,14 @@ encodeOlive(std::span<const float> w, int bits, int max_outliers,
             } else {
                 q = 0.0;
             }
-            trial.qvalues[i] = static_cast<float>(q);
+            trialQ[i] = static_cast<float>(q);
             const double d = w[i] - q * scale;
             err += d * d;
         }
         if (err < bestErr) {
             bestErr = err;
-            std::swap(best, trial);
+            meta.scale = scale;
+            std::copy(trialQ.begin(), trialQ.end(), bestQ.begin());
         }
     }
 }
@@ -375,36 +380,52 @@ encodeOlive(std::span<const float> w, int bits, int max_outliers,
 
 void
 encodeGroupInto(std::span<const float> w, const QuantConfig &cfg,
-                EncodedGroup &out)
+                std::span<float> qdst, GroupDesc &desc)
 {
+    BITMOD_ASSERT(qdst.size() == w.size(), "encode slot size ",
+                  qdst.size(), " != group size ", w.size());
     switch (cfg.dtype.kind) {
       case DtypeKind::Identity:
-        resetGroup(out, w.size());
-        out.qvalues.assign(w.begin(), w.end());
-        out.scale = 1.0;
+        resetSlot(qdst, desc);
+        std::copy(w.begin(), w.end(), qdst.begin());
+        desc.scale = 1.0;
         return;
       case DtypeKind::IntSym:
-        encodeIntSym(w, cfg.dtype.bits, out);
+        encodeIntSym(w, cfg.dtype.bits, qdst, desc);
         return;
       case DtypeKind::IntAsym:
-        encodeIntAsym(w, cfg.dtype.bits, out);
+        encodeIntAsym(w, cfg.dtype.bits, qdst, desc);
         return;
       case DtypeKind::NonLinear:
         if (cfg.dtype.candidates.size() == 1) {
-            encodeGrid(w, cfg.dtype.candidates[0], out);
-            out.svIndex = 0;
+            encodeGrid(w, cfg.dtype.candidates[0], qdst, desc);
+            desc.svIndex = 0;
             return;
         }
-        encodeAdaptive(w, cfg.dtype, out);
+        encodeAdaptive(w, cfg.dtype, qdst, desc);
         return;
       case DtypeKind::Mx:
-        encodeMx(w, cfg.dtype.mxElementGrid, out);
+        encodeMx(w, cfg.dtype.mxElementGrid, qdst, desc);
         return;
       case DtypeKind::OliveOvp:
-        encodeOlive(w, cfg.dtype.bits, cfg.oliveMaxOutliers, out);
+        encodeOlive(w, cfg.dtype.bits, cfg.oliveMaxOutliers, qdst,
+                    desc);
         return;
     }
     BITMOD_PANIC("unhandled dtype kind");
+}
+
+void
+encodeGroupInto(std::span<const float> w, const QuantConfig &cfg,
+                EncodedGroup &out)
+{
+    out.qvalues.resize(w.size());
+    GroupDesc d;
+    encodeGroupInto(w, cfg, {out.qvalues.data(), out.qvalues.size()},
+                    d);
+    out.scale = d.scale;
+    out.zeroPoint = d.zeroPoint;
+    out.svIndex = d.svIndex;
 }
 
 EncodedGroup
@@ -416,7 +437,7 @@ encodeGroup(std::span<const float> w, const QuantConfig &cfg)
 }
 
 void
-decodeGroupInto(const EncodedGroup &enc, const QuantConfig &cfg,
+decodeGroupInto(const EncodedGroupView &enc, const QuantConfig &cfg,
                 std::span<float> out)
 {
     BITMOD_ASSERT(out.size() == enc.qvalues.size(),
@@ -431,7 +452,7 @@ decodeGroupInto(const EncodedGroup &enc, const QuantConfig &cfg,
 }
 
 std::vector<float>
-decodeGroup(const EncodedGroup &enc, const QuantConfig &cfg)
+decodeGroup(const EncodedGroupView &enc, const QuantConfig &cfg)
 {
     std::vector<float> out(enc.qvalues.size());
     decodeGroupInto(enc, cfg, {out.data(), out.size()});
@@ -439,7 +460,7 @@ decodeGroup(const EncodedGroup &enc, const QuantConfig &cfg)
 }
 
 float
-quantizeValueInGroup(float w, const EncodedGroup &enc,
+quantizeValueInGroup(float w, const EncodedGroupView &enc,
                      const QuantConfig &cfg)
 {
     if (enc.scale == 0.0)
@@ -563,13 +584,22 @@ quantizeMatrix(const Matrix &w, const QuantConfig &cfg)
     if (cfg.granularity == Granularity::PerTensor) {
         // One group spanning the whole tensor; not worth sharding.
         std::vector<float> flat(w.flat().begin(), w.flat().end());
-        EncodedGroup enc = encodeGroup({flat.data(), flat.size()}, cfg);
+        EncodedGroup local;
+        EncodedGroupView enc;
+        if (cfg.captureEncoding) {
+            result.encoded.reset(1, 1, flat.size());
+            encodeGroupInto({flat.data(), flat.size()}, cfg,
+                            result.encoded.slot(0),
+                            result.encoded.desc(0));
+            enc = result.encoded.group(0);
+        } else {
+            encodeGroupInto({flat.data(), flat.size()}, cfg, local);
+            enc = local;
+        }
         if (enc.svIndex >= 0 && enc.svIndex < static_cast<int>(nc))
             ++result.stats.svHistogram[enc.svIndex];
         decodeGroupInto(enc, cfg, result.dequant.flat());
         result.stats.groups = 1;
-        if (cfg.captureEncoding)
-            result.encodings.push_back(std::move(enc));
     } else {
         const size_t rows = w.rows();
         const size_t ngroups = w.cols() / groupSize;
@@ -578,59 +608,56 @@ quantizeMatrix(const Matrix &w, const QuantConfig &cfg)
                              cfg.dtype.kind != DtypeKind::Mx;
 
         // Rows are independent: shard them across the worker pool.
-        // Every output — dequant rows, captured encodings, the per-row
-        // histogram slots — lands in a per-index slot, so the result is
-        // bit-identical for any thread count.
+        // Every output — dequant rows, pool slots, the per-row
+        // histogram slots — lands at a per-index location, so the
+        // result is bit-identical for any thread count.  In capture
+        // mode workers encode straight into the shared SoA pool (the
+        // slots are disjoint); otherwise each worker reuses a
+        // thread-local single-row pool, so neither path allocates per
+        // group.
         std::vector<size_t> rowHist(rows * nc, 0);
         if (cfg.captureEncoding)
-            result.encodings.resize(rows * ngroups);
+            result.encoded.reset(rows, ngroups, groupSize);
 
         auto quantizeRow = [&](size_t r) {
-            // Reused across groups and rows: no allocation after the
-            // first group on each worker thread.
-            thread_local EncodedGroup enc;
-            thread_local std::vector<EncodedGroup> rowEncs;
+            thread_local EncodedMatrix rowPool;
             thread_local std::vector<double> scales;
+            EncodedMatrix &pool =
+                cfg.captureEncoding ? result.encoded : rowPool;
+            size_t base = 0;
+            if (cfg.captureEncoding) {
+                base = r * ngroups;
+            } else if (rowPool.size() != ngroups ||
+                       (ngroups > 0 &&
+                        rowPool.desc(0).len != groupSize)) {
+                rowPool.reset(1, ngroups, groupSize);
+            }
             size_t *hist = rowHist.data() + r * nc;
 
+            for (size_t g = 0; g < ngroups; ++g)
+                encodeGroupInto(w.group(r, g, groupSize), cfg,
+                                pool.slot(base + g),
+                                pool.desc(base + g));
             if (twoPass) {
-                // Two passes per channel: encode groups, second-level
-                // quantize the channel's scale vector, then decode with
-                // the re-quantized scales (Section III-C).
-                if (rowEncs.size() < ngroups)
-                    rowEncs.resize(ngroups);
+                // Second pass per channel: second-level quantize the
+                // channel's scale vector and decode with the
+                // re-quantized scales (Section III-C).
                 scales.resize(ngroups);
-                for (size_t g = 0; g < ngroups; ++g) {
-                    encodeGroupInto(w.group(r, g, groupSize), cfg,
-                                    rowEncs[g]);
-                    scales[g] = rowEncs[g].scale;
-                }
+                for (size_t g = 0; g < ngroups; ++g)
+                    scales[g] = pool.desc(base + g).scale;
                 const auto qScales =
                     quantizeScales({scales.data(), scales.size()},
                                    cfg.scaleBits);
-                for (size_t g = 0; g < ngroups; ++g) {
-                    rowEncs[g].scale = qScales[g];
-                    if (rowEncs[g].svIndex >= 0 &&
-                        rowEncs[g].svIndex < static_cast<int>(nc))
-                        ++hist[rowEncs[g].svIndex];
-                    decodeGroupInto(rowEncs[g], cfg,
-                                    result.dequant.group(r, g,
-                                                         groupSize));
-                    if (cfg.captureEncoding)
-                        result.encodings[r * ngroups + g] = rowEncs[g];
-                }
-            } else {
-                for (size_t g = 0; g < ngroups; ++g) {
-                    encodeGroupInto(w.group(r, g, groupSize), cfg, enc);
-                    if (enc.svIndex >= 0 &&
-                        enc.svIndex < static_cast<int>(nc))
-                        ++hist[enc.svIndex];
-                    decodeGroupInto(enc, cfg,
-                                    result.dequant.group(r, g,
-                                                         groupSize));
-                    if (cfg.captureEncoding)
-                        result.encodings[r * ngroups + g] = enc;
-                }
+                for (size_t g = 0; g < ngroups; ++g)
+                    pool.desc(base + g).scale = qScales[g];
+            }
+            for (size_t g = 0; g < ngroups; ++g) {
+                const GroupDesc &d = pool.desc(base + g);
+                if (d.svIndex >= 0 &&
+                    d.svIndex < static_cast<int>(nc))
+                    ++hist[d.svIndex];
+                decodeGroupInto(pool.group(base + g), cfg,
+                                result.dequant.group(r, g, groupSize));
             }
         };
         parallelFor(rows, cfg.threads, quantizeRow);

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "common/logging.hh"
 #include "quant/dtype.hh"
 #include "tensor/matrix.hh"
 
@@ -65,6 +66,11 @@ struct QuantConfig
  * One encoded weight group as the hardware sees it: pre-scale grid
  * values (integers for INT types), the group scale, the asymmetric
  * zero-point (quantized domain) and the selected special value index.
+ *
+ * This is the owning, stand-alone representation used by single-group
+ * consumers (GPTQ's frozen boundaries, the packer, unit tests).  Bulk
+ * captures from quantizeMatrix live in the SoA EncodedMatrix pool
+ * instead — one contiguous qvalue buffer per matrix.
  */
 struct EncodedGroup
 {
@@ -72,6 +78,175 @@ struct EncodedGroup
     double scale = 0.0;
     double zeroPoint = 0.0;  //!< IntAsym only
     int svIndex = -1;        //!< adaptive NonLinear only
+};
+
+/**
+ * Per-group descriptor into an EncodedMatrix pool: where the group's
+ * qvalues live plus the metadata the decoder needs.  offset/len are
+ * fixed by the pool layout; scale/zeroPoint/svIndex are written by the
+ * encoder.
+ */
+struct GroupDesc
+{
+    size_t offset = 0;       //!< start index into the pool qvalues
+    uint32_t len = 0;        //!< elements in this group
+    int32_t svIndex = -1;    //!< adaptive NonLinear only
+    double scale = 0.0;
+    double zeroPoint = 0.0;  //!< IntAsym only
+};
+
+/**
+ * Non-owning view of one encoded group.  Every decode / PE consumer
+ * takes this, so a pool slot and a stand-alone EncodedGroup go through
+ * the same code path (the EncodedGroup conversion is implicit).
+ */
+struct EncodedGroupView
+{
+    std::span<const float> qvalues;
+    double scale = 0.0;
+    double zeroPoint = 0.0;
+    int svIndex = -1;
+
+    EncodedGroupView() = default;
+    EncodedGroupView(std::span<const float> q, const GroupDesc &d)
+        : qvalues(q), scale(d.scale), zeroPoint(d.zeroPoint),
+          svIndex(d.svIndex)
+    {
+    }
+    /*implicit*/ EncodedGroupView(const EncodedGroup &g)
+        : qvalues(g.qvalues.data(), g.qvalues.size()), scale(g.scale),
+          zeroPoint(g.zeroPoint), svIndex(g.svIndex)
+    {
+    }
+
+    size_t size() const { return qvalues.size(); }
+};
+
+/**
+ * Structure-of-arrays pool of encoded groups: one contiguous qvalue
+ * buffer for the whole matrix plus per-group descriptors.  Group g of
+ * row r lives at a fixed slot, so row-parallel workers fill disjoint
+ * ranges with no synchronization and no per-group allocation, and the
+ * PE-column simulator streams a row's groups from one cache-friendly
+ * buffer.
+ *
+ * Two layouts: reset() builds the uniform rows x groupsPerRow grid
+ * quantizeMatrix emits; appendGroup() builds a single-row ragged
+ * layout (trailing partial groups, mixed group sizes).
+ */
+class EncodedMatrix
+{
+  public:
+    void
+    clear()
+    {
+        rows_ = 0;
+        groupsPerRow_ = 0;
+        groups_.clear();
+        qvalues_.clear();
+    }
+
+    /** Preallocate a uniform layout: every group @p group_size wide. */
+    void
+    reset(size_t rows, size_t groups_per_row, size_t group_size)
+    {
+        BITMOD_ASSERT(group_size <= UINT32_MAX,
+                      "group size exceeds the descriptor width");
+        rows_ = rows;
+        groupsPerRow_ = groups_per_row;
+        const size_t n = rows * groups_per_row;
+        groups_.resize(n);
+        qvalues_.resize(n * group_size);
+        for (size_t i = 0; i < n; ++i) {
+            groups_[i].offset = i * group_size;
+            groups_[i].len = static_cast<uint32_t>(group_size);
+            groups_[i].svIndex = -1;
+            groups_[i].scale = 0.0;
+            groups_[i].zeroPoint = 0.0;
+        }
+    }
+
+    /**
+     * Ragged single-row builder: append one group of @p len elements
+     * (0 is allowed) and return its index.  Only single-row pools may
+     * grow (appending to a multi-row uniform layout would corrupt the
+     * row indexing); call clear() first to rebuild.
+     */
+    size_t
+    appendGroup(size_t len)
+    {
+        BITMOD_ASSERT(len <= UINT32_MAX,
+                      "group size exceeds the descriptor width");
+        BITMOD_ASSERT(rows_ <= 1,
+                      "appendGroup on a multi-row pool; clear() first");
+        GroupDesc d;
+        d.offset = qvalues_.size();
+        d.len = static_cast<uint32_t>(len);
+        qvalues_.resize(qvalues_.size() + len, 0.0f);
+        groups_.push_back(d);
+        rows_ = 1;
+        groupsPerRow_ = groups_.size();
+        return groups_.size() - 1;
+    }
+
+    bool empty() const { return groups_.empty(); }
+    /** Total groups in the pool. */
+    size_t size() const { return groups_.size(); }
+    size_t rows() const { return rows_; }
+    size_t groupsPerRow() const { return groupsPerRow_; }
+    /** Total pooled qvalue elements. */
+    size_t elementCount() const { return qvalues_.size(); }
+
+    GroupDesc &desc(size_t i) { return groups_[i]; }
+    const GroupDesc &desc(size_t i) const { return groups_[i]; }
+
+    /** Mutable qvalue storage of group @p i (the encode destination). */
+    std::span<float>
+    slot(size_t i)
+    {
+        const GroupDesc &d = groups_[i];
+        return {qvalues_.data() + d.offset, d.len};
+    }
+
+    std::span<const float>
+    slot(size_t i) const
+    {
+        const GroupDesc &d = groups_[i];
+        return {qvalues_.data() + d.offset, d.len};
+    }
+
+    EncodedGroupView
+    group(size_t i) const
+    {
+        return {slot(i), groups_[i]};
+    }
+
+    /** Group @p g of row @p r in a uniform layout. */
+    EncodedGroupView
+    group(size_t r, size_t g) const
+    {
+        return group(r * groupsPerRow_ + g);
+    }
+
+    /** Descriptors of row @p r (uniform layout). */
+    std::span<const GroupDesc>
+    rowDescs(size_t r) const
+    {
+        return {groups_.data() + r * groupsPerRow_, groupsPerRow_};
+    }
+
+    /** The whole contiguous qvalue buffer. */
+    std::span<const float>
+    qvalues() const
+    {
+        return {qvalues_.data(), qvalues_.size()};
+    }
+
+  private:
+    size_t rows_ = 0;
+    size_t groupsPerRow_ = 0;
+    std::vector<GroupDesc> groups_;
+    std::vector<float> qvalues_;
 };
 
 /** Aggregate quantization statistics. */
@@ -91,8 +266,11 @@ struct QuantizedTensor
 {
     Matrix dequant;  //!< dequantized weights (what the math sees)
     QuantStats stats;
-    /** Row-major list of encoded groups when captureEncoding is set. */
-    std::vector<EncodedGroup> encodings;
+    /**
+     * SoA pool of encoded groups when captureEncoding is set (uniform
+     * rows x groupsPerRow layout; PerTensor captures a single group).
+     */
+    EncodedMatrix encoded;
 };
 
 /** Quantize a weight matrix according to @p cfg. */
@@ -107,26 +285,36 @@ EncodedGroup encodeGroup(std::span<const float> w, const QuantConfig &cfg);
 /**
  * Allocation-free variant: encodes into @p out, reusing its buffers.
  * After the first call on a given EncodedGroup no heap traffic occurs
- * (capacity is retained across calls).  This is the hot-path entry the
- * matrix quantizer drives once per group.
+ * (capacity is retained across calls).
  */
 void encodeGroupInto(std::span<const float> w, const QuantConfig &cfg,
                      EncodedGroup &out);
 
+/**
+ * SoA hot-path entry: encode straight into a pool slot — @p qdst is
+ * the group's qvalue storage (same length as @p w, e.g.
+ * EncodedMatrix::slot) and @p desc receives scale / zero-point /
+ * special-value index (offset and len are left untouched).  Performs
+ * no heap allocation; this is what the row-parallel matrix quantizer
+ * drives once per group.
+ */
+void encodeGroupInto(std::span<const float> w, const QuantConfig &cfg,
+                     std::span<float> qdst, GroupDesc &desc);
+
 /** Dequantize an encoded group back to real values. */
-std::vector<float> decodeGroup(const EncodedGroup &enc,
+std::vector<float> decodeGroup(const EncodedGroupView &enc,
                                const QuantConfig &cfg);
 
 /** Allocation-free decode into @p out (same length as the group). */
-void decodeGroupInto(const EncodedGroup &enc, const QuantConfig &cfg,
-                     std::span<float> out);
+void decodeGroupInto(const EncodedGroupView &enc,
+                     const QuantConfig &cfg, std::span<float> out);
 
 /**
  * Quantize one value against an already-chosen group encoding (scale /
  * zero-point / grid fixed).  This is what GPTQ's column-by-column loop
  * needs.  Returns the dequantized value.
  */
-float quantizeValueInGroup(float w, const EncodedGroup &enc,
+float quantizeValueInGroup(float w, const EncodedGroupView &enc,
                            const QuantConfig &cfg);
 
 /**

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Tests for the SoA EncodedMatrix pool and the batched PE-column walk:
+ * pool captures must be bit-identical to the old per-group encode path
+ * (including the second-level scale pass), ragged and empty groups
+ * must round-trip, and the batched strip walk must reproduce the
+ * group-at-a-time channel walk's values, cycles and drain bookkeeping
+ * on randomized shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hh"
+#include "pe/pe_column.hh"
+#include "quant/dtype.hh"
+#include "quant/quantizer.hh"
+#include "tensor/generator.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+std::vector<Float16>
+randomActs(size_t n, Rng &rng)
+{
+    std::vector<Float16> acts;
+    acts.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian()));
+    return acts;
+}
+
+/**
+ * The old per-group capture path, reconstructed from public
+ * primitives: encodeGroup per group, per-channel second-level scale
+ * quantization, decode per group.  The SoA pool must reproduce it bit
+ * for bit.
+ */
+struct RefCapture
+{
+    std::vector<EncodedGroup> groups;
+    Matrix dequant;
+};
+
+RefCapture
+referenceCapture(const Matrix &w, const QuantConfig &cfg,
+                 size_t group_size)
+{
+    RefCapture ref;
+    ref.dequant = Matrix(w.rows(), w.cols());
+    const size_t ngroups = w.cols() / group_size;
+    const bool twoPass = cfg.scaleBits > 0 &&
+                         cfg.granularity == Granularity::PerGroup &&
+                         cfg.dtype.kind != DtypeKind::Mx;
+    for (size_t r = 0; r < w.rows(); ++r) {
+        std::vector<EncodedGroup> row;
+        for (size_t g = 0; g < ngroups; ++g)
+            row.push_back(encodeGroup(w.group(r, g, group_size), cfg));
+        if (twoPass) {
+            std::vector<double> scales;
+            for (const auto &e : row)
+                scales.push_back(e.scale);
+            const auto q = quantizeScales(
+                {scales.data(), scales.size()}, cfg.scaleBits);
+            for (size_t g = 0; g < ngroups; ++g)
+                row[g].scale = q[g];
+        }
+        for (size_t g = 0; g < ngroups; ++g) {
+            decodeGroupInto(row[g], cfg,
+                            ref.dequant.group(r, g, group_size));
+            ref.groups.push_back(std::move(row[g]));
+        }
+    }
+    return ref;
+}
+
+TEST(EncodedMatrix, PoolBitIdenticalToPerGroupPath)
+{
+    Rng rng(501);
+    WeightGenParams p;
+    const Matrix w = generateWeights(6, 512, p, rng);
+
+    std::vector<QuantConfig> configs;
+    {
+        QuantConfig c;
+        c.dtype = dtypes::bitmodFp4();
+        configs.push_back(c);
+        c.scaleBits = 8;  // two-pass second-level scales
+        configs.push_back(c);
+        c = QuantConfig{};
+        c.dtype = dtypes::intAsym(4);
+        configs.push_back(c);
+        c.dtype = dtypes::olive(4);
+        configs.push_back(c);
+        c.dtype = dtypes::intSym(6);
+        configs.push_back(c);
+        c.dtype = dtypes::mxfp(4);
+        configs.push_back(c);
+    }
+    for (auto &cfg : configs) {
+        cfg.captureEncoding = true;
+        const size_t groupSize =
+            cfg.dtype.kind == DtypeKind::Mx
+                ? 32
+                : static_cast<size_t>(cfg.groupSize);
+        const auto q = quantizeMatrix(w, cfg);
+        const auto ref = referenceCapture(w, cfg, groupSize);
+
+        ASSERT_EQ(q.encoded.size(), ref.groups.size()) << cfg.dtype.name;
+        ASSERT_EQ(q.encoded.elementCount(), w.size()) << cfg.dtype.name;
+        for (size_t i = 0; i < ref.groups.size(); ++i) {
+            const EncodedGroupView pool = q.encoded.group(i);
+            const EncodedGroup &g = ref.groups[i];
+            ASSERT_EQ(pool.qvalues.size(), g.qvalues.size())
+                << cfg.dtype.name << " group " << i;
+            EXPECT_EQ(std::memcmp(pool.qvalues.data(),
+                                  g.qvalues.data(),
+                                  g.qvalues.size() * sizeof(float)),
+                      0)
+                << cfg.dtype.name << " group " << i;
+            EXPECT_EQ(pool.scale, g.scale)
+                << cfg.dtype.name << " group " << i;
+            EXPECT_EQ(pool.zeroPoint, g.zeroPoint)
+                << cfg.dtype.name << " group " << i;
+            EXPECT_EQ(pool.svIndex, g.svIndex)
+                << cfg.dtype.name << " group " << i;
+
+            // Decoding the pool view and the stand-alone group must
+            // agree bit for bit too.
+            const auto dPool = decodeGroup(pool, cfg);
+            const auto dRef = decodeGroup(g, cfg);
+            EXPECT_EQ(std::memcmp(dPool.data(), dRef.data(),
+                                  dRef.size() * sizeof(float)),
+                      0)
+                << cfg.dtype.name << " group " << i;
+        }
+        EXPECT_EQ(std::memcmp(q.dequant.data(), ref.dequant.data(),
+                              w.size() * sizeof(float)),
+                  0)
+            << cfg.dtype.name << ": dequant differs";
+    }
+}
+
+TEST(EncodedMatrix, PerTensorCapturesSingleGroup)
+{
+    Rng rng(502);
+    WeightGenParams p;
+    const Matrix w = generateWeights(4, 64, p, rng);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intSym(8);
+    cfg.granularity = Granularity::PerTensor;
+    cfg.captureEncoding = true;
+    const auto q = quantizeMatrix(w, cfg);
+    ASSERT_EQ(q.encoded.size(), 1u);
+    EXPECT_EQ(q.encoded.group(0).qvalues.size(), w.size());
+    std::vector<float> dec(w.size());
+    decodeGroupInto(q.encoded.group(0), cfg, {dec.data(), dec.size()});
+    EXPECT_EQ(std::memcmp(dec.data(), q.dequant.data(),
+                          w.size() * sizeof(float)),
+              0);
+}
+
+TEST(EncodedMatrix, RaggedAndEmptyGroupsRoundTrip)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intSym(4);
+    Rng rng(503);
+
+    EncodedMatrix pool;
+    const std::vector<size_t> lens = {5, 0, 12, 1, 0, 30};
+    for (const size_t len : lens)
+        pool.appendGroup(len);
+    ASSERT_EQ(pool.size(), lens.size());
+    ASSERT_EQ(pool.rows(), 1u);
+
+    size_t total = 0;
+    std::vector<float> all;
+    for (size_t i = 0; i < lens.size(); ++i) {
+        EXPECT_EQ(pool.desc(i).offset, total);
+        EXPECT_EQ(pool.desc(i).len, lens[i]);
+        total += lens[i];
+        std::vector<float> w(lens[i]);
+        for (auto &x : w)
+            x = static_cast<float>(rng.gaussian(0.0, 0.02));
+        all.insert(all.end(), w.begin(), w.end());
+        encodeGroupInto({w.data(), w.size()}, cfg, pool.slot(i),
+                        pool.desc(i));
+
+        // Each slot must match a stand-alone encode of the same data.
+        const auto ref = encodeGroup({w.data(), w.size()}, cfg);
+        const EncodedGroupView v = pool.group(i);
+        ASSERT_EQ(v.qvalues.size(), ref.qvalues.size());
+        for (size_t j = 0; j < ref.qvalues.size(); ++j)
+            EXPECT_EQ(v.qvalues[j], ref.qvalues[j])
+                << "group " << i << " element " << j;
+        EXPECT_EQ(v.scale, ref.scale) << "group " << i;
+
+        // Empty groups decode to nothing without tripping asserts.
+        const auto dec = decodeGroup(v, cfg);
+        EXPECT_EQ(dec.size(), lens[i]);
+    }
+    EXPECT_EQ(pool.elementCount(), total);
+
+    // A ragged row also streams through the PE column: the channel
+    // result must match the dequantized reference dot product.
+    const auto acts = randomActs(total, rng);
+    PeColumn column;
+    const auto res = column.processChannel(
+        pool, 0, {acts.data(), acts.size()}, cfg.dtype);
+    double ref = 0.0;
+    size_t off = 0;
+    for (size_t i = 0; i < lens.size(); ++i) {
+        const auto dec = decodeGroup(pool.group(i), cfg);
+        for (size_t j = 0; j < dec.size(); ++j, ++off)
+            ref += static_cast<double>(dec[j]) * acts[off].toFloat();
+    }
+    EXPECT_NEAR(res.value, ref, 1e-5 + 1e-5 * std::fabs(ref));
+    EXPECT_EQ(res.drainEvents, static_cast<int>(lens.size()));
+}
+
+TEST(PeColumnBatch, StripMatchesGroupAtATimeOnRandomShapes)
+{
+    Rng rng(504);
+    const struct
+    {
+        const char *dtype;
+        size_t rows, cols;
+        int groupSize;
+    } cases[] = {
+        {"BitMoD-FP4", 16, 512, 128},
+        {"BitMoD-FP3", 7, 192, 32},   // ragged strip tail (7 % 8 != 0)
+        {"INT6-Sym", 12, 256, 64},
+        {"INT4-Asym", 3, 96, 16},
+        {"INT8-Sym", 9, 384, 128},
+    };
+    for (const auto &c : cases) {
+        QuantConfig cfg;
+        cfg.dtype = dtypes::byName(c.dtype);
+        cfg.groupSize = c.groupSize;
+        cfg.scaleBits = 8;
+        cfg.captureEncoding = true;
+        WeightGenParams p;
+        p.groupSize = c.groupSize;
+        const Matrix w = generateWeights(c.rows, c.cols, p, rng);
+        const auto q = quantizeMatrix(w, cfg);
+        const auto acts = randomActs(c.cols, rng);
+        const std::span<const Float16> actSpan{acts.data(),
+                                               acts.size()};
+
+        PeColumn column;
+        long long cyclesA = 0, cyclesB = 0;
+        int drainsA = 0, drainsB = 0;
+        bool contentionA = false, contentionB = false;
+        std::vector<double> a(c.rows), b(c.rows);
+        for (size_t r = 0; r < c.rows; ++r) {
+            const auto res =
+                column.processChannel(q.encoded, r, actSpan, cfg.dtype);
+            a[r] = res.value;
+            cyclesA += res.cycles;
+            drainsA += res.drainEvents;
+            contentionA |= res.accumulatorContention;
+        }
+        const size_t depth =
+            static_cast<size_t>(column.pesPerColumn());
+        for (size_t r0 = 0; r0 < c.rows; r0 += depth) {
+            const size_t n = std::min(depth, c.rows - r0);
+            const auto strip = column.processStrip(q.encoded, r0, n,
+                                                   actSpan, cfg.dtype);
+            ASSERT_EQ(strip.values.size(), n);
+            for (size_t r = 0; r < n; ++r)
+                b[r0 + r] = strip.values[r];
+            cyclesB += strip.cycles;
+            drainsB += strip.drainEvents;
+            contentionB |= strip.accumulatorContention;
+        }
+        for (size_t r = 0; r < c.rows; ++r)
+            EXPECT_EQ(a[r], b[r]) << c.dtype << " row " << r;
+        EXPECT_EQ(cyclesA, cyclesB) << c.dtype;
+        EXPECT_EQ(drainsA, drainsB) << c.dtype;
+        EXPECT_EQ(contentionA, contentionB) << c.dtype;
+    }
+}
+
+TEST(PeColumnBatch, StripValuesMatchDequantReference)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    cfg.captureEncoding = true;
+    Rng rng(505);
+    WeightGenParams p;
+    const Matrix w = generateWeights(16, 512, p, rng);
+    const auto q = quantizeMatrix(w, cfg);
+    const auto acts = randomActs(512, rng);
+
+    PeColumn column;
+    const auto strip = column.processStrip(
+        q.encoded, 0, 16, {acts.data(), acts.size()}, cfg.dtype);
+    for (size_t r = 0; r < 16; ++r) {
+        double ref = 0.0;
+        for (size_t i = 0; i < 512; ++i)
+            ref += static_cast<double>(q.dequant(r, i)) *
+                   acts[i].toFloat();
+        EXPECT_NEAR(strip.values[r], ref,
+                    1e-5 + 1e-5 * std::fabs(ref))
+            << "row " << r;
+    }
+    // 4 groups per row x (128/4 lanes x 2 terms) cycles, 16 rows.
+    EXPECT_EQ(strip.cycles, 16LL * 4 * 64);
+    EXPECT_EQ(strip.drainEvents, 16 * 4);
+    EXPECT_FALSE(strip.accumulatorContention);
+}
+
+} // namespace
+} // namespace bitmod

@@ -184,16 +184,20 @@ expectTensorsIdentical(const QuantizedTensor &a, const QuantizedTensor &b,
     EXPECT_EQ(a.stats.nmse, b.stats.nmse) << what;
     EXPECT_EQ(a.stats.groups, b.stats.groups) << what;
     EXPECT_EQ(a.stats.svHistogram, b.stats.svHistogram) << what;
-    ASSERT_EQ(a.encodings.size(), b.encodings.size()) << what;
-    for (size_t i = 0; i < a.encodings.size(); ++i) {
-        EXPECT_EQ(a.encodings[i].qvalues, b.encodings[i].qvalues)
+    ASSERT_EQ(a.encoded.size(), b.encoded.size()) << what;
+    for (size_t i = 0; i < a.encoded.size(); ++i) {
+        const EncodedGroupView ga = a.encoded.group(i);
+        const EncodedGroupView gb = b.encoded.group(i);
+        ASSERT_EQ(ga.qvalues.size(), gb.qvalues.size())
             << what << " group " << i;
-        EXPECT_EQ(a.encodings[i].scale, b.encodings[i].scale)
+        EXPECT_EQ(std::memcmp(ga.qvalues.data(), gb.qvalues.data(),
+                              ga.qvalues.size() * sizeof(float)),
+                  0)
             << what << " group " << i;
-        EXPECT_EQ(a.encodings[i].zeroPoint, b.encodings[i].zeroPoint)
+        EXPECT_EQ(ga.scale, gb.scale) << what << " group " << i;
+        EXPECT_EQ(ga.zeroPoint, gb.zeroPoint)
             << what << " group " << i;
-        EXPECT_EQ(a.encodings[i].svIndex, b.encodings[i].svIndex)
-            << what << " group " << i;
+        EXPECT_EQ(ga.svIndex, gb.svIndex) << what << " group " << i;
     }
 }
 

@@ -44,8 +44,7 @@ TEST(PeColumn, ChannelMatchesDequantReference)
 
     PeColumn column;
     const auto res = column.processChannel(
-        {q.encodings.data(), q.encodings.size()},
-        {acts.data(), acts.size()}, cfg.dtype, 128);
+        q.encoded, 0, {acts.data(), acts.size()}, cfg.dtype);
 
     double ref = 0.0;
     for (size_t i = 0; i < 512; ++i)
@@ -73,8 +72,7 @@ TEST(PeColumn, ContentionFlagsTinyGroups)
     const auto acts = randomActs(64, rng);
     PeColumn column;
     const auto res = column.processChannel(
-        {q.encodings.data(), q.encodings.size()},
-        {acts.data(), acts.size()}, cfg.dtype, 8);
+        q.encoded, 0, {acts.data(), acts.size()}, cfg.dtype);
     EXPECT_TRUE(res.accumulatorContention);
 }
 

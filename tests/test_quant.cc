@@ -485,9 +485,12 @@ TEST(QuantizeMatrix, CaptureEncodingCounts)
     cfg.dtype = dtypes::bitmodFp4();
     cfg.captureEncoding = true;
     const auto r = quantizeMatrix(w, cfg);
-    EXPECT_EQ(r.encodings.size(), 4u * (512 / 128));
-    for (const auto &e : r.encodings)
-        EXPECT_EQ(e.qvalues.size(), 128u);
+    EXPECT_EQ(r.encoded.size(), 4u * (512 / 128));
+    EXPECT_EQ(r.encoded.rows(), 4u);
+    EXPECT_EQ(r.encoded.groupsPerRow(), 512u / 128);
+    EXPECT_EQ(r.encoded.elementCount(), 4u * 512);
+    for (size_t i = 0; i < r.encoded.size(); ++i)
+        EXPECT_EQ(r.encoded.group(i).qvalues.size(), 128u);
 }
 
 TEST(QuantizeMatrix, BitsPerWeightAccounting)

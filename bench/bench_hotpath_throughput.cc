@@ -10,6 +10,10 @@
  * Besides the speedups, the bench verifies that the optimized paths
  * are bit-identical to the reference: same QuantStats (mse / nmse /
  * svHistogram), same dequantized matrix, same dot-product values.
+ * The packed_stream section additionally walks the batched strip GEMV
+ * from the byte-exact PackedMatrix DRAM image (decoding codes from
+ * the bit stream) against the float-pool walk and reports both
+ * footprints, so the perf gate tracks throughput and memory together.
  * Results are also written as BENCH_hotpath.json so CI can track the
  * perf trajectory across PRs.
  */
@@ -27,6 +31,7 @@
 #include "common/table.hh"
 #include "pe/pe_column.hh"
 #include "quant/dtype.hh"
+#include "quant/packing.hh"
 #include "quant/quantizer.hh"
 #include "tensor/generator.hh"
 
@@ -381,10 +386,89 @@ benchColumnBatch(const Matrix &w, const Dtype &dt, int iters, Rng &rng)
     return out;
 }
 
+struct PackedStreamResult
+{
+    double poolWps = 0.0;    //!< float-pool strip walk
+    double packedWps = 0.0;  //!< packed-image strip walk
+    bool identical = false;  //!< values/cycles/drains/contention match
+    size_t packedImageBytes = 0;  //!< byte-exact DRAM image
+    size_t floatPoolBytes = 0;    //!< qvalues + descriptors
+};
+
+/**
+ * Packed-domain streaming: the same batched strip GEMV walked from
+ * the float-typed SoA pool vs decoded on the fly from the byte-exact
+ * PackedMatrix DRAM image.  Values, cycles, drain events and the
+ * contention flag must match bit for bit; the footprint columns feed
+ * the perf gate's memory trajectory.
+ */
+PackedStreamResult
+benchPackedStream(const Matrix &w, const Dtype &dt, int iters, Rng &rng)
+{
+    QuantConfig cfg;
+    cfg.dtype = dt;
+    cfg.groupSize = 128;
+    cfg.scaleBits = 8;
+    cfg.captureEncoding = true;
+    const auto q = quantizeMatrix(w, cfg);
+    const GroupPacker packer(cfg);
+    const PackedMatrix packed = packer.packMatrix(q.encoded);
+
+    std::vector<Float16> acts;
+    acts.reserve(w.cols());
+    for (size_t i = 0; i < w.cols(); ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian(0.0, 1.0)));
+    const std::span<const Float16> actSpan{acts.data(), acts.size()};
+
+    PeColumn column;
+    const size_t rows = w.rows();
+    const size_t depth = static_cast<size_t>(column.pesPerColumn());
+
+    PackedStreamResult out;
+    out.packedImageBytes = packed.imageBytes();
+    out.floatPoolBytes = q.encoded.elementCount() * sizeof(float) +
+                         q.encoded.size() * sizeof(GroupDesc);
+    out.identical = true;
+    for (size_t r0 = 0; r0 < rows; r0 += depth) {
+        const size_t n = std::min(depth, rows - r0);
+        const auto a = column.processStrip(q.encoded, r0, n, actSpan,
+                                           dt);
+        const auto b = column.processStrip(packed, r0, n, actSpan, dt);
+        if (a.values != b.values || a.cycles != b.cycles ||
+            a.drainEvents != b.drainEvents ||
+            a.accumulatorContention != b.accumulatorContention)
+            out.identical = false;
+    }
+
+    const double weights = static_cast<double>(w.size()) * iters;
+    double sink = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        for (size_t r0 = 0; r0 < rows; r0 += depth) {
+            const size_t n = std::min(depth, rows - r0);
+            sink += column.processStrip(q.encoded, r0, n, actSpan, dt)
+                        .values[0];
+        }
+    out.poolWps = weights / secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        for (size_t r0 = 0; r0 < rows; r0 += depth) {
+            const size_t n = std::min(depth, rows - r0);
+            sink += column.processStrip(packed, r0, n, actSpan, dt)
+                        .values[0];
+        }
+    out.packedWps = weights / secondsSince(t0);
+    if (sink == 12345.678)
+        std::printf("%f\n", sink);
+    return out;
+}
+
 void
 writeJson(const std::string &path, size_t rows, size_t cols,
           int threads, const QuantResult &qr, const DotResult &fp4,
-          const DotResult &int8, const ColumnBatchResult &col)
+          const DotResult &int8, const ColumnBatchResult &col,
+          const PackedStreamResult &ps)
 {
     FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -418,10 +502,19 @@ writeJson(const std::string &path, size_t rows, size_t cols,
     std::fprintf(f,
                  "  \"pe_column_batch\": {\"group_wps\": %.0f, "
                  "\"batched_wps\": %.0f, \"speedup\": %.2f, "
-                 "\"bit_identical\": %s}\n",
+                 "\"bit_identical\": %s},\n",
                  col.groupAtATimeWps, col.batchedWps,
                  col.batchedWps / col.groupAtATimeWps,
                  col.identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"packed_stream\": {\"pool_wps\": %.0f, "
+                 "\"packed_wps\": %.0f, \"relative\": %.2f, "
+                 "\"packed_image_bytes\": %zu, "
+                 "\"float_pool_bytes\": %zu, "
+                 "\"bit_identical\": %s}\n",
+                 ps.poolWps, ps.packedWps, ps.packedWps / ps.poolWps,
+                 ps.packedImageBytes, ps.floatPoolBytes,
+                 ps.identical ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
 }
@@ -480,6 +573,8 @@ main(int argc, char **argv)
     const auto dInt8 = benchDot(w, dtypes::intSym(8), iters, rng);
     const auto col = benchColumnBatch(w, dtypes::bitmodFp4(),
                                       std::max(1, iters / 2), rng);
+    const auto ps = benchPackedStream(w, dtypes::bitmodFp4(),
+                                      std::max(1, iters / 2), rng);
 
     TextTable t("Hot-path throughput (weights/sec, " +
                 std::to_string(rows) + "x" + std::to_string(cols) +
@@ -512,16 +607,25 @@ main(int argc, char **argv)
               TextTable::num(col.batchedWps / col.groupAtATimeWps, 2) +
                   "x",
               col.identical ? "yes" : "NO"});
+    t.addRow({"PeColumn GEMV packed stream",
+              TextTable::num(ps.poolWps, 0),
+              TextTable::num(ps.packedWps, 0),
+              TextTable::num(ps.packedWps / ps.poolWps, 2) + "x",
+              ps.identical ? "yes" : "NO"});
     t.addNote("seed ref = pre-optimization code path (per-candidate "
-              "allocation, per-weight term recoding); PeColumn row = "
-              "group-at-a-time channel walk vs batched strip walk");
+              "allocation, per-weight term recoding); PeColumn rows = "
+              "group-at-a-time channel walk vs batched strip walk, and "
+              "float-pool strips vs strips decoded from the packed "
+              "DRAM image (" +
+              std::to_string(ps.packedImageBytes) + " B packed vs " +
+              std::to_string(ps.floatPoolBytes) + " B float pool)");
     t.print();
 
-    writeJson(out, rows, cols, threads, qr, dFp4, dInt8, col);
+    writeJson(out, rows, cols, threads, qr, dFp4, dInt8, col, ps);
     std::printf("wrote %s\n", out.c_str());
 
     return (qr.identical && dFp4.identical && dInt8.identical &&
-            col.identical)
+            col.identical && ps.identical)
                ? 0
                : 2;
 }

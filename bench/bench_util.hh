@@ -21,6 +21,7 @@
 #include "core/experiments.hh"
 #include "model/llm_zoo.hh"
 #include "pe/pe_column.hh"
+#include "quant/packing.hh"
 
 namespace bitmod::benchutil
 {
@@ -63,13 +64,14 @@ banner(const char *experiment, const SampleConfig &cfg)
  * Functional cross-check behind the speedup/energy harnesses: run a
  * model-shaped GEMV strip (full hidden-dim columns of @p model_name,
  * @p rows output channels) through the batched bit-serial PE-column
- * pipeline — SoA pool, strip walk, INT8 second-level scales — and
- * compare against the dequantized-weight reference (1e-4
- * relative tolerance: the bit-serial pipeline and the float GEMV
- * accumulate in different orders).  Validates that
- * the analytic Fig. 7/8 numbers rest on a pipeline that actually
- * reproduces the math at model shapes, and prints the simulated
- * weight throughput.  Enabled by the --functional flag.
+ * pipeline — byte-exact PackedMatrix DRAM image, packed-streaming
+ * strip walk, INT8 second-level scales — and compare against the
+ * dequantized-weight reference (1e-4 relative tolerance: the
+ * bit-serial pipeline and the float GEMV accumulate in different
+ * orders).  Validates that the analytic Fig. 7/8 numbers rest on a
+ * pipeline that actually reproduces the math at model shapes from
+ * the deployment memory layout, and prints the simulated weight
+ * throughput and packed footprint.  Enabled by the --functional flag.
  */
 inline void
 functionalGemvCheck(const std::string &model_name, size_t rows = 256)
@@ -88,6 +90,8 @@ functionalGemvCheck(const std::string &model_name, size_t rows = 256)
 
     const auto q = bitmodQuantizeEncoded(w, 4);
     const QuantConfig cfg = bitmodConfig(4);
+    const GroupPacker packer(cfg);
+    const PackedMatrix packed = packer.packMatrix(q.encoded);
 
     const auto t0 = std::chrono::steady_clock::now();
     PeColumn column;
@@ -97,7 +101,7 @@ functionalGemvCheck(const std::string &model_name, size_t rows = 256)
     for (size_t r0 = 0; r0 < rows; r0 += depth) {
         const size_t n = std::min(depth, rows - r0);
         const auto strip =
-            column.processStrip(q.encoded, r0, n, actSpan, cfg.dtype);
+            column.processStrip(packed, r0, n, actSpan, cfg.dtype);
         std::memcpy(out.data() + r0, strip.values.data(),
                     n * sizeof(double));
         cycles += strip.cycles;
@@ -117,10 +121,14 @@ functionalGemvCheck(const std::string &model_name, size_t rows = 256)
                            (1e-12 + std::fabs(ref));
         maxRel = std::max(maxRel, rel);
     }
-    std::printf("[functional] %s-shaped GEMV (%zux%zu) through "
-                "batched PE columns: max rel err %.2e, %lld dot "
-                "cycles, %.2e weights/sec %s\n",
-                model_name.c_str(), rows, cols, maxRel, cycles,
+    std::printf("[functional] %s-shaped GEMV (%zux%zu) streamed from "
+                "the packed DRAM image (%.2f bits/weight, %zu bytes) "
+                "through batched PE columns: max rel err %.2e, %lld "
+                "dot cycles, %.2e weights/sec %s\n",
+                model_name.c_str(), rows, cols,
+                8.0 * packed.imageBytes() /
+                    static_cast<double>(rows * cols),
+                packed.imageBytes(), maxRel, cycles,
                 static_cast<double>(rows) * cols / secs,
                 maxRel < 1e-4 ? "[OK]" : "[MISMATCH]");
     if (maxRel >= 1e-4)

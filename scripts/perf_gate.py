@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Perf-trajectory gate over BENCH_hotpath.json.
 
-Compares every weights-per-second field of the current bench output
-against the previous run's artifact and fails (exit 1) when any field
-regressed by more than the threshold.  The delta table is always
-printed, regression or not, so the trajectory is visible in every CI
-log.  A missing baseline (first run on a branch, expired artifact) is
-not an error: the gate prints a note and passes.
+Compares every tracked field of the current bench output against the
+previous run's artifact and fails (exit 1) on a regression beyond the
+threshold.  Two field families are tracked: *_wps throughputs (lower
+is a regression) and *_bytes footprints (growth is a regression — the
+packed-stream section reports the DRAM-image size, and a silently
+fattening memory layout must not ride a green build).  The delta
+table is always printed, regression or not, so the trajectory is
+visible in every CI log.  A missing baseline (first run on a branch,
+expired artifact) is not an error: the gate prints a note and passes.
 
 Bit-identity flags are also enforced: a section reporting
 "bit_identical": false fails the gate regardless of throughput, since
@@ -22,13 +25,19 @@ import json
 import sys
 
 
-def wps_fields(doc):
-    """Yield (section.key, value) for every *_wps field, recursively."""
+def tracked_fields(doc):
+    """Yield (section.key, value, higher_is_better) for every gated
+    field: *_wps throughputs (higher better) and *_bytes footprints
+    (lower better)."""
     for section, body in sorted(doc.items()):
         if isinstance(body, dict):
             for key, value in sorted(body.items()):
-                if key.endswith("_wps") and isinstance(value, (int, float)):
-                    yield f"{section}.{key}", float(value)
+                if not isinstance(value, (int, float)):
+                    continue
+                if key.endswith("_wps"):
+                    yield f"{section}.{key}", float(value), True
+                elif key.endswith("_bytes"):
+                    yield f"{section}.{key}", float(value), False
 
 
 def bit_identity_failures(doc):
@@ -42,28 +51,35 @@ def bit_identity_failures(doc):
 def compare(prev, curr, max_regression_pct):
     """Return (table_rows, regressions, removed).
 
-    Rows: (field, prev, curr, delta%).  A field present in the
-    baseline but missing from the current run lands in `removed` —
-    silently dropping a measurement must not pass the gate.
+    Rows: (field, prev, curr, delta%).  A regression is a throughput
+    drop or a footprint growth beyond the threshold.  A field present
+    in the baseline but missing from the current run lands in
+    `removed` — silently dropping a measurement must not pass the
+    gate.
     """
-    prev_fields = dict(wps_fields(prev)) if prev else {}
-    curr_fields = dict(wps_fields(curr))
+    prev_fields = (
+        {f: v for f, v, _ in tracked_fields(prev)} if prev else {}
+    )
     rows, regressions = [], []
-    for field, curr_val in curr_fields.items():
+    curr_names = set()
+    for field, curr_val, higher_better in tracked_fields(curr):
+        curr_names.add(field)
         prev_val = prev_fields.get(field)
         if prev_val is None or prev_val <= 0:
             rows.append((field, prev_val, curr_val, None))
             continue
         delta_pct = (curr_val - prev_val) / prev_val * 100.0
         rows.append((field, prev_val, curr_val, delta_pct))
-        if delta_pct < -max_regression_pct:
+        regressed = (delta_pct < -max_regression_pct if higher_better
+                     else delta_pct > max_regression_pct)
+        if regressed:
             regressions.append((field, delta_pct))
-    removed = sorted(set(prev_fields) - set(curr_fields))
+    removed = sorted(set(prev_fields) - curr_names)
     return rows, regressions, removed
 
 
 def print_table(rows, removed):
-    print(f"{'field':<40} {'prev wps':>14} {'curr wps':>14} {'delta':>9}")
+    print(f"{'field':<40} {'prev':>14} {'curr':>14} {'delta':>9}")
     print("-" * 80)
     for field, prev_val, curr_val, delta_pct in rows:
         prev_s = f"{prev_val:,.0f}" if prev_val is not None else "(none)"
@@ -82,8 +98,10 @@ def run_gate(prev, curr, max_regression_pct):
         print("\nno previous BENCH_hotpath artifact: baseline recorded, "
               "gate passes")
     for field, delta_pct in regressions:
-        print(f"\nREGRESSION: {field} dropped {delta_pct:+.1f}% "
-              f"(limit -{max_regression_pct:.0f}%)")
+        kind = ("footprint grew" if field.endswith("_bytes")
+                else "dropped")
+        print(f"\nREGRESSION: {field} {kind} {delta_pct:+.1f}% "
+              f"(limit {max_regression_pct:.0f}%)")
     for field in removed:
         print(f"\nMISSING FIELD: {field} was in the baseline but is "
               "not emitted by the current bench — the perf signal for "
@@ -101,6 +119,9 @@ def self_test():
         "quantize_adaptive": {"ref_wps": 1000.0, "serial_wps": 5000.0,
                               "bit_identical": True},
         "pe_column_batch": {"batched_wps": 9000.0, "bit_identical": True},
+        "packed_stream": {"packed_wps": 8000.0,
+                          "packed_image_bytes": 4096.0,
+                          "bit_identical": True},
     }
 
     def variant(factor, identical=True):
@@ -109,8 +130,16 @@ def self_test():
         doc["pe_column_batch"]["bit_identical"] = identical
         return doc
 
+    def footprint(factor):
+        doc = json.loads(json.dumps(base))
+        doc["packed_stream"]["packed_image_bytes"] *= factor
+        return doc
+
     dropped = json.loads(json.dumps(base))
     del dropped["pe_column_batch"]
+
+    dropped_bytes = json.loads(json.dumps(base))
+    del dropped_bytes["packed_stream"]["packed_image_bytes"]
 
     checks = [
         ("identical run passes", run_gate(base, base, 10) == 0),
@@ -121,6 +150,12 @@ def self_test():
         ("bit-identity false fails", run_gate(base, variant(1.0, False), 10) == 1),
         ("dropped field fails", run_gate(base, dropped, 10) == 1),
         ("new field passes", run_gate(dropped, base, 10) == 0),
+        ("footprint -20% passes", run_gate(base, footprint(0.8), 10) == 0),
+        ("footprint +5% within threshold passes",
+         run_gate(base, footprint(1.05), 10) == 0),
+        ("footprint +30% fails", run_gate(base, footprint(1.3), 10) == 1),
+        ("dropped footprint field fails",
+         run_gate(base, dropped_bytes, 10) == 1),
     ]
     print("\n--- self-test results ---")
     failed = [name for name, ok in checks if not ok]

@@ -36,6 +36,16 @@ bitmodQuantizeEncoded(const Matrix &weights, int bits, int group_size,
     return quantizeMatrix(weights, cfg);
 }
 
+PackedMatrix
+bitmodPackMatrix(const Matrix &weights, int bits, int group_size,
+                 int threads)
+{
+    QuantConfig cfg = bitmodConfig(bits, group_size, threads);
+    cfg.captureEncoding = true;
+    const auto q = quantizeMatrix(weights, cfg);
+    return GroupPacker(cfg).packMatrix(q.encoded, threads);
+}
+
 AccelConfig
 accelByName(const std::string &name)
 {

@@ -17,6 +17,7 @@
 #include "accel/perf_model.hh"
 #include "accel/policy.hh"
 #include "model/llm_zoo.hh"
+#include "quant/packing.hh"
 #include "quant/quantizer.hh"
 #include "tensor/matrix.hh"
 
@@ -49,6 +50,18 @@ QuantConfig bitmodConfig(int bits, int group_size = 128,
 QuantizedTensor bitmodQuantizeEncoded(const Matrix &weights, int bits,
                                       int group_size = 128,
                                       int threads = 0);
+
+/**
+ * Quantize with the deployment configuration and pack the result into
+ * its byte-exact DRAM image: one contiguous bit image per matrix plus
+ * per-group descriptors (PackedMatrix).  This is the operand format
+ * the PE columns stream (PeColumn::processStrip overload) — the
+ * full-model footprint drops from the float pool to the packed image.
+ * Row fill is sharded over the worker pool; the image is
+ * bit-identical for any thread count.
+ */
+PackedMatrix bitmodPackMatrix(const Matrix &weights, int bits,
+                              int group_size = 128, int threads = 0);
 
 /** Result of a deployment simulation. */
 struct DeploymentSummary

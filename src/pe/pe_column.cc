@@ -1,11 +1,60 @@
 #include "pe/pe_column.hh"
 
+#include <algorithm>
+
 #include "bitserial/term_table.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
+#include "numeric/bits.hh"
 #include "quant/quantizer.hh"
 
 namespace bitmod
 {
+
+namespace
+{
+
+/** Strip source over the float-typed SoA pool: groups view directly. */
+struct EncodedSource
+{
+    const EncodedMatrix &enc;
+
+    size_t groupsPerRow() const { return enc.groupsPerRow(); }
+    size_t len(size_t idx) const { return enc.desc(idx).len; }
+    EncodedGroupView
+    group(size_t idx, std::vector<float> &) const
+    {
+        return enc.group(idx);
+    }
+};
+
+/** Strip source over the packed byte image: storage codes are decoded
+ *  from the bit-stream into the column's reusable buffer, exactly as
+ *  the hardware's dequant LUT would expand them on the fly. */
+struct PackedSource
+{
+    const PackedMatrix &packed;
+
+    size_t groupsPerRow() const { return packed.groupsPerRow(); }
+    size_t len(size_t idx) const { return packed.desc(idx).len; }
+    EncodedGroupView
+    group(size_t idx, std::vector<float> &decode) const
+    {
+        const PackedGroupDesc &d = packed.desc(idx);
+        if (decode.size() < d.len)
+            decode.resize(d.len);
+        const std::span<float> q{decode.data(), d.len};
+        packed.decodeGroupInto(idx, q);
+        EncodedGroupView v;
+        v.qvalues = q;
+        v.scale = d.scale;
+        v.zeroPoint = d.zeroPoint;
+        v.svIndex = d.svIndex;
+        return v;
+    }
+};
+
+} // namespace
 
 PeGroupResult
 PeColumn::processOneGroup(const EncodedGroupView &g,
@@ -41,15 +90,31 @@ PeColumn::processChannel(const EncodedMatrix &enc, size_t row,
     return result;
 }
 
-StripResult
-PeColumn::processStrip(const EncodedMatrix &enc, size_t row_begin,
-                       size_t row_count, std::span<const Float16> acts,
-                       const Dtype &dt, int scale_bits) const
+ColumnResult
+PeColumn::processChannel(const PackedMatrix &packed, size_t row,
+                         std::span<const Float16> acts, const Dtype &dt,
+                         int scale_bits) const
 {
-    BITMOD_ASSERT(row_begin + row_count <= enc.rows(), "strip [",
-                  row_begin, ", ", row_begin + row_count,
-                  ") out of ", enc.rows(), " rows");
-    const size_t ngroups = enc.groupsPerRow();
+    const auto strip =
+        processStrip(packed, row, 1, acts, dt, scale_bits);
+    ColumnResult result;
+    result.value = strip.values[0];
+    result.cycles = static_cast<int>(strip.cycles);
+    result.drainEvents = strip.drainEvents;
+    result.accumulatorContention = strip.accumulatorContention;
+    return result;
+}
+
+template <typename Source>
+StripResult
+PeColumn::stripImpl(const Source &src, size_t rows, size_t row_begin,
+                    size_t row_count, std::span<const Float16> acts,
+                    const Dtype &dt, int scale_bits) const
+{
+    BITMOD_ASSERT(row_begin + row_count <= rows, "strip [", row_begin,
+                  ", ", row_begin + row_count, ") out of ", rows,
+                  " rows");
+    const size_t ngroups = src.groupsPerRow();
 
     StripResult strip;
     strip.values.assign(row_count, 0.0);
@@ -69,7 +134,7 @@ PeColumn::processStrip(const EncodedMatrix &enc, size_t row_begin,
     // activation broadcast along rows.
     size_t actOff = 0;
     for (size_t g = 0; g < ngroups; ++g) {
-        const size_t len = enc.desc(row_begin * ngroups + g).len;
+        const size_t len = src.len(row_begin * ngroups + g);
         BITMOD_ASSERT(actOff + len <= acts.size(),
                       "activation length ", acts.size(),
                       " shorter than the strip's group extent");
@@ -77,11 +142,12 @@ PeColumn::processStrip(const EncodedMatrix &enc, size_t row_begin,
         actOff += len;
         for (size_t r = 0; r < row_count; ++r) {
             const size_t idx = (row_begin + r) * ngroups + g;
-            BITMOD_ASSERT(enc.desc(idx).len == len,
+            BITMOD_ASSERT(src.len(idx) == len,
                           "strip rows disagree on group ", g,
                           " length");
-            const auto res = processOneGroup(enc.group(idx), actSlice,
-                                             dt, table, scale_bits);
+            const auto res =
+                processOneGroup(src.group(idx, decode_), actSlice, dt,
+                                table, scale_bits);
             strip.values[r] += res.value;
             rowCycles[r] += res.dotCycles;
             strip.cycles += res.dotCycles;
@@ -105,6 +171,24 @@ PeColumn::processStrip(const EncodedMatrix &enc, size_t row_begin,
     return strip;
 }
 
+StripResult
+PeColumn::processStrip(const EncodedMatrix &enc, size_t row_begin,
+                       size_t row_count, std::span<const Float16> acts,
+                       const Dtype &dt, int scale_bits) const
+{
+    return stripImpl(EncodedSource{enc}, enc.rows(), row_begin,
+                     row_count, acts, dt, scale_bits);
+}
+
+StripResult
+PeColumn::processStrip(const PackedMatrix &packed, size_t row_begin,
+                       size_t row_count, std::span<const Float16> acts,
+                       const Dtype &dt, int scale_bits) const
+{
+    return stripImpl(PackedSource{packed}, packed.rows(), row_begin,
+                     row_count, acts, dt, scale_bits);
+}
+
 std::vector<double>
 tileGemv(const Matrix &weights, const QuantConfig &cfg,
          std::span<const Float16> acts)
@@ -115,16 +199,31 @@ tileGemv(const Matrix &weights, const QuantConfig &cfg,
     capture.captureEncoding = true;
     const auto q = quantizeMatrix(weights, capture);
 
-    PeColumn column;
-    const size_t depth = static_cast<size_t>(column.pesPerColumn());
-    std::vector<double> out(weights.rows());
-    for (size_t r0 = 0; r0 < weights.rows(); r0 += depth) {
-        const size_t n = std::min(depth, weights.rows() - r0);
-        const auto strip = column.processStrip(q.encoded, r0, n, acts,
-                                               cfg.dtype);
+    // Stream the byte-exact DRAM image, not the float pool: the GEMV
+    // exercises the deployment memory layout end to end.
+    const GroupPacker packer(cfg);
+    const PackedMatrix packed =
+        packer.packMatrix(q.encoded, cfg.threads);
+
+    const size_t depth =
+        static_cast<size_t>(PeColumn{}.pesPerColumn());
+    const size_t rows = weights.rows();
+    const size_t nstrips = ceilDiv(rows, depth);
+    std::vector<double> out(rows);
+
+    // Column-depth strips are independent; shard them over the worker
+    // pool with one PeColumn per thread (the PE and decode scratch are
+    // not thread-safe).  Each strip writes its own row range, so the
+    // output is bit-identical for any thread count.
+    parallelFor(nstrips, cfg.threads, [&](size_t s) {
+        thread_local PeColumn column;
+        const size_t r0 = s * depth;
+        const size_t n = std::min(depth, rows - r0);
+        const auto strip =
+            column.processStrip(packed, r0, n, acts, cfg.dtype);
         for (size_t r = 0; r < n; ++r)
             out[r0 + r] = strip.values[r];
-    }
+    });
     return out;
 }
 

@@ -6,7 +6,12 @@
  * the column drains group partial sums through the shared accumulator
  * — which never stalls because a group occupies a PE for many cycles.
  *
- * Channels stream from the SoA EncodedMatrix pool.  Two entry points:
+ * Channels stream from either operand format: the SoA EncodedMatrix
+ * pool (float qvalues) or the PackedMatrix byte image — the packed
+ * path decodes storage codes straight from the bit-stream via the
+ * per-dtype code→qvalue tables and feeds the same TermTable dot
+ * product, so values, cycles, drain events and contention are
+ * bit-identical between the two.  Two walk orders per format:
  * processChannel walks one row's groups one at a time (the original
  * simulation loop); processStrip batches a strip of rows per call —
  * the term table is resolved once, the group loop runs outermost so
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "pe/bitmod_pe.hh"
+#include "quant/packing.hh"
 
 namespace bitmod
 {
@@ -78,6 +84,13 @@ class PeColumn
                                 const Dtype &dt,
                                 int scale_bits = 8) const;
 
+    /** Packed-streaming variant: the row's weights are decoded from
+     *  the byte-exact DRAM image as they stream through the PE. */
+    ColumnResult processChannel(const PackedMatrix &packed, size_t row,
+                                std::span<const Float16> acts,
+                                const Dtype &dt,
+                                int scale_bits = 8) const;
+
     /**
      * Batched: process rows [row_begin, row_begin + row_count) of a
      * uniform pool against one shared activation vector.  Per-row
@@ -91,6 +104,19 @@ class PeColumn
                              std::span<const Float16> acts,
                              const Dtype &dt, int scale_bits = 8) const;
 
+    /**
+     * Packed-streaming strip: identical walk, but each group's storage
+     * codes are decoded straight from the PackedMatrix bit image into
+     * the column's decode buffer (no allocation after warm-up) before
+     * the TermTable dot product.  Bit-identical — values, cycles,
+     * drainEvents, contention — to the EncodedMatrix overload on the
+     * pool the image was packed from.
+     */
+    StripResult processStrip(const PackedMatrix &packed,
+                             size_t row_begin, size_t row_count,
+                             std::span<const Float16> acts,
+                             const Dtype &dt, int scale_bits = 8) const;
+
   private:
     /** Scale split + PE dispatch shared by both walk orders. */
     PeGroupResult processOneGroup(const EncodedGroupView &g,
@@ -99,15 +125,29 @@ class PeColumn
                                   const TermTable &table,
                                   int scale_bits) const;
 
+    template <typename Source>
+    StripResult stripImpl(const Source &src, size_t rows,
+                          size_t row_begin, size_t row_count,
+                          std::span<const Float16> acts,
+                          const Dtype &dt, int scale_bits) const;
+
     BitmodPe pe_;
     int pesPerColumn_;
+    /** Packed-path decode buffer (one group; reused, not thread-safe
+     *  — like the PE scratch, use one PeColumn per thread). */
+    mutable std::vector<float> decode_;
 };
 
 /**
  * Functional check of a whole tile column set: dequantized GEMV
- * y = W_q x computed entirely through the bit-serial pipeline, one
- * column-depth strip of rows at a time.  Returns one output per
- * weight row.
+ * y = W_q x computed entirely through the bit-serial pipeline — the
+ * weights are quantized, packed to the byte-exact DRAM image, and
+ * streamed through PE columns one column-depth strip of rows at a
+ * time.  Strips are independent, so they are sharded over the worker
+ * pool (cfg.threads as in QuantConfig; one PeColumn per thread — the
+ * PE scratch is not thread-safe); outputs land in per-row slots, so
+ * the result is bit-identical for any thread count.  Returns one
+ * output per weight row.
  */
 std::vector<double> tileGemv(const Matrix &weights,
                              const QuantConfig &cfg,

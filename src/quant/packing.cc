@@ -4,42 +4,127 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace bitmod
 {
+
+namespace
+{
+
+/**
+ * Buffered LSB-first bitstream reader for the decode hot path: bytes
+ * are gathered into a 64-bit window so each field costs a shift and a
+ * mask.  Callers bound the read extent once up front (readBits checks
+ * per call); the reader itself never dereferences past `end`.
+ */
+class BitReader
+{
+  public:
+    BitReader(const uint8_t *data, size_t size, size_t bit_pos)
+        : p_(data + (bit_pos >> 3)), end_(data + size)
+    {
+        const int skip = static_cast<int>(bit_pos & 7);
+        refill();
+        buf_ >>= skip;
+        avail_ -= skip;
+    }
+
+    uint32_t
+    get(int bits)
+    {
+        if (avail_ < bits)
+            refill();
+        const uint32_t v = static_cast<uint32_t>(
+            buf_ & ((uint64_t(1) << bits) - 1));
+        buf_ >>= bits;
+        avail_ -= bits;
+        return v;
+    }
+
+  private:
+    void
+    refill()
+    {
+        while (avail_ <= 56 && p_ < end_) {
+            buf_ |= static_cast<uint64_t>(*p_++) << avail_;
+            avail_ += 8;
+        }
+    }
+
+    const uint8_t *p_;
+    const uint8_t *end_;
+    uint64_t buf_ = 0;
+    int avail_ = 0;
+};
+
+/**
+ * True when an OliVe qvalue cannot be stored as a normal biased
+ * integer code and must take the escape path.  packedBits and
+ * packInto must agree on this exactly, or the precomputed bit extents
+ * drift from the bits actually written.
+ */
+inline bool
+isOliveOutlier(float q, double qmax)
+{
+    return std::fabs(q) > qmax || q != std::nearbyint(q);
+}
+
+} // namespace
+
+void
+writeBits(std::span<uint8_t> bytes, size_t &bit_pos, uint32_t value,
+          int bits)
+{
+    BITMOD_ASSERT(bits >= 0 && bits <= 32, "bad field width");
+    BITMOD_ASSERT(bits == 32 || (value >> bits) == 0,
+                  "value ", value, " exceeds ", bits, " bits");
+    BITMOD_ASSERT(bit_pos + bits <= bytes.size() * 8,
+                  "bitstream overrun: field of ", bits, " bits at ",
+                  bit_pos, " exceeds ", bytes.size() * 8);
+    if (bits == 0)
+        return;
+    // Byte-wise OR so a writer never touches bytes outside its field —
+    // row-parallel packers rely on this to write disjoint byte ranges.
+    const size_t byte0 = bit_pos >> 3;
+    const int shift = static_cast<int>(bit_pos & 7);
+    const uint64_t word = static_cast<uint64_t>(value) << shift;
+    const size_t nbytes = (shift + bits + 7) / 8;
+    for (size_t i = 0; i < nbytes; ++i)
+        bytes[byte0 + i] |= static_cast<uint8_t>(word >> (8 * i));
+    bit_pos += bits;
+}
 
 void
 appendBits(std::vector<uint8_t> &bytes, size_t &bit_pos, uint32_t value,
            int bits)
 {
     BITMOD_ASSERT(bits >= 0 && bits <= 32, "bad field width");
-    BITMOD_ASSERT(bits == 32 || (value >> bits) == 0,
-                  "value ", value, " exceeds ", bits, " bits");
-    for (int b = 0; b < bits; ++b) {
-        const size_t byteIdx = (bit_pos + b) / 8;
-        const int bitIdx = static_cast<int>((bit_pos + b) % 8);
-        if (byteIdx >= bytes.size())
-            bytes.push_back(0);
-        if ((value >> b) & 1u)
-            bytes[byteIdx] |= static_cast<uint8_t>(1u << bitIdx);
-    }
-    bit_pos += bits;
+    const size_t needed = (bit_pos + bits + 7) / 8;
+    if (bytes.size() < needed)
+        bytes.resize(needed, 0);
+    writeBits({bytes.data(), bytes.size()}, bit_pos, value, bits);
 }
 
 uint32_t
-readBits(const std::vector<uint8_t> &bytes, size_t &bit_pos, int bits)
+readBits(std::span<const uint8_t> bytes, size_t &bit_pos, int bits)
 {
     BITMOD_ASSERT(bits >= 0 && bits <= 32, "bad field width");
-    uint32_t value = 0;
-    for (int b = 0; b < bits; ++b) {
-        const size_t byteIdx = (bit_pos + b) / 8;
-        BITMOD_ASSERT(byteIdx < bytes.size(), "bitstream underrun");
-        const int bitIdx = static_cast<int>((bit_pos + b) % 8);
-        if ((bytes[byteIdx] >> bitIdx) & 1u)
-            value |= 1u << b;
-    }
+    BITMOD_ASSERT(bit_pos + bits <= bytes.size() * 8,
+                  "bitstream underrun: field of ", bits, " bits at ",
+                  bit_pos, " exceeds ", bytes.size() * 8);
+    if (bits == 0)
+        return 0;
+    // Word-wise gather: the field spans at most five bytes.
+    const size_t byte0 = bit_pos >> 3;
+    const int shift = static_cast<int>(bit_pos & 7);
+    uint64_t word = 0;
+    const size_t nbytes = (shift + bits + 7) / 8;
+    for (size_t i = 0; i < nbytes; ++i)
+        word |= static_cast<uint64_t>(bytes[byte0 + i]) << (8 * i);
     bit_pos += bits;
-    return value;
+    return static_cast<uint32_t>((word >> shift) &
+                                 ((uint64_t(1) << bits) - 1));
 }
 
 GroupPacker::GroupPacker(const QuantConfig &cfg) : cfg_(cfg)
@@ -52,21 +137,87 @@ GroupPacker::GroupPacker(const QuantConfig &cfg) : cfg_(cfg)
     metaBits_ = 8 + cfg.dtype.groupMetaBits();
     if (cfg.dtype.kind == DtypeKind::IntAsym)
         metaBits_ += 8;
+    buildCodeTables();
+}
+
+void
+GroupPacker::buildCodeTables()
+{
+    const size_t nCodes = size_t(1) << elementBits_;
+    switch (cfg_.dtype.kind) {
+      case DtypeKind::IntSym: {
+        const int bias = 1 << (elementBits_ - 1);
+        auto &t = codeValues_.emplace_back(nCodes, 0.0f);
+        for (size_t c = 0; c < nCodes; ++c)
+            t[c] = static_cast<float>(static_cast<int>(c) - bias);
+        return;
+      }
+      case DtypeKind::OliveOvp: {
+        const int bias = 1 << (elementBits_ - 1);
+        auto &t = codeValues_.emplace_back(nCodes, 0.0f);
+        for (size_t c = 0; c < nCodes; ++c)
+            t[c] = static_cast<float>(static_cast<int>(c) - bias);
+        // The escape code never names a normal value (the symmetric
+        // range clamps to ±qmax, so code 0 = -2^(b-1) is unused).
+        t[kOliveEscapeCode] = 0.0f;
+        outlierMags_ = oliveAbfloatMagnitudes(elementBits_);
+        outlierValues_.assign(nCodes, 0.0f);
+        for (size_t rec = 0; rec < nCodes; ++rec) {
+            const bool neg = (rec >> (elementBits_ - 1)) & 1u;
+            const size_t mag = rec & ((1u << (elementBits_ - 1)) - 1);
+            outlierValues_[rec] = static_cast<float>(
+                neg ? -outlierMags_[mag] : outlierMags_[mag]);
+        }
+        return;
+      }
+      case DtypeKind::IntAsym: {
+        auto &t = codeValues_.emplace_back(nCodes, 0.0f);
+        for (size_t c = 0; c < nCodes; ++c)
+            t[c] = static_cast<float>(c);
+        return;
+      }
+      case DtypeKind::NonLinear: {
+        for (const Grid &grid : cfg_.dtype.candidates) {
+            BITMOD_ASSERT(grid.size() <= nCodes, "grid of ",
+                          grid.size(), " values exceeds ",
+                          elementBits_, " element bits");
+            auto &t = codeValues_.emplace_back(nCodes, 0.0f);
+            for (size_t c = 0; c < grid.size(); ++c)
+                t[c] = static_cast<float>(grid.values()[c]);
+        }
+        return;
+      }
+      case DtypeKind::Mx: {
+        const Grid &grid = cfg_.dtype.mxElementGrid;
+        BITMOD_ASSERT(grid.size() <= nCodes, "MX grid too large");
+        auto &t = codeValues_.emplace_back(nCodes, 0.0f);
+        for (size_t c = 0; c < grid.size(); ++c)
+            t[c] = static_cast<float>(grid.values()[c]);
+        return;
+      }
+      case DtypeKind::Identity:
+        break;
+    }
+    BITMOD_PANIC("unhandled dtype kind");
 }
 
 uint32_t
 GroupPacker::codeOf(float qvalue, const EncodedGroupView &enc) const
 {
     switch (cfg_.dtype.kind) {
-      case DtypeKind::IntSym:
-      case DtypeKind::OliveOvp: {
-        // Bias to unsigned.  OliVe outliers are stored through their
-        // pair encoding in real hardware; this packer covers the
-        // normal-value path only and clamps anything beyond it.
+      case DtypeKind::IntSym: {
         const int bias = 1 << (elementBits_ - 1);
         const int v = static_cast<int>(qvalue) + bias;
         return static_cast<uint32_t>(
             std::clamp(v, 0, (1 << elementBits_) - 1));
+      }
+      case DtypeKind::OliveOvp: {
+        // Normal-value path only: outliers escape via code 0 and a
+        // trailing abfloat record (see packInto).
+        const int bias = 1 << (elementBits_ - 1);
+        const int v = static_cast<int>(qvalue) + bias;
+        return static_cast<uint32_t>(
+            std::clamp(v, 1, (1 << elementBits_) - 1));
       }
       case DtypeKind::IntAsym:
         return static_cast<uint32_t>(qvalue);
@@ -87,48 +238,156 @@ GroupPacker::codeOf(float qvalue, const EncodedGroupView &enc) const
 float
 GroupPacker::valueOf(uint32_t code, int sv_index) const
 {
-    switch (cfg_.dtype.kind) {
-      case DtypeKind::IntSym:
-      case DtypeKind::OliveOvp: {
-        const int bias = 1 << (elementBits_ - 1);
-        return static_cast<float>(static_cast<int>(code) - bias);
-      }
-      case DtypeKind::IntAsym:
-        return static_cast<float>(code);
-      case DtypeKind::NonLinear:
-      case DtypeKind::Mx: {
+    const size_t table =
+        cfg_.dtype.kind == DtypeKind::NonLinear
+            ? static_cast<size_t>(std::max(0, sv_index))
+            : 0;
+    BITMOD_ASSERT(table < codeValues_.size(), "special index ",
+                  sv_index, " out of ", codeValues_.size());
+    const auto &t = codeValues_[table];
+    BITMOD_ASSERT(code < t.size(), "storage code out of range");
+    if (cfg_.dtype.kind == DtypeKind::NonLinear ||
+        cfg_.dtype.kind == DtypeKind::Mx) {
         const Grid &grid = cfg_.dtype.kind == DtypeKind::Mx
                                ? cfg_.dtype.mxElementGrid
-                               : cfg_.dtype.candidates[std::max(
-                                     0, sv_index)];
+                               : cfg_.dtype.candidates[table];
         BITMOD_ASSERT(code < grid.size(), "grid code out of range");
-        return static_cast<float>(grid.values()[code]);
-      }
-      case DtypeKind::Identity:
-        break;
     }
-    BITMOD_PANIC("unhandled dtype kind");
+    return t[code];
+}
+
+size_t
+GroupPacker::oliveOutlierCount(std::span<const float> qvalues) const
+{
+    const double qmax = (1 << (elementBits_ - 1)) - 1;
+    size_t n = 0;
+    for (const float q : qvalues)
+        n += isOliveOutlier(q, qmax);
+    return n;
+}
+
+uint32_t
+GroupPacker::oliveOutlierCode(float qvalue) const
+{
+    const double mag = std::fabs(qvalue);
+    size_t best = 0;
+    double bestDist = std::fabs(mag - outlierMags_[0]);
+    for (size_t i = 1; i < outlierMags_.size(); ++i) {
+        const double d = std::fabs(mag - outlierMags_[i]);
+        if (d < bestDist) {
+            bestDist = d;
+            best = i;
+        }
+    }
+    BITMOD_ASSERT(bestDist == 0.0, "OliVe outlier ", qvalue,
+                  " is not an abfloat magnitude");
+    const uint32_t sign = qvalue < 0.0f ? 1u : 0u;
+    return (sign << (elementBits_ - 1)) | static_cast<uint32_t>(best);
+}
+
+size_t
+GroupPacker::packedBits(const EncodedGroupView &enc) const
+{
+    size_t bits = enc.size() * elementBits_ + metaBits_;
+    if (cfg_.dtype.kind == DtypeKind::OliveOvp)
+        bits += oliveOutlierCount(enc.qvalues) * elementBits_;
+    return bits;
+}
+
+void
+GroupPacker::packInto(const EncodedGroupView &enc, int scale_code,
+                      std::span<uint8_t> dst, size_t &bit_pos) const
+{
+    BITMOD_ASSERT(scale_code >= 0 && scale_code < 256,
+                  "scale code must fit 8 bits");
+    if (cfg_.dtype.kind == DtypeKind::OliveOvp) {
+        const double qmax = (1 << (elementBits_ - 1)) - 1;
+        for (const float q : enc.qvalues)
+            writeBits(dst, bit_pos,
+                      isOliveOutlier(q, qmax) ? kOliveEscapeCode
+                                              : codeOf(q, enc),
+                      elementBits_);
+        for (const float q : enc.qvalues)
+            if (isOliveOutlier(q, qmax))
+                writeBits(dst, bit_pos, oliveOutlierCode(q),
+                          elementBits_);
+    } else {
+        for (const float q : enc.qvalues)
+            writeBits(dst, bit_pos, codeOf(q, enc), elementBits_);
+    }
+    writeBits(dst, bit_pos, static_cast<uint32_t>(scale_code), 8);
+    if (cfg_.dtype.groupMetaBits() > 0)
+        writeBits(dst, bit_pos,
+                  static_cast<uint32_t>(std::max(0, enc.svIndex)),
+                  cfg_.dtype.groupMetaBits());
+    if (cfg_.dtype.kind == DtypeKind::IntAsym)
+        writeBits(dst, bit_pos,
+                  static_cast<uint32_t>(enc.zeroPoint), 8);
+}
+
+void
+GroupPacker::unpackInto(std::span<const uint8_t> bytes, size_t &bit_pos,
+                        std::span<float> qdst, GroupDesc &desc,
+                        double scale_base) const
+{
+    const size_t n = qdst.size();
+    size_t escapes = 0;
+    if (cfg_.dtype.kind == DtypeKind::OliveOvp) {
+        const size_t codeStart = bit_pos;
+        for (size_t i = 0; i < n; ++i) {
+            const uint32_t code = readBits(bytes, bit_pos, elementBits_);
+            qdst[i] = codeValues_[0][code];
+            escapes += code == kOliveEscapeCode;
+        }
+        if (escapes > 0) {
+            // Second pass over the (cheap) code section resolves each
+            // escape against the trailing abfloat records in order —
+            // no position list, no allocation.
+            size_t codePos = codeStart;
+            size_t recPos = bit_pos;
+            for (size_t i = 0; i < n; ++i) {
+                const uint32_t code =
+                    readBits(bytes, codePos, elementBits_);
+                if (code == kOliveEscapeCode)
+                    qdst[i] = outlierValues_[readBits(bytes, recPos,
+                                                      elementBits_)];
+            }
+            bit_pos = recPos;
+        }
+    } else {
+        // svIndex is read after the codes, but the code→value table is
+        // selected by it; buffer the codes in the output span (codes
+        // fit a float exactly) and translate after the metadata.
+        for (size_t i = 0; i < n; ++i)
+            qdst[i] = static_cast<float>(
+                readBits(bytes, bit_pos, elementBits_));
+    }
+    const uint32_t scaleCode = readBits(bytes, bit_pos, 8);
+    desc.svIndex =
+        cfg_.dtype.groupMetaBits() > 0
+            ? static_cast<int>(readBits(bytes, bit_pos,
+                                        cfg_.dtype.groupMetaBits()))
+            : (cfg_.dtype.kind == DtypeKind::NonLinear ? 0 : -1);
+    desc.zeroPoint = cfg_.dtype.kind == DtypeKind::IntAsym
+                         ? readBits(bytes, bit_pos, 8)
+                         : 0.0;
+    desc.scale = scaleCode * scale_base;
+    if (cfg_.dtype.kind != DtypeKind::OliveOvp)
+        for (size_t i = 0; i < n; ++i)
+            qdst[i] = valueOf(static_cast<uint32_t>(qdst[i]),
+                              desc.svIndex);
 }
 
 PackedGroup
 GroupPacker::pack(const EncodedGroupView &enc, int scale_code) const
 {
-    BITMOD_ASSERT(scale_code >= 0 && scale_code < 256,
-                  "scale code must fit 8 bits");
     PackedGroup out;
     out.elementBits = elementBits_;
     out.metaBits = metaBits_;
+    out.bytes.assign((packedBits(enc) + 7) / 8, 0);
     size_t pos = 0;
-    for (const float q : enc.qvalues)
-        appendBits(out.bytes, pos, codeOf(q, enc), elementBits_);
-    appendBits(out.bytes, pos, static_cast<uint32_t>(scale_code), 8);
-    if (cfg_.dtype.groupMetaBits() > 0)
-        appendBits(out.bytes, pos,
-                   static_cast<uint32_t>(std::max(0, enc.svIndex)),
-                   cfg_.dtype.groupMetaBits());
-    if (cfg_.dtype.kind == DtypeKind::IntAsym)
-        appendBits(out.bytes, pos,
-                   static_cast<uint32_t>(enc.zeroPoint), 8);
+    packInto(enc, scale_code, {out.bytes.data(), out.bytes.size()},
+             pos);
     return out;
 }
 
@@ -137,24 +396,152 @@ GroupPacker::unpack(const PackedGroup &packed, size_t group_size,
                     double scale_base) const
 {
     EncodedGroup enc;
-    size_t pos = 0;
-    std::vector<uint32_t> codes(group_size);
-    for (size_t i = 0; i < group_size; ++i)
-        codes[i] = readBits(packed.bytes, pos, elementBits_);
-    const uint32_t scaleCode = readBits(packed.bytes, pos, 8);
-    enc.svIndex = cfg_.dtype.groupMetaBits() > 0
-                      ? static_cast<int>(readBits(
-                            packed.bytes, pos,
-                            cfg_.dtype.groupMetaBits()))
-                      : (cfg_.dtype.kind == DtypeKind::NonLinear ? 0
-                                                                 : -1);
-    if (cfg_.dtype.kind == DtypeKind::IntAsym)
-        enc.zeroPoint = readBits(packed.bytes, pos, 8);
-    enc.scale = scaleCode * scale_base;
     enc.qvalues.resize(group_size);
-    for (size_t i = 0; i < group_size; ++i)
-        enc.qvalues[i] = valueOf(codes[i], enc.svIndex);
+    GroupDesc d;
+    size_t pos = 0;
+    unpackInto({packed.bytes.data(), packed.bytes.size()}, pos,
+               {enc.qvalues.data(), enc.qvalues.size()}, d, scale_base);
+    enc.scale = d.scale;
+    enc.zeroPoint = d.zeroPoint;
+    enc.svIndex = d.svIndex;
     return enc;
+}
+
+uint32_t
+GroupPacker::scaleCodeOf(double scale, double scale_base) const
+{
+    if (cfg_.dtype.kind == DtypeKind::Mx) {
+        // MX scales are exact powers of two: store the shared exponent
+        // biased by 127; 255 marks an all-zero group.
+        if (scale == 0.0)
+            return kMxZeroScaleCode;
+        const int e = std::ilogb(scale);
+        return static_cast<uint32_t>(std::clamp(e + 127, 0, 254));
+    }
+    if (scale_base <= 0.0)
+        return 0;
+    const double code = std::nearbyint(scale / scale_base);
+    return static_cast<uint32_t>(
+        std::clamp(code, 0.0, 255.0));
+}
+
+PackedMatrix
+GroupPacker::packMatrix(const EncodedMatrix &enc, int threads) const
+{
+    PackedMatrix pm;
+    pm.rows_ = enc.rows();
+    pm.groupsPerRow_ = enc.groupsPerRow();
+    pm.elementCount_ = enc.elementCount();
+    pm.elementBits_ = elementBits_;
+    pm.metaBits_ = metaBits_;
+    pm.kind_ = cfg_.dtype.kind;
+    pm.codeValues_ = codeValues_;
+    pm.outlierValues_ = outlierValues_;
+
+    const size_t rows = enc.rows();
+    const size_t gpr = enc.groupsPerRow();
+    pm.groups_.resize(enc.size());
+    pm.rowScaleBases_.assign(rows, 0.0);
+
+    // Pass 1 (serial, cheap): per-group bit extents, per-row byte
+    // offsets (rows are byte-aligned so the parallel fill below writes
+    // disjoint byte ranges), scale bases and descriptor metadata.
+    std::vector<size_t> rowByteOff(rows + 1, 0);
+    for (size_t r = 0; r < rows; ++r) {
+        double base = enc.rowScaleBase(r);
+        if (base <= 0.0 && cfg_.dtype.kind != DtypeKind::Mx) {
+            // No captured second-level base: project against the row
+            // maximum (the descriptor keeps the exact scale).
+            double rowMax = 0.0;
+            for (size_t g = 0; g < gpr; ++g)
+                rowMax = std::max(rowMax,
+                                  enc.desc(r * gpr + g).scale);
+            base = rowMax > 0.0 ? rowMax / 255.0 : 0.0;
+        }
+        pm.rowScaleBases_[r] = cfg_.dtype.kind == DtypeKind::Mx
+                                   ? 0.0
+                                   : base;
+
+        size_t bitPos = rowByteOff[r] * 8;
+        for (size_t g = 0; g < gpr; ++g) {
+            const size_t i = r * gpr + g;
+            const GroupDesc &src = enc.desc(i);
+            PackedGroupDesc &d = pm.groups_[i];
+            d.bitOffset = bitPos;
+            d.bitLen =
+                static_cast<uint32_t>(packedBits(enc.group(i)));
+            d.len = src.len;
+            d.svIndex = src.svIndex;
+            d.scale = src.scale;
+            d.zeroPoint = src.zeroPoint;
+            d.scaleCode = scaleCodeOf(src.scale, base);
+            bitPos += d.bitLen;
+        }
+        rowByteOff[r + 1] = (bitPos + 7) / 8;
+    }
+
+    // Pass 2: row-parallel fill.  Every group's bit extent is known,
+    // so workers write disjoint (byte-aligned per row) ranges of the
+    // pre-zeroed image — bit-identical for any thread count.
+    pm.bytes_.assign(rowByteOff[rows], 0);
+    const std::span<uint8_t> image{pm.bytes_.data(), pm.bytes_.size()};
+    parallelFor(rows, threads, [&](size_t r) {
+        size_t pos = pm.groups_[r * gpr].bitOffset;
+        for (size_t g = 0; g < gpr; ++g) {
+            const size_t i = r * gpr + g;
+            const PackedGroupDesc &d = pm.groups_[i];
+            BITMOD_ASSERT(pos == d.bitOffset,
+                          "packed extent drifted at group ", i);
+            packInto(enc.group(i),
+                     static_cast<int>(d.scaleCode), image, pos);
+            BITMOD_ASSERT(pos == d.bitOffset + d.bitLen,
+                          "group ", i, " wrote ", pos - d.bitOffset,
+                          " bits, expected ", d.bitLen);
+        }
+    });
+    return pm;
+}
+
+void
+PackedMatrix::decodeGroupInto(size_t i, std::span<float> out) const
+{
+    const PackedGroupDesc &d = groups_[i];
+    BITMOD_ASSERT(out.size() == d.len, "decode span size ",
+                  out.size(), " != group size ", d.len);
+    // One extent check for the whole group; the buffered reader below
+    // then streams fields without per-element bounds work.
+    BITMOD_ASSERT(d.bitOffset + d.bitLen <= bytes_.size() * 8,
+                  "group ", i, " extends past the packed image");
+    if (kind_ == DtypeKind::OliveOvp) {
+        const auto &normals = codeValues_[0];
+        BitReader codes(bytes_.data(), bytes_.size(), d.bitOffset);
+        size_t escapes = 0;
+        for (size_t e = 0; e < d.len; ++e) {
+            const uint32_t code = codes.get(elementBits_);
+            out[e] = normals[code];
+            escapes += code == kOliveEscapeCode;
+        }
+        if (escapes > 0) {
+            BitReader reread(bytes_.data(), bytes_.size(),
+                             d.bitOffset);
+            BitReader records(bytes_.data(), bytes_.size(),
+                              d.bitOffset + d.len * elementBits_);
+            for (size_t e = 0; e < d.len; ++e)
+                if (reread.get(elementBits_) == kOliveEscapeCode)
+                    out[e] =
+                        outlierValues_[records.get(elementBits_)];
+        }
+        return;
+    }
+    const size_t table =
+        kind_ == DtypeKind::NonLinear
+            ? static_cast<size_t>(std::max(0, static_cast<int>(
+                                                  d.svIndex)))
+            : 0;
+    const float *vals = codeValues_[table].data();
+    BitReader codes(bytes_.data(), bytes_.size(), d.bitOffset);
+    for (size_t e = 0; e < d.len; ++e)
+        out[e] = vals[codes.get(elementBits_)];
 }
 
 double

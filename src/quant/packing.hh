@@ -7,12 +7,30 @@
  * datatype needs one).  This is the byte-exact layout a deployment
  * would write to DRAM — Section III-C's "10-bit extra memory per
  * group" made concrete.
+ *
+ * Two granularities of API:
+ *  - GroupPacker::packInto / unpackInto serialize one group into /
+ *    out of a caller-owned bitstream span, allocation-free.
+ *  - GroupPacker::packMatrix turns a whole EncodedMatrix pool into a
+ *    PackedMatrix — one contiguous byte image per matrix plus
+ *    per-group descriptors — which the PE column streams directly
+ *    (see PeColumn::processStrip(const PackedMatrix&, ...)).
+ *
+ * OliVe groups are packed losslessly: normal values use the biased
+ * integer codes 1..2^b-1 (code 0 is unused because the symmetric
+ * range clamps to ±qmax), so code 0 serves as an outlier escape.  An
+ * escaped element's abfloat value (1 sign bit + b-1 magnitude-index
+ * bits) is appended after the group's element codes, one record per
+ * escape in element order.  This keeps the element section at b bits
+ * per weight and charges each outlier b extra bits — the honest
+ * footprint of the outlier-victim encoding.
  */
 
 #ifndef BITMOD_QUANT_PACKING_HH
 #define BITMOD_QUANT_PACKING_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "quant/quantizer.hh"
@@ -29,16 +47,144 @@ struct PackedGroup
 };
 
 /**
+ * Per-group descriptor into a PackedMatrix byte image: where the
+ * group's bits live plus the metadata mirror the simulator consumes.
+ *
+ * bitOffset / bitLen / len locate the group; svIndex, scaleCode and
+ * zeroPoint mirror fields that are also stored inside the bitstream
+ * (they round-trip exactly — the 2-bit selector and the 8-bit zero
+ * point are integers).  scale is the exact double group scale: when
+ * the pool was quantized with 8-bit second-level scales the stream's
+ * scaleCode times the row's scale base reconstructs it bit for bit
+ * (scale == scaleCode * rowScaleBase by construction of
+ * quantizeScales); for FP16-scale configurations the in-stream code
+ * is a lossy 8-bit projection and the descriptor keeps the simulator
+ * exact.
+ */
+struct PackedGroupDesc
+{
+    uint64_t bitOffset = 0;  //!< first element-code bit in the image
+    uint32_t bitLen = 0;     //!< total bits incl. outlier records + meta
+    uint32_t len = 0;        //!< elements in this group
+    int32_t svIndex = -1;    //!< adaptive NonLinear only
+    uint32_t scaleCode = 0;  //!< in-stream 8-bit scale code
+    double scale = 0.0;      //!< exact group scale
+    double zeroPoint = 0.0;  //!< IntAsym only (8-bit exact in-stream)
+};
+
+/**
+ * Structure-of-arrays packed pool: the byte-exact DRAM image of a
+ * whole quantized matrix plus per-group descriptors and the per-row
+ * scale bases kept out-of-band (one FP base per output channel, as
+ * VS-Quant second-level scaling prescribes).
+ *
+ * Rows are byte-aligned (groups within a row are bit-contiguous), so
+ * row-parallel packers write disjoint byte ranges and a DMA model can
+ * fetch a channel with byte granularity.  The container also carries
+ * the per-datatype code→qvalue tables, so consumers decode storage
+ * codes straight from the bit image without re-deriving grid layouts
+ * — this is what makes the packed image a first-class operand format
+ * rather than a leaf serialization.
+ */
+class PackedMatrix
+{
+  public:
+    bool empty() const { return groups_.empty(); }
+    /** Total groups in the pool. */
+    size_t size() const { return groups_.size(); }
+    size_t rows() const { return rows_; }
+    size_t groupsPerRow() const { return groupsPerRow_; }
+    /** Total packed weight elements. */
+    size_t elementCount() const { return elementCount_; }
+
+    const PackedGroupDesc &desc(size_t i) const { return groups_[i]; }
+    /** Group @p g of row @p r in a uniform layout. */
+    const PackedGroupDesc &
+    desc(size_t r, size_t g) const
+    {
+        return groups_[r * groupsPerRow_ + g];
+    }
+
+    /** The whole contiguous bit image. */
+    std::span<const uint8_t>
+    bytes() const
+    {
+        return {bytes_.data(), bytes_.size()};
+    }
+    /** Byte size of the DRAM image (descriptors excluded). */
+    size_t imageBytes() const { return bytes_.size(); }
+
+    /** Out-of-band second-level scale base of row @p r (0 if none). */
+    double
+    rowScaleBase(size_t r) const
+    {
+        return rowScaleBases_[r];
+    }
+
+    int elementBits() const { return elementBits_; }
+    int metaBits() const { return metaBits_; }
+    DtypeKind kind() const { return kind_; }
+
+    /**
+     * Decode group @p i's element codes straight from the bit image
+     * into @p out (length desc(i).len) via the code→qvalue tables.
+     * Allocation-free; bit-identical to the EncodedMatrix qvalues the
+     * image was packed from.
+     */
+    void decodeGroupInto(size_t i, std::span<float> out) const;
+
+  private:
+    friend class GroupPacker;
+
+    size_t rows_ = 0;
+    size_t groupsPerRow_ = 0;
+    size_t elementCount_ = 0;
+    int elementBits_ = 0;
+    int metaBits_ = 0;
+    DtypeKind kind_ = DtypeKind::Identity;
+    std::vector<uint8_t> bytes_;
+    std::vector<PackedGroupDesc> groups_;
+    std::vector<double> rowScaleBases_;
+    /** code→qvalue per special-value candidate (one entry otherwise). */
+    std::vector<std::vector<float>> codeValues_;
+    /** OliVe escape records: (sign<<(b-1) | magIdx) → signed abfloat. */
+    std::vector<float> outlierValues_;
+};
+
+/**
  * Serializer for encoded groups of one quantization configuration.
  * Grid codes are indices into the candidate grid; integer codes are
  * biased to unsigned.  The packer also owns the scale codec: scales
  * are stored as the 8-bit second-level integer plus one per-channel
- * FP16 base (kept out-of-band by the caller).
+ * FP base (kept out-of-band by the caller / the PackedMatrix).
  */
 class GroupPacker
 {
   public:
     explicit GroupPacker(const QuantConfig &cfg);
+
+    /** Exact bit extent of @p enc when packed (codes + records + meta). */
+    size_t packedBits(const EncodedGroupView &enc) const;
+
+    /**
+     * Pack one group into @p dst at @p bit_pos (advances it), writing
+     * exactly packedBits(enc) bits.  @p dst must be pre-zeroed and
+     * large enough; no allocation is performed.  Callers packing rows
+     * in parallel must give each worker a byte-disjoint region.
+     */
+    void packInto(const EncodedGroupView &enc, int scale_code,
+                  std::span<uint8_t> dst, size_t &bit_pos) const;
+
+    /**
+     * Unpack one group from @p bytes at @p bit_pos (advances it) into
+     * @p qdst, filling @p desc's scale / zero-point / special-value
+     * fields (scale = in-stream code * @p scale_base).  Allocation
+     * free — this is the span overload that fixes the per-call
+     * allocations of unpack().
+     */
+    void unpackInto(std::span<const uint8_t> bytes, size_t &bit_pos,
+                    std::span<float> qdst, GroupDesc &desc,
+                    double scale_base) const;
 
     /**
      * Pack one encoded group (with its INT8 scale code).  Takes a
@@ -51,7 +197,29 @@ class GroupPacker
     EncodedGroup unpack(const PackedGroup &packed, size_t group_size,
                         double scale_base) const;
 
-    /** Stored bits per weight for a group of @p group_size. */
+    /**
+     * Pack a whole EncodedMatrix pool into its byte-exact DRAM image.
+     * Group bit extents are precomputed and rows are byte-aligned, so
+     * the row fill is sharded over the worker pool (@p threads as in
+     * QuantConfig::threads) with workers writing disjoint byte
+     * ranges; the image is bit-identical for any thread count.
+     *
+     * Scale codes: with captured second-level bases (scaleBits > 0 in
+     * quantizeMatrix) the stream code reconstructs the exact scale;
+     * MX scales store the shared exponent (code = e + 127, 255 = zero
+     * scale); otherwise an 8-bit projection against the row max is
+     * stored and the descriptor keeps the exact value.
+     */
+    PackedMatrix packMatrix(const EncodedMatrix &enc,
+                            int threads = 0) const;
+
+    /**
+     * Stored bits per weight for a group of @p group_size, counting
+     * the fixed-width sections only (element codes + metadata).
+     * OliVe escape records are data-dependent and excluded — use
+     * packedBits / PackedMatrix::imageBytes for the measured OliVe
+     * footprint (roughly +bits * outlier-rate per weight on top).
+     */
     double packedBitsPerWeight(size_t group_size) const;
 
     int elementBits() const { return elementBits_; }
@@ -62,19 +230,52 @@ class GroupPacker
     uint32_t codeOf(float qvalue, const EncodedGroupView &enc) const;
     /** Map a storage code back to the qvalue. */
     float valueOf(uint32_t code, int sv_index) const;
+    /** OliVe: outliers per group (elements escaping the normal range). */
+    size_t oliveOutlierCount(std::span<const float> qvalues) const;
+    /** OliVe: escape record (sign + magnitude index) of an outlier. */
+    uint32_t oliveOutlierCode(float qvalue) const;
+    /** In-stream scale code for a group of row base @p scale_base. */
+    uint32_t scaleCodeOf(double scale, double scale_base) const;
+
+    void buildCodeTables();
 
     QuantConfig cfg_;
     int elementBits_ = 0;
     int metaBits_ = 0;
+    /** code→qvalue per special-value candidate (one entry otherwise). */
+    std::vector<std::vector<float>> codeValues_;
+    std::vector<float> outlierValues_;
+    std::vector<double> outlierMags_;  //!< abfloat magnitudes, sorted
 };
 
-/** Append @p bits low bits of @p value to a bitstream. */
+/** OliVe outlier escape: element code 0 never names a normal value. */
+inline constexpr uint32_t kOliveEscapeCode = 0;
+
+/** MX in-stream scale code for an all-zero group (no exponent). */
+inline constexpr uint32_t kMxZeroScaleCode = 255;
+
+/** Append @p bits low bits of @p value to a bitstream (grows it). */
 void appendBits(std::vector<uint8_t> &bytes, size_t &bit_pos,
                 uint32_t value, int bits);
 
+/**
+ * OR @p bits low bits of @p value into a pre-zeroed, preallocated
+ * bitstream at @p bit_pos (advances it).  Asserts the field fits the
+ * span — the overrun-checked primitive parallel packers build on.
+ */
+void writeBits(std::span<uint8_t> bytes, size_t &bit_pos,
+               uint32_t value, int bits);
+
 /** Read @p bits from a bitstream at @p bit_pos (advances it). */
-uint32_t readBits(const std::vector<uint8_t> &bytes, size_t &bit_pos,
+uint32_t readBits(std::span<const uint8_t> bytes, size_t &bit_pos,
                   int bits);
+
+inline uint32_t
+readBits(const std::vector<uint8_t> &bytes, size_t &bit_pos, int bits)
+{
+    return readBits(std::span<const uint8_t>{bytes.data(), bytes.size()},
+                    bit_pos, bits);
+}
 
 } // namespace bitmod
 

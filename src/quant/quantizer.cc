@@ -260,26 +260,6 @@ encodeMx(std::span<const float> w, const Grid &element_grid,
     }
 }
 
-/** OliVe abfloat magnitude grid (in units of the normal scale). */
-std::vector<double>
-oliveAbfloatMagnitudes(int bits)
-{
-    // 4-bit: sign + 2-bit exponent + 1-bit mantissa, biased past the
-    // normal INT4 range: (1 + m/2) * 2^(4+e) -> {16,24,32,48,64,96,128,192}.
-    // 3-bit: sign + 2-bit exponent: 2^(3+e) -> {8,16,32,64}.
-    std::vector<double> mags;
-    if (bits == 4) {
-        for (int e = 0; e < 4; ++e)
-            for (int m = 0; m < 2; ++m)
-                mags.push_back((1.0 + 0.5 * m) * std::ldexp(1.0, 4 + e));
-    } else {
-        for (int e = 0; e < 4; ++e)
-            mags.push_back(std::ldexp(1.0, 3 + e));
-    }
-    std::sort(mags.begin(), mags.end());
-    return mags;
-}
-
 /**
  * OliVe outlier-victim pair encoding: the top-t magnitudes become
  * abfloat outliers whose pair-partner is pruned to zero; t is chosen
@@ -377,6 +357,25 @@ encodeOlive(std::span<const float> w, int bits, int max_outliers,
 }
 
 } // namespace
+
+std::vector<double>
+oliveAbfloatMagnitudes(int bits)
+{
+    // 4-bit: sign + 2-bit exponent + 1-bit mantissa, biased past the
+    // normal INT4 range: (1 + m/2) * 2^(4+e) -> {16,24,32,48,64,96,128,192}.
+    // 3-bit: sign + 2-bit exponent: 2^(3+e) -> {8,16,32,64}.
+    std::vector<double> mags;
+    if (bits == 4) {
+        for (int e = 0; e < 4; ++e)
+            for (int m = 0; m < 2; ++m)
+                mags.push_back((1.0 + 0.5 * m) * std::ldexp(1.0, 4 + e));
+    } else {
+        for (int e = 0; e < 4; ++e)
+            mags.push_back(std::ldexp(1.0, 3 + e));
+    }
+    std::sort(mags.begin(), mags.end());
+    return mags;
+}
 
 void
 encodeGroupInto(std::span<const float> w, const QuantConfig &cfg,
@@ -503,7 +502,8 @@ quantizeValueInGroup(float w, const EncodedGroupView &enc,
 }
 
 std::vector<double>
-quantizeScales(std::span<const double> scales, int bits)
+quantizeScales(std::span<const double> scales, int bits,
+               double *step_out)
 {
     BITMOD_ASSERT(bits >= 2 && bits <= 8, "scale bits: ", bits);
     double maxScale = 0.0;
@@ -512,11 +512,15 @@ quantizeScales(std::span<const double> scales, int bits)
         maxScale = std::max(maxScale, s);
     }
     std::vector<double> out(scales.size(), 0.0);
+    if (step_out)
+        *step_out = 0.0;
     if (maxScale == 0.0)
         return out;
     // Eq. (1) applied to the scale vector (VS-Quant second level).
     const double qmax = (1 << (bits - 1)) - 1;
     const double d2 = maxScale / qmax;
+    if (step_out)
+        *step_out = d2;
     for (size_t i = 0; i < scales.size(); ++i)
         out[i] = std::nearbyint(scales[i] / d2) * d2;
     return out;
@@ -641,15 +645,20 @@ quantizeMatrix(const Matrix &w, const QuantConfig &cfg)
             if (twoPass) {
                 // Second pass per channel: second-level quantize the
                 // channel's scale vector and decode with the
-                // re-quantized scales (Section III-C).
+                // re-quantized scales (Section III-C).  The step is
+                // captured per row so the packer can serialize the
+                // scales as exact 8-bit codes.
                 scales.resize(ngroups);
                 for (size_t g = 0; g < ngroups; ++g)
                     scales[g] = pool.desc(base + g).scale;
+                double step = 0.0;
                 const auto qScales =
                     quantizeScales({scales.data(), scales.size()},
-                                   cfg.scaleBits);
+                                   cfg.scaleBits, &step);
                 for (size_t g = 0; g < ngroups; ++g)
                     pool.desc(base + g).scale = qScales[g];
+                if (cfg.captureEncoding)
+                    result.encoded.setRowScaleBase(r, step);
             }
             for (size_t g = 0; g < ngroups; ++g) {
                 const GroupDesc &d = pool.desc(base + g);

@@ -144,6 +144,7 @@ class EncodedMatrix
         groupsPerRow_ = 0;
         groups_.clear();
         qvalues_.clear();
+        rowScaleBases_.clear();
     }
 
     /** Preallocate a uniform layout: every group @p group_size wide. */
@@ -154,6 +155,7 @@ class EncodedMatrix
                       "group size exceeds the descriptor width");
         rows_ = rows;
         groupsPerRow_ = groups_per_row;
+        rowScaleBases_.assign(rows, 0.0);
         const size_t n = rows * groups_per_row;
         groups_.resize(n);
         qvalues_.resize(n * group_size);
@@ -186,7 +188,30 @@ class EncodedMatrix
         groups_.push_back(d);
         rows_ = 1;
         groupsPerRow_ = groups_.size();
+        rowScaleBases_.assign(1, rowScaleBases_.empty()
+                                     ? 0.0
+                                     : rowScaleBases_[0]);
         return groups_.size() - 1;
+    }
+
+    /**
+     * Second-level scale step of row @p r: the exact factor such that
+     * every group scale of the row equals an 8-bit integer code times
+     * it.  0 when the row was not second-level quantized (FP16
+     * scales); set by quantizeMatrix when scaleBits > 0 so the packer
+     * can emit in-stream scale codes that reconstruct the pool scales
+     * bit for bit.
+     */
+    double
+    rowScaleBase(size_t r) const
+    {
+        return rowScaleBases_[r];
+    }
+
+    void
+    setRowScaleBase(size_t r, double base)
+    {
+        rowScaleBases_[r] = base;
     }
 
     bool empty() const { return groups_.empty(); }
@@ -247,6 +272,7 @@ class EncodedMatrix
     size_t groupsPerRow_ = 0;
     std::vector<GroupDesc> groups_;
     std::vector<float> qvalues_;
+    std::vector<double> rowScaleBases_;  //!< per-row 2nd-level step
 };
 
 /** Aggregate quantization statistics. */
@@ -320,10 +346,23 @@ float quantizeValueInGroup(float w, const EncodedGroupView &enc,
 /**
  * Second-level symmetric integer quantization of positive scale
  * factors (Eq. 1 applied to the scales of one channel): returns the
- * re-quantized scales.  @p bits >= 2.
+ * re-quantized scales.  @p bits >= 2.  When @p step_out is non-null
+ * it receives the quantization step, i.e. the exact factor such that
+ * every returned scale is an integer code times it (0 for an all-zero
+ * scale vector) — the packer stores that code in the bitstream and
+ * the step out-of-band, reconstructing the scales bit for bit.
  */
 std::vector<double> quantizeScales(std::span<const double> scales,
-                                   int bits);
+                                   int bits,
+                                   double *step_out = nullptr);
+
+/**
+ * OliVe abfloat outlier magnitudes (in units of the normal scale):
+ * the 2^(bits-1) sorted values a protected outlier can take.  Shared
+ * by the OliVe encoder and the GroupPacker's escape-record codec so
+ * the two can never disagree on the grid.
+ */
+std::vector<double> oliveAbfloatMagnitudes(int bits);
 
 /**
  * Average stored bits per weight for a given configuration and channel

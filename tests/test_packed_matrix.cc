@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Tests for the packed-domain pipeline: PackedMatrix round trips
+ * (every dtype kind, incl. OliVe outlier escapes and ragged tail
+ * groups, randomized shapes), footprint cross-checks against the
+ * analytic packedBitsPerWeight numbers, bit-identity of the
+ * packed-streaming PE column against the float-pool path, parallel
+ * packMatrix determinism, and the strip-parallel tileGemv's
+ * thread-count invariance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "core/bitmod_api.hh"
+#include "pe/pe_column.hh"
+#include "quant/dtype.hh"
+#include "quant/packing.hh"
+#include "tensor/generator.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+Matrix
+randomMatrix(size_t rows, size_t cols, Rng &rng, double sigma = 0.02)
+{
+    Matrix w(rows, cols);
+    for (float &x : w.flat())
+        x = static_cast<float>(rng.gaussian(0.0, sigma));
+    return w;
+}
+
+std::vector<Float16>
+randomActs(size_t n, Rng &rng)
+{
+    std::vector<Float16> acts;
+    acts.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian()));
+    return acts;
+}
+
+/** Matrix with heavy-tailed rows so OliVe actually places outliers. */
+Matrix
+outlierMatrix(size_t rows, size_t cols, Rng &rng)
+{
+    Matrix w = randomMatrix(rows, cols, rng);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            if (rng.uniform() < 0.04)
+                w(r, c) *= static_cast<float>(20.0 + 40.0 *
+                                              rng.uniform());
+    return w;
+}
+
+void
+expectPackedMatchesPool(const EncodedMatrix &pool,
+                        const PackedMatrix &packed, const char *label)
+{
+    ASSERT_EQ(packed.size(), pool.size()) << label;
+    ASSERT_EQ(packed.rows(), pool.rows()) << label;
+    ASSERT_EQ(packed.groupsPerRow(), pool.groupsPerRow()) << label;
+    std::vector<float> decoded;
+    for (size_t i = 0; i < pool.size(); ++i) {
+        const auto view = pool.group(i);
+        const PackedGroupDesc &d = packed.desc(i);
+        ASSERT_EQ(d.len, view.size()) << label << " group " << i;
+        EXPECT_EQ(d.svIndex, view.svIndex) << label << " group " << i;
+        EXPECT_EQ(d.scale, view.scale) << label << " group " << i;
+        EXPECT_EQ(d.zeroPoint, view.zeroPoint)
+            << label << " group " << i;
+        decoded.assign(d.len, -1.0f);
+        packed.decodeGroupInto(i, {decoded.data(), decoded.size()});
+        for (size_t e = 0; e < d.len; ++e)
+            ASSERT_EQ(decoded[e], view.qvalues[e])
+                << label << " group " << i << " elem " << e;
+    }
+}
+
+class PackMatrixRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PackMatrixRoundTrip, DecodeIsBitIdentical)
+{
+    Rng rng(0xBEEF);
+    for (const int scaleBits : {0, 8}) {
+        QuantConfig cfg;
+        cfg.dtype = dtypes::byName(GetParam());
+        cfg.groupSize = 64;
+        cfg.scaleBits = scaleBits;
+        cfg.captureEncoding = true;
+        for (const auto [rows, cols] :
+             {std::pair<size_t, size_t>{3, 128},
+              std::pair<size_t, size_t>{17, 256},
+              std::pair<size_t, size_t>{1, 64}}) {
+            const Matrix w =
+                cfg.dtype.kind == DtypeKind::OliveOvp
+                    ? outlierMatrix(rows, cols, rng)
+                    : randomMatrix(rows, cols, rng);
+            const auto q = quantizeMatrix(w, cfg);
+            const GroupPacker packer(cfg);
+            const PackedMatrix packed = packer.packMatrix(q.encoded);
+            expectPackedMatchesPool(q.encoded, packed, GetParam());
+            EXPECT_EQ(packed.elementCount(),
+                      q.encoded.elementCount());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datatypes, PackMatrixRoundTrip,
+    ::testing::Values("INT4-Sym", "INT6-Sym", "INT4-Asym", "FP4",
+                      "BitMoD-FP3", "BitMoD-FP4", "MX-FP4", "OliVe4",
+                      "OliVe3"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (auto &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(PackMatrix, RaggedRowsRoundTrip)
+{
+    // Ragged single-row pools: random group lengths including odd
+    // sizes (OliVe's unpaired-tail-outlier case) and empty groups.
+    Rng rng(0xCAFE);
+    for (const char *name : {"INT4-Sym", "BitMoD-FP4", "OliVe4"}) {
+        QuantConfig cfg;
+        cfg.dtype = dtypes::byName(name);
+        for (int trial = 0; trial < 10; ++trial) {
+            EncodedMatrix pool;
+            const size_t ngroups = 1 + (rng.next() % 6);
+            std::vector<float> scratch;
+            for (size_t g = 0; g < ngroups; ++g) {
+                const size_t len = 1 + rng.next() % 32;  // odd too
+                const size_t slot = pool.appendGroup(len);
+                scratch.resize(len);
+                for (auto &x : scratch) {
+                    x = static_cast<float>(rng.gaussian(0.0, 0.02));
+                    if (cfg.dtype.kind == DtypeKind::OliveOvp &&
+                        rng.uniform() < 0.1)
+                        x *= 50.0f;
+                }
+                encodeGroupInto({scratch.data(), scratch.size()}, cfg,
+                                pool.slot(slot), pool.desc(slot));
+            }
+            const GroupPacker packer(cfg);
+            const PackedMatrix packed = packer.packMatrix(pool);
+            expectPackedMatchesPool(pool, packed, name);
+        }
+    }
+}
+
+TEST(PackMatrix, OliveOutliersSurviveTheEscapeEncoding)
+{
+    // A group with forced outliers must round-trip the abfloat values
+    // exactly — the legacy packer clamped them into the normal range.
+    QuantConfig cfg;
+    cfg.dtype = dtypes::olive(4);
+    Rng rng(0xD00D);
+    // Search spiky random groups until the MSE-optimal encoding
+    // actually places an abfloat outlier (|q| beyond the INT4 range).
+    std::vector<float> w(32);
+    EncodedGroup enc;
+    bool found = false;
+    for (int trial = 0; trial < 200 && !found; ++trial) {
+        for (auto &x : w) {
+            x = static_cast<float>(rng.gaussian(0.0, 0.02));
+            if (rng.uniform() < 0.08)
+                x *= static_cast<float>(20.0 + 60.0 * rng.uniform());
+        }
+        enc = encodeGroup({w.data(), w.size()}, cfg);
+        for (const float q : enc.qvalues)
+            found |= std::fabs(q) > 7.0;
+    }
+    ASSERT_TRUE(found) << "encoder never placed an outlier";
+
+    const GroupPacker packer(cfg);
+    const auto packed = packer.pack(enc, 200);
+    const auto back = packer.unpack(packed, w.size(), enc.scale / 200);
+    for (size_t i = 0; i < w.size(); ++i)
+        EXPECT_EQ(back.qvalues[i], enc.qvalues[i]) << "elem " << i;
+
+    // The escape records charge the honest footprint: b bits per
+    // outlier on top of the fixed-width element section.
+    const EncodedGroupView view = enc;
+    size_t outliers = 0;
+    for (const float q : enc.qvalues)
+        outliers += std::fabs(q) > 7.0;
+    EXPECT_EQ(packer.packedBits(view),
+              w.size() * 4 + outliers * 4 + 8);
+}
+
+TEST(PackMatrix, FootprintMatchesAnalyticBitsPerWeight)
+{
+    // The measured image must equal the analytic packedBitsPerWeight
+    // accounting (used by the Fig. 1-style memory analyses) exactly:
+    // per row, ceil(groups * (len*elementBits + metaBits) / 8) bytes.
+    Rng rng(0xF00D);
+    for (const char *name :
+         {"INT4-Sym", "INT4-Asym", "BitMoD-FP3", "BitMoD-FP4",
+          "MX-FP4"}) {
+        QuantConfig cfg;
+        cfg.dtype = dtypes::byName(name);
+        cfg.groupSize = 64;
+        cfg.scaleBits = 8;
+        cfg.captureEncoding = true;
+        const size_t rows = 5;
+        const size_t cols =
+            cfg.dtype.kind == DtypeKind::Mx ? 320 : 192;
+        const Matrix w = randomMatrix(rows, cols, rng);
+        const auto q = quantizeMatrix(w, cfg);
+        const GroupPacker packer(cfg);
+        const PackedMatrix packed = packer.packMatrix(q.encoded);
+
+        const size_t groupSize = q.encoded.desc(0).len;
+        const size_t gpr = q.encoded.groupsPerRow();
+        const double bitsPerW = packer.packedBitsPerWeight(groupSize);
+        EXPECT_DOUBLE_EQ(bitsPerW,
+                         packer.elementBits() +
+                             static_cast<double>(packer.metaBits()) /
+                                 groupSize)
+            << name;
+        const size_t rowBits = static_cast<size_t>(
+            bitsPerW * static_cast<double>(groupSize) * gpr + 0.5);
+        EXPECT_EQ(packed.imageBytes(), rows * ((rowBits + 7) / 8))
+            << name;
+    }
+}
+
+TEST(PackMatrix, ScaleCodesReconstructPoolScalesExactly)
+{
+    // With 8-bit second-level scales the in-stream code times the
+    // out-of-band row base is the pool scale, bit for bit — the
+    // packed image carries the whole scale story of Section III-C.
+    Rng rng(0x5CA1E);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    cfg.groupSize = 64;
+    cfg.scaleBits = 8;
+    cfg.captureEncoding = true;
+    const Matrix w = randomMatrix(9, 256, rng);
+    const auto q = quantizeMatrix(w, cfg);
+    const GroupPacker packer(cfg);
+    const PackedMatrix packed = packer.packMatrix(q.encoded);
+    for (size_t r = 0; r < packed.rows(); ++r) {
+        const double base = packed.rowScaleBase(r);
+        for (size_t g = 0; g < packed.groupsPerRow(); ++g) {
+            const PackedGroupDesc &d = packed.desc(r, g);
+            EXPECT_EQ(d.scaleCode * base, d.scale)
+                << "row " << r << " group " << g;
+        }
+    }
+}
+
+TEST(PackMatrix, ParallelPackIsBitIdentical)
+{
+    Rng rng(0x7EAD);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    cfg.groupSize = 64;
+    cfg.scaleBits = 8;
+    cfg.captureEncoding = true;
+    const Matrix w = randomMatrix(23, 384, rng);
+    const auto q = quantizeMatrix(w, cfg);
+    const GroupPacker packer(cfg);
+    const PackedMatrix serial = packer.packMatrix(q.encoded, 1);
+    const PackedMatrix parallel = packer.packMatrix(q.encoded, 4);
+    ASSERT_EQ(serial.imageBytes(), parallel.imageBytes());
+    const auto a = serial.bytes();
+    const auto b = parallel.bytes();
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "image byte " << i;
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial.desc(i).bitOffset,
+                  parallel.desc(i).bitOffset);
+        EXPECT_EQ(serial.desc(i).scaleCode,
+                  parallel.desc(i).scaleCode);
+    }
+}
+
+class PackedStripIdentity : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PackedStripIdentity, MatchesFloatPoolPath)
+{
+    // The packed-streaming PE column must be bit-identical — values,
+    // cycles, drain events, contention — to the float-pool walk.
+    Rng rng(0xAB1E);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::byName(GetParam());
+    cfg.groupSize = 64;
+    cfg.scaleBits = 8;
+    cfg.captureEncoding = true;
+    for (const auto [rows, cols] : {std::pair<size_t, size_t>{16, 256},
+                                    std::pair<size_t, size_t>{5, 128}}) {
+        const Matrix w = randomMatrix(rows, cols, rng);
+        const auto q = quantizeMatrix(w, cfg);
+        const GroupPacker packer(cfg);
+        const PackedMatrix packed = packer.packMatrix(q.encoded);
+        const auto acts = randomActs(cols, rng);
+        const std::span<const Float16> actSpan{acts.data(),
+                                               acts.size()};
+
+        PeColumn column;
+        const size_t depth =
+            static_cast<size_t>(column.pesPerColumn());
+        for (size_t r0 = 0; r0 < rows; r0 += depth) {
+            const size_t n = std::min(depth, rows - r0);
+            const auto a =
+                column.processStrip(q.encoded, r0, n, actSpan,
+                                    cfg.dtype);
+            const auto b =
+                column.processStrip(packed, r0, n, actSpan,
+                                    cfg.dtype);
+            ASSERT_EQ(a.values, b.values) << "strip at " << r0;
+            EXPECT_EQ(a.cycles, b.cycles);
+            EXPECT_EQ(a.drainEvents, b.drainEvents);
+            EXPECT_EQ(a.accumulatorContention,
+                      b.accumulatorContention);
+        }
+        // Group-at-a-time walk agrees too.
+        const auto ca = column.processChannel(q.encoded, 0, actSpan,
+                                              cfg.dtype);
+        const auto cb =
+            column.processChannel(packed, 0, actSpan, cfg.dtype);
+        EXPECT_EQ(ca.value, cb.value);
+        EXPECT_EQ(ca.cycles, cb.cycles);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datatypes, PackedStripIdentity,
+    ::testing::Values("INT6-Sym", "INT4-Asym", "BitMoD-FP3",
+                      "BitMoD-FP4", "MX-FP4"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (auto &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(TileGemv, ThreadCountIsBitIdentical)
+{
+    // Strip-parallel tileGemv: one PeColumn per thread, outputs in
+    // per-row slots — identical doubles for every thread count.
+    Rng rng(0x6E3);
+    WeightGenParams p;
+    const Matrix w = generateWeights(37, 256, p, rng);
+    const auto acts = randomActs(256, rng);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    cfg.scaleBits = 8;
+
+    cfg.threads = 1;
+    const auto serial = tileGemv(w, cfg, {acts.data(), acts.size()});
+    for (const int threads : {2, 4, 0}) {
+        cfg.threads = threads;
+        const auto sharded =
+            tileGemv(w, cfg, {acts.data(), acts.size()});
+        ASSERT_EQ(serial, sharded) << "threads=" << threads;
+    }
+}
+
+TEST(CoreApi, BitmodPackMatrixStreamsThroughTheColumn)
+{
+    Rng rng(0xA71);
+    const Matrix w = randomMatrix(16, 256, rng);
+    const auto q = bitmodQuantizeEncoded(w, 4);
+    const PackedMatrix packed = bitmodPackMatrix(w, 4);
+    expectPackedMatchesPool(q.encoded, packed, "bitmodPackMatrix");
+
+    // Packed image is a fraction of the float pool's bytes.
+    const size_t poolBytes =
+        q.encoded.elementCount() * sizeof(float) +
+        q.encoded.size() * sizeof(GroupDesc);
+    EXPECT_LT(packed.imageBytes() * 2, poolBytes);
+}
+
+} // namespace
+} // namespace bitmod

@@ -47,6 +47,88 @@ TEST(BitStream, UnderrunDies)
     EXPECT_DEATH(readBits(bytes, pos, 1), "underrun");
 }
 
+TEST(BitStream, ReadBeyondTheEndDiesEvenMidStream)
+{
+    // A field that starts in range but ends past the buffer must die
+    // before touching out-of-range bytes.
+    std::vector<uint8_t> bytes = {0xff, 0xff};
+    size_t pos = 12;
+    EXPECT_DEATH(readBits(bytes, pos, 8), "underrun");
+}
+
+TEST(BitStream, WriteBitsMatchesAppendBits)
+{
+    std::vector<uint8_t> grown;
+    size_t wa = 0;
+    appendBits(grown, wa, 0b1011, 4);
+    appendBits(grown, wa, 0x2d, 7);
+    appendBits(grown, wa, 0xbeef, 17);
+
+    std::vector<uint8_t> fixed((wa + 7) / 8, 0);
+    size_t wb = 0;
+    writeBits({fixed.data(), fixed.size()}, wb, 0b1011, 4);
+    writeBits({fixed.data(), fixed.size()}, wb, 0x2d, 7);
+    writeBits({fixed.data(), fixed.size()}, wb, 0xbeef, 17);
+    EXPECT_EQ(wa, wb);
+    EXPECT_EQ(grown, fixed);
+}
+
+TEST(BitStream, WriteBitsOverrunDies)
+{
+    std::vector<uint8_t> bytes(2, 0);
+    size_t pos = 10;
+    EXPECT_DEATH(
+        writeBits({bytes.data(), bytes.size()}, pos, 0x7f, 7),
+        "overrun");
+}
+
+TEST(Packer, SpanUnpackIntoMatchesUnpack)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    const GroupPacker packer(cfg);
+    Rng rng(77);
+    std::vector<float> w(96);
+    for (auto &x : w)
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+    const double base = enc.scale / 150;
+    const auto packed = packer.pack(enc, 150);
+
+    const auto viaOwned = packer.unpack(packed, w.size(), base);
+    std::vector<float> qdst(w.size());
+    GroupDesc desc;
+    size_t pos = 0;
+    packer.unpackInto({packed.bytes.data(), packed.bytes.size()}, pos,
+                      {qdst.data(), qdst.size()}, desc, base);
+    EXPECT_EQ(pos, packer.packedBits(enc));
+    for (size_t i = 0; i < w.size(); ++i)
+        EXPECT_EQ(qdst[i], viaOwned.qvalues[i]) << "elem " << i;
+    EXPECT_EQ(desc.scale, viaOwned.scale);
+    EXPECT_EQ(desc.svIndex, viaOwned.svIndex);
+}
+
+TEST(Packer, PackIntoWritesExactlyPackedBits)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intAsym(4);
+    const GroupPacker packer(cfg);
+    Rng rng(78);
+    std::vector<float> w(50);
+    for (auto &x : w)
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    const auto enc = encodeGroup({w.data(), w.size()}, cfg);
+
+    const size_t bits = packer.packedBits(enc);
+    EXPECT_EQ(bits, 50 * 4 + 16u);
+    std::vector<uint8_t> dst((bits + 7) / 8, 0);
+    size_t pos = 0;
+    packer.packInto(enc, 42, {dst.data(), dst.size()}, pos);
+    EXPECT_EQ(pos, bits);
+    const auto viaPack = packer.pack(enc, 42);
+    EXPECT_EQ(dst, viaPack.bytes);
+}
+
 class PackerRoundTrip : public ::testing::TestWithParam<const char *>
 {
 };

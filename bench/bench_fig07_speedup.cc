@@ -4,7 +4,18 @@
  * baseline FP16 accelerator on discriminative (256:1) and generative
  * (256:256) tasks at batch 1, under iso-compute area, for both the
  * lossless (INT6) and lossy (4-/3-bit) BitMoD configurations.
+ *
+ * --measured re-runs every deployment in measurement-driven mode:
+ * proxy layers are quantized + packed per model and the simulator
+ * charges DRAM for the exact PackedMatrix image bytes and compute for
+ * the term-skipping PE's effectual-term counts, then the
+ * analytic-vs-measured deltas are reported.  --out emits the geomean
+ * speedups as BENCH_fig07.json for the CI perf gate.
  */
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "accel/policy.hh"
 #include "bench_util.hh"
@@ -13,75 +24,151 @@
 
 using namespace bitmod;
 
+namespace
+{
+
+/** Geomean speedups of the four non-baseline configurations. */
+struct SpeedupSummary
+{
+    std::vector<double> ant, olive, ll, ly;
+
+    double antGeo() const { return geoMean(ant); }
+    double oliveGeo() const { return geoMean(olive); }
+    double llGeo() const { return geoMean(ll); }
+    double lyGeo() const { return geoMean(ly); }
+};
+
+/** One full Fig. 7 sweep; appends rows to @p t when not null. */
+SpeedupSummary
+sweep(const std::vector<std::string> &models, const DeployOptions &opts,
+      TextTable *t)
+{
+    SpeedupSummary s;
+    for (const bool generative : {false, true}) {
+        for (const auto &name : models) {
+            const auto base = simulateDeployment("Baseline-FP16", name,
+                                                 generative, true);
+            const auto ant = simulateDeployment("ANT", name, generative,
+                                                false, opts);
+            const auto olive = simulateDeployment("OliVe", name,
+                                                  generative, false,
+                                                  opts);
+            const auto ll = simulateDeployment("BitMoD", name,
+                                               generative, true, opts);
+            const auto ly = simulateDeployment("BitMoD", name,
+                                               generative, false, opts);
+
+            s.ant.push_back(base.latencyMs() / ant.latencyMs());
+            s.olive.push_back(base.latencyMs() / olive.latencyMs());
+            s.ll.push_back(base.latencyMs() / ll.latencyMs());
+            s.ly.push_back(base.latencyMs() / ly.latencyMs());
+
+            if (t)
+                t->addRow({generative ? "gen" : "disc", name,
+                           TextTable::num(s.ant.back(), 2) + "x",
+                           TextTable::num(s.olive.back(), 2) + "x",
+                           TextTable::num(s.ll.back(), 2) + "x",
+                           TextTable::num(s.ly.back(), 2) + "x"});
+        }
+        if (t)
+            t->addSeparator();
+    }
+    return s;
+}
+
+void
+writeJson(const std::string &path, const SpeedupSummary &analytic,
+          const SpeedupSummary *measured)
+{
+    FILE *f = benchutil::openBenchJson(path);
+    std::fprintf(f, "{\n  \"bench\": \"fig07_speedup\",\n");
+    std::fprintf(f,
+                 "  \"fig07_analytic\": {\"ant_speedup\": %.4f, "
+                 "\"olive_speedup\": %.4f, \"bitmod_ll_speedup\": %.4f, "
+                 "\"bitmod_ly_speedup\": %.4f}%s\n",
+                 analytic.antGeo(), analytic.oliveGeo(),
+                 analytic.llGeo(), analytic.lyGeo(),
+                 measured ? "," : "");
+    if (measured)
+        std::fprintf(f,
+                     "  \"fig07_measured\": {\"ant_speedup\": %.4f, "
+                     "\"olive_speedup\": %.4f, "
+                     "\"bitmod_ll_speedup\": %.4f, "
+                     "\"bitmod_ly_speedup\": %.4f}\n",
+                     measured->antGeo(), measured->oliveGeo(),
+                     measured->llGeo(), measured->lyGeo());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    // --functional: before the analytic tables, validate the batched
-    // bit-serial PE-column pipeline at a real model shape (full
-    // hidden-dim GEMV vs the dequantized reference).
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--functional") {
-            benchutil::functionalGemvCheck(
-                benchutil::allModels().front());
-        } else {
-            std::fprintf(stderr, "usage: %s [--functional]\n",
-                         argv[0]);
-            return 1;
-        }
-    }
-    TextTable t("Fig. 7 - speedup over the baseline FP16 accelerator");
+    const auto args = benchutil::parseFigBenchArgs(argc, argv);
+    const auto &models = args.models;
+
+    TextTable t("Fig. 7 - speedup over the baseline FP16 accelerator"
+                " (analytic model)");
     t.setHeader({"Task", "Model", "ANT", "OliVe", "BitMoD-LL(INT6)",
                  "BitMoD-LY(4b/3b)"});
-
-    std::vector<double> geoAnt, geoOlive, geoLl, geoLy;
-    std::vector<double> llVsBase, lyVsAnt, lyVsOlive;
-
-    for (const bool generative : {false, true}) {
-        for (const auto &name : benchutil::allModels()) {
-            const auto base = simulateDeployment("Baseline-FP16", name,
-                                                 generative, true);
-            const auto ant =
-                simulateDeployment("ANT", name, generative, false);
-            const auto olive =
-                simulateDeployment("OliVe", name, generative, false);
-            const auto ll =
-                simulateDeployment("BitMoD", name, generative, true);
-            const auto ly =
-                simulateDeployment("BitMoD", name, generative, false);
-
-            const double sAnt = base.latencyMs() / ant.latencyMs();
-            const double sOlive = base.latencyMs() / olive.latencyMs();
-            const double sLl = base.latencyMs() / ll.latencyMs();
-            const double sLy = base.latencyMs() / ly.latencyMs();
-            geoAnt.push_back(sAnt);
-            geoOlive.push_back(sOlive);
-            geoLl.push_back(sLl);
-            geoLy.push_back(sLy);
-            llVsBase.push_back(sLl);
-            lyVsAnt.push_back(ly.latencyMs() > 0
-                                  ? ant.latencyMs() / ly.latencyMs()
-                                  : 0.0);
-            lyVsOlive.push_back(olive.latencyMs() / ly.latencyMs());
-
-            t.addRow({generative ? "gen" : "disc", name,
-                      TextTable::num(sAnt, 2) + "x",
-                      TextTable::num(sOlive, 2) + "x",
-                      TextTable::num(sLl, 2) + "x",
-                      TextTable::num(sLy, 2) + "x"});
-        }
-        t.addSeparator();
-    }
+    const SpeedupSummary analytic = sweep(models, {}, &t);
 
     t.addNote("geomean speedup vs baseline: ANT " +
-              TextTable::num(geoMean(geoAnt), 2) + "x | OliVe " +
-              TextTable::num(geoMean(geoOlive), 2) + "x | BitMoD-LL " +
-              TextTable::num(geoMean(geoLl), 2) + "x | BitMoD-LY " +
-              TextTable::num(geoMean(geoLy), 2) + "x");
-    t.addNote("BitMoD-LY vs ANT: " + TextTable::num(geoMean(lyVsAnt), 2) +
-              "x, vs OliVe: " + TextTable::num(geoMean(lyVsOlive), 2) +
-              "x (paper: 1.69x / 1.48x average)");
+              TextTable::num(analytic.antGeo(), 2) + "x | OliVe " +
+              TextTable::num(analytic.oliveGeo(), 2) +
+              "x | BitMoD-LL " + TextTable::num(analytic.llGeo(), 2) +
+              "x | BitMoD-LY " + TextTable::num(analytic.lyGeo(), 2) +
+              "x");
+    {
+        // Cross-accelerator ratios of the lossy configuration.
+        std::vector<double> lyVsAnt, lyVsOlive;
+        for (size_t i = 0; i < analytic.ly.size(); ++i) {
+            lyVsAnt.push_back(analytic.ly[i] / analytic.ant[i]);
+            lyVsOlive.push_back(analytic.ly[i] / analytic.olive[i]);
+        }
+        t.addNote("BitMoD-LY vs ANT: " +
+                  TextTable::num(geoMean(lyVsAnt), 2) + "x, vs OliVe: " +
+                  TextTable::num(geoMean(lyVsOlive), 2) +
+                  "x (paper: 1.69x / 1.48x average)");
+    }
     t.addNote("paper: lossless BitMoD 1.99x (disc) and 2.41x (gen) "
               "over the FP16 baseline");
     t.print();
+
+    SpeedupSummary measuredSummary;
+    if (args.measured) {
+        TextTable m("Fig. 7 - measured mode (packed-image DRAM bytes, "
+                    "effectual-term compute)");
+        m.setHeader({"Task", "Model", "ANT", "OliVe",
+                     "BitMoD-LL(INT6)", "BitMoD-LY(4b/3b)"});
+        DeployOptions opts;
+        opts.measured = true;
+        measuredSummary = sweep(models, opts, &m);
+        const auto &delta = benchutil::pctDelta;
+        m.addNote("geomean measured speedup: ANT " +
+                  TextTable::num(measuredSummary.antGeo(), 2) +
+                  "x | OliVe " +
+                  TextTable::num(measuredSummary.oliveGeo(), 2) +
+                  "x | BitMoD-LL " +
+                  TextTable::num(measuredSummary.llGeo(), 2) +
+                  "x | BitMoD-LY " +
+                  TextTable::num(measuredSummary.lyGeo(), 2) + "x");
+        m.addNote(
+            "measured vs analytic delta: ANT " +
+            delta(analytic.antGeo(), measuredSummary.antGeo()) +
+            " | OliVe " +
+            delta(analytic.oliveGeo(), measuredSummary.oliveGeo()) +
+            " | BitMoD-LL " +
+            delta(analytic.llGeo(), measuredSummary.llGeo()) +
+            " | BitMoD-LY " +
+            delta(analytic.lyGeo(), measuredSummary.lyGeo()));
+        m.print();
+    }
+
+    if (!args.out.empty())
+        writeJson(args.out, analytic,
+                  args.measured ? &measuredSummary : nullptr);
     return 0;
 }

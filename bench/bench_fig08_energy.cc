@@ -4,7 +4,17 @@
  * core) of all accelerators, normalized to the baseline FP16
  * accelerator, for discriminative and generative tasks under the
  * lossless (LL) and lossy (LY) configurations.
+ *
+ * --measured re-runs every deployment in measurement-driven mode
+ * (exact PackedMatrix DRAM bytes, effectual-term compute cycles) and
+ * reports the analytic-vs-measured efficiency deltas.  --out emits
+ * the geomean efficiency ratios as BENCH_fig08.json for the CI perf
+ * gate.
  */
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/stats.hh"
@@ -12,75 +22,145 @@
 
 using namespace bitmod;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    // --functional: before the analytic tables, validate the batched
-    // bit-serial PE-column pipeline at a real model shape (full
-    // hidden-dim GEMV vs the dequantized reference).
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--functional") {
-            benchutil::functionalGemvCheck(
-                benchutil::allModels().front());
-        } else {
-            std::fprintf(stderr, "usage: %s [--functional]\n",
-                         argv[0]);
-            return 1;
-        }
-    }
-    TextTable t("Fig. 8 - normalized energy breakdown "
-                "(1.0 = baseline total)");
-    t.setHeader({"Task", "Model", "Accel", "DRAM", "Buffer", "Core",
-                 "Total"});
 
-    std::vector<double> effLl, effLyAnt, effLyOlive;
+/** Geomean energy-efficiency ratios of one sweep. */
+struct EnergySummary
+{
+    std::vector<double> ll, lyAnt, lyOlive;
 
+    double llGeo() const { return geoMean(ll); }
+    double lyAntGeo() const { return geoMean(lyAnt); }
+    double lyOliveGeo() const { return geoMean(lyOlive); }
+};
+
+/** One full Fig. 8 sweep; appends rows to @p t when not null. */
+EnergySummary
+sweep(const std::vector<std::string> &models, const DeployOptions &opts,
+      TextTable *t)
+{
+    EnergySummary s;
     for (const bool generative : {false, true}) {
-        for (const auto &name : benchutil::allModels()) {
+        for (const auto &name : models) {
             const auto base = simulateDeployment("Baseline-FP16", name,
                                                  generative, true);
             const double ref = base.report.energy.totalNj();
 
             const auto emit = [&](const char *label,
-                                  const DeploymentSummary &s) {
-                const auto &e = s.report.energy;
-                t.addRow({generative ? "gen" : "disc", name, label,
-                          TextTable::num(e.dramNj / ref, 3),
-                          TextTable::num(e.bufferNj / ref, 3),
-                          TextTable::num(e.coreNj / ref, 3),
-                          TextTable::num(e.totalNj() / ref, 3)});
+                                  const DeploymentSummary &d) {
+                if (!t)
+                    return;
+                const auto &e = d.report.energy;
+                t->addRow({generative ? "gen" : "disc", name, label,
+                           TextTable::num(e.dramNj / ref, 3),
+                           TextTable::num(e.bufferNj / ref, 3),
+                           TextTable::num(e.coreNj / ref, 3),
+                           TextTable::num(e.totalNj() / ref, 3)});
             };
 
             emit("Baseline", base);
-            const auto ant =
-                simulateDeployment("ANT", name, generative, false);
+            const auto ant = simulateDeployment("ANT", name, generative,
+                                                false, opts);
             emit("ANT-LY", ant);
-            const auto olive =
-                simulateDeployment("OliVe", name, generative, false);
+            const auto olive = simulateDeployment("OliVe", name,
+                                                  generative, false,
+                                                  opts);
             emit("OliVe-LY", olive);
-            const auto ll =
-                simulateDeployment("BitMoD", name, generative, true);
+            const auto ll = simulateDeployment("BitMoD", name,
+                                               generative, true, opts);
             emit("BitMoD-LL", ll);
-            const auto ly =
-                simulateDeployment("BitMoD", name, generative, false);
+            const auto ly = simulateDeployment("BitMoD", name,
+                                               generative, false, opts);
             emit("BitMoD-LY", ly);
 
-            effLl.push_back(ref / ll.report.energy.totalNj());
-            effLyAnt.push_back(ant.report.energy.totalNj() /
-                               ly.report.energy.totalNj());
-            effLyOlive.push_back(olive.report.energy.totalNj() /
-                                 ly.report.energy.totalNj());
-            t.addSeparator();
+            s.ll.push_back(ref / ll.report.energy.totalNj());
+            s.lyAnt.push_back(ant.report.energy.totalNj() /
+                              ly.report.energy.totalNj());
+            s.lyOlive.push_back(olive.report.energy.totalNj() /
+                                ly.report.energy.totalNj());
+            if (t)
+                t->addSeparator();
         }
     }
+    return s;
+}
 
+void
+writeJson(const std::string &path, const EnergySummary &analytic,
+          const EnergySummary *measured)
+{
+    FILE *f = benchutil::openBenchJson(path);
+    std::fprintf(f, "{\n  \"bench\": \"fig08_energy\",\n");
+    std::fprintf(f,
+                 "  \"fig08_analytic\": {\"bitmod_ll_eff\": %.4f, "
+                 "\"bitmod_ly_vs_ant_eff\": %.4f, "
+                 "\"bitmod_ly_vs_olive_eff\": %.4f}%s\n",
+                 analytic.llGeo(), analytic.lyAntGeo(),
+                 analytic.lyOliveGeo(), measured ? "," : "");
+    if (measured)
+        std::fprintf(f,
+                     "  \"fig08_measured\": {\"bitmod_ll_eff\": %.4f, "
+                     "\"bitmod_ly_vs_ant_eff\": %.4f, "
+                     "\"bitmod_ly_vs_olive_eff\": %.4f}\n",
+                     measured->llGeo(), measured->lyAntGeo(),
+                     measured->lyOliveGeo());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto args = benchutil::parseFigBenchArgs(argc, argv);
+    const auto &models = args.models;
+
+    TextTable t("Fig. 8 - normalized energy breakdown "
+                "(1.0 = baseline total, analytic model)");
+    t.setHeader({"Task", "Model", "Accel", "DRAM", "Buffer", "Core",
+                 "Total"});
+    const EnergySummary analytic = sweep(models, {}, &t);
     t.addNote("geomean energy efficiency: BitMoD-LL vs baseline " +
-              TextTable::num(geoMean(effLl), 2) +
+              TextTable::num(analytic.llGeo(), 2) +
               "x (paper 2.31x) | BitMoD-LY vs ANT " +
-              TextTable::num(geoMean(effLyAnt), 2) +
+              TextTable::num(analytic.lyAntGeo(), 2) +
               "x (paper 1.48x) | vs OliVe " +
-              TextTable::num(geoMean(effLyOlive), 2) +
-              "x (paper 1.31x)");
+              TextTable::num(analytic.lyOliveGeo(), 2) + "x (paper "
+              "1.31x)");
     t.print();
+
+    EnergySummary measuredSummary;
+    if (args.measured) {
+        TextTable m("Fig. 8 - measured mode (packed-image DRAM bytes, "
+                    "effectual-term compute)");
+        m.setHeader({"Task", "Model", "Accel", "DRAM", "Buffer",
+                     "Core", "Total"});
+        DeployOptions opts;
+        opts.measured = true;
+        measuredSummary = sweep(models, opts, &m);
+        const auto &delta = benchutil::pctDelta;
+        m.addNote("geomean measured efficiency: BitMoD-LL " +
+                  TextTable::num(measuredSummary.llGeo(), 2) +
+                  "x | BitMoD-LY vs ANT " +
+                  TextTable::num(measuredSummary.lyAntGeo(), 2) +
+                  "x | vs OliVe " +
+                  TextTable::num(measuredSummary.lyOliveGeo(), 2) +
+                  "x");
+        m.addNote("measured vs analytic delta: BitMoD-LL " +
+                  delta(analytic.llGeo(), measuredSummary.llGeo()) +
+                  " | LY vs ANT " +
+                  delta(analytic.lyAntGeo(),
+                        measuredSummary.lyAntGeo()) +
+                  " | LY vs OliVe " +
+                  delta(analytic.lyOliveGeo(),
+                        measuredSummary.lyOliveGeo()));
+        m.print();
+    }
+
+    if (!args.out.empty())
+        writeJson(args.out, analytic,
+                  args.measured ? &measuredSummary : nullptr);
     return 0;
 }

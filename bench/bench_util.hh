@@ -135,6 +135,75 @@ functionalGemvCheck(const std::string &model_name, size_t rows = 256)
         std::exit(2);
 }
 
+/** Flags shared by the measured-mode figure benches (fig07/fig08). */
+struct FigBenchArgs
+{
+    bool measured = false;         //!< run the measured-mode sweep too
+    std::string out;               //!< JSON artifact path ("" = none)
+    std::vector<std::string> models;  //!< evaluated models (truncated)
+};
+
+/**
+ * Parse the common fig-bench CLI: --functional (runs the GEMV
+ * cross-check immediately), --measured, --models N, --out FILE.
+ * Exits with usage on unknown flags.
+ */
+inline FigBenchArgs
+parseFigBenchArgs(int argc, char **argv)
+{
+    FigBenchArgs a;
+    size_t maxModels = 0;  // 0 = all
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--functional") {
+            functionalGemvCheck(allModels().front());
+        } else if (arg == "--measured") {
+            a.measured = true;
+        } else if (arg == "--out") {
+            a.out = next();
+        } else if (arg == "--models") {
+            maxModels = std::stoul(next());
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--functional] [--measured] "
+                         "[--models N] [--out FILE]\n",
+                         argv[0]);
+            std::exit(1);
+        }
+    }
+    a.models = allModels();
+    if (maxModels > 0 && maxModels < a.models.size())
+        a.models.resize(maxModels);
+    return a;
+}
+
+/** Open a bench JSON artifact for writing; exits loudly on failure. */
+inline FILE *
+openBenchJson(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    return f;
+}
+
+/** "+x.y%" delta of @p to relative to @p from, for bench notes. */
+inline std::string
+pctDelta(double from, double to)
+{
+    return TextTable::num((to / from - 1.0) * 100.0, 1) + "%";
+}
+
 } // namespace bitmod::benchutil
 
 #endif // BITMOD_BENCH_BENCH_UTIL_HH

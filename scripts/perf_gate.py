@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
-"""Perf-trajectory gate over BENCH_hotpath.json.
+"""Perf-trajectory gate over the BENCH_*.json artifacts.
 
 Compares every tracked field of the current bench output against the
 previous run's artifact and fails (exit 1) on a regression beyond the
-threshold.  Two field families are tracked: *_wps throughputs (lower
-is a regression) and *_bytes footprints (growth is a regression — the
+threshold.  Four field families are tracked: *_wps throughputs (lower
+is a regression), *_bytes footprints (growth is a regression — the
 packed-stream section reports the DRAM-image size, and a silently
-fattening memory layout must not ride a green build).  The delta
-table is always printed, regression or not, so the trajectory is
-visible in every CI log.  A missing baseline (first run on a branch,
-expired artifact) is not an error: the gate prints a note and passes.
+fattening memory layout must not ride a green build), and the
+simulator-level *_speedup / *_eff ratios of BENCH_fig07.json /
+BENCH_fig08.json (a drop means the modeled accelerator advantage —
+analytic or measured — shrank).  The delta table is always printed,
+regression or not, so the trajectory is visible in every CI log.  A
+missing baseline (first run on a branch, expired artifact) is not an
+error: the gate prints a note and passes.
 
 Bit-identity flags are also enforced: a section reporting
 "bit_identical": false fails the gate regardless of throughput, since
@@ -27,14 +30,14 @@ import sys
 
 def tracked_fields(doc):
     """Yield (section.key, value, higher_is_better) for every gated
-    field: *_wps throughputs (higher better) and *_bytes footprints
-    (lower better)."""
+    field: *_wps throughputs and *_speedup / *_eff simulator ratios
+    (higher better), *_bytes footprints (lower better)."""
     for section, body in sorted(doc.items()):
         if isinstance(body, dict):
             for key, value in sorted(body.items()):
                 if not isinstance(value, (int, float)):
                     continue
-                if key.endswith("_wps"):
+                if key.endswith(("_wps", "_speedup", "_eff")):
                     yield f"{section}.{key}", float(value), True
                 elif key.endswith("_bytes"):
                     yield f"{section}.{key}", float(value), False
@@ -78,13 +81,19 @@ def compare(prev, curr, max_regression_pct):
     return rows, regressions, removed
 
 
+def fmt_value(v):
+    """Counts print as integers; small ratios keep their decimals."""
+    return f"{v:,.0f}" if abs(v) >= 1000 else f"{v:.4g}"
+
+
 def print_table(rows, removed):
     print(f"{'field':<40} {'prev':>14} {'curr':>14} {'delta':>9}")
     print("-" * 80)
     for field, prev_val, curr_val, delta_pct in rows:
-        prev_s = f"{prev_val:,.0f}" if prev_val is not None else "(none)"
+        prev_s = fmt_value(prev_val) if prev_val is not None else "(none)"
         delta_s = f"{delta_pct:+.1f}%" if delta_pct is not None else "n/a"
-        print(f"{field:<40} {prev_s:>14} {curr_val:>14,.0f} {delta_s:>9}")
+        print(f"{field:<40} {prev_s:>14} {fmt_value(curr_val):>14} "
+              f"{delta_s:>9}")
     for field in removed:
         print(f"{field:<40} {'(was set)':>14} {'(removed)':>14} {'!!':>9}")
 
@@ -95,7 +104,7 @@ def run_gate(prev, curr, max_regression_pct):
     rows, regressions, removed = compare(prev, curr, max_regression_pct)
     print_table(rows, removed)
     if prev is None:
-        print("\nno previous BENCH_hotpath artifact: baseline recorded, "
+        print("\nno previous bench artifact: baseline recorded, "
               "gate passes")
     for field, delta_pct in regressions:
         kind = ("footprint grew" if field.endswith("_bytes")
@@ -122,6 +131,8 @@ def self_test():
         "packed_stream": {"packed_wps": 8000.0,
                           "packed_image_bytes": 4096.0,
                           "bit_identical": True},
+        "fig07_measured": {"bitmod_ll_speedup": 2.5},
+        "fig08_measured": {"bitmod_ll_eff": 2.3},
     }
 
     def variant(factor, identical=True):
@@ -135,11 +146,19 @@ def self_test():
         doc["packed_stream"]["packed_image_bytes"] *= factor
         return doc
 
+    def ratio(factor, key="fig07_measured", field="bitmod_ll_speedup"):
+        doc = json.loads(json.dumps(base))
+        doc[key][field] *= factor
+        return doc
+
     dropped = json.loads(json.dumps(base))
     del dropped["pe_column_batch"]
 
     dropped_bytes = json.loads(json.dumps(base))
     del dropped_bytes["packed_stream"]["packed_image_bytes"]
+
+    dropped_ratio = json.loads(json.dumps(base))
+    del dropped_ratio["fig08_measured"]
 
     checks = [
         ("identical run passes", run_gate(base, base, 10) == 0),
@@ -156,6 +175,17 @@ def self_test():
         ("footprint +30% fails", run_gate(base, footprint(1.3), 10) == 1),
         ("dropped footprint field fails",
          run_gate(base, dropped_bytes, 10) == 1),
+        ("measured speedup -20% fails",
+         run_gate(base, ratio(0.8), 10) == 1),
+        ("measured speedup -5% within threshold passes",
+         run_gate(base, ratio(0.95), 10) == 0),
+        ("measured speedup +30% passes",
+         run_gate(base, ratio(1.3), 10) == 0),
+        ("measured energy eff -20% fails",
+         run_gate(base, ratio(0.8, "fig08_measured", "bitmod_ll_eff"),
+                  10) == 1),
+        ("dropped measured section fails",
+         run_gate(base, dropped_ratio, 10) == 1),
     ]
     print("\n--- self-test results ---")
     failed = [name for name, ok in checks if not ok]
@@ -168,10 +198,12 @@ def self_test():
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--prev", help="previous run's BENCH_hotpath.json")
-    ap.add_argument("--curr", help="current run's BENCH_hotpath.json")
+    ap.add_argument("--prev", help="previous run's BENCH_*.json")
+    ap.add_argument("--curr", help="current run's BENCH_*.json")
     ap.add_argument("--max-regression", type=float, default=10.0,
-                    metavar="PCT", help="allowed wps drop in percent")
+                    metavar="PCT",
+                    help="allowed regression in percent: a *_wps / "
+                         "*_speedup / *_eff drop or a *_bytes growth")
     ap.add_argument("--self-test", action="store_true",
                     help="exercise the gate logic on synthetic data")
     args = ap.parse_args()

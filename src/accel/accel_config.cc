@@ -10,6 +10,13 @@ namespace bitmod
 double
 AccelConfig::macsPerCycle(const Dtype &dt) const
 {
+    return macsPerCycle(dt, 0.0);
+}
+
+double
+AccelConfig::macsPerCycle(const Dtype &dt,
+                          double terms_per_weight) const
+{
     const double pes = static_cast<double>(tiles) * peRows * peCols;
     switch (kind) {
       case AccelKind::Fp16Baseline:
@@ -20,7 +27,12 @@ AccelConfig::macsPerCycle(const Dtype &dt) const
             BITMOD_FATAL("the BitMoD accelerator does not run FP16 "
                          "weights; quantize first");
         }
-        return pes * lanesPerPe / termsPerWeight(dt);
+        // Measured effectual-term budgets (term-skipping PEs)
+        // override the fixed per-datatype cycle count.
+        const double tpw = terms_per_weight > 0.0
+                               ? terms_per_weight
+                               : termsPerWeight(dt);
+        return pes * lanesPerPe / tpw;
       }
       case AccelKind::Ant: {
         // Bit-parallel integer PEs with INT8 activations: ~2.6x the

@@ -55,6 +55,15 @@ struct AccelConfig
     double macsPerCycle(const Dtype &dt) const;
 
     /**
+     * Peak MACs/cycle with a measured cycle budget: when
+     * @p terms_per_weight > 0 the bit-serial array's fixed
+     * termsPerWeight(dt) budget is replaced by the measured effectual
+     * term count (term-skipping PEs).  Bit-parallel accelerators are
+     * unaffected by the override.
+     */
+    double macsPerCycle(const Dtype &dt, double terms_per_weight) const;
+
+    /**
      * MACs/cycle for the self-attention matmuls (FP16 x INT8-KV on
      * BitMoD/ANT/OliVe, FP16 x FP16 on the baseline).
      */

@@ -1,0 +1,111 @@
+#include "accel/measured_profile.hh"
+
+#include <algorithm>
+
+#include "bitserial/termgen.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "model/sampler.hh"
+#include "numeric/bits.hh"
+#include "pe/pe_column.hh"
+#include "quant/packing.hh"
+
+namespace bitmod
+{
+
+MeasuredProfile
+measureProfile(const LlmSpec &model, const QuantConfig &cfg,
+               const ProfileConfig &pcfg)
+{
+    BITMOD_ASSERT(cfg.dtype.kind != DtypeKind::Identity,
+                  "FP16 weights have no packed image to measure");
+
+    MeasuredProfile profile;
+    profile.modelName = model.name;
+    profile.dtype = cfg.dtype;
+    profile.config = cfg;
+    profile.sample = pcfg;
+    profile.fixedTermsPerWeight = termsPerWeight(cfg.dtype);
+
+    SampleConfig scfg;
+    scfg.maxRows = pcfg.maxRows;
+    scfg.maxCols = pcfg.maxCols;
+    scfg.seed = pcfg.seed;
+    const auto proxies = sampleModel(model, scfg);
+
+    QuantConfig qcfg = cfg;
+    qcfg.captureEncoding = true;
+    qcfg.threads = pcfg.threads;
+
+    PeConfig skipCfg;
+    skipCfg.termSkip = true;
+    const GroupPacker packer(qcfg);
+
+    double bitsAcc = 0.0, termsAcc = 0.0, shareAcc = 0.0;
+    for (const auto &proxy : proxies) {
+        LayerProfile lp;
+        lp.name = proxy.name;
+        lp.rows = proxy.weights.rows();
+        lp.cols = proxy.weights.cols();
+        lp.paramShare = proxy.paramWeight;
+
+        // The byte-exact DRAM image of the quantized proxy: element
+        // codes + OliVe escape records + in-stream scale/selector
+        // metadata, rows byte-aligned.
+        const auto q = quantizeMatrix(proxy.weights, qcfg);
+        const PackedMatrix packed =
+            packer.packMatrix(q.encoded, qcfg.threads);
+        lp.packedBytes = packed.imageBytes();
+
+        // Effectual-term counts: stream the packed image through
+        // term-skipping PE columns, one column-depth strip of rows at
+        // a time.  The activation values are irrelevant to the cycle
+        // accounting; strips are independent, so they are sharded
+        // over the worker pool with per-strip accumulator slots
+        // (deterministic for any thread count).
+        const std::vector<Float16> acts(lp.cols, Float16(1.0f));
+        const std::span<const Float16> actSpan{acts.data(),
+                                               acts.size()};
+        const size_t depth =
+            static_cast<size_t>(PeColumn{}.pesPerColumn());
+        const size_t nstrips = ceilDiv(lp.rows, depth);
+        std::vector<long long> stripTerms(nstrips, 0);
+        std::vector<long long> stripCycles(nstrips, 0);
+        parallelFor(nstrips, qcfg.threads, [&](size_t s) {
+            thread_local PeColumn skipColumn{skipCfg};
+            const size_t r0 = s * depth;
+            const size_t n = std::min(depth, lp.rows - r0);
+            const auto strip = skipColumn.processStrip(
+                packed, r0, n, actSpan, qcfg.dtype);
+            stripTerms[s] = strip.effectualTerms;
+            stripCycles[s] = strip.cycles;
+        });
+        for (size_t s = 0; s < nstrips; ++s) {
+            lp.effectualTerms += stripTerms[s];
+            lp.skipCycles += stripCycles[s];
+        }
+
+        // Fixed-budget dot cycles of the same walk, for the
+        // analytic-vs-measured delta: ceil(len / lanes) * budget per
+        // group (BitmodPe::dotCycles).
+        const int lanes = PeConfig{}.lanes;
+        const int budget = termsPerWeight(qcfg.dtype);
+        for (size_t g = 0; g < packed.size(); ++g)
+            lp.fixedCycles +=
+                static_cast<long long>(
+                    ceilDiv(static_cast<size_t>(packed.desc(g).len),
+                            static_cast<size_t>(lanes))) *
+                budget;
+
+        bitsAcc += lp.paramShare * lp.bitsPerWeight();
+        termsAcc += lp.paramShare * lp.termsPerWeight();
+        shareAcc += lp.paramShare;
+        profile.layers.push_back(std::move(lp));
+    }
+    BITMOD_ASSERT(shareAcc > 0.0, "no proxy layers sampled");
+    profile.weightBitsPerElem = bitsAcc / shareAcc;
+    profile.effectualTermsPerWeight = termsAcc / shareAcc;
+    return profile;
+}
+
+} // namespace bitmod

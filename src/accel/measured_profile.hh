@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Measurement-driven performance profile: the bridge between the
+ * bit-exact quant/packing/PE pipeline and the Fig. 7/8 accelerator
+ * simulator.
+ *
+ * The analytic model charges DRAM with a bits-per-weight average and
+ * compute with the fixed bit-serial cycle budget.  A MeasuredProfile
+ * instead quantizes and packs sampled proxy layers of a model with the
+ * deployment QuantConfig and records, per distinct linear shape,
+ *  - the exact PackedMatrix image bytes (element codes, OliVe escape
+ *    records, scale codes and selector metadata — the byte-exact DRAM
+ *    footprint a deployment would stream), and
+ *  - the effectual-term counts gathered by streaming the packed image
+ *    through a term-skipping PeColumn (zero Booth / NAF terms
+ *    skipped; OliVe outliers decoded through the PE via their abfloat
+ *    term sequences).
+ * The per-layer measurements are combined with each shape's share of
+ * the model's linear parameters into the two numbers the simulator
+ * consumes: measured weight bits per element and measured effectual
+ * terms per weight.  PrecisionChoice::applyProfile turns a policy
+ * choice into a thin view over these measurements; the analytic
+ * constants remain available as a fallback for sweeps.
+ */
+
+#ifndef BITMOD_ACCEL_MEASURED_PROFILE_HH
+#define BITMOD_ACCEL_MEASURED_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "model/llm_zoo.hh"
+#include "quant/quantizer.hh"
+
+namespace bitmod
+{
+
+/** How the proxy layers behind a profile are drawn. */
+struct ProfileConfig
+{
+    size_t maxRows = 64;       //!< sampled output channels per layer
+    size_t maxCols = 2048;     //!< sampled input columns per layer
+    uint64_t seed = 0xb17d0d;  //!< generator seed (reproducible)
+    int threads = 0;           //!< worker-pool width (0 = all)
+};
+
+/** Measurements of one sampled proxy layer. */
+struct LayerProfile
+{
+    std::string name;      //!< linear shape, e.g. "q_proj"
+    size_t rows = 0;       //!< sampled output channels
+    size_t cols = 0;       //!< sampled dot-product length
+    double paramShare = 0; //!< shape's share of model linear params
+
+    /** Exact byte size of the proxy's PackedMatrix DRAM image. */
+    size_t packedBytes = 0;
+    /** Effectual (non-zero) bit-serial terms over the proxy. */
+    long long effectualTerms = 0;
+    /** Term-skipping dot cycles over the proxy. */
+    long long skipCycles = 0;
+    /** Fixed-budget dot cycles over the proxy (for deltas). */
+    long long fixedCycles = 0;
+
+    size_t elements() const { return rows * cols; }
+    /** Measured stored bits per weight, metadata included. */
+    double
+    bitsPerWeight() const
+    {
+        return 8.0 * static_cast<double>(packedBytes) /
+               static_cast<double>(elements());
+    }
+    /** Measured effectual terms per weight. */
+    double
+    termsPerWeight() const
+    {
+        return static_cast<double>(effectualTerms) /
+               static_cast<double>(elements());
+    }
+};
+
+/**
+ * Measured deployment profile of one (model, QuantConfig) pair.  The
+ * aggregate numbers are parameter-share-weighted over the block
+ * linear shapes; the LM head (not among the sampled block shapes) is
+ * charged at the same weighted average.
+ */
+struct MeasuredProfile
+{
+    std::string modelName;
+    Dtype dtype;
+    QuantConfig config;    //!< the quantizer configuration measured
+    ProfileConfig sample;  //!< how the proxies were drawn
+    std::vector<LayerProfile> layers;
+
+    /** Param-weighted measured bits per weight (incl. metadata and
+     *  OliVe escape records). */
+    double weightBitsPerElem = 16.0;
+    /** Param-weighted measured effectual terms per weight. */
+    double effectualTermsPerWeight = 0.0;
+    /** The fixed analytic term budget of the datatype (for deltas). */
+    double fixedTermsPerWeight = 0.0;
+};
+
+/**
+ * Quantize + pack sampled proxy layers of @p model with @p cfg and
+ * stream them through the term-skipping PE columns.  @p cfg must name
+ * a quantizable datatype (not Identity/FP16).
+ */
+MeasuredProfile measureProfile(const LlmSpec &model,
+                               const QuantConfig &cfg,
+                               const ProfileConfig &pcfg = {});
+
+} // namespace bitmod
+
+#endif // BITMOD_ACCEL_MEASURED_PROFILE_HH

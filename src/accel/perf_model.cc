@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -13,6 +14,7 @@ PrecisionChoice::fp16()
 {
     PrecisionChoice p;
     p.weightDtype = dtypes::fp16();
+    p.quantConfig.dtype = p.weightDtype;
     p.weightBitsPerElem = 16.0;
     p.kvBits = 16.0;
     return p;
@@ -27,6 +29,7 @@ PrecisionChoice::bitmod(const Dtype &dt)
     cfg.dtype = dt;
     cfg.scaleBits = 8;
     cfg.groupSize = 128;
+    p.quantConfig = cfg;
     p.weightBitsPerElem = bitsPerWeight(cfg, 4096);
     p.kvBits = 8.0;
     return p;
@@ -40,9 +43,28 @@ PrecisionChoice::perChannel(const Dtype &dt)
     QuantConfig cfg;
     cfg.dtype = dt;
     cfg.granularity = Granularity::PerChannel;
+    if (dt.kind == DtypeKind::OliveOvp) {
+        // Per-channel OliVe keeps the proportional (~6%) outlier
+        // budget over the long channel extent, matching the policy's
+        // quality evaluation.
+        cfg.oliveMaxOutliers = std::numeric_limits<int>::max();
+    }
+    p.quantConfig = cfg;
     p.weightBitsPerElem = bitsPerWeight(cfg, 4096);
     p.kvBits = 8.0;
     return p;
+}
+
+void
+PrecisionChoice::applyProfile(const MeasuredProfile &profile)
+{
+    BITMOD_ASSERT(profile.dtype.kind == quantConfig.dtype.kind &&
+                      profile.dtype.bits == quantConfig.dtype.bits,
+                  "profile of ", profile.dtype.name,
+                  " applied to a ", quantConfig.dtype.name, " choice");
+    weightBitsPerElem = profile.weightBitsPerElem;
+    effectualTermsPerWeight = profile.effectualTermsPerWeight;
+    measured = true;
 }
 
 AccelSim::AccelSim(AccelConfig accel, DramConfig dram, SramConfig sram)
@@ -58,25 +80,32 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
                   "task needs at least one input and output token");
 
     RunReport report;
+    report.measured = precision.measured;
+
+    // Off-chip bytes come from the traffic model, which views the
+    // precision through its spec(): analytic bits per weight by
+    // default, the measured packed-image footprint once a profile is
+    // applied.
+    report.traffic =
+        computePhaseTraffic(model, task, precision.spec());
 
     const double layers = static_cast<double>(model.numLayers);
     const double blockParams =
         static_cast<double>(model.blockLinearParams());
     const double lmHead =
         static_cast<double>(model.vocabSize) * model.hiddenDim;
-    const double allParams = layers * blockParams + lmHead;
-    const double weightBytes =
-        allParams * precision.weightBitsPerElem / 8.0;
 
     const double heads = static_cast<double>(model.numHeads);
     const double hd = static_cast<double>(model.headDim());
-    const double kvPerTokenLayerBytes =
-        2.0 * model.kvDim() * precision.kvBits / 8.0;
-    const double actPerTokenBytes =
-        (2.0 * layers + 1.0) * model.hiddenDim * precision.actBits / 8.0;
 
+    // Compute throughput: the bit-serial array's cycle budget per
+    // weight comes from the measured effectual-term count when the
+    // precision carries one (term-skipping PEs), the fixed analytic
+    // budget otherwise.
     const double linMacsPerCycle =
-        accel_.macsPerCycle(precision.weightDtype) * accel_.utilization;
+        accel_.macsPerCycle(precision.weightDtype,
+                            precision.effectualTermsPerWeight) *
+        accel_.utilization;
     const double attMacsPerCycle =
         accel_.attentionMacsPerCycle() * accel_.utilization;
     // Decode runs one token row: only 1/peRows of the array's token
@@ -92,9 +121,7 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
         const double computeCycles =
             linMacs / linMacsPerCycle + attMacs / attMacsPerCycle;
 
-        const double memBytes = weightBytes +
-                                m * actPerTokenBytes +
-                                m * layers * kvPerTokenLayerBytes;
+        const double memBytes = report.traffic.prefill.total();
         const double memCycles =
             dram_.transferCycles(memBytes, accel_.clockGhz);
         report.prefillCycles = std::max(computeCycles, memCycles);
@@ -103,7 +130,8 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
         // Buffer traffic: everything passes the buffers once (write +
         // read); weights are additionally re-read from the buffer once
         // per token tile during prefill (output-stationary reuse).
-        const double weightBits = weightBytes * 8.0;
+        const double weightBits =
+            report.traffic.prefill.weightBytes * 8.0;
         const double tokenTiles =
             std::ceil(m / static_cast<double>(accel_.peRows));
         report.energy.bufferNj +=
@@ -130,7 +158,7 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
             perStepLinMacs / (linMacsPerCycle * decodeRowUtil);
 
         // Closed forms over the decode steps for context-dependent
-        // attention compute and KV reads.
+        // attention compute.
         double ctxSum = 0.0;
         for (size_t s = 1; s <= steps; ++s)
             ctxSum += static_cast<double>(task.inTokens + s);
@@ -139,22 +167,10 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
         const double attCyclesTotal =
             attMacsTotal / (attMacsPerCycle * decodeRowUtil);
 
-        const double perStepWeightBytes = weightBytes;
-        const double kvReadBytes =
-            layers * kvPerTokenLayerBytes * ctxSum;
-        const double kvWriteBytes =
-            layers * kvPerTokenLayerBytes * static_cast<double>(steps);
-        const double actBytes =
-            actPerTokenBytes * static_cast<double>(steps) +
-            static_cast<double>(steps) * model.vocabSize *
-                precision.actBits / 8.0;
-
         const double computeCycles =
             perStepComputeBase * static_cast<double>(steps) +
             attCyclesTotal;
-        const double memBytes =
-            perStepWeightBytes * static_cast<double>(steps) +
-            kvReadBytes + kvWriteBytes + actBytes;
+        const double memBytes = report.traffic.decode.total();
         const double memCycles =
             dram_.transferCycles(memBytes, accel_.clockGhz);
         report.decodeCycles = std::max(computeCycles, memCycles);

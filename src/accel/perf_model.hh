@@ -12,6 +12,7 @@
 #define BITMOD_ACCEL_PERF_MODEL_HH
 
 #include "accel/accel_config.hh"
+#include "accel/measured_profile.hh"
 #include "model/llm_zoo.hh"
 #include "model/traffic.hh"
 #include "quant/quantizer.hh"
@@ -19,13 +20,43 @@
 namespace bitmod
 {
 
-/** The precision an accelerator runs a model at. */
+/**
+ * The precision an accelerator runs a model at — a thin view over
+ * either the analytic constants (the factory defaults, kept as the
+ * fallback for sweeps) or a MeasuredProfile (after applyProfile, the
+ * weight footprint and the bit-serial cycle budget come from the
+ * packed image and the term-skipping PE of the actual quantized proxy
+ * layers).
+ */
 struct PrecisionChoice
 {
     Dtype weightDtype;           //!< Identity = FP16 weights
+    /** Deployment quantizer config behind the choice (Identity dtype
+     *  for the FP16 baseline) — what a MeasuredProfile measures. */
+    QuantConfig quantConfig;
     double weightBitsPerElem = 16.0;  //!< incl. scale/metadata
     double actBits = 16.0;
     double kvBits = 16.0;
+    /** Measured effectual bit-serial terms per weight; 0 keeps the
+     *  fixed analytic term budget. */
+    double effectualTermsPerWeight = 0.0;
+    /** True once the view is backed by a MeasuredProfile. */
+    bool measured = false;
+
+    /** The traffic-model view of this choice. */
+    PrecisionSpec
+    spec() const
+    {
+        return {weightBitsPerElem, actBits, kvBits};
+    }
+
+    /**
+     * Re-point the view at measured numbers: weight bits per element
+     * from the profile's packed-image footprint, the cycle budget
+     * from its effectual-term counts.  The profile must have been
+     * measured with this choice's quantConfig datatype.
+     */
+    void applyProfile(const MeasuredProfile &profile);
 
     /** FP16 weights (baseline accelerator). */
     static PrecisionChoice fp16();
@@ -56,6 +87,10 @@ struct RunReport
     double prefillCycles = 0.0;
     double decodeCycles = 0.0;
     EnergyBreakdown energy;
+    /** The off-chip traffic the run was charged for. */
+    PhaseTraffic traffic;
+    /** True when the precision view was backed by a MeasuredProfile. */
+    bool measured = false;
 
     double totalCycles() const { return prefillCycles + decodeCycles; }
     double latencyMs(double clock_ghz) const

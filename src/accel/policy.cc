@@ -1,7 +1,5 @@
 #include "accel/policy.hh"
 
-#include <limits>
-
 #include "common/logging.hh"
 #include "model/proxy.hh"
 #include "model/sampler.hh"
@@ -13,11 +11,14 @@ namespace
 {
 
 /**
- * Proxy quality deltas of a per-channel 4-bit datatype on a model:
- * perplexity delta (Wikitext anchor) and mean accuracy delta.
+ * Proxy quality deltas of a per-channel weight configuration on a
+ * model: perplexity delta (Wikitext anchor) and mean accuracy delta.
+ * @p cfg is the deployment QuantConfig of the candidate
+ * PrecisionChoice, so the quality gate evaluates exactly what a
+ * MeasuredProfile would later measure.
  */
 std::pair<double, double>
-perChannelQualityDelta(const Dtype &dt, const LlmSpec &model,
+perChannelQualityDelta(const QuantConfig &cfg, const LlmSpec &model,
                        uint64_t seed)
 {
     SampleConfig scfg;
@@ -35,13 +36,6 @@ perChannelQualityDelta(const Dtype &dt, const LlmSpec &model,
     anchor4Cfg.dtype = dtypes::intAsym(4);
     const double anchor4 = weightSpaceLoss(layers, rtnQuantFn(anchor4Cfg));
 
-    QuantConfig cfg;
-    cfg.dtype = dt;
-    cfg.granularity = Granularity::PerChannel;
-    // OliVe's outlier budget is a fraction (~6%) of the quantization
-    // extent; per-channel operation needs the cap lifted so long
-    // channels keep the proportional budget.
-    cfg.oliveMaxOutliers = std::numeric_limits<int>::max();
     const double loss = weightSpaceLoss(layers, rtnQuantFn(cfg));
 
     const PerplexityModel ppl(model.anchors.fp16PplWiki, anchor4,
@@ -76,12 +70,17 @@ selectLossyPrecision(const AccelConfig &accel, const LlmSpec &model,
         const Dtype w4 = accel.kind == AccelKind::Ant
                              ? dtypes::flint(4)
                              : dtypes::olive(4);
-        const auto [pplDelta, accDelta] =
-            perChannelQualityDelta(w4, model, policy.seed);
+        // Evaluate quality on the candidate's own deployment config,
+        // so the gate and any later MeasuredProfile see the same
+        // quantizer (incl. the lifted per-channel OliVe outlier cap).
+        const PrecisionChoice candidate =
+            PrecisionChoice::perChannel(w4);
+        const auto [pplDelta, accDelta] = perChannelQualityDelta(
+            candidate.quantConfig, model, policy.seed);
         const bool ok = generative ? pplDelta <= policy.maxPplDelta
                                    : accDelta <= policy.maxAccDelta;
         if (ok)
-            return PrecisionChoice::perChannel(w4);
+            return candidate;
         return PrecisionChoice::perChannel(dtypes::intSym(8));
       }
     }

@@ -8,6 +8,7 @@
 #include "bitserial/termgen.hh"
 #include "common/logging.hh"
 #include "numeric/booth.hh"
+#include "quant/quantizer.hh"
 
 namespace bitmod
 {
@@ -39,18 +40,86 @@ TermTable::TermTable(FixedPointDomain)
 {
     tpw_ = 2;
     keyScale_ = 2.0;  // table is indexed by half-steps
-    offset_ = 31.0;
-    const size_t n = 63;  // halves in [-31, 31]
+    offset_ = 32.0;
+    // Halves in [-32, 32]: the I3..I0.F0 grid plus Flint4's +-16 end
+    // point (a single NAF digit), so ANT's Flint weights stream
+    // through the simulated PE too.
+    const size_t n = 65;
     flat_.resize(n * tpw_);
     valid_.assign(n, false);
     std::vector<BitSerialTerm> terms;
-    for (int h = -31; h <= 31; ++h) {
+    for (int h = -32; h <= 32; ++h) {
         if (!nafDecompose(0.5 * h, tpw_, terms))
             continue;  // needs > 2 NAF digits: not BitMoD-decodable
-        const size_t idx = static_cast<size_t>(h + 31);
+        const size_t idx = static_cast<size_t>(h + 32);
         valid_[idx] = true;
         std::copy(terms.begin(), terms.end(),
                   flat_.begin() + idx * tpw_);
+    }
+    fillValues();
+}
+
+TermTable::TermTable(OliveDomain dom)
+{
+    const int bits = dom.bits;
+    BITMOD_ASSERT(bits >= 2 && bits <= 8, "bad OliVe width: ", bits);
+    tpw_ = boothDigitCount(bits);
+    keyScale_ = 1.0;
+    const auto mags = oliveAbfloatMagnitudes(bits);
+    const int maxMag = static_cast<int>(mags.back());
+    offset_ = maxMag;
+    const size_t n = static_cast<size_t>(2 * maxMag + 1);
+    flat_.resize(n * tpw_);
+    valid_.assign(n, false);
+
+    // Normal domain: the biased integer codes, Booth-recoded exactly
+    // as forIntWidth(bits) would — groups without outliers therefore
+    // see bit-identical term sequences and cycle budgets.
+    const int lo = -(1 << (bits - 1));
+    const int hi = (1 << (bits - 1)) - 1;
+    for (int v = lo; v <= hi; ++v) {
+        const auto terms = termsForInt(v, bits);
+        BITMOD_ASSERT(static_cast<int>(terms.size()) == tpw_,
+                      "Booth term count mismatch for ", v);
+        const size_t idx = static_cast<size_t>(v + maxMag);
+        valid_[idx] = true;
+        std::copy(terms.begin(), terms.end(),
+                  flat_.begin() + idx * tpw_);
+    }
+
+    // Outlier domain: each +-abfloat magnitude decodes by leading-one
+    // detection — (1 + m/2) * 2^x has at most two set bits, so the
+    // fixed Booth cycle budget always covers the outlier decoder.
+    for (const double magD : mags) {
+        const int mag = static_cast<int>(magD);
+        BITMOD_ASSERT(static_cast<double>(mag) == magD,
+                      "abfloat magnitude ", magD, " is not integral");
+        for (const int sign : {1, -1}) {
+            const size_t idx =
+                static_cast<size_t>(sign * mag + maxMag);
+            if (valid_[idx])
+                continue;  // inside the normal range (never happens
+                           // for the 3-/4-bit abfloat grids)
+            std::vector<BitSerialTerm> terms;
+            for (int k = 0; (1 << k) <= mag; ++k) {
+                if ((mag >> k) & 1) {
+                    BitSerialTerm t;
+                    t.man = 1;
+                    t.sign = sign < 0 ? 1 : 0;
+                    t.exp = 0;
+                    t.bsig = k;
+                    terms.push_back(t);
+                }
+            }
+            BITMOD_ASSERT(static_cast<int>(terms.size()) <= tpw_,
+                          "abfloat value ", sign * mag, " needs ",
+                          terms.size(), " terms, budget is ", tpw_);
+            while (static_cast<int>(terms.size()) < tpw_)
+                terms.emplace_back();  // null-pad to the cycle budget
+            valid_[idx] = true;
+            std::copy(terms.begin(), terms.end(),
+                      flat_.begin() + idx * tpw_);
+        }
     }
     fillValues();
 }
@@ -61,6 +130,15 @@ TermTable::fillValues()
     flatVals_.resize(flat_.size());
     for (size_t i = 0; i < flat_.size(); ++i)
         flatVals_[i] = flat_[i].value();
+    nnz_.assign(valid_.size(), 0);
+    for (size_t e = 0; e < valid_.size(); ++e) {
+        if (!valid_[e])
+            continue;
+        uint8_t count = 0;
+        for (int t = 0; t < tpw_; ++t)
+            count += flat_[e * tpw_ + t].man != 0;
+        nnz_[e] = count;
+    }
 }
 
 size_t
@@ -119,12 +197,36 @@ TermTable::forFixedPoint()
 }
 
 const TermTable &
+TermTable::forOlive(int bits)
+{
+    // Same interning discipline as forIntWidth: built once per width,
+    // lock-free in the steady state.
+    static std::atomic<const TermTable *> cache[9];
+    static std::mutex buildMutex;
+    BITMOD_ASSERT(bits >= 2 && bits <= 8, "bad OliVe width: ", bits);
+    const TermTable *table =
+        cache[bits].load(std::memory_order_acquire);
+    if (table)
+        return *table;
+    std::lock_guard<std::mutex> lock(buildMutex);
+    table = cache[bits].load(std::memory_order_relaxed);
+    if (!table) {
+        table = new TermTable(OliveDomain{bits});
+        cache[bits].store(table, std::memory_order_release);
+    }
+    return *table;
+}
+
+const TermTable &
 TermTable::forDtype(const Dtype &dt)
 {
     switch (dt.kind) {
       case DtypeKind::IntSym:
-      case DtypeKind::OliveOvp:
         return forIntWidth(dt.bits);
+      case DtypeKind::OliveOvp:
+        // The outlier-extended table: identical to forIntWidth for
+        // the normal codes, plus the abfloat escape values.
+        return forOlive(dt.bits);
       case DtypeKind::IntAsym:
         // The PE consumes the zero-point-subtracted difference, which
         // spans bits + 1 in two's complement.

@@ -19,6 +19,7 @@
 #ifndef BITMOD_BITSERIAL_TERM_TABLE_HH
 #define BITMOD_BITSERIAL_TERM_TABLE_HH
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -41,7 +42,8 @@ class TermTable
      * two's-complement table of their effective width (bits + 1 for
      * IntAsym, whose PE operand is the zero-point-subtracted
      * difference); NonLinear / MX kinds share the universal half-step
-     * fixed-point table.
+     * fixed-point table; OliveOvp maps to the outlier-extended table
+     * that also decodes the protected abfloat magnitudes.
      */
     static const TermTable &forDtype(const Dtype &dt);
 
@@ -50,6 +52,18 @@ class TermTable
 
     /** Shared table for the I3..I0.F0 half-step fixed-point domain. */
     static const TermTable &forFixedPoint();
+
+    /**
+     * Shared table for the OliVe outlier-victim-pair domain at
+     * @p bits: normal values keep their Booth term sequences (same
+     * terms and cycle budget as forIntWidth), and the +-abfloat
+     * outlier magnitudes decode by leading-one detection — every
+     * abfloat value has at most two set bits, so the fixed
+     * boothDigitCount(bits) term budget always suffices.  This is the
+     * outlier decoder that lets OliVe-encoded groups stream through
+     * the PE end to end.
+     */
+    static const TermTable &forOlive(int bits);
 
     /** Fixed terms per weight (the PE cycle budget per weight). */
     int termsPerWeight() const { return tpw_; }
@@ -97,6 +111,17 @@ class TermTable
                 static_cast<size_t>(tpw_)};
     }
 
+    /**
+     * Effectual (non-zero) terms of @p qvalue — the cycles a
+     * term-skipping PE actually spends on the weight, versus the
+     * fixed termsPerWeight() budget.  Zero only for qvalue == 0.
+     */
+    int
+    nonZeroTerms(double qvalue) const
+    {
+        return nnz_[indexFor(qvalue)];
+    }
+
   private:
     struct IntDomain
     {
@@ -105,9 +130,14 @@ class TermTable
     struct FixedPointDomain
     {
     };
+    struct OliveDomain
+    {
+        int bits;
+    };
 
     explicit TermTable(IntDomain dom);
     explicit TermTable(FixedPointDomain dom);
+    explicit TermTable(OliveDomain dom);
 
     void fillValues();
     size_t indexFor(double qvalue) const;
@@ -117,6 +147,7 @@ class TermTable
     double offset_ = 0.0;    //!< index = qvalue * keyScale + offset
     std::vector<BitSerialTerm> flat_;  //!< entries * tpw_, fixed stride
     std::vector<double> flatVals_;     //!< term values, same layout
+    std::vector<uint8_t> nnz_;         //!< non-zero terms per entry
     std::vector<bool> valid_;
 };
 

@@ -49,7 +49,9 @@ nafDecompose(double grid_value, int max_terms,
     if (std::fabs(halves - std::nearbyint(halves)) >= 1e-9)
         return false;
     int mag2 = static_cast<int>(std::fabs(std::nearbyint(halves)));
-    if (mag2 > 31)
+    // I3..I0.F0 spans |halves| <= 31; 32 (value 16, a single NAF
+    // digit) is admitted so ANT's Flint4 end point decodes too.
+    if (mag2 > 32)
         return false;
     const int sign = grid_value < 0.0 ? 1 : 0;
 
@@ -93,7 +95,7 @@ termsForFixedPoint(double grid_value)
     BITMOD_ASSERT(std::fabs(halves - std::nearbyint(halves)) < 1e-9,
                   "grid value ", grid_value,
                   " not representable in I4.F1 fixed point");
-    BITMOD_ASSERT(std::fabs(std::nearbyint(halves)) <= 31.0,
+    BITMOD_ASSERT(std::fabs(std::nearbyint(halves)) <= 32.0,
                   "grid value ", grid_value,
                   " exceeds the fixed-point range");
     std::vector<BitSerialTerm> terms;

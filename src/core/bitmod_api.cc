@@ -60,18 +60,35 @@ accelByName(const std::string &name)
     BITMOD_FATAL("unknown accelerator: '", name, "'");
 }
 
+MeasuredProfile
+bitmodProfileModel(const std::string &model_name, int bits,
+                   int group_size, const ProfileConfig &pcfg)
+{
+    return measureProfile(llmByName(model_name),
+                          bitmodConfig(bits, group_size), pcfg);
+}
+
 DeploymentSummary
 simulateDeployment(const std::string &accel_name,
                    const std::string &model_name, bool generative,
-                   bool lossless)
+                   bool lossless, const DeployOptions &opts)
 {
     const AccelConfig accel = accelByName(accel_name);
     const LlmSpec &model = llmByName(model_name);
     const TaskSpec task = generative ? TaskSpec::generative()
                                      : TaskSpec::discriminative();
-    const PrecisionChoice precision =
+    PrecisionChoice precision =
         lossless ? selectLosslessPrecision(accel)
                  : selectLossyPrecision(accel, model, generative);
+    if (opts.measured &&
+        precision.weightDtype.kind != DtypeKind::Identity) {
+        // Measurement-driven mode: re-point the precision view at the
+        // packed-image footprint and effectual-term counts of the
+        // model's quantized proxy layers.
+        precision.applyProfile(
+            measureProfile(model, precision.quantConfig,
+                           opts.profile));
+    }
 
     const AccelSim sim(accel);
     DeploymentSummary s;

@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "accel/measured_profile.hh"
 #include "accel/perf_model.hh"
 #include "accel/policy.hh"
 #include "model/llm_zoo.hh"
@@ -63,6 +64,34 @@ QuantizedTensor bitmodQuantizeEncoded(const Matrix &weights, int bits,
 PackedMatrix bitmodPackMatrix(const Matrix &weights, int bits,
                               int group_size = 128, int threads = 0);
 
+/**
+ * Measure the BitMoD deployment configuration on a model's sampled
+ * proxy layers: quantize + pack them into the byte-exact PackedMatrix
+ * image and stream it through term-skipping PE columns.  The returned
+ * profile carries the measured bits per weight (packed footprint incl.
+ * scale/selector metadata) and effectual terms per weight that the
+ * measured-mode accelerator simulation charges instead of the analytic
+ * constants.  @p bits is 3 or 4 (the BitMoD datatypes).
+ */
+MeasuredProfile bitmodProfileModel(const std::string &model_name,
+                                   int bits, int group_size = 128,
+                                   const ProfileConfig &pcfg = {});
+
+/** Deployment-simulation options. */
+struct DeployOptions
+{
+    /**
+     * Derive the run from a MeasuredProfile: quantize + pack proxy
+     * layers of the model with the selected precision's QuantConfig,
+     * charge DRAM for the measured packed-image footprint and compute
+     * for the measured effectual-term counts.  false keeps the
+     * analytic constants (the sweep-friendly fallback).  FP16 choices
+     * have nothing to measure and always run analytically.
+     */
+    bool measured = false;
+    ProfileConfig profile;
+};
+
 /** Result of a deployment simulation. */
 struct DeploymentSummary
 {
@@ -86,10 +115,12 @@ struct DeploymentSummary
  * @param lossless   true = lossless precision policy (INT6 BitMoD),
  *                   false = lossy (4-/3-bit BitMoD, quality-gated
  *                   4-/8-bit ANT & OliVe)
+ * @param opts       analytic vs measured derivation (see DeployOptions)
  */
 DeploymentSummary simulateDeployment(const std::string &accel_name,
                                      const std::string &model_name,
-                                     bool generative, bool lossless);
+                                     bool generative, bool lossless,
+                                     const DeployOptions &opts = {});
 
 /** Accelerator factory by name; fatal on unknown names. */
 AccelConfig accelByName(const std::string &name);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "tensor/linalg.hh"
 
 namespace bitmod
@@ -41,12 +42,12 @@ awqQuantize(const Matrix &w, const Matrix &x, const QuantConfig &cfg,
     dampDiagonal(h, 0.01);
     const double refEnergy = quadraticForm(w, h);
 
-    Matrix best;
-    double bestErr = std::numeric_limits<double>::infinity();
-
-    Matrix scaled(w.rows(), w.cols());
-    Matrix err(w.rows(), w.cols());
-    for (int step = 0; step <= acfg.alphaSteps; ++step) {
+    // One alpha candidate: migrate, quantize, fold the scales back
+    // and score the effective weights against the Hessian.  The
+    // quantizer runs serial inside the alpha-parallel search below
+    // (the worker pool must not be re-entered from a worker).
+    const auto evaluate = [&](int step, int quant_threads,
+                              Matrix &eff) {
         const double alpha =
             static_cast<double>(step) / acfg.alphaSteps;
         // s_j = mag_j^alpha, normalized so the geometric mean is 1
@@ -62,27 +63,49 @@ awqQuantize(const Matrix &w, const Matrix &x, const QuantConfig &cfg,
         for (auto &v : s)
             v /= norm;
 
+        Matrix scaled(w.rows(), w.cols());
         for (size_t r = 0; r < w.rows(); ++r)
             for (size_t j = 0; j < w.cols(); ++j)
                 scaled(r, j) = static_cast<float>(w(r, j) * s[j]);
 
-        const Matrix q = quantizeMatrix(scaled, cfg).dequant;
+        QuantConfig qcfg = cfg;
+        qcfg.threads = quant_threads;
+        const Matrix q = quantizeMatrix(scaled, qcfg).dequant;
 
         // Effective weights after folding the scales back.
-        Matrix eff(w.rows(), w.cols());
+        eff = Matrix(w.rows(), w.cols());
         for (size_t r = 0; r < w.rows(); ++r)
             for (size_t j = 0; j < w.cols(); ++j)
                 eff(r, j) = static_cast<float>(q(r, j) / s[j]);
 
+        Matrix err(w.rows(), w.cols());
         for (size_t i = 0; i < w.size(); ++i)
             err.flat()[i] = w.flat()[i] - eff.flat()[i];
-        const double outErr = quadraticForm(err, h) /
-                              std::max(refEnergy, 1e-30);
-        if (outErr < bestErr) {
-            bestErr = outErr;
-            best = std::move(eff);
+        return quadraticForm(err, h) / std::max(refEnergy, 1e-30);
+    };
+
+    // Phase 1: score every alpha candidate concurrently (sharded over
+    // the worker pool, cfg.threads); errors land in per-step slots.
+    // Phase 2: serial argmin in step order — ties resolve to the
+    // lowest alpha exactly as the serial sweep did — then the winner
+    // is re-materialized with the row-parallel quantizer.  Scores and
+    // the returned weights are bit-identical for any thread count.
+    std::vector<double> errs(
+        static_cast<size_t>(acfg.alphaSteps) + 1, 0.0);
+    parallelFor(errs.size(), cfg.threads, [&](size_t step) {
+        Matrix eff;
+        errs[step] = evaluate(static_cast<int>(step), 1, eff);
+    });
+    size_t bestStep = 0;
+    double bestErr = std::numeric_limits<double>::infinity();
+    for (size_t step = 0; step < errs.size(); ++step) {
+        if (errs[step] < bestErr) {
+            bestErr = errs[step];
+            bestStep = step;
         }
     }
+    Matrix best;
+    evaluate(static_cast<int>(bestStep), cfg.threads, best);
     return best;
 }
 

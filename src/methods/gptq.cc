@@ -1,6 +1,7 @@
 #include "methods/gptq.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "tensor/linalg.hh"
 
 namespace bitmod
@@ -41,39 +42,43 @@ gptqQuantize(const Matrix &w, const Matrix &hessian,
 
     Matrix work = w;   // residual-updated weights
     Matrix out(k, d);  // dequantized result
-    // One frozen encoding per output row, kept in an SoA pool that is
-    // allocated once and re-encoded in place at every group boundary
-    // (the seed kept k separate EncodedGroups and re-allocated their
-    // qvalue vectors each boundary).
-    EncodedMatrix groupEnc;
-    groupEnc.reset(k, 1, groupSize);
 
-    for (size_t j = 0; j < d; ++j) {
-        // Freeze per-row group encodings (scale / zero-point / special
-        // value) from the *updated* weights at each group boundary.
-        if (j % groupSize == 0) {
-            const size_t g = j / groupSize;
-            for (size_t r = 0; r < k; ++r)
-                encodeGroupInto(work.group(r, g, groupSize), cfg,
-                                groupEnc.slot(r), groupEnc.desc(r));
-        }
+    // Rows are fully independent: a row's column sweep touches only
+    // its own residual row plus the shared read-only factor U, so the
+    // per-layer search is sharded row-wise over the worker pool
+    // (cfg.threads, as in quantizeMatrix).  Each worker walks its
+    // row's columns in order — identical arithmetic to the seed's
+    // column-outer walk — and writes disjoint rows of `out`, so the
+    // result is bit-identical for any thread count.
+    parallelFor(k, cfg.threads, [&](size_t r) {
+        // One frozen group encoding per worker, re-encoded in place
+        // at every group boundary (no per-group allocation).
+        thread_local EncodedMatrix groupEnc;
+        if (groupEnc.size() != 1 || groupEnc.desc(0).len != groupSize)
+            groupEnc.reset(1, 1, groupSize);
 
-        const double ujj = u(j, j);
-        for (size_t r = 0; r < k; ++r) {
-            const float wv = work(r, j);
+        float *row = work.data() + r * d;
+        for (size_t j = 0; j < d; ++j) {
+            // Freeze the group encoding (scale / zero-point / special
+            // value) from the *updated* weights at the boundary.
+            if (j % groupSize == 0)
+                encodeGroupInto(work.group(r, j / groupSize, groupSize),
+                                cfg, groupEnc.slot(0),
+                                groupEnc.desc(0));
+
+            const float wv = row[j];
             const float qv =
-                quantizeValueInGroup(wv, groupEnc.group(r), cfg);
+                quantizeValueInGroup(wv, groupEnc.group(0), cfg);
             out(r, j) = qv;
             // Error feedback: w[r, j+1..] -= e/U[j,j] * U[j, j+1..].
-            const double e = (static_cast<double>(wv) - qv) / ujj;
+            const double e = (static_cast<double>(wv) - qv) / u(j, j);
             if (e == 0.0)
                 continue;
-            float *row = work.data() + r * d;
             const float *urow = u.data() + j * d;
             for (size_t c = j + 1; c < d; ++c)
                 row[c] -= static_cast<float>(e * urow[c]);
         }
-    }
+    });
     return out;
 }
 

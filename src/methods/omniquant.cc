@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace bitmod
 {
@@ -65,10 +66,15 @@ omniquantQuantize(const Matrix &w, const QuantConfig &cfg,
     BITMOD_ASSERT(w.cols() % groupSize == 0, "group size mismatch");
 
     Matrix out(w.rows(), w.cols());
-    std::vector<float> trial(groupSize);
-    EncodedGroup base;  // reused full-range encoding, one per group
     const size_t ngroups = w.cols() / groupSize;
-    for (size_t r = 0; r < w.rows(); ++r) {
+    // The per-group gamma grid search is independent across rows:
+    // shard rows over the worker pool (cfg.threads).  Every group
+    // writes its own slice of `out` and the per-group search is
+    // untouched, so the result is bit-identical for any thread count.
+    parallelFor(w.rows(), cfg.threads, [&](size_t r) {
+        thread_local std::vector<float> trial;
+        thread_local EncodedGroup base;  // reused full-range encoding
+        trial.resize(groupSize);
         for (size_t g = 0; g < ngroups; ++g) {
             const auto src = w.group(r, g, groupSize);
             auto dst = out.group(r, g, groupSize);
@@ -87,7 +93,7 @@ omniquantQuantize(const Matrix &w, const QuantConfig &cfg,
                 }
             }
         }
-    }
+    });
     return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "tensor/linalg.hh"
 
 namespace bitmod
@@ -31,13 +32,44 @@ quantizeActInt8(const Matrix &x)
     return q;
 }
 
-/** ||A B^T - ref||_F^2 / ||ref||_F^2 with ref = X W^T. */
+/**
+ * X W^T with the sample rows sharded over the worker pool.  Each
+ * worker reproduces the serial matmul's per-row accumulation exactly
+ * (double accumulators over the ascending inner dimension) and writes
+ * its own output row, so the product is bit-identical to
+ * matmul(x, transpose(w)) for any thread count.
+ */
+Matrix
+outputProduct(const Matrix &x, const Matrix &w, int threads)
+{
+    BITMOD_ASSERT(x.cols() == w.cols(), "output product shape "
+                  "mismatch");
+    const size_t n = x.rows(), d = x.cols(), k = w.rows();
+    Matrix c(n, k);
+    parallelFor(n, threads, [&](size_t i) {
+        const float *xrow = x.data() + i * d;
+        float *crow = c.data() + i * k;
+        for (size_t r = 0; r < k; ++r) {
+            const float *wrow = w.data() + r * d;
+            double sum = 0.0;
+            for (size_t j = 0; j < d; ++j)
+                sum += static_cast<double>(xrow[j]) * wrow[j];
+            crow[r] = static_cast<float>(sum);
+        }
+    });
+    return c;
+}
+
+/** ||A B^T - ref||_F^2 / ||ref||_F^2 with ref = X W^T.  The two
+ *  output products run row-parallel; the error reduction is one
+ *  serial flat pass, so the loss is deterministic for any thread
+ *  count. */
 double
 relativeOutputError(const Matrix &xq, const Matrix &wq, const Matrix &x,
-                    const Matrix &w)
+                    const Matrix &w, int threads)
 {
-    const Matrix ref = matmul(x, transpose(w));
-    const Matrix got = matmul(xq, transpose(wq));
+    const Matrix ref = outputProduct(x, w, threads);
+    const Matrix got = outputProduct(xq, wq, threads);
     double err = 0.0, energy = 0.0;
     for (size_t i = 0; i < ref.size(); ++i) {
         const double d = static_cast<double>(got.flat()[i]) -
@@ -85,7 +117,7 @@ smoothQuantOutputLoss(const EvalLayer &layer, const QuantConfig &wcfg,
     const Matrix wq = quantizeMatrix(wMig, wcfg).dequant;
     const Matrix xq =
         scfg.quantizeActInt8 ? quantizeActInt8(xMig) : xMig;
-    return relativeOutputError(xq, wq, x, w);
+    return relativeOutputError(xq, wq, x, w, wcfg.threads);
 }
 
 double
@@ -95,7 +127,7 @@ plainOutputLoss(const EvalLayer &layer, const QuantConfig &wcfg)
                   "output loss requires calibration data");
     const Matrix wq = quantizeMatrix(layer.weights, wcfg).dequant;
     return relativeOutputError(layer.calibration, wq, layer.calibration,
-                               layer.weights);
+                               layer.weights, wcfg.threads);
 }
 
 } // namespace bitmod

@@ -3,11 +3,11 @@
 namespace bitmod
 {
 
-MemoryTraffic
-computeTraffic(const LlmSpec &model, const TaskSpec &task,
-               const PrecisionSpec &precision)
+PhaseTraffic
+computePhaseTraffic(const LlmSpec &model, const TaskSpec &task,
+                    const PrecisionSpec &precision)
 {
-    MemoryTraffic t;
+    PhaseTraffic t;
     const double wBytesPerElem = precision.weightBits / 8.0;
     const double aBytesPerElem = precision.activationBits / 8.0;
     const double kvBytesPerElem = precision.kvBits / 8.0;
@@ -17,42 +17,43 @@ computeTraffic(const LlmSpec &model, const TaskSpec &task,
     const double layers = static_cast<double>(model.numLayers);
     const double lmHead =
         static_cast<double>(model.vocabSize) * model.hiddenDim;
-
-    // Weights: prefill reads everything once; each decode step reads
-    // everything again (batch 1, nothing stays resident on chip).
-    const double weightReads =
-        1.0 + static_cast<double>(task.outTokens - 1);
-    t.weightBytes =
-        (layers * blockParams + lmHead) * wBytesPerElem * weightReads;
-
-    // Activations: intra-block intermediates (attention heads, FFN
-    // expansion) fit in the 512 KB activation buffer and never leave
-    // the chip; off-chip activation traffic is the residual stream
-    // entering and leaving each block, plus embeddings and logits.
-    const double totalTokens =
-        static_cast<double>(task.inTokens + task.outTokens - 1);
-    t.activationBytes = layers * 2.0 * model.hiddenDim * totalTokens *
-                        aBytesPerElem;
-    // Embedding output + final logits.
-    t.activationBytes += totalTokens * model.hiddenDim * aBytesPerElem;
-    t.activationBytes +=
-        static_cast<double>(task.outTokens) * model.vocabSize *
-        aBytesPerElem;
-
-    // KV cache: every token writes K and V (kvDim each) per layer;
-    // every decode step reads the whole history per layer.
+    const double allParams = layers * blockParams + lmHead;
+    const double in = static_cast<double>(task.inTokens);
+    const double steps = static_cast<double>(task.outTokens - 1);
     const double kvPerTokenLayer = 2.0 * model.kvDim();
-    t.kvBytes =
-        layers * kvPerTokenLayer * totalTokens * kvBytesPerElem;
-    double decodeReads = 0.0;
-    for (size_t s = 0; s < task.outTokens - 0; ++s) {
-        if (s == 0)
-            continue;  // prefill attention reads stay on chip per tile
-        const double ctx = static_cast<double>(task.inTokens + s);
-        decodeReads += ctx;
-    }
-    t.kvBytes += layers * kvPerTokenLayer * decodeReads * kvBytesPerElem;
+    // Residual stream entering and leaving each block, plus the
+    // embedding output (intra-block intermediates — attention heads,
+    // FFN expansion — fit the 512 KB activation buffer).
+    const double actPerToken =
+        (layers * 2.0 + 1.0) * model.hiddenDim * aBytesPerElem;
+    const double logits = model.vocabSize * aBytesPerElem;
+
+    // Prefill: every weight once (batch 1, nothing stays resident on
+    // chip), the input tokens' activations, the first token's logits,
+    // and the input tokens' KV writes (prefill attention reads stay on
+    // chip per tile).
+    t.prefill.weightBytes = allParams * wBytesPerElem;
+    t.prefill.activationBytes = in * actPerToken + logits;
+    t.prefill.kvBytes = layers * kvPerTokenLayer * in * kvBytesPerElem;
+
+    // Decode: each step re-reads all weights, streams one token's
+    // activations and logits, writes one KV entry per layer and reads
+    // the whole per-layer KV history.
+    t.decode.weightBytes = allParams * wBytesPerElem * steps;
+    t.decode.activationBytes = steps * (actPerToken + logits);
+    double ctxSum = 0.0;
+    for (size_t s = 1; s < task.outTokens; ++s)
+        ctxSum += static_cast<double>(task.inTokens + s);
+    t.decode.kvBytes =
+        layers * kvPerTokenLayer * (steps + ctxSum) * kvBytesPerElem;
     return t;
+}
+
+MemoryTraffic
+computeTraffic(const LlmSpec &model, const TaskSpec &task,
+               const PrecisionSpec &precision)
+{
+    return computePhaseTraffic(model, task, precision).total();
 }
 
 double

@@ -44,7 +44,12 @@ struct MemoryTraffic
     }
 };
 
-/** Bit-widths of the three traffic classes. */
+/**
+ * Bit-widths of the three traffic classes — a thin view over either
+ * the analytic bits-per-weight model or a MeasuredProfile (the
+ * accelerator layer's PrecisionChoice::spec() produces one from
+ * whichever source it carries).
+ */
 struct PrecisionSpec
 {
     double weightBits = 16.0;  //!< may be fractional (incl. metadata)
@@ -53,9 +58,42 @@ struct PrecisionSpec
 };
 
 /**
- * Off-chip traffic for running @p task on @p model with @p precision.
- * Weight traffic assumes the weights do not fit on chip (true for all
- * six models against a 512 KB buffer) and are re-read per decode step.
+ * Phase-resolved traffic: what prefill moves versus what the decode
+ * steps move.  The accelerator simulator overlaps each phase's
+ * transfers with that phase's compute, so it needs the split; the
+ * figure-level analyses only need the sum.
+ */
+struct PhaseTraffic
+{
+    MemoryTraffic prefill;
+    MemoryTraffic decode;
+
+    MemoryTraffic
+    total() const
+    {
+        return {prefill.weightBytes + decode.weightBytes,
+                prefill.activationBytes + decode.activationBytes,
+                prefill.kvBytes + decode.kvBytes};
+    }
+};
+
+/**
+ * Off-chip traffic for running @p task on @p model with @p precision,
+ * split by phase.  Prefill reads every weight once, streams the
+ * residual activations of the input tokens plus the first token's
+ * logits, and writes the input tokens' KV; every decode step re-reads
+ * all weights, streams one token's activations and logits, writes one
+ * KV entry and reads the whole per-layer KV history.
+ */
+PhaseTraffic computePhaseTraffic(const LlmSpec &model,
+                                 const TaskSpec &task,
+                                 const PrecisionSpec &precision);
+
+/**
+ * Off-chip traffic for running @p task on @p model with @p precision
+ * (the phase totals).  Weight traffic assumes the weights do not fit
+ * on chip (true for all six models against a 512 KB buffer) and are
+ * re-read per decode step.
  */
 MemoryTraffic computeTraffic(const LlmSpec &model, const TaskSpec &task,
                              const PrecisionSpec &precision);

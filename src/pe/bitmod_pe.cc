@@ -176,7 +176,22 @@ BitmodPe::processGroup(const EncodedGroupView &enc,
                        double scale_base, int scale_bits) const
 {
     PeGroupResult result;
-    result.dotCycles = dotCycles(enc.qvalues.size(), dt);
+    if (cfg_.termSkip) {
+        // Zero-term skipping: the term generator compacts the group's
+        // effectual terms across the lanes, so the cycle count is the
+        // effectual-term total amortized over the lane width.
+        const bool asym = dt.kind == DtypeKind::IntAsym;
+        int effectual = 0;
+        for (const float qv : enc.qvalues)
+            effectual += table.nonZeroTerms(
+                asym ? qv - enc.zeroPoint : qv);
+        result.effectualTerms = effectual;
+        result.dotCycles = static_cast<int>(ceilDiv(
+            static_cast<size_t>(effectual),
+            static_cast<size_t>(cfg_.lanes)));
+    } else {
+        result.dotCycles = dotCycles(enc.qvalues.size(), dt);
+    }
     const double partial = dotProduct(enc, acts, dt, table);
     const double scaled =
         bitSerialDequant(partial, scale_int, scale_bits,

@@ -37,6 +37,16 @@ struct PeConfig
 {
     int lanes = 4;          //!< dot-product width per cycle
     bool hwRounding = false;  //!< model the 3-guard-bit alignment RNE
+    /**
+     * Model zero-term skipping: the tile-level term generator
+     * (Fig. 6) emits only effectual (non-zero) terms into the lane
+     * queue, so a group's dot product takes
+     * ceil(effectual terms / lanes) cycles instead of the fixed
+     * ceil(n / lanes) * termsPerWeight budget.  Values, drain events
+     * and the dot product itself are bit-identical to the
+     * fixed-budget mode; only the cycle accounting changes.
+     */
+    bool termSkip = false;
 };
 
 /** Result of processing one weight group. */
@@ -45,6 +55,9 @@ struct PeGroupResult
     double value = 0.0;      //!< dequantized partial sum
     int dotCycles = 0;       //!< bit-serial dot-product cycles
     int dequantCycles = 0;   //!< bit-serial dequantization cycles
+    /** Effectual (non-zero) weight terms in the group; counted only
+     *  in term-skip mode (0 under the fixed budget). */
+    int effectualTerms = 0;
     /** True if dequantization would stall the pipeline (it never
      *  should for G = 128; Section IV-B). */
     bool wouldStall = false;

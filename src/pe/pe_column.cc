@@ -86,6 +86,7 @@ PeColumn::processChannel(const EncodedMatrix &enc, size_t row,
     result.value = strip.values[0];
     result.cycles = static_cast<int>(strip.cycles);
     result.drainEvents = strip.drainEvents;
+    result.effectualTerms = strip.effectualTerms;
     result.accumulatorContention = strip.accumulatorContention;
     return result;
 }
@@ -101,6 +102,7 @@ PeColumn::processChannel(const PackedMatrix &packed, size_t row,
     result.value = strip.values[0];
     result.cycles = static_cast<int>(strip.cycles);
     result.drainEvents = strip.drainEvents;
+    result.effectualTerms = strip.effectualTerms;
     result.accumulatorContention = strip.accumulatorContention;
     return result;
 }
@@ -151,6 +153,7 @@ PeColumn::stripImpl(const Source &src, size_t rows, size_t row_begin,
             strip.values[r] += res.value;
             rowCycles[r] += res.dotCycles;
             strip.cycles += res.dotCycles;
+            strip.effectualTerms += res.effectualTerms;
 
             // Drain check: the shared accumulator accepts one group
             // partial sum per hand-off; with pesPerColumn_ PEs

@@ -38,6 +38,8 @@ struct ColumnResult
     double value = 0.0;     //!< final per-channel output
     int cycles = 0;         //!< dot-product cycles across all groups
     int drainEvents = 0;    //!< accumulator hand-offs (one per group)
+    /** Effectual terms (term-skip PEs only; 0 under fixed budget). */
+    long long effectualTerms = 0;
     bool accumulatorContention = false;  //!< two drains same cycle?
 };
 
@@ -47,6 +49,8 @@ struct StripResult
     std::vector<double> values;  //!< one output per row in the strip
     long long cycles = 0;        //!< dot cycles summed over the strip
     int drainEvents = 0;         //!< total accumulator hand-offs
+    /** Effectual terms (term-skip PEs only; 0 under fixed budget). */
+    long long effectualTerms = 0;
     bool accumulatorContention = false;  //!< any row collided?
 };
 

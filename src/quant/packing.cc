@@ -132,11 +132,10 @@ GroupPacker::GroupPacker(const QuantConfig &cfg) : cfg_(cfg)
     BITMOD_ASSERT(cfg.dtype.kind != DtypeKind::Identity,
                   "FP16 weights are not packed");
     elementBits_ = cfg.dtype.bits;
-    // Metadata: 8-bit scale code always; 2-bit selector for adaptive
-    // types; 8-bit zero point for asymmetric integers.
-    metaBits_ = 8 + cfg.dtype.groupMetaBits();
-    if (cfg.dtype.kind == DtypeKind::IntAsym)
-        metaBits_ += 8;
+    // Metadata from the shared helper (8-bit in-stream scale code):
+    // the same arithmetic the analytic bitsPerWeight fallback uses,
+    // so the packer and the model cannot drift.
+    metaBits_ = groupMetadataBits(cfg.dtype, 8);
     buildCodeTables();
 }
 

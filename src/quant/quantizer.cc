@@ -526,6 +526,17 @@ quantizeScales(std::span<const double> scales, int bits,
     return out;
 }
 
+int
+groupMetadataBits(const Dtype &dt, int scale_bits)
+{
+    if (dt.kind == DtypeKind::Mx)
+        return 8;  // shared 8-bit exponent only, per the MX spec
+    int meta = scale_bits + dt.groupMetaBits();
+    if (dt.kind == DtypeKind::IntAsym)
+        meta += 8;  // stored zero-point
+    return meta;
+}
+
 double
 bitsPerWeight(const QuantConfig &cfg, size_t channel_size)
 {
@@ -538,17 +549,13 @@ bitsPerWeight(const QuantConfig &cfg, size_t channel_size)
         group = static_cast<double>(channel_size);
         break;
       case Granularity::PerGroup:
-        group = static_cast<double>(cfg.groupSize);
+        group = static_cast<double>(
+            cfg.dtype.kind == DtypeKind::Mx ? 32 : cfg.groupSize);
         break;
     }
-    const double scaleBits = cfg.scaleBits > 0 ? cfg.scaleBits : 16.0;
-    double meta = scaleBits;
-    if (cfg.dtype.kind == DtypeKind::IntAsym)
-        meta += 8.0;  // stored zero-point
-    meta += cfg.dtype.groupMetaBits();
-    if (cfg.dtype.kind == DtypeKind::Mx)
-        meta = 8.0;  // shared 8-bit exponent only, per the MX spec
-    return cfg.dtype.bits + meta / group;
+    const int scaleBits = cfg.scaleBits > 0 ? cfg.scaleBits : 16;
+    return cfg.dtype.bits +
+           groupMetadataBits(cfg.dtype, scaleBits) / group;
 }
 
 QuantizedTensor

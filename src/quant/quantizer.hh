@@ -365,10 +365,20 @@ std::vector<double> quantizeScales(std::span<const double> scales,
 std::vector<double> oliveAbfloatMagnitudes(int bits);
 
 /**
+ * Per-group metadata bits of datatype @p dt when the scale is stored
+ * at @p scale_bits: scale code + special-value selector + zero point
+ * (MX groups store only their shared 8-bit exponent).  This is the
+ * single source of truth shared by the analytic bitsPerWeight() model
+ * and the GroupPacker's byte-exact stream layout
+ * (packedBitsPerWeight), so the fallback and the packer can never
+ * drift.
+ */
+int groupMetadataBits(const Dtype &dt, int scale_bits);
+
+/**
  * Average stored bits per weight for a given configuration and channel
- * size: element bits + (scale bits + zero-point bits + special-value
- * selector bits) / group size.  Matches the paper's memory-overhead
- * analysis (Section III-C).
+ * size: element bits + groupMetadataBits / group size.  Matches the
+ * paper's memory-overhead analysis (Section III-C).
  */
 double bitsPerWeight(const QuantConfig &cfg, size_t channel_size);
 

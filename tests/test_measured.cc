@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Tests for the measurement-driven performance model: effectual-term
+ * counts in the TermTable, the term-skipping PE mode, OliVe outlier
+ * decode through the PE, the MeasuredProfile pipeline behind the
+ * Fig. 7/8 --measured runs, and the thread-invariance of the
+ * parallelized software-method baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "accel/measured_profile.hh"
+#include "accel/perf_model.hh"
+#include "bitserial/term_table.hh"
+#include "bitserial/termgen.hh"
+#include "common/rng.hh"
+#include "core/bitmod_api.hh"
+#include "methods/awq.hh"
+#include "methods/gptq.hh"
+#include "methods/omniquant.hh"
+#include "methods/smoothquant.hh"
+#include "model/sampler.hh"
+#include "numeric/bits.hh"
+#include "numeric/booth.hh"
+#include "pe/pe_column.hh"
+#include "quant/packing.hh"
+#include "tensor/generator.hh"
+#include "tensor/linalg.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+std::vector<Float16>
+randomActs(size_t n, Rng &rng)
+{
+    std::vector<Float16> acts;
+    acts.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian()));
+    return acts;
+}
+
+/** Domain values of @p dt that the quantizer can emit, pre-scale. */
+std::vector<double>
+domainValues(const Dtype &dt)
+{
+    std::vector<double> vals;
+    switch (dt.kind) {
+      case DtypeKind::IntSym: {
+        const int qmax = (1 << (dt.bits - 1)) - 1;
+        for (int v = -qmax; v <= qmax; ++v)
+            vals.push_back(v);
+        break;
+      }
+      case DtypeKind::OliveOvp: {
+        const int qmax = (1 << (dt.bits - 1)) - 1;
+        for (int v = -qmax; v <= qmax; ++v)
+            vals.push_back(v);
+        for (const double m : oliveAbfloatMagnitudes(dt.bits)) {
+            vals.push_back(m);
+            vals.push_back(-m);
+        }
+        break;
+      }
+      case DtypeKind::NonLinear:
+        for (const auto &grid : dt.candidates)
+            for (const double v : grid.values())
+                vals.push_back(v);
+        break;
+      case DtypeKind::Mx:
+        for (const double v : dt.mxElementGrid.values())
+            vals.push_back(v);
+        break;
+      default:
+        ADD_FAILURE() << "unhandled dtype kind";
+    }
+    return vals;
+}
+
+// --------------------------------------------------- TermTable counts
+
+TEST(TermTableNnz, CountsMatchTermSequencesExhaustively)
+{
+    for (const Dtype &dt :
+         {dtypes::intSym(3), dtypes::intSym(4), dtypes::intSym(6),
+          dtypes::intSym(8), dtypes::bitmodFp3(), dtypes::bitmodFp4(),
+          dtypes::flint(4), dtypes::mxfp(4), dtypes::olive(3),
+          dtypes::olive(4)}) {
+        const TermTable &table = TermTable::forDtype(dt);
+        for (const double v : domainValues(dt)) {
+            ASSERT_TRUE(table.representable(v)) << dt.name << " " << v;
+            int nonZero = 0;
+            for (const double tv : table.termValues(v))
+                nonZero += tv != 0.0;
+            EXPECT_EQ(table.nonZeroTerms(v), nonZero)
+                << dt.name << " value " << v;
+        }
+    }
+}
+
+TEST(TermTableNnz, IntCountsMatchBoothNonZeroCount)
+{
+    for (const int bits : {3, 4, 6, 8}) {
+        const TermTable &table = TermTable::forIntWidth(bits);
+        const int lo = -(1 << (bits - 1));
+        const int hi = (1 << (bits - 1)) - 1;
+        for (int v = lo; v <= hi; ++v)
+            EXPECT_EQ(table.nonZeroTerms(v), boothNonZeroCount(v, bits))
+                << "INT" << bits << " value " << v;
+    }
+}
+
+TEST(TermTableOlive, AbfloatOutliersDecodeWithinBudget)
+{
+    for (const int bits : {3, 4}) {
+        const TermTable &table = TermTable::forOlive(bits);
+        EXPECT_EQ(table.termsPerWeight(), boothDigitCount(bits));
+        for (const double mag : oliveAbfloatMagnitudes(bits)) {
+            for (const double v : {mag, -mag}) {
+                ASSERT_TRUE(table.representable(v))
+                    << bits << "-bit outlier " << v;
+                double sum = 0.0;
+                for (const double tv : table.termValues(v))
+                    sum += tv;
+                EXPECT_DOUBLE_EQ(sum, v);
+                EXPECT_GE(table.nonZeroTerms(v), 1);
+                EXPECT_LE(table.nonZeroTerms(v),
+                          table.termsPerWeight());
+            }
+        }
+        // Normal codes keep the plain Booth sequences of the INT
+        // table — same terms, same effectual counts.
+        const TermTable &plain = TermTable::forIntWidth(bits);
+        const int qmax = (1 << (bits - 1)) - 1;
+        for (int v = -qmax; v <= qmax; ++v) {
+            EXPECT_EQ(table.nonZeroTerms(v), plain.nonZeroTerms(v));
+            const auto a = table.termValues(v);
+            const auto b = plain.termValues(v);
+            ASSERT_EQ(a.size(), b.size());
+            for (size_t t = 0; t < a.size(); ++t)
+                EXPECT_DOUBLE_EQ(a[t], b[t]) << "value " << v;
+        }
+    }
+}
+
+// ------------------------------------------------------ term skipping
+
+TEST(TermSkip, SkippedCyclesEqualTableNonZeroSumsPerDtype)
+{
+    // Exhaustive: one group holding every representable value of the
+    // datatype; the term-skip cycle count must equal the TermTable
+    // non-zero-term sum amortized over the lanes, and the value must
+    // be bit-identical to the fixed-budget walk.
+    PeConfig fixedCfg;
+    PeConfig skipCfg;
+    skipCfg.termSkip = true;
+    const BitmodPe fixedPe(fixedCfg);
+    const BitmodPe skipPe(skipCfg);
+
+    for (const Dtype &dt :
+         {dtypes::intSym(3), dtypes::intSym(4), dtypes::intSym(6),
+          dtypes::intSym(8), dtypes::bitmodFp3(), dtypes::bitmodFp4(),
+          dtypes::flint(4), dtypes::mxfp(4), dtypes::olive(3),
+          dtypes::olive(4)}) {
+        const auto domain = domainValues(dt);
+        std::vector<float> q(domain.begin(), domain.end());
+        EncodedGroupView enc;
+        enc.qvalues = {q.data(), q.size()};
+        enc.scale = 1.0;
+        if (dt.kind == DtypeKind::NonLinear)
+            enc.svIndex = 0;
+        Rng rng(77);
+        const auto acts = randomActs(q.size(), rng);
+        const std::span<const Float16> actSpan{acts.data(),
+                                               acts.size()};
+
+        const TermTable &table = TermTable::forDtype(dt);
+        long long expected = 0;
+        for (const double v : domain)
+            expected += table.nonZeroTerms(v);
+
+        const auto fixed =
+            fixedPe.processGroup(enc, actSpan, dt, 255, 1.0 / 255.0);
+        const auto skip =
+            skipPe.processGroup(enc, actSpan, dt, 255, 1.0 / 255.0);
+        EXPECT_EQ(skip.effectualTerms, expected) << dt.name;
+        EXPECT_EQ(skip.dotCycles,
+                  static_cast<int>(ceilDiv(
+                      static_cast<uint64_t>(expected), 4)))
+            << dt.name;
+        EXPECT_EQ(fixed.effectualTerms, 0) << dt.name;
+        EXPECT_EQ(fixed.value, skip.value) << dt.name;
+        EXPECT_LE(skip.dotCycles, fixed.dotCycles) << dt.name;
+    }
+
+    // IntAsym: the PE consumes the zero-point-subtracted difference.
+    const Dtype asym = dtypes::intAsym(4);
+    const TermTable &table = TermTable::forDtype(asym);
+    const double z = 7.0;
+    std::vector<float> q;
+    for (int v = 0; v < 16; ++v)
+        q.push_back(static_cast<float>(v));
+    EncodedGroupView enc;
+    enc.qvalues = {q.data(), q.size()};
+    enc.scale = 1.0;
+    enc.zeroPoint = z;
+    Rng rng(78);
+    const auto acts = randomActs(q.size(), rng);
+    long long expected = 0;
+    for (const float v : q)
+        expected += table.nonZeroTerms(v - z);
+    const auto skip = skipPe.processGroup(
+        enc, {acts.data(), acts.size()}, asym, 255, 1.0 / 255.0);
+    EXPECT_EQ(skip.effectualTerms, expected);
+}
+
+TEST(TermSkip, StripValuesAndDrainsBitIdenticalToFixedBudget)
+{
+    Rng rng(9091);
+    WeightGenParams p;
+    const Matrix w = generateWeights(32, 512, p, rng);
+    const auto acts = randomActs(512, rng);
+    const std::span<const Float16> actSpan{acts.data(), acts.size()};
+
+    for (const Dtype &dt :
+         {dtypes::bitmodFp4(), dtypes::intSym(6), dtypes::olive(4)}) {
+        QuantConfig cfg;
+        cfg.dtype = dt;
+        cfg.scaleBits = 8;
+        cfg.captureEncoding = true;
+        const auto q = quantizeMatrix(w, cfg);
+        const PackedMatrix packed =
+            GroupPacker(cfg).packMatrix(q.encoded);
+
+        PeConfig skipCfg;
+        skipCfg.termSkip = true;
+        const PeColumn fixedCol;
+        const PeColumn skipCol(skipCfg);
+        const auto fixed =
+            fixedCol.processStrip(packed, 0, 32, actSpan, dt);
+        const auto skip =
+            skipCol.processStrip(packed, 0, 32, actSpan, dt);
+
+        ASSERT_EQ(fixed.values.size(), skip.values.size());
+        EXPECT_EQ(0, std::memcmp(fixed.values.data(),
+                                 skip.values.data(),
+                                 fixed.values.size() * sizeof(double)))
+            << dt.name;
+        EXPECT_EQ(fixed.drainEvents, skip.drainEvents) << dt.name;
+        EXPECT_LT(skip.cycles, fixed.cycles) << dt.name;
+        EXPECT_GT(skip.effectualTerms, 0) << dt.name;
+        EXPECT_EQ(fixed.effectualTerms, 0) << dt.name;
+    }
+}
+
+// ------------------------------------------- OliVe through the PE
+
+TEST(OlivePe, OutlierGroupsMatchDequantReferenceEndToEnd)
+{
+    // Heavy-tailed weights so the OliVe encoder protects outliers.
+    Rng rng(515);
+    WeightGenParams p;
+    p.groupOutlierRate = 0.5;
+    p.outlierSigmaHi = 12.0;
+    const Matrix w = generateWeights(24, 512, p, rng);
+
+    QuantConfig cfg;
+    cfg.dtype = dtypes::olive(4);
+    cfg.scaleBits = 8;
+    cfg.captureEncoding = true;
+    const auto q = quantizeMatrix(w, cfg);
+
+    // The point of the test is the outlier decoder: require escapes.
+    size_t outliers = 0;
+    const double qmax = 7.0;
+    for (const float v : q.encoded.qvalues())
+        outliers += std::fabs(v) > qmax;
+    ASSERT_GT(outliers, 0u);
+
+    const PackedMatrix packed = GroupPacker(cfg).packMatrix(q.encoded);
+    const auto acts = randomActs(512, rng);
+    const std::span<const Float16> actSpan{acts.data(), acts.size()};
+
+    const PeColumn column;
+    const auto strip = column.processStrip(packed, 0, 24, actSpan,
+                                           cfg.dtype);
+    for (size_t r = 0; r < 24; ++r) {
+        double ref = 0.0;
+        for (size_t c = 0; c < 512; ++c)
+            ref += static_cast<double>(q.dequant(r, c)) *
+                   acts[c].toFloat();
+        EXPECT_NEAR(strip.values[r], ref,
+                    1e-4 * (1.0 + std::fabs(ref)))
+            << "row " << r;
+    }
+}
+
+TEST(OlivePe, PerChannelOutliersStreamThroughTileGemv)
+{
+    // Per-channel OliVe (the ANT/OliVe deployment granularity): the
+    // whole pipeline — quantize, pack with escape records, stream
+    // through term tables — must reproduce the dequant GEMV.
+    Rng rng(516);
+    WeightGenParams p;
+    p.tailFraction = 0.05;
+    const Matrix w = generateWeights(16, 256, p, rng);
+
+    QuantConfig cfg;
+    cfg.dtype = dtypes::olive(4);
+    cfg.granularity = Granularity::PerChannel;
+    cfg.oliveMaxOutliers = 1 << 20;
+    const auto q = quantizeMatrix(w, cfg);
+    const auto acts = randomActs(256, rng);
+    const auto out = tileGemv(w, cfg, {acts.data(), acts.size()});
+
+    for (size_t r = 0; r < 16; ++r) {
+        double ref = 0.0;
+        for (size_t c = 0; c < 256; ++c)
+            ref += static_cast<double>(q.dequant(r, c)) *
+                   acts[c].toFloat();
+        EXPECT_NEAR(out[r], ref, 1e-4 * (1.0 + std::fabs(ref)));
+    }
+}
+
+// -------------------------------------------------- measured profile
+
+TEST(MeasuredProfile, LayerBytesMatchPackedProxiesExactly)
+{
+    const LlmSpec &model = llmByName("OPT-1.3B");
+    ProfileConfig pcfg;
+    pcfg.maxRows = 32;
+    pcfg.maxCols = 1024;
+    const QuantConfig cfg = bitmodConfig(4);
+    const auto profile = measureProfile(model, cfg, pcfg);
+
+    // Re-sample the same proxies and pack them independently: the
+    // profile must charge the exact PackedMatrix image bytes.
+    SampleConfig scfg;
+    scfg.maxRows = pcfg.maxRows;
+    scfg.maxCols = pcfg.maxCols;
+    scfg.seed = pcfg.seed;
+    const auto proxies = sampleModel(model, scfg);
+    ASSERT_EQ(profile.layers.size(), proxies.size());
+
+    QuantConfig qcfg = cfg;
+    qcfg.captureEncoding = true;
+    const GroupPacker packer(qcfg);
+    for (size_t i = 0; i < proxies.size(); ++i) {
+        const auto q = quantizeMatrix(proxies[i].weights, qcfg);
+        const PackedMatrix packed = packer.packMatrix(q.encoded);
+        EXPECT_EQ(profile.layers[i].name, proxies[i].name);
+        EXPECT_EQ(profile.layers[i].packedBytes, packed.imageBytes())
+            << proxies[i].name;
+    }
+}
+
+TEST(MeasuredProfile, BitmodBitsMatchAnalyticOnUniformGroups)
+{
+    // BitMoD's packed stream is fixed-width (no data-dependent
+    // records), so on group-divisible proxies the measured footprint
+    // must equal the analytic bits-per-weight model exactly — the
+    // cross-check that the shared metadata helper keeps the packer
+    // and the fallback in sync.
+    ProfileConfig pcfg;
+    pcfg.maxRows = 16;
+    pcfg.maxCols = 1024;
+    const auto profile = bitmodProfileModel("OPT-1.3B", 4, 128, pcfg);
+    const QuantConfig cfg = bitmodConfig(4);
+    EXPECT_NEAR(profile.weightBitsPerElem, bitsPerWeight(cfg, 1024),
+                1e-9);
+    EXPECT_GT(profile.effectualTermsPerWeight, 0.0);
+    EXPECT_LE(profile.effectualTermsPerWeight,
+              profile.fixedTermsPerWeight);
+}
+
+TEST(MeasuredProfile, OliveFootprintChargesEscapeRecords)
+{
+    // Per-channel OliVe pays for its protected outliers: the measured
+    // footprint must exceed the fixed-width element bits.
+    const LlmSpec &model = llmByName("OPT-1.3B");
+    const auto choice = PrecisionChoice::perChannel(dtypes::olive(4));
+    ProfileConfig pcfg;
+    pcfg.maxRows = 24;
+    pcfg.maxCols = 1024;
+    const auto profile =
+        measureProfile(model, choice.quantConfig, pcfg);
+    EXPECT_GT(profile.weightBitsPerElem, 4.0);
+}
+
+TEST(MeasuredProfile, AppliedProfileChargesMeasuredTraffic)
+{
+    const LlmSpec &model = llmByName("Phi-2B");
+    ProfileConfig pcfg;
+    pcfg.maxRows = 16;
+    pcfg.maxCols = 1024;
+    PrecisionChoice precision =
+        PrecisionChoice::bitmod(dtypes::bitmodFp4());
+    const auto profile =
+        measureProfile(model, precision.quantConfig, pcfg);
+    precision.applyProfile(profile);
+    EXPECT_TRUE(precision.measured);
+    EXPECT_DOUBLE_EQ(precision.weightBitsPerElem,
+                     profile.weightBitsPerElem);
+
+    const AccelSim sim(makeBitmod());
+    const auto report =
+        sim.run(model, TaskSpec::generative(), precision);
+    EXPECT_TRUE(report.measured);
+
+    // DRAM is charged for exactly the measured footprint: the
+    // prefill weight stream equals all parameters at the measured
+    // bits per element.
+    const double allParams =
+        static_cast<double>(model.numLayers) *
+            model.blockLinearParams() +
+        static_cast<double>(model.vocabSize) * model.hiddenDim;
+    EXPECT_NEAR(report.traffic.prefill.weightBytes,
+                allParams * profile.weightBitsPerElem / 8.0, 1e-3);
+
+    // Term skipping can only help: measured BitMoD never runs slower
+    // than the fixed-budget analytic model at the same footprint.
+    const auto analytic = sim.run(
+        model, TaskSpec::generative(),
+        PrecisionChoice::bitmod(dtypes::bitmodFp4()));
+    EXPECT_LE(report.totalCycles(), analytic.totalCycles() * 1.0001);
+}
+
+// ------------------------------------- parallel software baselines
+
+std::vector<EvalLayer>
+methodLayers()
+{
+    SampleConfig cfg;
+    cfg.maxRows = 32;
+    cfg.maxCols = 256;
+    cfg.calibSamples = 64;
+    return sampleModel(llmByName("Llama-2-7B"), cfg);
+}
+
+TEST(MethodsParallel, GptqBitIdenticalAcrossThreads)
+{
+    const auto layers = methodLayers();
+    const Matrix h = gram(layers[0].calibration);
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp3();
+    cfg.threads = 1;
+    const Matrix serial = gptqQuantize(layers[0].weights, h, cfg);
+    cfg.threads = 4;
+    const Matrix parallel = gptqQuantize(layers[0].weights, h, cfg);
+    ASSERT_EQ(serial.size(), parallel.size());
+    EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                             serial.size() * sizeof(float)));
+}
+
+TEST(MethodsParallel, AwqBitIdenticalAcrossThreads)
+{
+    const auto layers = methodLayers();
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intAsym(3);
+    cfg.threads = 1;
+    const Matrix serial = awqQuantize(layers[0].weights,
+                                      layers[0].calibration, cfg);
+    cfg.threads = 4;
+    const Matrix parallel = awqQuantize(layers[0].weights,
+                                        layers[0].calibration, cfg);
+    ASSERT_EQ(serial.size(), parallel.size());
+    EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                             serial.size() * sizeof(float)));
+}
+
+TEST(MethodsParallel, OmniquantBitIdenticalAcrossThreads)
+{
+    const auto layers = methodLayers();
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp3();
+    cfg.threads = 1;
+    const Matrix serial = omniquantQuantize(layers[0].weights, cfg);
+    cfg.threads = 4;
+    const Matrix parallel = omniquantQuantize(layers[0].weights, cfg);
+    ASSERT_EQ(serial.size(), parallel.size());
+    EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                             serial.size() * sizeof(float)));
+}
+
+TEST(MethodsParallel, SmoothQuantLossBitIdenticalAcrossThreads)
+{
+    const auto layers = methodLayers();
+    QuantConfig wcfg;
+    wcfg.dtype = dtypes::intAsym(4);
+    wcfg.threads = 1;
+    const double serial = smoothQuantOutputLoss(layers[0], wcfg);
+    wcfg.threads = 4;
+    const double parallel = smoothQuantOutputLoss(layers[0], wcfg);
+    EXPECT_EQ(serial, parallel);
+}
+
+} // namespace
+} // namespace bitmod

@@ -9,10 +9,22 @@
  * proxy layers are quantized + packed per model and the simulator
  * charges DRAM for the exact PackedMatrix image bytes and compute for
  * the term-skipping PE's effectual-term counts, then the
- * analytic-vs-measured deltas are reported.  --out emits the geomean
- * speedups as BENCH_fig07.json for the CI perf gate.
+ * analytic-vs-measured deltas are reported.  Measured profiles are
+ * memoized in a sweep-wide ProfileCache (one measurement per
+ * (model, QuantConfig) instead of one per task and batch point).
+ *
+ * --batch-sweep extends the evaluation past the paper's batch-1
+ * premise: decode is re-simulated on a short-context serving task at
+ * batch 1..1024.  Every decode step still streams each packed weight
+ * once — the batch rides the same fetch — so weight DRAM bytes stay
+ * flat while compute and KV scale per sequence, and the sweep reports
+ * the batch where decode flips from memory- to compute-bound per
+ * model and BitMoD datatype.  --out emits the geomean speedups (and
+ * the batch_speedup section) as BENCH_fig07.json for the CI perf
+ * gate.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -76,9 +88,124 @@ sweep(const std::vector<std::string> &models, const DeployOptions &opts,
     return s;
 }
 
+/** The batched-decode sweep: per-batch BitMoD speedup + crossover. */
+struct BatchSweepSummary
+{
+    /** The per-sequence task every batch point decodes. */
+    TaskSpec task = TaskSpec::serving(1);
+    std::vector<size_t> batches;
+    /** Geomean decode speedup over the FP16 baseline, per batch. */
+    std::vector<double> llSpeedup, lySpeedup;
+    /** Geomean first compute-bound batch per datatype. */
+    double llCrossover = 0.0, lyCrossover = 0.0;
+    /** Censoring value for configs that never flip in the sweep. */
+    double censoredAt = 0.0;
+    /** Batch-N decode weight bytes equalled batch-1's everywhere. */
+    bool amortizationOk = true;
+};
+
+/**
+ * Batched-decode sweep on the short-context serving task: at each
+ * batch size, decode the same per-sequence workload on the baseline
+ * and on BitMoD (lossless INT6 / lossy FP3) and record the decode
+ * speedup, the compute-vs-memory bound, and the crossover batch.
+ */
+BatchSweepSummary
+batchSweep(const std::vector<std::string> &models, DeployOptions opts,
+           TextTable *t)
+{
+    BatchSweepSummary s;
+    s.batches = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+    opts.taskOverride = s.task;
+
+    std::vector<std::vector<double>> llPerBatch(s.batches.size());
+    std::vector<std::vector<double>> lyPerBatch(s.batches.size());
+    std::vector<double> llCross, lyCross;
+    // A config that never flips within the sweep is censored at one
+    // power of two past the last swept batch.
+    s.censoredAt = static_cast<double>(s.batches.back()) * 2.0;
+    const double censored = s.censoredAt;
+
+    for (const auto &name : models) {
+        double llFlip = censored, lyFlip = censored;
+        double llWeightBytes1 = 0.0, lyWeightBytes1 = 0.0;
+        for (size_t bi = 0; bi < s.batches.size(); ++bi) {
+            opts.batchSize = s.batches[bi];
+            const auto base = simulateDeployment(
+                "Baseline-FP16", name, true, true, opts);
+            const auto ll =
+                simulateDeployment("BitMoD", name, true, true, opts);
+            const auto ly =
+                simulateDeployment("BitMoD", name, true, false, opts);
+
+            // Weight-traffic amortization: the batch rides the same
+            // per-step weight fetch, byte for byte.
+            if (bi == 0) {
+                llWeightBytes1 = ll.report.traffic.decode.weightBytes;
+                lyWeightBytes1 = ly.report.traffic.decode.weightBytes;
+            } else if (ll.report.traffic.decode.weightBytes !=
+                           llWeightBytes1 ||
+                       ly.report.traffic.decode.weightBytes !=
+                           lyWeightBytes1) {
+                s.amortizationOk = false;
+            }
+
+            const auto bound = [](const RunReport &r) {
+                return r.decodeComputeCycles >= r.decodeMemCycles
+                           ? "compute"
+                           : "memory";
+            };
+            const auto &br = base.report;
+            const auto &llr = ll.report;
+            const auto &lyr = ly.report;
+            if (llr.decodeComputeCycles >= llr.decodeMemCycles)
+                llFlip = std::min(
+                    llFlip, static_cast<double>(s.batches[bi]));
+            if (lyr.decodeComputeCycles >= lyr.decodeMemCycles)
+                lyFlip = std::min(
+                    lyFlip, static_cast<double>(s.batches[bi]));
+
+            llPerBatch[bi].push_back(br.decodeCycles /
+                                     llr.decodeCycles);
+            lyPerBatch[bi].push_back(br.decodeCycles /
+                                     lyr.decodeCycles);
+            if (t) {
+                // Decoded tokens per megacycle: the throughput curve
+                // that keeps climbing until the compute roof.
+                const double toks = static_cast<double>(
+                    s.batches[bi] * s.task.decodeSteps());
+                t->addRow({name, std::to_string(s.batches[bi]),
+                           TextTable::num(llr.decodeCycles / 1e6, 1),
+                           bound(llr),
+                           TextTable::num(llPerBatch[bi].back(), 2) +
+                               "x",
+                           TextTable::num(lyr.decodeCycles / 1e6, 1),
+                           bound(lyr),
+                           TextTable::num(lyPerBatch[bi].back(), 2) +
+                               "x",
+                           TextTable::num(
+                               1e6 * toks / lyr.decodeCycles, 2)});
+            }
+        }
+        llCross.push_back(llFlip);
+        lyCross.push_back(lyFlip);
+        if (t)
+            t->addSeparator();
+    }
+
+    for (size_t bi = 0; bi < s.batches.size(); ++bi) {
+        s.llSpeedup.push_back(geoMean(llPerBatch[bi]));
+        s.lySpeedup.push_back(geoMean(lyPerBatch[bi]));
+    }
+    s.llCrossover = geoMean(llCross);
+    s.lyCrossover = geoMean(lyCross);
+    return s;
+}
+
 void
 writeJson(const std::string &path, const SpeedupSummary &analytic,
-          const SpeedupSummary *measured)
+          const SpeedupSummary *measured,
+          const BatchSweepSummary *batch)
 {
     FILE *f = benchutil::openBenchJson(path);
     std::fprintf(f, "{\n  \"bench\": \"fig07_speedup\",\n");
@@ -88,15 +215,34 @@ writeJson(const std::string &path, const SpeedupSummary &analytic,
                  "\"bitmod_ly_speedup\": %.4f}%s\n",
                  analytic.antGeo(), analytic.oliveGeo(),
                  analytic.llGeo(), analytic.lyGeo(),
-                 measured ? "," : "");
+                 (measured || batch) ? "," : "");
     if (measured)
         std::fprintf(f,
                      "  \"fig07_measured\": {\"ant_speedup\": %.4f, "
                      "\"olive_speedup\": %.4f, "
                      "\"bitmod_ll_speedup\": %.4f, "
-                     "\"bitmod_ly_speedup\": %.4f}\n",
+                     "\"bitmod_ly_speedup\": %.4f}%s\n",
                      measured->antGeo(), measured->oliveGeo(),
-                     measured->llGeo(), measured->lyGeo());
+                     measured->llGeo(), measured->lyGeo(),
+                     batch ? "," : "");
+    if (batch) {
+        std::fprintf(f, "  \"batch_speedup\": {\n");
+        std::fprintf(f, "    \"task_in_tokens\": %zu, "
+                        "\"task_out_tokens\": %zu,\n",
+                     batch->task.inTokens, batch->task.outTokens);
+        for (size_t bi = 0; bi < batch->batches.size(); ++bi)
+            std::fprintf(f,
+                         "    \"ll_b%zu_speedup\": %.4f, "
+                         "\"ly_b%zu_speedup\": %.4f,\n",
+                         batch->batches[bi], batch->llSpeedup[bi],
+                         batch->batches[bi], batch->lySpeedup[bi]);
+        std::fprintf(f,
+                     "    \"ll_crossover_batch\": %.2f, "
+                     "\"ly_crossover_batch\": %.2f,\n",
+                     batch->llCrossover, batch->lyCrossover);
+        std::fprintf(f, "    \"bit_identical\": %s\n  }\n",
+                     batch->amortizationOk ? "true" : "false");
+    }
     std::fprintf(f, "}\n");
     std::fclose(f);
 }
@@ -137,6 +283,11 @@ main(int argc, char **argv)
               "over the FP16 baseline");
     t.print();
 
+    // One profile cache for every measured sweep in this run: each
+    // (model, QuantConfig) pair is measured once and reused across
+    // tasks and batch points, bit-identically.
+    ProfileCache cache;
+
     SpeedupSummary measuredSummary;
     if (args.measured) {
         TextTable m("Fig. 7 - measured mode (packed-image DRAM bytes, "
@@ -145,6 +296,7 @@ main(int argc, char **argv)
                      "BitMoD-LL(INT6)", "BitMoD-LY(4b/3b)"});
         DeployOptions opts;
         opts.measured = true;
+        opts.cache = &cache;
         measuredSummary = sweep(models, opts, &m);
         const auto &delta = benchutil::pctDelta;
         m.addNote("geomean measured speedup: ANT " +
@@ -165,10 +317,49 @@ main(int argc, char **argv)
             " | BitMoD-LY " +
             delta(analytic.lyGeo(), measuredSummary.lyGeo()));
         m.print();
+        std::printf("[profile-cache] %zu measurements, %zu hits\n\n",
+                    cache.misses(), cache.hits());
+    }
+
+    BatchSweepSummary batchSummary;
+    if (args.batchSweep) {
+        TextTable b(
+            "Fig. 7 batch sweep - batched decode on the " +
+            std::to_string(TaskSpec::serving(1).inTokens) + ":" +
+            std::to_string(TaskSpec::serving(1).outTokens) +
+            " serving task (weight stream shared across the batch)");
+        b.setHeader({"Model", "Batch", "LL Mcyc", "LL bound", "LL x",
+                     "LY Mcyc", "LY bound", "LY x", "LY tok/Mcyc"});
+        DeployOptions opts;
+        opts.measured = args.measured;
+        opts.cache = &cache;
+        batchSummary = batchSweep(models, opts, &b);
+        b.addNote(
+            "speedups are decode cycles vs the FP16 baseline at the "
+            "same batch; 'compute' marks decodeComputeCycles >= "
+            "decodeMemCycles");
+        b.addNote(
+            "geomean memory->compute crossover batch: BitMoD-LL " +
+            TextTable::num(batchSummary.llCrossover, 1) +
+            " | BitMoD-LY " +
+            TextTable::num(batchSummary.lyCrossover, 1) +
+            " (censored at " +
+            TextTable::num(batchSummary.censoredAt, 0) +
+            " when no flip in sweep)");
+        b.addNote(std::string("decode weight bytes flat across "
+                              "batches (amortization): ") +
+                  (batchSummary.amortizationOk ? "OK" : "VIOLATED"));
+        b.print();
+        if (!batchSummary.amortizationOk) {
+            std::fprintf(stderr, "batch sweep: weight-traffic "
+                                 "amortization violated\n");
+            return 2;
+        }
     }
 
     if (!args.out.empty())
         writeJson(args.out, analytic,
-                  args.measured ? &measuredSummary : nullptr);
+                  args.measured ? &measuredSummary : nullptr,
+                  args.batchSweep ? &batchSummary : nullptr);
     return 0;
 }

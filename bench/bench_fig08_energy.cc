@@ -139,6 +139,10 @@ main(int argc, char **argv)
                      "Core", "Total"});
         DeployOptions opts;
         opts.measured = true;
+        // Sweep-wide memoization: one measurement per (model,
+        // QuantConfig) pair instead of one per task.
+        ProfileCache cache;
+        opts.cache = &cache;
         measuredSummary = sweep(models, opts, &m);
         const auto &delta = benchutil::pctDelta;
         m.addNote("geomean measured efficiency: BitMoD-LL " +

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -139,14 +140,15 @@ functionalGemvCheck(const std::string &model_name, size_t rows = 256)
 struct FigBenchArgs
 {
     bool measured = false;         //!< run the measured-mode sweep too
+    bool batchSweep = false;       //!< fig07: batched-decode sweep too
     std::string out;               //!< JSON artifact path ("" = none)
     std::vector<std::string> models;  //!< evaluated models (truncated)
 };
 
 /**
  * Parse the common fig-bench CLI: --functional (runs the GEMV
- * cross-check immediately), --measured, --models N, --out FILE.
- * Exits with usage on unknown flags.
+ * cross-check immediately), --measured, --batch-sweep, --models N,
+ * --out FILE.  Exits with usage on unknown flags.
  */
 inline FigBenchArgs
 parseFigBenchArgs(int argc, char **argv)
@@ -167,14 +169,23 @@ parseFigBenchArgs(int argc, char **argv)
             functionalGemvCheck(allModels().front());
         } else if (arg == "--measured") {
             a.measured = true;
+        } else if (arg == "--batch-sweep") {
+            a.batchSweep = true;
         } else if (arg == "--out") {
             a.out = next();
         } else if (arg == "--models") {
-            maxModels = std::stoul(next());
+            const std::string value = next();
+            char *end = nullptr;
+            maxModels = std::strtoul(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0') {
+                std::fprintf(stderr, "--models needs a number, got "
+                                     "'%s'\n", value.c_str());
+                std::exit(1);
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--functional] [--measured] "
-                         "[--models N] [--out FILE]\n",
+                         "[--batch-sweep] [--models N] [--out FILE]\n",
                          argv[0]);
             std::exit(1);
         }

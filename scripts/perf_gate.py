@@ -133,6 +133,12 @@ def self_test():
                           "bit_identical": True},
         "fig07_measured": {"bitmod_ll_speedup": 2.5},
         "fig08_measured": {"bitmod_ll_eff": 2.3},
+        # Batched-decode sweep: per-batch speedups are gated ratios,
+        # the crossover batch is informational, and bit_identical
+        # carries the weight-amortization identity.
+        "batch_speedup": {"ly_b64_speedup": 3.5,
+                          "ll_crossover_batch": 90.0,
+                          "bit_identical": True},
     }
 
     def variant(factor, identical=True):
@@ -160,6 +166,9 @@ def self_test():
     dropped_ratio = json.loads(json.dumps(base))
     del dropped_ratio["fig08_measured"]
 
+    amortization_broken = json.loads(json.dumps(base))
+    amortization_broken["batch_speedup"]["bit_identical"] = False
+
     checks = [
         ("identical run passes", run_gate(base, base, 10) == 0),
         ("+30% passes", run_gate(base, variant(1.3), 10) == 0),
@@ -186,6 +195,15 @@ def self_test():
                   10) == 1),
         ("dropped measured section fails",
          run_gate(base, dropped_ratio, 10) == 1),
+        ("batch-sweep speedup -20% fails",
+         run_gate(base, ratio(0.8, "batch_speedup", "ly_b64_speedup"),
+                  10) == 1),
+        ("crossover batch is informational, not gated",
+         run_gate(base,
+                  ratio(0.5, "batch_speedup", "ll_crossover_batch"),
+                  10) == 0),
+        ("broken weight amortization fails",
+         run_gate(base, amortization_broken, 10) == 1),
     ]
     print("\n--- self-test results ---")
     failed = [name for name, ok in checks if not ok]

@@ -1,6 +1,7 @@
 #include "accel/measured_profile.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "bitserial/termgen.hh"
 #include "common/logging.hh"
@@ -106,6 +107,30 @@ measureProfile(const LlmSpec &model, const QuantConfig &cfg,
     profile.weightBitsPerElem = bitsAcc / shareAcc;
     profile.effectualTermsPerWeight = termsAcc / shareAcc;
     return profile;
+}
+
+const MeasuredProfile &
+ProfileCache::get(const LlmSpec &model, const QuantConfig &cfg,
+                  const ProfileConfig &pcfg)
+{
+    // Everything that feeds measureProfile's output: the model, the
+    // quantizer configuration (minus threads / captureEncoding, which
+    // are bit-invariant) and the proxy-sampling parameters.
+    std::ostringstream key;
+    key << model.name << '|' << cfg.dtype.name << '|'
+        << static_cast<int>(cfg.granularity) << '|' << cfg.groupSize
+        << '|' << cfg.scaleBits << '|' << cfg.oliveMaxOutliers << '|'
+        << pcfg.maxRows << '|' << pcfg.maxCols << '|' << pcfg.seed;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key.str());
+    if (it != entries_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    ++misses_;
+    return entries_.emplace(key.str(), measureProfile(model, cfg, pcfg))
+        .first->second;
 }
 
 } // namespace bitmod

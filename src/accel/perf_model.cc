@@ -76,8 +76,8 @@ RunReport
 AccelSim::run(const LlmSpec &model, const TaskSpec &task,
               const PrecisionChoice &precision) const
 {
-    BITMOD_ASSERT(task.inTokens >= 1 && task.outTokens >= 1,
-                  "task needs at least one input and output token");
+    BITMOD_ASSERT(task.batchSize >= 1,
+                  "task needs at least one sequence in the batch");
 
     RunReport report;
     report.measured = precision.measured;
@@ -108,32 +108,45 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
         accel_.utilization;
     const double attMacsPerCycle =
         accel_.attentionMacsPerCycle() * accel_.utilization;
-    // Decode runs one token row: only 1/peRows of the array's token
-    // dimension is occupied (memory-bound anyway).
-    const double decodeRowUtil = 1.0 / accel_.peRows;
+    const double batch = static_cast<double>(task.batchSize);
+    // Decode occupies one token row per sequence in the batch: the
+    // array's token dimension fills up as the batch grows (the
+    // compute half of the batched-decode crossover) and saturates at
+    // peRows.
+    const double decodeRowUtil =
+        std::min(batch, static_cast<double>(accel_.peRows)) /
+        accel_.peRows;
 
     // ------------------------------------------------------- prefill
     const double m = static_cast<double>(task.inTokens);
     {
-        const double linMacs = layers * blockParams * m + lmHead;
+        // The LM head runs only when the task emits output tokens;
+        // linear and attention work scale per sequence.
+        const double lmHeadMacs =
+            task.outTokens > 0 ? lmHead * batch : 0.0;
+        const double linMacs =
+            layers * blockParams * m * batch + lmHeadMacs;
         const double attMacs =
-            layers * heads * 2.0 * hd * (m * (m + 1.0) / 2.0);
+            layers * heads * 2.0 * hd * (m * (m + 1.0) / 2.0) * batch;
         const double computeCycles =
             linMacs / linMacsPerCycle + attMacs / attMacsPerCycle;
 
         const double memBytes = report.traffic.prefill.total();
         const double memCycles =
             dram_.transferCycles(memBytes, accel_.clockGhz);
+        report.prefillComputeCycles = computeCycles;
+        report.prefillMemCycles = memCycles;
         report.prefillCycles = std::max(computeCycles, memCycles);
 
         report.energy.dramNj += dram_.transferEnergyNj(memBytes);
         // Buffer traffic: everything passes the buffers once (write +
         // read); weights are additionally re-read from the buffer once
-        // per token tile during prefill (output-stationary reuse).
+        // per token tile during prefill (output-stationary reuse; the
+        // batch multiplies the token dimension).
         const double weightBits =
             report.traffic.prefill.weightBytes * 8.0;
         const double tokenTiles =
-            std::ceil(m / static_cast<double>(accel_.peRows));
+            std::ceil(m * batch / static_cast<double>(accel_.peRows));
         report.energy.bufferNj +=
             sram_.writeEnergyNj(memBytes * 8.0) +
             sram_.readEnergyNj(memBytes * 8.0) +
@@ -151,33 +164,52 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
     }
 
     // -------------------------------------------------------- decode
-    const size_t steps = task.outTokens - 1;
+    const size_t steps = task.decodeSteps();
     if (steps > 0) {
+        // Each step runs every linear layer once per sequence; the
+        // packed weight tile is fetched once and reused across the
+        // batch rows, so only the compute side scales with the batch.
         const double perStepLinMacs = layers * blockParams + lmHead;
         const double perStepComputeBase =
             perStepLinMacs / (linMacsPerCycle * decodeRowUtil);
 
         // Closed forms over the decode steps for context-dependent
-        // attention compute.
+        // attention compute (per sequence — every sequence attends to
+        // its own KV history).
         double ctxSum = 0.0;
         for (size_t s = 1; s <= steps; ++s)
             ctxSum += static_cast<double>(task.inTokens + s);
 
-        const double attMacsTotal = layers * heads * 2.0 * hd * ctxSum;
+        const double attMacsTotal =
+            layers * heads * 2.0 * hd * ctxSum * batch;
         const double attCyclesTotal =
             attMacsTotal / (attMacsPerCycle * decodeRowUtil);
 
         const double computeCycles =
-            perStepComputeBase * static_cast<double>(steps) +
+            perStepComputeBase * static_cast<double>(steps) * batch +
             attCyclesTotal;
         const double memBytes = report.traffic.decode.total();
         const double memCycles =
             dram_.transferCycles(memBytes, accel_.clockGhz);
+        report.decodeComputeCycles = computeCycles;
+        report.decodeMemCycles = memCycles;
         report.decodeCycles = std::max(computeCycles, memCycles);
 
         report.energy.dramNj += dram_.transferEnergyNj(memBytes);
-        report.energy.bufferNj += sram_.writeEnergyNj(memBytes * 8.0) +
-                                  sram_.readEnergyNj(memBytes * 8.0);
+        // Everything passes the buffers once; with more sequences
+        // than token rows the weight tile is additionally re-read
+        // from the buffer once per token tile per step (the same
+        // output-stationary reuse prefill charges).  One tile at
+        // batch <= peRows, so the term vanishes at batch 1.
+        const double weightBits =
+            report.traffic.decode.weightBytes * 8.0;
+        const double tokenTiles =
+            std::ceil(batch / static_cast<double>(accel_.peRows));
+        report.energy.bufferNj +=
+            sram_.writeEnergyNj(memBytes * 8.0) +
+            sram_.readEnergyNj(memBytes * 8.0) +
+            sram_.readEnergyNj(weightBits *
+                               std::max(0.0, tokenTiles - 1.0));
         const double activeNj = computeCycles * accel_.tiles *
                                 accel_.tilePowerMw * 1e-3;
         const double idleCycles =

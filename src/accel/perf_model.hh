@@ -2,10 +2,12 @@
  * @file
  * End-to-end cycle and energy model of LLM inference on an
  * accelerator: prefill (compute-bound matrix-matrix work) plus
- * token-by-token decode (weight-streaming-bound matrix-vector work),
- * with double-buffered overlap of compute and DRAM transfers, KV-cache
- * traffic, and a three-way energy breakdown (DRAM / on-chip buffers /
- * compute core) matching Fig. 8's accounting.
+ * token-by-token decode (weight-streaming-bound matrix-vector work at
+ * batch 1, flipping compute-bound as the batch grows and the shared
+ * weight stream amortizes), with double-buffered overlap of compute
+ * and DRAM transfers, KV-cache traffic, and a three-way energy
+ * breakdown (DRAM / on-chip buffers / compute core) matching Fig. 8's
+ * accounting.
  */
 
 #ifndef BITMOD_ACCEL_PERF_MODEL_HH
@@ -86,6 +88,15 @@ struct RunReport
 {
     double prefillCycles = 0.0;
     double decodeCycles = 0.0;
+    /** The two sides of each phase's roofline: the phase cycle count
+     *  is the max of its compute and memory side (double-buffered
+     *  overlap).  decodeComputeCycles >= decodeMemCycles is the
+     *  compute-bound regime batched decode flips into once the shared
+     *  weight stream is amortized over enough sequences. */
+    double prefillComputeCycles = 0.0;
+    double prefillMemCycles = 0.0;
+    double decodeComputeCycles = 0.0;
+    double decodeMemCycles = 0.0;
     EnergyBreakdown energy;
     /** The off-chip traffic the run was charged for. */
     PhaseTraffic traffic;

@@ -75,8 +75,14 @@ simulateDeployment(const std::string &accel_name,
 {
     const AccelConfig accel = accelByName(accel_name);
     const LlmSpec &model = llmByName(model_name);
-    const TaskSpec task = generative ? TaskSpec::generative()
-                                     : TaskSpec::discriminative();
+    TaskSpec task = opts.taskOverride
+                        ? *opts.taskOverride
+                        : (generative ? TaskSpec::generative()
+                                      : TaskSpec::discriminative());
+    // opts.batchSize layers on top of the task shape; the default (1)
+    // leaves an override task's own batch untouched.
+    if (opts.batchSize != 1)
+        task.batchSize = opts.batchSize;
     PrecisionChoice precision =
         lossless ? selectLosslessPrecision(accel)
                  : selectLossyPrecision(accel, model, generative);
@@ -84,10 +90,15 @@ simulateDeployment(const std::string &accel_name,
         precision.weightDtype.kind != DtypeKind::Identity) {
         // Measurement-driven mode: re-point the precision view at the
         // packed-image footprint and effectual-term counts of the
-        // model's quantized proxy layers.
-        precision.applyProfile(
-            measureProfile(model, precision.quantConfig,
-                           opts.profile));
+        // model's quantized proxy layers (memoized when the caller
+        // provides a sweep-wide cache; hits are bit-identical).
+        if (opts.cache) {
+            precision.applyProfile(opts.cache->get(
+                model, precision.quantConfig, opts.profile));
+        } else {
+            precision.applyProfile(measureProfile(
+                model, precision.quantConfig, opts.profile));
+        }
     }
 
     const AccelSim sim(accel);

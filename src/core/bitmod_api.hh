@@ -12,6 +12,7 @@
 #ifndef BITMOD_CORE_BITMOD_API_HH
 #define BITMOD_CORE_BITMOD_API_HH
 
+#include <optional>
 #include <string>
 
 #include "accel/measured_profile.hh"
@@ -90,6 +91,35 @@ struct DeployOptions
      */
     bool measured = false;
     ProfileConfig profile;
+
+    /**
+     * Sequences decoded in lockstep (TaskSpec::batchSize): weight
+     * DRAM traffic is shared across the batch while activations, KV
+     * and compute scale per sequence — batch > 1 is the regime where
+     * decode flips from memory- to compute-bound.  Values != 1
+     * override the task's own batch (factory tasks are batch 1; an
+     * explicit taskOverride keeps its baked-in batch when this is
+     * left at the default).
+     */
+    size_t batchSize = 1;
+
+    /**
+     * Memoizes measured profiles across simulateDeployment calls
+     * (sweeps request the same (model, QuantConfig) once per task and
+     * figure).  Cache hits are bit-identical to recomputation.
+     * nullptr re-measures every call.  Ignored when !measured.
+     */
+    ProfileCache *cache = nullptr;
+
+    /**
+     * Replaces the generative/discriminative task factories with a
+     * custom shape (a non-default batchSize above still overrides the
+     * task's batch) — the batch sweep uses a short-context serving
+     * task so the per-sequence KV stream stays subordinate to the
+     * shared weight stream.  Degenerate shapes (zero tokens) are
+     * legal overrides; nullopt keeps the factory task.
+     */
+    std::optional<TaskSpec> taskOverride;
 };
 
 /** Result of a deployment simulation. */

@@ -19,33 +19,44 @@ computePhaseTraffic(const LlmSpec &model, const TaskSpec &task,
         static_cast<double>(model.vocabSize) * model.hiddenDim;
     const double allParams = layers * blockParams + lmHead;
     const double in = static_cast<double>(task.inTokens);
-    const double steps = static_cast<double>(task.outTokens - 1);
+    const double steps = static_cast<double>(task.decodeSteps());
+    const double batch = static_cast<double>(task.batchSize);
     const double kvPerTokenLayer = 2.0 * model.kvDim();
     // Residual stream entering and leaving each block, plus the
     // embedding output (intra-block intermediates — attention heads,
     // FFN expansion — fit the 512 KB activation buffer).
     const double actPerToken =
         (layers * 2.0 + 1.0) * model.hiddenDim * aBytesPerElem;
-    const double logits = model.vocabSize * aBytesPerElem;
+    // Logits are produced only when the task emits output tokens.
+    const double logits =
+        task.outTokens > 0 ? model.vocabSize * aBytesPerElem : 0.0;
 
-    // Prefill: every weight once (batch 1, nothing stays resident on
-    // chip), the input tokens' activations, the first token's logits,
-    // and the input tokens' KV writes (prefill attention reads stay on
-    // chip per tile).
-    t.prefill.weightBytes = allParams * wBytesPerElem;
-    t.prefill.activationBytes = in * actPerToken + logits;
-    t.prefill.kvBytes = layers * kvPerTokenLayer * in * kvBytesPerElem;
+    // Prefill: every weight once (nothing stays resident on chip; the
+    // weight tile is reused across the batch rows while it is
+    // buffered), the input tokens' activations, the first token's
+    // logits, and the input tokens' KV writes (prefill attention
+    // reads stay on chip per tile).  Activations and KV are per
+    // sequence; an empty task moves nothing.
+    t.prefill.weightBytes =
+        (task.inTokens > 0 || task.outTokens > 0)
+            ? allParams * wBytesPerElem
+            : 0.0;
+    t.prefill.activationBytes = (in * actPerToken + logits) * batch;
+    t.prefill.kvBytes =
+        layers * kvPerTokenLayer * in * kvBytesPerElem * batch;
 
-    // Decode: each step re-reads all weights, streams one token's
-    // activations and logits, writes one KV entry per layer and reads
-    // the whole per-layer KV history.
+    // Decode: each step re-reads all weights once for the whole batch
+    // (the amortization that flips batched decode compute-bound),
+    // streams one token's activations and logits per sequence, writes
+    // one KV entry per layer per sequence and reads each sequence's
+    // whole per-layer KV history.
     t.decode.weightBytes = allParams * wBytesPerElem * steps;
-    t.decode.activationBytes = steps * (actPerToken + logits);
+    t.decode.activationBytes = steps * (actPerToken + logits) * batch;
     double ctxSum = 0.0;
     for (size_t s = 1; s < task.outTokens; ++s)
         ctxSum += static_cast<double>(task.inTokens + s);
-    t.decode.kvBytes =
-        layers * kvPerTokenLayer * (steps + ctxSum) * kvBytesPerElem;
+    t.decode.kvBytes = layers * kvPerTokenLayer * (steps + ctxSum) *
+                       kvBytesPerElem * batch;
     return t;
 }
 
@@ -64,23 +75,26 @@ computeMacs(const LlmSpec &model, const TaskSpec &task)
         static_cast<double>(model.blockLinearParams());
     const double lmHead =
         static_cast<double>(model.vocabSize) * model.hiddenDim;
+    const double batch = static_cast<double>(task.batchSize);
+    // Tokens run through the blocks per sequence: the prompt plus
+    // every decode step (the last output token is never re-embedded).
     const double totalTokens =
-        static_cast<double>(task.inTokens + task.outTokens - 1);
+        static_cast<double>(task.inTokens + task.decodeSteps());
 
-    // Linear layers: one MAC per weight per token.
-    double macs = layers * blockParams * totalTokens;
-    // LM head: once per produced token.
-    macs += lmHead * static_cast<double>(task.outTokens);
+    // Linear layers: one MAC per weight per token per sequence.
+    double macs = layers * blockParams * totalTokens * batch;
+    // LM head: once per produced token per sequence.
+    macs += lmHead * static_cast<double>(task.outTokens) * batch;
 
-    // Attention: q.k^T and softmax.v, per head, causal.  Token i
-    // attends to i+1 keys; each attended position costs 2*headDim MACs
-    // per query head.
+    // Attention: q.k^T and softmax.v, per head, causal, per sequence.
+    // Token i attends to i+1 keys; each attended position costs
+    // 2*headDim MACs per query head.
     const double heads = static_cast<double>(model.numHeads);
     const double hd = static_cast<double>(model.headDim());
     double attended = 0.0;
-    for (size_t i = 0; i < task.inTokens + task.outTokens - 1; ++i)
+    for (size_t i = 0; i < task.inTokens + task.decodeSteps(); ++i)
         attended += static_cast<double>(i + 1);
-    macs += layers * heads * attended * 2.0 * hd;
+    macs += layers * heads * attended * 2.0 * hd * batch;
     return macs;
 }
 

@@ -5,10 +5,17 @@
  *
  * Counts off-chip bytes moved for weights, activations and the KV
  * cache when running a discriminative (prefill-only) or generative
- * (prefill + token-by-token decode) task at batch size 1.  The model
- * follows the paper's premise: prefill touches every weight once;
- * every decoded token re-fetches all weights; activations are streamed
- * per layer; decode attention reads the full per-layer KV history.
+ * (prefill + token-by-token decode) task.  The model follows the
+ * paper's premise: prefill touches every weight once; every decode
+ * step re-fetches all weights; activations are streamed per layer;
+ * decode attention reads the full per-layer KV history.
+ *
+ * Batched decode (batchSize > 1) amortizes the weight stream: each
+ * decode step still reads every weight exactly once — the packed
+ * weight tile is reused across the batch rows of the PE array — while
+ * activation and KV bytes are charged per sequence.  This is the
+ * mechanism that flips decode from memory- to compute-bound as the
+ * batch grows (the Fig. 7 batch-sweep regime).
  */
 
 #ifndef BITMOD_MODEL_TRAFFIC_HH
@@ -21,14 +28,34 @@
 namespace bitmod
 {
 
-/** Inference task shape (batch fixed at 1 for edge scenarios). */
+/** Inference task shape. */
 struct TaskSpec
 {
     size_t inTokens = 256;
     size_t outTokens = 1;  //!< 1 = discriminative, >1 = generative
+    /** Independent sequences decoded in lockstep.  Weight traffic is
+     *  shared across the batch; activations, KV and compute are
+     *  charged per sequence.  1 = the edge scenario of Figs. 7/8. */
+    size_t batchSize = 1;
 
-    static TaskSpec discriminative() { return {256, 1}; }
-    static TaskSpec generative() { return {256, 256}; }
+    /** Decode steps: every output token after the first. */
+    size_t
+    decodeSteps() const
+    {
+        return outTokens > 0 ? outTokens - 1 : 0;
+    }
+
+    static TaskSpec discriminative() { return {256, 1, 1}; }
+    static TaskSpec generative() { return {256, 256, 1}; }
+    /** Throughput-serving shape for batch sweeps: short context, so
+     *  the per-sequence KV stream stays subordinate to the shared
+     *  weight stream and the compute crossover is visible even for
+     *  the small models and the term-skipping measured mode. */
+    static TaskSpec
+    serving(size_t batch)
+    {
+        return {32, 32, batch};
+    }
 };
 
 /** Per-component off-chip traffic in bytes. */
@@ -84,6 +111,14 @@ struct PhaseTraffic
  * logits, and writes the input tokens' KV; every decode step re-reads
  * all weights, streams one token's activations and logits, writes one
  * KV entry and reads the whole per-layer KV history.
+ *
+ * Batch scaling: weight bytes are independent of batchSize in both
+ * phases (one pass per layer per step, reused across the batch);
+ * activation and KV bytes scale linearly with batchSize.  Degenerate
+ * tasks are well-defined: outTokens == 0 drops the logits and decode
+ * entirely, inTokens == 0 leaves prefill with the weight pass (and
+ * first-token logits when outTokens > 0) only, and an all-zero task
+ * moves nothing.
  */
 PhaseTraffic computePhaseTraffic(const LlmSpec &model,
                                  const TaskSpec &task,

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "accel/accel_config.hh"
 #include "accel/perf_model.hh"
 #include "accel/policy.hh"
@@ -192,6 +194,183 @@ TEST(AccelSim, EdpPositiveAndConsistent)
     EXPECT_NEAR(r.edp(1.0),
                 r.energy.totalNj() * 1e-9 * r.latencyMs(1.0) * 1e-3,
                 1e-15);
+}
+
+// -------------------------------------------------------- batched decode
+
+TEST(AccelSimBatch, DecodeFlipsFromMemoryToComputeBound)
+{
+    const AccelSim sim(makeBitmod());
+    const auto &model = llmByName("Llama-2-7B");
+    const auto p = PrecisionChoice::bitmod(dtypes::bitmodFp3());
+
+    const auto r1 = sim.run(model, TaskSpec::serving(1), p);
+    EXPECT_LT(r1.decodeComputeCycles, r1.decodeMemCycles);
+    EXPECT_DOUBLE_EQ(r1.decodeCycles, r1.decodeMemCycles);
+
+    const auto r512 = sim.run(model, TaskSpec::serving(512), p);
+    EXPECT_GT(r512.decodeComputeCycles, r512.decodeMemCycles);
+    EXPECT_DOUBLE_EQ(r512.decodeCycles, r512.decodeComputeCycles);
+
+    // The flat weight stream is what the batch amortizes.
+    EXPECT_DOUBLE_EQ(r512.traffic.decode.weightBytes,
+                     r1.traffic.decode.weightBytes);
+    EXPECT_GT(r512.traffic.decode.kvBytes,
+              100.0 * r1.traffic.decode.kvBytes);
+}
+
+TEST(AccelSimBatch, MemoryBoundDecodeIsSublinearInBatch)
+{
+    // While the weight stream dominates, doubling the batch must cost
+    // far less than doubling the decode time (that is the point of
+    // batching), and per-sequence latency must fall.
+    const AccelSim sim(makeBitmod());
+    const auto &model = llmByName("Llama-2-13B");
+    const auto p = PrecisionChoice::bitmod(dtypes::intSym(6));
+    const auto r1 = sim.run(model, TaskSpec::serving(1), p);
+    const auto r8 = sim.run(model, TaskSpec::serving(8), p);
+    EXPECT_GT(r8.decodeCycles, r1.decodeCycles);
+    EXPECT_LT(r8.decodeCycles, 1.2 * r1.decodeCycles);
+}
+
+TEST(AccelSimBatch, ComputeCyclesSaturateThenScaleLinearly)
+{
+    const AccelSim sim(makeBitmod());
+    const auto &model = llmByName("Phi-2B");
+    const auto p = PrecisionChoice::bitmod(dtypes::bitmodFp4());
+    // Below the array's token dimension (peRows = 8) the extra
+    // sequences fill idle rows: compute cycles stay flat.
+    const auto c2 =
+        sim.run(model, TaskSpec::serving(2), p).decodeComputeCycles;
+    const auto c4 =
+        sim.run(model, TaskSpec::serving(4), p).decodeComputeCycles;
+    EXPECT_NEAR(c2, c4, 1e-9 * c2);
+    // Beyond saturation each doubling doubles the compute side.
+    const auto c16 =
+        sim.run(model, TaskSpec::serving(16), p).decodeComputeCycles;
+    const auto c32 =
+        sim.run(model, TaskSpec::serving(32), p).decodeComputeCycles;
+    EXPECT_DOUBLE_EQ(c32, 2.0 * c16);
+}
+
+TEST(AccelSimBatch, BatchSpeedsUpPrefillTooButOnlyViaCompute)
+{
+    // Prefill is compute-bound already: batching multiplies its
+    // cycles roughly linearly (weights were read once either way).
+    const AccelSim sim(makeFp16Baseline());
+    const auto &model = llmByName("OPT-1.3B");
+    const auto p = PrecisionChoice::fp16();
+    const auto r1 = sim.run(model, TaskSpec::serving(1), p);
+    const auto r4 = sim.run(model, TaskSpec::serving(4), p);
+    EXPECT_DOUBLE_EQ(r4.traffic.prefill.weightBytes,
+                     r1.traffic.prefill.weightBytes);
+    EXPECT_DOUBLE_EQ(r4.prefillComputeCycles,
+                     4.0 * r1.prefillComputeCycles);
+}
+
+// ------------------------------------------------ degenerate task shapes
+
+bool
+reportIsFinite(const RunReport &r)
+{
+    return std::isfinite(r.prefillCycles) &&
+           std::isfinite(r.decodeCycles) &&
+           std::isfinite(r.energy.dramNj) &&
+           std::isfinite(r.energy.bufferNj) &&
+           std::isfinite(r.energy.coreNj) &&
+           std::isfinite(r.traffic.total().total());
+}
+
+TEST(AccelSimDegenerate, ZeroOutputTokensIsPrefillOnly)
+{
+    const AccelSim sim(makeBitmod());
+    const auto &model = llmByName("Phi-2B");
+    const auto r = sim.run(model, TaskSpec{256, 0, 1},
+                           PrecisionChoice::bitmod(dtypes::bitmodFp4()));
+    EXPECT_TRUE(reportIsFinite(r));
+    EXPECT_GT(r.prefillCycles, 0.0);
+    EXPECT_EQ(r.decodeCycles, 0.0);
+    EXPECT_EQ(r.traffic.decode.total(), 0.0);
+    EXPECT_GT(r.edp(1.0), 0.0);
+}
+
+TEST(AccelSimDegenerate, ZeroInputTokensStillStreamsWeightsOnce)
+{
+    const AccelSim sim(makeBitmod());
+    const auto &model = llmByName("OPT-1.3B");
+    const auto p = PrecisionChoice::bitmod(dtypes::bitmodFp3());
+    const auto r = sim.run(model, TaskSpec{0, 8, 1}, p);
+    EXPECT_TRUE(reportIsFinite(r));
+    // The first token's pass reads every weight once...
+    const auto rDisc = sim.run(model, TaskSpec{256, 1, 1}, p);
+    EXPECT_DOUBLE_EQ(r.traffic.prefill.weightBytes,
+                     rDisc.traffic.prefill.weightBytes);
+    // ...and no prompt means no prefill KV writes.
+    EXPECT_EQ(r.traffic.prefill.kvBytes, 0.0);
+    EXPECT_GT(r.decodeCycles, 0.0);
+}
+
+TEST(AccelSimDegenerate, EmptyTaskMovesAndComputesNothing)
+{
+    const AccelSim sim(makeBitmod());
+    const auto r =
+        sim.run(llmByName("Yi-6B"), TaskSpec{0, 0, 1},
+                PrecisionChoice::bitmod(dtypes::bitmodFp4()));
+    EXPECT_TRUE(reportIsFinite(r));
+    EXPECT_EQ(r.totalCycles(), 0.0);
+    EXPECT_EQ(r.traffic.total().total(), 0.0);
+    EXPECT_EQ(r.energy.dramNj, 0.0);
+    EXPECT_EQ(r.edp(1.0), 0.0);  // not NaN
+}
+
+TEST(AccelSimDegenerate, BatchFarBeyondOnChipBuffers)
+{
+    // A batch whose activation working set dwarfs the 512 KB buffers:
+    // the model must stay finite and land deep in the compute-bound
+    // regime, with the weight stream still charged once per step.
+    const AccelSim sim(makeBitmod());
+    const auto &model = llmByName("Llama-2-7B");
+    const size_t batch = 1 << 20;
+    const auto p = PrecisionChoice::bitmod(dtypes::bitmodFp4());
+    const auto r = sim.run(model, TaskSpec::serving(batch), p);
+    EXPECT_TRUE(reportIsFinite(r));
+    const SramModel sram;
+    EXPECT_GT(static_cast<double>(batch) * model.hiddenDim * 2.0,
+              sram.capacityBytes());
+    EXPECT_GT(r.decodeComputeCycles, r.decodeMemCycles);
+    EXPECT_DOUBLE_EQ(
+        r.traffic.decode.weightBytes,
+        sim.run(model, TaskSpec::serving(1), p)
+            .traffic.decode.weightBytes);
+}
+
+TEST(AccelSimDegenerate, SingleLayerModelRuns)
+{
+    LlmSpec tiny;
+    tiny.name = "Tiny-1L";
+    tiny.hiddenDim = 128;
+    tiny.numLayers = 1;
+    tiny.numHeads = 4;
+    tiny.numKvHeads = 4;
+    tiny.ffnDim = 256;
+    tiny.vocabSize = 1000;
+    const AccelSim sim(makeBitmod());
+    const auto r = sim.run(tiny, TaskSpec::generative(),
+                           PrecisionChoice::bitmod(dtypes::bitmodFp4()));
+    EXPECT_TRUE(reportIsFinite(r));
+    EXPECT_GT(r.prefillCycles, 0.0);
+    EXPECT_GT(r.decodeCycles, 0.0);
+    EXPECT_GT(r.energy.totalNj(), 0.0);
+}
+
+TEST(AccelSimDegenerate, ZeroBatchDies)
+{
+    const AccelSim sim(makeBitmod());
+    TaskSpec task = TaskSpec::generative();
+    task.batchSize = 0;
+    EXPECT_DEATH(sim.run(llmByName("Phi-2B"), task,
+                         PrecisionChoice::bitmod(dtypes::bitmodFp4())),
+                 "at least one sequence");
 }
 
 // ---------------------------------------------------------------- policy

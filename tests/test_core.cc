@@ -156,5 +156,38 @@ TEST(Deployment, LossyBeatsAntAndOlive)
     EXPECT_LT(bm.energyMj(), ant.energyMj());
 }
 
+TEST(Deployment, BatchSizeAndTaskOverrideCompose)
+{
+    // A task override carrying its own batch is honored when
+    // opts.batchSize stays at the default, and opts.batchSize != 1
+    // layers the batch onto whichever task is in play.
+    DeployOptions baked;
+    baked.taskOverride = TaskSpec::serving(64);
+    const auto a =
+        simulateDeployment("BitMoD", "Phi-2B", true, true, baked);
+
+    DeployOptions layered;
+    layered.taskOverride = TaskSpec::serving(1);
+    layered.batchSize = 64;
+    const auto b =
+        simulateDeployment("BitMoD", "Phi-2B", true, true, layered);
+
+    EXPECT_EQ(a.report.decodeCycles, b.report.decodeCycles);
+    EXPECT_EQ(a.report.traffic.decode.activationBytes,
+              b.report.traffic.decode.activationBytes);
+
+    // And without an override, batchSize batches the factory task.
+    DeployOptions batched;
+    batched.batchSize = 8;
+    const auto gen8 =
+        simulateDeployment("BitMoD", "Phi-2B", true, true, batched);
+    const auto gen1 = simulateDeployment("BitMoD", "Phi-2B", true,
+                                         true, DeployOptions{});
+    EXPECT_DOUBLE_EQ(gen8.report.traffic.decode.kvBytes,
+                     8.0 * gen1.report.traffic.decode.kvBytes);
+    EXPECT_DOUBLE_EQ(gen8.report.traffic.decode.weightBytes,
+                     gen1.report.traffic.decode.weightBytes);
+}
+
 } // namespace
 } // namespace bitmod

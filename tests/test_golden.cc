@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Golden-file regression tests for the Fig. 7/8 headline ratios: the
+ * analytic per-(task, model) speedups and energy-efficiency ratios
+ * are checked against the committed tests/golden/fig07_fig08.json
+ * with a small relative tolerance, so a model-layer refactor cannot
+ * silently shift the reproduced paper numbers.  The batch-1 results
+ * of the batched-decode extension are pinned here too: the golden
+ * numbers were recorded on the pre-batch model, so any change to the
+ * batch-1 semantics fails this suite.
+ *
+ * Regenerating (after an *intentional* model change):
+ *   BITMOD_REGEN_GOLDEN=1 ./bitmod_tests --gtest_filter='Golden*'
+ * then review the diff of tests/golden/fig07_fig08.json.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/bitmod_api.hh"
+
+#ifndef BITMOD_GOLDEN_DIR
+#define BITMOD_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace bitmod
+{
+namespace
+{
+
+std::string
+goldenPath()
+{
+    return std::string(BITMOD_GOLDEN_DIR) + "/fig07_fig08.json";
+}
+
+/**
+ * The analytic Fig. 7/8 ratio tables, keyed "task.model.metric", plus
+ * "geomean.*" aggregates — the exact quantities the benches print.
+ */
+std::map<std::string, double>
+computeHeadlineRatios()
+{
+    std::map<std::string, double> out;
+    std::vector<double> ant, olive, ll, ly, llEff, lyAntEff, lyOliveEff;
+    for (const bool generative : {false, true}) {
+        const std::string task = generative ? "gen" : "disc";
+        for (const auto &model : llmZoo()) {
+            const auto base = simulateDeployment(
+                "Baseline-FP16", model.name, generative, true);
+            const auto a = simulateDeployment("ANT", model.name,
+                                              generative, false);
+            const auto o = simulateDeployment("OliVe", model.name,
+                                              generative, false);
+            const auto l = simulateDeployment("BitMoD", model.name,
+                                              generative, true);
+            const auto y = simulateDeployment("BitMoD", model.name,
+                                              generative, false);
+
+            const std::string k = task + "." + model.name + ".";
+            // Fig. 7: latency speedup over the FP16 baseline.
+            out[k + "ant_speedup"] = base.latencyMs() / a.latencyMs();
+            out[k + "olive_speedup"] =
+                base.latencyMs() / o.latencyMs();
+            out[k + "bitmod_ll_speedup"] =
+                base.latencyMs() / l.latencyMs();
+            out[k + "bitmod_ly_speedup"] =
+                base.latencyMs() / y.latencyMs();
+            // Fig. 8: energy-efficiency ratios.
+            out[k + "bitmod_ll_eff"] =
+                base.report.energy.totalNj() /
+                l.report.energy.totalNj();
+            out[k + "bitmod_ly_vs_ant_eff"] =
+                a.report.energy.totalNj() /
+                y.report.energy.totalNj();
+            out[k + "bitmod_ly_vs_olive_eff"] =
+                o.report.energy.totalNj() /
+                y.report.energy.totalNj();
+
+            ant.push_back(out[k + "ant_speedup"]);
+            olive.push_back(out[k + "olive_speedup"]);
+            ll.push_back(out[k + "bitmod_ll_speedup"]);
+            ly.push_back(out[k + "bitmod_ly_speedup"]);
+            llEff.push_back(out[k + "bitmod_ll_eff"]);
+            lyAntEff.push_back(out[k + "bitmod_ly_vs_ant_eff"]);
+            lyOliveEff.push_back(out[k + "bitmod_ly_vs_olive_eff"]);
+        }
+    }
+    out["geomean.ant_speedup"] = geoMean(ant);
+    out["geomean.olive_speedup"] = geoMean(olive);
+    out["geomean.bitmod_ll_speedup"] = geoMean(ll);
+    out["geomean.bitmod_ly_speedup"] = geoMean(ly);
+    out["geomean.bitmod_ll_eff"] = geoMean(llEff);
+    out["geomean.bitmod_ly_vs_ant_eff"] = geoMean(lyAntEff);
+    out["geomean.bitmod_ly_vs_olive_eff"] = geoMean(lyOliveEff);
+
+    // Absolute batch-1 pins: the ratio tables above let a scale error
+    // common to baseline and BitMoD cancel, so the batch-1 serving
+    // decode is also pinned in raw cycles and nanojoules — any batch
+    // factor leaking into the batch-1 path moves these.
+    const AccelSim sim(makeBitmod());
+    const auto pinned =
+        sim.run(llmByName("Llama-2-7B"), TaskSpec::serving(1),
+                PrecisionChoice::bitmod(dtypes::bitmodFp3()));
+    out["pin.serving_b1.decode_cycles"] = pinned.decodeCycles;
+    out["pin.serving_b1.prefill_cycles"] = pinned.prefillCycles;
+    out["pin.serving_b1.energy_nj"] = pinned.energy.totalNj();
+    return out;
+}
+
+/** Parse the flat `"key": value` pairs of the golden file. */
+std::map<std::string, double>
+parseGolden(const std::string &text)
+{
+    std::map<std::string, double> out;
+    size_t pos = 0;
+    while ((pos = text.find('"', pos)) != std::string::npos) {
+        const size_t end = text.find('"', pos + 1);
+        if (end == std::string::npos)
+            break;
+        const std::string key = text.substr(pos + 1, end - pos - 1);
+        size_t colon = text.find(':', end);
+        if (colon == std::string::npos)
+            break;
+        char *parsed = nullptr;
+        const double value =
+            std::strtod(text.c_str() + colon + 1, &parsed);
+        if (parsed != text.c_str() + colon + 1 &&
+            key.find('.') != std::string::npos)
+            out[key] = value;
+        pos = end + 1;
+    }
+    return out;
+}
+
+void
+writeGolden(const std::map<std::string, double> &ratios)
+{
+    std::ofstream f(goldenPath());
+    ASSERT_TRUE(f.good()) << "cannot write " << goldenPath();
+    f << "{\n";
+    size_t i = 0;
+    for (const auto &[key, value] : ratios) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.10g", value);
+        f << "  \"" << key << "\": " << buf
+          << (++i == ratios.size() ? "\n" : ",\n");
+    }
+    f << "}\n";
+}
+
+TEST(GoldenFig07Fig08, HeadlineRatiosMatchCommittedTables)
+{
+    const auto ratios = computeHeadlineRatios();
+    ASSERT_EQ(ratios.size(), 7u * 2u * llmZoo().size() + 7u + 3u);
+
+    if (std::getenv("BITMOD_REGEN_GOLDEN")) {
+        writeGolden(ratios);
+        GTEST_SKIP() << "regenerated " << goldenPath()
+                     << " — review the diff and re-run without "
+                        "BITMOD_REGEN_GOLDEN";
+    }
+
+    std::ifstream f(goldenPath());
+    ASSERT_TRUE(f.good())
+        << goldenPath()
+        << " missing — run with BITMOD_REGEN_GOLDEN=1 to create it";
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const auto golden = parseGolden(ss.str());
+    ASSERT_EQ(golden.size(), ratios.size())
+        << "golden file and computed table disagree on the metric "
+           "set — regenerate intentionally, don't let entries vanish";
+
+    for (const auto &[key, expected] : golden) {
+        const auto it = ratios.find(key);
+        ASSERT_NE(it, ratios.end()) << "metric disappeared: " << key;
+        EXPECT_NEAR(it->second, expected,
+                    std::fabs(expected) * 1e-3)
+            << key << " drifted from the committed golden value";
+    }
+}
+
+} // namespace
+} // namespace bitmod

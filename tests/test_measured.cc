@@ -430,6 +430,106 @@ TEST(MeasuredProfile, AppliedProfileChargesMeasuredTraffic)
     EXPECT_LE(report.totalCycles(), analytic.totalCycles() * 1.0001);
 }
 
+// --------------------------------------------------- profile cache
+
+TEST(ProfileCacheTest, HitsAreBitIdenticalToRecomputation)
+{
+    const LlmSpec &model = llmByName("OPT-1.3B");
+    ProfileConfig pcfg;
+    pcfg.maxRows = 16;
+    pcfg.maxCols = 512;
+    const QuantConfig cfg = bitmodConfig(3);
+
+    ProfileCache cache;
+    const auto &first = cache.get(model, cfg, pcfg);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+    const auto &second = cache.get(model, cfg, pcfg);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(&first, &second);  // same entry, no re-measurement
+
+    // A hit must be bit-identical to measuring from scratch.
+    const auto fresh = measureProfile(model, cfg, pcfg);
+    EXPECT_EQ(first.weightBitsPerElem, fresh.weightBitsPerElem);
+    EXPECT_EQ(first.effectualTermsPerWeight,
+              fresh.effectualTermsPerWeight);
+    EXPECT_EQ(first.fixedTermsPerWeight, fresh.fixedTermsPerWeight);
+    ASSERT_EQ(first.layers.size(), fresh.layers.size());
+    for (size_t i = 0; i < fresh.layers.size(); ++i) {
+        EXPECT_EQ(first.layers[i].packedBytes,
+                  fresh.layers[i].packedBytes);
+        EXPECT_EQ(first.layers[i].effectualTerms,
+                  fresh.layers[i].effectualTerms);
+        EXPECT_EQ(first.layers[i].skipCycles,
+                  fresh.layers[i].skipCycles);
+        EXPECT_EQ(first.layers[i].fixedCycles,
+                  fresh.layers[i].fixedCycles);
+        EXPECT_EQ(first.layers[i].paramShare,
+                  fresh.layers[i].paramShare);
+    }
+}
+
+TEST(ProfileCacheTest, KeyCoversModelConfigAndSampling)
+{
+    const LlmSpec &opt = llmByName("OPT-1.3B");
+    ProfileConfig pcfg;
+    pcfg.maxRows = 16;
+    pcfg.maxCols = 512;
+
+    ProfileCache cache;
+    const auto &fp3 = cache.get(opt, bitmodConfig(3), pcfg);
+    const auto &fp4 = cache.get(opt, bitmodConfig(4), pcfg);
+    EXPECT_NE(&fp3, &fp4);
+    EXPECT_EQ(cache.misses(), 2u);
+
+    ProfileConfig other = pcfg;
+    other.maxRows = 24;
+    cache.get(opt, bitmodConfig(3), other);
+    EXPECT_EQ(cache.misses(), 3u);
+
+    cache.get(llmByName("Phi-2B"), bitmodConfig(3), pcfg);
+    EXPECT_EQ(cache.misses(), 4u);
+    EXPECT_EQ(cache.size(), 4u);
+
+    // The worker-pool width is excluded: it never changes the bits.
+    QuantConfig threaded = bitmodConfig(3);
+    threaded.threads = 1;
+    cache.get(opt, threaded, pcfg);
+    EXPECT_EQ(cache.misses(), 4u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ProfileCacheTest, DeploymentSweepReusesProfiles)
+{
+    ProfileCache cache;
+    DeployOptions opts;
+    opts.measured = true;
+    opts.cache = &cache;
+    opts.profile.maxRows = 16;
+    opts.profile.maxCols = 512;
+
+    // Same (model, lossless INT6) across two tasks: one measurement.
+    const auto disc =
+        simulateDeployment("BitMoD", "Phi-2B", false, true, opts);
+    const auto gen =
+        simulateDeployment("BitMoD", "Phi-2B", true, true, opts);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_TRUE(disc.report.measured);
+    EXPECT_TRUE(gen.report.measured);
+    EXPECT_EQ(disc.precision.weightBitsPerElem,
+              gen.precision.weightBitsPerElem);
+
+    // And the cached run equals the uncached one bit for bit.
+    DeployOptions uncached = opts;
+    uncached.cache = nullptr;
+    const auto fresh =
+        simulateDeployment("BitMoD", "Phi-2B", true, true, uncached);
+    EXPECT_EQ(gen.report.totalCycles(), fresh.report.totalCycles());
+    EXPECT_EQ(gen.report.energy.totalNj(),
+              fresh.report.energy.totalNj());
+}
+
 // ------------------------------------- parallel software baselines
 
 std::vector<EvalLayer>

@@ -142,6 +142,65 @@ TEST(Traffic, PrefillMacsNearTwoParamsPerToken)
     EXPECT_LT(macs, linear * 1.2);
 }
 
+TEST(Traffic, BatchAmortizesWeightBytesOnly)
+{
+    const auto &m = llmByName("Llama-2-7B");
+    const TaskSpec b1{64, 64, 1};
+    const TaskSpec b8{64, 64, 8};
+    const auto t1 = computePhaseTraffic(m, b1, {});
+    const auto t8 = computePhaseTraffic(m, b8, {});
+    // The shared weight stream: identical bytes in both phases.
+    EXPECT_DOUBLE_EQ(t8.prefill.weightBytes, t1.prefill.weightBytes);
+    EXPECT_DOUBLE_EQ(t8.decode.weightBytes, t1.decode.weightBytes);
+    // Per-sequence streams scale exactly with the batch.
+    EXPECT_DOUBLE_EQ(t8.prefill.activationBytes,
+                     8.0 * t1.prefill.activationBytes);
+    EXPECT_DOUBLE_EQ(t8.prefill.kvBytes, 8.0 * t1.prefill.kvBytes);
+    EXPECT_DOUBLE_EQ(t8.decode.activationBytes,
+                     8.0 * t1.decode.activationBytes);
+    EXPECT_DOUBLE_EQ(t8.decode.kvBytes, 8.0 * t1.decode.kvBytes);
+}
+
+TEST(Traffic, BatchScalesMacsLinearly)
+{
+    const auto &m = llmByName("Phi-2B");
+    const TaskSpec b1{32, 32, 1};
+    const TaskSpec b16{32, 32, 16};
+    EXPECT_DOUBLE_EQ(computeMacs(m, b16), 16.0 * computeMacs(m, b1));
+}
+
+TEST(Traffic, DegenerateTasksAreWellDefined)
+{
+    const auto &m = llmByName("OPT-1.3B");
+    // No tokens at all: nothing moves, nothing computes.
+    EXPECT_EQ(computeTraffic(m, TaskSpec{0, 0, 1}, {}).total(), 0.0);
+    EXPECT_EQ(computeMacs(m, TaskSpec{0, 0, 1}), 0.0);
+
+    // Prefill-only (no output): no decode phase and no logits.
+    const auto noOut = computePhaseTraffic(m, TaskSpec{128, 0, 1}, {});
+    EXPECT_EQ(noOut.decode.total(), 0.0);
+    EXPECT_GT(noOut.prefill.weightBytes, 0.0);
+    const auto oneOut = computePhaseTraffic(m, TaskSpec{128, 1, 1}, {});
+    EXPECT_LT(noOut.prefill.activationBytes,
+              oneOut.prefill.activationBytes);
+
+    // Generation from an empty prompt: the first token's pass still
+    // reads every weight once, but writes no prompt KV.
+    const auto noIn = computePhaseTraffic(m, TaskSpec{0, 4, 1}, {});
+    EXPECT_DOUBLE_EQ(noIn.prefill.weightBytes,
+                     oneOut.prefill.weightBytes);
+    EXPECT_EQ(noIn.prefill.kvBytes, 0.0);
+    EXPECT_GT(noIn.decode.weightBytes, 0.0);
+}
+
+TEST(Traffic, ServingTaskShape)
+{
+    const TaskSpec t = TaskSpec::serving(32);
+    EXPECT_EQ(t.batchSize, 32u);
+    EXPECT_EQ(t.decodeSteps(), t.outTokens - 1);
+    EXPECT_EQ(TaskSpec{}.batchSize, 1u);  // batch-1 default preserved
+}
+
 // ---------------------------------------------------------------- sampler
 
 TEST(Sampler, ShapesRespectConfig)

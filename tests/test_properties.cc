@@ -2,17 +2,33 @@
  * @file
  * Cross-module property tests: invariants that must hold for *every*
  * datatype and model, edge-case groups (constant, tiny, huge dynamic
- * range, single outlier), quantizer idempotence, and the paper's
- * ordering claims swept across the full model zoo.
+ * range, single outlier), quantizer idempotence, the paper's ordering
+ * claims swept across the full model zoo, and randomized-shape
+ * properties of the packed pipeline and the batched traffic model.
+ *
+ * This file builds into its own `bitmod_property_tests` binary so CI
+ * can run the suite via `ctest -L property`.  The randomized tests
+ * draw every shape/dtype from one seed — BITMOD_PROPERTY_SEED in the
+ * environment overrides it, and the seed is printed at startup and
+ * attached to every failure, so a failing draw reproduces exactly.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "accel/perf_model.hh"
 #include "common/rng.hh"
+#include "core/bitmod_api.hh"
 #include "core/experiments.hh"
+#include "model/traffic.hh"
+#include "pe/pe_column.hh"
 #include "quant/dtype.hh"
+#include "quant/packing.hh"
 #include "quant/quantizer.hh"
 #include "tensor/generator.hh"
 
@@ -20,6 +36,43 @@ namespace bitmod
 {
 namespace
 {
+
+// --------------------------------------------- reproducible randomness
+
+uint64_t
+propertySeed()
+{
+    static const uint64_t seed = [] {
+        const char *env = std::getenv("BITMOD_PROPERTY_SEED");
+        return env ? std::strtoull(env, nullptr, 0)
+                   : uint64_t{0xB17D0D5EED};
+    }();
+    return seed;
+}
+
+std::string
+seedNote()
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "BITMOD_PROPERTY_SEED=0x%llx",
+                  static_cast<unsigned long long>(propertySeed()));
+    return buf;
+}
+
+/** Prints the active seed once, so any CI failure is reproducible. */
+class PropertySeedEnvironment : public ::testing::Environment
+{
+  public:
+    void
+    SetUp() override
+    {
+        std::printf("[property] %s (export it to replay this run)\n",
+                    seedNote().c_str());
+    }
+};
+
+const auto *const kSeedEnvironment =
+    ::testing::AddGlobalTestEnvironment(new PropertySeedEnvironment);
 
 // ------------------------------------------------- per-dtype invariants
 
@@ -250,6 +303,247 @@ TEST(GroupSize, IndivisibleColumnsDie)
     QuantConfig cfg;
     cfg.dtype = dtypes::bitmodFp3();
     EXPECT_DEATH(quantizeMatrix(w, cfg), "not divisible");
+}
+
+// ------------------------------------ randomized pipeline properties
+
+/** A heavier tail for OliVe draws so outlier escapes actually occur. */
+Matrix
+randomWeights(size_t rows, size_t cols, const Dtype &dt, Rng &rng)
+{
+    Matrix w(rows, cols);
+    for (float &x : w.flat())
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    if (dt.kind == DtypeKind::OliveOvp)
+        for (float &x : w.flat())
+            if (rng.uniform() < 0.04)
+                x *= static_cast<float>(20.0 + 40.0 * rng.uniform());
+    return w;
+}
+
+/** Random quantizable configuration (shape + dtype + scale mode). */
+struct RandomDraw
+{
+    size_t rows = 0;
+    size_t cols = 0;
+    QuantConfig cfg;
+    std::string label;
+};
+
+RandomDraw
+drawCase(Rng &rng)
+{
+    static const std::vector<Dtype> pool = {
+        dtypes::bitmodFp3(), dtypes::bitmodFp4(), dtypes::intSym(4),
+        dtypes::intSym(6),   dtypes::intAsym(4),  dtypes::flint(4),
+        dtypes::olive(4),    dtypes::mxfp(4)};
+    RandomDraw d;
+    d.cfg.dtype = pool[rng.below(pool.size())];
+    const int groupChoices[] = {32, 64, 128};
+    d.cfg.groupSize = groupChoices[rng.below(3)];
+    d.cfg.scaleBits = rng.uniform() < 0.5 ? 0 : 8;
+    d.cfg.captureEncoding = true;
+    d.rows = 1 + static_cast<size_t>(rng.below(24));
+    d.cols = static_cast<size_t>(d.cfg.groupSize) *
+             (1 + static_cast<size_t>(rng.below(8)));
+    d.label = d.cfg.dtype.name + " " + std::to_string(d.rows) + "x" +
+              std::to_string(d.cols) + " g" +
+              std::to_string(d.cfg.groupSize) + " sb" +
+              std::to_string(d.cfg.scaleBits);
+    return d;
+}
+
+TEST(RandomizedPipeline, PackStreamUnpackRoundTripIdentity)
+{
+    SCOPED_TRACE(seedNote());
+    Rng rng(propertySeed());
+    for (int iter = 0; iter < 12; ++iter) {
+        const RandomDraw d = drawCase(rng);
+        SCOPED_TRACE("draw " + std::to_string(iter) + ": " + d.label);
+        const Matrix w =
+            randomWeights(d.rows, d.cols, d.cfg.dtype, rng);
+        const auto q = quantizeMatrix(w, d.cfg);
+        const GroupPacker packer(d.cfg);
+        const PackedMatrix packed = packer.packMatrix(q.encoded);
+
+        // Unpack: decoding each group straight from the bit image
+        // must reproduce the encoded pool bit for bit.
+        std::vector<float> decoded;
+        for (size_t g = 0; g < packed.size(); ++g) {
+            const auto view = q.encoded.group(g);
+            ASSERT_EQ(packed.desc(g).len, view.size());
+            decoded.assign(packed.desc(g).len, -1.0f);
+            packed.decodeGroupInto(
+                g, {decoded.data(), decoded.size()});
+            for (size_t e = 0; e < view.size(); ++e)
+                ASSERT_EQ(decoded[e], view.qvalues[e])
+                    << "group " << g << " elem " << e;
+        }
+
+        // Stream: the packed-image PE walk must match the float-pool
+        // walk bit for bit (values, cycles, drains).
+        std::vector<Float16> acts;
+        acts.reserve(d.cols);
+        for (size_t i = 0; i < d.cols; ++i)
+            acts.emplace_back(
+                static_cast<float>(rng.gaussian(0.0, 1.0)));
+        const std::span<const Float16> actSpan{acts.data(),
+                                               acts.size()};
+        const PeColumn column;
+        const size_t depth =
+            static_cast<size_t>(column.pesPerColumn());
+        for (size_t r0 = 0; r0 < d.rows; r0 += depth) {
+            const size_t n = std::min(depth, d.rows - r0);
+            const auto fromPool = column.processStrip(
+                q.encoded, r0, n, actSpan, d.cfg.dtype);
+            const auto fromPacked = column.processStrip(
+                packed, r0, n, actSpan, d.cfg.dtype);
+            ASSERT_EQ(fromPool.values.size(),
+                      fromPacked.values.size());
+            EXPECT_EQ(0, std::memcmp(fromPool.values.data(),
+                                     fromPacked.values.data(),
+                                     fromPool.values.size() *
+                                         sizeof(double)))
+                << "strip at row " << r0;
+            EXPECT_EQ(fromPool.cycles, fromPacked.cycles);
+            EXPECT_EQ(fromPool.drainEvents, fromPacked.drainEvents);
+        }
+    }
+}
+
+TEST(RandomizedPipeline, PackedBitsMatchAnalyticFootprint)
+{
+    SCOPED_TRACE(seedNote());
+    Rng rng(propertySeed() ^ 0x1);
+    for (int iter = 0; iter < 12; ++iter) {
+        const RandomDraw d = drawCase(rng);
+        SCOPED_TRACE("draw " + std::to_string(iter) + ": " + d.label);
+        const Matrix w =
+            randomWeights(d.rows, d.cols, d.cfg.dtype, rng);
+        const auto q = quantizeMatrix(w, d.cfg);
+        const GroupPacker packer(d.cfg);
+
+        // Per group: the exact packed bit extent equals the analytic
+        // packedBitsPerWeight footprint (fixed-width section), plus
+        // the data-dependent OliVe escape records.  Groups are sized
+        // by their descriptors, not the config — MX re-groups to its
+        // native 32-element granularity.
+        for (size_t g = 0; g < q.encoded.size(); ++g) {
+            const auto view = q.encoded.group(g);
+            const size_t bits = packer.packedBits(view);
+            const double analytic =
+                packer.packedBitsPerWeight(view.size()) *
+                static_cast<double>(view.size());
+            if (d.cfg.dtype.kind == DtypeKind::OliveOvp) {
+                EXPECT_GE(static_cast<double>(bits), analytic)
+                    << "group " << g;
+            } else {
+                EXPECT_DOUBLE_EQ(static_cast<double>(bits), analytic)
+                    << "group " << g;
+            }
+        }
+
+        // Whole matrix: the image is the per-row bit extents rounded
+        // up to byte alignment — nothing hidden, nothing dropped.
+        const PackedMatrix packed = packer.packMatrix(q.encoded);
+        size_t expectedBytes = 0;
+        for (size_t r = 0; r < d.rows; ++r) {
+            size_t rowBits = 0;
+            for (size_t g = 0; g < packed.groupsPerRow(); ++g)
+                rowBits += packer.packedBits(
+                    q.encoded.group(r * packed.groupsPerRow() + g));
+            expectedBytes += (rowBits + 7) / 8;
+        }
+        EXPECT_EQ(packed.imageBytes(), expectedBytes);
+    }
+}
+
+TEST(RandomizedTraffic, BatchedDecodeDecomposesIntoWeightsPlusNPerSeq)
+{
+    SCOPED_TRACE(seedNote());
+    Rng rng(propertySeed() ^ 0x2);
+    const auto &zoo = llmZoo();
+    for (int iter = 0; iter < 16; ++iter) {
+        const LlmSpec &model = zoo[rng.below(zoo.size())];
+        TaskSpec task;
+        task.inTokens = 1 + static_cast<size_t>(rng.below(300));
+        task.outTokens = 1 + static_cast<size_t>(rng.below(300));
+        const size_t batch = 2 + static_cast<size_t>(rng.below(63));
+        PrecisionSpec prec;
+        prec.weightBits = 3.0 + rng.uniform() * 13.0;
+        prec.activationBits = rng.uniform() < 0.5 ? 8.0 : 16.0;
+        prec.kvBits = rng.uniform() < 0.5 ? 8.0 : 16.0;
+        SCOPED_TRACE(model.name + " in=" +
+                     std::to_string(task.inTokens) + " out=" +
+                     std::to_string(task.outTokens) + " batch=" +
+                     std::to_string(batch));
+
+        const auto b1 = computePhaseTraffic(model, task, prec);
+        TaskSpec batched = task;
+        batched.batchSize = batch;
+        const auto bN = computePhaseTraffic(model, batched, prec);
+        const double n = static_cast<double>(batch);
+
+        // Weight bytes are batch-invariant in both phases; per-
+        // sequence streams scale exactly linearly.
+        EXPECT_DOUBLE_EQ(bN.decode.weightBytes,
+                         b1.decode.weightBytes);
+        EXPECT_DOUBLE_EQ(bN.prefill.weightBytes,
+                         b1.prefill.weightBytes);
+        EXPECT_DOUBLE_EQ(bN.decode.activationBytes,
+                         n * b1.decode.activationBytes);
+        EXPECT_DOUBLE_EQ(bN.decode.kvBytes, n * b1.decode.kvBytes);
+        EXPECT_DOUBLE_EQ(bN.prefill.activationBytes,
+                         n * b1.prefill.activationBytes);
+        EXPECT_DOUBLE_EQ(bN.prefill.kvBytes, n * b1.prefill.kvBytes);
+
+        // The satellite identity: batch-N decode traffic equals the
+        // batch-1 weight bytes plus N x the per-sequence streams.
+        EXPECT_DOUBLE_EQ(bN.decode.total(),
+                         b1.decode.weightBytes +
+                             n * b1.decode.activationBytes +
+                             n * b1.decode.kvBytes);
+
+        // Compute scales with the batch.
+        EXPECT_DOUBLE_EQ(computeMacs(model, batched),
+                         n * computeMacs(model, task));
+    }
+}
+
+TEST(RandomizedTraffic, BatchedThroughputNeverDropsWithBatch)
+{
+    SCOPED_TRACE(seedNote());
+    Rng rng(propertySeed() ^ 0x3);
+    const AccelSim sim(makeBitmod());
+    const auto &zoo = llmZoo();
+    for (int iter = 0; iter < 6; ++iter) {
+        const LlmSpec &model = zoo[rng.below(zoo.size())];
+        const auto precision =
+            rng.uniform() < 0.5
+                ? PrecisionChoice::bitmod(dtypes::bitmodFp3())
+                : PrecisionChoice::bitmod(dtypes::intSym(6));
+        SCOPED_TRACE(model.name + " " +
+                     precision.weightDtype.name);
+        double prevPerSeq = 0.0;
+        double weightBytes1 = -1.0;
+        for (const size_t batch : {1, 4, 16, 64, 256}) {
+            const auto r = sim.run(model, TaskSpec::serving(batch),
+                                   precision);
+            ASSERT_TRUE(std::isfinite(r.decodeCycles));
+            // The shared weight stream never grows with the batch...
+            if (weightBytes1 < 0.0)
+                weightBytes1 = r.traffic.decode.weightBytes;
+            EXPECT_DOUBLE_EQ(r.traffic.decode.weightBytes,
+                             weightBytes1);
+            // ...so amortizing it can only raise decode throughput
+            // (tokens per cycle), until the compute roof flattens it.
+            const double perSeq =
+                static_cast<double>(batch) / r.decodeCycles;
+            EXPECT_GE(perSeq, prevPerSeq * (1.0 - 1e-12))
+                << "batch " << batch;
+            prevPerSeq = perSeq;
+        }
+    }
 }
 
 } // namespace

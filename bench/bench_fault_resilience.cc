@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Fault-injection resilience bench: quantifies what the reliability
+ * layer buys on the packed weight stream and what it costs.
+ *
+ * Four measurements, one JSON artifact (BENCH_fault.json) for the CI
+ * perf gate:
+ *
+ *  - decode_detection: per datatype, single-bit flips into the packed
+ *    image — how often the checked decoder reports CorruptCode /
+ *    CorruptMeta / Truncated (`*_detect_coverage`, gated strictly)
+ *    versus decoding cleanly to different values (the silent rate —
+ *    what an unprotected stream would feed the GEMV).
+ *  - crc_granularity: multi-bit bursts against the ImageProtection
+ *    sidecar at row / 256 B / 64 B CRC blocks (`*_coverage`).
+ *  - divergence: checked-GEMV relative L2 error versus bit-error rate
+ *    (1e-8 … 1e-4) with corrupted groups quarantined to zero.
+ *  - protection_overhead / accel_retry: sidecar bandwidth ratios
+ *    (`*_overhead`, gated like footprints) and the AccelSim
+ *    expected-value retry traffic on Llama-2-7B at BER 1e-6.
+ *
+ * decode_cost times the trusted versus the checked strip walk
+ * (`*_wps`) — the measured price of satellite bounds checking — and
+ * carries a bit_identical flag proving the two paths agree exactly on
+ * clean images.  Any internal invariant violation (protection-off
+ * drift, coverage collapse, overhead mismatch against the analytic
+ * formula) exits non-zero.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "accel/accel_config.hh"
+#include "accel/perf_model.hh"
+#include "common/rng.hh"
+#include "model/llm_zoo.hh"
+#include "model/traffic.hh"
+#include "pe/pe_column.hh"
+#include "quant/dtype.hh"
+#include "quant/packing.hh"
+#include "quant/quantizer.hh"
+#include "rel/fault.hh"
+#include "rel/integrity.hh"
+
+using namespace bitmod;
+
+namespace
+{
+
+int gFailures = 0;
+
+void
+invariant(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "INVARIANT FAILED: %s\n", what);
+        ++gFailures;
+    }
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct BenchCase
+{
+    const char *key;  //!< stable JSON field stem
+    Dtype dt;
+};
+
+std::vector<BenchCase>
+benchCases()
+{
+    return {{"fp4", dtypes::bitmodFp4()},
+            {"fp3", dtypes::bitmodFp3()},
+            {"int4", dtypes::intSym(4)},
+            {"olive4", dtypes::olive(4)}};
+}
+
+struct PackedCase
+{
+    QuantConfig cfg;
+    PackedMatrix pm;
+    size_t cols = 0;
+};
+
+PackedCase
+packCase(const Dtype &dt, size_t rows, size_t cols, Rng &rng)
+{
+    PackedCase c;
+    c.cfg.dtype = dt;
+    c.cfg.groupSize = 64;
+    c.cfg.scaleBits = 8;
+    c.cfg.captureEncoding = true;
+    c.cols = cols;
+    Matrix w(rows, cols);
+    for (float &x : w.flat())
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    for (float &x : w.flat())
+        if (rng.uniform() < 0.04)
+            x *= static_cast<float>(20.0 + 40.0 * rng.uniform());
+    const auto q = quantizeMatrix(w, c.cfg);
+    c.pm = GroupPacker(c.cfg).packMatrix(q.encoded);
+    return c;
+}
+
+std::vector<Float16>
+randomActs(size_t n, Rng &rng)
+{
+    std::vector<Float16> acts;
+    acts.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian()));
+    return acts;
+}
+
+/** Decode every group of @p pm via the checked path into one flat
+ *  vector (quarantined groups stay zero); returns first bad status. */
+DecodeStatus
+decodeAll(const PackedMatrix &pm, std::vector<float> &flat)
+{
+    flat.clear();
+    DecodeStatus status = DecodeStatus::Ok;
+    std::vector<float> buf;
+    for (size_t i = 0; i < pm.size(); ++i) {
+        buf.assign(pm.desc(i).len, 0.0f);
+        const DecodeStatus st = pm.tryDecodeGroupInto(i, buf);
+        if (st != DecodeStatus::Ok && status == DecodeStatus::Ok)
+            status = st;
+        flat.insert(flat.end(), buf.begin(), buf.end());
+    }
+    return status;
+}
+
+// ----------------------------------------------- per-dtype detection
+
+struct DetectionRow
+{
+    const char *key;
+    double detectCoverage = 1.0;  //!< detected / (detected + silent)
+    double silentRate = 0.0;      //!< silent / trials
+};
+
+DetectionRow
+measureDetection(const BenchCase &bc, size_t rows, size_t cols,
+                 int trials, Rng &rng)
+{
+    DetectionRow out{bc.key, 1.0, 0.0};
+    PackedCase c = packCase(bc.dt, rows, cols, rng);
+    std::vector<float> clean;
+    invariant(decodeAll(c.pm, clean) == DecodeStatus::Ok,
+              "clean image decodes Ok");
+    long detected = 0, silent = 0;
+    std::vector<float> flat;
+    for (int t = 0; t < trials; ++t) {
+        PackedMatrix mutant = c.pm;
+        FaultInjector::flipBit(mutant,
+                               rng.below(mutant.imageBytes() * 8));
+        const DecodeStatus st = decodeAll(mutant, flat);
+        if (st != DecodeStatus::Ok)
+            ++detected;
+        else if (flat != clean)
+            ++silent;
+        // else benign: the flip landed in row padding or decoded to
+        // the same value — invisible and harmless.
+    }
+    if (detected + silent > 0)
+        out.detectCoverage = static_cast<double>(detected) /
+                             static_cast<double>(detected + silent);
+    out.silentRate =
+        static_cast<double>(silent) / static_cast<double>(trials);
+    std::printf("  %-7s detect=%5.1f%%  silent=%5.1f%%  (%d trials)\n",
+                bc.key, 100.0 * out.detectCoverage,
+                100.0 * out.silentRate, trials);
+    return out;
+}
+
+// ------------------------------------------- CRC granularity coverage
+
+double
+measureCrcCoverage(const PackedCase &c, size_t block_bytes, int trials,
+                   int flips_per_trial, Rng &rng)
+{
+    ProtectionConfig pc;
+    pc.scheme = ProtectionScheme::Crc;
+    pc.crcBlockBytes = block_bytes;
+    const ImageProtection prot(c.pm, pc);
+    long detected = 0;
+    for (int t = 0; t < trials; ++t) {
+        PackedMatrix mutant = c.pm;
+        for (int f = 0; f < flips_per_trial; ++f)
+            FaultInjector::flipBit(mutant,
+                                   rng.below(mutant.imageBytes() * 8));
+        for (size_t r = 0; r < mutant.rows(); ++r)
+            if (prot.verifyRow(mutant, r) > 0) {
+                ++detected;
+                break;
+            }
+    }
+    return static_cast<double>(detected) /
+           static_cast<double>(trials);
+}
+
+// --------------------------------------------- GEMV divergence vs BER
+
+double
+measureDivergence(const PackedCase &c, double ber, int trials,
+                  Rng &rng)
+{
+    const auto acts = randomActs(c.cols, rng);
+    PackedMatrix clean = c.pm;
+    clean.setCheckedDecode(true);
+    const auto ref = tileGemv(clean, c.cfg.dtype, acts, 1);
+    double refNorm = 0.0;
+    for (const double v : ref.values)
+        refNorm += v * v;
+    refNorm = std::sqrt(refNorm);
+    double sum = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        PackedMatrix mutant = c.pm;
+        FaultInjector inj(rng.next());
+        inj.injectRate(mutant, ber);
+        mutant.setCheckedDecode(true);
+        const auto got = tileGemv(mutant, c.cfg.dtype, acts, 1);
+        double err = 0.0;
+        for (size_t r = 0; r < ref.values.size(); ++r) {
+            const double d = got.values[r] - ref.values[r];
+            err += d * d;
+        }
+        sum += refNorm > 0.0 ? std::sqrt(err) / refNorm : 0.0;
+    }
+    return sum / static_cast<double>(trials);
+}
+
+// --------------------------------------- trusted vs checked wall cost
+
+struct DecodeCost
+{
+    double trustedWps = 0.0;
+    double checkedWps = 0.0;
+    bool identical = true;
+};
+
+DecodeCost
+measureDecodeCost(PackedCase &c, size_t rows, int iters, Rng &rng)
+{
+    DecodeCost out;
+    const auto acts = randomActs(c.cols, rng);
+    const double weights =
+        static_cast<double>(rows) * static_cast<double>(c.cols) *
+        static_cast<double>(iters);
+
+    c.pm.setCheckedDecode(false);
+    auto trusted = tileGemv(c.pm, c.cfg.dtype, acts, 1);
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        trusted = tileGemv(c.pm, c.cfg.dtype, acts, 1);
+    out.trustedWps = weights / secondsSince(t0);
+
+    c.pm.setCheckedDecode(true);
+    auto checked = tileGemv(c.pm, c.cfg.dtype, acts, 1);
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        checked = tileGemv(c.pm, c.cfg.dtype, acts, 1);
+    out.checkedWps = weights / secondsSince(t0);
+    c.pm.setCheckedDecode(false);
+
+    out.identical = trusted.values == checked.values &&
+                    checked.clean();
+    invariant(out.identical,
+              "checked decode is bit-identical to trusted on a clean "
+              "image");
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    uint64_t seed = 0xFA417;
+    std::string out = "BENCH_fault.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke")
+            smoke = true;
+        else if (arg == "--out" && i + 1 < argc)
+            out = argv[++i];
+        else if (arg == "--seed" && i + 1 < argc)
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--seed HEX] "
+                         "[--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const size_t rows = smoke ? 16 : 32;
+    const size_t cols = smoke ? 256 : 1024;
+    const int trials = smoke ? 60 : 400;
+    const int burstTrials = smoke ? 40 : 200;
+    const int divTrials = smoke ? 3 : 8;
+    const int costIters = smoke ? 3 : 12;
+    Rng rng(seed);
+    std::printf("[fault_resilience] rows=%zu cols=%zu trials=%d "
+                "seed=0x%llx%s\n\n",
+                rows, cols, trials,
+                static_cast<unsigned long long>(seed),
+                smoke ? " (smoke)" : "");
+
+    // -- per-datatype single-bit detection ---------------------------
+    std::printf("single-bit flips, checked decoder:\n");
+    std::vector<DetectionRow> detection;
+    for (const BenchCase &bc : benchCases())
+        detection.push_back(
+            measureDetection(bc, rows, cols, trials, rng));
+
+    // -- CRC granularity against 4-bit bursts ------------------------
+    PackedCase fp4 = packCase(dtypes::bitmodFp4(), rows, cols, rng);
+    const size_t blocks[] = {0, 256, 64};
+    const char *blockKeys[] = {"row", "b256", "b64"};
+    double crcCov[3];
+    std::printf("\nCRC sidecar vs 4-bit bursts:\n");
+    for (int i = 0; i < 3; ++i) {
+        crcCov[i] = measureCrcCoverage(fp4, blocks[i], burstTrials, 4,
+                                       rng);
+        std::printf("  %-5s coverage=%6.3f\n", blockKeys[i],
+                    crcCov[i]);
+    }
+    invariant(crcCov[0] >= 0.999,
+              "per-row CRC detects >= 99.9% of multi-bit bursts");
+
+    // -- GEMV divergence vs BER --------------------------------------
+    const double bers[] = {1e-8, 1e-6, 1e-5, 1e-4};
+    const char *berKeys[] = {"ber1e8", "ber1e6", "ber1e5", "ber1e4"};
+    double divergence[4];
+    std::printf("\nchecked-GEMV relative divergence (quarantine on):\n");
+    for (int i = 0; i < 4; ++i) {
+        divergence[i] = measureDivergence(fp4, bers[i], divTrials, rng);
+        std::printf("  %-7s rel_err=%.3e\n", berKeys[i],
+                    divergence[i]);
+    }
+
+    // -- protection bandwidth overheads ------------------------------
+    // Measured on the real packed image and cross-checked against the
+    // analytic ratio the traffic model charges.
+    double overheads[4];
+    const ProtectionConfig overheadCfgs[] = {
+        {ProtectionScheme::Crc, 0},
+        {ProtectionScheme::Crc, 256},
+        {ProtectionScheme::Crc, 64},
+        {ProtectionScheme::CrcSecded, 0},
+    };
+    const char *overheadKeys[] = {"crc_row", "crc_b256", "crc_b64",
+                                  "secded_row"};
+    std::printf("\nprotection bandwidth overhead (sidecar/payload):\n");
+    for (int i = 0; i < 4; ++i) {
+        const ImageProtection prot(fp4.pm, overheadCfgs[i]);
+        overheads[i] = prot.overheadRatio();
+        size_t analytic = 0;
+        for (size_t r = 0; r < fp4.pm.rows(); ++r)
+            analytic += analyticProtectionBytes(
+                fp4.pm.rowBytes(r).size(), overheadCfgs[i]);
+        invariant(prot.bytes() == analytic,
+                  "sidecar bytes match the analytic formula");
+        std::printf("  %-10s %.4f\n", overheadKeys[i], overheads[i]);
+    }
+
+    // -- decode-cost of the checked path -----------------------------
+    std::printf("\ntrusted vs checked strip walk:\n");
+    DecodeCost cost = measureDecodeCost(fp4, rows, costIters, rng);
+    std::printf("  trusted=%.0f wps  checked=%.0f wps  (%.2fx)  "
+                "identical=%s\n",
+                cost.trustedWps, cost.checkedWps,
+                cost.checkedWps / cost.trustedWps,
+                cost.identical ? "yes" : "NO");
+
+    // -- AccelSim modeled retry traffic ------------------------------
+    const AccelSim sim(makeBitmod());
+    const LlmSpec &model = llmByName("Llama-2-7B");
+    const TaskSpec task = TaskSpec::generative();
+    auto precision = PrecisionChoice::bitmod(dtypes::bitmodFp4());
+    const RunReport plain = sim.run(model, task, precision);
+    invariant(plain.integrity.protectionBytes == 0.0 &&
+                  plain.integrity.retryBytes == 0.0,
+              "protection off charges nothing");
+    auto protChoice = precision;
+    protChoice.setProtection({ProtectionScheme::Crc, 0}, 1e-6);
+    const RunReport prot = sim.run(model, task, protChoice);
+    invariant(prot.integrity.protectionBytes > 0.0 &&
+                  prot.integrity.retryBytes > 0.0,
+              "CRC at BER 1e-6 charges sidecar and retry traffic");
+    auto secdedChoice = precision;
+    secdedChoice.setProtection({ProtectionScheme::CrcSecded, 0}, 1e-6);
+    const RunReport secded = sim.run(model, task, secdedChoice);
+    invariant(secded.integrity.correctedErrors >
+                  secded.integrity.retryBlocks,
+              "SECDED corrects most errors in place");
+    std::printf("\nLlama-2-7B generative @ BER 1e-6:\n"
+                "  crc:    sidecar=%.3e B retry=%.3e B "
+                "uncorrectable=%.3e\n"
+                "  secded: sidecar=%.3e B retry=%.3e B "
+                "corrected=%.3e\n",
+                prot.integrity.protectionBytes,
+                prot.integrity.retryBytes,
+                prot.integrity.uncorrectableErrors,
+                secded.integrity.protectionBytes,
+                secded.integrity.retryBytes,
+                secded.integrity.correctedErrors);
+
+    // -- JSON artifact -----------------------------------------------
+    FILE *f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"fault_resilience\",\n");
+    std::fprintf(f, "  \"rows\": %zu,\n  \"cols\": %zu,\n", rows,
+                 cols);
+    std::fprintf(f, "  \"trials\": %d,\n", trials);
+    std::fprintf(f, "  \"seed\": \"0x%llx\",\n",
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(f, "  \"decode_detection\": {");
+    for (size_t i = 0; i < detection.size(); ++i)
+        std::fprintf(f, "%s\"%s_detect_coverage\": %.6f, "
+                        "\"%s_silent_rate\": %.6f",
+                     i ? ", " : "", detection[i].key,
+                     detection[i].detectCoverage, detection[i].key,
+                     detection[i].silentRate);
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "  \"crc_granularity\": {");
+    for (int i = 0; i < 3; ++i)
+        std::fprintf(f, "%s\"%s_coverage\": %.6f", i ? ", " : "",
+                     blockKeys[i], crcCov[i]);
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "  \"divergence\": {");
+    for (int i = 0; i < 4; ++i)
+        std::fprintf(f, "%s\"%s_rel_err\": %.6e", i ? ", " : "",
+                     berKeys[i], divergence[i]);
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "  \"protection_overhead\": {");
+    for (int i = 0; i < 4; ++i)
+        std::fprintf(f, "%s\"%s_overhead\": %.6f", i ? ", " : "",
+                     overheadKeys[i], overheads[i]);
+    std::fprintf(f, "},\n");
+    std::fprintf(f,
+                 "  \"decode_cost\": {\"trusted_wps\": %.0f, "
+                 "\"checked_wps\": %.0f, \"checked_relative\": %.3f, "
+                 "\"bit_identical\": %s},\n",
+                 cost.trustedWps, cost.checkedWps,
+                 cost.checkedWps / cost.trustedWps,
+                 cost.identical ? "true" : "false");
+    std::fprintf(f,
+                 "  \"accel_retry\": {\"crc_retry_mbytes\": %.4f, "
+                 "\"crc_sidecar_mbytes\": %.4f, "
+                 "\"crc_uncorrectable\": %.6e, "
+                 "\"secded_retry_mbytes\": %.4f, "
+                 "\"secded_corrected\": %.4f}\n",
+                 prot.integrity.retryBytes / 1e6,
+                 prot.integrity.protectionBytes / 1e6,
+                 prot.integrity.uncorrectableErrors,
+                 secded.integrity.retryBytes / 1e6,
+                 secded.integrity.correctedErrors);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out.c_str());
+
+    if (gFailures) {
+        std::fprintf(stderr, "\n%d invariant failure(s)\n", gFailures);
+        return 1;
+    }
+    return 0;
+}

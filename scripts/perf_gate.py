@@ -3,13 +3,18 @@
 
 Compares every tracked field of the current bench output against the
 previous run's artifact and fails (exit 1) on a regression beyond the
-threshold.  Four field families are tracked: *_wps throughputs (lower
+threshold.  Six field families are tracked: *_wps throughputs (lower
 is a regression), *_bytes footprints (growth is a regression — the
 packed-stream section reports the DRAM-image size, and a silently
-fattening memory layout must not ride a green build), and the
+fattening memory layout must not ride a green build), the
 simulator-level *_speedup / *_eff ratios of BENCH_fig07.json /
 BENCH_fig08.json (a drop means the modeled accelerator advantage —
-analytic or measured — shrank).  The delta table is always printed,
+analytic or measured — shrank), and the BENCH_fault.json reliability
+families: *_coverage error-detection rates (STRICT — any drop beyond
+0.1% fails regardless of the threshold, because a quietly shrinking
+detection rate is a correctness hole, not a perf tradeoff) and
+*_overhead protection-bandwidth ratios (growth beyond the threshold
+fails, like a footprint).  The delta table is always printed,
 regression or not, so the trajectory is visible in every CI log.  A
 missing baseline (first run on a branch, expired artifact) is not an
 error: the gate prints a note and passes.
@@ -28,19 +33,28 @@ import json
 import sys
 
 
+# Detection-coverage drops larger than this fail even when they are
+# within --max-regression: coverage is a correctness signal.
+COVERAGE_EPSILON_PCT = 0.1
+
+
 def tracked_fields(doc):
-    """Yield (section.key, value, higher_is_better) for every gated
-    field: *_wps throughputs and *_speedup / *_eff simulator ratios
-    (higher better), *_bytes footprints (lower better)."""
+    """Yield (section.key, value, higher_is_better, strict) for every
+    gated field: *_wps throughputs, *_speedup / *_eff simulator ratios
+    and *_coverage detection rates (higher better; coverage is strict),
+    *_bytes footprints and *_overhead protection ratios (lower
+    better)."""
     for section, body in sorted(doc.items()):
         if isinstance(body, dict):
             for key, value in sorted(body.items()):
                 if not isinstance(value, (int, float)):
                     continue
                 if key.endswith(("_wps", "_speedup", "_eff")):
-                    yield f"{section}.{key}", float(value), True
-                elif key.endswith("_bytes"):
-                    yield f"{section}.{key}", float(value), False
+                    yield f"{section}.{key}", float(value), True, False
+                elif key.endswith("_coverage"):
+                    yield f"{section}.{key}", float(value), True, True
+                elif key.endswith(("_bytes", "_overhead")):
+                    yield f"{section}.{key}", float(value), False, False
 
 
 def bit_identity_failures(doc):
@@ -61,11 +75,11 @@ def compare(prev, curr, max_regression_pct):
     gate.
     """
     prev_fields = (
-        {f: v for f, v, _ in tracked_fields(prev)} if prev else {}
+        {f: v for f, v, _, _ in tracked_fields(prev)} if prev else {}
     )
     rows, regressions = [], []
     curr_names = set()
-    for field, curr_val, higher_better in tracked_fields(curr):
+    for field, curr_val, higher_better, strict in tracked_fields(curr):
         curr_names.add(field)
         prev_val = prev_fields.get(field)
         if prev_val is None or prev_val <= 0:
@@ -73,8 +87,9 @@ def compare(prev, curr, max_regression_pct):
             continue
         delta_pct = (curr_val - prev_val) / prev_val * 100.0
         rows.append((field, prev_val, curr_val, delta_pct))
-        regressed = (delta_pct < -max_regression_pct if higher_better
-                     else delta_pct > max_regression_pct)
+        limit = COVERAGE_EPSILON_PCT if strict else max_regression_pct
+        regressed = (delta_pct < -limit if higher_better
+                     else delta_pct > limit)
         if regressed:
             regressions.append((field, delta_pct))
     removed = sorted(set(prev_fields) - curr_names)
@@ -107,10 +122,17 @@ def run_gate(prev, curr, max_regression_pct):
         print("\nno previous bench artifact: baseline recorded, "
               "gate passes")
     for field, delta_pct in regressions:
-        kind = ("footprint grew" if field.endswith("_bytes")
-                else "dropped")
+        if field.endswith("_bytes"):
+            kind, limit = "footprint grew", max_regression_pct
+        elif field.endswith("_overhead"):
+            kind, limit = "protection overhead grew", max_regression_pct
+        elif field.endswith("_coverage"):
+            kind, limit = ("detection coverage dropped",
+                           COVERAGE_EPSILON_PCT)
+        else:
+            kind, limit = "dropped", max_regression_pct
         print(f"\nREGRESSION: {field} {kind} {delta_pct:+.1f}% "
-              f"(limit {max_regression_pct:.0f}%)")
+              f"(limit {limit:g}%)")
     for field in removed:
         print(f"\nMISSING FIELD: {field} was in the baseline but is "
               "not emitted by the current bench — the perf signal for "
@@ -139,6 +161,12 @@ def self_test():
         "batch_speedup": {"ly_b64_speedup": 3.5,
                           "ll_crossover_batch": 90.0,
                           "bit_identical": True},
+        # Fault-resilience families: coverage is strict, overhead is
+        # footprint-like.
+        "crc_granularity": {"row_coverage": 1.0,
+                            "b64_coverage": 0.999},
+        "protection_overhead": {"crc_row_overhead": 0.0015,
+                                "secded_row_overhead": 0.127},
     }
 
     def variant(factor, identical=True):
@@ -204,6 +232,27 @@ def self_test():
                   10) == 0),
         ("broken weight amortization fails",
          run_gate(base, amortization_broken, 10) == 1),
+        ("coverage -5% fails even within threshold",
+         run_gate(base, ratio(0.95, "crc_granularity",
+                              "row_coverage"), 10) == 1),
+        ("coverage tiny jitter passes",
+         run_gate(base, ratio(0.9999, "crc_granularity",
+                              "b64_coverage"), 10) == 0),
+        ("coverage rise passes",
+         run_gate(base, ratio(1.001, "crc_granularity",
+                              "b64_coverage"), 10) == 0),
+        ("coverage collapse to zero fails",
+         run_gate(base, ratio(0.0, "crc_granularity",
+                              "row_coverage"), 10) == 1),
+        ("protection overhead +30% fails",
+         run_gate(base, ratio(1.3, "protection_overhead",
+                              "secded_row_overhead"), 10) == 1),
+        ("protection overhead +5% within threshold passes",
+         run_gate(base, ratio(1.05, "protection_overhead",
+                              "secded_row_overhead"), 10) == 0),
+        ("protection overhead shrinking passes",
+         run_gate(base, ratio(0.5, "protection_overhead",
+                              "crc_row_overhead"), 10) == 0),
     ]
     print("\n--- self-test results ---")
     failed = [name for name, ok in checks if not ok]

@@ -55,6 +55,28 @@ PrecisionChoice::perChannel(const Dtype &dt)
     return p;
 }
 
+size_t
+PrecisionChoice::protectionBlockBytes() const
+{
+    if (protection.crcBlockBytes > 0)
+        return protection.crcBlockBytes;
+    // Per-row CRC: one block per packed row of the nominal
+    // 4096-column channel the factories size their footprint with.
+    const double rowBytes = weightBitsPerElem * 4096.0 / 8.0;
+    return static_cast<size_t>(std::max(1.0, std::ceil(rowBytes)));
+}
+
+double
+PrecisionChoice::protectionOverhead() const
+{
+    if (protection.scheme == ProtectionScheme::None)
+        return 0.0;
+    const double rowBytes = weightBitsPerElem * 4096.0 / 8.0;
+    return protectionOverheadRatio(
+        static_cast<size_t>(std::max(1.0, std::ceil(rowBytes))),
+        protection);
+}
+
 void
 PrecisionChoice::applyProfile(const MeasuredProfile &profile)
 {
@@ -85,9 +107,81 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
     // Off-chip bytes come from the traffic model, which views the
     // precision through its spec(): analytic bits per weight by
     // default, the measured packed-image footprint once a profile is
-    // applied.
+    // applied.  With protection on, spec() already inflates the
+    // weight bytes by the sidecar ratio — the honest Fig. 7/8 charge.
     report.traffic =
         computePhaseTraffic(model, task, precision.spec());
+
+    // Expected-value integrity model over one phase's weight stream:
+    // every CRC block that arrives dirty (after SECDED scrubbing,
+    // when enabled) is re-fetched once — extra weight-phase traffic
+    // and a fixed per-retry round-trip latency.  Blocks dirty again
+    // after the single modeled retry count as uncorrectable.
+    constexpr double kRetryPenaltyCycles = 100.0;
+    const double protRatio = precision.protectionOverhead();
+    const auto phaseIntegrity = [&](double weight_bytes) {
+        IntegrityReport ir;
+        if (precision.protection.scheme == ProtectionScheme::None ||
+            weight_bytes <= 0.0)
+            return ir;
+        const double dataBytes = weight_bytes / (1.0 + protRatio);
+        ir.protectionBytes = weight_bytes - dataBytes;
+        const double ber = precision.bitErrorRate;
+        if (ber <= 0.0)
+            return ir;
+        const double blockBytes = static_cast<double>(
+            precision.protectionBlockBytes());
+        const double nBlocks = dataBytes / blockBytes;
+        const double logq = std::log1p(-ber);
+        double pRetry = 0.0;  // P(a block needs a re-fetch)
+        if (precision.protection.scheme ==
+            ProtectionScheme::CrcSecded) {
+            // Per protected 72-bit word: a single flip is corrected
+            // in place; two or more defeat SECDED and dirty the
+            // block's CRC.
+            const double pwClean = std::exp(72.0 * logq);
+            const double pw1 =
+                72.0 * ber * std::exp(71.0 * logq);
+            const double pw2 = std::max(0.0, 1.0 - pwClean - pw1);
+            const double wordsPerBlock = blockBytes / 8.0;
+            ir.correctedErrors = nBlocks * wordsPerBlock * pw1;
+            pRetry = -std::expm1(wordsPerBlock *
+                                 std::log1p(-pw2));
+        } else {
+            // CRC only: any flip in the block forces a re-fetch.
+            pRetry = -std::expm1(blockBytes * 8.0 * logq);
+        }
+        ir.retryBlocks = nBlocks * pRetry;
+        ir.detectedErrors = ir.retryBlocks;
+        ir.retryBytes =
+            ir.retryBlocks * blockBytes * (1.0 + protRatio);
+        ir.retryCycles =
+            dram_.transferCycles(ir.retryBytes, accel_.clockGhz) +
+            ir.retryBlocks * kRetryPenaltyCycles;
+        // The modeled pipeline retries once; a block dirty again is
+        // handed to software as uncorrectable.
+        ir.uncorrectableErrors = ir.retryBlocks * pRetry;
+        return ir;
+    };
+    const IntegrityReport prefillInt =
+        phaseIntegrity(report.traffic.prefill.weightBytes);
+    const IntegrityReport decodeInt =
+        phaseIntegrity(report.traffic.decode.weightBytes);
+    report.integrity.protectionBytes =
+        prefillInt.protectionBytes + decodeInt.protectionBytes;
+    report.integrity.detectedErrors =
+        prefillInt.detectedErrors + decodeInt.detectedErrors;
+    report.integrity.correctedErrors =
+        prefillInt.correctedErrors + decodeInt.correctedErrors;
+    report.integrity.retryBlocks =
+        prefillInt.retryBlocks + decodeInt.retryBlocks;
+    report.integrity.retryBytes =
+        prefillInt.retryBytes + decodeInt.retryBytes;
+    report.integrity.retryCycles =
+        prefillInt.retryCycles + decodeInt.retryCycles;
+    report.integrity.uncorrectableErrors =
+        prefillInt.uncorrectableErrors +
+        decodeInt.uncorrectableErrors;
 
     const double layers = static_cast<double>(model.numLayers);
     const double blockParams =
@@ -131,9 +225,12 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
         const double computeCycles =
             linMacs / linMacsPerCycle + attMacs / attMacsPerCycle;
 
-        const double memBytes = report.traffic.prefill.total();
+        const double memBytes =
+            report.traffic.prefill.total() + prefillInt.retryBytes;
         const double memCycles =
-            dram_.transferCycles(memBytes, accel_.clockGhz);
+            dram_.transferCycles(report.traffic.prefill.total(),
+                                 accel_.clockGhz) +
+            prefillInt.retryCycles;
         report.prefillComputeCycles = computeCycles;
         report.prefillMemCycles = memCycles;
         report.prefillCycles = std::max(computeCycles, memCycles);
@@ -188,9 +285,12 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
         const double computeCycles =
             perStepComputeBase * static_cast<double>(steps) * batch +
             attCyclesTotal;
-        const double memBytes = report.traffic.decode.total();
+        const double memBytes =
+            report.traffic.decode.total() + decodeInt.retryBytes;
         const double memCycles =
-            dram_.transferCycles(memBytes, accel_.clockGhz);
+            dram_.transferCycles(report.traffic.decode.total(),
+                                 accel_.clockGhz) +
+            decodeInt.retryCycles;
         report.decodeComputeCycles = computeCycles;
         report.decodeMemCycles = memCycles;
         report.decodeCycles = std::max(computeCycles, memCycles);

@@ -18,6 +18,7 @@
 #include "model/llm_zoo.hh"
 #include "model/traffic.hh"
 #include "quant/quantizer.hh"
+#include "rel/integrity.hh"
 
 namespace bitmod
 {
@@ -45,11 +46,37 @@ struct PrecisionChoice
     /** True once the view is backed by a MeasuredProfile. */
     bool measured = false;
 
+    /** Weight-stream integrity protection (None = pre-PR behavior). */
+    ProtectionConfig protection;
+    /** Modeled DRAM bit-error rate driving the re-fetch retry model. */
+    double bitErrorRate = 0.0;
+
     /** The traffic-model view of this choice. */
     PrecisionSpec
     spec() const
     {
-        return {weightBitsPerElem, actBits, kvBits};
+        PrecisionSpec s{weightBitsPerElem, actBits, kvBits};
+        s.weightProtectionOverhead = protectionOverhead();
+        return s;
+    }
+
+    /**
+     * CRC block payload bytes the retry model re-fetches on a
+     * detected error: the configured granularity, or one nominal
+     * packed row (the 4096-column channel the factories assume) when
+     * crcBlockBytes is 0 (per-row CRC).
+     */
+    size_t protectionBlockBytes() const;
+
+    /** Protection sidecar bytes per payload byte (0 when off). */
+    double protectionOverhead() const;
+
+    /** Enable weight-stream protection at @p ber. */
+    void
+    setProtection(const ProtectionConfig &cfg, double ber)
+    {
+        protection = cfg;
+        bitErrorRate = ber;
     }
 
     /**
@@ -83,6 +110,24 @@ struct EnergyBreakdown
     double totalNj() const { return dramNj + bufferNj + coreNj; }
 };
 
+/**
+ * Expected-value integrity outcome of one run: protection bytes
+ * charged, detected / corrected / uncorrectable error events, and the
+ * modeled re-fetch retry traffic and latency they cost.  All zero
+ * with protection off or bitErrorRate 0.
+ */
+struct IntegrityReport
+{
+    double protectionBytes = 0.0;  //!< sidecar bytes moved with weights
+    double detectedErrors = 0.0;   //!< CRC-dirty blocks (expected)
+    double correctedErrors = 0.0;  //!< SECDED single-bit fixes in place
+    double retryBlocks = 0.0;      //!< blocks re-fetched from DRAM
+    double retryBytes = 0.0;       //!< re-fetch traffic (incl. sidecar)
+    double retryCycles = 0.0;      //!< transfer + fixed retry latency
+    /** Blocks still dirty after the modeled single retry. */
+    double uncorrectableErrors = 0.0;
+};
+
 /** Simulation output for one (model, task, precision) run. */
 struct RunReport
 {
@@ -100,6 +145,8 @@ struct RunReport
     EnergyBreakdown energy;
     /** The off-chip traffic the run was charged for. */
     PhaseTraffic traffic;
+    /** Integrity outcome (all zero with protection off). */
+    IntegrityReport integrity;
     /** True when the precision view was backed by a MeasuredProfile. */
     bool measured = false;
 

@@ -8,7 +8,11 @@ computePhaseTraffic(const LlmSpec &model, const TaskSpec &task,
                     const PrecisionSpec &precision)
 {
     PhaseTraffic t;
-    const double wBytesPerElem = precision.weightBits / 8.0;
+    // Protection sidecar bytes travel with every weight fetch — the
+    // ratio is zero unless an integrity scheme is enabled upstream.
+    const double wBytesPerElem =
+        precision.weightBits / 8.0 *
+        (1.0 + precision.weightProtectionOverhead);
     const double aBytesPerElem = precision.activationBits / 8.0;
     const double kvBytesPerElem = precision.kvBits / 8.0;
 

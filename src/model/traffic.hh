@@ -82,6 +82,14 @@ struct PrecisionSpec
     double weightBits = 16.0;  //!< may be fractional (incl. metadata)
     double activationBits = 16.0;
     double kvBits = 16.0;
+    /**
+     * Integrity-protection bytes per payload byte on the weight
+     * stream (CRC blocks + SECDED parity; see rel/integrity.hh's
+     * protectionOverheadRatio).  Kept as a plain ratio so the traffic
+     * model charges the protection honestly without depending on the
+     * reliability layer.  0 = unprotected, bit-identical to before.
+     */
+    double weightProtectionOverhead = 0.0;
 };
 
 /**

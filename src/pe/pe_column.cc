@@ -17,6 +17,10 @@ namespace
 /** Strip source over the float-typed SoA pool: groups view directly. */
 struct EncodedSource
 {
+    /** Pool groups cannot fail to decode — stripImpl compiles the
+     *  quarantine path out entirely for this source. */
+    static constexpr bool canFail = false;
+
     const EncodedMatrix &enc;
 
     size_t groupsPerRow() const { return enc.groupsPerRow(); }
@@ -33,10 +37,15 @@ struct EncodedSource
  *  the hardware's dequant LUT would expand them on the fly. */
 struct PackedSource
 {
+    /** Untrusted bytes: checked decode can quarantine a group. */
+    static constexpr bool canFail = true;
+
     const PackedMatrix &packed;
 
     size_t groupsPerRow() const { return packed.groupsPerRow(); }
     size_t len(size_t idx) const { return packed.desc(idx).len; }
+    bool checked() const { return packed.checkedDecode(); }
+
     EncodedGroupView
     group(size_t idx, std::vector<float> &decode) const
     {
@@ -51,6 +60,23 @@ struct PackedSource
         v.zeroPoint = d.zeroPoint;
         v.svIndex = d.svIndex;
         return v;
+    }
+
+    /** Recoverable decode for the checked path. */
+    DecodeStatus
+    tryGroup(size_t idx, std::vector<float> &decode,
+             EncodedGroupView &v) const
+    {
+        const PackedGroupDesc &d = packed.desc(idx);
+        if (decode.size() < d.len)
+            decode.resize(d.len);
+        const std::span<float> q{decode.data(), d.len};
+        const DecodeStatus st = packed.tryDecodeGroupInto(idx, q);
+        v.qvalues = q;
+        v.scale = d.scale;
+        v.zeroPoint = d.zeroPoint;
+        v.svIndex = d.svIndex;
+        return st;
     }
 };
 
@@ -147,8 +173,32 @@ PeColumn::stripImpl(const Source &src, size_t rows, size_t row_begin,
             BITMOD_ASSERT(src.len(idx) == len,
                           "strip rows disagree on group ", g,
                           " length");
+            EncodedGroupView view;
+            if constexpr (Source::canFail) {
+                if (src.checked()) {
+                    const DecodeStatus st =
+                        src.tryGroup(idx, decode_, view);
+                    if (st != DecodeStatus::Ok) {
+                        // Quarantine: the group contributes no value,
+                        // cycles or drain — graceful degradation, not
+                        // an abort.  The row is flagged so callers can
+                        // zero or re-fetch it.
+                        if (strip.status == DecodeStatus::Ok)
+                            strip.status = st;
+                        ++strip.corruptGroups;
+                        if (strip.rowCorrupt.empty())
+                            strip.rowCorrupt.assign(row_count, 0);
+                        strip.rowCorrupt[r] = 1;
+                        continue;
+                    }
+                } else {
+                    view = src.group(idx, decode_);
+                }
+            } else {
+                view = src.group(idx, decode_);
+            }
             const auto res =
-                processOneGroup(src.group(idx, decode_), actSlice, dt,
+                processOneGroup(view, actSlice, dt,
                                 table, scale_bits);
             strip.values[r] += res.value;
             rowCycles[r] += res.dotCycles;
@@ -203,30 +253,65 @@ tileGemv(const Matrix &weights, const QuantConfig &cfg,
     const auto q = quantizeMatrix(weights, capture);
 
     // Stream the byte-exact DRAM image, not the float pool: the GEMV
-    // exercises the deployment memory layout end to end.
+    // exercises the deployment memory layout end to end.  The image
+    // is trusted (just packed), so this routes through the packed
+    // overload with checked decode off — the same streaming core the
+    // fault-injection path uses, minus the quarantine bookkeeping.
     const GroupPacker packer(cfg);
     const PackedMatrix packed =
         packer.packMatrix(q.encoded, cfg.threads);
+    return tileGemv(packed, cfg.dtype, acts, cfg.threads).values;
+}
 
+PackedGemvResult
+tileGemv(const PackedMatrix &packed, const Dtype &dt,
+         std::span<const Float16> acts, int threads)
+{
     const size_t depth =
         static_cast<size_t>(PeColumn{}.pesPerColumn());
-    const size_t rows = weights.rows();
+    const size_t rows = packed.rows();
     const size_t nstrips = ceilDiv(rows, depth);
-    std::vector<double> out(rows);
+    PackedGemvResult out;
+    out.values.assign(rows, 0.0);
 
     // Column-depth strips are independent; shard them over the worker
     // pool with one PeColumn per thread (the PE and decode scratch are
-    // not thread-safe).  Each strip writes its own row range, so the
-    // output is bit-identical for any thread count.
-    parallelFor(nstrips, cfg.threads, [&](size_t s) {
+    // not thread-safe).  Each strip writes its own row range and
+    // quarantine slots, so the result is bit-identical for any thread
+    // count.
+    std::vector<uint8_t> rowCorrupt(rows, 0);
+    std::vector<long> stripCorrupt(nstrips, 0);
+    std::vector<DecodeStatus> stripStatus(nstrips,
+                                          DecodeStatus::Ok);
+    parallelFor(nstrips, threads, [&](size_t s) {
         thread_local PeColumn column;
         const size_t r0 = s * depth;
         const size_t n = std::min(depth, rows - r0);
         const auto strip =
-            column.processStrip(packed, r0, n, acts, cfg.dtype);
+            column.processStrip(packed, r0, n, acts, dt);
         for (size_t r = 0; r < n; ++r)
-            out[r0 + r] = strip.values[r];
+            out.values[r0 + r] = strip.values[r];
+        if (strip.corruptGroups == 0)
+            return;
+        stripCorrupt[s] = strip.corruptGroups;
+        stripStatus[s] = strip.status;
+        for (size_t r = 0; r < n; ++r)
+            if (strip.rowCorrupt[r]) {
+                rowCorrupt[r0 + r] = 1;
+                // A quarantined row's partial sum is meaningless —
+                // report a hard zero, never silent garbage.
+                out.values[r0 + r] = 0.0;
+            }
     });
+    for (size_t s = 0; s < nstrips; ++s) {
+        out.corruptGroups += stripCorrupt[s];
+        if (out.status == DecodeStatus::Ok)
+            out.status = stripStatus[s];
+    }
+    for (size_t r = 0; r < rows; ++r)
+        if (rowCorrupt[r])
+            out.quarantinedRows.push_back(
+                static_cast<uint32_t>(r));
     return out;
 }
 

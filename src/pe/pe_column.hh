@@ -52,6 +52,17 @@ struct StripResult
     /** Effectual terms (term-skip PEs only; 0 under fixed budget). */
     long long effectualTerms = 0;
     bool accumulatorContention = false;  //!< any row collided?
+
+    /**
+     * Checked packed decode only (PackedMatrix::setCheckedDecode):
+     * groups that failed to decode are quarantined — they contribute
+     * no value, cycles or drain — and counted here, with the first
+     * failure's status and a per-row corruption flag (empty when the
+     * whole strip decoded clean, so trusted strips pay nothing).
+     */
+    int corruptGroups = 0;
+    DecodeStatus status = DecodeStatus::Ok;
+    std::vector<uint8_t> rowCorrupt;  //!< per-strip-row flag (lazy)
 };
 
 /**
@@ -156,6 +167,32 @@ class PeColumn
 std::vector<double> tileGemv(const Matrix &weights,
                              const QuantConfig &cfg,
                              std::span<const Float16> acts);
+
+/** Packed-input GEMV outcome, with the quarantine report. */
+struct PackedGemvResult
+{
+    std::vector<double> values;  //!< one output per weight row
+    /** Quarantined groups across the tile (checked decode only). */
+    long corruptGroups = 0;
+    /** Rows with at least one quarantined group (output forced 0). */
+    std::vector<uint32_t> quarantinedRows;
+    DecodeStatus status = DecodeStatus::Ok;  //!< first failure seen
+
+    bool clean() const { return corruptGroups == 0; }
+};
+
+/**
+ * GEMV straight from an already-packed image: the entry point for
+ * untrusted (possibly fault-injected) streams.  With checked decode
+ * on (PackedMatrix::setCheckedDecode) corrupted groups are
+ * quarantined, their rows' outputs are forced to zero and reported;
+ * with it off this is exactly the streaming core of the
+ * quantize-and-pack tileGemv above (which now routes through here),
+ * so the trusted path stays bit-identical.
+ */
+PackedGemvResult tileGemv(const PackedMatrix &packed, const Dtype &dt,
+                          std::span<const Float16> acts,
+                          int threads = 0);
 
 } // namespace bitmod
 

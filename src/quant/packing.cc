@@ -15,14 +15,21 @@ namespace
 /**
  * Buffered LSB-first bitstream reader for the decode hot path: bytes
  * are gathered into a 64-bit window so each field costs a shift and a
- * mask.  Callers bound the read extent once up front (readBits checks
- * per call); the reader itself never dereferences past `end`.
+ * mask.  The reader never dereferences past `end`, and the underrun
+ * guard is unconditional: reads past the stream end return 0 and
+ * latch ok() false instead of yielding silent zero bits, so a
+ * truncated or desynced stream is always detectable — in Release
+ * builds too.  The guard is one subtract and a predictable branch per
+ * field; bench_fault_resilience measures the cost on the trusted path
+ * and the perf gate holds it.
  */
 class BitReader
 {
   public:
     BitReader(const uint8_t *data, size_t size, size_t bit_pos)
-        : p_(data + (bit_pos >> 3)), end_(data + size)
+        : p_(data + std::min(bit_pos >> 3, size)), end_(data + size),
+          left_(static_cast<int64_t>(size) * 8 -
+                static_cast<int64_t>(bit_pos))
     {
         const int skip = static_cast<int>(bit_pos & 7);
         refill();
@@ -33,6 +40,12 @@ class BitReader
     uint32_t
     get(int bits)
     {
+        left_ -= bits;
+        if (left_ < 0) {
+            ok_ = false;
+            left_ = 0;
+            return 0;
+        }
         if (avail_ < bits)
             refill();
         const uint32_t v = static_cast<uint32_t>(
@@ -41,6 +54,9 @@ class BitReader
         avail_ -= bits;
         return v;
     }
+
+    /** False once any read ran past the stream end. */
+    bool ok() const { return ok_; }
 
   private:
     void
@@ -56,6 +72,8 @@ class BitReader
     const uint8_t *end_;
     uint64_t buf_ = 0;
     int avail_ = 0;
+    int64_t left_;
+    bool ok_ = true;
 };
 
 /**
@@ -70,7 +88,42 @@ isOliveOutlier(float q, double qmax)
     return std::fabs(q) > qmax || q != std::nearbyint(q);
 }
 
+/**
+ * Bounds-checked field read for untrusted streams: false (and a
+ * bit_pos clamped to the stream end) instead of the aborting assert
+ * readBits raises.  In-bounds reads delegate to readBits so the two
+ * paths cannot drift.
+ */
+inline bool
+tryReadBits(std::span<const uint8_t> bytes, size_t &bit_pos, int bits,
+            uint32_t &out)
+{
+    if (bit_pos + static_cast<size_t>(bits) > bytes.size() * 8) {
+        bit_pos = bytes.size() * 8;
+        out = 0;
+        return false;
+    }
+    out = readBits(bytes, bit_pos, bits);
+    return true;
+}
+
 } // namespace
+
+const char *
+decodeStatusName(DecodeStatus s)
+{
+    switch (s) {
+      case DecodeStatus::Ok:
+        return "ok";
+      case DecodeStatus::Truncated:
+        return "truncated";
+      case DecodeStatus::CorruptCode:
+        return "corrupt-code";
+      case DecodeStatus::CorruptMeta:
+        return "corrupt-meta";
+    }
+    return "unknown";
+}
 
 void
 writeBits(std::span<uint8_t> bytes, size_t &bit_pos, uint32_t value,
@@ -149,6 +202,7 @@ GroupPacker::buildCodeTables()
         auto &t = codeValues_.emplace_back(nCodes, 0.0f);
         for (size_t c = 0; c < nCodes; ++c)
             t[c] = static_cast<float>(static_cast<int>(c) - bias);
+        codeLimits_.push_back(static_cast<uint32_t>(nCodes));
         return;
       }
       case DtypeKind::OliveOvp: {
@@ -167,12 +221,14 @@ GroupPacker::buildCodeTables()
             outlierValues_[rec] = static_cast<float>(
                 neg ? -outlierMags_[mag] : outlierMags_[mag]);
         }
+        codeLimits_.push_back(static_cast<uint32_t>(nCodes));
         return;
       }
       case DtypeKind::IntAsym: {
         auto &t = codeValues_.emplace_back(nCodes, 0.0f);
         for (size_t c = 0; c < nCodes; ++c)
             t[c] = static_cast<float>(c);
+        codeLimits_.push_back(static_cast<uint32_t>(nCodes));
         return;
       }
       case DtypeKind::NonLinear: {
@@ -183,6 +239,8 @@ GroupPacker::buildCodeTables()
             auto &t = codeValues_.emplace_back(nCodes, 0.0f);
             for (size_t c = 0; c < grid.size(); ++c)
                 t[c] = static_cast<float>(grid.values()[c]);
+            codeLimits_.push_back(
+                static_cast<uint32_t>(grid.size()));
         }
         return;
       }
@@ -192,6 +250,7 @@ GroupPacker::buildCodeTables()
         auto &t = codeValues_.emplace_back(nCodes, 0.0f);
         for (size_t c = 0; c < grid.size(); ++c)
             t[c] = static_cast<float>(grid.values()[c]);
+        codeLimits_.push_back(static_cast<uint32_t>(grid.size()));
         return;
       }
       case DtypeKind::Identity:
@@ -377,6 +436,88 @@ GroupPacker::unpackInto(std::span<const uint8_t> bytes, size_t &bit_pos,
                               desc.svIndex);
 }
 
+DecodeStatus
+GroupPacker::tryUnpackInto(std::span<const uint8_t> bytes,
+                           size_t &bit_pos, std::span<float> qdst,
+                           GroupDesc &desc, double scale_base) const
+{
+    const size_t n = qdst.size();
+    const auto fail = [&](DecodeStatus s) {
+        std::fill(qdst.begin(), qdst.end(), 0.0f);
+        return s;
+    };
+    uint32_t v = 0;
+    if (cfg_.dtype.kind == DtypeKind::OliveOvp) {
+        const size_t codeStart = bit_pos;
+        size_t escapes = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (!tryReadBits(bytes, bit_pos, elementBits_, v))
+                return fail(DecodeStatus::Truncated);
+            qdst[i] = codeValues_[0][v];
+            escapes += v == kOliveEscapeCode;
+        }
+        if (escapes > 0) {
+            size_t codePos = codeStart;
+            size_t recPos = bit_pos;
+            for (size_t i = 0; i < n; ++i) {
+                tryReadBits(bytes, codePos, elementBits_, v);
+                if (v != kOliveEscapeCode)
+                    continue;
+                uint32_t rec = 0;
+                if (!tryReadBits(bytes, recPos, elementBits_, rec))
+                    return fail(DecodeStatus::Truncated);
+                qdst[i] = outlierValues_[rec];
+            }
+            bit_pos = recPos;
+        }
+    } else {
+        // Codes are buffered raw (they fit a float exactly) and
+        // validated + translated after the metadata selects a table.
+        for (size_t i = 0; i < n; ++i) {
+            if (!tryReadBits(bytes, bit_pos, elementBits_, v))
+                return fail(DecodeStatus::Truncated);
+            qdst[i] = static_cast<float>(v);
+        }
+    }
+    uint32_t scaleCode = 0;
+    if (!tryReadBits(bytes, bit_pos, 8, scaleCode))
+        return fail(DecodeStatus::Truncated);
+    if (cfg_.dtype.groupMetaBits() > 0) {
+        if (!tryReadBits(bytes, bit_pos, cfg_.dtype.groupMetaBits(),
+                         v))
+            return fail(DecodeStatus::Truncated);
+        if (v >= codeValues_.size())
+            return fail(DecodeStatus::CorruptMeta);
+        desc.svIndex = static_cast<int>(v);
+    } else {
+        desc.svIndex =
+            cfg_.dtype.kind == DtypeKind::NonLinear ? 0 : -1;
+    }
+    if (cfg_.dtype.kind == DtypeKind::IntAsym) {
+        if (!tryReadBits(bytes, bit_pos, 8, v))
+            return fail(DecodeStatus::Truncated);
+        desc.zeroPoint = v;
+    } else {
+        desc.zeroPoint = 0.0;
+    }
+    desc.scale = scaleCode * scale_base;
+    if (cfg_.dtype.kind != DtypeKind::OliveOvp) {
+        const size_t table =
+            cfg_.dtype.kind == DtypeKind::NonLinear
+                ? static_cast<size_t>(std::max(0, desc.svIndex))
+                : 0;
+        const uint32_t limit = codeLimits_[table];
+        const auto &t = codeValues_[table];
+        for (size_t i = 0; i < n; ++i) {
+            const auto code = static_cast<uint32_t>(qdst[i]);
+            if (code >= limit)
+                return fail(DecodeStatus::CorruptCode);
+            qdst[i] = t[code];
+        }
+    }
+    return DecodeStatus::Ok;
+}
+
 PackedGroup
 GroupPacker::pack(const EncodedGroupView &enc, int scale_code) const
 {
@@ -436,6 +577,7 @@ GroupPacker::packMatrix(const EncodedMatrix &enc, int threads) const
     pm.kind_ = cfg_.dtype.kind;
     pm.codeValues_ = codeValues_;
     pm.outlierValues_ = outlierValues_;
+    pm.codeLimits_ = codeLimits_;
 
     const size_t rows = enc.rows();
     const size_t gpr = enc.groupsPerRow();
@@ -541,6 +683,95 @@ PackedMatrix::decodeGroupInto(size_t i, std::span<float> out) const
     BitReader codes(bytes_.data(), bytes_.size(), d.bitOffset);
     for (size_t e = 0; e < d.len; ++e)
         out[e] = vals[codes.get(elementBits_)];
+}
+
+DecodeStatus
+PackedMatrix::tryDecodeGroupInto(size_t i, std::span<float> out) const
+{
+    const PackedGroupDesc &d = groups_[i];
+    BITMOD_ASSERT(out.size() == d.len, "decode span size ",
+                  out.size(), " != group size ", d.len);
+    const auto fail = [&](DecodeStatus s) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        return s;
+    };
+    // Descriptors are out-of-band and trusted; the image bytes are
+    // not.  One unconditional extent check bounds the whole group
+    // (this is what catches truncateImage cuts), then every stream
+    // read still goes through the guarded BitReader so a desynced
+    // OliVe record walk cannot silently run past the image.
+    if (d.bitOffset + d.bitLen > bytes_.size() * 8)
+        return fail(DecodeStatus::Truncated);
+    const uint64_t codeBits =
+        static_cast<uint64_t>(d.len) * elementBits_;
+    if (kind_ == DtypeKind::OliveOvp) {
+        const auto &normals = codeValues_[0];
+        BitReader codes(bytes_.data(), bytes_.size(), d.bitOffset);
+        uint64_t escapes = 0;
+        for (size_t e = 0; e < d.len; ++e) {
+            const uint32_t code = codes.get(elementBits_);
+            out[e] = normals[code];
+            escapes += code == kOliveEscapeCode;
+        }
+        // The descriptor recorded the true escape count in the bit
+        // extent; a flipped element code changes the observed count
+        // and desyncs the record section — detect it exactly.
+        if (codeBits + escapes * elementBits_ + metaBits_ != d.bitLen)
+            return fail(DecodeStatus::CorruptCode);
+        if (escapes > 0) {
+            BitReader reread(bytes_.data(), bytes_.size(),
+                             d.bitOffset);
+            BitReader records(bytes_.data(), bytes_.size(),
+                              d.bitOffset + codeBits);
+            for (size_t e = 0; e < d.len; ++e)
+                if (reread.get(elementBits_) == kOliveEscapeCode)
+                    out[e] =
+                        outlierValues_[records.get(elementBits_)];
+            if (!records.ok())
+                return fail(DecodeStatus::Truncated);
+        }
+        if (!codes.ok())
+            return fail(DecodeStatus::Truncated);
+    } else {
+        const size_t table =
+            kind_ == DtypeKind::NonLinear
+                ? static_cast<size_t>(
+                      std::max(0, static_cast<int>(d.svIndex)))
+                : 0;
+        const uint32_t limit = codeLimits_[table];
+        const float *vals = codeValues_[table].data();
+        BitReader codes(bytes_.data(), bytes_.size(), d.bitOffset);
+        for (size_t e = 0; e < d.len; ++e) {
+            const uint32_t code = codes.get(elementBits_);
+            if (code >= limit)
+                return fail(DecodeStatus::CorruptCode);
+            out[e] = vals[code];
+        }
+        if (!codes.ok())
+            return fail(DecodeStatus::Truncated);
+    }
+    // Cross-check the in-stream metadata against the descriptor
+    // mirror: the trusted decode never reads these bits (the
+    // descriptor is authoritative), so a flip there is invisible to
+    // the fast path — this is where checked decode earns its keep on
+    // scale-code faults.
+    BitReader meta(bytes_.data(), bytes_.size(),
+                   d.bitOffset + d.bitLen - metaBits_);
+    if (meta.get(8) != d.scaleCode)
+        return fail(DecodeStatus::CorruptMeta);
+    const int selectorBits =
+        metaBits_ - 8 - (kind_ == DtypeKind::IntAsym ? 8 : 0);
+    if (selectorBits > 0 &&
+        meta.get(selectorBits) !=
+            static_cast<uint32_t>(
+                std::max(0, static_cast<int>(d.svIndex))))
+        return fail(DecodeStatus::CorruptMeta);
+    if (kind_ == DtypeKind::IntAsym &&
+        meta.get(8) != static_cast<uint32_t>(d.zeroPoint))
+        return fail(DecodeStatus::CorruptMeta);
+    if (!meta.ok())
+        return fail(DecodeStatus::Truncated);
+    return DecodeStatus::Ok;
 }
 
 double

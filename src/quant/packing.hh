@@ -38,6 +38,27 @@
 namespace bitmod
 {
 
+/**
+ * Outcome of a recoverable decode over a (possibly corrupted) packed
+ * stream.  The unchecked fast path assumes trusted bits; the checked
+ * path returns one of these instead of asserting, so a flipped bit in
+ * DRAM degrades to a quarantined group rather than an abort or an
+ * out-of-bounds read.
+ */
+enum class DecodeStatus : uint8_t
+{
+    Ok = 0,
+    /** Group extent (or a field read) runs past the image end. */
+    Truncated,
+    /** An element / escape code names no value in the code tables. */
+    CorruptCode,
+    /** In-stream metadata disagrees with the out-of-band descriptor. */
+    CorruptMeta,
+};
+
+/** Human-readable name of a DecodeStatus (for logs and reports). */
+const char *decodeStatusName(DecodeStatus s);
+
 /** One group's packed image. */
 struct PackedGroup
 {
@@ -114,6 +135,66 @@ class PackedMatrix
     /** Byte size of the DRAM image (descriptors excluded). */
     size_t imageBytes() const { return bytes_.size(); }
 
+    /**
+     * Mutable view of the bit image — the fault-injection hook.  The
+     * descriptors stay out-of-band and untouched, exactly like a DRAM
+     * bit flip corrupts stored bytes but not the access plan.
+     */
+    std::span<uint8_t>
+    mutableBytes()
+    {
+        return {bytes_.data(), bytes_.size()};
+    }
+
+    /** First image byte of row @p r (rows are byte-aligned). */
+    size_t
+    rowByteOffset(size_t r) const
+    {
+        return groups_[r * groupsPerRow_].bitOffset / 8;
+    }
+    /** One past the last image byte of row @p r. */
+    size_t
+    rowByteEnd(size_t r) const
+    {
+        return r + 1 < rows_ ? rowByteOffset(r + 1) : bytes_.size();
+    }
+    /** Image bytes of row @p r. */
+    std::span<const uint8_t>
+    rowBytes(size_t r) const
+    {
+        return bytes().subspan(rowByteOffset(r),
+                               rowByteEnd(r) - rowByteOffset(r));
+    }
+    /** Mutable image bytes of row @p r (ECC scrub-in-place hook). */
+    std::span<uint8_t>
+    mutableRowBytes(size_t r)
+    {
+        return mutableBytes().subspan(rowByteOffset(r),
+                                      rowByteEnd(r) - rowByteOffset(r));
+    }
+
+    /**
+     * Truncate the image to @p new_bytes bytes (fault model for a cut
+     * transfer).  Descriptors are left pointing past the end — that is
+     * the point: checked decodes must report Truncated, never read out
+     * of bounds.
+     */
+    void
+    truncateImage(size_t new_bytes)
+    {
+        if (new_bytes < bytes_.size())
+            bytes_.resize(new_bytes);
+    }
+
+    /**
+     * Route PackedMatrix consumers (PeColumn's packed strip source)
+     * through the recoverable tryDecodeGroupInto instead of the
+     * trusted fast path.  Off by default: the trusted path stays
+     * bit-identical and branch-free.
+     */
+    void setCheckedDecode(bool on) { checkedDecode_ = on; }
+    bool checkedDecode() const { return checkedDecode_; }
+
     /** Out-of-band second-level scale base of row @p r (0 if none). */
     double
     rowScaleBase(size_t r) const
@@ -133,6 +214,18 @@ class PackedMatrix
      */
     void decodeGroupInto(size_t i, std::span<float> out) const;
 
+    /**
+     * Recoverable variant of decodeGroupInto for untrusted images:
+     * bounds are enforced unconditionally (Release too), codes are
+     * validated against the tables' populated entries, OliVe escape
+     * records are checked against the group's recorded bit extent,
+     * and the in-stream metadata is cross-checked against the
+     * out-of-band descriptor mirror.  On any non-Ok status @p out is
+     * zero-filled so a quarantined group contributes nothing.
+     */
+    DecodeStatus tryDecodeGroupInto(size_t i,
+                                    std::span<float> out) const;
+
   private:
     friend class GroupPacker;
 
@@ -141,6 +234,7 @@ class PackedMatrix
     size_t elementCount_ = 0;
     int elementBits_ = 0;
     int metaBits_ = 0;
+    bool checkedDecode_ = false;
     DtypeKind kind_ = DtypeKind::Identity;
     std::vector<uint8_t> bytes_;
     std::vector<PackedGroupDesc> groups_;
@@ -149,6 +243,8 @@ class PackedMatrix
     std::vector<std::vector<float>> codeValues_;
     /** OliVe escape records: (sign<<(b-1) | magIdx) → signed abfloat. */
     std::vector<float> outlierValues_;
+    /** Valid codes per table (< table size when a grid underfills). */
+    std::vector<uint32_t> codeLimits_;
 };
 
 /**
@@ -185,6 +281,20 @@ class GroupPacker
     void unpackInto(std::span<const uint8_t> bytes, size_t &bit_pos,
                     std::span<float> qdst, GroupDesc &desc,
                     double scale_base) const;
+
+    /**
+     * Recoverable unpackInto for untrusted bitstreams: every read is
+     * bounds-checked unconditionally and every code is validated
+     * before it indexes a table.  Returns Truncated when the stream
+     * ends mid-field and CorruptCode when a code names no populated
+     * table entry; on any non-Ok status @p qdst is zero-filled and
+     * @p bit_pos is left past the last attempted field (never past
+     * the stream end).  The fuzz harness drives this entry point.
+     */
+    DecodeStatus tryUnpackInto(std::span<const uint8_t> bytes,
+                               size_t &bit_pos, std::span<float> qdst,
+                               GroupDesc &desc,
+                               double scale_base) const;
 
     /**
      * Pack one encoded group (with its INT8 scale code).  Takes a
@@ -246,6 +356,8 @@ class GroupPacker
     std::vector<std::vector<float>> codeValues_;
     std::vector<float> outlierValues_;
     std::vector<double> outlierMags_;  //!< abfloat magnitudes, sorted
+    /** Valid codes per table (grids may underfill 2^elementBits). */
+    std::vector<uint32_t> codeLimits_;
 };
 
 /** OliVe outlier escape: element code 0 never names a normal value. */

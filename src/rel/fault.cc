@@ -1,0 +1,137 @@
+#include "rel/fault.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "quant/packing.hh"
+
+namespace bitmod
+{
+
+namespace
+{
+
+/**
+ * Bit extent [lo, hi) of @p site within group @p d of an image with
+ * @p meta_bits of in-stream metadata per group.
+ */
+void
+siteRange(const PackedGroupDesc &d, int element_bits, int meta_bits,
+          FaultSite site, uint64_t &lo, uint64_t &hi)
+{
+    const uint64_t codeEnd =
+        d.bitOffset + static_cast<uint64_t>(d.len) * element_bits;
+    const uint64_t metaStart = d.bitOffset + d.bitLen - meta_bits;
+    switch (site) {
+      case FaultSite::AnyBit:
+        lo = d.bitOffset;
+        hi = d.bitOffset + d.bitLen;
+        return;
+      case FaultSite::ElementCode:
+        lo = d.bitOffset;
+        hi = codeEnd;
+        return;
+      case FaultSite::ScaleCode:
+        lo = metaStart;
+        hi = metaStart + 8;
+        return;
+      case FaultSite::GroupMeta:
+        lo = metaStart;
+        hi = d.bitOffset + d.bitLen;
+        return;
+      case FaultSite::OliveRecord:
+        lo = codeEnd;
+        hi = metaStart;  // empty unless the group has escapes
+        return;
+    }
+    BITMOD_PANIC("unhandled fault site");
+}
+
+} // namespace
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::AnyBit:
+        return "any-bit";
+      case FaultSite::ElementCode:
+        return "element-code";
+      case FaultSite::ScaleCode:
+        return "scale-code";
+      case FaultSite::GroupMeta:
+        return "group-meta";
+      case FaultSite::OliveRecord:
+        return "olive-record";
+    }
+    return "unknown";
+}
+
+void
+FaultInjector::flipBit(PackedMatrix &pm, uint64_t bit_index)
+{
+    const auto image = pm.mutableBytes();
+    BITMOD_ASSERT(bit_index < image.size() * 8,
+                  "fault bit ", bit_index, " outside image of ",
+                  image.size(), " bytes");
+    image[bit_index >> 3] ^=
+        static_cast<uint8_t>(1u << (bit_index & 7));
+}
+
+std::vector<Fault>
+FaultInjector::injectRate(PackedMatrix &pm, double ber)
+{
+    BITMOD_ASSERT(ber >= 0.0 && ber <= 1.0, "bad bit-error rate");
+    std::vector<Fault> faults;
+    const uint64_t totalBits =
+        static_cast<uint64_t>(pm.imageBytes()) * 8;
+    if (ber <= 0.0 || totalBits == 0)
+        return faults;
+    // Geometric gap sampling: the distance to the next flipped bit is
+    // Geometric(ber), so sparse rates cost O(flips) draws.
+    const double logq = std::log1p(-ber);
+    uint64_t pos = 0;
+    while (true) {
+        if (ber < 1.0) {
+            const double u = rng_.uniform();
+            pos += static_cast<uint64_t>(
+                std::floor(std::log1p(-u) / logq));
+        }
+        if (pos >= totalBits)
+            break;
+        flipBit(pm, pos);
+        faults.push_back({pos, 0});
+        ++pos;
+    }
+    return faults;
+}
+
+std::vector<Fault>
+FaultInjector::injectTargeted(PackedMatrix &pm, FaultSite site,
+                              size_t flips)
+{
+    std::vector<Fault> faults;
+    if (pm.size() == 0)
+        return faults;
+    // A site can be empty for a drawn group (OliVe records on an
+    // escape-free group); bound the re-draws so an image with no such
+    // site anywhere terminates with fewer faults, not a hang.
+    const size_t maxDraws = flips * 64 + 64;
+    size_t draws = 0;
+    while (faults.size() < flips && draws < maxDraws) {
+        ++draws;
+        const size_t g = rng_.below(pm.size());
+        uint64_t lo = 0;
+        uint64_t hi = 0;
+        siteRange(pm.desc(g), pm.elementBits(), pm.metaBits(), site,
+                  lo, hi);
+        if (hi <= lo)
+            continue;
+        const uint64_t bit = lo + rng_.below(hi - lo);
+        flipBit(pm, bit);
+        faults.push_back({bit, g});
+    }
+    return faults;
+}
+
+} // namespace bitmod

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection over a PackedMatrix bit
+ * image — the reproducible corruption source the integrity layer,
+ * fuzz harness and resilience bench all drive.  Faults are plain bit
+ * flips in the stored bytes (the DRAM error model); the out-of-band
+ * descriptors stay pristine, exactly as a memory error corrupts data
+ * but not the access plan.
+ *
+ * Two modes: a uniform bit-error rate over the whole image (geometric
+ * gap sampling, so sparse rates on large images stay cheap), and
+ * targeted flips at structurally meaningful sites — element codes,
+ * the in-stream scale code, the wider metadata field, or OliVe escape
+ * records — so tests can probe each failure class separately.
+ */
+
+#ifndef BITMOD_REL_FAULT_HH
+#define BITMOD_REL_FAULT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace bitmod
+{
+
+class PackedMatrix;
+
+/** Which structural region of a packed group a fault targets. */
+enum class FaultSite : uint8_t
+{
+    AnyBit = 0,   //!< anywhere in the image
+    ElementCode,  //!< the fixed-width element code section
+    ScaleCode,    //!< the in-stream 8-bit scale code
+    GroupMeta,    //!< the whole metadata tail (scale/selector/zp)
+    OliveRecord,  //!< trailing OliVe escape records (may be empty)
+};
+
+/** Name of a FaultSite (for logs and bench JSON). */
+const char *faultSiteName(FaultSite site);
+
+/** One injected fault, for reproduction and reporting. */
+struct Fault
+{
+    uint64_t bitIndex = 0;  //!< absolute bit position in the image
+    size_t group = 0;       //!< owning group (AnyBit: best effort)
+};
+
+/** Deterministic bit-flip injector over a PackedMatrix image. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+    /**
+     * Flip each image bit independently with probability @p ber
+     * (sampled via geometric gaps — O(flips), not O(bits)).  Returns
+     * the flipped positions in ascending order.
+     */
+    std::vector<Fault> injectRate(PackedMatrix &pm, double ber);
+
+    /**
+     * Flip @p flips bits uniformly at random within the @p site
+     * region of randomly chosen groups.  Sites that are empty for
+     * the image's datatype (e.g. OliveRecord on an escape-free
+     * group) are re-drawn; returns the faults actually injected
+     * (fewer than @p flips only if no group has the site at all).
+     */
+    std::vector<Fault> injectTargeted(PackedMatrix &pm,
+                                      FaultSite site, size_t flips);
+
+    /** Flip one absolute bit of the image. */
+    static void flipBit(PackedMatrix &pm, uint64_t bit_index);
+
+  private:
+    Rng rng_;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_REL_FAULT_HH

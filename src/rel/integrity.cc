@@ -1,0 +1,290 @@
+#include "rel/integrity.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "quant/packing.hh"
+
+namespace bitmod
+{
+
+namespace
+{
+
+/** Lazily built reflected CRC-32C table (poly 0x82F63B78). */
+const uint32_t *
+crc32cTable()
+{
+    static const auto table = [] {
+        std::vector<uint32_t> t(256);
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table.data();
+}
+
+/**
+ * SECDED(72,64) position maps: data bit j lives at the j-th
+ * non-power-of-two codeword position in 1..71; the 7 Hamming parity
+ * bits sit at the power-of-two positions and the 8th parity bit
+ * covers the whole codeword.
+ */
+struct SecdedTables
+{
+    uint8_t posOf[64] = {};
+    int8_t dataOf[72];
+
+    SecdedTables()
+    {
+        for (int pos = 0; pos < 72; ++pos)
+            dataOf[pos] = -1;
+        int j = 0;
+        for (int pos = 1; pos <= 71; ++pos) {
+            if ((pos & (pos - 1)) == 0)
+                continue;
+            posOf[j] = static_cast<uint8_t>(pos);
+            dataOf[pos] = static_cast<int8_t>(j);
+            ++j;
+        }
+        BITMOD_ASSERT(j == 64, "SECDED position map incomplete");
+    }
+};
+
+const SecdedTables &
+secdedTables()
+{
+    static const SecdedTables t;
+    return t;
+}
+
+/**
+ * XOR of the codeword positions of @p word's set data bits — the
+ * Hamming syndrome contribution of the data, and (bit for bit) the
+ * values of the 7 parity bits.
+ */
+uint32_t
+dataSyndrome(uint64_t word)
+{
+    const SecdedTables &t = secdedTables();
+    uint32_t s = 0;
+    while (word != 0) {
+        s ^= t.posOf[std::countr_zero(word)];
+        word &= word - 1;
+    }
+    return s;
+}
+
+/** Load up to 8 row bytes as a little-endian word (zero-padded). */
+uint64_t
+loadWord(std::span<const uint8_t> row, size_t byte0)
+{
+    const size_t n = std::min<size_t>(8, row.size() - byte0);
+    uint64_t w = 0;
+    std::memcpy(&w, row.data() + byte0, n);
+    return w;
+}
+
+void
+storeWord(std::span<uint8_t> row, size_t byte0, uint64_t w)
+{
+    const size_t n = std::min<size_t>(8, row.size() - byte0);
+    std::memcpy(row.data() + byte0, &w, n);
+}
+
+} // namespace
+
+const char *
+protectionSchemeName(ProtectionScheme s)
+{
+    switch (s) {
+      case ProtectionScheme::None:
+        return "none";
+      case ProtectionScheme::Crc:
+        return "crc";
+      case ProtectionScheme::CrcSecded:
+        return "crc+secded";
+    }
+    return "unknown";
+}
+
+uint32_t
+crc32c(std::span<const uint8_t> data)
+{
+    const uint32_t *table = crc32cTable();
+    uint32_t c = 0xFFFFFFFFu;
+    for (const uint8_t b : data)
+        c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+uint8_t
+secdedEncode(uint64_t word)
+{
+    const uint32_t p = dataSyndrome(word);
+    const int ones = std::popcount(word) + std::popcount(p);
+    return static_cast<uint8_t>(p | ((ones & 1) << 7));
+}
+
+SecdedResult
+secdedDecode(uint64_t &word, uint8_t parity)
+{
+    const uint32_t storedP = parity & 0x7Fu;
+    const uint32_t s = dataSyndrome(word) ^ storedP;
+    const int ones = std::popcount(word) + std::popcount(storedP) +
+                     ((parity >> 7) & 1);
+    const bool overallErr = (ones & 1) != 0;
+    if (s == 0)
+        // Either pristine, or only the overall parity bit flipped
+        // (nothing in the data word to repair).
+        return overallErr ? SecdedResult::Corrected
+                          : SecdedResult::Clean;
+    if (!overallErr)
+        // Nonzero syndrome with even overall parity: an even number
+        // of flips — beyond SECDED's correction power.
+        return SecdedResult::Uncorrectable;
+    if (s > 71)
+        return SecdedResult::Uncorrectable;
+    if ((s & (s - 1)) == 0)
+        // A Hamming parity bit itself flipped; data is intact.
+        return SecdedResult::Corrected;
+    word ^= uint64_t(1) << secdedTables().dataOf[s];
+    return SecdedResult::Corrected;
+}
+
+ImageProtection::ImageProtection(const PackedMatrix &pm,
+                                 const ProtectionConfig &cfg)
+    : cfg_(cfg), rows_(pm.rows())
+{
+    BITMOD_ASSERT(cfg.scheme != ProtectionScheme::None,
+                  "building a protection sidecar with scheme none");
+    rowCrcOff_.assign(rows_ + 1, 0);
+    rowParityOff_.assign(rows_ + 1, 0);
+    for (size_t r = 0; r < rows_; ++r) {
+        const std::span<const uint8_t> row = pm.rowBytes(r);
+        imageBytes_ += row.size();
+        const size_t bs = blockSize(row.size());
+        for (size_t b0 = 0; b0 < row.size(); b0 += bs)
+            crcs_.push_back(crc32c(row.subspan(
+                b0, std::min(bs, row.size() - b0))));
+        if (cfg_.scheme == ProtectionScheme::CrcSecded)
+            for (size_t w0 = 0; w0 < row.size(); w0 += 8)
+                parity_.push_back(secdedEncode(loadWord(row, w0)));
+        rowCrcOff_[r + 1] = crcs_.size();
+        rowParityOff_[r + 1] = parity_.size();
+    }
+}
+
+size_t
+ImageProtection::blockSize(size_t row_bytes) const
+{
+    return cfg_.crcBlockBytes == 0 ? std::max<size_t>(1, row_bytes)
+                                   : cfg_.crcBlockBytes;
+}
+
+size_t
+ImageProtection::bytes() const
+{
+    return crcs_.size() * 4 + parity_.size();
+}
+
+double
+ImageProtection::overheadRatio() const
+{
+    return imageBytes_ == 0
+               ? 0.0
+               : static_cast<double>(bytes()) /
+                     static_cast<double>(imageBytes_);
+}
+
+size_t
+ImageProtection::rowBlocks(size_t r) const
+{
+    return rowCrcOff_[r + 1] - rowCrcOff_[r];
+}
+
+int
+ImageProtection::verifyRow(const PackedMatrix &pm, size_t r) const
+{
+    const std::span<const uint8_t> row = pm.rowBytes(r);
+    const size_t bs = blockSize(row.size());
+    int bad = 0;
+    size_t c = rowCrcOff_[r];
+    for (size_t b0 = 0; b0 < row.size(); b0 += bs, ++c)
+        bad += crc32c(row.subspan(b0, std::min(bs, row.size() - b0)))
+               != crcs_[c];
+    BITMOD_ASSERT(c == rowCrcOff_[r + 1],
+                  "row ", r, " block layout drifted");
+    return bad;
+}
+
+RowScrub
+ImageProtection::scrubRow(PackedMatrix &pm, size_t r) const
+{
+    RowScrub out;
+    const std::span<uint8_t> row = pm.mutableRowBytes(r);
+    if (cfg_.scheme == ProtectionScheme::CrcSecded) {
+        size_t p = rowParityOff_[r];
+        for (size_t w0 = 0; w0 < row.size(); w0 += 8, ++p) {
+            uint64_t w = loadWord(row, w0);
+            switch (secdedDecode(w, parity_[p])) {
+              case SecdedResult::Clean:
+                break;
+              case SecdedResult::Corrected:
+                storeWord(row, w0, w);
+                ++out.correctedWords;
+                break;
+              case SecdedResult::Uncorrectable:
+                ++out.uncorrectableWords;
+                break;
+            }
+        }
+    }
+    out.badBlocks = verifyRow(pm, r);
+    return out;
+}
+
+ScrubReport
+ImageProtection::scrub(PackedMatrix &pm) const
+{
+    ScrubReport rep;
+    for (size_t r = 0; r < rows_; ++r) {
+        const RowScrub rs = scrubRow(pm, r);
+        rep.correctedWords += rs.correctedWords;
+        rep.uncorrectableWords += rs.uncorrectableWords;
+        rep.badBlocks += rs.badBlocks;
+        rep.totalBlocks += static_cast<long>(rowBlocks(r));
+    }
+    return rep;
+}
+
+size_t
+analyticProtectionBytes(size_t row_bytes, const ProtectionConfig &cfg)
+{
+    if (cfg.scheme == ProtectionScheme::None || row_bytes == 0)
+        return 0;
+    const size_t bs = cfg.crcBlockBytes == 0 ? row_bytes
+                                             : cfg.crcBlockBytes;
+    const size_t blocks = (row_bytes + bs - 1) / bs;
+    size_t bytes = blocks * 4;
+    if (cfg.scheme == ProtectionScheme::CrcSecded)
+        bytes += (row_bytes + 7) / 8;
+    return bytes;
+}
+
+double
+protectionOverheadRatio(size_t row_bytes, const ProtectionConfig &cfg)
+{
+    if (row_bytes == 0)
+        return 0.0;
+    return static_cast<double>(
+               analyticProtectionBytes(row_bytes, cfg)) /
+           static_cast<double>(row_bytes);
+}
+
+} // namespace bitmod

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Integrity protection over the packed DRAM image: per-row block
+ * CRC-32C for detection plus a modeled SECDED(72,64) ECC tier for
+ * single-bit correction.  The protection metadata lives in a sidecar
+ * (ImageProtection) rather than interleaved into the bitstream — the
+ * packed image stays byte-identical with protection off, and the
+ * sidecar's byte count is exactly what a deployment would co-locate
+ * with each row burst (the same per-burst transform hook a
+ * compression-capable memory controller would use, see ROADMAP).
+ *
+ * The overhead is charged honestly: analyticProtectionBytes /
+ * protectionOverheadRatio feed PrecisionSpec::weightProtectionOverhead
+ * so Fig. 7/8 traffic includes the protection bytes, and AccelSim
+ * models detected-error re-fetch retries from the block granularity
+ * chosen here.
+ */
+
+#ifndef BITMOD_REL_INTEGRITY_HH
+#define BITMOD_REL_INTEGRITY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bitmod
+{
+
+class PackedMatrix;
+
+/** How much protection the pack format carries. */
+enum class ProtectionScheme : uint8_t
+{
+    None = 0,
+    /** Detection only: CRC-32C per block, re-fetch on mismatch. */
+    Crc,
+    /** SECDED(72,64) per 64-bit word + block CRC backstop. */
+    CrcSecded,
+};
+
+/** Name of a ProtectionScheme (for reports and bench JSON). */
+const char *protectionSchemeName(ProtectionScheme s);
+
+/** Protection configuration for one packed image. */
+struct ProtectionConfig
+{
+    ProtectionScheme scheme = ProtectionScheme::None;
+    /**
+     * CRC block granularity in bytes; 0 means one block per packed
+     * row.  Smaller blocks localize detection (fewer re-fetched bytes
+     * per dirty block) at more CRC overhead — the coverage-vs-cost
+     * axis bench_fault_resilience sweeps.
+     */
+    size_t crcBlockBytes = 0;
+};
+
+/**
+ * CRC-32C (Castagnoli), reflected, init/xorout 0xFFFFFFFF — the
+ * polynomial DRAM-side link protection and storage stacks use.
+ * crc32c("123456789") == 0xE3069283.
+ */
+uint32_t crc32c(std::span<const uint8_t> data);
+
+/**
+ * SECDED(72,64): encode @p word's extended-Hamming parity byte
+ * (7 Hamming bits + overall parity).
+ */
+uint8_t secdedEncode(uint64_t word);
+
+/** Outcome of one SECDED word decode. */
+enum class SecdedResult : uint8_t
+{
+    Clean = 0,
+    Corrected,      //!< single-bit error fixed in place
+    Uncorrectable,  //!< double-bit (or worse) error detected
+};
+
+/**
+ * SECDED(72,64) decode: check @p word against @p parity, correcting
+ * a single flipped data or parity bit (the word is updated in
+ * place).
+ */
+SecdedResult secdedDecode(uint64_t &word, uint8_t parity);
+
+/** Scrub outcome for one protected row. */
+struct RowScrub
+{
+    int correctedWords = 0;      //!< SECDED single-bit fixes
+    int uncorrectableWords = 0;  //!< SECDED double-bit detections
+    int badBlocks = 0;           //!< CRC mismatches after scrubbing
+};
+
+/** Aggregate scrub outcome over a whole image. */
+struct ScrubReport
+{
+    long correctedWords = 0;
+    long uncorrectableWords = 0;
+    long badBlocks = 0;
+    long totalBlocks = 0;
+
+    bool
+    clean() const
+    {
+        return badBlocks == 0 && uncorrectableWords == 0;
+    }
+};
+
+/**
+ * Protection sidecar of one PackedMatrix: per-row block CRCs and
+ * (CrcSecded) per-64-bit-word parity bytes.  Built over the pristine
+ * image; verifyRow / scrubRow then check (and for SECDED repair) a
+ * possibly-corrupted copy of the same layout.
+ */
+class ImageProtection
+{
+  public:
+    /** Build the sidecar over @p pm's current (trusted) bytes. */
+    ImageProtection(const PackedMatrix &pm,
+                    const ProtectionConfig &cfg);
+
+    const ProtectionConfig &config() const { return cfg_; }
+
+    /** Total sidecar bytes (CRCs + parity) — the charged overhead. */
+    size_t bytes() const;
+
+    /** Sidecar bytes ÷ image bytes. */
+    double overheadRatio() const;
+
+    /** CRC blocks covering row @p r. */
+    size_t rowBlocks(size_t r) const;
+
+    /**
+     * Detection-only pass over row @p r of @p pm (which must share
+     * the build layout): count CRC-mismatched blocks.
+     */
+    int verifyRow(const PackedMatrix &pm, size_t r) const;
+
+    /**
+     * Scrub row @p r in place: SECDED-correct single-bit errors
+     * (CrcSecded only), then CRC-check the blocks.  badBlocks > 0
+     * models a re-fetch; uncorrectableWords counts words SECDED
+     * flagged as multi-bit.
+     */
+    RowScrub scrubRow(PackedMatrix &pm, size_t r) const;
+
+    /** Scrub every row; aggregate. */
+    ScrubReport scrub(PackedMatrix &pm) const;
+
+  private:
+    size_t blockSize(size_t row_bytes) const;
+
+    ProtectionConfig cfg_;
+    size_t rows_ = 0;
+    size_t imageBytes_ = 0;
+    /** Per-row start index into crcs_ (rows_ + 1 entries). */
+    std::vector<size_t> rowCrcOff_;
+    std::vector<uint32_t> crcs_;
+    /** Per-row start index into parity_ (rows_ + 1 entries). */
+    std::vector<size_t> rowParityOff_;
+    std::vector<uint8_t> parity_;
+};
+
+/**
+ * Analytic sidecar byte count for a row of @p row_bytes: CRC blocks
+ * at 4 bytes each plus one parity byte per started 64-bit word under
+ * CrcSecded.  ImageProtection::bytes() matches this exactly (summed
+ * over rows) — the property suite pins it.
+ */
+size_t analyticProtectionBytes(size_t row_bytes,
+                               const ProtectionConfig &cfg);
+
+/**
+ * Protection bytes ÷ payload bytes for rows of @p row_bytes — the
+ * ratio computePhaseTraffic charges on the weight stream.
+ */
+double protectionOverheadRatio(size_t row_bytes,
+                               const ProtectionConfig &cfg);
+
+} // namespace bitmod
+
+#endif // BITMOD_REL_INTEGRITY_HH

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Fuzz harness for the untrusted-decode surface: valid packed images
+ * are mutated (random bit flips at escalating rates, targeted site
+ * flips, truncation, wholesale garbage) and driven through every
+ * recoverable entry point — GroupPacker::tryUnpackInto,
+ * PackedMatrix::tryDecodeGroupInto, the checked PeColumn strip walk
+ * and the packed tileGemv.  The only acceptable outcome is a
+ * DecodeStatus: no crash, no hang, no sanitizer report, and every
+ * output slot either a decoded value or a quarantined zero.
+ *
+ * The suite builds into its own `bitmod_fuzz_tests` binary (ctest
+ * label `fuzz`).  All draws come from one pinned seed;
+ * BITMOD_FUZZ_SEED in the environment overrides it and the active
+ * seed is printed at startup and attached to every failure, so any
+ * crashing input reproduces exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "pe/pe_column.hh"
+#include "quant/dtype.hh"
+#include "quant/packing.hh"
+#include "quant/quantizer.hh"
+#include "rel/fault.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+// --------------------------------------------- reproducible randomness
+
+uint64_t
+fuzzSeed()
+{
+    static const uint64_t seed = [] {
+        const char *env = std::getenv("BITMOD_FUZZ_SEED");
+        return env ? std::strtoull(env, nullptr, 0)
+                   : uint64_t{0xF0225EED};
+    }();
+    return seed;
+}
+
+std::string
+seedNote()
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "BITMOD_FUZZ_SEED=0x%llx",
+                  static_cast<unsigned long long>(fuzzSeed()));
+    return buf;
+}
+
+class FuzzSeedEnvironment : public ::testing::Environment
+{
+  public:
+    void
+    SetUp() override
+    {
+        std::printf("[fuzz] %s (export it to replay this run)\n",
+                    seedNote().c_str());
+    }
+};
+
+const auto *const kSeedEnvironment =
+    ::testing::AddGlobalTestEnvironment(new FuzzSeedEnvironment);
+
+// ------------------------------------------------------------- helpers
+
+Matrix
+randomMatrix(size_t rows, size_t cols, Rng &rng)
+{
+    Matrix w(rows, cols);
+    for (float &x : w.flat())
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    // A heavy tail keeps OliVe escape records in play.
+    for (float &x : w.flat())
+        if (rng.uniform() < 0.04)
+            x *= static_cast<float>(20.0 + 40.0 * rng.uniform());
+    return w;
+}
+
+std::vector<Float16>
+randomActs(size_t n, Rng &rng)
+{
+    std::vector<Float16> acts;
+    acts.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian()));
+    return acts;
+}
+
+std::vector<Dtype>
+fuzzDtypes()
+{
+    return {dtypes::bitmodFp4(), dtypes::bitmodFp3(),
+            dtypes::intSym(4), dtypes::intAsym(4), dtypes::flint(4),
+            dtypes::olive(4), dtypes::mxfp(4)};
+}
+
+struct PackedCase
+{
+    QuantConfig cfg;
+    PackedMatrix pm;
+    size_t cols = 0;
+};
+
+PackedCase
+packCase(const Dtype &dt, size_t rows, size_t cols, Rng &rng)
+{
+    PackedCase c;
+    c.cfg.dtype = dt;
+    c.cfg.groupSize = 64;
+    c.cfg.scaleBits = 8;
+    c.cfg.captureEncoding = true;
+    c.cols = cols;
+    const Matrix w = randomMatrix(rows, cols, rng);
+    const auto q = quantizeMatrix(w, c.cfg);
+    c.pm = GroupPacker(c.cfg).packMatrix(q.encoded);
+    return c;
+}
+
+/**
+ * Exercise every recoverable entry point on (a possibly mutated)
+ * @p pm and assert the outputs are finite.  Returns the number of
+ * non-Ok group decodes so callers can assert detection happened.
+ */
+size_t
+driveCheckedDecode(PackedCase &c, Rng &rng)
+{
+    SCOPED_TRACE(seedNote());
+    size_t bad = 0;
+    std::vector<float> buf;
+    for (size_t i = 0; i < c.pm.size(); ++i) {
+        const auto &d = c.pm.desc(i);
+        buf.assign(d.len, -1.0f);
+        const DecodeStatus st = c.pm.tryDecodeGroupInto(i, buf);
+        if (st != DecodeStatus::Ok) {
+            ++bad;
+            for (const float v : buf)
+                EXPECT_EQ(v, 0.0f) << "quarantined group leaked data";
+        }
+        for (const float v : buf)
+            EXPECT_TRUE(std::isfinite(v));
+    }
+    // The checked GEMV must survive whatever the image contains.
+    c.pm.setCheckedDecode(true);
+    const auto acts = randomActs(c.cols, rng);
+    const PackedGemvResult res =
+        tileGemv(c.pm, c.cfg.dtype, acts, /*threads=*/2);
+    EXPECT_EQ(res.values.size(), c.pm.rows());
+    for (const double v : res.values)
+        EXPECT_TRUE(std::isfinite(v));
+    for (const uint32_t r : res.quarantinedRows) {
+        EXPECT_LT(r, c.pm.rows());
+        EXPECT_EQ(res.values[r], 0.0);
+    }
+    if (bad > 0)
+        EXPECT_NE(res.status, DecodeStatus::Ok);
+    return bad;
+}
+
+// ------------------------------------------------------ the fuzz runs
+
+/** Clean images pass through the whole checked surface untouched. */
+TEST(Fuzz, CleanImagesDecodeOk)
+{
+    Rng rng(fuzzSeed());
+    for (const Dtype &dt : fuzzDtypes()) {
+        SCOPED_TRACE(dt.name);
+        PackedCase c = packCase(dt, 12, 192, rng);
+        EXPECT_EQ(driveCheckedDecode(c, rng), 0u) << seedNote();
+    }
+}
+
+/** Random bit flips at escalating rates: detect-or-decode, never die. */
+TEST(Fuzz, RandomBitFlipsNeverCrash)
+{
+    Rng rng(fuzzSeed() ^ 0x1);
+    const double rates[] = {1e-5, 1e-4, 1e-3, 1e-2, 0.1};
+    for (const Dtype &dt : fuzzDtypes()) {
+        SCOPED_TRACE(dt.name);
+        for (const double ber : rates) {
+            PackedCase c = packCase(dt, 8, 192, rng);
+            FaultInjector inj(rng.next());
+            inj.injectRate(c.pm, ber);
+            driveCheckedDecode(c, rng);
+        }
+    }
+}
+
+/** Targeted flips at every site class the injector knows. */
+TEST(Fuzz, TargetedSiteFlipsNeverCrash)
+{
+    Rng rng(fuzzSeed() ^ 0x2);
+    const FaultSite sites[] = {FaultSite::ElementCode,
+                               FaultSite::ScaleCode,
+                               FaultSite::GroupMeta,
+                               FaultSite::OliveRecord};
+    for (const Dtype &dt : fuzzDtypes()) {
+        SCOPED_TRACE(dt.name);
+        for (const FaultSite site : sites) {
+            SCOPED_TRACE(faultSiteName(site));
+            PackedCase c = packCase(dt, 6, 128, rng);
+            FaultInjector inj(rng.next());
+            inj.injectTargeted(c.pm, site, 16);
+            driveCheckedDecode(c, rng);
+        }
+    }
+}
+
+/** Truncation at every byte boundary class: Truncated, not a crash. */
+TEST(Fuzz, TruncationIsDetectedNotFatal)
+{
+    Rng rng(fuzzSeed() ^ 0x3);
+    for (const Dtype &dt : fuzzDtypes()) {
+        SCOPED_TRACE(dt.name);
+        PackedCase c = packCase(dt, 6, 128, rng);
+        const size_t full = c.pm.imageBytes();
+        // A spread of cut points incl. mid-row, one byte, and empty.
+        const size_t cuts[] = {full - 1, full / 2, full / 3, 1, 0};
+        for (const size_t cut : cuts) {
+            PackedCase t = c;
+            t.pm.truncateImage(cut);
+            const size_t bad = driveCheckedDecode(t, rng);
+            if (cut < full / 2)
+                EXPECT_GT(bad, 0u)
+                    << "deep truncation went unnoticed; " << seedNote();
+        }
+    }
+}
+
+/** Wholesale garbage: every byte random, plus flipped-then-truncated. */
+TEST(Fuzz, GarbageImagesNeverCrash)
+{
+    Rng rng(fuzzSeed() ^ 0x4);
+    for (const Dtype &dt : fuzzDtypes()) {
+        SCOPED_TRACE(dt.name);
+        for (int trial = 0; trial < 4; ++trial) {
+            PackedCase c = packCase(dt, 6, 128, rng);
+            for (uint8_t &b : c.pm.mutableBytes())
+                b = static_cast<uint8_t>(rng.below(256));
+            if (trial & 1)
+                c.pm.truncateImage(c.pm.imageBytes() / 2);
+            driveCheckedDecode(c, rng);
+        }
+    }
+}
+
+/**
+ * tryUnpackInto on raw random bitstreams: the group-level decoder is
+ * handed buffers that were never produced by a packer, at random
+ * starting bit positions, and must return a status without reading
+ * out of bounds (the sanitizer job enforces the "without").
+ */
+TEST(Fuzz, TryUnpackIntoSurvivesRawGarbage)
+{
+    Rng rng(fuzzSeed() ^ 0x5);
+    for (const Dtype &dt : fuzzDtypes()) {
+        SCOPED_TRACE(dt.name);
+        QuantConfig cfg;
+        cfg.dtype = dt;
+        cfg.groupSize = 64;
+        cfg.scaleBits = 8;
+        const GroupPacker packer(cfg);
+        std::vector<float> qdst(cfg.groupSize);
+        for (int trial = 0; trial < 64; ++trial) {
+            std::vector<uint8_t> bytes(rng.below(96));
+            for (auto &b : bytes)
+                b = static_cast<uint8_t>(rng.below(256));
+            size_t bit_pos =
+                bytes.empty() ? 0 : rng.below(bytes.size() * 8 + 16);
+            GroupDesc desc;
+            const DecodeStatus st = packer.tryUnpackInto(
+                bytes, bit_pos, qdst, desc, 0.0125);
+            ASSERT_LE(bit_pos, bytes.size() * 8) << seedNote();
+            if (st != DecodeStatus::Ok)
+                for (const float v : qdst)
+                    ASSERT_EQ(v, 0.0f);
+            for (const float v : qdst)
+                ASSERT_TRUE(std::isfinite(v));
+        }
+    }
+}
+
+/**
+ * The checked strip walk is deterministic: the same mutated image
+ * decoded twice quarantines the same groups and produces the same
+ * outputs (no hidden state leaks between strips or calls).
+ */
+TEST(Fuzz, CheckedDecodeIsDeterministic)
+{
+    Rng rng(fuzzSeed() ^ 0x6);
+    PackedCase c = packCase(dtypes::bitmodFp4(), 10, 256, rng);
+    FaultInjector inj(rng.next());
+    inj.injectRate(c.pm, 1e-3);
+    c.pm.setCheckedDecode(true);
+    const auto acts = randomActs(c.cols, rng);
+    const auto a = tileGemv(c.pm, c.cfg.dtype, acts, 1);
+    const auto b = tileGemv(c.pm, c.cfg.dtype, acts, 4);
+    ASSERT_EQ(a.values, b.values) << seedNote();
+    EXPECT_EQ(a.corruptGroups, b.corruptGroups);
+    EXPECT_EQ(a.quarantinedRows, b.quarantinedRows);
+}
+
+} // namespace
+} // namespace bitmod

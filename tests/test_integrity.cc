@@ -1,0 +1,546 @@
+/**
+ * @file
+ * Tests for the reliability layer: CRC-32C and SECDED(72,64)
+ * primitives, the ImageProtection sidecar (byte accounting against
+ * the analytic formula, detection, scrub-in-place repair), the
+ * deterministic FaultInjector, the recoverable DecodeStatus paths
+ * (tryDecodeGroupInto / tryUnpackInto / checked PE strips), and the
+ * AccelSim retry model's expected-value bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/perf_model.hh"
+#include "common/rng.hh"
+#include "model/llm_zoo.hh"
+#include "pe/pe_column.hh"
+#include "quant/dtype.hh"
+#include "quant/packing.hh"
+#include "rel/fault.hh"
+#include "rel/integrity.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+Matrix
+randomMatrix(size_t rows, size_t cols, Rng &rng, double sigma = 0.02)
+{
+    Matrix w(rows, cols);
+    for (float &x : w.flat())
+        x = static_cast<float>(rng.gaussian(0.0, sigma));
+    return w;
+}
+
+std::vector<Float16>
+randomActs(size_t n, Rng &rng)
+{
+    std::vector<Float16> acts;
+    acts.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian()));
+    return acts;
+}
+
+/** Heavy tail so OliVe actually places escape records. */
+Matrix
+outlierMatrix(size_t rows, size_t cols, Rng &rng)
+{
+    Matrix w = randomMatrix(rows, cols, rng);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            if (rng.uniform() < 0.04)
+                w(r, c) *= static_cast<float>(20.0 +
+                                              40.0 * rng.uniform());
+    return w;
+}
+
+PackedMatrix
+packDtype(const Dtype &dt, size_t rows, size_t cols, Rng &rng,
+          QuantConfig *cfg_out = nullptr)
+{
+    QuantConfig cfg;
+    cfg.dtype = dt;
+    cfg.groupSize = 64;
+    cfg.scaleBits = 8;
+    cfg.captureEncoding = true;
+    const Matrix w = dt.kind == DtypeKind::OliveOvp
+                         ? outlierMatrix(rows, cols, rng)
+                         : randomMatrix(rows, cols, rng);
+    const auto q = quantizeMatrix(w, cfg);
+    if (cfg_out)
+        *cfg_out = cfg;
+    return GroupPacker(cfg).packMatrix(q.encoded);
+}
+
+std::vector<Dtype>
+testDtypes()
+{
+    return {dtypes::bitmodFp4(), dtypes::bitmodFp3(),
+            dtypes::intSym(4), dtypes::intAsym(4), dtypes::flint(4),
+            dtypes::olive(4), dtypes::mxfp(4)};
+}
+
+// ------------------------------------------------------------ CRC-32C
+
+TEST(Crc32c, KnownAnswer)
+{
+    const char *msg = "123456789";
+    const std::span<const uint8_t> data{
+        reinterpret_cast<const uint8_t *>(msg), 9};
+    EXPECT_EQ(crc32c(data), 0xE3069283u);
+    EXPECT_EQ(crc32c({}), 0u);
+}
+
+TEST(Crc32c, DetectsAnySingleByteChange)
+{
+    Rng rng(11);
+    std::vector<uint8_t> buf(257);
+    for (auto &b : buf)
+        b = static_cast<uint8_t>(rng.below(256));
+    const uint32_t ref = crc32c(buf);
+    for (size_t i = 0; i < buf.size(); i += 13) {
+        auto copy = buf;
+        copy[i] ^= 0x40;
+        EXPECT_NE(crc32c(copy), ref) << "byte " << i;
+    }
+}
+
+// ------------------------------------------------------------- SECDED
+
+TEST(Secded, CorrectsEverySingleDataBit)
+{
+    Rng rng(22);
+    for (int trial = 0; trial < 8; ++trial) {
+        const uint64_t word = rng.next();
+        const uint8_t parity = secdedEncode(word);
+        for (int b = 0; b < 64; ++b) {
+            uint64_t w = word ^ (uint64_t(1) << b);
+            EXPECT_EQ(secdedDecode(w, parity),
+                      SecdedResult::Corrected);
+            EXPECT_EQ(w, word) << "bit " << b;
+        }
+    }
+}
+
+TEST(Secded, CorrectsParityBitFlipsAndFlagsCleanWords)
+{
+    Rng rng(33);
+    const uint64_t word = rng.next();
+    const uint8_t parity = secdedEncode(word);
+    uint64_t w = word;
+    EXPECT_EQ(secdedDecode(w, parity), SecdedResult::Clean);
+    for (int b = 0; b < 8; ++b) {
+        w = word;
+        EXPECT_EQ(secdedDecode(w, parity ^ (1u << b)),
+                  SecdedResult::Corrected);
+        EXPECT_EQ(w, word);
+    }
+}
+
+TEST(Secded, DetectsDoubleBitErrors)
+{
+    Rng rng(44);
+    for (int trial = 0; trial < 64; ++trial) {
+        const uint64_t word = rng.next();
+        const uint8_t parity = secdedEncode(word);
+        const int b1 = static_cast<int>(rng.below(64));
+        int b2 = static_cast<int>(rng.below(64));
+        while (b2 == b1)
+            b2 = static_cast<int>(rng.below(64));
+        uint64_t w =
+            word ^ (uint64_t(1) << b1) ^ (uint64_t(1) << b2);
+        EXPECT_EQ(secdedDecode(w, parity),
+                  SecdedResult::Uncorrectable);
+    }
+}
+
+// ---------------------------------------------------- ImageProtection
+
+TEST(ImageProtection, BytesMatchAnalyticFormula)
+{
+    Rng rng(55);
+    for (const Dtype &dt : testDtypes()) {
+        PackedMatrix pm = packDtype(dt, 6, 192, rng);
+        for (const ProtectionConfig cfg :
+             {ProtectionConfig{ProtectionScheme::Crc, 0},
+              ProtectionConfig{ProtectionScheme::Crc, 64},
+              ProtectionConfig{ProtectionScheme::CrcSecded, 0},
+              ProtectionConfig{ProtectionScheme::CrcSecded, 32}}) {
+            const ImageProtection prot(pm, cfg);
+            size_t expect = 0;
+            for (size_t r = 0; r < pm.rows(); ++r)
+                expect += analyticProtectionBytes(
+                    pm.rowBytes(r).size(), cfg);
+            EXPECT_EQ(prot.bytes(), expect)
+                << dt.name << " scheme "
+                << protectionSchemeName(cfg.scheme) << " block "
+                << cfg.crcBlockBytes;
+            EXPECT_GT(prot.overheadRatio(), 0.0);
+        }
+    }
+}
+
+TEST(ImageProtection, BuildDoesNotMutateImage)
+{
+    Rng rng(66);
+    PackedMatrix pm = packDtype(dtypes::bitmodFp4(), 4, 256, rng);
+    const std::vector<uint8_t> before(pm.bytes().begin(),
+                                      pm.bytes().end());
+    const ImageProtection prot(
+        pm, {ProtectionScheme::CrcSecded, 0});
+    EXPECT_TRUE(std::equal(before.begin(), before.end(),
+                           pm.bytes().begin()));
+    EXPECT_TRUE(prot.scrub(pm).clean());
+}
+
+TEST(ImageProtection, RowCrcDetectsMultiBitFlips)
+{
+    // The satellite requirement: >= 99.9% detection of injected
+    // multi-bit faults at row granularity.  CRC-32C misses only when
+    // all flips land outside the probed row or alias to the same
+    // checksum (~2^-32); across 1000 trials we require zero misses.
+    Rng rng(77);
+    PackedMatrix pm = packDtype(dtypes::bitmodFp4(), 8, 256, rng);
+    const ImageProtection prot(pm, {ProtectionScheme::Crc, 0});
+    FaultInjector inj(0xfa1);
+    int detected = 0;
+    const int trials = 1000;
+    const std::vector<uint8_t> clean(pm.bytes().begin(),
+                                     pm.bytes().end());
+    for (int t = 0; t < trials; ++t) {
+        const size_t flips = 2 + t % 6;
+        const auto faults =
+            inj.injectTargeted(pm, FaultSite::AnyBit, flips);
+        ASSERT_EQ(faults.size(), flips);
+        bool hit = false;
+        for (size_t r = 0; r < pm.rows(); ++r)
+            hit = hit || prot.verifyRow(pm, r) > 0;
+        detected += hit;
+        std::copy(clean.begin(), clean.end(),
+                  pm.mutableBytes().begin());
+    }
+    EXPECT_GE(detected, static_cast<int>(trials * 0.999));
+    EXPECT_EQ(detected, trials);
+}
+
+TEST(ImageProtection, SecdedScrubRepairsSingleBitPerWord)
+{
+    Rng rng(88);
+    for (const Dtype &dt : testDtypes()) {
+        PackedMatrix pm = packDtype(dt, 4, 192, rng);
+        const std::vector<uint8_t> clean(pm.bytes().begin(),
+                                         pm.bytes().end());
+        const ImageProtection prot(
+            pm, {ProtectionScheme::CrcSecded, 0});
+        // One flip per protected 64-bit word, every word (words are
+        // row-relative: rows are byte- but not word-aligned in the
+        // image): all must scrub back to the pristine bytes.
+        Rng flip(89);
+        long words = 0;
+        for (size_t r = 0; r < pm.rows(); ++r) {
+            const size_t off = pm.rowByteOffset(r);
+            const size_t rb = pm.rowBytes(r).size();
+            for (size_t w0 = 0; w0 < rb; w0 += 8, ++words) {
+                const size_t span = std::min<size_t>(8, rb - w0);
+                FaultInjector::flipBit(
+                    pm, (off + w0) * 8 + flip.below(span * 8));
+            }
+        }
+        const ScrubReport rep = prot.scrub(pm);
+        EXPECT_TRUE(rep.clean()) << dt.name;
+        EXPECT_EQ(rep.correctedWords, words) << dt.name;
+        EXPECT_TRUE(std::equal(clean.begin(), clean.end(),
+                               pm.bytes().begin()))
+            << dt.name;
+    }
+}
+
+// ------------------------------------------------------ FaultInjector
+
+TEST(FaultInjector, DeterministicAndRateProportional)
+{
+    Rng rng(99);
+    PackedMatrix a = packDtype(dtypes::intSym(4), 8, 512, rng);
+    Rng rng2(99);
+    PackedMatrix b = packDtype(dtypes::intSym(4), 8, 512, rng2);
+    FaultInjector ia(1234);
+    FaultInjector ib(1234);
+    const auto fa = ia.injectRate(a, 1e-3);
+    const auto fb = ib.injectRate(b, 1e-3);
+    ASSERT_EQ(fa.size(), fb.size());
+    for (size_t i = 0; i < fa.size(); ++i)
+        EXPECT_EQ(fa[i].bitIndex, fb[i].bitIndex);
+    EXPECT_TRUE(std::equal(a.bytes().begin(), a.bytes().end(),
+                           b.bytes().begin()));
+    // Loose two-sided rate check: expected flips = bits * ber.
+    const double expectFlips = a.imageBytes() * 8 * 1e-3;
+    EXPECT_GT(static_cast<double>(fa.size()), expectFlips * 0.4);
+    EXPECT_LT(static_cast<double>(fa.size()), expectFlips * 2.5);
+}
+
+TEST(FaultInjector, TargetedSitesLandInTheirRegions)
+{
+    Rng rng(111);
+    PackedMatrix pm = packDtype(dtypes::flint(4), 4, 256, rng);
+    FaultInjector inj(777);
+    for (const FaultSite site :
+         {FaultSite::ElementCode, FaultSite::ScaleCode,
+          FaultSite::GroupMeta}) {
+        const auto faults = inj.injectTargeted(pm, site, 5);
+        ASSERT_EQ(faults.size(), 5u) << faultSiteName(site);
+        for (const Fault &f : faults) {
+            const PackedGroupDesc &d = pm.desc(f.group);
+            EXPECT_GE(f.bitIndex, d.bitOffset);
+            EXPECT_LT(f.bitIndex, d.bitOffset + d.bitLen);
+            const uint64_t codeEnd =
+                d.bitOffset +
+                static_cast<uint64_t>(d.len) * pm.elementBits();
+            if (site == FaultSite::ElementCode)
+                EXPECT_LT(f.bitIndex, codeEnd);
+            else
+                EXPECT_GE(f.bitIndex,
+                          d.bitOffset + d.bitLen - pm.metaBits());
+        }
+    }
+}
+
+// ------------------------------------------------------- DecodeStatus
+
+TEST(DecodeStatus, TrustedAndCheckedAgreeOnCleanImages)
+{
+    Rng rng(123);
+    for (const Dtype &dt : testDtypes()) {
+        const PackedMatrix pm = packDtype(dt, 5, 192, rng);
+        std::vector<float> a;
+        std::vector<float> b;
+        for (size_t i = 0; i < pm.size(); ++i) {
+            a.assign(pm.desc(i).len, -1.0f);
+            b.assign(pm.desc(i).len, -2.0f);
+            pm.decodeGroupInto(i, {a.data(), a.size()});
+            EXPECT_EQ(pm.tryDecodeGroupInto(i, {b.data(), b.size()}),
+                      DecodeStatus::Ok);
+            EXPECT_EQ(a, b) << dt.name << " group " << i;
+        }
+    }
+}
+
+TEST(DecodeStatus, TruncationIsReported)
+{
+    Rng rng(124);
+    for (const Dtype &dt : testDtypes()) {
+        PackedMatrix pm = packDtype(dt, 3, 192, rng);
+        pm.truncateImage(pm.imageBytes() - 1);
+        const size_t last = pm.size() - 1;
+        std::vector<float> out(pm.desc(last).len);
+        EXPECT_EQ(pm.tryDecodeGroupInto(last,
+                                        {out.data(), out.size()}),
+                  DecodeStatus::Truncated)
+            << dt.name;
+        for (const float v : out)
+            EXPECT_EQ(v, 0.0f);
+    }
+}
+
+TEST(DecodeStatus, ScaleCodeFlipIsCorruptMeta)
+{
+    Rng rng(125);
+    PackedMatrix pm = packDtype(dtypes::bitmodFp4(), 4, 256, rng);
+    FaultInjector inj(321);
+    const auto faults =
+        inj.injectTargeted(pm, FaultSite::ScaleCode, 1);
+    ASSERT_EQ(faults.size(), 1u);
+    std::vector<float> out(pm.desc(faults[0].group).len);
+    EXPECT_EQ(pm.tryDecodeGroupInto(faults[0].group,
+                                    {out.data(), out.size()}),
+              DecodeStatus::CorruptMeta);
+}
+
+TEST(DecodeStatus, TryUnpackIntoMatchesUnpackInto)
+{
+    Rng rng(126);
+    for (const Dtype &dt : testDtypes()) {
+        QuantConfig cfg;
+        const PackedMatrix pm = packDtype(dt, 4, 192, rng, &cfg);
+        const GroupPacker packer(cfg);
+        for (size_t i = 0; i < pm.size(); i += 3) {
+            const PackedGroupDesc &d = pm.desc(i);
+            const double base =
+                pm.rowScaleBase(i / pm.groupsPerRow());
+            std::vector<float> a(d.len);
+            std::vector<float> b(d.len);
+            GroupDesc da;
+            GroupDesc db;
+            size_t posA = d.bitOffset;
+            size_t posB = d.bitOffset;
+            packer.unpackInto(pm.bytes(), posA,
+                              {a.data(), a.size()}, da, base);
+            EXPECT_EQ(packer.tryUnpackInto(pm.bytes(), posB,
+                                           {b.data(), b.size()}, db,
+                                           base),
+                      DecodeStatus::Ok)
+                << dt.name;
+            EXPECT_EQ(posA, posB);
+            EXPECT_EQ(a, b) << dt.name;
+            EXPECT_EQ(da.svIndex, db.svIndex);
+            EXPECT_EQ(da.scale, db.scale);
+            EXPECT_EQ(da.zeroPoint, db.zeroPoint);
+        }
+    }
+}
+
+TEST(DecodeStatus, TryUnpackIntoReportsTruncation)
+{
+    Rng rng(127);
+    QuantConfig cfg;
+    const PackedMatrix pm =
+        packDtype(dtypes::intAsym(4), 2, 192, rng, &cfg);
+    const GroupPacker packer(cfg);
+    const PackedGroupDesc &d = pm.desc(pm.size() - 1);
+    // Cut the stream mid-group: every prefix must yield Truncated,
+    // never an abort or a read past the span.
+    const auto cut = pm.bytes().subspan(
+        0, (d.bitOffset + d.bitLen) / 8 - 2);
+    std::vector<float> out(d.len);
+    GroupDesc gd;
+    size_t pos = d.bitOffset;
+    EXPECT_EQ(packer.tryUnpackInto(cut, pos, {out.data(), out.size()},
+                                   gd, 1.0),
+              DecodeStatus::Truncated);
+}
+
+// --------------------------------------------- checked PE strip path
+
+TEST(CheckedStrip, CleanImageMatchesTrustedPath)
+{
+    Rng rng(128);
+    for (const Dtype &dt :
+         {dtypes::bitmodFp4(), dtypes::olive(4)}) {
+        PackedMatrix pm = packDtype(dt, 16, 256, rng);
+        const auto acts = randomActs(256, rng);
+        const PackedGemvResult trusted =
+            tileGemv(pm, dt, acts, 1);
+        pm.setCheckedDecode(true);
+        const PackedGemvResult checked =
+            tileGemv(pm, dt, acts, 1);
+        EXPECT_TRUE(checked.clean());
+        EXPECT_EQ(trusted.values, checked.values) << dt.name;
+    }
+}
+
+TEST(CheckedStrip, CorruptGroupsAreQuarantined)
+{
+    Rng rng(129);
+    PackedMatrix pm = packDtype(dtypes::bitmodFp4(), 16, 256, rng);
+    const auto acts = randomActs(256, rng);
+    const PackedGemvResult before = tileGemv(pm, dtypes::bitmodFp4(),
+                                             acts, 1);
+    FaultInjector inj(555);
+    const auto faults =
+        inj.injectTargeted(pm, FaultSite::ScaleCode, 3);
+    ASSERT_FALSE(faults.empty());
+    pm.setCheckedDecode(true);
+    const PackedGemvResult after = tileGemv(pm, dtypes::bitmodFp4(),
+                                            acts, 1);
+    EXPECT_FALSE(after.clean());
+    EXPECT_NE(after.status, DecodeStatus::Ok);
+    ASSERT_FALSE(after.quarantinedRows.empty());
+    for (const uint32_t r : after.quarantinedRows) {
+        EXPECT_EQ(after.values[r], 0.0);
+        EXPECT_NE(before.values[r], 0.0);
+    }
+}
+
+TEST(CheckedStrip, ThreadCountInvariant)
+{
+    Rng rng(130);
+    PackedMatrix pm = packDtype(dtypes::intSym(4), 24, 256, rng);
+    FaultInjector inj(91);
+    inj.injectTargeted(pm, FaultSite::ScaleCode, 4);
+    pm.setCheckedDecode(true);
+    const auto acts = randomActs(256, rng);
+    const PackedGemvResult one =
+        tileGemv(pm, dtypes::intSym(4), acts, 1);
+    const PackedGemvResult four =
+        tileGemv(pm, dtypes::intSym(4), acts, 4);
+    EXPECT_EQ(one.values, four.values);
+    EXPECT_EQ(one.corruptGroups, four.corruptGroups);
+    EXPECT_EQ(one.quarantinedRows, four.quarantinedRows);
+}
+
+// ------------------------------------------------- AccelSim integrity
+
+TEST(AccelIntegrity, ProtectionOffIsBitIdentical)
+{
+    const AccelSim sim(makeBitmod());
+    const LlmSpec &model = llmZoo()[0];
+    const TaskSpec task = TaskSpec::generative();
+    const PrecisionChoice base =
+        PrecisionChoice::bitmod(dtypes::bitmodFp4());
+    const RunReport r = sim.run(model, task, base);
+    EXPECT_EQ(r.integrity.protectionBytes, 0.0);
+    EXPECT_EQ(r.integrity.retryBytes, 0.0);
+    EXPECT_EQ(r.integrity.detectedErrors, 0.0);
+}
+
+TEST(AccelIntegrity, ProtectionChargesBytesAndRetries)
+{
+    const AccelSim sim(makeBitmod());
+    const LlmSpec &model = llmZoo()[0];
+    const TaskSpec task = TaskSpec::generative();
+    const PrecisionChoice base =
+        PrecisionChoice::bitmod(dtypes::bitmodFp4());
+    const RunReport plain = sim.run(model, task, base);
+
+    PrecisionChoice prot = base;
+    prot.setProtection({ProtectionScheme::Crc, 0}, 0.0);
+    const RunReport noErr = sim.run(model, task, prot);
+    EXPECT_GT(noErr.integrity.protectionBytes, 0.0);
+    EXPECT_EQ(noErr.integrity.retryBytes, 0.0);
+    EXPECT_GT(noErr.traffic.total().weightBytes,
+              plain.traffic.total().weightBytes);
+    const double ratio = prot.protectionOverhead();
+    EXPECT_NEAR(noErr.traffic.total().weightBytes,
+                plain.traffic.total().weightBytes * (1.0 + ratio),
+                1e-6 * noErr.traffic.total().weightBytes);
+
+    PrecisionChoice faulty = prot;
+    faulty.bitErrorRate = 1e-6;
+    const RunReport lo = sim.run(model, task, faulty);
+    EXPECT_GT(lo.integrity.detectedErrors, 0.0);
+    EXPECT_GT(lo.integrity.retryBytes, 0.0);
+    EXPECT_GE(lo.decodeCycles, noErr.decodeCycles);
+
+    faulty.bitErrorRate = 1e-4;
+    const RunReport hi = sim.run(model, task, faulty);
+    EXPECT_GT(hi.integrity.retryBytes, lo.integrity.retryBytes);
+    EXPECT_GT(hi.integrity.uncorrectableErrors,
+              lo.integrity.uncorrectableErrors);
+}
+
+TEST(AccelIntegrity, SecdedCorrectsBeforeRetrying)
+{
+    const AccelSim sim(makeBitmod());
+    const LlmSpec &model = llmZoo()[0];
+    const TaskSpec task = TaskSpec::generative();
+    PrecisionChoice crc =
+        PrecisionChoice::bitmod(dtypes::bitmodFp4());
+    crc.setProtection({ProtectionScheme::Crc, 256}, 1e-7);
+    PrecisionChoice ecc = crc;
+    ecc.setProtection({ProtectionScheme::CrcSecded, 256}, 1e-7);
+    const RunReport rc = sim.run(model, task, crc);
+    const RunReport re = sim.run(model, task, ecc);
+    EXPECT_EQ(rc.integrity.correctedErrors, 0.0);
+    EXPECT_GT(re.integrity.correctedErrors, 0.0);
+    // SECDED absorbs the single-bit events the CRC tier re-fetches.
+    EXPECT_LT(re.integrity.retryBlocks, rc.integrity.retryBlocks);
+    // ...at a higher protection-byte charge.
+    EXPECT_GT(re.integrity.protectionBytes,
+              rc.integrity.protectionBytes);
+}
+
+} // namespace
+} // namespace bitmod

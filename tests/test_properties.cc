@@ -30,6 +30,8 @@
 #include "quant/dtype.hh"
 #include "quant/packing.hh"
 #include "quant/quantizer.hh"
+#include "rel/fault.hh"
+#include "rel/integrity.hh"
 #include "tensor/generator.hh"
 
 namespace bitmod
@@ -543,6 +545,105 @@ TEST(RandomizedTraffic, BatchedThroughputNeverDropsWithBatch)
                 << "batch " << batch;
             prevPerSeq = perSeq;
         }
+    }
+}
+
+// ------------------------------------ randomized integrity properties
+
+TEST(RandomizedIntegrity, ProtectionRoundTripsAndDetectsOnRandomDraws)
+{
+    SCOPED_TRACE(seedNote());
+    Rng rng(propertySeed() ^ 0x2);
+    const ProtectionScheme schemes[] = {ProtectionScheme::Crc,
+                                        ProtectionScheme::CrcSecded};
+    for (int iter = 0; iter < 10; ++iter) {
+        const RandomDraw d = drawCase(rng);
+        ProtectionConfig pc;
+        pc.scheme = schemes[rng.below(2)];
+        const size_t blockChoices[] = {0, 64, 256};
+        pc.crcBlockBytes = blockChoices[rng.below(3)];
+        SCOPED_TRACE("draw " + std::to_string(iter) + ": " + d.label +
+                     " " + protectionSchemeName(pc.scheme) + " b" +
+                     std::to_string(pc.crcBlockBytes));
+        const Matrix w =
+            randomWeights(d.rows, d.cols, d.cfg.dtype, rng);
+        const auto q = quantizeMatrix(w, d.cfg);
+        PackedMatrix pm = GroupPacker(d.cfg).packMatrix(q.encoded);
+        const ImageProtection prot(pm, pc);
+
+        // Sidecar size matches the analytic formula row by row, and
+        // a clean image verifies clean everywhere.
+        size_t analytic = 0;
+        for (size_t r = 0; r < pm.rows(); ++r) {
+            analytic +=
+                analyticProtectionBytes(pm.rowBytes(r).size(), pc);
+            EXPECT_EQ(prot.verifyRow(pm, r), 0) << "row " << r;
+        }
+        EXPECT_EQ(prot.bytes(), analytic);
+
+        // One random flip per draw: the owning row must report at
+        // least one dirty block, every other row must stay clean,
+        // and a SECDED scrub must restore the exact image.
+        const std::vector<uint8_t> pristine(pm.bytes().begin(),
+                                            pm.bytes().end());
+        const size_t bit = rng.below(pm.imageBytes() * 8);
+        FaultInjector::flipBit(pm, bit);
+        size_t hitRow = pm.rows();
+        for (size_t r = 0; r < pm.rows(); ++r) {
+            if (bit >= pm.rowByteOffset(r) * 8 &&
+                bit < pm.rowByteEnd(r) * 8)
+                hitRow = r;
+        }
+        ASSERT_LT(hitRow, pm.rows());
+        for (size_t r = 0; r < pm.rows(); ++r)
+            EXPECT_EQ(prot.verifyRow(pm, r) > 0, r == hitRow)
+                << "row " << r << " bit " << bit;
+        if (pc.scheme == ProtectionScheme::CrcSecded) {
+            const ScrubReport rep = prot.scrub(pm);
+            EXPECT_EQ(rep.correctedWords, 1u);
+            EXPECT_EQ(rep.uncorrectableWords, 0u);
+            EXPECT_TRUE(std::equal(pristine.begin(), pristine.end(),
+                                   pm.bytes().begin()))
+                << "scrub did not restore the image";
+        }
+    }
+}
+
+TEST(RandomizedIntegrity, TrafficChargesExactlyTheOverheadRatio)
+{
+    SCOPED_TRACE(seedNote());
+    Rng rng(propertySeed() ^ 0x3);
+    const auto &zoo = llmZoo();
+    for (int iter = 0; iter < 8; ++iter) {
+        const LlmSpec &model = zoo[rng.below(zoo.size())];
+        auto precision =
+            PrecisionChoice::bitmod(dtypes::bitmodFp4());
+        const TaskSpec task{1 + rng.below(128), 1 + rng.below(64),
+                            1 + rng.below(8)};
+        const auto plain =
+            computePhaseTraffic(model, task, precision.spec());
+        ProtectionConfig pc;
+        pc.scheme = rng.uniform() < 0.5 ? ProtectionScheme::Crc
+                                        : ProtectionScheme::CrcSecded;
+        pc.crcBlockBytes = rng.uniform() < 0.5 ? 0 : 256;
+        precision.setProtection(pc, 1e-7);
+        const double ratio = precision.protectionOverhead();
+        SCOPED_TRACE(model.name + " " +
+                     protectionSchemeName(pc.scheme));
+        ASSERT_GT(ratio, 0.0);
+        const auto prot =
+            computePhaseTraffic(model, task, precision.spec());
+        // Weight bytes scale by exactly (1 + ratio); activations and
+        // KV are untouched by weight-stream protection.
+        EXPECT_NEAR(prot.prefill.weightBytes,
+                    plain.prefill.weightBytes * (1.0 + ratio),
+                    1e-6 * (1.0 + plain.prefill.weightBytes));
+        EXPECT_NEAR(prot.decode.weightBytes,
+                    plain.decode.weightBytes * (1.0 + ratio),
+                    1e-6 * (1.0 + plain.decode.weightBytes));
+        EXPECT_DOUBLE_EQ(prot.prefill.activationBytes,
+                         plain.prefill.activationBytes);
+        EXPECT_DOUBLE_EQ(prot.decode.kvBytes, plain.decode.kvBytes);
     }
 }
 

@@ -50,25 +50,46 @@ struct SpeedupSummary
     double lyGeo() const { return geoMean(ly); }
 };
 
+/** DeployRequest for one sweep point (measured mode optional). */
+DeployRequest
+sweepRequest(const std::string &accel, const std::string &model,
+             Workload workload, Policy policy, bool measured,
+             ProfileCache *cache)
+{
+    DeployRequest r(accel, model);
+    r.with(workload).with(policy);
+    if (measured)
+        r.withMeasured(cache);
+    return r;
+}
+
 /** One full Fig. 7 sweep; appends rows to @p t when not null. */
 SpeedupSummary
-sweep(const std::vector<std::string> &models, const DeployOptions &opts,
-      TextTable *t)
+sweep(const std::vector<std::string> &models, bool measured,
+      ProfileCache *cache, TextTable *t)
 {
     SpeedupSummary s;
-    for (const bool generative : {false, true}) {
+    for (const Workload workload :
+         {Workload::Discriminative, Workload::Generative}) {
+        const bool generative = workload == Workload::Generative;
         for (const auto &name : models) {
-            const auto base = simulateDeployment("Baseline-FP16", name,
-                                                 generative, true);
-            const auto ant = simulateDeployment("ANT", name, generative,
-                                                false, opts);
-            const auto olive = simulateDeployment("OliVe", name,
-                                                  generative, false,
-                                                  opts);
-            const auto ll = simulateDeployment("BitMoD", name,
-                                               generative, true, opts);
-            const auto ly = simulateDeployment("BitMoD", name,
-                                               generative, false, opts);
+            // The FP16 baseline has nothing to measure; it always
+            // runs analytically (as before the API redesign).
+            const auto base = simulateDeployment(sweepRequest(
+                "Baseline-FP16", name, workload, Policy::Lossless,
+                false, nullptr));
+            const auto ant = simulateDeployment(
+                sweepRequest("ANT", name, workload, Policy::Lossy,
+                             measured, cache));
+            const auto olive = simulateDeployment(
+                sweepRequest("OliVe", name, workload, Policy::Lossy,
+                             measured, cache));
+            const auto ll = simulateDeployment(
+                sweepRequest("BitMoD", name, workload,
+                             Policy::Lossless, measured, cache));
+            const auto ly = simulateDeployment(
+                sweepRequest("BitMoD", name, workload, Policy::Lossy,
+                             measured, cache));
 
             s.ant.push_back(base.latencyMs() / ant.latencyMs());
             s.olive.push_back(base.latencyMs() / olive.latencyMs());
@@ -111,12 +132,11 @@ struct BatchSweepSummary
  * speedup, the compute-vs-memory bound, and the crossover batch.
  */
 BatchSweepSummary
-batchSweep(const std::vector<std::string> &models, DeployOptions opts,
-           TextTable *t)
+batchSweep(const std::vector<std::string> &models, bool measured,
+           ProfileCache *cache, TextTable *t)
 {
     BatchSweepSummary s;
     s.batches = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
-    opts.taskOverride = s.task;
 
     std::vector<std::vector<double>> llPerBatch(s.batches.size());
     std::vector<std::vector<double>> lyPerBatch(s.batches.size());
@@ -130,13 +150,20 @@ batchSweep(const std::vector<std::string> &models, DeployOptions opts,
         double llFlip = censored, lyFlip = censored;
         double llWeightBytes1 = 0.0, lyWeightBytes1 = 0.0;
         for (size_t bi = 0; bi < s.batches.size(); ++bi) {
-            opts.batchSize = s.batches[bi];
-            const auto base = simulateDeployment(
-                "Baseline-FP16", name, true, true, opts);
+            // Workload::Serving resolves to TaskSpec::serving(batch)
+            // — the one source of the serving task shape.
+            const auto point = [&](const std::string &accel,
+                                   Policy policy, bool meas) {
+                return simulateDeployment(
+                    sweepRequest(accel, name, Workload::Serving,
+                                 policy, meas, cache)
+                        .withBatch(s.batches[bi]));
+            };
+            const auto base =
+                point("Baseline-FP16", Policy::Lossless, false);
             const auto ll =
-                simulateDeployment("BitMoD", name, true, true, opts);
-            const auto ly =
-                simulateDeployment("BitMoD", name, true, false, opts);
+                point("BitMoD", Policy::Lossless, measured);
+            const auto ly = point("BitMoD", Policy::Lossy, measured);
 
             // Weight-traffic amortization: the batch rides the same
             // per-step weight fetch, byte for byte.
@@ -259,7 +286,8 @@ main(int argc, char **argv)
                 " (analytic model)");
     t.setHeader({"Task", "Model", "ANT", "OliVe", "BitMoD-LL(INT6)",
                  "BitMoD-LY(4b/3b)"});
-    const SpeedupSummary analytic = sweep(models, {}, &t);
+    const SpeedupSummary analytic =
+        sweep(models, false, nullptr, &t);
 
     t.addNote("geomean speedup vs baseline: ANT " +
               TextTable::num(analytic.antGeo(), 2) + "x | OliVe " +
@@ -294,10 +322,7 @@ main(int argc, char **argv)
                     "effectual-term compute)");
         m.setHeader({"Task", "Model", "ANT", "OliVe",
                      "BitMoD-LL(INT6)", "BitMoD-LY(4b/3b)"});
-        DeployOptions opts;
-        opts.measured = true;
-        opts.cache = &cache;
-        measuredSummary = sweep(models, opts, &m);
+        measuredSummary = sweep(models, true, &cache, &m);
         const auto &delta = benchutil::pctDelta;
         m.addNote("geomean measured speedup: ANT " +
                   TextTable::num(measuredSummary.antGeo(), 2) +
@@ -330,10 +355,7 @@ main(int argc, char **argv)
             " serving task (weight stream shared across the batch)");
         b.setHeader({"Model", "Batch", "LL Mcyc", "LL bound", "LL x",
                      "LY Mcyc", "LY bound", "LY x", "LY tok/Mcyc"});
-        DeployOptions opts;
-        opts.measured = args.measured;
-        opts.cache = &cache;
-        batchSummary = batchSweep(models, opts, &b);
+        batchSummary = batchSweep(models, args.measured, &cache, &b);
         b.addNote(
             "speedups are decode cycles vs the FP16 baseline at the "
             "same batch; 'compute' marks decodeComputeCycles >= "

@@ -37,14 +37,25 @@ struct EnergySummary
 
 /** One full Fig. 8 sweep; appends rows to @p t when not null. */
 EnergySummary
-sweep(const std::vector<std::string> &models, const DeployOptions &opts,
-      TextTable *t)
+sweep(const std::vector<std::string> &models, bool measured,
+      ProfileCache *cache, TextTable *t)
 {
     EnergySummary s;
-    for (const bool generative : {false, true}) {
+    for (const Workload workload :
+         {Workload::Discriminative, Workload::Generative}) {
+        const bool generative = workload == Workload::Generative;
+        const auto deploy = [&](const std::string &accel,
+                                const std::string &model,
+                                Policy policy, bool meas) {
+            DeployRequest r(accel, model);
+            r.with(workload).with(policy);
+            if (meas)
+                r.withMeasured(cache);
+            return simulateDeployment(r);
+        };
         for (const auto &name : models) {
-            const auto base = simulateDeployment("Baseline-FP16", name,
-                                                 generative, true);
+            const auto base = deploy("Baseline-FP16", name,
+                                     Policy::Lossless, false);
             const double ref = base.report.energy.totalNj();
 
             const auto emit = [&](const char *label,
@@ -60,18 +71,17 @@ sweep(const std::vector<std::string> &models, const DeployOptions &opts,
             };
 
             emit("Baseline", base);
-            const auto ant = simulateDeployment("ANT", name, generative,
-                                                false, opts);
+            const auto ant =
+                deploy("ANT", name, Policy::Lossy, measured);
             emit("ANT-LY", ant);
-            const auto olive = simulateDeployment("OliVe", name,
-                                                  generative, false,
-                                                  opts);
+            const auto olive =
+                deploy("OliVe", name, Policy::Lossy, measured);
             emit("OliVe-LY", olive);
-            const auto ll = simulateDeployment("BitMoD", name,
-                                               generative, true, opts);
+            const auto ll =
+                deploy("BitMoD", name, Policy::Lossless, measured);
             emit("BitMoD-LL", ll);
-            const auto ly = simulateDeployment("BitMoD", name,
-                                               generative, false, opts);
+            const auto ly =
+                deploy("BitMoD", name, Policy::Lossy, measured);
             emit("BitMoD-LY", ly);
 
             s.ll.push_back(ref / ll.report.energy.totalNj());
@@ -121,7 +131,8 @@ main(int argc, char **argv)
                 "(1.0 = baseline total, analytic model)");
     t.setHeader({"Task", "Model", "Accel", "DRAM", "Buffer", "Core",
                  "Total"});
-    const EnergySummary analytic = sweep(models, {}, &t);
+    const EnergySummary analytic =
+        sweep(models, false, nullptr, &t);
     t.addNote("geomean energy efficiency: BitMoD-LL vs baseline " +
               TextTable::num(analytic.llGeo(), 2) +
               "x (paper 2.31x) | BitMoD-LY vs ANT " +
@@ -137,13 +148,10 @@ main(int argc, char **argv)
                     "effectual-term compute)");
         m.setHeader({"Task", "Model", "Accel", "DRAM", "Buffer",
                      "Core", "Total"});
-        DeployOptions opts;
-        opts.measured = true;
         // Sweep-wide memoization: one measurement per (model,
         // QuantConfig) pair instead of one per task.
         ProfileCache cache;
-        opts.cache = &cache;
-        measuredSummary = sweep(models, opts, &m);
+        measuredSummary = sweep(models, true, &cache, &m);
         const auto &delta = benchutil::pctDelta;
         m.addNote("geomean measured efficiency: BitMoD-LL " +
                   TextTable::num(measuredSummary.llGeo(), 2) +

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Request-level serving sweep: arrival rate x datatype x scheduler on
+ * the continuous-batching serving simulator (DeployRequest with
+ * ServingParams attached).
+ *
+ * Per configuration the bench (1) calibrates capacity with a
+ * closed-loop burst run, (2) derives p99 SLO budgets from an unloaded
+ * single-request run (5x TTFT, 3x TPOT), (3) sweeps Poisson arrival
+ * rates at fixed fractions of capacity and records the TTFT/TPOT/e2e
+ * percentiles, and (4) reports the max swept rate whose p99 TTFT and
+ * TPOT both meet the budget — the throughput-vs-SLO view.  The whole
+ * sweep is run twice, sharded across the worker pool and serially,
+ * and the two must agree bit for bit (the serving_determinism gate).
+ *
+ * --out emits BENCH_serving.json for the CI perf gate (*_ms latencies
+ * fail on >10% growth, *_sustainable_rate on >10% drop); --smoke
+ * shrinks the request count for the ctest bench_smoke label.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/parallel.hh"
+#include "common/table.hh"
+#include "core/bitmod_api.hh"
+
+using namespace bitmod;
+
+namespace
+{
+
+/** Load fractions of calibrated capacity each config is swept at. */
+constexpr double kLoads[] = {0.3, 0.6, 0.9, 1.05, 1.2};
+constexpr const char *kLoadLabels[] = {"load30", "load60", "load90",
+                                       "load105", "load120"};
+constexpr size_t kNumLoads = sizeof(kLoads) / sizeof(kLoads[0]);
+
+/** One (datatype, scheduler) configuration of the sweep. */
+struct ServeConfig
+{
+    const char *label;  //!< JSON section stem, e.g. "bitmod_ll"
+    const char *accel;
+    Policy policy;
+    SchedulerKind scheduler;
+};
+
+/** Everything one configuration contributes to the artifact. */
+struct ConfigResult
+{
+    ServeConfig cfg;
+    double capacityRps = 0.0;
+    double sloTtftBudgetMs = 0.0;
+    double sloTpotBudgetMs = 0.0;
+    double maxSustainableRate = 0.0;
+    /** Per-load reports, kLoads order. */
+    std::vector<ServingReport> loads;
+};
+
+/** Request-shape knobs shared by every run of the sweep. */
+ServingParams
+baseParams(const ServeConfig &cfg, bool smoke)
+{
+    ServingParams p;
+    p.seed = 0x5e221e5;
+    p.numRequests = smoke ? 12 : 48;
+    // Ragged prompts + a prefill budget: the knobs that make the
+    // scheduler policies genuinely diverge (shortest-prompt-first
+    // packs more prefills per step than arrival order).
+    p.inTokens = 16;
+    p.inTokensMax = 48;
+    p.outTokens = 32;
+    p.prefillTokenBudget = 64;
+    p.maxQueueDepth = 8;
+    p.scheduler = cfg.scheduler;
+    return p;
+}
+
+ServingReport
+runServing(const ServeConfig &cfg, const std::string &model,
+           const ServingParams &params)
+{
+    const auto summary = simulateDeployment(
+        DeployRequest(cfg.accel, model)
+            .with(cfg.policy)
+            .withServing(params));
+    return *summary.serving;
+}
+
+/** The full calibrate + sweep pipeline for one configuration. */
+ConfigResult
+runConfig(const ServeConfig &cfg, const std::string &model, bool smoke)
+{
+    ConfigResult r;
+    r.cfg = cfg;
+
+    // Unloaded latency floor: one lone request.
+    ServingParams one = baseParams(cfg, smoke);
+    one.arrivalRatePerSec = 0.0;
+    one.numRequests = 1;
+    const ServingReport unloaded = runServing(cfg, model, one);
+    r.sloTtftBudgetMs = 5.0 * unloaded.ttftMs.p50;
+    r.sloTpotBudgetMs = 3.0 * unloaded.tpotMs.p50;
+
+    // Capacity: closed-loop burst (every request queued at cycle 0)
+    // — the saturation throughput continuous batching can sustain.
+    ServingParams burst = baseParams(cfg, smoke);
+    burst.arrivalRatePerSec = 0.0;
+    r.capacityRps = runServing(cfg, model, burst).achievedRps;
+
+    for (size_t li = 0; li < kNumLoads; ++li) {
+        ServingParams p = baseParams(cfg, smoke);
+        p.arrivalRatePerSec = kLoads[li] * r.capacityRps;
+        const ServingReport rep = runServing(cfg, model, p);
+        const bool underSlo = rep.ttftMs.p99 <= r.sloTtftBudgetMs &&
+                              rep.tpotMs.p99 <= r.sloTpotBudgetMs;
+        if (underSlo && p.arrivalRatePerSec > r.maxSustainableRate)
+            r.maxSustainableRate = p.arrivalRatePerSec;
+        r.loads.push_back(rep);
+    }
+    return r;
+}
+
+/** Bitwise equality of the fields the artifact is built from. */
+bool
+sameReport(const ServingReport &a, const ServingReport &b)
+{
+    return a.ttftMs.p50 == b.ttftMs.p50 &&
+           a.ttftMs.p99 == b.ttftMs.p99 &&
+           a.tpotMs.p99 == b.tpotMs.p99 &&
+           a.e2eMs.p50 == b.e2eMs.p50 &&
+           a.e2eMs.p99 == b.e2eMs.p99 &&
+           a.completed == b.completed &&
+           a.rejected == b.rejected && a.steps == b.steps &&
+           a.achievedRps == b.achievedRps &&
+           a.totalCycles == b.totalCycles &&
+           a.energy.totalNj() == b.energy.totalNj();
+}
+
+bool
+sameConfigResult(const ConfigResult &a, const ConfigResult &b)
+{
+    if (a.capacityRps != b.capacityRps ||
+        a.sloTtftBudgetMs != b.sloTtftBudgetMs ||
+        a.sloTpotBudgetMs != b.sloTpotBudgetMs ||
+        a.maxSustainableRate != b.maxSustainableRate ||
+        a.loads.size() != b.loads.size())
+        return false;
+    for (size_t i = 0; i < a.loads.size(); ++i)
+        if (!sameReport(a.loads[i], b.loads[i]))
+            return false;
+    return true;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<ConfigResult> &results, bool deterministic,
+          int threads)
+{
+    FILE *f = benchutil::openBenchJson(path);
+    std::fprintf(f, "{\n  \"bench\": \"serving_sweep\",\n");
+    for (const ConfigResult &r : results) {
+        std::fprintf(f, "  \"serving_%s_%s\": {\n", r.cfg.label,
+                     schedulerName(r.cfg.scheduler));
+        std::fprintf(f,
+                     "    \"capacity_rps\": %.4f, "
+                     "\"slo_ttft_budget\": %.4f, "
+                     "\"slo_tpot_budget\": %.4f,\n",
+                     r.capacityRps, r.sloTtftBudgetMs,
+                     r.sloTpotBudgetMs);
+        for (size_t li = 0; li < r.loads.size(); ++li) {
+            const ServingReport &rep = r.loads[li];
+            std::fprintf(f,
+                         "    \"%s_ttft_p99_ms\": %.4f, "
+                         "\"%s_tpot_p99_ms\": %.4f, "
+                         "\"%s_e2e_p50_ms\": %.4f,\n",
+                         kLoadLabels[li], rep.ttftMs.p99,
+                         kLoadLabels[li], rep.tpotMs.p99,
+                         kLoadLabels[li], rep.e2eMs.p50);
+        }
+        std::fprintf(f, "    \"max_sustainable_rate\": %.4f\n  },\n",
+                     r.maxSustainableRate);
+    }
+    std::fprintf(f,
+                 "  \"serving_determinism\": {\"threads\": %d, "
+                 "\"bit_identical\": %s}\n}\n",
+                 threads, deterministic ? "true" : "false");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    int threads = 0;
+    std::string out;
+    std::string model = "Llama-2-7B";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else if (arg == "--model" && i + 1 < argc) {
+            model = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--model NAME] "
+                         "[--threads N] [--out FILE]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    const std::vector<ServeConfig> configs = {
+        {"fp16", "Baseline-FP16", Policy::Lossless,
+         SchedulerKind::Fcfs},
+        {"bitmod_ll", "BitMoD", Policy::Lossless, SchedulerKind::Fcfs},
+        {"bitmod_ll", "BitMoD", Policy::Lossless,
+         SchedulerKind::LargestBatchFirst},
+        {"bitmod_ll", "BitMoD", Policy::Lossless,
+         SchedulerKind::AdmissionControl},
+        {"bitmod_ly", "BitMoD", Policy::Lossy, SchedulerKind::Fcfs},
+        {"bitmod_ly", "BitMoD", Policy::Lossy,
+         SchedulerKind::LargestBatchFirst},
+        {"bitmod_ly", "BitMoD", Policy::Lossy,
+         SchedulerKind::AdmissionControl},
+    };
+
+    // Sharded pass: every configuration on the worker pool.
+    // --threads pins the pool width (CI runs a 2-point matrix); the
+    // default of 0 picks the hardware concurrency.
+    std::vector<ConfigResult> results(configs.size());
+    WorkerPool pool(threads);
+    pool.parallelFor(configs.size(), [&](size_t i) {
+        results[i] = runConfig(configs[i], model, smoke);
+    });
+    // ...then a serial re-run; the serving engine is seeded and
+    // single-threaded inside, so the two must agree bit for bit.
+    bool deterministic = true;
+    for (size_t i = 0; i < configs.size(); ++i)
+        if (!sameConfigResult(results[i],
+                              runConfig(configs[i], model, smoke)))
+            deterministic = false;
+
+    TextTable t("Serving sweep - " + model +
+                " (rate x datatype x scheduler, " +
+                (smoke ? "12" : "48") + " requests per point)");
+    t.setHeader({"Config", "Sched", "Cap req/s", "Load", "TTFT p99",
+                 "TPOT p99", "e2e p50", "req/s", "occ"});
+    for (const ConfigResult &r : results) {
+        for (size_t li = 0; li < r.loads.size(); ++li) {
+            const ServingReport &rep = r.loads[li];
+            t.addRow({r.cfg.label, schedulerName(r.cfg.scheduler),
+                      TextTable::num(r.capacityRps, 2),
+                      kLoadLabels[li],
+                      TextTable::num(rep.ttftMs.p99, 1),
+                      TextTable::num(rep.tpotMs.p99, 2),
+                      TextTable::num(rep.e2eMs.p50, 1),
+                      TextTable::num(rep.achievedRps, 2),
+                      TextTable::num(rep.meanBatchOccupancy, 1)});
+        }
+        t.addSeparator();
+    }
+    t.addNote("SLO budgets: 5x unloaded TTFT p50, 3x unloaded TPOT "
+              "p50; max_sustainable_rate = highest swept rate with "
+              "p99 TTFT and TPOT both under budget");
+    t.addNote(std::string("thread-count determinism (pool of ") +
+              std::to_string(pool.threadCount()) + " vs serial): " +
+              (deterministic ? "bit-identical" : "MISMATCH"));
+    for (const ConfigResult &r : results)
+        t.addNote(std::string(r.cfg.label) + "/" +
+                  schedulerName(r.cfg.scheduler) +
+                  " max sustainable rate: " +
+                  TextTable::num(r.maxSustainableRate, 2) + " req/s");
+    t.print();
+
+    if (!out.empty())
+        writeJson(out, results, deterministic, pool.threadCount());
+    if (!deterministic) {
+        std::fprintf(stderr, "serving sweep: thread-count "
+                             "determinism violated\n");
+        return 2;
+    }
+    return 0;
+}

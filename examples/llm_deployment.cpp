@@ -51,12 +51,14 @@ main(int argc, char **argv)
                 "precision", "latency ms", "energy mJ", "EDP (J*s)");
     for (const char *accel :
          {"Baseline-FP16", "ANT", "OliVe", "BitMoD"}) {
-        for (const bool lossless : {true, false}) {
-            if (std::string(accel) == "Baseline-FP16" && !lossless)
+        for (const Policy policy : {Policy::Lossless, Policy::Lossy}) {
+            if (std::string(accel) == "Baseline-FP16" &&
+                policy == Policy::Lossy)
                 continue;
-            const auto s = simulateDeployment(accel, modelName,
-                                              /*generative=*/true,
-                                              lossless);
+            const auto s = simulateDeployment(
+                DeployRequest(accel, modelName)
+                    .with(Workload::Generative)
+                    .with(policy));
             std::printf("%-15s %-12s %12.1f %12.1f %12.3e\n",
                         s.accelerator.c_str(),
                         s.precision.weightDtype.name.c_str(),
@@ -66,12 +68,26 @@ main(int argc, char **argv)
 
     std::printf("\ndiscriminative 256:1, batch 1:\n");
     for (const char *accel : {"Baseline-FP16", "BitMoD"}) {
-        const auto s = simulateDeployment(accel, modelName, false,
-                                          accel[0] == 'B' ? false
-                                                          : true);
+        const auto s = simulateDeployment(
+            DeployRequest(accel, modelName)
+                .with(Workload::Discriminative)
+                .with(accel[0] == 'B' ? Policy::Lossy
+                                      : Policy::Lossless));
         std::printf("%-15s %-12s %12.2f ms\n", s.accelerator.c_str(),
                     s.precision.weightDtype.name.c_str(),
                     s.latencyMs());
     }
+
+    // --- serving: request-level view on the BitMoD accelerator ------
+    ServingParams sp;
+    sp.arrivalRatePerSec = 4.0;
+    sp.numRequests = 32;
+    const auto served = simulateDeployment(
+        DeployRequest("BitMoD", modelName).withServing(sp));
+    const ServingReport &r = *served.serving;
+    std::printf("\nserving %zu reqs @ %.1f req/s (fcfs): TTFT p99 "
+                "%.1f ms | TPOT p99 %.2f ms | %.2f req/s achieved\n",
+                sp.numRequests, sp.arrivalRatePerSec, r.ttftMs.p99,
+                r.tpotMs.p99, r.achievedRps);
     return 0;
 }

@@ -3,21 +3,24 @@
 
 Compares every tracked field of the current bench output against the
 previous run's artifact and fails (exit 1) on a regression beyond the
-threshold.  Six field families are tracked: *_wps throughputs (lower
+threshold.  Eight field families are tracked: *_wps throughputs (lower
 is a regression), *_bytes footprints (growth is a regression — the
 packed-stream section reports the DRAM-image size, and a silently
 fattening memory layout must not ride a green build), the
 simulator-level *_speedup / *_eff ratios of BENCH_fig07.json /
 BENCH_fig08.json (a drop means the modeled accelerator advantage —
-analytic or measured — shrank), and the BENCH_fault.json reliability
+analytic or measured — shrank), the BENCH_fault.json reliability
 families: *_coverage error-detection rates (STRICT — any drop beyond
 0.1% fails regardless of the threshold, because a quietly shrinking
 detection rate is a correctness hole, not a perf tradeoff) and
 *_overhead protection-bandwidth ratios (growth beyond the threshold
-fails, like a footprint).  The delta table is always printed,
-regression or not, so the trajectory is visible in every CI log.  A
-missing baseline (first run on a branch, expired artifact) is not an
-error: the gate prints a note and passes.
+fails, like a footprint), and the BENCH_serving.json families: *_ms
+latencies (TTFT/TPOT/e2e percentiles — an increase beyond the
+threshold fails, the inverse of a throughput) and *_sustainable_rate
+max-rates-under-SLO (throughput-like, a drop fails).  The delta table
+is always printed, regression or not, so the trajectory is visible in
+every CI log.  A missing baseline (first run on a branch, expired
+artifact) is not an error: the gate prints a note and passes.
 
 Bit-identity flags are also enforced: a section reporting
 "bit_identical": false fails the gate regardless of throughput, since
@@ -40,20 +43,21 @@ COVERAGE_EPSILON_PCT = 0.1
 
 def tracked_fields(doc):
     """Yield (section.key, value, higher_is_better, strict) for every
-    gated field: *_wps throughputs, *_speedup / *_eff simulator ratios
-    and *_coverage detection rates (higher better; coverage is strict),
-    *_bytes footprints and *_overhead protection ratios (lower
-    better)."""
+    gated field: *_wps throughputs, *_speedup / *_eff simulator ratios,
+    *_sustainable_rate serving capacities and *_coverage detection
+    rates (higher better; coverage is strict), *_bytes footprints,
+    *_overhead protection ratios and *_ms latencies (lower better)."""
     for section, body in sorted(doc.items()):
         if isinstance(body, dict):
             for key, value in sorted(body.items()):
                 if not isinstance(value, (int, float)):
                     continue
-                if key.endswith(("_wps", "_speedup", "_eff")):
+                if key.endswith(("_wps", "_speedup", "_eff",
+                                 "_sustainable_rate")):
                     yield f"{section}.{key}", float(value), True, False
                 elif key.endswith("_coverage"):
                     yield f"{section}.{key}", float(value), True, True
-                elif key.endswith(("_bytes", "_overhead")):
+                elif key.endswith(("_bytes", "_overhead", "_ms")):
                     yield f"{section}.{key}", float(value), False, False
 
 
@@ -126,6 +130,8 @@ def run_gate(prev, curr, max_regression_pct):
             kind, limit = "footprint grew", max_regression_pct
         elif field.endswith("_overhead"):
             kind, limit = "protection overhead grew", max_regression_pct
+        elif field.endswith("_ms"):
+            kind, limit = "latency grew", max_regression_pct
         elif field.endswith("_coverage"):
             kind, limit = ("detection coverage dropped",
                            COVERAGE_EPSILON_PCT)
@@ -167,6 +173,14 @@ def self_test():
                             "b64_coverage": 0.999},
         "protection_overhead": {"crc_row_overhead": 0.0015,
                                 "secded_row_overhead": 0.127},
+        # Serving families: latencies are inverse-throughput, the
+        # sustainable rate is throughput-like; SLO budgets (no _ms
+        # suffix) and determinism ride along.
+        "serving_bitmod_fp4_fcfs": {"ttft_p99_ms": 120.0,
+                                    "tpot_p99_ms": 4.0,
+                                    "max_sustainable_rate": 24.0,
+                                    "slo_ttft_budget": 600.0},
+        "serving_determinism": {"bit_identical": True},
     }
 
     def variant(factor, identical=True):
@@ -196,6 +210,10 @@ def self_test():
 
     amortization_broken = json.loads(json.dumps(base))
     amortization_broken["batch_speedup"]["bit_identical"] = False
+
+    serving_nondeterministic = json.loads(json.dumps(base))
+    serving_nondeterministic["serving_determinism"][
+        "bit_identical"] = False
 
     checks = [
         ("identical run passes", run_gate(base, base, 10) == 0),
@@ -253,6 +271,26 @@ def self_test():
         ("protection overhead shrinking passes",
          run_gate(base, ratio(0.5, "protection_overhead",
                               "crc_row_overhead"), 10) == 0),
+        ("p99 latency +30% fails",
+         run_gate(base, ratio(1.3, "serving_bitmod_fp4_fcfs",
+                              "ttft_p99_ms"), 10) == 1),
+        ("p99 latency +5% within threshold passes",
+         run_gate(base, ratio(1.05, "serving_bitmod_fp4_fcfs",
+                              "ttft_p99_ms"), 10) == 0),
+        ("p99 latency improving passes",
+         run_gate(base, ratio(0.5, "serving_bitmod_fp4_fcfs",
+                              "tpot_p99_ms"), 10) == 0),
+        ("sustainable rate -20% fails",
+         run_gate(base, ratio(0.8, "serving_bitmod_fp4_fcfs",
+                              "max_sustainable_rate"), 10) == 1),
+        ("sustainable rate +30% passes",
+         run_gate(base, ratio(1.3, "serving_bitmod_fp4_fcfs",
+                              "max_sustainable_rate"), 10) == 0),
+        ("SLO budget is informational, not gated",
+         run_gate(base, ratio(2.0, "serving_bitmod_fp4_fcfs",
+                              "slo_ttft_budget"), 10) == 0),
+        ("serving determinism failure fails",
+         run_gate(base, serving_nondeterministic, 10) == 1),
     ]
     print("\n--- self-test results ---")
     failed = [name for name, ok in checks if not ok]

@@ -322,10 +322,120 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
     }
 
     // Buffer leakage across the whole run.
-    report.energy.bufferNj +=
-        2.0 * sram_.leakageEnergyNj(report.totalCycles(),
-                                    accel_.clockGhz);
+    report.energy.bufferNj += idleLeakageNj(report.totalCycles());
     return report;
+}
+
+double
+AccelSim::idleLeakageNj(double cycles) const
+{
+    return 2.0 * sram_.leakageEnergyNj(cycles, accel_.clockGhz);
+}
+
+StepCost
+AccelSim::stepCost(const LlmSpec &model,
+                   const PrecisionChoice &precision,
+                   const StepWork &work) const
+{
+    StepCost cost;
+    if (work.empty())
+        return cost;
+
+    const PrecisionSpec spec = precision.spec();
+    const double wBytesPerElem =
+        spec.weightBits / 8.0 * (1.0 + spec.weightProtectionOverhead);
+    const double aBytesPerElem = spec.activationBits / 8.0;
+    const double kvBytesPerElem = spec.kvBits / 8.0;
+
+    const double layers = static_cast<double>(model.numLayers);
+    const double blockParams =
+        static_cast<double>(model.blockLinearParams());
+    const double lmHead =
+        static_cast<double>(model.vocabSize) * model.hiddenDim;
+    const double allParams = layers * blockParams + lmHead;
+    const double kvPerTokenLayer = 2.0 * model.kvDim();
+    const double actPerToken =
+        (layers * 2.0 + 1.0) * model.hiddenDim * aBytesPerElem;
+    const double logits = model.vocabSize * aBytesPerElem;
+
+    const double prefillTokens =
+        static_cast<double>(work.prefillTokens);
+    const double prefillSeqs = static_cast<double>(work.prefillSeqs);
+    const double decodeSeqs = static_cast<double>(work.decodeSeqs);
+    const double streamedTokens = prefillTokens + decodeSeqs;
+
+    // ------------------------------------------------------ traffic
+    // One shared weight pass for everything riding the step; per-token
+    // activations plus per-sequence logits (every serving request
+    // produces output tokens); KV writes for every token streamed and
+    // KV-history reads for the decoding sequences.  Same per-phase
+    // formulas as computePhaseTraffic, resolved to one iteration.
+    cost.traffic.weightBytes = allParams * wBytesPerElem;
+    cost.traffic.activationBytes =
+        streamedTokens * actPerToken +
+        (prefillSeqs + decodeSeqs) * logits;
+    cost.traffic.kvBytes =
+        layers * kvPerTokenLayer * kvBytesPerElem *
+        (streamedTokens + work.decodeContextSum);
+
+    // ------------------------------------------------------ compute
+    const double linMacsPerCycle =
+        accel_.macsPerCycle(precision.weightDtype,
+                            precision.effectualTermsPerWeight) *
+        accel_.utilization;
+    const double attMacsPerCycle =
+        accel_.attentionMacsPerCycle() * accel_.utilization;
+    const double heads = static_cast<double>(model.numHeads);
+    const double hd = static_cast<double>(model.headDim());
+
+    double computeCycles =
+        (layers * blockParams * prefillTokens + lmHead * prefillSeqs) /
+            linMacsPerCycle +
+        layers * heads * 2.0 * hd * work.prefillAttnTokenPairs /
+            attMacsPerCycle;
+    if (work.decodeSeqs > 0) {
+        // Matrix-vector decode fills one token row per sequence; a
+        // partially refilled batch runs at partial row utilization —
+        // the roofline penalty continuous batching exists to avoid.
+        const double rowUtil =
+            std::min(decodeSeqs,
+                     static_cast<double>(accel_.peRows)) /
+            accel_.peRows;
+        computeCycles +=
+            (layers * blockParams + lmHead) * decodeSeqs /
+                (linMacsPerCycle * rowUtil) +
+            layers * heads * 2.0 * hd * work.decodeContextSum /
+                (attMacsPerCycle * rowUtil);
+    }
+    cost.computeCycles = computeCycles;
+
+    const double memBytes = cost.traffic.total();
+    cost.memCycles = dram_.transferCycles(memBytes, accel_.clockGhz);
+
+    // ------------------------------------------------------- energy
+    // Mirrors run(): DRAM per byte, one buffer write+read pass for
+    // everything, weight re-reads once per extra token tile, core
+    // full-power while computing and 30% clock-gated while waiting on
+    // DRAM.  End-of-run buffer leakage is the caller's to add (once,
+    // via idleLeakageNj) — charging it per step would double-count.
+    cost.energy.dramNj = dram_.transferEnergyNj(memBytes);
+    const double weightBits = cost.traffic.weightBytes * 8.0;
+    const double tokenTiles = std::ceil(
+        streamedTokens / static_cast<double>(accel_.peRows));
+    cost.energy.bufferNj =
+        sram_.writeEnergyNj(memBytes * 8.0) +
+        sram_.readEnergyNj(memBytes * 8.0) +
+        sram_.readEnergyNj(weightBits *
+                           std::max(0.0, tokenTiles - 1.0));
+    const double stepCycles = cost.cycles();
+    const double activeNj =
+        computeCycles * accel_.tiles * accel_.tilePowerMw * 1e-3;
+    const double idleCycles = std::max(0.0, stepCycles - computeCycles);
+    cost.energy.coreNj =
+        std::min(activeNj, stepCycles * accel_.tiles *
+                               accel_.tilePowerMw * 1e-3) +
+        idleCycles * accel_.tiles * accel_.tilePowerMw * 0.3e-3;
+    return cost;
 }
 
 } // namespace bitmod

@@ -163,6 +163,45 @@ struct RunReport
     }
 };
 
+/**
+ * One serving-engine iteration's worth of work: the prompts being
+ * prefilled this step (newly admitted requests — each also produces
+ * its first token through the LM head) and the resident sequences
+ * decoding one token each.  The step streams every weight exactly
+ * once, shared by prefills and decodes riding the same iteration —
+ * the continuous-batching piggyback that makes ragged refills cheap.
+ */
+struct StepWork
+{
+    size_t prefillSeqs = 0;    //!< requests whose prefill runs now
+    size_t prefillTokens = 0;  //!< their total prompt tokens
+    /** Sum over prefilling requests of m*(m+1)/2 (causal attention
+     *  position pairs of an m-token prompt). */
+    double prefillAttnTokenPairs = 0.0;
+    size_t decodeSeqs = 0;     //!< resident sequences decoding 1 token
+    /** Sum over decoding sequences of the context length attended
+     *  this step (prompt + tokens produced so far). */
+    double decodeContextSum = 0.0;
+
+    bool empty() const { return prefillSeqs == 0 && decodeSeqs == 0; }
+};
+
+/** Cycle/traffic/energy cost of one serving-engine step. */
+struct StepCost
+{
+    double computeCycles = 0.0;
+    double memCycles = 0.0;
+    MemoryTraffic traffic;
+    EnergyBreakdown energy;
+
+    /** Double-buffered roofline: the step takes the longer side. */
+    double
+    cycles() const
+    {
+        return computeCycles > memCycles ? computeCycles : memCycles;
+    }
+};
+
 /** The cycle-level accelerator simulator. */
 class AccelSim
 {
@@ -175,6 +214,25 @@ class AccelSim
     /** Simulate @p task on @p model at @p precision. */
     RunReport run(const LlmSpec &model, const TaskSpec &task,
                   const PrecisionChoice &precision) const;
+
+    /**
+     * Cost of one serving-engine iteration on @p model at
+     * @p precision: exactly the per-phase accounting of run(),
+     * step-resolved — weights once per step (shared across the
+     * batch), activations/KV/compute per sequence, decode compute
+     * scaled by token-row occupancy.  A serving run of one lone
+     * request therefore sums to run()'s phase totals (the regression
+     * the tests pin).  The integrity retry model is phase-level and
+     * not charged here; protection sidecar bytes still ride the
+     * weight stream via PrecisionChoice::spec().
+     */
+    StepCost stepCost(const LlmSpec &model,
+                      const PrecisionChoice &precision,
+                      const StepWork &work) const;
+
+    /** Buffer leakage over @p cycles — run() charges it across the
+     *  whole run; step-level callers add it once at the end. */
+    double idleLeakageNj(double cycles) const;
 
   private:
     AccelConfig accel_;

@@ -1,6 +1,7 @@
 #include "core/bitmod_api.hh"
 
 #include "common/logging.hh"
+#include "serve/serving_sim.hh"
 
 namespace bitmod
 {
@@ -69,35 +70,31 @@ bitmodProfileModel(const std::string &model_name, int bits,
 }
 
 DeploymentSummary
-simulateDeployment(const std::string &accel_name,
-                   const std::string &model_name, bool generative,
-                   bool lossless, const DeployOptions &opts)
+simulateDeployment(const DeployRequest &request)
 {
-    const AccelConfig accel = accelByName(accel_name);
-    const LlmSpec &model = llmByName(model_name);
-    TaskSpec task = opts.taskOverride
-                        ? *opts.taskOverride
-                        : (generative ? TaskSpec::generative()
-                                      : TaskSpec::discriminative());
-    // opts.batchSize layers on top of the task shape; the default (1)
-    // leaves an override task's own batch untouched.
-    if (opts.batchSize != 1)
-        task.batchSize = opts.batchSize;
+    const AccelConfig accel = accelByName(request.accel);
+    const LlmSpec &model = llmByName(request.model);
+    const TaskSpec task = request.resolvedTask();
+    // The precision policies take the generative/discriminative view
+    // of the workload; serving is generative-style (decode-dominated).
+    const bool generative =
+        request.workload != Workload::Discriminative;
     PrecisionChoice precision =
-        lossless ? selectLosslessPrecision(accel)
-                 : selectLossyPrecision(accel, model, generative);
-    if (opts.measured &&
+        request.policy == Policy::Lossless
+            ? selectLosslessPrecision(accel)
+            : selectLossyPrecision(accel, model, generative);
+    if (request.measured &&
         precision.weightDtype.kind != DtypeKind::Identity) {
         // Measurement-driven mode: re-point the precision view at the
         // packed-image footprint and effectual-term counts of the
         // model's quantized proxy layers (memoized when the caller
         // provides a sweep-wide cache; hits are bit-identical).
-        if (opts.cache) {
-            precision.applyProfile(opts.cache->get(
-                model, precision.quantConfig, opts.profile));
+        if (request.cache) {
+            precision.applyProfile(request.cache->get(
+                model, precision.quantConfig, request.profile));
         } else {
             precision.applyProfile(measureProfile(
-                model, precision.quantConfig, opts.profile));
+                model, precision.quantConfig, request.profile));
         }
     }
 
@@ -108,7 +105,40 @@ simulateDeployment(const std::string &accel_name,
     s.precision = precision;
     s.report = sim.run(model, task, precision);
     s.clockGhz = accel.clockGhz;
+    if (request.serving) {
+        BITMOD_ASSERT(request.workload == Workload::Serving,
+                      "serving params attached to a ",
+                      request.workload == Workload::Generative
+                          ? "generative"
+                          : "discriminative",
+                      " deployment request");
+        s.serving =
+            simulateServing(sim, model, precision, *request.serving);
+    }
     return s;
+}
+
+DeploymentSummary
+simulateDeployment(const std::string &accel_name,
+                   const std::string &model_name, bool generative,
+                   bool lossless, const DeployOptions &opts)
+{
+    DeployRequest request(accel_name, model_name);
+    request.workload = generative ? Workload::Generative
+                                  : Workload::Discriminative;
+    request.policy = lossless ? Policy::Lossless : Policy::Lossy;
+    // Reproduce the legacy precedence exactly: taskOverride first,
+    // then a non-default batchSize overrides the task's own batch.
+    TaskSpec task = opts.taskOverride
+                        ? *opts.taskOverride
+                        : request.resolvedTask();
+    if (opts.batchSize != 1)
+        task.batchSize = opts.batchSize;
+    request.task = task;
+    request.measured = opts.measured;
+    request.profile = opts.profile;
+    request.cache = opts.cache;
+    return simulateDeployment(request);
 }
 
 } // namespace bitmod

@@ -21,6 +21,7 @@
 #include "model/llm_zoo.hh"
 #include "quant/packing.hh"
 #include "quant/quantizer.hh"
+#include "serve/request.hh"
 #include "tensor/matrix.hh"
 
 namespace bitmod
@@ -78,9 +79,64 @@ MeasuredProfile bitmodProfileModel(const std::string &model_name,
                                    int bits, int group_size = 128,
                                    const ProfileConfig &pcfg = {});
 
-/** Deployment-simulation options. */
-struct DeployOptions
+/** What kind of inference a deployment runs. */
+enum class Workload
 {
+    Discriminative,  //!< prefill-only scoring (256:1 factory shape)
+    Generative,      //!< prefill + decode (256:256 factory shape)
+    /** Throughput serving: the short-context TaskSpec::serving(batch)
+     *  steady-state shape; attach ServingParams to additionally run
+     *  the request-level continuous-batching simulator. */
+    Serving,
+};
+
+/** Which precision-selection policy picks the datatype. */
+enum class Policy
+{
+    Lossy,     //!< quality-gated low-bit choice per (accel, model)
+    Lossless,  //!< bit-exact-quality choice (e.g. INT6 BitMoD)
+};
+
+/**
+ * One deployment-simulation request — the single input to
+ * simulateDeployment.  Plain aggregate with chainable setters, so
+ * call sites read as a sentence:
+ *
+ *   simulateDeployment(DeployRequest("BitMoD", "Llama-2-7B")
+ *                          .with(Workload::Serving)
+ *                          .withBatch(8));
+ *
+ * Task-shape precedence is one rule: @ref task, when set, is the
+ * complete shape — tokens *and* batch — and nothing else modifies it.
+ * When unset, the workload's factory shape is used and @ref batch is
+ * applied to it.  (The old API's DeployOptions::batchSize silently
+ * overrode an explicit taskOverride's batch; that quirk lives only in
+ * the deprecated wrapper now.)
+ */
+struct DeployRequest
+{
+    std::string accel = "BitMoD";  //!< accelByName name
+    std::string model;             //!< llmByName name
+    Workload workload = Workload::Generative;
+    Policy policy = Policy::Lossy;
+
+    /** Complete task-shape override (tokens and batch).  nullopt =
+     *  the workload's factory shape with @ref batch applied. */
+    std::optional<TaskSpec> task;
+    /** Sequences decoded in lockstep when using a factory shape:
+     *  weight DRAM traffic is shared across the batch while
+     *  activations, KV and compute scale per sequence.  Ignored when
+     *  @ref task is set. */
+    size_t batch = 1;
+
+    /**
+     * Engage the request-level serving simulator (arrivals, queueing,
+     * continuous batching) on top of the one-shot run.  Requires
+     * Workload::Serving; the result's ServingReport lands in
+     * DeploymentSummary::serving.
+     */
+    std::optional<ServingParams> serving;
+
     /**
      * Derive the run from a MeasuredProfile: quantize + pack proxy
      * layers of the model with the selected precision's QuantConfig,
@@ -91,18 +147,6 @@ struct DeployOptions
      */
     bool measured = false;
     ProfileConfig profile;
-
-    /**
-     * Sequences decoded in lockstep (TaskSpec::batchSize): weight
-     * DRAM traffic is shared across the batch while activations, KV
-     * and compute scale per sequence — batch > 1 is the regime where
-     * decode flips from memory- to compute-bound.  Values != 1
-     * override the task's own batch (factory tasks are batch 1; an
-     * explicit taskOverride keeps its baked-in batch when this is
-     * left at the default).
-     */
-    size_t batchSize = 1;
-
     /**
      * Memoizes measured profiles across simulateDeployment calls
      * (sweeps request the same (model, QuantConfig) once per task and
@@ -111,18 +155,86 @@ struct DeployOptions
      */
     ProfileCache *cache = nullptr;
 
+    DeployRequest() = default;
+    DeployRequest(std::string accel_name, std::string model_name)
+        : accel(std::move(accel_name)), model(std::move(model_name))
+    {
+    }
+
+    // Chainable setters (builder style).
+    DeployRequest &
+    with(Workload w)
+    {
+        workload = w;
+        return *this;
+    }
+    DeployRequest &
+    with(Policy p)
+    {
+        policy = p;
+        return *this;
+    }
+    DeployRequest &
+    withTask(const TaskSpec &t)
+    {
+        task = t;
+        return *this;
+    }
+    DeployRequest &
+    withBatch(size_t b)
+    {
+        batch = b;
+        return *this;
+    }
+    DeployRequest &
+    withServing(const ServingParams &sp)
+    {
+        workload = Workload::Serving;
+        serving = sp;
+        return *this;
+    }
+    DeployRequest &
+    withMeasured(ProfileCache *profile_cache = nullptr,
+                 const ProfileConfig &pcfg = {})
+    {
+        measured = true;
+        cache = profile_cache;
+        profile = pcfg;
+        return *this;
+    }
+
     /**
-     * Replaces the generative/discriminative task factories with a
-     * custom shape (a non-default batchSize above still overrides the
-     * task's batch) — the batch sweep uses a short-context serving
-     * task so the per-sequence KV stream stays subordinate to the
-     * shared weight stream.  Degenerate shapes (zero tokens) are
-     * legal overrides; nullopt keeps the factory task.
+     * The task shape this request runs — the single source of truth
+     * (TaskSpec::serving(batch) for the serving workload).
      */
-    std::optional<TaskSpec> taskOverride;
+    TaskSpec
+    resolvedTask() const
+    {
+        if (task)
+            return *task;
+        switch (workload) {
+          case Workload::Discriminative: {
+            TaskSpec t = TaskSpec::discriminative();
+            t.batchSize = batch;
+            return t;
+          }
+          case Workload::Generative: {
+            TaskSpec t = TaskSpec::generative();
+            t.batchSize = batch;
+            return t;
+          }
+          case Workload::Serving:
+            return TaskSpec::serving(batch);
+        }
+        return TaskSpec::generative();  // unreachable
+    }
 };
 
-/** Result of a deployment simulation. */
+/**
+ * Result of a deployment simulation — layered: the one-shot
+ * steady-state RunReport always, plus the request-level ServingReport
+ * when the request attached ServingParams.
+ */
 struct DeploymentSummary
 {
     std::string accelerator;
@@ -130,6 +242,8 @@ struct DeploymentSummary
     PrecisionChoice precision;
     RunReport report;
     double clockGhz = 1.0;
+    /** Request-level results (engaged iff DeployRequest::serving). */
+    std::optional<ServingReport> serving;
 
     double latencyMs() const { return report.latencyMs(clockGhz); }
     double energyMj() const { return report.energy.totalNj() * 1e-6; }
@@ -137,16 +251,36 @@ struct DeploymentSummary
 };
 
 /**
- * Simulate running @p model_name on @p accel_name ("Baseline-FP16",
- * "ANT", "OliVe", "BitMoD").
- *
- * @param generative true = 256:256 generative task, false = 256:1
- *                   discriminative task
- * @param lossless   true = lossless precision policy (INT6 BitMoD),
- *                   false = lossy (4-/3-bit BitMoD, quality-gated
- *                   4-/8-bit ANT & OliVe)
- * @param opts       analytic vs measured derivation (see DeployOptions)
+ * Simulate the deployment described by @p request: resolve the
+ * accelerator ("Baseline-FP16", "ANT", "OliVe", "BitMoD") and model by
+ * name, pick the precision via the requested policy, run the one-shot
+ * cycle/energy simulation — and, when serving params are attached, the
+ * request-level continuous-batching simulation on top.
  */
+DeploymentSummary simulateDeployment(const DeployRequest &request);
+
+/** Deployment-simulation options (deprecated entry point only). */
+struct DeployOptions
+{
+    /** See DeployRequest::measured. */
+    bool measured = false;
+    ProfileConfig profile;
+    /** Legacy batch knob: values != 1 override the task's own batch —
+     *  even an explicit taskOverride's (the precedence quirk the new
+     *  API retires; DeployRequest::task is always complete). */
+    size_t batchSize = 1;
+    /** See DeployRequest::cache. */
+    ProfileCache *cache = nullptr;
+    /** Legacy task-shape override; see batchSize for the quirk. */
+    std::optional<TaskSpec> taskOverride;
+};
+
+/**
+ * Deprecated bool-pair entry point; forwards to the DeployRequest
+ * overload (bit-identical results).  generative selects the workload,
+ * lossless the policy.
+ */
+[[deprecated("use simulateDeployment(const DeployRequest&)")]]
 DeploymentSummary simulateDeployment(const std::string &accel_name,
                                      const std::string &model_name,
                                      bool generative, bool lossless,

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Request-level serving types: what a serving workload looks like
+ * (arrival process, request shapes, scheduler choice) and what a
+ * serving run reports (per-request lifecycle stamps, TTFT/TPOT/e2e
+ * latency percentiles, throughput, queue and batch-occupancy
+ * statistics).
+ *
+ * The types are deliberately simulator-agnostic: ServingParams is the
+ * input half of the deployment API's DeployRequest, and ServingReport
+ * is the serving half of its layered DeploymentSummary, so the one-
+ * shot Fig. 7/8 path and the request-level path share one result
+ * surface.
+ */
+
+#ifndef BITMOD_SERVE_REQUEST_HH
+#define BITMOD_SERVE_REQUEST_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/perf_model.hh"
+#include "model/traffic.hh"
+
+namespace bitmod
+{
+
+/** Which batching/admission policy refills the token rows. */
+enum class SchedulerKind
+{
+    /** Strict arrival order. */
+    Fcfs,
+    /** Shortest-prompt-first queue order: packs the most prefills per
+     *  step (under the prefill-token budget), maximizing the decode
+     *  batch — the largest-batch-first policy. */
+    LargestBatchFirst,
+    /** FCFS order plus admission control: arrivals are rejected while
+     *  the waiting queue holds maxQueueDepth requests, bounding tail
+     *  latency at the cost of goodput. */
+    AdmissionControl,
+};
+
+/** Stable short name ("fcfs", "largest-batch", "admission"). */
+const char *schedulerName(SchedulerKind kind);
+
+/**
+ * One request's lifecycle through the serving engine.  Times are in
+ * accelerator cycles; -1 marks a stamp not reached yet.  The invariant
+ * chain for a completed request is
+ *   arrivalCycle <= admitCycle <= firstTokenCycle <= finishCycle
+ * with tokensOut == outTokens exactly once (no request is lost or
+ * decoded twice — the conservation property the tests pin).
+ */
+struct ServingRequest
+{
+    size_t id = 0;
+    double arrivalCycle = 0.0;
+    size_t inTokens = 0;   //!< prompt length (prefill work)
+    size_t outTokens = 1;  //!< tokens to produce (>= 1; 1 = prefill only)
+
+    double admitCycle = -1.0;      //!< prefill step began
+    double firstTokenCycle = -1.0; //!< prefill step ended (TTFT point)
+    double finishCycle = -1.0;     //!< last token produced
+    size_t tokensOut = 0;          //!< tokens produced so far
+    bool rejected = false;         //!< refused by admission control
+
+    bool done() const { return rejected || tokensOut >= outTokens; }
+
+    double ttftCycles() const { return firstTokenCycle - arrivalCycle; }
+    double e2eCycles() const { return finishCycle - arrivalCycle; }
+    /** Per-token decode time after the first token (0 if outTokens==1). */
+    double
+    tpotCycles() const
+    {
+        return outTokens > 1 ? (finishCycle - firstTokenCycle) /
+                                   static_cast<double>(outTokens - 1)
+                             : 0.0;
+    }
+};
+
+/** Serving-workload shape: arrivals, request sizes, and scheduling. */
+struct ServingParams
+{
+    /**
+     * Poisson arrival rate in requests per second.  <= 0 degenerates
+     * to a closed-loop burst: every request arrives at cycle 0 (the
+     * saturation/capacity-calibration mode).  Ignored when traceFile
+     * is set.
+     */
+    double arrivalRatePerSec = 8.0;
+    /** Requests generated (Poisson mode; a trace brings its own). */
+    size_t numRequests = 64;
+    /** Arrival + request-shape RNG seed; runs are bit-reproducible
+     *  for a fixed seed regardless of worker-pool width. */
+    uint64_t seed = 0x5e221e5;
+
+    /** Prompt length, fixed at inTokens unless inTokensMax > inTokens,
+     *  in which case lengths are drawn uniformly from
+     *  [inTokens, inTokensMax] (seeded) — ragged prompts are what make
+     *  the scheduler policies diverge. */
+    size_t inTokens = 32;
+    size_t inTokensMax = 0;
+    /** Tokens produced per request (>= 1; the first comes out of the
+     *  prefill step). */
+    size_t outTokens = 32;
+
+    /**
+     * Arrival trace file: one request per line,
+     *   <arrival_ms> <in_tokens> <out_tokens>
+     * ('#' starts a comment).  Overrides the Poisson generator and
+     * numRequests/inTokens/outTokens when non-empty.
+     */
+    std::string traceFile;
+
+    SchedulerKind scheduler = SchedulerKind::Fcfs;
+    /** Concurrent decode rows (the batch capacity).  0 = the
+     *  accelerator's peRows — the token dimension of its PE tiles. */
+    size_t maxConcurrency = 0;
+    /** AdmissionControl threshold: arrivals finding this many waiting
+     *  requests are rejected.  Ignored by the other schedulers. */
+    size_t maxQueueDepth = 16;
+    /**
+     * Soft cap on new prompt tokens prefilled per engine step (0 =
+     * unlimited).  The first refill candidate of a step is always
+     * admitted so progress is guaranteed; the budget gates the rest —
+     * this is the knob that makes shortest-prompt-first ordering pack
+     * strictly more prefills per weight pass.
+     */
+    size_t prefillTokenBudget = 0;
+};
+
+/** Nearest-rank percentile summary of one latency population (ms). */
+struct LatencySummary
+{
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    double mean = 0.0, max = 0.0;
+    size_t count = 0;
+};
+
+/** Nearest-rank percentiles over @p values (consumed by sorting). */
+LatencySummary summarizeLatencies(std::vector<double> values);
+
+/**
+ * Result of one request-level serving simulation.  Latencies are in
+ * milliseconds at the accelerator clock; throughputs are measured over
+ * the makespan (first arrival to last completion).
+ */
+struct ServingReport
+{
+    LatencySummary ttftMs;  //!< arrival -> first token
+    LatencySummary tpotMs;  //!< per-token decode time after the first
+    LatencySummary e2eMs;   //!< arrival -> last token
+
+    size_t arrivals = 0;
+    size_t completed = 0;
+    size_t rejected = 0;
+    size_t steps = 0;            //!< engine iterations executed
+    double completedTokens = 0;  //!< sum of outTokens over completed
+
+    double offeredRps = 0.0;   //!< configured (or trace-implied) rate
+    double achievedRps = 0.0;  //!< completed / makespan
+    double tokensPerSec = 0.0; //!< completedTokens / makespan
+    double makespanMs = 0.0;
+    double totalCycles = 0.0;
+
+    double meanQueueDepth = 0.0;
+    size_t peakQueueDepth = 0;
+    /** Mean busy token rows per step (batch occupancy). */
+    double meanBatchOccupancy = 0.0;
+    /** occupancyHist[k] = fraction of steps running k sequences
+     *  (size maxConcurrency + 1). */
+    std::vector<double> occupancyHist;
+
+    /** Total off-chip traffic charged across all steps. */
+    MemoryTraffic traffic;
+    /** Energy charged across all steps (incl. end-of-run leakage). */
+    EnergyBreakdown energy;
+
+    /** Per-request lifecycle trace (completed and rejected), in id
+     *  order — the raw material for the conservation tests. */
+    std::vector<ServingRequest> requests;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_SERVE_REQUEST_HH

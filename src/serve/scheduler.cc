@@ -1,0 +1,102 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+const char *
+schedulerName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Fcfs:
+        return "fcfs";
+      case SchedulerKind::LargestBatchFirst:
+        return "largest-batch";
+      case SchedulerKind::AdmissionControl:
+        return "admission";
+    }
+    BITMOD_PANIC("unhandled scheduler kind");
+}
+
+namespace
+{
+
+class FcfsScheduler final : public Scheduler
+{
+  public:
+    SchedulerKind kind() const override { return SchedulerKind::Fcfs; }
+};
+
+class LargestBatchScheduler final : public Scheduler
+{
+  public:
+    SchedulerKind
+    kind() const override
+    {
+        return SchedulerKind::LargestBatchFirst;
+    }
+
+    void
+    order(std::vector<size_t> &waiting,
+          const std::vector<ServingRequest> &all) const override
+    {
+        // Shortest prompt first (ties by arrival id): under a prefill
+        // token budget this admits the maximum number of requests per
+        // step, i.e. the largest refilled batch per weight pass.
+        std::stable_sort(waiting.begin(), waiting.end(),
+                         [&all](size_t a, size_t b) {
+                             if (all[a].inTokens != all[b].inTokens)
+                                 return all[a].inTokens <
+                                        all[b].inTokens;
+                             return all[a].id < all[b].id;
+                         });
+    }
+};
+
+class AdmissionControlScheduler final : public Scheduler
+{
+  public:
+    explicit AdmissionControlScheduler(size_t max_queue_depth)
+        : maxQueueDepth_(max_queue_depth)
+    {
+    }
+
+    SchedulerKind
+    kind() const override
+    {
+        return SchedulerKind::AdmissionControl;
+    }
+
+    bool
+    admit(const ServingRequest &, size_t queue_depth) const override
+    {
+        return queue_depth < maxQueueDepth_;
+    }
+
+  private:
+    size_t maxQueueDepth_;
+};
+
+} // namespace
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerKind kind, const ServingParams &params)
+{
+    switch (kind) {
+      case SchedulerKind::Fcfs:
+        return std::make_unique<FcfsScheduler>();
+      case SchedulerKind::LargestBatchFirst:
+        return std::make_unique<LargestBatchScheduler>();
+      case SchedulerKind::AdmissionControl:
+        BITMOD_ASSERT(params.maxQueueDepth > 0,
+                      "admission control needs maxQueueDepth >= 1");
+        return std::make_unique<AdmissionControlScheduler>(
+            params.maxQueueDepth);
+    }
+    BITMOD_PANIC("unhandled scheduler kind");
+}
+
+} // namespace bitmod

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Pluggable batching/admission policy behind the serving engine.  A
+ * Scheduler decides two things, both deterministically: whether an
+ * arriving request is admitted to the waiting queue at all, and in
+ * what order the queue refills freed token rows at each step.
+ */
+
+#ifndef BITMOD_SERVE_SCHEDULER_HH
+#define BITMOD_SERVE_SCHEDULER_HH
+
+#include <memory>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace bitmod
+{
+
+/** Queue policy interface (implementations must be deterministic). */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    virtual SchedulerKind kind() const = 0;
+    const char *name() const { return schedulerName(kind()); }
+
+    /**
+     * Arrival-time admission: return false to reject @p req outright
+     * given @p queue_depth requests already waiting.  The default
+     * admits everything.
+     */
+    virtual bool
+    admit(const ServingRequest &req, size_t queue_depth) const
+    {
+        (void)req;
+        (void)queue_depth;
+        return true;
+    }
+
+    /**
+     * Order the @p waiting indices (into @p all) for this step's row
+     * refill; the engine admits from the front subject to free rows
+     * and the prefill-token budget.  The default keeps arrival order.
+     */
+    virtual void
+    order(std::vector<size_t> &waiting,
+          const std::vector<ServingRequest> &all) const
+    {
+        (void)waiting;
+        (void)all;
+    }
+};
+
+/** Factory: policy knobs (maxQueueDepth) come from @p params. */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind,
+                                         const ServingParams &params);
+
+} // namespace bitmod
+
+#endif // BITMOD_SERVE_SCHEDULER_HH

@@ -1,0 +1,321 @@
+#include "serve/serving_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "serve/scheduler.hh"
+
+namespace bitmod
+{
+
+namespace
+{
+
+double
+cyclesToMs(double cycles, double clock_ghz)
+{
+    return cycles / (clock_ghz * 1e6);
+}
+
+} // namespace
+
+LatencySummary
+summarizeLatencies(std::vector<double> values)
+{
+    LatencySummary s;
+    s.count = values.size();
+    if (values.empty())
+        return s;
+    std::sort(values.begin(), values.end());
+    // Nearest-rank percentile: the ceil(q*n)-th smallest sample.
+    const auto rank = [&](double q) {
+        const double n = static_cast<double>(values.size());
+        size_t idx = static_cast<size_t>(std::ceil(q * n));
+        idx = std::min(values.size(), std::max<size_t>(1, idx));
+        return values[idx - 1];
+    };
+    s.p50 = rank(0.50);
+    s.p95 = rank(0.95);
+    s.p99 = rank(0.99);
+    s.max = values.back();
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    s.mean = sum / static_cast<double>(values.size());
+    return s;
+}
+
+std::vector<ServingRequest>
+loadArrivalTrace(const std::string &path, double clock_ghz)
+{
+    std::ifstream in(path);
+    if (!in)
+        BITMOD_FATAL("cannot open arrival trace ", path);
+    std::vector<ServingRequest> reqs;
+    std::string line;
+    size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        double arrivalMs = 0.0;
+        size_t inTok = 0, outTok = 0;
+        if (!(fields >> arrivalMs))
+            continue;  // blank / comment-only line
+        if (!(fields >> inTok >> outTok) || arrivalMs < 0.0 ||
+            outTok < 1)
+            BITMOD_FATAL("malformed trace line ", lineNo, " in ",
+                         path,
+                         " (want \"<arrival_ms> <in> <out>\", out "
+                         ">= 1)");
+        ServingRequest r;
+        r.arrivalCycle = arrivalMs * clock_ghz * 1e6;
+        r.inTokens = inTok;
+        r.outTokens = outTok;
+        reqs.push_back(r);
+    }
+    std::stable_sort(reqs.begin(), reqs.end(),
+                     [](const ServingRequest &a,
+                        const ServingRequest &b) {
+                         return a.arrivalCycle < b.arrivalCycle;
+                     });
+    for (size_t i = 0; i < reqs.size(); ++i)
+        reqs[i].id = i;
+    return reqs;
+}
+
+std::vector<ServingRequest>
+generateArrivals(const ServingParams &params, double clock_ghz)
+{
+    if (!params.traceFile.empty())
+        return loadArrivalTrace(params.traceFile, clock_ghz);
+
+    BITMOD_ASSERT(params.outTokens >= 1,
+                  "serving requests produce at least one token");
+    Rng rng(params.seed);
+    std::vector<ServingRequest> reqs;
+    reqs.reserve(params.numRequests);
+    double arrivalCycle = 0.0;
+    const double cyclesPerSec = clock_ghz * 1e9;
+    for (size_t i = 0; i < params.numRequests; ++i) {
+        if (params.arrivalRatePerSec > 0.0 && i > 0) {
+            // Poisson process: exponential interarrival gaps.
+            const double gapSec =
+                -std::log1p(-rng.uniform()) /
+                params.arrivalRatePerSec;
+            arrivalCycle += gapSec * cyclesPerSec;
+        }
+        ServingRequest r;
+        r.id = i;
+        r.arrivalCycle =
+            params.arrivalRatePerSec > 0.0 ? arrivalCycle : 0.0;
+        r.inTokens = params.inTokens;
+        if (params.inTokensMax > params.inTokens)
+            r.inTokens =
+                params.inTokens +
+                static_cast<size_t>(rng.below(
+                    params.inTokensMax - params.inTokens + 1));
+        r.outTokens = params.outTokens;
+        reqs.push_back(r);
+    }
+    return reqs;
+}
+
+ServingReport
+simulateServing(const AccelSim &sim, const LlmSpec &model,
+                const PrecisionChoice &precision,
+                const ServingParams &params)
+{
+    const double clockGhz = sim.config().clockGhz;
+    const size_t slots = params.maxConcurrency > 0
+                             ? params.maxConcurrency
+                             : sim.config().peRows;
+    BITMOD_ASSERT(slots >= 1, "serving needs at least one token row");
+    const auto scheduler = makeScheduler(params.scheduler, params);
+
+    ServingReport report;
+    report.occupancyHist.assign(slots + 1, 0.0);
+    report.offeredRps = std::max(0.0, params.arrivalRatePerSec);
+
+    std::vector<ServingRequest> requests =
+        generateArrivals(params, clockGhz);
+    report.arrivals = requests.size();
+    if (requests.empty())
+        return report;
+    if (!params.traceFile.empty()) {
+        // Trace-implied offered rate over the arrival span.
+        const double spanCycles =
+            requests.back().arrivalCycle -
+            requests.front().arrivalCycle;
+        report.offeredRps =
+            spanCycles > 0.0
+                ? static_cast<double>(requests.size() - 1) /
+                      (spanCycles / (clockGhz * 1e9))
+                : 0.0;
+    }
+
+    std::vector<size_t> waiting;  //!< queued request ids
+    std::vector<size_t> running;  //!< resident (decoding) ids
+    std::vector<size_t> admitted; //!< ids prefilled this step
+    size_t nextArrival = 0;
+    size_t retired = 0;  //!< completed + rejected
+    double now = requests.front().arrivalCycle;
+    const double startCycle = now;
+    double queueDepthSum = 0.0;
+    double occupancySum = 0.0;
+
+    while (retired < requests.size()) {
+        // Pull every arrival up to the current time; admission
+        // control rejects at arrival time based on the queue it finds.
+        while (nextArrival < requests.size() &&
+               requests[nextArrival].arrivalCycle <= now) {
+            ServingRequest &req = requests[nextArrival];
+            if (scheduler->admit(req, waiting.size())) {
+                waiting.push_back(req.id);
+                report.peakQueueDepth = std::max(
+                    report.peakQueueDepth, waiting.size());
+            } else {
+                req.rejected = true;
+                ++report.rejected;
+                ++retired;
+            }
+            ++nextArrival;
+        }
+
+        if (waiting.empty() && running.empty()) {
+            if (nextArrival >= requests.size())
+                break;  // only rejected stragglers remained
+            // Idle: jump to the next arrival.
+            now = requests[nextArrival].arrivalCycle;
+            continue;
+        }
+
+        // Refill free token rows from the queue in scheduler order.
+        // The first candidate is always admitted (progress guarantee);
+        // the prefill-token budget gates the rest of the step's batch.
+        scheduler->order(waiting, requests);
+        admitted.clear();
+        size_t budgetUsed = 0;
+        while (!waiting.empty() &&
+               running.size() + admitted.size() < slots) {
+            const size_t id = waiting.front();
+            const size_t need = requests[id].inTokens;
+            if (!admitted.empty() && params.prefillTokenBudget > 0 &&
+                budgetUsed + need > params.prefillTokenBudget)
+                break;
+            budgetUsed += need;
+            admitted.push_back(id);
+            waiting.erase(waiting.begin());
+        }
+
+        // One engine iteration: prefill the admissions, decode one
+        // token for every resident sequence, all sharing this step's
+        // single weight pass.
+        StepWork work;
+        for (size_t id : admitted) {
+            ServingRequest &req = requests[id];
+            req.admitCycle = now;
+            const double m = static_cast<double>(req.inTokens);
+            work.prefillSeqs += 1;
+            work.prefillTokens += req.inTokens;
+            work.prefillAttnTokenPairs += m * (m + 1.0) / 2.0;
+        }
+        for (size_t id : running) {
+            const ServingRequest &req = requests[id];
+            work.decodeSeqs += 1;
+            work.decodeContextSum +=
+                static_cast<double>(req.inTokens + req.tokensOut);
+        }
+        const StepCost cost = sim.stepCost(model, precision, work);
+        now += cost.cycles();
+        report.steps += 1;
+        report.totalCycles += cost.cycles();
+        report.traffic.weightBytes += cost.traffic.weightBytes;
+        report.traffic.activationBytes +=
+            cost.traffic.activationBytes;
+        report.traffic.kvBytes += cost.traffic.kvBytes;
+        report.energy.dramNj += cost.energy.dramNj;
+        report.energy.bufferNj += cost.energy.bufferNj;
+        report.energy.coreNj += cost.energy.coreNj;
+
+        const size_t busy = admitted.size() + running.size();
+        report.occupancyHist[busy] += 1.0;
+        occupancySum += static_cast<double>(busy);
+        queueDepthSum += static_cast<double>(waiting.size());
+
+        // Retire and promote: prefilled requests emit their first
+        // token at the end of the step; decoding sequences emit one
+        // more.  A finished request frees its row for the next step's
+        // refill — the ragged departure of continuous batching.
+        running.erase(
+            std::remove_if(
+                running.begin(), running.end(),
+                [&](size_t id) {
+                    ServingRequest &req = requests[id];
+                    req.tokensOut += 1;
+                    if (req.tokensOut < req.outTokens)
+                        return false;
+                    req.finishCycle = now;
+                    ++report.completed;
+                    ++retired;
+                    return true;
+                }),
+            running.end());
+        for (size_t id : admitted) {
+            ServingRequest &req = requests[id];
+            req.firstTokenCycle = now;
+            req.tokensOut = 1;
+            if (req.tokensOut >= req.outTokens) {
+                req.finishCycle = now;
+                ++report.completed;
+                ++retired;
+            } else {
+                running.push_back(id);
+            }
+        }
+    }
+
+    // ---------------------------------------------------- summaries
+    std::vector<double> ttft, tpot, e2e;
+    for (const ServingRequest &req : requests) {
+        if (req.rejected)
+            continue;
+        ttft.push_back(cyclesToMs(req.ttftCycles(), clockGhz));
+        e2e.push_back(cyclesToMs(req.e2eCycles(), clockGhz));
+        if (req.outTokens > 1)
+            tpot.push_back(cyclesToMs(req.tpotCycles(), clockGhz));
+        report.completedTokens +=
+            static_cast<double>(req.outTokens);
+    }
+    report.ttftMs = summarizeLatencies(std::move(ttft));
+    report.tpotMs = summarizeLatencies(std::move(tpot));
+    report.e2eMs = summarizeLatencies(std::move(e2e));
+
+    const double makespanCycles = now - startCycle;
+    report.makespanMs = cyclesToMs(makespanCycles, clockGhz);
+    const double makespanSec = report.makespanMs * 1e-3;
+    if (makespanSec > 0.0) {
+        report.achievedRps =
+            static_cast<double>(report.completed) / makespanSec;
+        report.tokensPerSec = report.completedTokens / makespanSec;
+    }
+    if (report.steps > 0) {
+        const double steps = static_cast<double>(report.steps);
+        report.meanQueueDepth = queueDepthSum / steps;
+        report.meanBatchOccupancy = occupancySum / steps;
+        for (double &bin : report.occupancyHist)
+            bin /= steps;
+    }
+    // The chip leaks for the whole makespan, idle gaps included.
+    report.energy.bufferNj += sim.idleLeakageNj(makespanCycles);
+    report.requests = std::move(requests);
+    return report;
+}
+
+} // namespace bitmod

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Request-level serving engine on top of AccelSim — continuous
+ * batching over the accelerator's token rows.  Arrivals (seeded
+ * Poisson or a trace file) feed a waiting queue; each engine step
+ * admits queued requests into free rows (prefill), decodes one token
+ * for every resident sequence, and retires finished requests so their
+ * rows refill from the queue on the very next step.  Every step is
+ * charged through AccelSim::stepCost — the same roofline and traffic
+ * model the one-shot Fig. 7/8 path uses, resolved per iteration.
+ *
+ * The whole simulation is serial and seeded: for a fixed
+ * ServingParams the result is bit-identical regardless of how many
+ * worker threads the surrounding sweep uses.
+ */
+
+#ifndef BITMOD_SERVE_SERVING_SIM_HH
+#define BITMOD_SERVE_SERVING_SIM_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/perf_model.hh"
+#include "model/llm_zoo.hh"
+#include "serve/request.hh"
+
+namespace bitmod
+{
+
+/**
+ * Generate the arrival set for @p params at @p clock_ghz: the trace
+ * file when one is named, otherwise numRequests seeded Poisson
+ * arrivals (exponential interarrival at arrivalRatePerSec; rate <= 0
+ * degenerates to a burst at cycle 0) with prompt lengths drawn
+ * uniformly from [inTokens, inTokensMax] when a range is configured.
+ * Requests come back in arrival order with ids 0..n-1.
+ */
+std::vector<ServingRequest> generateArrivals(const ServingParams &params,
+                                             double clock_ghz);
+
+/**
+ * Parse an arrival trace: one "<arrival_ms> <in_tokens> <out_tokens>"
+ * line per request ('#' starts a comment; blank lines are skipped),
+ * sorted by arrival time.  Fatal on unreadable files or malformed
+ * lines — a trace is an experiment input, not user chat.
+ */
+std::vector<ServingRequest> loadArrivalTrace(const std::string &path,
+                                             double clock_ghz);
+
+/**
+ * Run the continuous-batching serving simulation of @p params for
+ * @p model at @p precision on @p sim's accelerator.  Deterministic
+ * for a fixed seed; independent of thread count by construction.
+ */
+ServingReport simulateServing(const AccelSim &sim, const LlmSpec &model,
+                              const PrecisionChoice &precision,
+                              const ServingParams &params);
+
+} // namespace bitmod
+
+#endif // BITMOD_SERVE_SERVING_SIM_HH

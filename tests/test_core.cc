@@ -128,66 +128,102 @@ TEST(EvalContext, CalibratedModeSupportsMethods)
 
 TEST(Deployment, EndToEndLossless)
 {
-    const auto s =
-        simulateDeployment("BitMoD", "Phi-2B", /*generative=*/true,
-                           /*lossless=*/true);
+    const auto s = simulateDeployment(
+        DeployRequest("BitMoD", "Phi-2B").with(Policy::Lossless));
     EXPECT_EQ(s.accelerator, "BitMoD");
     EXPECT_EQ(s.precision.weightDtype.name, "INT6-Sym");
     EXPECT_GT(s.latencyMs(), 0.0);
     EXPECT_GT(s.energyMj(), 0.0);
+    // No serving params attached, no serving layer in the summary.
+    EXPECT_FALSE(s.serving.has_value());
 
-    const auto base = simulateDeployment("Baseline-FP16", "Phi-2B",
-                                         true, true);
+    const auto base = simulateDeployment(
+        DeployRequest("Baseline-FP16", "Phi-2B")
+            .with(Policy::Lossless));
     EXPECT_GT(base.latencyMs() / s.latencyMs(), 1.5);
 }
 
 TEST(Deployment, LossyBeatsAntAndOlive)
 {
     // The Fig. 7 headline: lossy BitMoD outperforms both ANT and OliVe
-    // on generative tasks.
+    // on generative tasks (the request's defaults: generative, lossy).
     const auto bm =
-        simulateDeployment("BitMoD", "Llama-2-7B", true, false);
-    const auto ant = simulateDeployment("ANT", "Llama-2-7B", true,
-                                        false);
-    const auto olive = simulateDeployment("OliVe", "Llama-2-7B", true,
-                                          false);
+        simulateDeployment(DeployRequest("BitMoD", "Llama-2-7B"));
+    const auto ant =
+        simulateDeployment(DeployRequest("ANT", "Llama-2-7B"));
+    const auto olive =
+        simulateDeployment(DeployRequest("OliVe", "Llama-2-7B"));
     EXPECT_LT(bm.latencyMs(), ant.latencyMs());
     EXPECT_LT(bm.latencyMs(), olive.latencyMs());
     EXPECT_LT(bm.energyMj(), ant.energyMj());
 }
 
-TEST(Deployment, BatchSizeAndTaskOverrideCompose)
+TEST(Deployment, TaskPrecedenceIsOneRule)
 {
-    // A task override carrying its own batch is honored when
-    // opts.batchSize stays at the default, and opts.batchSize != 1
-    // layers the batch onto whichever task is in play.
-    DeployOptions baked;
-    baked.taskOverride = TaskSpec::serving(64);
-    const auto a =
-        simulateDeployment("BitMoD", "Phi-2B", true, true, baked);
+    // An explicit task is the complete shape, batch included: the
+    // request's batch knob does not leak into it.
+    const auto baked = simulateDeployment(
+        DeployRequest("BitMoD", "Phi-2B")
+            .with(Policy::Lossless)
+            .withTask(TaskSpec::serving(64))
+            .withBatch(8));
+    const auto factory = simulateDeployment(
+        DeployRequest("BitMoD", "Phi-2B")
+            .with(Policy::Lossless)
+            .with(Workload::Serving)
+            .withBatch(64));
+    EXPECT_EQ(baked.report.decodeCycles, factory.report.decodeCycles);
+    EXPECT_EQ(baked.report.traffic.decode.activationBytes,
+              factory.report.traffic.decode.activationBytes);
 
-    DeployOptions layered;
-    layered.taskOverride = TaskSpec::serving(1);
-    layered.batchSize = 64;
-    const auto b =
-        simulateDeployment("BitMoD", "Phi-2B", true, true, layered);
-
-    EXPECT_EQ(a.report.decodeCycles, b.report.decodeCycles);
-    EXPECT_EQ(a.report.traffic.decode.activationBytes,
-              b.report.traffic.decode.activationBytes);
-
-    // And without an override, batchSize batches the factory task.
-    DeployOptions batched;
-    batched.batchSize = 8;
-    const auto gen8 =
-        simulateDeployment("BitMoD", "Phi-2B", true, true, batched);
-    const auto gen1 = simulateDeployment("BitMoD", "Phi-2B", true,
-                                         true, DeployOptions{});
+    // Without a task override, batch batches the factory shape.
+    const auto gen8 = simulateDeployment(
+        DeployRequest("BitMoD", "Phi-2B")
+            .with(Policy::Lossless)
+            .withBatch(8));
+    const auto gen1 = simulateDeployment(
+        DeployRequest("BitMoD", "Phi-2B").with(Policy::Lossless));
     EXPECT_DOUBLE_EQ(gen8.report.traffic.decode.kvBytes,
                      8.0 * gen1.report.traffic.decode.kvBytes);
     EXPECT_DOUBLE_EQ(gen8.report.traffic.decode.weightBytes,
                      gen1.report.traffic.decode.weightBytes);
 }
+
+// The deprecated bool-pair signature must stay bit-identical to the
+// DeployRequest path, including its batchSize/taskOverride precedence
+// quirk (batchSize != 1 overrides even an explicit task's batch).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Deployment, DeprecatedWrapperBitIdentical)
+{
+    const auto oldGen =
+        simulateDeployment("BitMoD", "Phi-2B", /*generative=*/true,
+                           /*lossless=*/false);
+    const auto newGen =
+        simulateDeployment(DeployRequest("BitMoD", "Phi-2B"));
+    EXPECT_EQ(oldGen.report.totalCycles(),
+              newGen.report.totalCycles());
+    EXPECT_EQ(oldGen.report.energy.totalNj(),
+              newGen.report.energy.totalNj());
+    EXPECT_EQ(oldGen.report.traffic.decode.kvBytes,
+              newGen.report.traffic.decode.kvBytes);
+
+    // The legacy quirk: batchSize layers on top of a task override.
+    DeployOptions layered;
+    layered.taskOverride = TaskSpec::serving(1);
+    layered.batchSize = 64;
+    const auto oldBatched =
+        simulateDeployment("BitMoD", "Phi-2B", true, true, layered);
+    const auto newBatched = simulateDeployment(
+        DeployRequest("BitMoD", "Phi-2B")
+            .with(Policy::Lossless)
+            .withTask(TaskSpec::serving(64)));
+    EXPECT_EQ(oldBatched.report.decodeCycles,
+              newBatched.report.decodeCycles);
+    EXPECT_EQ(oldBatched.report.energy.totalNj(),
+              newBatched.report.energy.totalNj());
+}
+#pragma GCC diagnostic pop
 
 } // namespace
 } // namespace bitmod

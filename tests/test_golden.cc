@@ -52,19 +52,25 @@ computeHeadlineRatios()
 {
     std::map<std::string, double> out;
     std::vector<double> ant, olive, ll, ly, llEff, lyAntEff, lyOliveEff;
-    for (const bool generative : {false, true}) {
-        const std::string task = generative ? "gen" : "disc";
+    for (const Workload workload :
+         {Workload::Discriminative, Workload::Generative}) {
+        const std::string task =
+            workload == Workload::Generative ? "gen" : "disc";
+        const auto deploy = [&](const std::string &accel,
+                                const std::string &model,
+                                Policy policy) {
+            return simulateDeployment(
+                DeployRequest(accel, model).with(workload).with(
+                    policy));
+        };
         for (const auto &model : llmZoo()) {
-            const auto base = simulateDeployment(
-                "Baseline-FP16", model.name, generative, true);
-            const auto a = simulateDeployment("ANT", model.name,
-                                              generative, false);
-            const auto o = simulateDeployment("OliVe", model.name,
-                                              generative, false);
-            const auto l = simulateDeployment("BitMoD", model.name,
-                                              generative, true);
-            const auto y = simulateDeployment("BitMoD", model.name,
-                                              generative, false);
+            const auto base = deploy("Baseline-FP16", model.name,
+                                     Policy::Lossless);
+            const auto a = deploy("ANT", model.name, Policy::Lossy);
+            const auto o = deploy("OliVe", model.name, Policy::Lossy);
+            const auto l =
+                deploy("BitMoD", model.name, Policy::Lossless);
+            const auto y = deploy("BitMoD", model.name, Policy::Lossy);
 
             const std::string k = task + "." + model.name + ".";
             // Fig. 7: latency speedup over the FP16 baseline.

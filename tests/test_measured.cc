@@ -502,17 +502,21 @@ TEST(ProfileCacheTest, KeyCoversModelConfigAndSampling)
 TEST(ProfileCacheTest, DeploymentSweepReusesProfiles)
 {
     ProfileCache cache;
-    DeployOptions opts;
-    opts.measured = true;
-    opts.cache = &cache;
-    opts.profile.maxRows = 16;
-    opts.profile.maxCols = 512;
+    ProfileConfig pcfg;
+    pcfg.maxRows = 16;
+    pcfg.maxCols = 512;
+    const auto request = [&](Workload workload, ProfileCache *c) {
+        return DeployRequest("BitMoD", "Phi-2B")
+            .with(workload)
+            .with(Policy::Lossless)
+            .withMeasured(c, pcfg);
+    };
 
     // Same (model, lossless INT6) across two tasks: one measurement.
-    const auto disc =
-        simulateDeployment("BitMoD", "Phi-2B", false, true, opts);
+    const auto disc = simulateDeployment(
+        request(Workload::Discriminative, &cache));
     const auto gen =
-        simulateDeployment("BitMoD", "Phi-2B", true, true, opts);
+        simulateDeployment(request(Workload::Generative, &cache));
     EXPECT_EQ(cache.misses(), 1u);
     EXPECT_EQ(cache.hits(), 1u);
     EXPECT_TRUE(disc.report.measured);
@@ -521,10 +525,8 @@ TEST(ProfileCacheTest, DeploymentSweepReusesProfiles)
               gen.precision.weightBitsPerElem);
 
     // And the cached run equals the uncached one bit for bit.
-    DeployOptions uncached = opts;
-    uncached.cache = nullptr;
-    const auto fresh =
-        simulateDeployment("BitMoD", "Phi-2B", true, true, uncached);
+    const auto fresh = simulateDeployment(
+        request(Workload::Generative, nullptr));
     EXPECT_EQ(gen.report.totalCycles(), fresh.report.totalCycles());
     EXPECT_EQ(gen.report.energy.totalNj(),
               fresh.report.energy.totalNj());

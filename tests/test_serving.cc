@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Request-level serving engine tests: the step-cost model's
+ * shared-weight-pass accounting, the one-lone-request equivalence
+ * with the one-shot AccelSim::run path, seeded determinism across
+ * worker-pool widths, scheduler-invariant conservation of requests
+ * and tokens, the degenerate arrival regimes (burst, single request,
+ * rate far beyond capacity), the scheduler policies' observable
+ * ordering behavior, and a golden-pinned trace run
+ * (tests/golden/serving_trace.txt -> serving_small.json).
+ *
+ * Regenerating the golden file (after an *intentional* engine change):
+ *   BITMOD_REGEN_GOLDEN=1 ./bitmod_tests --gtest_filter='ServingGolden*'
+ * then review the diff of tests/golden/serving_small.json.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "core/bitmod_api.hh"
+#include "serve/serving_sim.hh"
+
+#ifndef BITMOD_GOLDEN_DIR
+#define BITMOD_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace bitmod
+{
+namespace
+{
+
+PrecisionChoice
+testPrecision()
+{
+    return PrecisionChoice::bitmod(dtypes::bitmodFp4());
+}
+
+void
+expectClose(double actual, double expected, double rel,
+            const char *what)
+{
+    EXPECT_NEAR(actual, expected, std::fabs(expected) * rel) << what;
+}
+
+// ------------------------------------------------------- step cost
+
+TEST(StepCost, EmptyStepIsFree)
+{
+    const AccelSim sim(makeBitmod());
+    const StepCost c = sim.stepCost(llmByName("Llama-2-7B"),
+                                    testPrecision(), StepWork{});
+    EXPECT_EQ(c.cycles(), 0.0);
+    EXPECT_EQ(c.traffic.total(), 0.0);
+    EXPECT_EQ(c.energy.totalNj(), 0.0);
+}
+
+TEST(StepCost, WeightPassSharedAcrossTheBatch)
+{
+    const AccelSim sim(makeBitmod());
+    const LlmSpec &model = llmByName("Llama-2-7B");
+    const PrecisionChoice prec = testPrecision();
+
+    StepWork one;
+    one.decodeSeqs = 1;
+    one.decodeContextSum = 100.0;
+    StepWork four;
+    four.decodeSeqs = 4;
+    four.decodeContextSum = 400.0;
+
+    const StepCost c1 = sim.stepCost(model, prec, one);
+    const StepCost c4 = sim.stepCost(model, prec, four);
+
+    // Continuous batching's whole point: the step streams every
+    // weight exactly once no matter how many sequences ride it...
+    EXPECT_EQ(c4.traffic.weightBytes, c1.traffic.weightBytes);
+    // ...while the per-sequence components scale with the batch.
+    EXPECT_GT(c4.traffic.kvBytes, 3.9 * c1.traffic.kvBytes);
+    EXPECT_GT(c4.traffic.activationBytes, c1.traffic.activationBytes);
+    // Under peRows sequences a step still pays the full tile pass
+    // (row utilization scales the divisor), so compute is flat until
+    // the rows fill — and grows once the batch spills past them.
+    EXPECT_EQ(c4.computeCycles, c1.computeCycles);
+    StepWork spill;
+    spill.decodeSeqs =
+        static_cast<size_t>(sim.config().peRows) * 2;
+    spill.decodeContextSum = 100.0 * spill.decodeSeqs;
+    EXPECT_GT(sim.stepCost(model, prec, spill).computeCycles,
+              c1.computeCycles);
+
+    // A prefill piggybacking on the decode step shares that same
+    // weight pass too — the mixed step is no more weight traffic
+    // than either phase alone.
+    StepWork mixed = four;
+    mixed.prefillSeqs = 1;
+    mixed.prefillTokens = 32;
+    mixed.prefillAttnTokenPairs = 32.0 * 33.0 / 2.0;
+    const StepCost cm = sim.stepCost(model, prec, mixed);
+    EXPECT_EQ(cm.traffic.weightBytes, c4.traffic.weightBytes);
+    EXPECT_GT(cm.traffic.activationBytes, c4.traffic.activationBytes);
+}
+
+// ---------------------------------------- one-shot run equivalence
+
+/**
+ * A serving run of one lone request must sum to the one-shot
+ * AccelSim::run of the same shape: batch-1 Llama-2-7B decode is
+ * memory-bound every step, so the per-step roofline maxes add up to
+ * the phase-level ones and the two code paths are the same model at
+ * different resolutions.
+ */
+TEST(ServingEngine, SingleRequestMatchesOneShotRun)
+{
+    const AccelSim sim(makeBitmod());
+    const LlmSpec &model = llmByName("Llama-2-7B");
+    const PrecisionChoice prec = testPrecision();
+
+    TaskSpec task;
+    task.inTokens = 256;
+    task.outTokens = 256;
+    task.batchSize = 1;
+    const RunReport ref = sim.run(model, task, prec);
+
+    ServingParams p;
+    p.arrivalRatePerSec = 0.0;  // burst: arrives at cycle 0
+    p.numRequests = 1;
+    p.inTokens = 256;
+    p.inTokensMax = 0;
+    p.outTokens = 256;
+    const ServingReport r = simulateServing(sim, model, prec, p);
+
+    ASSERT_EQ(r.completed, 1u);
+    ASSERT_EQ(r.steps, task.outTokens);  // 1 prefill + 255 decodes
+
+    const double cyclesPerMs = sim.config().clockGhz * 1e6;
+    expectClose(r.totalCycles, ref.totalCycles(), 1e-9,
+                "serving total vs run() phase totals");
+    expectClose(r.ttftMs.p50 * cyclesPerMs, ref.prefillCycles, 1e-9,
+                "TTFT vs run() prefill cycles");
+    expectClose(r.e2eMs.p50 * cyclesPerMs, ref.totalCycles(), 1e-9,
+                "e2e vs run() total cycles");
+    expectClose(r.traffic.weightBytes,
+                ref.traffic.total().weightBytes, 1e-9,
+                "weight traffic");
+    expectClose(r.traffic.kvBytes, ref.traffic.total().kvBytes, 1e-9,
+                "KV traffic");
+    expectClose(r.traffic.activationBytes,
+                ref.traffic.total().activationBytes, 1e-9,
+                "activation traffic");
+    expectClose(r.energy.totalNj(), ref.energy.totalNj(), 1e-9,
+                "energy");
+}
+
+// ------------------------------------------------------ determinism
+
+void
+expectIdenticalReports(const ServingReport &a, const ServingReport &b)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.ttftMs.p99, b.ttftMs.p99);
+    EXPECT_EQ(a.tpotMs.p99, b.tpotMs.p99);
+    EXPECT_EQ(a.e2eMs.p99, b.e2eMs.p99);
+    EXPECT_EQ(a.energy.totalNj(), b.energy.totalNj());
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].arrivalCycle,
+                  b.requests[i].arrivalCycle);
+        EXPECT_EQ(a.requests[i].admitCycle, b.requests[i].admitCycle);
+        EXPECT_EQ(a.requests[i].finishCycle,
+                  b.requests[i].finishCycle);
+    }
+}
+
+TEST(ServingEngine, SeededRunsAreBitIdenticalAcrossThreadCounts)
+{
+    const AccelSim sim(makeBitmod());
+    const LlmSpec &model = llmByName("Llama-2-7B");
+    const PrecisionChoice prec = testPrecision();
+
+    ServingParams p;
+    p.arrivalRatePerSec = 1.5;
+    p.numRequests = 16;
+    p.inTokens = 16;
+    p.inTokensMax = 48;
+    p.outTokens = 8;
+    p.prefillTokenBudget = 64;
+
+    const ServingReport serial = simulateServing(sim, model, prec, p);
+
+    // The engine is seeded and internally serial, so runs launched
+    // from a multi-thread pool must agree bit for bit with the
+    // serial one — the contract the bench's determinism gate checks.
+    std::vector<ServingReport> pooled(4);
+    WorkerPool pool(3);
+    pool.parallelFor(pooled.size(), [&](size_t i) {
+        pooled[i] = simulateServing(sim, model, prec, p);
+    });
+    for (const ServingReport &r : pooled)
+        expectIdenticalReports(r, serial);
+}
+
+// ----------------------------------------------------- conservation
+
+TEST(ServingEngine, ConservationHoldsForEveryScheduler)
+{
+    const AccelSim sim(makeBitmod());
+    const LlmSpec &model = llmByName("Llama-2-7B");
+    const PrecisionChoice prec = testPrecision();
+
+    for (const SchedulerKind kind :
+         {SchedulerKind::Fcfs, SchedulerKind::LargestBatchFirst,
+          SchedulerKind::AdmissionControl}) {
+        ServingParams p;
+        p.arrivalRatePerSec = 3.0;  // well past 7B capacity: queueing
+        p.numRequests = 24;
+        p.inTokens = 16;
+        p.inTokensMax = 48;
+        p.outTokens = 16;
+        p.prefillTokenBudget = 64;
+        p.maxQueueDepth = 6;
+        p.scheduler = kind;
+        const ServingReport r = simulateServing(sim, model, prec, p);
+        const std::string who = schedulerName(kind);
+
+        // No request lost, duplicated, or half-finished.
+        EXPECT_EQ(r.arrivals, p.numRequests) << who;
+        EXPECT_EQ(r.completed + r.rejected, r.arrivals) << who;
+        ASSERT_EQ(r.requests.size(), p.numRequests) << who;
+
+        double tokens = 0.0;
+        for (size_t i = 0; i < r.requests.size(); ++i) {
+            const ServingRequest &req = r.requests[i];
+            EXPECT_EQ(req.id, i) << who;  // id order, each exactly once
+            if (req.rejected) {
+                EXPECT_EQ(req.tokensOut, 0u) << who;
+                continue;
+            }
+            EXPECT_EQ(req.tokensOut, req.outTokens) << who;
+            tokens += static_cast<double>(req.tokensOut);
+            // Lifecycle stamps are a monotone chain.
+            EXPECT_LE(req.arrivalCycle, req.admitCycle) << who;
+            EXPECT_LE(req.admitCycle, req.firstTokenCycle) << who;
+            EXPECT_LE(req.firstTokenCycle, req.finishCycle) << who;
+            EXPECT_LE(req.finishCycle, r.totalCycles + 1e-9) << who;
+        }
+        EXPECT_EQ(r.completedTokens, tokens) << who;
+        // Only admission control may turn requests away.
+        if (kind != SchedulerKind::AdmissionControl) {
+            EXPECT_EQ(r.rejected, 0u) << who;
+        }
+    }
+}
+
+// ------------------------------------------------- degenerate cases
+
+TEST(ServingEngine, BurstArrivalsAllCompleteFromAFullQueue)
+{
+    const AccelSim sim(makeBitmod());
+    ServingParams p;
+    p.arrivalRatePerSec = 0.0;  // rate <= 0: everyone at cycle 0
+    p.numRequests = 12;
+    p.inTokens = 16;
+    p.outTokens = 8;
+    const ServingReport r = simulateServing(
+        sim, llmByName("Llama-2-7B"), testPrecision(), p);
+    EXPECT_EQ(r.completed, p.numRequests);
+    EXPECT_EQ(r.rejected, 0u);
+    for (const ServingRequest &req : r.requests)
+        EXPECT_EQ(req.arrivalCycle, 0.0);
+    EXPECT_GT(r.peakQueueDepth, 0u);
+    EXPECT_LE(r.peakQueueDepth, p.numRequests);
+}
+
+TEST(ServingEngine, RateFarBeyondCapacityQueuesWithoutOverflow)
+{
+    const AccelSim sim(makeBitmod());
+    ServingParams p;
+    p.arrivalRatePerSec = 1e4;  // ~everything arrives immediately
+    p.numRequests = 20;
+    p.inTokens = 16;
+    p.outTokens = 8;
+    const ServingReport r = simulateServing(
+        sim, llmByName("Llama-2-7B"), testPrecision(), p);
+    EXPECT_EQ(r.completed, p.numRequests);
+    EXPECT_LE(r.peakQueueDepth, p.numRequests);
+    // Saturated: the achieved rate is capacity, far under offered.
+    EXPECT_LT(r.achievedRps, r.offeredRps);
+}
+
+// -------------------------------------------------- scheduler order
+
+/** Write a burst trace with the given prompt lengths to @p path. */
+void
+writeBurstTrace(const std::string &path,
+                const std::vector<size_t> &prompts)
+{
+    std::ofstream f(path);
+    ASSERT_TRUE(f.good()) << "cannot write " << path;
+    f << "# arrival_ms in_tokens out_tokens\n";
+    for (const size_t in : prompts)
+        f << "0.0 " << in << " 8\n";
+}
+
+TEST(ServingEngine, LargestBatchFirstAdmitsShortestPromptsFirst)
+{
+    const std::string trace =
+        testing::TempDir() + "serving_burst_trace.txt";
+    // id:      0   1   2   3   4  5
+    writeBurstTrace(trace, {40, 8, 24, 16, 48, 4});
+
+    const AccelSim sim(makeBitmod());
+    const LlmSpec &model = llmByName("Llama-2-7B");
+    const PrecisionChoice prec = testPrecision();
+
+    ServingParams p;
+    p.traceFile = trace;
+    p.maxConcurrency = 2;  // two token rows: first step admits two
+
+    p.scheduler = SchedulerKind::Fcfs;
+    const ServingReport fcfs = simulateServing(sim, model, prec, p);
+    p.scheduler = SchedulerKind::LargestBatchFirst;
+    const ServingReport lbf = simulateServing(sim, model, prec, p);
+
+    ASSERT_EQ(fcfs.requests.size(), 6u);
+    ASSERT_EQ(lbf.requests.size(), 6u);
+
+    // FCFS honors arrival order: ids 0 and 1 prefill in step one.
+    EXPECT_EQ(fcfs.requests[0].admitCycle, 0.0);
+    EXPECT_EQ(fcfs.requests[1].admitCycle, 0.0);
+    EXPECT_GT(fcfs.requests[5].admitCycle, 0.0);
+    // Shortest-prompt-first admits the 4- and 8-token prompts
+    // (ids 5 and 1) ahead of the 40-token head-of-line request.
+    EXPECT_EQ(lbf.requests[5].admitCycle, 0.0);
+    EXPECT_EQ(lbf.requests[1].admitCycle, 0.0);
+    EXPECT_GT(lbf.requests[0].admitCycle, 0.0);
+
+    std::remove(trace.c_str());
+}
+
+TEST(ServingEngine, AdmissionControlBoundsTheQueue)
+{
+    const AccelSim sim(makeBitmod());
+    ServingParams p;
+    p.arrivalRatePerSec = 1e4;
+    p.numRequests = 32;
+    p.inTokens = 16;
+    p.outTokens = 8;
+    p.scheduler = SchedulerKind::AdmissionControl;
+    p.maxQueueDepth = 4;
+    const ServingReport r = simulateServing(
+        sim, llmByName("Llama-2-7B"), testPrecision(), p);
+    EXPECT_GT(r.rejected, 0u);
+    EXPECT_EQ(r.completed + r.rejected, r.arrivals);
+    EXPECT_LE(r.peakQueueDepth, p.maxQueueDepth);
+}
+
+// ----------------------------------------------------- golden trace
+
+std::string
+servingGoldenPath()
+{
+    return std::string(BITMOD_GOLDEN_DIR) + "/serving_small.json";
+}
+
+/** The pinned metrics of the committed-trace serving run. */
+std::map<std::string, double>
+computeTraceMetrics()
+{
+    const AccelSim sim(makeBitmod());
+    ServingParams p;
+    p.traceFile =
+        std::string(BITMOD_GOLDEN_DIR) + "/serving_trace.txt";
+    p.maxConcurrency = 4;
+    p.prefillTokenBudget = 48;
+    const ServingReport r = simulateServing(
+        sim, llmByName("Llama-2-7B"), testPrecision(), p);
+
+    std::map<std::string, double> out;
+    out["trace.completed"] = static_cast<double>(r.completed);
+    out["trace.steps"] = static_cast<double>(r.steps);
+    out["trace.total_cycles"] = r.totalCycles;
+    out["trace.ttft_p50_ms"] = r.ttftMs.p50;
+    out["trace.ttft_p99_ms"] = r.ttftMs.p99;
+    out["trace.tpot_p99_ms"] = r.tpotMs.p99;
+    out["trace.e2e_p99_ms"] = r.e2eMs.p99;
+    out["trace.makespan_ms"] = r.makespanMs;
+    out["trace.energy_total_nj"] = r.energy.totalNj();
+    out["trace.traffic_total_bytes"] = r.traffic.total();
+    out["trace.mean_batch_occupancy"] = r.meanBatchOccupancy;
+    out["trace.peak_queue_depth"] =
+        static_cast<double>(r.peakQueueDepth);
+    return out;
+}
+
+/** Parse the flat `"key": value` pairs of the golden file. */
+std::map<std::string, double>
+parseGolden(const std::string &text)
+{
+    std::map<std::string, double> out;
+    size_t pos = 0;
+    while ((pos = text.find('"', pos)) != std::string::npos) {
+        const size_t end = text.find('"', pos + 1);
+        if (end == std::string::npos)
+            break;
+        const std::string key = text.substr(pos + 1, end - pos - 1);
+        const size_t colon = text.find(':', end);
+        if (colon == std::string::npos)
+            break;
+        char *parsed = nullptr;
+        const double value =
+            std::strtod(text.c_str() + colon + 1, &parsed);
+        if (parsed != text.c_str() + colon + 1 &&
+            key.find('.') != std::string::npos)
+            out[key] = value;
+        pos = end + 1;
+    }
+    return out;
+}
+
+TEST(ServingGolden, CommittedTraceRunMatchesGoldenMetrics)
+{
+    const auto metrics = computeTraceMetrics();
+
+    if (std::getenv("BITMOD_REGEN_GOLDEN")) {
+        std::ofstream f(servingGoldenPath());
+        ASSERT_TRUE(f.good())
+            << "cannot write " << servingGoldenPath();
+        f << "{\n";
+        size_t i = 0;
+        for (const auto &[key, value] : metrics) {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%.10g", value);
+            f << "  \"" << key << "\": " << buf
+              << (++i == metrics.size() ? "\n" : ",\n");
+        }
+        f << "}\n";
+        GTEST_SKIP() << "regenerated " << servingGoldenPath()
+                     << " — review the diff and re-run without "
+                        "BITMOD_REGEN_GOLDEN";
+    }
+
+    std::ifstream f(servingGoldenPath());
+    ASSERT_TRUE(f.good())
+        << servingGoldenPath()
+        << " missing — run with BITMOD_REGEN_GOLDEN=1 to create it";
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const auto golden = parseGolden(ss.str());
+    ASSERT_EQ(golden.size(), metrics.size())
+        << "golden file and computed metrics disagree on the metric "
+           "set — regenerate intentionally, don't let entries vanish";
+
+    for (const auto &[key, expected] : golden) {
+        const auto it = metrics.find(key);
+        ASSERT_NE(it, metrics.end())
+            << "metric disappeared: " << key;
+        EXPECT_NEAR(it->second, expected,
+                    std::fabs(expected) * 1e-8)
+            << key << " drifted from the committed golden value";
+    }
+}
+
+} // namespace
+} // namespace bitmod

@@ -157,8 +157,22 @@ def self_test():
                               "bit_identical": True},
         "pe_column_batch": {"batched_wps": 9000.0, "bit_identical": True},
         "packed_stream": {"packed_wps": 8000.0,
+                          "packed_vs_pool_speedup": 2.4,
                           "packed_image_bytes": 4096.0,
                           "bit_identical": True},
+        # SIMD host kernels: scalar and dispatched throughputs are
+        # gated (always present); pinned per-tier numbers and the tier
+        # strings are informational because the tier set depends on
+        # the runner.
+        "simd": {"tier": "avx512", "max_tier": "avx512",
+                 "decode_scalar_wps": 1.1e8, "dot_scalar_wps": 9.0e7,
+                 "mse_scalar_wps": 3.6e7,
+                 "decode_avx2": 2.5e8, "dot_avx2": 1.6e8,
+                 "mse_avx2": 5.0e7,
+                 "decode_dispatch_wps": 3.0e8,
+                 "dot_dispatch_wps": 1.8e8,
+                 "mse_dispatch_wps": 5.2e7,
+                 "bit_identical": True},
         "fig07_measured": {"bitmod_ll_speedup": 2.5},
         "fig08_measured": {"bitmod_ll_eff": 2.3},
         # Batched-decode sweep: per-batch speedups are gated ratios,
@@ -214,6 +228,9 @@ def self_test():
     serving_nondeterministic = json.loads(json.dumps(base))
     serving_nondeterministic["serving_determinism"][
         "bit_identical"] = False
+
+    simd_tier_mismatch = json.loads(json.dumps(base))
+    simd_tier_mismatch["simd"]["bit_identical"] = False
 
     checks = [
         ("identical run passes", run_gate(base, base, 10) == 0),
@@ -291,6 +308,22 @@ def self_test():
                               "slo_ttft_budget"), 10) == 0),
         ("serving determinism failure fails",
          run_gate(base, serving_nondeterministic, 10) == 1),
+        ("simd dispatched throughput -20% fails",
+         run_gate(base, ratio(0.8, "simd", "dot_dispatch_wps"),
+                  10) == 1),
+        ("simd scalar throughput -20% fails",
+         run_gate(base, ratio(0.8, "simd", "mse_scalar_wps"),
+                  10) == 1),
+        ("simd per-tier numbers are informational, not gated",
+         run_gate(base, ratio(0.5, "simd", "decode_avx2"), 10) == 0),
+        ("simd tier-identity failure fails",
+         run_gate(base, simd_tier_mismatch, 10) == 1),
+        ("packed-vs-pool speedup -20% fails",
+         run_gate(base, ratio(0.8, "packed_stream",
+                              "packed_vs_pool_speedup"), 10) == 1),
+        ("packed-vs-pool speedup +30% passes",
+         run_gate(base, ratio(1.3, "packed_stream",
+                              "packed_vs_pool_speedup"), 10) == 0),
     ]
     print("\n--- self-test results ---")
     failed = [name for name, ok in checks if not ok]

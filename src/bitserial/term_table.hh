@@ -122,6 +122,30 @@ class TermTable
         return nnz_[indexFor(qvalue)];
     }
 
+    /**
+     * Entry index of @p qvalue — the same lookup terms()/termValues()
+     * perform internally, exposed so batched consumers (the SIMD strip
+     * kernel) can translate a whole group of codes to entry indices
+     * once and then address the flat arrays directly.  Panics on
+     * unrepresentable values exactly like terms().
+     */
+    size_t entryIndex(double qvalue) const { return indexFor(qvalue); }
+
+    /**
+     * Raw term values of entry @p idx: termsPerWeight() doubles, the
+     * same order and zero padding termValues() returns.  Summing
+     * products of these in order is bit-identical to the per-weight
+     * termValues() walk.
+     */
+    const double *
+    entryTermValues(size_t idx) const
+    {
+        return flatVals_.data() + idx * static_cast<size_t>(tpw_);
+    }
+
+    /** Effectual (non-zero) terms of entry @p idx. */
+    int entryNonZeroTerms(size_t idx) const { return nnz_[idx]; }
+
   private:
     struct IntDomain
     {

@@ -1,0 +1,454 @@
+#include "common/simd.hh"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "common/logging.hh"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define BITMOD_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define BITMOD_SIMD_X86 0
+#endif
+
+namespace bitmod
+{
+namespace simd
+{
+namespace
+{
+
+bool envForceScalar()
+{
+    const char *v = std::getenv("BITMOD_FORCE_SCALAR");
+    if (v == nullptr)
+        return false;
+    const std::string_view s(v);
+    return !(s.empty() || s == "0" || s == "false" || s == "FALSE" ||
+             s == "off" || s == "OFF" || s == "no" || s == "NO");
+}
+
+Tier computeHwTier()
+{
+#if BITMOD_SIMD_X86
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512vbmi"))
+        return Tier::Avx512;
+    if (__builtin_cpu_supports("avx2"))
+        return Tier::Avx2;
+#endif
+    return Tier::Scalar;
+}
+
+std::atomic<Tier> &tierSlot()
+{
+    static std::atomic<Tier> slot{detectTier()};
+    return slot;
+}
+
+// ---------------------------------------------------------------------------
+// extractCodes
+// ---------------------------------------------------------------------------
+
+/**
+ * Word-wise scalar extractor: one unaligned 64-bit load + shift + mask
+ * per code instead of the BitReader's buffered byte refills.  Falls
+ * back to a byte gather for the last codes whose 8-byte window would
+ * poke past the stream end (and everywhere on big-endian hosts, where
+ * the little-endian word reinterpretation does not hold).
+ */
+void extractCodesScalar(const uint8_t *bytes, size_t size, uint64_t pos,
+                        int w, size_t n, uint16_t *out)
+{
+    const uint32_t mask = (1u << w) - 1u;
+    size_t i = 0;
+    if (w == 8 && (pos & 7u) == 0)
+    {
+        // Byte-aligned byte-wide runs are a widening copy.
+        const uint8_t *p = bytes + (pos >> 3);
+        for (; i < n; ++i)
+            out[i] = p[i];
+        return;
+    }
+    if constexpr (std::endian::native == std::endian::little)
+    {
+        for (; i < n; ++i)
+        {
+            const size_t byte = pos >> 3;
+            if (byte + sizeof(uint64_t) > size)
+                break;
+            uint64_t word;
+            std::memcpy(&word, bytes + byte, sizeof word);
+            out[i] = (uint16_t)((word >> (pos & 7u)) & mask);
+            pos += (uint64_t)w;
+        }
+    }
+    for (; i < n; ++i)
+    {
+        const size_t byte = pos >> 3;
+        const unsigned shift = pos & 7u;
+        const size_t nbytes = (shift + (unsigned)w + 7u) >> 3;
+        uint64_t word = 0;
+        for (size_t b = 0; b < nbytes; ++b)
+            word |= (uint64_t)bytes[byte + b] << (8 * b);
+        out[i] = (uint16_t)((word >> shift) & mask);
+        pos += (uint64_t)w;
+    }
+}
+
+void lookupFloatScalar(const uint16_t *codes, size_t n, const float *table,
+                       float *out)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = table[codes[i]];
+}
+
+void nearestIndicesScalar(const float *xs, size_t n, const double *bounds,
+                          uint8_t *out)
+{
+    for (size_t j = 0; j < n; ++j)
+    {
+        const double x = xs[j];
+        unsigned idx = 0;
+        for (size_t k = 0; k < kScanBounds; ++k)
+            idx += x > bounds[k] ? 1u : 0u;
+        out[j] = (uint8_t)idx;
+    }
+}
+
+#if BITMOD_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 tier
+// ---------------------------------------------------------------------------
+
+/**
+ * Four codes per iteration from one 64-bit window via vpsrlvq: the
+ * window starting at (pos >> 3) covers all four codes because
+ * (pos & 7) + 4*w <= 7 + 32 < 64 for w <= 8.
+ */
+__attribute__((target("avx2"))) void
+extractCodesAvx2(const uint8_t *bytes, size_t size, uint64_t pos, int w,
+                 size_t n, uint16_t *out)
+{
+    if (w > 8 || (w == 8 && (pos & 7u) == 0))
+    {
+        extractCodesScalar(bytes, size, pos, w, n, out);
+        return;
+    }
+    const __m256i vmask = _mm256_set1_epi64x((long long)((1u << w) - 1u));
+    const __m256i lanes =
+        _mm256_set_epi64x(3ll * w, 2ll * w, 1ll * w, 0);
+    size_t i = 0;
+    while (i + 4 <= n)
+    {
+        const size_t byte = pos >> 3;
+        if (byte + sizeof(uint64_t) > size)
+            break;
+        uint64_t word;
+        std::memcpy(&word, bytes + byte, sizeof word);
+        const __m256i shifts =
+            _mm256_add_epi64(lanes, _mm256_set1_epi64x((long long)(pos & 7u)));
+        __m256i v = _mm256_srlv_epi64(_mm256_set1_epi64x((long long)word),
+                                      shifts);
+        v = _mm256_and_si256(v, vmask);
+        alignas(32) uint64_t tmp[4];
+        _mm256_store_si256((__m256i *)tmp, v);
+        out[i + 0] = (uint16_t)tmp[0];
+        out[i + 1] = (uint16_t)tmp[1];
+        out[i + 2] = (uint16_t)tmp[2];
+        out[i + 3] = (uint16_t)tmp[3];
+        i += 4;
+        pos += 4ull * (uint64_t)w;
+    }
+    if (i < n)
+        extractCodesScalar(bytes, size, pos, w, n - i, out + i);
+}
+
+__attribute__((target("avx2"))) void
+lookupFloatAvx2(const uint16_t *codes, size_t n, const float *table,
+                size_t table_size, float *out)
+{
+    if (table_size > 16)
+    {
+        lookupFloatScalar(codes, n, table, out);
+        return;
+    }
+    alignas(32) float pad[16] = {};
+    std::memcpy(pad, table, table_size * sizeof(float));
+    const __m256 t0 = _mm256_load_ps(pad);
+    const __m256 t1 = _mm256_load_ps(pad + 8);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+    {
+        const __m128i c16 = _mm_loadu_si128((const __m128i *)(codes + i));
+        const __m256i idx = _mm256_cvtepu16_epi32(c16);
+        const __m256 lo = _mm256_permutevar8x32_ps(t0, idx);
+        const __m256 hi = _mm256_permutevar8x32_ps(t1, idx);
+        const __m256i ge8 = _mm256_cmpgt_epi32(idx, _mm256_set1_epi32(7));
+        const __m256 r = _mm256_blendv_ps(lo, hi, _mm256_castsi256_ps(ge8));
+        _mm256_storeu_ps(out + i, r);
+    }
+    for (; i < n; ++i)
+        out[i] = table[codes[i]];
+}
+
+/**
+ * Element-parallel counting scan: four weights at a time, each bound
+ * broadcast and compared in double precision (_CMP_GT_OQ is false on
+ * NaN exactly like the scalar >), counts accumulated by subtracting
+ * the all-ones compare masks.
+ */
+__attribute__((target("avx2"))) void
+nearestIndicesAvx2(const float *xs, size_t n, const double *bounds,
+                   uint8_t *out)
+{
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4)
+    {
+        const __m256d x = _mm256_cvtps_pd(_mm_loadu_ps(xs + j));
+        __m256i acc = _mm256_setzero_si256();
+        for (size_t k = 0; k < kScanBounds; ++k)
+        {
+            const __m256d bk = _mm256_broadcast_sd(bounds + k);
+            const __m256d m = _mm256_cmp_pd(x, bk, _CMP_GT_OQ);
+            acc = _mm256_sub_epi64(acc, _mm256_castpd_si256(m));
+        }
+        alignas(32) uint64_t cnt[4];
+        _mm256_store_si256((__m256i *)cnt, acc);
+        out[j + 0] = (uint8_t)cnt[0];
+        out[j + 1] = (uint8_t)cnt[1];
+        out[j + 2] = (uint8_t)cnt[2];
+        out[j + 3] = (uint8_t)cnt[3];
+    }
+    if (j < n)
+        nearestIndicesScalar(xs + j, n - j, bounds, out + j);
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 tier
+// ---------------------------------------------------------------------------
+
+/**
+ * 64 codes per iteration: gather eight 64-bit windows (one per block
+ * of 8 codes), then vpmultishiftqb selects all eight w-bit fields of
+ * each window in a single instruction.  Works for w <= 7, where the
+ * last field ends at bit (7 + 7w) + w <= 63 of its window, so the
+ * multishift's rotate semantics never wrap.  The per-lane byte
+ * strides and bit phases are iteration-invariant because 64*w bits is
+ * a whole number of bytes.
+ */
+__attribute__((target("avx512f,avx512bw,avx512dq,avx512vl,avx512vbmi"))) void
+extractCodesAvx512(const uint8_t *bytes, size_t size, uint64_t pos, int w,
+                   size_t n, uint16_t *out)
+{
+    if (w > 7 || n < 64)
+    {
+        extractCodesAvx2(bytes, size, pos, w, n, out);
+        return;
+    }
+    alignas(64) int64_t laneByte[8];
+    alignas(64) uint8_t ctrl[64];
+    for (int j = 0; j < 8; ++j)
+    {
+        const uint64_t b = pos + 8ull * (uint64_t)j * (uint64_t)w;
+        laneByte[j] = (int64_t)(b >> 3);
+        for (int t = 0; t < 8; ++t)
+            ctrl[8 * j + t] = (uint8_t)((b & 7u) + (unsigned)(t * w));
+    }
+    const __m512i vctrl = _mm512_load_si512(ctrl);
+    const __m512i vmask = _mm512_set1_epi8((char)((1u << w) - 1u));
+    const __m512i vstep = _mm512_set1_epi64(8ll * w);
+    __m512i vidx = _mm512_load_si512(laneByte);
+    size_t i = 0;
+    uint64_t k = 0;
+    while (i + 64 <= n &&
+           (uint64_t)laneByte[7] + k * 8ull * (uint64_t)w +
+                   sizeof(uint64_t) <=
+               size)
+    {
+        const __m512i windows = _mm512_i64gather_epi64(vidx, bytes, 1);
+        __m512i codes8 = _mm512_multishift_epi64_epi8(vctrl, windows);
+        codes8 = _mm512_and_si512(codes8, vmask);
+        const __m256i lo = _mm512_castsi512_si256(codes8);
+        const __m256i hi = _mm512_extracti64x4_epi64(codes8, 1);
+        _mm512_storeu_si512(out + i, _mm512_cvtepu8_epi16(lo));
+        _mm512_storeu_si512(out + i + 32, _mm512_cvtepu8_epi16(hi));
+        vidx = _mm512_add_epi64(vidx, vstep);
+        i += 64;
+        ++k;
+    }
+    if (i < n)
+        extractCodesAvx2(bytes, size, pos + (uint64_t)i * (uint64_t)w, w,
+                         n - i, out + i);
+}
+
+__attribute__((target("avx512f,avx512bw,avx512dq,avx512vl,avx512vbmi"))) void
+lookupFloatAvx512(const uint16_t *codes, size_t n, const float *table,
+                  size_t table_size, float *out)
+{
+    if (table_size > 16)
+    {
+        lookupFloatScalar(codes, n, table, out);
+        return;
+    }
+    alignas(64) float pad[16] = {};
+    std::memcpy(pad, table, table_size * sizeof(float));
+    const __m512 tab = _mm512_load_ps(pad);
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16)
+    {
+        const __m256i c16 = _mm256_loadu_si256((const __m256i *)(codes + i));
+        const __m512i idx = _mm512_cvtepu16_epi32(c16);
+        _mm512_storeu_ps(out + i, _mm512_permutexvar_ps(idx, tab));
+    }
+    for (; i < n; ++i)
+        out[i] = table[codes[i]];
+}
+
+__attribute__((target("avx512f,avx512bw,avx512dq,avx512vl,avx512vbmi"))) void
+nearestIndicesAvx512(const float *xs, size_t n, const double *bounds,
+                     uint8_t *out)
+{
+    const __m512i one = _mm512_set1_epi64(1);
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8)
+    {
+        const __m512d x = _mm512_cvtps_pd(_mm256_loadu_ps(xs + j));
+        __m512i acc = _mm512_setzero_si512();
+        for (size_t k = 0; k < kScanBounds; ++k)
+        {
+            const __mmask8 m = _mm512_cmp_pd_mask(
+                x, _mm512_set1_pd(bounds[k]), _CMP_GT_OQ);
+            acc = _mm512_mask_add_epi64(acc, m, acc, one);
+        }
+        _mm_storel_epi64((__m128i *)(out + j), _mm512_cvtepi64_epi8(acc));
+    }
+    if (j < n)
+        nearestIndicesScalar(xs + j, n - j, bounds, out + j);
+}
+
+#endif // BITMOD_SIMD_X86
+
+} // namespace
+
+const char *tierName(Tier t)
+{
+    switch (t)
+    {
+    case Tier::Avx512:
+        return "avx512";
+    case Tier::Avx2:
+        return "avx2";
+    case Tier::Scalar:
+        break;
+    }
+    return "scalar";
+}
+
+Tier maxTier()
+{
+    static const Tier hw = computeHwTier();
+    return hw;
+}
+
+Tier detectTier()
+{
+    if (envForceScalar())
+        return Tier::Scalar;
+    return maxTier();
+}
+
+Tier activeTier()
+{
+    return tierSlot().load(std::memory_order_relaxed);
+}
+
+void setTier(Tier t)
+{
+    const Tier capped = t > maxTier() ? maxTier() : t;
+    tierSlot().store(capped, std::memory_order_relaxed);
+}
+
+void resetTier()
+{
+    tierSlot().store(detectTier(), std::memory_order_relaxed);
+}
+
+void extractCodes(const uint8_t *bytes, size_t size, uint64_t bit_offset,
+                  int width, size_t n, uint16_t *out)
+{
+    BITMOD_ASSERT(width >= 1 && width <= 16);
+    BITMOD_ASSERT(bit_offset + (uint64_t)n * (uint64_t)width <=
+                  (uint64_t)size * 8);
+    if (n == 0)
+        return;
+#if BITMOD_SIMD_X86
+    switch (activeTier())
+    {
+    case Tier::Avx512:
+        extractCodesAvx512(bytes, size, bit_offset, width, n, out);
+        return;
+    case Tier::Avx2:
+        extractCodesAvx2(bytes, size, bit_offset, width, n, out);
+        return;
+    case Tier::Scalar:
+        break;
+    }
+#endif
+    extractCodesScalar(bytes, size, bit_offset, width, n, out);
+}
+
+void lookupFloat(const uint16_t *codes, size_t n, const float *table,
+                 size_t table_size, float *out)
+{
+    if (n == 0)
+        return;
+#if BITMOD_SIMD_X86
+    switch (activeTier())
+    {
+    case Tier::Avx512:
+        lookupFloatAvx512(codes, n, table, table_size, out);
+        return;
+    case Tier::Avx2:
+        lookupFloatAvx2(codes, n, table, table_size, out);
+        return;
+    case Tier::Scalar:
+        break;
+    }
+#endif
+    (void)table_size;
+    lookupFloatScalar(codes, n, table, out);
+}
+
+void nearestIndices(const float *xs, size_t n, const double *bounds,
+                    uint8_t *out)
+{
+    if (n == 0)
+        return;
+#if BITMOD_SIMD_X86
+    switch (activeTier())
+    {
+    case Tier::Avx512:
+        nearestIndicesAvx512(xs, n, bounds, out);
+        return;
+    case Tier::Avx2:
+        nearestIndicesAvx2(xs, n, bounds, out);
+        return;
+    case Tier::Scalar:
+        break;
+    }
+#endif
+    nearestIndicesScalar(xs, n, bounds, out);
+}
+
+} // namespace simd
+} // namespace bitmod

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the host hot path.
+ *
+ * The simulator must run as fast as the hardware allows, but a single
+ * binary also has to run on whatever CPU CI hands it, so every kernel
+ * here exists in up to three tiers — portable scalar, AVX2 and
+ * AVX-512 — selected once at startup from the CPU's capabilities
+ * (`__builtin_cpu_supports`) and overridable at runtime:
+ *
+ *  - `BITMOD_FORCE_SCALAR=1` in the environment pins the scalar tier
+ *    (CI runs a forced-scalar matrix leg with it to prove the tiers
+ *    agree on real workloads);
+ *  - setTier() / resetTier() switch tiers programmatically, which is
+ *    how the bit-identity tests and the bench's per-tier sweep drive
+ *    every tier on one machine.
+ *
+ * Every tier of every kernel is bit-identical by construction: the
+ * kernels are integer / compare / table-translate stages (code
+ * extraction, LUT decode, boundary counting) with no floating-point
+ * arithmetic whose order could differ, so the dispatch decision can
+ * never change a result — only how fast it arrives.  Non-x86 builds
+ * compile the scalar tier alone and dispatch degenerates to it.
+ */
+
+#ifndef BITMOD_COMMON_SIMD_HH
+#define BITMOD_COMMON_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bitmod
+{
+namespace simd
+{
+
+/** Dispatch tiers, ordered by capability. */
+enum class Tier : int
+{
+    Scalar = 0,
+    Avx2 = 1,
+    /** Requires F+BW+DQ+VL+VBMI (the multishift bit unpacker). */
+    Avx512 = 2,
+};
+
+/** Human-readable tier name ("scalar" / "avx2" / "avx512"). */
+const char *tierName(Tier t);
+
+/** Highest tier this CPU supports (ignores the env override). */
+Tier maxTier();
+
+/**
+ * Tier selection from hardware caps plus the BITMOD_FORCE_SCALAR
+ * environment override (any value other than empty / "0" / "false" /
+ * "off" forces Scalar).  Re-reads the environment on every call.
+ */
+Tier detectTier();
+
+/** The tier kernels currently dispatch to. */
+Tier activeTier();
+
+/**
+ * Programmatic tier override (clamped to maxTier(), so forcing a tier
+ * the CPU lacks degrades safely).  Used by the bit-identity tests and
+ * the per-tier bench sweep; wins over the environment until
+ * resetTier().
+ */
+void setTier(Tier t);
+
+/** Drop any override and re-run detectTier() (env re-read included). */
+void resetTier();
+
+/**
+ * Extract @p n LSB-first fixed-width codes (width 1..16 bits) from a
+ * bitstream starting at @p bit_offset, into @p out.
+ *
+ * The caller guarantees the run [bit_offset, bit_offset + n*width)
+ * lies inside the @p size-byte stream; the kernel itself never reads
+ * past @p bytes + @p size (wide loads fall back to a guarded byte
+ * gather near the stream end).  Bit-exactly equivalent to n
+ * successive readBits() calls on every tier.
+ */
+void extractCodes(const uint8_t *bytes, size_t size,
+                  uint64_t bit_offset, int width, size_t n,
+                  uint16_t *out);
+
+/**
+ * Table translate: out[i] = table[codes[i]].  Vectorized (permute
+ * lookups) for tables of at most 16 entries — every 3-/4-bit datatype
+ * — and scalar above that.  Codes must be < @p table_size.
+ */
+void lookupFloat(const uint16_t *codes, size_t n, const float *table,
+                 size_t table_size, float *out);
+
+/** Boundary count consumed by nearestIndices (padded with +inf). */
+inline constexpr size_t kScanBounds = 16;
+
+/**
+ * Branchless nearest-grid-index scan: out[j] = |{k < 16 : xs[j] >
+ * bounds[k]}| with the comparison performed in double precision
+ * (float operands widen exactly), matching the scalar counting scan
+ * of the adaptive-MSE quantizer bit for bit.  @p bounds must hold
+ * kScanBounds entries, padded with +infinity (a padded slot never
+ * matches).
+ */
+void nearestIndices(const float *xs, size_t n, const double *bounds,
+                    uint8_t *out);
+
+} // namespace simd
+} // namespace bitmod
+
+#endif // BITMOD_COMMON_SIMD_HH

@@ -120,6 +120,9 @@ class BitmodPe
     /** Dot-product cycles for a group of @p n weights of type @p dt. */
     int dotCycles(size_t n, const Dtype &dt) const;
 
+    /** The active configuration (fast strip kernels replicate it). */
+    const PeConfig &config() const { return cfg_; }
+
     /** MACs per cycle this PE sustains for datatype @p dt. */
     double throughputMacsPerCycle(const Dtype &dt) const;
 

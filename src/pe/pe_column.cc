@@ -1,10 +1,13 @@
 #include "pe/pe_column.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 
 #include "bitserial/term_table.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "numeric/bits.hh"
 #include "quant/quantizer.hh"
 
@@ -13,6 +16,20 @@ namespace bitmod
 
 namespace
 {
+
+/** Reset a (possibly reused) StripResult without shrinking capacity. */
+void
+resetStrip(StripResult &strip, size_t row_count)
+{
+    strip.values.assign(row_count, 0.0);
+    strip.cycles = 0;
+    strip.drainEvents = 0;
+    strip.effectualTerms = 0;
+    strip.accumulatorContention = false;
+    strip.corruptGroups = 0;
+    strip.status = DecodeStatus::Ok;
+    strip.rowCorrupt.clear();
+}
 
 /** Strip source over the float-typed SoA pool: groups view directly. */
 struct EncodedSource
@@ -134,23 +151,31 @@ PeColumn::processChannel(const PackedMatrix &packed, size_t row,
 }
 
 template <typename Source>
-StripResult
+void
 PeColumn::stripImpl(const Source &src, size_t rows, size_t row_begin,
                     size_t row_count, std::span<const Float16> acts,
-                    const Dtype &dt, int scale_bits) const
+                    const Dtype &dt, int scale_bits,
+                    StripResult &strip) const
 {
     BITMOD_ASSERT(row_begin + row_count <= rows, "strip [", row_begin,
                   ", ", row_begin + row_count, ") out of ", rows,
                   " rows");
     const size_t ngroups = src.groupsPerRow();
 
-    StripResult strip;
-    strip.values.assign(row_count, 0.0);
+    resetStrip(strip, row_count);
 
     // Per-row running state so the drain/contention bookkeeping is
     // exactly what row_count independent processChannel walks produce.
-    std::vector<int> rowCycles(row_count, 0);
-    std::vector<int> lastDrain(row_count, -1);
+    // Member scratch (capacity reused) keeps the steady state
+    // allocation-free.
+    if (rowCycles_.size() < row_count) {
+        rowCycles_.resize(row_count);
+        lastDrain_.resize(row_count);
+    }
+    const std::span<int> rowCycles{rowCycles_.data(), row_count};
+    const std::span<int> lastDrain{lastDrain_.data(), row_count};
+    std::fill(rowCycles.begin(), rowCycles.end(), 0);
+    std::fill(lastDrain.begin(), lastDrain.end(), -1);
 
     // Resolve the shared term table once for the whole strip instead
     // of once per group: the registry lookup (an atomic load at best)
@@ -221,7 +246,240 @@ PeColumn::stripImpl(const Source &src, size_t rows, size_t row_begin,
     BITMOD_ASSERT(actOff == acts.size(), "activation length ",
                   acts.size(), " does not match the strip's group "
                   "extent ", actOff);
-    return strip;
+}
+
+bool
+PeColumn::ensureEntryMaps(const PackedMatrix &packed,
+                          const TermTable &table) const
+{
+    // The maps are content-cached: re-deriving the key from the table
+    // bytes themselves (a few dozen floats) is cheap next to a strip
+    // and sound even if a new PackedMatrix reuses a freed address.
+    const size_t tc = packed.codeTableCount();
+    if (entryMapOk_ && mapTables_.size() == tc) {
+        bool same = true;
+        for (size_t t = 0; t < tc && same; ++t) {
+            const auto tab = packed.codeTable(t);
+            same = mapTables_[t].size() == tab.size() &&
+                   std::memcmp(mapTables_[t].data(), tab.data(),
+                               tab.size() * sizeof(float)) == 0;
+        }
+        if (same)
+            return true;
+    }
+    entryMapOk_ = false;
+    if (entryMaps_.size() < tc) {
+        entryMaps_.resize(tc);
+        mapTables_.resize(tc);
+    }
+    for (size_t t = 0; t < tc; ++t) {
+        const auto tab = packed.codeTable(t);
+        entryMaps_[t].resize(tab.size());
+        mapTables_[t].assign(tab.begin(), tab.end());
+        for (size_t c = 0; c < tab.size(); ++c) {
+            const double q = tab[c];
+            // A table value outside the term-table domain would only
+            // abort in the generic walk if its code actually occurs;
+            // building the map eagerly must not change that, so the
+            // whole strip falls back instead.
+            if (!table.representable(q))
+                return false;
+            entryMaps_[t][c] =
+                static_cast<uint16_t>(table.entryIndex(q));
+        }
+    }
+    entryMapOk_ = true;
+    return true;
+}
+
+bool
+PeColumn::tryFastPackedStrip(const PackedMatrix &packed, size_t row_begin,
+                             size_t row_count,
+                             std::span<const Float16> acts,
+                             const Dtype &dt, int scale_bits,
+                             StripResult &strip) const
+{
+    // Eligibility: trusted streams of every kind except OliVe (whose
+    // escape records keep the guarded scalar reader), exact-mode PEs
+    // only, and the image must actually carry the datatype it is
+    // processed as.  Anything else falls back to stripImpl.
+    const DtypeKind kind = packed.kind();
+    if (packed.checkedDecode() || pe_.config().hwRounding ||
+        kind == DtypeKind::OliveOvp || kind == DtypeKind::Identity ||
+        dt.kind != kind || dt.bits != packed.elementBits())
+        return false;
+
+    const TermTable &table = TermTable::forDtype(dt);
+    const bool useMap =
+        kind == DtypeKind::NonLinear || kind == DtypeKind::Mx;
+    if (useMap && !ensureEntryMaps(packed, table))
+        return false;
+
+    BITMOD_ASSERT(row_begin + row_count <= packed.rows(), "strip [",
+                  row_begin, ", ", row_begin + row_count, ") out of ",
+                  packed.rows(), " rows");
+    const size_t ngroups = packed.groupsPerRow();
+    const int bits = dt.bits;
+
+    // IntAsym entries are code + (2^bits - zeroPoint) in the
+    // (bits+1)-wide two's-complement table; pre-validate every group's
+    // zero point so the kernel never starts a strip it cannot finish.
+    if (kind == DtypeKind::IntAsym) {
+        for (size_t r = 0; r < row_count; ++r)
+            for (size_t g = 0; g < ngroups; ++g) {
+                const double zp =
+                    packed.desc(row_begin + r, g).zeroPoint;
+                if (zp != std::floor(zp) || zp < 0.0 ||
+                    zp > static_cast<double>(1 << bits))
+                    return false;
+            }
+    }
+
+    resetStrip(strip, row_count);
+
+    const int tpw = table.termsPerWeight();
+    const double *tv = table.entryTermValues(0);
+    const bool termSkip = pe_.config().termSkip;
+    const size_t lanes = static_cast<size_t>(pe_.config().lanes);
+    const uint8_t *image = packed.bytes().data();
+    const size_t imageSize = packed.bytes().size();
+
+    // Hoist the activation conversion once per strip: the generic walk
+    // re-converts every activation for each of the strip's rows.
+    actsD_.resize(acts.size());
+    for (size_t i = 0; i < acts.size(); ++i)
+        actsD_[i] = acts[i].toFloat();
+
+    if (rowCycles_.size() < row_count) {
+        rowCycles_.resize(row_count);
+        lastDrain_.resize(row_count);
+    }
+    if (sums_.size() < row_count) {
+        sums_.resize(row_count);
+        effRow_.resize(row_count);
+    }
+    std::fill_n(rowCycles_.begin(), row_count, 0);
+    std::fill_n(lastDrain_.begin(), row_count, -1);
+
+    size_t actOff = 0;
+    for (size_t g = 0; g < ngroups; ++g) {
+        const size_t len = packed.desc(row_begin, g).len;
+        BITMOD_ASSERT(actOff + len <= acts.size(),
+                      "activation length ", acts.size(),
+                      " shorter than the strip's group extent");
+        const double *actSlice = actsD_.data() + actOff;
+        actOff += len;
+
+        if (entries_.size() < row_count * len)
+            entries_.resize(row_count * len);
+
+        // Decode each row's codes for this group straight to
+        // term-table entry indices — no float qvalue materialization,
+        // no per-element indexFor.
+        for (size_t r = 0; r < row_count; ++r) {
+            const PackedGroupDesc &d =
+                packed.desc(row_begin + r, g);
+            BITMOD_ASSERT(d.len == len,
+                          "strip rows disagree on group ", g,
+                          " length");
+            uint16_t *ent = entries_.data() + r * len;
+            simd::extractCodes(image, imageSize, d.bitOffset, bits,
+                               len, ent);
+            if (kind == DtypeKind::IntAsym) {
+                const int bias =
+                    (1 << bits) - static_cast<int>(d.zeroPoint);
+                for (size_t i = 0; i < len; ++i)
+                    ent[i] = static_cast<uint16_t>(
+                        static_cast<int>(ent[i]) + bias);
+            } else if (useMap) {
+                const size_t sv =
+                    kind == DtypeKind::NonLinear
+                        ? static_cast<size_t>(std::max(
+                              0, static_cast<int>(d.svIndex)))
+                        : 0;
+                BITMOD_ASSERT(sv < entryMaps_.size(),
+                              "special index ", d.svIndex, " out of ",
+                              entryMaps_.size());
+                const uint16_t *map = entryMaps_[sv].data();
+                for (size_t i = 0; i < len; ++i)
+                    ent[i] = map[ent[i]];
+            }
+            if (termSkip) {
+                int eff = 0;
+                for (size_t i = 0; i < len; ++i)
+                    eff += table.entryNonZeroTerms(ent[i]);
+                effRow_[r] = eff;
+            }
+        }
+
+        // Element-major accumulate: each row's term products run in
+        // exactly the order dotProduct's exact mode emits them (i
+        // ascending, then term index ascending — `s += v[t] * a` is
+        // the same expression shape, so FMA contraction matches too),
+        // while the <= pesPerColumn independent row chains interleave
+        // to hide FP-add latency.  One activation load serves the
+        // whole column, mirroring the hardware's row broadcast.
+        std::fill_n(sums_.begin(), row_count, 0.0);
+        const uint16_t *ent = entries_.data();
+        for (size_t i = 0; i < len; ++i) {
+            const double a = actSlice[i];
+            for (size_t r = 0; r < row_count; ++r) {
+                const double *v =
+                    tv + static_cast<size_t>(ent[r * len + i]) *
+                             static_cast<size_t>(tpw);
+                double s = sums_[r];
+                for (int t = 0; t < tpw; ++t)
+                    s += v[t] * a;
+                sums_[r] = s;
+            }
+        }
+
+        // Per-row dequant + drain bookkeeping, statement for
+        // statement what processOneGroup + stripImpl produce.
+        for (size_t r = 0; r < row_count; ++r) {
+            const PackedGroupDesc &d =
+                packed.desc(row_begin + r, g);
+            const double scale = d.scale;
+            int code = 255;
+            double base = scale / code;
+            if (scale == 0.0) {
+                code = 0;
+                base = 0.0;
+            }
+            int effectual = 0;
+            int dotC = 0;
+            if (termSkip) {
+                effectual = effRow_[r];
+                dotC = static_cast<int>(
+                    ceilDiv(static_cast<size_t>(effectual), lanes));
+            } else {
+                dotC = pe_.dotCycles(len, dt);
+            }
+            int dequantCycles = 0;
+            const double scaled = bitSerialDequant(
+                sums_[r], code, scale_bits, &dequantCycles);
+            // volatile: the generic walk rounds this product in
+            // processGroup (another TU) before the strip accumulate,
+            // so FMA contraction across the multiply/add pair here
+            // would diverge from it by one rounding.
+            volatile double value = scaled * base;
+            strip.values[r] += value;
+            rowCycles_[r] += dotC;
+            strip.cycles += dotC;
+            strip.effectualTerms += effectual;
+            const int drainCycle = rowCycles_[r];
+            if (drainCycle == lastDrain_[r])
+                strip.accumulatorContention = true;
+            lastDrain_[r] = drainCycle;
+            ++strip.drainEvents;
+            if (dotC < pesPerColumn_)
+                strip.accumulatorContention = true;
+        }
+    }
+    BITMOD_ASSERT(actOff == acts.size(), "activation length ",
+                  acts.size(), " does not match the strip's group "
+                  "extent ", actOff);
+    return true;
 }
 
 StripResult
@@ -229,8 +487,10 @@ PeColumn::processStrip(const EncodedMatrix &enc, size_t row_begin,
                        size_t row_count, std::span<const Float16> acts,
                        const Dtype &dt, int scale_bits) const
 {
-    return stripImpl(EncodedSource{enc}, enc.rows(), row_begin,
-                     row_count, acts, dt, scale_bits);
+    StripResult strip;
+    processStripInto(enc, row_begin, row_count, acts, dt, strip,
+                     scale_bits);
+    return strip;
 }
 
 StripResult
@@ -238,8 +498,35 @@ PeColumn::processStrip(const PackedMatrix &packed, size_t row_begin,
                        size_t row_count, std::span<const Float16> acts,
                        const Dtype &dt, int scale_bits) const
 {
-    return stripImpl(PackedSource{packed}, packed.rows(), row_begin,
-                     row_count, acts, dt, scale_bits);
+    StripResult strip;
+    processStripInto(packed, row_begin, row_count, acts, dt, strip,
+                     scale_bits);
+    return strip;
+}
+
+void
+PeColumn::processStripInto(const EncodedMatrix &enc, size_t row_begin,
+                           size_t row_count,
+                           std::span<const Float16> acts,
+                           const Dtype &dt, StripResult &out,
+                           int scale_bits) const
+{
+    stripImpl(EncodedSource{enc}, enc.rows(), row_begin, row_count,
+              acts, dt, scale_bits, out);
+}
+
+void
+PeColumn::processStripInto(const PackedMatrix &packed, size_t row_begin,
+                           size_t row_count,
+                           std::span<const Float16> acts,
+                           const Dtype &dt, StripResult &out,
+                           int scale_bits) const
+{
+    if (tryFastPackedStrip(packed, row_begin, row_count, acts, dt,
+                           scale_bits, out))
+        return;
+    stripImpl(PackedSource{packed}, packed.rows(), row_begin,
+              row_count, acts, dt, scale_bits, out);
 }
 
 std::vector<double>
@@ -267,28 +554,50 @@ PackedGemvResult
 tileGemv(const PackedMatrix &packed, const Dtype &dt,
          std::span<const Float16> acts, int threads)
 {
+    PackedGemvResult out;
+    tileGemvInto(packed, dt, acts, threads, out);
+    return out;
+}
+
+void
+tileGemvInto(const PackedMatrix &packed, const Dtype &dt,
+             std::span<const Float16> acts, int threads,
+             PackedGemvResult &out)
+{
     const size_t depth =
         static_cast<size_t>(PeColumn{}.pesPerColumn());
     const size_t rows = packed.rows();
     const size_t nstrips = ceilDiv(rows, depth);
-    PackedGemvResult out;
     out.values.assign(rows, 0.0);
+    out.corruptGroups = 0;
+    out.quarantinedRows.clear();
+    out.status = DecodeStatus::Ok;
 
-    // Column-depth strips are independent; shard them over the worker
-    // pool with one PeColumn per thread (the PE and decode scratch are
-    // not thread-safe).  Each strip writes its own row range and
-    // quarantine slots, so the result is bit-identical for any thread
-    // count.
-    std::vector<uint8_t> rowCorrupt(rows, 0);
-    std::vector<long> stripCorrupt(nstrips, 0);
-    std::vector<DecodeStatus> stripStatus(nstrips,
-                                          DecodeStatus::Ok);
-    parallelFor(nstrips, threads, [&](size_t s) {
+    // The quarantine side tables only exist on the untrusted path: a
+    // trusted stream cannot produce corrupt groups (decode asserts
+    // instead), so skipping them keeps trusted steady-state streaming
+    // free of heap allocations.
+    const bool checked = packed.checkedDecode();
+    std::vector<uint8_t> rowCorrupt;
+    std::vector<long> stripCorrupt;
+    std::vector<DecodeStatus> stripStatus;
+    if (checked) {
+        rowCorrupt.assign(rows, 0);
+        stripCorrupt.assign(nstrips, 0);
+        stripStatus.assign(nstrips, DecodeStatus::Ok);
+    }
+
+    // Column-depth strips are independent; shard them with one
+    // PeColumn (and one reused StripResult) per thread — the PE and
+    // decode scratch are not thread-safe.  Each strip writes its own
+    // row range and quarantine slots, so the result is bit-identical
+    // for any thread count.
+    const auto runStrip = [&](size_t s) {
         thread_local PeColumn column;
+        thread_local StripResult strip;
         const size_t r0 = s * depth;
         const size_t n = std::min(depth, rows - r0);
-        const auto strip =
-            column.processStrip(packed, r0, n, acts, dt);
+        column.processStripInto(packed, r0, n, acts, dt, strip);
         for (size_t r = 0; r < n; ++r)
             out.values[r0 + r] = strip.values[r];
         if (strip.corruptGroups == 0)
@@ -302,7 +611,18 @@ tileGemv(const PackedMatrix &packed, const Dtype &dt,
                 // report a hard zero, never silent garbage.
                 out.values[r0 + r] = 0.0;
             }
-    });
+    };
+    if (threads == 1) {
+        // Serial strips run inline: the worker-pool dispatch would
+        // heap-allocate its task closure on every call.
+        for (size_t s = 0; s < nstrips; ++s)
+            runStrip(s);
+    } else {
+        parallelFor(nstrips, threads, runStrip);
+    }
+
+    if (!checked)
+        return;
     for (size_t s = 0; s < nstrips; ++s) {
         out.corruptGroups += stripCorrupt[s];
         if (out.status == DecodeStatus::Ok)
@@ -312,7 +632,6 @@ tileGemv(const PackedMatrix &packed, const Dtype &dt,
         if (rowCorrupt[r])
             out.quarantinedRows.push_back(
                 static_cast<uint32_t>(r));
-    return out;
 }
 
 } // namespace bitmod

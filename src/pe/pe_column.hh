@@ -121,16 +121,37 @@ class PeColumn
 
     /**
      * Packed-streaming strip: identical walk, but each group's storage
-     * codes are decoded straight from the PackedMatrix bit image into
-     * the column's decode buffer (no allocation after warm-up) before
-     * the TermTable dot product.  Bit-identical — values, cycles,
-     * drainEvents, contention — to the EncodedMatrix overload on the
-     * pool the image was packed from.
+     * codes stream straight out of the PackedMatrix bit image.
+     * Trusted (non-checked) streams of every kind except OliVe take a
+     * vectorized fast kernel: whole-group code extraction (see
+     * simd::extractCodes), a code→term-table-entry translation that
+     * skips the float qvalue materialization entirely, the activation
+     * conversion hoisted once per strip, and the per-row accumulation
+     * chains interleaved element-major.  Bit-identical — values,
+     * cycles, drainEvents, effectualTerms, contention — to the
+     * EncodedMatrix overload on the pool the image was packed from;
+     * checked decode, OliVe escapes and hardware rounding fall back to
+     * the guarded scalar walk.
      */
     StripResult processStrip(const PackedMatrix &packed,
                              size_t row_begin, size_t row_count,
                              std::span<const Float16> acts,
                              const Dtype &dt, int scale_bits = 8) const;
+
+    /**
+     * Allocation-free variants: reuse @p out's buffers (and the
+     * column's internal scratch), so a steady-state stream of strips
+     * performs zero heap allocations after warm-up.  Results are
+     * exactly processStrip's.
+     */
+    void processStripInto(const EncodedMatrix &enc, size_t row_begin,
+                          size_t row_count,
+                          std::span<const Float16> acts, const Dtype &dt,
+                          StripResult &out, int scale_bits = 8) const;
+    void processStripInto(const PackedMatrix &packed, size_t row_begin,
+                          size_t row_count,
+                          std::span<const Float16> acts, const Dtype &dt,
+                          StripResult &out, int scale_bits = 8) const;
 
   private:
     /** Scale split + PE dispatch shared by both walk orders. */
@@ -141,16 +162,46 @@ class PeColumn
                                   int scale_bits) const;
 
     template <typename Source>
-    StripResult stripImpl(const Source &src, size_t rows,
-                          size_t row_begin, size_t row_count,
-                          std::span<const Float16> acts,
-                          const Dtype &dt, int scale_bits) const;
+    void stripImpl(const Source &src, size_t rows,
+                   size_t row_begin, size_t row_count,
+                   std::span<const Float16> acts,
+                   const Dtype &dt, int scale_bits,
+                   StripResult &strip) const;
+
+    /**
+     * The vectorized trusted-stream strip kernel.  Returns false
+     * (leaving @p strip untouched) when the strip is ineligible —
+     * checked decode, OliVe, hardware rounding, a dtype/image
+     * mismatch, or table values outside the term-table domain — and
+     * the caller falls back to stripImpl.
+     */
+    bool tryFastPackedStrip(const PackedMatrix &packed, size_t row_begin,
+                            size_t row_count,
+                            std::span<const Float16> acts,
+                            const Dtype &dt, int scale_bits,
+                            StripResult &strip) const;
+
+    /** Build / reuse the per-candidate code→entry maps for @p packed. */
+    bool ensureEntryMaps(const PackedMatrix &packed,
+                         const TermTable &table) const;
 
     BitmodPe pe_;
     int pesPerColumn_;
-    /** Packed-path decode buffer (one group; reused, not thread-safe
-     *  — like the PE scratch, use one PeColumn per thread). */
-    mutable std::vector<float> decode_;
+    // Reusable per-strip scratch (why an instance is not thread-safe —
+    // use one PeColumn per thread).  All of it reaches steady-state
+    // capacity after the first strip, so streaming is allocation-free.
+    mutable std::vector<float> decode_;     //!< packed-path decode buffer
+    mutable std::vector<int> rowCycles_;    //!< per-row cycle totals
+    mutable std::vector<int> lastDrain_;    //!< per-row last drain cycle
+    mutable std::vector<double> actsD_;     //!< hoisted act conversion
+    mutable std::vector<double> sums_;      //!< per-row group partials
+    mutable std::vector<int> effRow_;       //!< per-row effectual terms
+    mutable std::vector<uint16_t> entries_; //!< term-table entry indices
+    /** code→term-table-entry map per candidate table, content-cached
+     *  against mapTables_ so repeated strips of one matrix reuse it. */
+    mutable std::vector<std::vector<uint16_t>> entryMaps_;
+    mutable std::vector<std::vector<float>> mapTables_;
+    mutable bool entryMapOk_ = false;
 };
 
 /**
@@ -193,6 +244,18 @@ struct PackedGemvResult
 PackedGemvResult tileGemv(const PackedMatrix &packed, const Dtype &dt,
                           std::span<const Float16> acts,
                           int threads = 0);
+
+/**
+ * Allocation-free tileGemv: reuses @p out's buffers and per-thread
+ * column scratch, so repeated GEMVs over one packed image perform
+ * zero heap allocations after warm-up when @p threads == 1 (the
+ * serial path also bypasses the worker-pool dispatch entirely; pooled
+ * runs still allocate the task closure).  Results are exactly
+ * tileGemv's for any thread count.
+ */
+void tileGemvInto(const PackedMatrix &packed, const Dtype &dt,
+                  std::span<const Float16> acts, int threads,
+                  PackedGemvResult &out);
 
 } // namespace bitmod
 

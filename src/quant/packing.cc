@@ -1,10 +1,13 @@
 #include "quant/packing.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 
 namespace bitmod
 {
@@ -62,6 +65,20 @@ class BitReader
     void
     refill()
     {
+        if constexpr (std::endian::native == std::endian::little) {
+            // Branchless word refill: one 8-byte load tops the window
+            // up to >= 56 bits, with the end distance computed once
+            // per refill instead of once per byte.  Only the trailing
+            // < 8 bytes of a stream ever take the byte loop below.
+            if (end_ - p_ >= static_cast<ptrdiff_t>(sizeof(uint64_t))) {
+                uint64_t w;
+                std::memcpy(&w, p_, sizeof w);
+                buf_ |= w << avail_;
+                p_ += (63 - avail_) >> 3;
+                avail_ |= 56;
+                return;
+            }
+        }
         while (avail_ <= 56 && p_ < end_) {
             buf_ |= static_cast<uint64_t>(*p_++) << avail_;
             avail_ += 8;
@@ -390,6 +407,7 @@ GroupPacker::unpackInto(std::span<const uint8_t> bytes, size_t &bit_pos,
 {
     const size_t n = qdst.size();
     size_t escapes = 0;
+    thread_local std::vector<uint16_t> codeBuf;
     if (cfg_.dtype.kind == DtypeKind::OliveOvp) {
         const size_t codeStart = bit_pos;
         for (size_t i = 0; i < n; ++i) {
@@ -414,11 +432,17 @@ GroupPacker::unpackInto(std::span<const uint8_t> bytes, size_t &bit_pos,
         }
     } else {
         // svIndex is read after the codes, but the code→value table is
-        // selected by it; buffer the codes in the output span (codes
-        // fit a float exactly) and translate after the metadata.
-        for (size_t i = 0; i < n; ++i)
-            qdst[i] = static_cast<float>(
-                readBits(bytes, bit_pos, elementBits_));
+        // selected by it; extract the whole code section in one
+        // word-wise (or SIMD) pass and translate after the metadata.
+        BITMOD_ASSERT(bit_pos + n * elementBits_ <= bytes.size() * 8,
+                      "bitstream underrun: ", n, " codes of ",
+                      elementBits_, " bits at ", bit_pos, " exceed ",
+                      bytes.size() * 8);
+        if (codeBuf.size() < n)
+            codeBuf.resize(n);
+        simd::extractCodes(bytes.data(), bytes.size(), bit_pos,
+                           elementBits_, n, codeBuf.data());
+        bit_pos += n * elementBits_;
     }
     const uint32_t scaleCode = readBits(bytes, bit_pos, 8);
     desc.svIndex =
@@ -432,8 +456,7 @@ GroupPacker::unpackInto(std::span<const uint8_t> bytes, size_t &bit_pos,
     desc.scale = scaleCode * scale_base;
     if (cfg_.dtype.kind != DtypeKind::OliveOvp)
         for (size_t i = 0; i < n; ++i)
-            qdst[i] = valueOf(static_cast<uint32_t>(qdst[i]),
-                              desc.svIndex);
+            qdst[i] = valueOf(codeBuf[i], desc.svIndex);
 }
 
 DecodeStatus
@@ -679,10 +702,18 @@ PackedMatrix::decodeGroupInto(size_t i, std::span<float> out) const
             ? static_cast<size_t>(std::max(0, static_cast<int>(
                                                   d.svIndex)))
             : 0;
-    const float *vals = codeValues_[table].data();
-    BitReader codes(bytes_.data(), bytes_.size(), d.bitOffset);
-    for (size_t e = 0; e < d.len; ++e)
-        out[e] = vals[codes.get(elementBits_)];
+    // Whole-group extraction + table translate instead of a buffered
+    // per-element reader: every code of the group comes out in one
+    // word-wise (or SIMD) pass, then a permute-style lookup maps codes
+    // to qvalues.  Trusted images guarantee codes < table size, the
+    // same contract the indexed load above relied on.
+    thread_local std::vector<uint16_t> codeBuf;
+    if (codeBuf.size() < d.len)
+        codeBuf.resize(d.len);
+    simd::extractCodes(bytes_.data(), bytes_.size(), d.bitOffset,
+                       elementBits_, d.len, codeBuf.data());
+    simd::lookupFloat(codeBuf.data(), d.len, codeValues_[table].data(),
+                      codeValues_[table].size(), out.data());
 }
 
 DecodeStatus

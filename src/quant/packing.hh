@@ -206,6 +206,18 @@ class PackedMatrix
     int metaBits() const { return metaBits_; }
     DtypeKind kind() const { return kind_; }
 
+    /** Number of code→qvalue tables (one per NonLinear candidate). */
+    size_t codeTableCount() const { return codeValues_.size(); }
+    /**
+     * code→qvalue table @p t — the decode tables the fast strip
+     * kernel folds into its code→term-table-entry maps.
+     */
+    std::span<const float>
+    codeTable(size_t t) const
+    {
+        return {codeValues_[t].data(), codeValues_[t].size()};
+    }
+
     /**
      * Decode group @p i's element codes straight from the bit image
      * into @p out (length desc(i).len) via the code→qvalue tables.

@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "common/stats.hh"
 
 namespace bitmod
@@ -34,6 +35,8 @@ countingScan(const double *bounds, double x)
 
 /** Boundary count the padded fast path supports (BitMoD grids fit). */
 constexpr size_t kScanPad = 16;
+static_assert(kScanPad == simd::kScanBounds,
+              "the padded scan width is the SIMD kernel's contract");
 
 /**
  * Nearest-grid-index scan over a whole group: invokes
@@ -56,9 +59,11 @@ nearestScan(std::span<const float> w, const double *bounds, size_t nm,
         for (size_t base = 0; base < n; base += kBlock) {
             const size_t m = std::min(kBlock, n - base);
             const float *xs = w.data() + base;
-            for (size_t j = 0; j < m; ++j)
-                idxBuf[j] = static_cast<uint8_t>(
-                    countingScan<kScanPad>(bounds, xs[j]));
+            // The dispatched kernel's scalar tier is countingScan
+            // itself, and the vector tiers count the identical
+            // x > bound compares in double, so the nearest decision
+            // cannot depend on the detected CPU.
+            simd::nearestIndices(xs, m, bounds, idxBuf);
             for (size_t j = 0; j < m; ++j)
                 consume(base + j, static_cast<size_t>(idxBuf[j]));
         }

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Steady-state allocation test for the streaming hot path: after a
+ * warm-up pass, repeated tileGemvInto calls over one packed image must
+ * perform ZERO heap allocations — the strip kernel, the decode
+ * scratch, the result buffers and the bookkeeping all reuse capacity.
+ *
+ * The whole test binary's global operator new/delete are replaced
+ * with counting forwarders to malloc/free (all forms, so sized /
+ * aligned / nothrow deallocation stays matched and sanitizers still
+ * see every allocation).  The counter only ever increments in
+ * operator new, so a zero delta over the measured window proves the
+ * steady state heap-quiet.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "common/rng.hh"
+#include "pe/pe_column.hh"
+#include "quant/dtype.hh"
+#include "quant/packing.hh"
+#include "quant/quantizer.hh"
+#include "tensor/generator.hh"
+
+namespace
+{
+std::atomic<long long> gAllocCount{0};
+
+void *
+countedAlloc(std::size_t n)
+{
+    ++gAllocCount;
+    void *p = std::malloc(n ? n : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+countedAlignedAlloc(std::size_t n, std::size_t align)
+{
+    ++gAllocCount;
+    void *p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void *) ? sizeof(void *)
+                                                  : align,
+                       n ? n : 1) != 0)
+        throw std::bad_alloc();
+    return p;
+}
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    return countedAlloc(n);
+}
+void *
+operator new[](std::size_t n)
+{
+    return countedAlloc(n);
+}
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    ++gAllocCount;
+    return std::malloc(n ? n : 1);
+}
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    ++gAllocCount;
+    return std::malloc(n ? n : 1);
+}
+void *
+operator new(std::size_t n, std::align_val_t al)
+{
+    return countedAlignedAlloc(n, static_cast<std::size_t>(al));
+}
+void *
+operator new[](std::size_t n, std::align_val_t al)
+{
+    return countedAlignedAlloc(n, static_cast<std::size_t>(al));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+namespace bitmod
+{
+namespace
+{
+
+TEST(AllocFree, StreamingGemvIsHeapQuietAfterWarmup)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    cfg.scaleBits = 8;
+    cfg.captureEncoding = true;
+    Rng rng(1900);
+    WeightGenParams p;
+    const Matrix w = generateWeights(20, 512, p, rng);
+    const auto q = quantizeMatrix(w, cfg);
+    const GroupPacker packer(cfg);
+    const PackedMatrix packed = packer.packMatrix(q.encoded);
+
+    std::vector<Float16> acts;
+    acts.reserve(512);
+    for (size_t i = 0; i < 512; ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian()));
+    const std::span<const Float16> actSpan{acts.data(), acts.size()};
+
+    PackedGemvResult out;
+    // Warm-up: result buffers, column scratch, entry maps and the
+    // interned term table all reach capacity.
+    tileGemvInto(packed, cfg.dtype, actSpan, 1, out);
+    tileGemvInto(packed, cfg.dtype, actSpan, 1, out);
+    const auto ref = out.values;
+
+    const long long before = gAllocCount.load();
+    for (int i = 0; i < 10; ++i)
+        tileGemvInto(packed, cfg.dtype, actSpan, 1, out);
+    const long long after = gAllocCount.load();
+    EXPECT_EQ(after - before, 0)
+        << (after - before) << " heap allocations in 10 steady-state "
+        << "GEMV calls";
+    EXPECT_EQ(out.values, ref);
+}
+
+TEST(AllocFree, StripIntoIsHeapQuietAfterWarmup)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::intSym(4);
+    cfg.scaleBits = 8;
+    cfg.captureEncoding = true;
+    Rng rng(1901);
+    WeightGenParams p;
+    const Matrix w = generateWeights(8, 256, p, rng);
+    const auto q = quantizeMatrix(w, cfg);
+    const GroupPacker packer(cfg);
+    const PackedMatrix packed = packer.packMatrix(q.encoded);
+
+    std::vector<Float16> acts;
+    acts.reserve(256);
+    for (size_t i = 0; i < 256; ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian()));
+    const std::span<const Float16> actSpan{acts.data(), acts.size()};
+
+    PeColumn column;
+    StripResult strip;
+    column.processStripInto(packed, 0, 8, actSpan, cfg.dtype, strip);
+    column.processStripInto(packed, 0, 8, actSpan, cfg.dtype, strip);
+
+    const long long before = gAllocCount.load();
+    for (int i = 0; i < 10; ++i)
+        column.processStripInto(packed, 0, 8, actSpan, cfg.dtype,
+                                strip);
+    const long long after = gAllocCount.load();
+    EXPECT_EQ(after - before, 0);
+}
+
+} // namespace
+} // namespace bitmod

@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Bit-identity tests for the runtime-dispatched SIMD kernels and the
+ * vectorized hot paths built on them: every tier the machine supports
+ * must produce exactly the scalar tier's results — for the raw
+ * kernels (code extraction, table translate, nearest-index scan), for
+ * packed-stream decode, for the fast packed strip kernel against the
+ * float-pool walk across every datatype kind, and for the adaptive-MSE
+ * quantizer — plus the BITMOD_FORCE_SCALAR environment override.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "common/rng.hh"
+#include "common/simd.hh"
+#include "pe/pe_column.hh"
+#include "quant/dtype.hh"
+#include "quant/packing.hh"
+#include "quant/quantizer.hh"
+#include "tensor/generator.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+/** Every tier this CPU can actually run (always includes Scalar). */
+std::vector<simd::Tier>
+availableTiers()
+{
+    std::vector<simd::Tier> tiers{simd::Tier::Scalar};
+    if (simd::maxTier() >= simd::Tier::Avx2)
+        tiers.push_back(simd::Tier::Avx2);
+    if (simd::maxTier() >= simd::Tier::Avx512)
+        tiers.push_back(simd::Tier::Avx512);
+    return tiers;
+}
+
+/** RAII tier pin so a failing test cannot leak its override. */
+struct TierGuard
+{
+    explicit TierGuard(simd::Tier t) { simd::setTier(t); }
+    ~TierGuard() { simd::resetTier(); }
+};
+
+std::vector<Float16>
+randomActs(size_t n, Rng &rng)
+{
+    std::vector<Float16> acts;
+    acts.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian()));
+    return acts;
+}
+
+TEST(SimdExtract, MatchesReadBitsForEveryTierWidthAndPhase)
+{
+    Rng rng(1701);
+    std::vector<uint8_t> bytes(512);
+    for (auto &b : bytes)
+        b = static_cast<uint8_t>(rng.uniform(0.0, 256.0));
+
+    const size_t lens[] = {0, 1, 2, 3, 7, 8, 15, 31, 63, 64, 65, 127,
+                           130};
+    for (int width = 1; width <= 16; ++width)
+        for (uint64_t offset = 0; offset < 19; ++offset)
+            for (const size_t n : lens) {
+                if (offset + n * width > bytes.size() * 8)
+                    continue;
+                std::vector<uint16_t> ref(std::max<size_t>(n, 1));
+                size_t pos = offset;
+                for (size_t i = 0; i < n; ++i)
+                    ref[i] = static_cast<uint16_t>(
+                        readBits(bytes, pos, width));
+                for (const simd::Tier t : availableTiers()) {
+                    TierGuard guard(t);
+                    std::vector<uint16_t> out(std::max<size_t>(n, 1),
+                                              0xbeef);
+                    simd::extractCodes(bytes.data(), bytes.size(),
+                                       offset, width, n, out.data());
+                    for (size_t i = 0; i < n; ++i)
+                        ASSERT_EQ(out[i], ref[i])
+                            << "tier " << simd::tierName(t)
+                            << " width " << width << " offset "
+                            << offset << " n " << n << " i " << i;
+                }
+            }
+}
+
+TEST(SimdExtract, GuardedTailNeverReadsPastTheStream)
+{
+    // Runs that end exactly at the last bit of the stream: the wide
+    // loads must fall back to the byte gather instead of reading past
+    // size.  (ASan/UBSan turn any violation into a hard failure.)
+    Rng rng(1702);
+    for (size_t size = 1; size <= 24; ++size) {
+        std::vector<uint8_t> bytes(size);
+        for (auto &b : bytes)
+            b = static_cast<uint8_t>(rng.uniform(0.0, 256.0));
+        for (int width = 1; width <= 16; ++width) {
+            const size_t n = size * 8 / width;
+            if (n == 0)
+                continue;
+            const uint64_t offset = size * 8 - n * width;
+            std::vector<uint16_t> ref(n);
+            size_t pos = offset;
+            for (size_t i = 0; i < n; ++i)
+                ref[i] =
+                    static_cast<uint16_t>(readBits(bytes, pos, width));
+            for (const simd::Tier t : availableTiers()) {
+                TierGuard guard(t);
+                std::vector<uint16_t> out(n, 0xbeef);
+                simd::extractCodes(bytes.data(), bytes.size(), offset,
+                                   width, n, out.data());
+                ASSERT_EQ(0, std::memcmp(out.data(), ref.data(),
+                                         n * sizeof(uint16_t)))
+                    << "tier " << simd::tierName(t) << " size " << size
+                    << " width " << width;
+            }
+        }
+    }
+}
+
+TEST(SimdLookup, TableTranslateMatchesScalarForEveryTier)
+{
+    Rng rng(1703);
+    for (const size_t tableSize : {2u, 5u, 8u, 15u, 16u, 17u, 33u}) {
+        std::vector<float> table(tableSize);
+        for (auto &v : table)
+            v = static_cast<float>(rng.gaussian(0.0, 4.0));
+        table[0] = 0.0f;
+        for (const size_t n : {0u, 1u, 4u, 7u, 63u, 64u, 100u}) {
+            std::vector<uint16_t> codes(std::max<size_t>(n, 1));
+            for (size_t i = 0; i < n; ++i)
+                codes[i] = static_cast<uint16_t>(rng.uniform(
+                    0.0, static_cast<double>(tableSize) - 0.001));
+            std::vector<float> ref(std::max<size_t>(n, 1));
+            for (size_t i = 0; i < n; ++i)
+                ref[i] = table[codes[i]];
+            for (const simd::Tier t : availableTiers()) {
+                TierGuard guard(t);
+                std::vector<float> out(std::max<size_t>(n, 1), -777.f);
+                simd::lookupFloat(codes.data(), n, table.data(),
+                                  tableSize, out.data());
+                ASSERT_EQ(0, std::memcmp(out.data(), ref.data(),
+                                         n * sizeof(float)))
+                    << "tier " << simd::tierName(t) << " table "
+                    << tableSize << " n " << n;
+            }
+        }
+    }
+}
+
+TEST(SimdNearest, BoundaryCountMatchesScalarIncludingNonFinite)
+{
+    Rng rng(1704);
+    double bounds[simd::kScanBounds];
+    const size_t nm = 11;
+    for (size_t k = 0; k < simd::kScanBounds; ++k)
+        bounds[k] = std::numeric_limits<double>::infinity();
+    for (size_t k = 0; k < nm; ++k)
+        bounds[k] = -4.0 + static_cast<double>(k) * 0.75;
+    bounds[3] = bounds[2];  // duplicated boundary (degenerate grid)
+
+    std::vector<float> xs;
+    for (int i = 0; i < 400; ++i)
+        xs.push_back(static_cast<float>(rng.gaussian(0.0, 3.0)));
+    // Exact boundary hits (x > x is false), signed zero, and the
+    // non-finite values: NaN compares false against everything, so
+    // every tier must file it under index 0.
+    for (size_t k = 0; k < nm; ++k)
+        xs.push_back(static_cast<float>(bounds[k]));
+    xs.push_back(0.0f);
+    xs.push_back(-0.0f);
+    xs.push_back(std::numeric_limits<float>::infinity());
+    xs.push_back(-std::numeric_limits<float>::infinity());
+    xs.push_back(std::numeric_limits<float>::quiet_NaN());
+
+    std::vector<uint8_t> ref(xs.size());
+    for (size_t j = 0; j < xs.size(); ++j) {
+        size_t idx = 0;
+        for (size_t k = 0; k < simd::kScanBounds; ++k)
+            idx += static_cast<double>(xs[j]) > bounds[k];
+        ref[j] = static_cast<uint8_t>(idx);
+    }
+    for (const simd::Tier t : availableTiers()) {
+        TierGuard guard(t);
+        // Odd lengths exercise the vector tails.
+        for (const size_t n : {xs.size(), size_t{5}, size_t{1}}) {
+            std::vector<uint8_t> out(n, 0xee);
+            simd::nearestIndices(xs.data(), n, bounds, out.data());
+            for (size_t j = 0; j < n; ++j)
+                ASSERT_EQ(out[j], ref[j])
+                    << "tier " << simd::tierName(t) << " j " << j
+                    << " x " << xs[j];
+        }
+    }
+}
+
+TEST(SimdDispatch, EnvOverrideForcesScalarAndReset)
+{
+    ASSERT_EQ(setenv("BITMOD_FORCE_SCALAR", "1", 1), 0);
+    simd::resetTier();
+    EXPECT_EQ(simd::activeTier(), simd::Tier::Scalar);
+
+    // Falsy spellings must NOT force the scalar tier.
+    for (const char *off : {"", "0", "false", "OFF", "no"}) {
+        ASSERT_EQ(setenv("BITMOD_FORCE_SCALAR", off, 1), 0);
+        simd::resetTier();
+        EXPECT_EQ(simd::activeTier(), simd::maxTier()) << off;
+    }
+    // Any other value is truthy.
+    for (const char *on : {"1", "yes", "TRUE", "on"}) {
+        ASSERT_EQ(setenv("BITMOD_FORCE_SCALAR", on, 1), 0);
+        simd::resetTier();
+        EXPECT_EQ(simd::activeTier(), simd::Tier::Scalar) << on;
+    }
+    ASSERT_EQ(unsetenv("BITMOD_FORCE_SCALAR"), 0);
+    simd::resetTier();
+    EXPECT_EQ(simd::activeTier(), simd::maxTier());
+}
+
+TEST(SimdDispatch, SetTierClampsToHardware)
+{
+    simd::setTier(simd::Tier::Avx512);
+    EXPECT_LE(simd::activeTier(), simd::maxTier());
+    simd::resetTier();
+}
+
+/** One strip configuration in the packed-vs-pool sweep. */
+struct StripCase
+{
+    const char *name;
+    const char *dtype;
+    int groupSize;
+    int lanes;
+    bool termSkip;
+};
+
+class SimdStripIdentity : public ::testing::TestWithParam<StripCase>
+{
+};
+
+/**
+ * The heart of the tentpole contract: the packed-stream strip (fast
+ * vectorized kernel where eligible, guarded scalar walk otherwise)
+ * must reproduce the float-pool strip bit for bit — values, cycles,
+ * drain events, effectual terms, contention — for every datatype
+ * kind, group shape, lane count and term-skip setting, on every tier.
+ */
+TEST_P(SimdStripIdentity, MatchesFloatPoolOnEveryTier)
+{
+    const StripCase &tc = GetParam();
+    QuantConfig cfg;
+    cfg.dtype = dtypes::byName(tc.dtype);
+    cfg.groupSize = tc.groupSize;
+    cfg.scaleBits = 8;  // in-stream 8-bit scale codes
+    cfg.captureEncoding = true;
+
+    Rng rng(1800);
+    WeightGenParams p;
+    const size_t rows = 21;  // not a multiple of the column depth
+    const size_t cols = cfg.dtype.kind == DtypeKind::Mx
+                            ? 192
+                            : static_cast<size_t>(tc.groupSize) * 3;
+    const Matrix w = generateWeights(rows, cols, p, rng);
+    const auto q = quantizeMatrix(w, cfg);
+    const GroupPacker packer(cfg);
+    const PackedMatrix packed = packer.packMatrix(q.encoded);
+    const auto acts = randomActs(cols, rng);
+    const std::span<const Float16> actSpan{acts.data(), acts.size()};
+
+    PeConfig pc;
+    pc.lanes = tc.lanes;
+    pc.termSkip = tc.termSkip;
+    PeColumn column(pc);
+    const size_t depth = static_cast<size_t>(column.pesPerColumn());
+
+    for (const simd::Tier t : availableTiers()) {
+        TierGuard guard(t);
+        for (size_t r0 = 0; r0 < rows; r0 += depth) {
+            const size_t n = std::min(depth, rows - r0);
+            const auto a =
+                column.processStrip(q.encoded, r0, n, actSpan,
+                                    cfg.dtype);
+            const auto b =
+                column.processStrip(packed, r0, n, actSpan, cfg.dtype);
+            ASSERT_EQ(a.values, b.values)
+                << tc.name << " tier " << simd::tierName(t)
+                << " strip " << r0;
+            ASSERT_EQ(a.cycles, b.cycles) << tc.name;
+            ASSERT_EQ(a.drainEvents, b.drainEvents) << tc.name;
+            ASSERT_EQ(a.effectualTerms, b.effectualTerms) << tc.name;
+            ASSERT_EQ(a.accumulatorContention, b.accumulatorContention)
+                << tc.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datatypes, SimdStripIdentity,
+    ::testing::Values(
+        // Every packed kind: IntSym, IntAsym, NonLinear (adaptive and
+        // single-candidate), Mx, OliVe escapes (scalar fallback), and
+        // Flint's NonLinear reconstruction.
+        StripCase{"int4", "INT4-Sym", 128, 4, false},
+        StripCase{"int8", "INT8-Sym", 128, 4, false},
+        StripCase{"int4asym", "INT4-Asym", 128, 4, false},
+        StripCase{"bitmod3", "BitMoD-FP3", 128, 4, false},
+        StripCase{"bitmod4", "BitMoD-FP4", 128, 4, false},
+        StripCase{"fp4", "FP4", 128, 4, false},
+        StripCase{"fp3", "FP3", 128, 4, false},
+        StripCase{"mxfp4", "MX-FP4", 32, 4, false},
+        StripCase{"flint4", "Flint4", 128, 4, false},
+        StripCase{"olive4", "OliVe4", 128, 4, false},
+        // Term-skip changes the cycle/effectual accounting; lanes > 8
+        // exercised the seed's fixed-size scratch overflow before.
+        StripCase{"bitmod4_skip", "BitMoD-FP4", 128, 4, true},
+        StripCase{"bitmod4_lanes16", "BitMoD-FP4", 128, 16, true},
+        StripCase{"int4asym_skip", "INT4-Asym", 128, 16, true},
+        // Group lengths that are not SIMD-friendly (tails everywhere).
+        StripCase{"bitmod4_g24", "BitMoD-FP4", 24, 4, false},
+        StripCase{"int4_g40", "INT4-Sym", 40, 4, true}),
+    [](const ::testing::TestParamInfo<StripCase> &info) {
+        return info.param.name;
+    });
+
+TEST(PackedStripInterop, CheckedDecodeInteropStaysIdentical)
+{
+    // Checked decode takes the recoverable scalar walk: same results
+    // as the fast kernel on a clean image, quarantine on a corrupt one.
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    cfg.scaleBits = 8;
+    cfg.captureEncoding = true;
+    Rng rng(1801);
+    WeightGenParams p;
+    const Matrix w = generateWeights(8, 512, p, rng);
+    const auto q = quantizeMatrix(w, cfg);
+    const GroupPacker packer(cfg);
+    PackedMatrix packed = packer.packMatrix(q.encoded);
+    const auto acts = randomActs(512, rng);
+    const std::span<const Float16> actSpan{acts.data(), acts.size()};
+
+    PeColumn column;
+    const auto fast =
+        column.processStrip(packed, 0, 8, actSpan, cfg.dtype);
+    packed.setCheckedDecode(true);
+    const auto checkedStrip =
+        column.processStrip(packed, 0, 8, actSpan, cfg.dtype);
+    EXPECT_EQ(fast.values, checkedStrip.values);
+    EXPECT_EQ(fast.cycles, checkedStrip.cycles);
+    EXPECT_EQ(checkedStrip.corruptGroups, 0);
+
+    packed.truncateImage(packed.imageBytes() / 2);
+    const auto corrupt =
+        column.processStrip(packed, 0, 8, actSpan, cfg.dtype);
+    EXPECT_GT(corrupt.corruptGroups, 0);
+    EXPECT_EQ(corrupt.status, DecodeStatus::Truncated);
+}
+
+TEST(PackedStripInterop, GemvIntoReusesBuffersBitIdentically)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    cfg.scaleBits = 8;
+    cfg.captureEncoding = true;
+    Rng rng(1802);
+    WeightGenParams p;
+    const Matrix w = generateWeights(20, 256, p, rng);
+    const auto q = quantizeMatrix(w, cfg);
+    const GroupPacker packer(cfg);
+    const PackedMatrix packed = packer.packMatrix(q.encoded);
+    const auto acts = randomActs(256, rng);
+    const std::span<const Float16> actSpan{acts.data(), acts.size()};
+
+    const auto ref = tileGemv(packed, cfg.dtype, actSpan, 1);
+    PackedGemvResult out;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        tileGemvInto(packed, cfg.dtype, actSpan, 1, out);
+        ASSERT_EQ(out.values, ref.values) << "repeat " << repeat;
+        ASSERT_EQ(out.corruptGroups, 0);
+    }
+    // And across thread counts (sharding must not change anything).
+    tileGemvInto(packed, cfg.dtype, actSpan, 4, out);
+    EXPECT_EQ(out.values, ref.values);
+}
+
+TEST(SimdQuantize, AdaptiveScanIdenticalAcrossTiers)
+{
+    QuantConfig cfg;
+    cfg.dtype = dtypes::bitmodFp4();
+    cfg.captureEncoding = true;
+    Rng rng(1803);
+    WeightGenParams p;
+    const Matrix w = generateWeights(16, 1024, p, rng);
+
+    simd::setTier(simd::Tier::Scalar);
+    const auto ref = quantizeMatrix(w, cfg);
+    simd::resetTier();
+    for (const simd::Tier t : availableTiers()) {
+        TierGuard guard(t);
+        const auto got = quantizeMatrix(w, cfg);
+        ASSERT_EQ(0, std::memcmp(ref.dequant.data(),
+                                 got.dequant.data(),
+                                 ref.dequant.size() * sizeof(float)))
+            << "tier " << simd::tierName(t);
+        ASSERT_EQ(ref.stats.svHistogram, got.stats.svHistogram);
+        ASSERT_EQ(ref.stats.mse, got.stats.mse);
+    }
+}
+
+TEST(SimdDecode, PackedUnpackIdenticalAcrossTiers)
+{
+    // unpackInto / decodeGroupInto run the extract+translate kernels;
+    // the recovered pool must be byte-identical on every tier.
+    for (const char *name :
+         {"INT4-Sym", "INT4-Asym", "BitMoD-FP4", "MX-FP4", "OliVe4"}) {
+        QuantConfig cfg;
+        cfg.dtype = dtypes::byName(name);
+        cfg.scaleBits = 8;
+        cfg.captureEncoding = true;
+        Rng rng(1804);
+        WeightGenParams p;
+        const Matrix w = generateWeights(4, 256, p, rng);
+        const auto q = quantizeMatrix(w, cfg);
+        const GroupPacker packer(cfg);
+        const PackedMatrix packed = packer.packMatrix(q.encoded);
+
+        std::vector<std::vector<float>> perTier;
+        for (const simd::Tier t : availableTiers()) {
+            TierGuard guard(t);
+            std::vector<float> all;
+            std::vector<float> buf;
+            for (size_t i = 0; i < packed.size(); ++i) {
+                buf.assign(packed.desc(i).len, 0.0f);
+                packed.decodeGroupInto(i,
+                                       {buf.data(), buf.size()});
+                all.insert(all.end(), buf.begin(), buf.end());
+            }
+            perTier.push_back(std::move(all));
+        }
+        for (size_t t = 1; t < perTier.size(); ++t)
+            ASSERT_EQ(0,
+                      std::memcmp(perTier[0].data(),
+                                  perTier[t].data(),
+                                  perTier[0].size() * sizeof(float)))
+                << name << " tier index " << t;
+    }
+}
+
+} // namespace
+} // namespace bitmod

@@ -98,19 +98,16 @@ runConfig(const ServeConfig &cfg, const std::string &model, bool smoke)
     ConfigResult r;
     r.cfg = cfg;
 
-    // Unloaded latency floor: one lone request.
-    ServingParams one = baseParams(cfg, smoke);
-    one.arrivalRatePerSec = 0.0;
-    one.numRequests = 1;
-    const ServingReport unloaded = runServing(cfg, model, one);
-    r.sloTtftBudgetMs = 5.0 * unloaded.ttftMs.p50;
-    r.sloTpotBudgetMs = 3.0 * unloaded.tpotMs.p50;
-
-    // Capacity: closed-loop burst (every request queued at cycle 0)
-    // — the saturation throughput continuous batching can sustain.
-    ServingParams burst = baseParams(cfg, smoke);
-    burst.arrivalRatePerSec = 0.0;
-    r.capacityRps = runServing(cfg, model, burst).achievedRps;
+    // Unloaded latency floor + closed-loop burst capacity, via the
+    // shared calibration helper (same two runs as before, verbatim).
+    const benchutil::ServingCalibration cal =
+        benchutil::calibrateServing(
+            baseParams(cfg, smoke), [&](const ServingParams &p) {
+                return runServing(cfg, model, p);
+            });
+    r.sloTtftBudgetMs = cal.sloTtftBudgetMs;
+    r.sloTpotBudgetMs = cal.sloTpotBudgetMs;
+    r.capacityRps = cal.capacityRps;
 
     for (size_t li = 0; li < kNumLoads; ++li) {
         ServingParams p = baseParams(cfg, smoke);

@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Replica-vs-shard capacity planner: given a fleet of F chips, sweep
+ * tensor-parallel degree x replica count x scheduler against Poisson
+ * traffic on the measured BitMoD deployment and report the
+ * throughput-vs-SLO frontier.
+ *
+ * For each TP degree N dividing the fleet, the F chips form F/N
+ * replicas of one N-way sharded instance (per-shard packed profiles,
+ * ring all-reduce charged on every step's critical path).  Each
+ * replica is calibrated with the shared closed-loop helper (burst
+ * capacity + unloaded SLO budgets), swept at fixed load fractions,
+ * and the fleet's sustainable rate is replicas x the per-replica max
+ * rate that meets both p99 budgets.
+ *
+ * The bench also measures the raw TP decode-throughput speedup
+ * (burst tokens/sec at TP=N over TP=1, interconnect included) and
+ * runs two in-binary identity checks that exit 2 on failure: a
+ * TP=1 sharded serving run must be bit-identical to the unsharded
+ * path, and the pooled sweep must match a serial re-run bit for bit.
+ *
+ * --out emits BENCH_sharding.json for the CI perf gate (*_ms
+ * latencies, *_speedup / *_sustainable_rate / tp_scaling_efficiency
+ * higher-better, bit_identical hard-fail); --smoke shrinks the fleet
+ * and request count for the ctest bench_smoke label.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/parallel.hh"
+#include "common/table.hh"
+#include "core/bitmod_api.hh"
+
+using namespace bitmod;
+
+namespace
+{
+
+/** Load fractions of calibrated capacity each config is swept at. */
+constexpr double kLoads[] = {0.3, 0.6, 0.9, 1.05, 1.2};
+constexpr const char *kLoadLabels[] = {"load30", "load60", "load90",
+                                       "load105", "load120"};
+constexpr size_t kNumLoads = sizeof(kLoads) / sizeof(kLoads[0]);
+
+/** Inter-chip link of the modeled fleet (per direction). */
+constexpr double kLinkGBs = 64.0;
+
+/** One (TP degree, scheduler) cell of the planner. */
+struct PlanConfig
+{
+    int tp = 1;
+    SchedulerKind scheduler = SchedulerKind::Fcfs;
+};
+
+/** Everything one cell contributes to the artifact. */
+struct PlanResult
+{
+    PlanConfig cfg;
+    int replicas = 1;
+    benchutil::ServingCalibration cal;
+    double fleetMaxSustainableRate = 0.0;
+    double burstTokensPerSec = 0.0;
+    double interconnectStallShare = 0.0;  //!< of the burst run
+    std::vector<ServingReport> loads;     //!< kLoads order
+};
+
+/** Request-shape knobs shared by every run of the sweep. */
+ServingParams
+baseParams(SchedulerKind scheduler, bool smoke)
+{
+    ServingParams p;
+    p.seed = 0x5e221e5;
+    p.numRequests = smoke ? 12 : 48;
+    p.inTokens = 16;
+    p.inTokensMax = 48;
+    p.outTokens = 32;
+    p.prefillTokenBudget = 64;
+    p.scheduler = scheduler;
+    return p;
+}
+
+/** One serving run of the measured BitMoD deployment at TP @p tp
+ *  (tp 0 = the plain unsharded path, for the identity check). */
+ServingReport
+runServing(const std::string &model, int tp,
+           const ServingParams &params, ProfileCache *cache)
+{
+    DeployRequest req("BitMoD", model);
+    req.with(Policy::Lossy).withServing(params).withMeasured(cache);
+    if (tp > 0)
+        req.withSharding(tp, kLinkGBs);
+    const auto summary = simulateDeployment(req);
+    return *summary.serving;
+}
+
+/** The full calibrate + sweep pipeline for one planner cell. */
+PlanResult
+runPlan(const PlanConfig &cfg, const std::string &model, int fleet,
+        bool smoke, ProfileCache *cache)
+{
+    PlanResult r;
+    r.cfg = cfg;
+    r.replicas = fleet / cfg.tp;
+
+    const ServingParams base = baseParams(cfg.scheduler, smoke);
+    r.cal = benchutil::calibrateServing(
+        base, [&](const ServingParams &p) {
+            return runServing(model, cfg.tp, p, cache);
+        });
+
+    // Burst decode throughput + interconnect stall of one replica.
+    ServingParams burst = base;
+    burst.arrivalRatePerSec = 0.0;
+    const ServingReport burstRep =
+        runServing(model, cfg.tp, burst, cache);
+    r.burstTokensPerSec = burstRep.tokensPerSec;
+    if (burstRep.sharding)
+        r.interconnectStallShare =
+            burstRep.sharding->interconnectStallShare;
+
+    double perReplicaMax = 0.0;
+    for (size_t li = 0; li < kNumLoads; ++li) {
+        ServingParams p = base;
+        p.arrivalRatePerSec = kLoads[li] * r.cal.capacityRps;
+        const ServingReport rep =
+            runServing(model, cfg.tp, p, cache);
+        const bool underSlo =
+            rep.ttftMs.p99 <= r.cal.sloTtftBudgetMs &&
+            rep.tpotMs.p99 <= r.cal.sloTpotBudgetMs;
+        if (underSlo && p.arrivalRatePerSec > perReplicaMax)
+            perReplicaMax = p.arrivalRatePerSec;
+        r.loads.push_back(rep);
+    }
+    r.fleetMaxSustainableRate =
+        static_cast<double>(r.replicas) * perReplicaMax;
+    return r;
+}
+
+/** Bitwise equality of the fields the artifact is built from. */
+bool
+sameReport(const ServingReport &a, const ServingReport &b)
+{
+    return a.ttftMs.p50 == b.ttftMs.p50 &&
+           a.ttftMs.p99 == b.ttftMs.p99 &&
+           a.tpotMs.p99 == b.tpotMs.p99 &&
+           a.e2eMs.p50 == b.e2eMs.p50 &&
+           a.e2eMs.p99 == b.e2eMs.p99 &&
+           a.completed == b.completed && a.rejected == b.rejected &&
+           a.steps == b.steps && a.achievedRps == b.achievedRps &&
+           a.tokensPerSec == b.tokensPerSec &&
+           a.totalCycles == b.totalCycles &&
+           a.traffic.total() == b.traffic.total() &&
+           a.energy.totalNj() == b.energy.totalNj();
+}
+
+bool
+samePlanResult(const PlanResult &a, const PlanResult &b)
+{
+    if (a.cal.capacityRps != b.cal.capacityRps ||
+        a.cal.sloTtftBudgetMs != b.cal.sloTtftBudgetMs ||
+        a.cal.sloTpotBudgetMs != b.cal.sloTpotBudgetMs ||
+        a.fleetMaxSustainableRate != b.fleetMaxSustainableRate ||
+        a.burstTokensPerSec != b.burstTokensPerSec ||
+        a.loads.size() != b.loads.size())
+        return false;
+    for (size_t i = 0; i < a.loads.size(); ++i)
+        if (!sameReport(a.loads[i], b.loads[i]))
+            return false;
+    return true;
+}
+
+void
+writeJson(const std::string &path, int fleet,
+          const std::vector<PlanResult> &results,
+          const std::vector<std::pair<int, double>> &speedups,
+          double scalingEfficiency, bool tp1Identical,
+          bool deterministic, int threads)
+{
+    FILE *f = benchutil::openBenchJson(path);
+    std::fprintf(f,
+                 "{\n  \"bench\": \"sharding_sweep\",\n"
+                 "  \"fleet_chips\": %d,\n",
+                 fleet);
+    std::fprintf(f, "  \"sharding_speedup\": {\n");
+    for (const auto &[tp, speedup] : speedups)
+        std::fprintf(f, "    \"tp%d_decode_speedup\": %.4f,\n", tp,
+                     speedup);
+    std::fprintf(f,
+                 "    \"tp_scaling_efficiency\": %.4f, "
+                 "\"bit_identical\": %s\n  },\n",
+                 scalingEfficiency, tp1Identical ? "true" : "false");
+    for (const PlanResult &r : results) {
+        std::fprintf(f, "  \"planner_tp%d_%s\": {\n", r.cfg.tp,
+                     schedulerName(r.cfg.scheduler));
+        std::fprintf(f,
+                     "    \"replicas\": %d, \"capacity_rps\": %.4f, "
+                     "\"interconnect_stall_share\": %.4f,\n",
+                     r.replicas, r.cal.capacityRps,
+                     r.interconnectStallShare);
+        for (size_t li = 0; li < r.loads.size(); ++li) {
+            const ServingReport &rep = r.loads[li];
+            std::fprintf(f,
+                         "    \"%s_ttft_p99_ms\": %.4f, "
+                         "\"%s_tpot_p99_ms\": %.4f, "
+                         "\"%s_e2e_p50_ms\": %.4f,\n",
+                         kLoadLabels[li], rep.ttftMs.p99,
+                         kLoadLabels[li], rep.tpotMs.p99,
+                         kLoadLabels[li], rep.e2eMs.p50);
+        }
+        std::fprintf(f,
+                     "    \"fleet_max_sustainable_rate\": %.4f\n"
+                     "  },\n",
+                     r.fleetMaxSustainableRate);
+    }
+    std::fprintf(f,
+                 "  \"sharding_determinism\": {\"threads\": %d, "
+                 "\"bit_identical\": %s}\n}\n",
+                 threads, deterministic ? "true" : "false");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    int threads = 0;
+    int fleet = 0;  // 0 = default below
+    std::string out;
+    std::string model = "Llama-2-7B";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else if (arg == "--model" && i + 1 < argc) {
+            model = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = std::atoi(argv[++i]);
+        } else if (arg == "--fleet" && i + 1 < argc) {
+            fleet = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--model NAME] "
+                         "[--threads N] [--fleet F] [--out FILE]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    if (fleet <= 0)
+        fleet = smoke ? 4 : 8;
+
+    // TP degrees: the divisors of the fleet among {1, 2, 4, 8}.
+    std::vector<int> degrees;
+    for (int tp : {1, 2, 4, 8})
+        if (tp <= fleet && fleet % tp == 0)
+            degrees.push_back(tp);
+
+    const std::vector<SchedulerKind> schedulers = {
+        SchedulerKind::Fcfs, SchedulerKind::LargestBatchFirst};
+    std::vector<PlanConfig> configs;
+    for (int tp : degrees)
+        for (SchedulerKind sched : schedulers)
+            configs.push_back({tp, sched});
+
+    // One profile cache for every pass: each shard slice is measured
+    // exactly once across the whole sweep (the key carries the
+    // slice), and cache hits are bit-identical to remeasurement, so
+    // sharing it between the pooled and serial passes is sound.
+    ProfileCache cache;
+
+    // Pooled pass over the planner cells, then a serial re-run; the
+    // serving engine is seeded and single-threaded inside, so the two
+    // must agree bit for bit.
+    std::vector<PlanResult> results(configs.size());
+    WorkerPool pool(threads);
+    pool.parallelFor(configs.size(), [&](size_t i) {
+        results[i] = runPlan(configs[i], model, fleet, smoke, &cache);
+    });
+    bool deterministic = true;
+    for (size_t i = 0; i < configs.size(); ++i)
+        if (!samePlanResult(results[i],
+                            runPlan(configs[i], model, fleet, smoke,
+                                    &cache)))
+            deterministic = false;
+
+    // TP=1 sharded vs plain unsharded: the serving run must be
+    // bit-identical (unit fractions, zero all-reduce).
+    ServingParams identParams = baseParams(SchedulerKind::Fcfs, smoke);
+    const ServingReport shardedTp1 =
+        runServing(model, 1, identParams, &cache);
+    const ServingReport unsharded =
+        runServing(model, 0, identParams, &cache);
+    const bool tp1Identical = sameReport(shardedTp1, unsharded);
+
+    // Raw TP decode-throughput speedup: burst tokens/sec of one
+    // TP=N replica over TP=1 (all-reduce latency included) — the
+    // Fcfs cells' burst runs, compared against the tp=1 cell.
+    double tp1Tokens = 0.0;
+    for (const PlanResult &r : results)
+        if (r.cfg.tp == 1 && r.cfg.scheduler == SchedulerKind::Fcfs)
+            tp1Tokens = r.burstTokensPerSec;
+    std::vector<std::pair<int, double>> speedups;
+    double scalingEfficiency = 0.0;
+    for (const PlanResult &r : results) {
+        if (r.cfg.scheduler != SchedulerKind::Fcfs || r.cfg.tp == 1)
+            continue;
+        const double speedup =
+            tp1Tokens > 0.0 ? r.burstTokensPerSec / tp1Tokens : 0.0;
+        speedups.emplace_back(r.cfg.tp, speedup);
+        if (r.cfg.tp == 4)
+            scalingEfficiency = speedup / 4.0;
+    }
+    if (scalingEfficiency == 0.0 && !speedups.empty())
+        scalingEfficiency =
+            speedups.back().second /
+            static_cast<double>(speedups.back().first);
+
+    TextTable t("Sharding capacity planner - " + model + " (fleet of " +
+                std::to_string(fleet) + " chips, measured BitMoD, " +
+                TextTable::num(kLinkGBs, 0) + " GB/s links)");
+    t.setHeader({"TP", "Repl", "Sched", "Cap req/s", "Load",
+                 "TTFT p99", "TPOT p99", "e2e p50", "Fleet req/s",
+                 "IC stall"});
+    for (const PlanResult &r : results) {
+        for (size_t li = 0; li < r.loads.size(); ++li) {
+            const ServingReport &rep = r.loads[li];
+            t.addRow({std::to_string(r.cfg.tp),
+                      std::to_string(r.replicas),
+                      schedulerName(r.cfg.scheduler),
+                      TextTable::num(r.cal.capacityRps, 2),
+                      kLoadLabels[li],
+                      TextTable::num(rep.ttftMs.p99, 1),
+                      TextTable::num(rep.tpotMs.p99, 2),
+                      TextTable::num(rep.e2eMs.p50, 1),
+                      TextTable::num(r.fleetMaxSustainableRate, 2),
+                      TextTable::num(r.interconnectStallShare, 3)});
+        }
+        t.addSeparator();
+    }
+    for (const auto &[tp, speedup] : speedups)
+        t.addNote("TP=" + std::to_string(tp) +
+                  " burst decode-throughput speedup over TP=1: " +
+                  TextTable::num(speedup, 2) + "x");
+    t.addNote("tp_scaling_efficiency: " +
+              TextTable::num(scalingEfficiency, 3));
+    t.addNote(std::string("TP=1 sharded vs unsharded serving: ") +
+              (tp1Identical ? "bit-identical" : "MISMATCH"));
+    t.addNote(std::string("thread-count determinism (pool of ") +
+              std::to_string(pool.threadCount()) + " vs serial): " +
+              (deterministic ? "bit-identical" : "MISMATCH"));
+    t.addNote("fleet_max_sustainable_rate = replicas x highest swept "
+              "rate with p99 TTFT and TPOT under the 5x/3x unloaded "
+              "budgets; profile cache: " +
+              std::to_string(cache.misses()) + " shard measurements, " +
+              std::to_string(cache.hits()) + " hits");
+    t.print();
+
+    if (!out.empty())
+        writeJson(out, fleet, results, speedups, scalingEfficiency,
+                  tp1Identical, deterministic, pool.threadCount());
+    if (!tp1Identical) {
+        std::fprintf(stderr, "sharding sweep: TP=1 is not "
+                             "bit-identical to the unsharded path\n");
+        return 2;
+    }
+    if (!deterministic) {
+        std::fprintf(stderr, "sharding sweep: thread-count "
+                             "determinism violated\n");
+        return 2;
+    }
+    return 0;
+}

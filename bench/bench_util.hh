@@ -196,6 +196,45 @@ parseFigBenchArgs(int argc, char **argv)
     return a;
 }
 
+/** What a serving-capacity calibration yields for one configuration. */
+struct ServingCalibration
+{
+    /** Saturation throughput of a closed-loop burst run. */
+    double capacityRps = 0.0;
+    /** p99 TTFT budget: 5x the unloaded single-request TTFT p50. */
+    double sloTtftBudgetMs = 0.0;
+    /** p99 TPOT budget: 3x the unloaded single-request TPOT p50. */
+    double sloTpotBudgetMs = 0.0;
+};
+
+/**
+ * The closed-loop capacity calibration shared by the serving-style
+ * sweeps (bench_serving_sweep, bench_sharding_sweep): derive the SLO
+ * budgets from an unloaded single-request run (5x TTFT p50, 3x TPOT
+ * p50), then measure saturation capacity with a burst run (every
+ * request queued at cycle 0).  @p run maps ServingParams to the
+ * ServingReport of whatever simulator the sweep drives; it is invoked
+ * exactly twice, in this order, so a sweep that calibrates through
+ * this helper is bit-identical to one that inlines the two runs.
+ */
+template <typename RunFn>
+inline ServingCalibration
+calibrateServing(const ServingParams &base, RunFn &&run)
+{
+    ServingCalibration cal;
+    ServingParams one = base;
+    one.arrivalRatePerSec = 0.0;
+    one.numRequests = 1;
+    const ServingReport unloaded = run(one);
+    cal.sloTtftBudgetMs = 5.0 * unloaded.ttftMs.p50;
+    cal.sloTpotBudgetMs = 3.0 * unloaded.tpotMs.p50;
+
+    ServingParams burst = base;
+    burst.arrivalRatePerSec = 0.0;
+    cal.capacityRps = run(burst).achievedRps;
+    return cal;
+}
+
 /** Open a bench JSON artifact for writing; exits loudly on failure. */
 inline FILE *
 openBenchJson(const std::string &path)

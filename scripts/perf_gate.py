@@ -14,10 +14,12 @@ families: *_coverage error-detection rates (STRICT — any drop beyond
 0.1% fails regardless of the threshold, because a quietly shrinking
 detection rate is a correctness hole, not a perf tradeoff) and
 *_overhead protection-bandwidth ratios (growth beyond the threshold
-fails, like a footprint), and the BENCH_serving.json families: *_ms
+fails, like a footprint), and the BENCH_serving.json / BENCH_sharding.json families: *_ms
 latencies (TTFT/TPOT/e2e percentiles — an increase beyond the
-threshold fails, the inverse of a throughput) and *_sustainable_rate
-max-rates-under-SLO (throughput-like, a drop fails).  The delta table
+threshold fails, the inverse of a throughput), *_sustainable_rate
+max-rates-under-SLO (throughput-like, a drop fails) and the
+*_efficiency scaling ratios of the sharding sweep (a drop means the
+tensor-parallel speedup stopped tracking the degree).  The delta table
 is always printed, regression or not, so the trajectory is visible in
 every CI log.  A missing baseline (first run on a branch, expired
 artifact) is not an error: the gate prints a note and passes.
@@ -43,17 +45,18 @@ COVERAGE_EPSILON_PCT = 0.1
 
 def tracked_fields(doc):
     """Yield (section.key, value, higher_is_better, strict) for every
-    gated field: *_wps throughputs, *_speedup / *_eff simulator ratios,
-    *_sustainable_rate serving capacities and *_coverage detection
-    rates (higher better; coverage is strict), *_bytes footprints,
-    *_overhead protection ratios and *_ms latencies (lower better)."""
+    gated field: *_wps throughputs, *_speedup / *_eff / *_efficiency
+    simulator ratios, *_sustainable_rate serving capacities and
+    *_coverage detection rates (higher better; coverage is strict),
+    *_bytes footprints, *_overhead protection ratios and *_ms
+    latencies (lower better)."""
     for section, body in sorted(doc.items()):
         if isinstance(body, dict):
             for key, value in sorted(body.items()):
                 if not isinstance(value, (int, float)):
                     continue
                 if key.endswith(("_wps", "_speedup", "_eff",
-                                 "_sustainable_rate")):
+                                 "_efficiency", "_sustainable_rate")):
                     yield f"{section}.{key}", float(value), True, False
                 elif key.endswith("_coverage"):
                     yield f"{section}.{key}", float(value), True, True
@@ -195,6 +198,15 @@ def self_test():
                                     "max_sustainable_rate": 24.0,
                                     "slo_ttft_budget": 600.0},
         "serving_determinism": {"bit_identical": True},
+        # Sharding families: the TP decode speedups and the scaling
+        # efficiency are gated ratios; the interconnect stall share is
+        # informational; bit_identical carries the TP=1 identity.
+        "sharding_speedup": {"tp4_decode_speedup": 2.8,
+                             "tp_scaling_efficiency": 0.7,
+                             "bit_identical": True},
+        "planner_tp4_fcfs": {"fleet_max_sustainable_rate": 20.0,
+                             "interconnect_stall_share": 0.02,
+                             "load90_ttft_p99_ms": 60.0},
     }
 
     def variant(factor, identical=True):
@@ -324,6 +336,24 @@ def self_test():
         ("packed-vs-pool speedup +30% passes",
          run_gate(base, ratio(1.3, "packed_stream",
                               "packed_vs_pool_speedup"), 10) == 0),
+        ("tp scaling efficiency -20% fails",
+         run_gate(base, ratio(0.8, "sharding_speedup",
+                              "tp_scaling_efficiency"), 10) == 1),
+        ("tp scaling efficiency +30% passes",
+         run_gate(base, ratio(1.3, "sharding_speedup",
+                              "tp_scaling_efficiency"), 10) == 0),
+        ("tp decode speedup -20% fails",
+         run_gate(base, ratio(0.8, "sharding_speedup",
+                              "tp4_decode_speedup"), 10) == 1),
+        ("fleet sustainable rate -20% fails",
+         run_gate(base, ratio(0.8, "planner_tp4_fcfs",
+                              "fleet_max_sustainable_rate"), 10) == 1),
+        ("interconnect stall share is informational, not gated",
+         run_gate(base, ratio(3.0, "planner_tp4_fcfs",
+                              "interconnect_stall_share"), 10) == 0),
+        ("planner latency +30% fails",
+         run_gate(base, ratio(1.3, "planner_tp4_fcfs",
+                              "load90_ttft_p99_ms"), 10) == 1),
     ]
     print("\n--- self-test results ---")
     failed = [name for name, ok in checks if not ok]

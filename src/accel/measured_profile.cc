@@ -14,6 +14,17 @@
 namespace bitmod
 {
 
+ShardRange
+shardRowRange(size_t rows, int tp, int shard)
+{
+    BITMOD_ASSERT(tp >= 1, "tensor-parallel degree must be >= 1");
+    BITMOD_ASSERT(shard >= 0 && shard < tp, "shard ", shard,
+                  " out of tp degree ", tp);
+    const size_t n = static_cast<size_t>(tp);
+    const size_t s = static_cast<size_t>(shard);
+    return {rows * s / n, rows * (s + 1) / n};
+}
+
 MeasuredProfile
 measureProfile(const LlmSpec &model, const QuantConfig &cfg,
                const ProfileConfig &pcfg)
@@ -43,17 +54,42 @@ measureProfile(const LlmSpec &model, const QuantConfig &cfg,
     const GroupPacker packer(qcfg);
 
     double bitsAcc = 0.0, termsAcc = 0.0, shareAcc = 0.0;
+    double elemAcc = 0.0;
     for (const auto &proxy : proxies) {
         LayerProfile lp;
         lp.name = proxy.name;
-        lp.rows = proxy.weights.rows();
+        lp.fullRows = proxy.weights.rows();
         lp.cols = proxy.weights.cols();
         lp.paramShare = proxy.paramWeight;
+
+        // At tpDegree > 1 the shard owns a contiguous row slice of
+        // the proxy's output channels; quantization is row-
+        // independent, so the slice's encoding (and packed image) is
+        // bit-identical to the same rows of the full matrix.  The
+        // tpDegree == 1 path keeps the proxy matrix untouched — the
+        // exact pre-sharding profile.
+        Matrix slice;
+        const Matrix *weights = &proxy.weights;
+        if (pcfg.tpDegree > 1) {
+            const ShardRange range = shardRowRange(
+                lp.fullRows, pcfg.tpDegree, pcfg.tpShard);
+            BITMOD_ASSERT(range.count() > 0, "shard ", pcfg.tpShard,
+                          "/", pcfg.tpDegree, " of proxy ", proxy.name,
+                          " (", lp.fullRows, " sampled rows) is empty");
+            slice = Matrix(range.count(), lp.cols);
+            for (size_t r = 0; r < range.count(); ++r) {
+                const auto src = proxy.weights.row(range.begin + r);
+                std::copy(src.begin(), src.end(),
+                          slice.row(r).begin());
+            }
+            weights = &slice;
+        }
+        lp.rows = weights->rows();
 
         // The byte-exact DRAM image of the quantized proxy: element
         // codes + OliVe escape records + in-stream scale/selector
         // metadata, rows byte-aligned.
-        const auto q = quantizeMatrix(proxy.weights, qcfg);
+        const auto q = quantizeMatrix(*weights, qcfg);
         const PackedMatrix packed =
             packer.packMatrix(q.encoded, qcfg.threads);
         lp.packedBytes = packed.imageBytes();
@@ -101,36 +137,72 @@ measureProfile(const LlmSpec &model, const QuantConfig &cfg,
         bitsAcc += lp.paramShare * lp.bitsPerWeight();
         termsAcc += lp.paramShare * lp.termsPerWeight();
         shareAcc += lp.paramShare;
+        elemAcc += lp.paramShare * (static_cast<double>(lp.rows) /
+                                    static_cast<double>(lp.fullRows));
         profile.layers.push_back(std::move(lp));
     }
     BITMOD_ASSERT(shareAcc > 0.0, "no proxy layers sampled");
     profile.weightBitsPerElem = bitsAcc / shareAcc;
     profile.effectualTermsPerWeight = termsAcc / shareAcc;
+    if (pcfg.tpDegree > 1)
+        profile.shardElemFraction = elemAcc / shareAcc;
     return profile;
+}
+
+std::string
+ProfileCache::makeKey(const LlmSpec &model, const QuantConfig &cfg,
+                      const ProfileConfig &pcfg)
+{
+    // Everything that feeds measureProfile's output: the model, the
+    // quantizer configuration (minus threads / captureEncoding, which
+    // are bit-invariant), the proxy-sampling parameters, and the
+    // tensor-parallel shard slice.
+    std::ostringstream key;
+    key << model.name << '|' << cfg.dtype.name << '|'
+        << static_cast<int>(cfg.granularity) << '|' << cfg.groupSize
+        << '|' << cfg.scaleBits << '|' << cfg.oliveMaxOutliers << '|'
+        << pcfg.maxRows << '|' << pcfg.maxCols << '|' << pcfg.seed
+        << '|' << pcfg.tpShard << '/' << pcfg.tpDegree;
+    return key.str();
 }
 
 const MeasuredProfile &
 ProfileCache::get(const LlmSpec &model, const QuantConfig &cfg,
                   const ProfileConfig &pcfg)
 {
-    // Everything that feeds measureProfile's output: the model, the
-    // quantizer configuration (minus threads / captureEncoding, which
-    // are bit-invariant) and the proxy-sampling parameters.
-    std::ostringstream key;
-    key << model.name << '|' << cfg.dtype.name << '|'
-        << static_cast<int>(cfg.granularity) << '|' << cfg.groupSize
-        << '|' << cfg.scaleBits << '|' << cfg.oliveMaxOutliers << '|'
-        << pcfg.maxRows << '|' << pcfg.maxCols << '|' << pcfg.seed;
-
+    const std::string key = makeKey(model, cfg, pcfg);
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = entries_.find(key.str());
+    const auto it = entries_.find(key);
     if (it != entries_.end()) {
         ++hits_;
         return it->second;
     }
     ++misses_;
-    return entries_.emplace(key.str(), measureProfile(model, cfg, pcfg))
+    return entries_.emplace(key, measureProfile(model, cfg, pcfg))
         .first->second;
+}
+
+const MeasuredProfile *
+ProfileCache::tryGet(const LlmSpec &model, const QuantConfig &cfg,
+                     const ProfileConfig &pcfg)
+{
+    const std::string key = makeKey(model, cfg, pcfg);
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return nullptr;
+    ++hits_;
+    return &it->second;
+}
+
+const MeasuredProfile &
+ProfileCache::put(const LlmSpec &model, const QuantConfig &cfg,
+                  const ProfileConfig &pcfg, MeasuredProfile profile)
+{
+    const std::string key = makeKey(model, cfg, pcfg);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    return entries_.emplace(key, std::move(profile)).first->second;
 }
 
 } // namespace bitmod

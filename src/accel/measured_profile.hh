@@ -44,14 +44,41 @@ struct ProfileConfig
     size_t maxCols = 2048;     //!< sampled input columns per layer
     uint64_t seed = 0xb17d0d;  //!< generator seed (reproducible)
     int threads = 0;           //!< worker-pool width (0 = all)
+    /** Tensor-parallel degree: > 1 measures one shard's row slice of
+     *  every sampled proxy (the shardRowRange of its output channels)
+     *  instead of the whole layer, so the packed footprint reflects
+     *  the genuinely unequal shards (ragged channel counts, per-row
+     *  scale bases, OliVe escape records).  1 = the whole model,
+     *  bit-identical to the pre-sharding profile. */
+    int tpDegree = 1;
+    int tpShard = 0;  //!< which shard in [0, tpDegree)
 };
+
+/** A contiguous output-channel (row) slice one shard owns. */
+struct ShardRange
+{
+    size_t begin = 0;
+    size_t end = 0;  //!< one past the last owned row
+
+    size_t count() const { return end - begin; }
+};
+
+/**
+ * The rows shard @p shard of @p tp owns out of @p rows output
+ * channels: the floor(s*rows/tp) partition — contiguous, exhaustive,
+ * and as balanced as integer division allows (shards differ by at
+ * most one row).  tp == 1 returns [0, rows).
+ */
+ShardRange shardRowRange(size_t rows, int tp, int shard);
 
 /** Measurements of one sampled proxy layer. */
 struct LayerProfile
 {
     std::string name;      //!< linear shape, e.g. "q_proj"
-    size_t rows = 0;       //!< sampled output channels
+    size_t rows = 0;       //!< measured output channels (shard slice)
     size_t cols = 0;       //!< sampled dot-product length
+    /** Sampled rows before shard slicing (== rows at tpDegree 1). */
+    size_t fullRows = 0;
     double paramShare = 0; //!< shape's share of model linear params
 
     /** Exact byte size of the proxy's PackedMatrix DRAM image. */
@@ -101,6 +128,11 @@ struct MeasuredProfile
     double effectualTermsPerWeight = 0.0;
     /** The fixed analytic term budget of the datatype (for deltas). */
     double fixedTermsPerWeight = 0.0;
+    /** Param-weighted share of each proxy's output channels this
+     *  shard measured (rows / fullRows): the measured linear fraction
+     *  a sharded lane streams and computes.  Exactly 1.0 at
+     *  tpDegree 1. */
+    double shardElemFraction = 1.0;
 };
 
 /**
@@ -126,7 +158,9 @@ MeasuredProfile measureProfile(const LlmSpec &model,
  * as long as the cache (std::map nodes are stable, so returned
  * references survive later insertions).  The QuantConfig's thread
  * count and encoding-capture flag are excluded from the key —
- * neither changes the measured numbers.
+ * neither changes the measured numbers.  The shard slice
+ * (tpDegree/tpShard) is part of the key, so a TP sweep re-measures
+ * each shard exactly once across degrees.
  */
 class ProfileCache
 {
@@ -135,6 +169,28 @@ class ProfileCache
     const MeasuredProfile &get(const LlmSpec &model,
                                const QuantConfig &cfg,
                                const ProfileConfig &pcfg = {});
+
+    /**
+     * Lookup without measuring: the cached profile, or nullptr on a
+     * miss (counted as neither hit nor miss until resolved).  With
+     * put(), this lets a caller measure several missing shards in
+     * parallel outside the cache lock instead of serializing the
+     * measurements under get()'s coarse lock.
+     */
+    const MeasuredProfile *tryGet(const LlmSpec &model,
+                                  const QuantConfig &cfg,
+                                  const ProfileConfig &pcfg = {});
+
+    /**
+     * Insert an externally measured @p profile for (model, cfg,
+     * pcfg).  First insert wins (measureProfile is deterministic, so
+     * a racing duplicate is bit-identical anyway); returns the cached
+     * entry.  Counts one miss — the measurement the caller ran.
+     */
+    const MeasuredProfile &put(const LlmSpec &model,
+                               const QuantConfig &cfg,
+                               const ProfileConfig &pcfg,
+                               MeasuredProfile profile);
 
     size_t
     hits() const
@@ -156,6 +212,10 @@ class ProfileCache
     }
 
   private:
+    static std::string makeKey(const LlmSpec &model,
+                               const QuantConfig &cfg,
+                               const ProfileConfig &pcfg);
+
     mutable std::mutex mu_;
     std::map<std::string, MeasuredProfile> entries_;
     size_t hits_ = 0;

@@ -96,7 +96,8 @@ AccelSim::AccelSim(AccelConfig accel, DramConfig dram, SramConfig sram)
 
 RunReport
 AccelSim::run(const LlmSpec &model, const TaskSpec &task,
-              const PrecisionChoice &precision) const
+              const PrecisionChoice &precision,
+              const ShardFractions &shard) const
 {
     BITMOD_ASSERT(task.batchSize >= 1,
                   "task needs at least one sequence in the batch");
@@ -110,7 +111,7 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
     // applied.  With protection on, spec() already inflates the
     // weight bytes by the sidecar ratio — the honest Fig. 7/8 charge.
     report.traffic =
-        computePhaseTraffic(model, task, precision.spec());
+        computePhaseTraffic(model, task, precision.spec(), shard);
 
     // Expected-value integrity model over one phase's weight stream:
     // every CRC block that arrives dirty (after SECDED scrubbing,
@@ -223,7 +224,8 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
         const double attMacs =
             layers * heads * 2.0 * hd * (m * (m + 1.0) / 2.0) * batch;
         const double computeCycles =
-            linMacs / linMacsPerCycle + attMacs / attMacsPerCycle;
+            linMacs * shard.linear / linMacsPerCycle +
+            attMacs * shard.heads / attMacsPerCycle;
 
         const double memBytes =
             report.traffic.prefill.total() + prefillInt.retryBytes;
@@ -268,7 +270,8 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
         // batch rows, so only the compute side scales with the batch.
         const double perStepLinMacs = layers * blockParams + lmHead;
         const double perStepComputeBase =
-            perStepLinMacs / (linMacsPerCycle * decodeRowUtil);
+            perStepLinMacs * shard.linear /
+            (linMacsPerCycle * decodeRowUtil);
 
         // Closed forms over the decode steps for context-dependent
         // attention compute (per sequence — every sequence attends to
@@ -280,7 +283,8 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
         const double attMacsTotal =
             layers * heads * 2.0 * hd * ctxSum * batch;
         const double attCyclesTotal =
-            attMacsTotal / (attMacsPerCycle * decodeRowUtil);
+            attMacsTotal * shard.heads /
+            (attMacsPerCycle * decodeRowUtil);
 
         const double computeCycles =
             perStepComputeBase * static_cast<double>(steps) * batch +
@@ -335,7 +339,8 @@ AccelSim::idleLeakageNj(double cycles) const
 StepCost
 AccelSim::stepCost(const LlmSpec &model,
                    const PrecisionChoice &precision,
-                   const StepWork &work) const
+                   const StepWork &work,
+                   const ShardFractions &shard) const
 {
     StepCost cost;
     if (work.empty())
@@ -370,12 +375,13 @@ AccelSim::stepCost(const LlmSpec &model,
     // produces output tokens); KV writes for every token streamed and
     // KV-history reads for the decoding sequences.  Same per-phase
     // formulas as computePhaseTraffic, resolved to one iteration.
-    cost.traffic.weightBytes = allParams * wBytesPerElem;
+    cost.traffic.weightBytes =
+        allParams * shard.linear * wBytesPerElem;
     cost.traffic.activationBytes =
         streamedTokens * actPerToken +
         (prefillSeqs + decodeSeqs) * logits;
     cost.traffic.kvBytes =
-        layers * kvPerTokenLayer * kvBytesPerElem *
+        layers * kvPerTokenLayer * shard.kv * kvBytesPerElem *
         (streamedTokens + work.decodeContextSum);
 
     // ------------------------------------------------------ compute
@@ -389,10 +395,10 @@ AccelSim::stepCost(const LlmSpec &model,
     const double hd = static_cast<double>(model.headDim());
 
     double computeCycles =
-        (layers * blockParams * prefillTokens + lmHead * prefillSeqs) /
-            linMacsPerCycle +
-        layers * heads * 2.0 * hd * work.prefillAttnTokenPairs /
-            attMacsPerCycle;
+        (layers * blockParams * prefillTokens + lmHead * prefillSeqs) *
+            shard.linear / linMacsPerCycle +
+        layers * heads * 2.0 * hd * work.prefillAttnTokenPairs *
+            shard.heads / attMacsPerCycle;
     if (work.decodeSeqs > 0) {
         // Matrix-vector decode fills one token row per sequence; a
         // partially refilled batch runs at partial row utilization —
@@ -402,10 +408,10 @@ AccelSim::stepCost(const LlmSpec &model,
                      static_cast<double>(accel_.peRows)) /
             accel_.peRows;
         computeCycles +=
-            (layers * blockParams + lmHead) * decodeSeqs /
-                (linMacsPerCycle * rowUtil) +
-            layers * heads * 2.0 * hd * work.decodeContextSum /
-                (attMacsPerCycle * rowUtil);
+            (layers * blockParams + lmHead) * decodeSeqs *
+                shard.linear / (linMacsPerCycle * rowUtil) +
+            layers * heads * 2.0 * hd * work.decodeContextSum *
+                shard.heads / (attMacsPerCycle * rowUtil);
     }
     cost.computeCycles = computeCycles;
 

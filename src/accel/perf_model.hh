@@ -106,8 +106,14 @@ struct EnergyBreakdown
     double dramNj = 0.0;
     double bufferNj = 0.0;
     double coreNj = 0.0;
+    /** Chip-to-chip link energy of a tensor-parallel run (SerDes
+     *  pJ/bit over the ring all-reduce bytes; 0 on a single chip). */
+    double interconnectNj = 0.0;
 
-    double totalNj() const { return dramNj + bufferNj + coreNj; }
+    double totalNj() const
+    {
+        return dramNj + bufferNj + coreNj + interconnectNj;
+    }
 };
 
 /**
@@ -211,9 +217,17 @@ class AccelSim
 
     const AccelConfig &config() const { return accel_; }
 
-    /** Simulate @p task on @p model at @p precision. */
+    /**
+     * Simulate @p task on @p model at @p precision.  @p shard scales
+     * the streams and MACs one tensor-parallel lane owns (weights and
+     * linear compute by its output-channel share, attention by its
+     * head share, KV by its KV-head share; activations replicated);
+     * the default unit fractions are inserted multiplicatively, so a
+     * single-chip run is bit-identical to the pre-sharding model.
+     */
     RunReport run(const LlmSpec &model, const TaskSpec &task,
-                  const PrecisionChoice &precision) const;
+                  const PrecisionChoice &precision,
+                  const ShardFractions &shard = {}) const;
 
     /**
      * Cost of one serving-engine iteration on @p model at
@@ -224,11 +238,14 @@ class AccelSim
      * request therefore sums to run()'s phase totals (the regression
      * the tests pin).  The integrity retry model is phase-level and
      * not charged here; protection sidecar bytes still ride the
-     * weight stream via PrecisionChoice::spec().
+     * weight stream via PrecisionChoice::spec().  @p shard as in
+     * run(): one tensor-parallel lane's step, unit fractions
+     * bit-identical to the single-chip step.
      */
     StepCost stepCost(const LlmSpec &model,
                       const PrecisionChoice &precision,
-                      const StepWork &work) const;
+                      const StepWork &work,
+                      const ShardFractions &shard = {}) const;
 
     /** Buffer leakage over @p cycles — run() charges it across the
      *  whole run; step-level callers add it once at the end. */

@@ -1,0 +1,314 @@
+#include "accel/sharding.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+namespace bitmod
+{
+
+std::vector<MeasuredProfile>
+measureShardedProfiles(const LlmSpec &model, const QuantConfig &cfg,
+                       const ProfileConfig &pcfg, int tp_degree,
+                       ProfileCache *cache)
+{
+    BITMOD_ASSERT(tp_degree >= 1,
+                  "tensor-parallel degree must be >= 1");
+    const auto shardConfig = [&](int s) {
+        ProfileConfig p = pcfg;
+        p.tpDegree = tp_degree;
+        p.tpShard = s;
+        return p;
+    };
+
+    std::vector<MeasuredProfile> out(
+        static_cast<size_t>(tp_degree));
+    std::vector<int> missing;
+    for (int s = 0; s < tp_degree; ++s) {
+        if (cache) {
+            if (const MeasuredProfile *hit =
+                    cache->tryGet(model, cfg, shardConfig(s))) {
+                out[static_cast<size_t>(s)] = *hit;
+                continue;
+            }
+        }
+        missing.push_back(s);
+    }
+    if (missing.empty())
+        return out;
+
+    if (missing.size() == 1) {
+        // A lone measurement parallelizes internally instead.
+        const int s = missing.front();
+        out[static_cast<size_t>(s)] =
+            measureProfile(model, cfg, shardConfig(s));
+    } else {
+        // One shard per worker; the inner measurement runs single-
+        // threaded because the worker pool must not be re-entered.
+        // measureProfile is thread-invariant, so the result is
+        // bit-identical to measuring the shards one by one.
+        parallelFor(missing.size(), pcfg.threads, [&](size_t i) {
+            ProfileConfig p = shardConfig(missing[i]);
+            p.threads = 1;
+            out[static_cast<size_t>(missing[i])] =
+                measureProfile(model, cfg, p);
+        });
+    }
+    if (cache)
+        for (int s : missing)
+            cache->put(model, cfg, shardConfig(s),
+                       out[static_cast<size_t>(s)]);
+    return out;
+}
+
+std::vector<ShardLane>
+buildShardLanes(const LlmSpec &model, const PrecisionChoice &base,
+                const ShardingConfig &cfg, bool measured,
+                const ProfileConfig &pcfg, ProfileCache *cache)
+{
+    const int tp = cfg.tpDegree;
+    BITMOD_ASSERT(tp >= 1, "tensor-parallel degree must be >= 1");
+    const bool quantizable =
+        base.quantConfig.dtype.kind != DtypeKind::Identity;
+
+    std::vector<ShardLane> lanes;
+    lanes.reserve(static_cast<size_t>(tp));
+
+    if (tp == 1) {
+        // Single chip: exactly the pre-sharding path — unit
+        // fractions, and the ordinary whole-model profile when
+        // measuring (same cache key as the unsharded callers).
+        ShardLane lane;
+        lane.precision = base;
+        if (measured && quantizable) {
+            if (cache)
+                lane.precision.applyProfile(
+                    cache->get(model, base.quantConfig, pcfg));
+            else
+                lane.precision.applyProfile(
+                    measureProfile(model, base.quantConfig, pcfg));
+        }
+        lanes.push_back(std::move(lane));
+        return lanes;
+    }
+
+    BITMOD_ASSERT(tp <= static_cast<int>(model.numHeads),
+                  "tp degree ", tp, " exceeds ", model.name, "'s ",
+                  model.numHeads, " attention heads");
+
+    const double layers = static_cast<double>(model.numLayers);
+    const double allParams =
+        layers * static_cast<double>(model.blockLinearParams()) +
+        static_cast<double>(model.vocabSize) * model.hiddenDim;
+    const auto shapes = model.blockLinears();
+
+    std::vector<MeasuredProfile> profiles;
+    if (measured && quantizable)
+        profiles = measureShardedProfiles(model, base.quantConfig,
+                                          pcfg, tp, cache);
+
+    for (int s = 0; s < tp; ++s) {
+        ShardLane lane;
+        lane.precision = base;
+
+        // Exact parameter count of this shard's row slices: every
+        // linear shape's output channels (LM head included) split by
+        // the same floor partition the packed slices use.
+        double shardParams = 0.0;
+        for (const LinearShape &shape : shapes)
+            shardParams +=
+                layers * static_cast<double>(shape.perBlock) *
+                static_cast<double>(
+                    shardRowRange(shape.outFeatures, tp, s).count()) *
+                static_cast<double>(shape.inFeatures);
+        shardParams +=
+            static_cast<double>(
+                shardRowRange(model.vocabSize, tp, s).count()) *
+            static_cast<double>(model.hiddenDim);
+        lane.fractions.linear = shardParams / allParams;
+        lane.fractions.heads =
+            static_cast<double>(
+                shardRowRange(model.numHeads, tp, s).count()) /
+            static_cast<double>(model.numHeads);
+        lane.fractions.kv =
+            static_cast<double>(
+                shardRowRange(model.numKvHeads, tp, s).count()) /
+            static_cast<double>(model.numKvHeads);
+
+        if (!profiles.empty()) {
+            // Measured lane: per-shard packed bytes and effectual
+            // terms from this shard's own slice images, and the
+            // measured row share as the linear fraction.
+            const MeasuredProfile &p =
+                profiles[static_cast<size_t>(s)];
+            lane.precision.applyProfile(p);
+            lane.fractions.linear = p.shardElemFraction;
+        }
+        lanes.push_back(std::move(lane));
+    }
+    return lanes;
+}
+
+ShardedSim::ShardedSim(AccelSim sim, ShardingConfig cfg,
+                       std::vector<ShardLane> lanes)
+    : sim_(std::move(sim)), cfg_(cfg), lanes_(std::move(lanes))
+{
+    BITMOD_ASSERT(cfg_.tpDegree >= 1 &&
+                      lanes_.size() ==
+                          static_cast<size_t>(cfg_.tpDegree),
+                  "sharded sim needs one lane per chip (tp ",
+                  cfg_.tpDegree, ", lanes ", lanes_.size(), ")");
+    BITMOD_ASSERT(cfg_.linkGBs > 0.0,
+                  "interconnect bandwidth must be positive");
+}
+
+double
+ShardedSim::allReduceBytesPerChip(double activation_bytes) const
+{
+    const double tp = static_cast<double>(cfg_.tpDegree);
+    return activation_bytes * (2.0 * (tp - 1.0)) / tp;
+}
+
+double
+ShardedSim::allReduceCycles(double bytes) const
+{
+    if (cfg_.tpDegree <= 1 || bytes <= 0.0)
+        return 0.0;
+    // Ring all-reduce: 2(tp-1) stages; the per-chip bytes stream at
+    // link bandwidth and every stage pays one hop latency.
+    const double linkBytesPerCycle =
+        cfg_.linkGBs / sim_.config().clockGhz;
+    return bytes / linkBytesPerCycle +
+           2.0 * (static_cast<double>(cfg_.tpDegree) - 1.0) *
+               cfg_.hopLatencyCycles;
+}
+
+double
+ShardedSim::idleLeakageNj(double cycles) const
+{
+    return static_cast<double>(cfg_.tpDegree) *
+           sim_.idleLeakageNj(cycles);
+}
+
+ShardedStepCost
+ShardedSim::stepCost(const LlmSpec &model, const StepWork &work) const
+{
+    ShardedStepCost out;
+    out.perLaneCycles.reserve(lanes_.size());
+    double actBytes = 0.0;
+    for (const ShardLane &lane : lanes_) {
+        const StepCost c =
+            sim_.stepCost(model, lane.precision, work,
+                          lane.fractions);
+        const double cycles = c.cycles();
+        out.perLaneCycles.push_back(cycles);
+        out.laneCycles = std::max(out.laneCycles, cycles);
+        out.traffic.weightBytes += c.traffic.weightBytes;
+        out.traffic.activationBytes += c.traffic.activationBytes;
+        out.traffic.kvBytes += c.traffic.kvBytes;
+        out.energy.dramNj += c.energy.dramNj;
+        out.energy.bufferNj += c.energy.bufferNj;
+        out.energy.coreNj += c.energy.coreNj;
+        // Activations are replicated, so every lane reports the same
+        // activation bytes — the stream the all-reduce merges.
+        actBytes = c.traffic.activationBytes;
+    }
+    if (cfg_.tpDegree > 1) {
+        out.allReduceBytes = allReduceBytesPerChip(actBytes);
+        out.allReduceCycles = allReduceCycles(out.allReduceBytes);
+        out.traffic.interconnectBytes =
+            static_cast<double>(cfg_.tpDegree) * out.allReduceBytes;
+        out.energy.interconnectNj = out.traffic.interconnectBytes *
+                                    8.0 * cfg_.linkEnergyPerBitPj *
+                                    1e-3;
+    }
+    return out;
+}
+
+ShardedRunReport
+ShardedSim::run(const LlmSpec &model, const TaskSpec &task) const
+{
+    ShardedRunReport rep;
+    rep.lanes.reserve(lanes_.size());
+    for (const ShardLane &lane : lanes_)
+        rep.lanes.push_back(
+            sim_.run(model, task, lane.precision, lane.fractions));
+
+    RunReport &c = rep.combined;
+    c.measured = rep.lanes.front().measured;
+    for (const RunReport &r : rep.lanes) {
+        c.prefillCycles = std::max(c.prefillCycles, r.prefillCycles);
+        c.decodeCycles = std::max(c.decodeCycles, r.decodeCycles);
+        c.prefillComputeCycles =
+            std::max(c.prefillComputeCycles, r.prefillComputeCycles);
+        c.prefillMemCycles =
+            std::max(c.prefillMemCycles, r.prefillMemCycles);
+        c.decodeComputeCycles =
+            std::max(c.decodeComputeCycles, r.decodeComputeCycles);
+        c.decodeMemCycles =
+            std::max(c.decodeMemCycles, r.decodeMemCycles);
+
+        c.traffic.prefill.weightBytes +=
+            r.traffic.prefill.weightBytes;
+        c.traffic.prefill.activationBytes +=
+            r.traffic.prefill.activationBytes;
+        c.traffic.prefill.kvBytes += r.traffic.prefill.kvBytes;
+        c.traffic.decode.weightBytes += r.traffic.decode.weightBytes;
+        c.traffic.decode.activationBytes +=
+            r.traffic.decode.activationBytes;
+        c.traffic.decode.kvBytes += r.traffic.decode.kvBytes;
+
+        c.energy.dramNj += r.energy.dramNj;
+        c.energy.bufferNj += r.energy.bufferNj;
+        c.energy.coreNj += r.energy.coreNj;
+
+        c.integrity.protectionBytes += r.integrity.protectionBytes;
+        c.integrity.detectedErrors += r.integrity.detectedErrors;
+        c.integrity.correctedErrors += r.integrity.correctedErrors;
+        c.integrity.retryBlocks += r.integrity.retryBlocks;
+        c.integrity.retryBytes += r.integrity.retryBytes;
+        c.integrity.retryCycles += r.integrity.retryCycles;
+        c.integrity.uncorrectableErrors +=
+            r.integrity.uncorrectableErrors;
+    }
+
+    if (cfg_.tpDegree > 1) {
+        // Every lane streams the same replicated activations; the
+        // all-reduce merges prefill once and each decode step once
+        // (the hop-latency term scales with the launches, the byte
+        // term only with the bytes).
+        const double tp = static_cast<double>(cfg_.tpDegree);
+        const double hopCost =
+            2.0 * (tp - 1.0) * cfg_.hopLatencyCycles;
+        const double linkBytesPerCycle =
+            cfg_.linkGBs / sim_.config().clockGhz;
+        const double prefillPerChip = allReduceBytesPerChip(
+            rep.lanes.front().traffic.prefill.activationBytes);
+        const double decodePerChip = allReduceBytesPerChip(
+            rep.lanes.front().traffic.decode.activationBytes);
+        const double steps =
+            static_cast<double>(task.decodeSteps());
+        rep.prefillAllReduceCycles =
+            prefillPerChip > 0.0
+                ? prefillPerChip / linkBytesPerCycle + hopCost
+                : 0.0;
+        rep.decodeAllReduceCycles =
+            decodePerChip > 0.0
+                ? decodePerChip / linkBytesPerCycle + steps * hopCost
+                : 0.0;
+        rep.allReduceBytesPerChip = prefillPerChip + decodePerChip;
+
+        c.prefillCycles += rep.prefillAllReduceCycles;
+        c.decodeCycles += rep.decodeAllReduceCycles;
+        c.traffic.prefill.interconnectBytes = tp * prefillPerChip;
+        c.traffic.decode.interconnectBytes = tp * decodePerChip;
+        c.energy.interconnectNj = tp * rep.allReduceBytesPerChip *
+                                  8.0 * cfg_.linkEnergyPerBitPj *
+                                  1e-3;
+    }
+    return rep;
+}
+
+} // namespace bitmod

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tensor-parallel multi-accelerator sharding: run one model across N
+ * simulated accelerators by splitting every linear layer's output
+ * channels (and the attention/KV heads) across the chips, and charge
+ * the chip-to-chip ring all-reduce that merges the partial outputs as
+ * honestly as any other stream.
+ *
+ * Each lane (chip) streams only its row slice of the weights — at
+ * measured precision the slice is actually quantized and packed, so
+ * per-shard DRAM bytes come from real per-shard PackedMatrix images
+ * (ragged channel counts, per-row scale bases and OliVe escape
+ * records make shards genuinely unequal), not from total/N.
+ * Activations are replicated: every lane consumes the full input
+ * stream, and after each step the partial outputs are merged by a
+ * ring all-reduce moving activationBytes * 2(N-1)/N per chip over a
+ * configurable link (bandwidth + per-hop latency + pJ/bit), added to
+ * the step's critical path and energy.
+ *
+ * A ShardedSim with tpDegree 1 is bit-identical to the plain AccelSim
+ * path (unit shard fractions, zero all-reduce) — the regression the
+ * tests pin.
+ */
+
+#ifndef BITMOD_ACCEL_SHARDING_HH
+#define BITMOD_ACCEL_SHARDING_HH
+
+#include <vector>
+
+#include "accel/measured_profile.hh"
+#include "accel/perf_model.hh"
+#include "model/llm_zoo.hh"
+
+namespace bitmod
+{
+
+/** The multi-chip deployment shape and its interconnect. */
+struct ShardingConfig
+{
+    /** Tensor-parallel degree: chips the model is sharded across. */
+    int tpDegree = 1;
+    /** Per-direction link bandwidth between neighbor chips (GB/s) —
+     *  NVLink-class defaults. */
+    double linkGBs = 64.0;
+    /** Fixed latency per ring hop (cycles at the accelerator clock):
+     *  link traversal + switch + synchronization. */
+    double hopLatencyCycles = 500.0;
+    /** SerDes + wire energy per bit moved across a link (pJ/bit). */
+    double linkEnergyPerBitPj = 10.0;
+};
+
+/** One chip's share of a sharded deployment. */
+struct ShardLane
+{
+    /** The lane's precision view — at measured precision, backed by
+     *  this shard's own packed row slice. */
+    PrecisionChoice precision;
+    /** The model fractions this lane streams and computes. */
+    ShardFractions fractions;
+};
+
+/**
+ * Measure the per-shard profiles of (model, cfg) for @p tp_degree
+ * shards: shard s quantizes and packs the shardRowRange row slice of
+ * every sampled proxy.  Shards are measured in parallel over the
+ * worker pool (one shard per worker, inner measurement single-
+ * threaded to keep the pool un-nested), so an 8-way profile costs
+ * about one measurement's wall time; measureProfile is thread-
+ * invariant, so the result is bit-identical for any thread count.
+ * With @p cache, already-measured shards are reused (the cache key
+ * carries the shard slice) and fresh ones are inserted.
+ */
+std::vector<MeasuredProfile>
+measureShardedProfiles(const LlmSpec &model, const QuantConfig &cfg,
+                       const ProfileConfig &pcfg, int tp_degree,
+                       ProfileCache *cache = nullptr);
+
+/**
+ * Build the per-chip lanes of a sharded deployment of @p base on
+ * @p model.  tpDegree 1 returns one lane with exactly unit fractions
+ * and @p base untouched (the bit-identical single-chip path).  For
+ * tpDegree N, lane s owns the shardRowRange slice of every linear
+ * shape's output channels (LM head included), of the attention heads,
+ * and of the KV heads; its linear/heads/kv fractions are the exact
+ * parameter ratios of those slices.  When @p measured is set (and the
+ * base precision names a quantizable datatype), each lane's precision
+ * is re-pointed at its own shard's measured profile — per-shard
+ * packed bytes and effectual terms — and its linear fraction at the
+ * profile's measured row share.
+ */
+std::vector<ShardLane>
+buildShardLanes(const LlmSpec &model, const PrecisionChoice &base,
+                const ShardingConfig &cfg, bool measured,
+                const ProfileConfig &pcfg = {},
+                ProfileCache *cache = nullptr);
+
+/** Cost of one serving-engine step across all lanes of the fleet. */
+struct ShardedStepCost
+{
+    /** Slowest lane's roofline cycles (lanes run in lockstep). */
+    double laneCycles = 0.0;
+    std::vector<double> perLaneCycles;  //!< each lane's own cycles
+    /** Ring all-reduce bytes each chip moves this step. */
+    double allReduceBytes = 0.0;
+    /** All-reduce cycles on the step's critical path. */
+    double allReduceCycles = 0.0;
+    /** Fleet totals: DRAM fields summed over lanes, interconnect =
+     *  tpDegree x the per-chip all-reduce bytes. */
+    MemoryTraffic traffic;
+    /** Fleet energy (all chips + links). */
+    EnergyBreakdown energy;
+
+    /** The step's critical path: lockstep lanes, then the merge. */
+    double cycles() const { return laneCycles + allReduceCycles; }
+};
+
+/** A sharded one-shot run: the fleet view plus each lane's report. */
+struct ShardedRunReport
+{
+    /**
+     * Fleet view in RunReport shape: per-phase cycles are the slowest
+     * lane plus that phase's all-reduce; traffic, energy and
+     * integrity are summed over lanes with the interconnect charged
+     * on top.  At tpDegree 1 this is bit-identical to AccelSim::run.
+     */
+    RunReport combined;
+    std::vector<RunReport> lanes;  //!< per-chip reports
+    double prefillAllReduceCycles = 0.0;
+    double decodeAllReduceCycles = 0.0;
+    /** Total all-reduce bytes each chip moved (both phases). */
+    double allReduceBytesPerChip = 0.0;
+};
+
+/**
+ * N AccelSim lanes in lockstep plus the ring all-reduce between them.
+ * All lanes share one accelerator configuration; per-lane precision
+ * and fractions come from the ShardLanes.  Per chip and per step, the
+ * all-reduce moves activationBytes * 2(tp-1)/tp bytes (the standard
+ * ring cost of reducing the replicated activation stream) at linkGBs,
+ * plus 2(tp-1) hop latencies, and charges linkEnergyPerBitPj over the
+ * fleet's link bytes.
+ */
+class ShardedSim
+{
+  public:
+    ShardedSim(AccelSim sim, ShardingConfig cfg,
+               std::vector<ShardLane> lanes);
+
+    const AccelSim &lane() const { return sim_; }
+    const ShardingConfig &shardingConfig() const { return cfg_; }
+    const std::vector<ShardLane> &lanes() const { return lanes_; }
+    int tpDegree() const { return cfg_.tpDegree; }
+
+    /** One serving step across the fleet (lockstep + all-reduce). */
+    ShardedStepCost stepCost(const LlmSpec &model,
+                             const StepWork &work) const;
+
+    /** One-shot run of @p task across the fleet. */
+    ShardedRunReport run(const LlmSpec &model,
+                         const TaskSpec &task) const;
+
+    /** Whole-fleet buffer leakage: every chip leaks for the run. */
+    double idleLeakageNj(double cycles) const;
+
+    /** Ring all-reduce bytes each chip moves to merge @p
+     *  activation_bytes of replicated partial outputs. */
+    double allReduceBytesPerChip(double activation_bytes) const;
+
+    /** Critical-path cycles of a per-chip all-reduce of @p bytes. */
+    double allReduceCycles(double bytes) const;
+
+  private:
+    AccelSim sim_;
+    ShardingConfig cfg_;
+    std::vector<ShardLane> lanes_;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_ACCEL_SHARDING_HH

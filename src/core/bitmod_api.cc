@@ -83,6 +83,61 @@ simulateDeployment(const DeployRequest &request)
         request.policy == Policy::Lossless
             ? selectLosslessPrecision(accel)
             : selectLossyPrecision(accel, model, generative);
+
+    if (request.sharding) {
+        // Tensor-parallel fleet: buildShardLanes slices the model
+        // (and, in measured mode, re-points every lane at its own
+        // shard's packed profile), ShardedSim charges the lockstep
+        // lanes plus the ring all-reduce.  tpDegree 1 reproduces the
+        // single-chip path below bit for bit.
+        const bool measured =
+            request.measured &&
+            precision.weightDtype.kind != DtypeKind::Identity;
+        const ShardingConfig &scfg = *request.sharding;
+        std::vector<ShardLane> lanes =
+            buildShardLanes(model, precision, scfg, measured,
+                            request.profile, request.cache);
+        const ShardedSim ssim(AccelSim(accel), scfg,
+                              std::move(lanes));
+
+        DeploymentSummary s;
+        s.accelerator = accel.name;
+        s.model = model.name;
+        s.precision = ssim.lanes().front().precision;
+        s.clockGhz = accel.clockGhz;
+        const ShardedRunReport rr = ssim.run(model, task);
+        s.report = rr.combined;
+
+        ShardingSummary sh;
+        sh.config = scfg;
+        for (const RunReport &laneReport : rr.lanes) {
+            sh.shardWeightBytes.push_back(
+                laneReport.traffic.total().weightBytes);
+            sh.laneCycles.push_back(laneReport.totalCycles());
+        }
+        sh.interconnectBytes =
+            rr.combined.traffic.total().interconnectBytes;
+        sh.interconnectCycles =
+            rr.prefillAllReduceCycles + rr.decodeAllReduceCycles;
+        sh.interconnectShare =
+            rr.combined.totalCycles() > 0.0
+                ? sh.interconnectCycles / rr.combined.totalCycles()
+                : 0.0;
+        s.sharding = std::move(sh);
+
+        if (request.serving) {
+            BITMOD_ASSERT(request.workload == Workload::Serving,
+                          "serving params attached to a ",
+                          request.workload == Workload::Generative
+                              ? "generative"
+                              : "discriminative",
+                          " deployment request");
+            s.serving =
+                simulateServing(ssim, model, *request.serving);
+        }
+        return s;
+    }
+
     if (request.measured &&
         precision.weightDtype.kind != DtypeKind::Identity) {
         // Measurement-driven mode: re-point the precision view at the

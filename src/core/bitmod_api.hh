@@ -15,9 +15,12 @@
 #include <optional>
 #include <string>
 
+#include <vector>
+
 #include "accel/measured_profile.hh"
 #include "accel/perf_model.hh"
 #include "accel/policy.hh"
+#include "accel/sharding.hh"
 #include "model/llm_zoo.hh"
 #include "quant/packing.hh"
 #include "quant/quantizer.hh"
@@ -155,6 +158,19 @@ struct DeployRequest
      */
     ProfileCache *cache = nullptr;
 
+    /**
+     * Tensor-parallel sharding: run the model across
+     * sharding->tpDegree simulated accelerators (output channels,
+     * heads and KV heads split per chip; the ring all-reduce charged
+     * over the configured link) instead of one.  Composes with
+     * @ref measured — each lane then streams its own shard's packed
+     * images — and with @ref serving, whose report gains
+     * ShardingStats.  nullopt (or tpDegree 1) is the single-chip
+     * path; tpDegree 1 through this knob is bit-identical to leaving
+     * it unset.
+     */
+    std::optional<ShardingConfig> sharding;
+
     DeployRequest() = default;
     DeployRequest(std::string accel_name, std::string model_name)
         : accel(std::move(accel_name)), model(std::move(model_name))
@@ -202,6 +218,21 @@ struct DeployRequest
         profile = pcfg;
         return *this;
     }
+    DeployRequest &
+    withSharding(int tp, double link_gbs = 64.0)
+    {
+        ShardingConfig cfg;
+        cfg.tpDegree = tp;
+        cfg.linkGBs = link_gbs;
+        sharding = cfg;
+        return *this;
+    }
+    DeployRequest &
+    withSharding(const ShardingConfig &cfg)
+    {
+        sharding = cfg;
+        return *this;
+    }
 
     /**
      * The task shape this request runs — the single source of truth
@@ -230,10 +261,28 @@ struct DeployRequest
     }
 };
 
+/** The multi-chip layer of a DeploymentSummary. */
+struct ShardingSummary
+{
+    ShardingConfig config;
+    /** Each shard's total weight DRAM bytes for the run — measured
+     *  per-slice footprints, so genuinely unequal shards show here. */
+    std::vector<double> shardWeightBytes;
+    std::vector<double> laneCycles;  //!< each lane's own run cycles
+    /** Fleet all-reduce bytes across both phases. */
+    double interconnectBytes = 0.0;
+    /** All-reduce cycles on the run's critical path. */
+    double interconnectCycles = 0.0;
+    /** interconnectCycles over the combined run's cycles. */
+    double interconnectShare = 0.0;
+};
+
 /**
  * Result of a deployment simulation — layered: the one-shot
- * steady-state RunReport always, plus the request-level ServingReport
- * when the request attached ServingParams.
+ * steady-state RunReport always (the fleet-combined view under
+ * sharding), plus the request-level ServingReport when the request
+ * attached ServingParams, plus the ShardingSummary when it attached a
+ * ShardingConfig.
  */
 struct DeploymentSummary
 {
@@ -244,6 +293,8 @@ struct DeploymentSummary
     double clockGhz = 1.0;
     /** Request-level results (engaged iff DeployRequest::serving). */
     std::optional<ServingReport> serving;
+    /** Multi-chip results (engaged iff DeployRequest::sharding). */
+    std::optional<ShardingSummary> sharding;
 
     double latencyMs() const { return report.latencyMs(clockGhz); }
     double energyMj() const { return report.energy.totalNj() * 1e-6; }

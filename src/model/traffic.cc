@@ -5,7 +5,8 @@ namespace bitmod
 
 PhaseTraffic
 computePhaseTraffic(const LlmSpec &model, const TaskSpec &task,
-                    const PrecisionSpec &precision)
+                    const PrecisionSpec &precision,
+                    const ShardFractions &shard)
 {
     PhaseTraffic t;
     // Protection sidecar bytes travel with every weight fetch — the
@@ -43,24 +44,25 @@ computePhaseTraffic(const LlmSpec &model, const TaskSpec &task,
     // sequence; an empty task moves nothing.
     t.prefill.weightBytes =
         (task.inTokens > 0 || task.outTokens > 0)
-            ? allParams * wBytesPerElem
+            ? allParams * shard.linear * wBytesPerElem
             : 0.0;
     t.prefill.activationBytes = (in * actPerToken + logits) * batch;
-    t.prefill.kvBytes =
-        layers * kvPerTokenLayer * in * kvBytesPerElem * batch;
+    t.prefill.kvBytes = layers * kvPerTokenLayer * shard.kv * in *
+                        kvBytesPerElem * batch;
 
     // Decode: each step re-reads all weights once for the whole batch
     // (the amortization that flips batched decode compute-bound),
     // streams one token's activations and logits per sequence, writes
     // one KV entry per layer per sequence and reads each sequence's
     // whole per-layer KV history.
-    t.decode.weightBytes = allParams * wBytesPerElem * steps;
+    t.decode.weightBytes =
+        allParams * shard.linear * wBytesPerElem * steps;
     t.decode.activationBytes = steps * (actPerToken + logits) * batch;
     double ctxSum = 0.0;
     for (size_t s = 1; s < task.outTokens; ++s)
         ctxSum += static_cast<double>(task.inTokens + s);
-    t.decode.kvBytes = layers * kvPerTokenLayer * (steps + ctxSum) *
-                       kvBytesPerElem * batch;
+    t.decode.kvBytes = layers * kvPerTokenLayer * shard.kv *
+                       (steps + ctxSum) * kvBytesPerElem * batch;
     return t;
 }
 

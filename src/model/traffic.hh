@@ -64,11 +64,36 @@ struct MemoryTraffic
     double weightBytes = 0.0;
     double activationBytes = 0.0;  //!< layer I/O activations
     double kvBytes = 0.0;          //!< KV-cache writes + decode reads
+    /** Chip-to-chip all-reduce bytes of a tensor-parallel run (ring
+     *  all-reduce of the activation stream; 0 on a single chip).
+     *  These bytes ride the inter-accelerator links, not DRAM — the
+     *  simulator charges their latency against the link bandwidth —
+     *  but they are real bytes moved, so total() includes them. */
+    double interconnectBytes = 0.0;
 
     double total() const
     {
-        return weightBytes + activationBytes + kvBytes;
+        return weightBytes + activationBytes + kvBytes +
+               interconnectBytes;
     }
+};
+
+/**
+ * The fractions of a model one tensor-parallel shard owns.  Each
+ * proxy layer's output channels are split across the shards, so a
+ * lane streams only its slice of the weights, computes only its slice
+ * of the linear MACs, and holds only its heads' share of attention
+ * work and KV cache; activations stay replicated (every lane consumes
+ * the full input stream — the all-reduce is what merges the partial
+ * outputs).  The defaults are exactly 1.0, and the simulator inserts
+ * them multiplicatively, so an unsharded run is bit-identical to the
+ * pre-sharding code path.
+ */
+struct ShardFractions
+{
+    double linear = 1.0;  //!< share of linear output channels
+    double heads = 1.0;   //!< share of attention heads (score/value MACs)
+    double kv = 1.0;      //!< share of KV heads (KV-cache traffic)
 };
 
 /**
@@ -108,7 +133,8 @@ struct PhaseTraffic
     {
         return {prefill.weightBytes + decode.weightBytes,
                 prefill.activationBytes + decode.activationBytes,
-                prefill.kvBytes + decode.kvBytes};
+                prefill.kvBytes + decode.kvBytes,
+                prefill.interconnectBytes + decode.interconnectBytes};
     }
 };
 
@@ -127,10 +153,16 @@ struct PhaseTraffic
  * entirely, inTokens == 0 leaves prefill with the weight pass (and
  * first-token logits when outTokens > 0) only, and an all-zero task
  * moves nothing.
+ *
+ * @p shard scales the streams one tensor-parallel lane owns: weight
+ * bytes by its output-channel share, KV bytes by its KV-head share;
+ * activations stay replicated.  The default unit fractions reproduce
+ * the single-chip traffic bit for bit.
  */
 PhaseTraffic computePhaseTraffic(const LlmSpec &model,
                                  const TaskSpec &task,
-                                 const PrecisionSpec &precision);
+                                 const PrecisionSpec &precision,
+                                 const ShardFractions &shard = {});
 
 /**
  * Off-chip traffic for running @p task on @p model with @p precision

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -131,6 +132,19 @@ struct ServingParams
     size_t prefillTokenBudget = 0;
 };
 
+/** What tensor-parallel sharding added to a serving run. */
+struct ShardingStats
+{
+    int tpDegree = 1;
+    /** Share of the run's cycles spent in the ring all-reduce — the
+     *  interconnect stall the fleet pays for merging partial outputs. */
+    double interconnectStallShare = 0.0;
+    /** Per-chip busy share: shard i's own roofline cycles over the
+     *  run's total cycles (lanes wait for the slowest shard and the
+     *  all-reduce, so ragged shards show up as utilization gaps). */
+    std::vector<double> shardUtilization;
+};
+
 /** Nearest-rank percentile summary of one latency population (ms). */
 struct LatencySummary
 {
@@ -173,10 +187,14 @@ struct ServingReport
      *  (size maxConcurrency + 1). */
     std::vector<double> occupancyHist;
 
-    /** Total off-chip traffic charged across all steps. */
+    /** Total off-chip traffic charged across all steps (fleet-wide
+     *  under sharding, interconnect bytes included). */
     MemoryTraffic traffic;
     /** Energy charged across all steps (incl. end-of-run leakage). */
     EnergyBreakdown energy;
+
+    /** Tensor-parallel statistics; absent on single-chip runs. */
+    std::optional<ShardingStats> sharding;
 
     /** Per-request lifecycle trace (completed and rejected), in id
      *  order — the raw material for the conservation tests. */

@@ -127,15 +127,33 @@ generateArrivals(const ServingParams &params, double clock_ghz)
     return reqs;
 }
 
-ServingReport
-simulateServing(const AccelSim &sim, const LlmSpec &model,
-                const PrecisionChoice &precision,
-                const ServingParams &params)
+namespace
 {
-    const double clockGhz = sim.config().clockGhz;
-    const size_t slots = params.maxConcurrency > 0
-                             ? params.maxConcurrency
-                             : sim.config().peRows;
+
+/** What one engine step cost, whoever charged it (one chip or a
+ *  sharded fleet). */
+struct StepOutcome
+{
+    double cycles = 0.0;
+    MemoryTraffic traffic;
+    EnergyBreakdown energy;
+};
+
+/**
+ * The engine loop shared by the single-chip and sharded entry points:
+ * arrivals, scheduling, refill, retire/promote and the summaries are
+ * identical — only how a step is costed (@p step_fn: StepWork ->
+ * StepOutcome) and how end-of-run leakage is charged (@p leak_nj:
+ * cycles -> nJ) differ.  The single-chip wrapper reproduces the
+ * pre-sharding results bit for bit (the interconnect fields it
+ * accumulates are exactly 0.0).
+ */
+template <typename StepFn, typename LeakFn>
+ServingReport
+simulateServingCore(double clockGhz, size_t slots,
+                    const ServingParams &params, StepFn &&step_fn,
+                    LeakFn &&leak_nj)
+{
     BITMOD_ASSERT(slots >= 1, "serving needs at least one token row");
     const auto scheduler = makeScheduler(params.scheduler, params);
 
@@ -232,17 +250,20 @@ simulateServing(const AccelSim &sim, const LlmSpec &model,
             work.decodeContextSum +=
                 static_cast<double>(req.inTokens + req.tokensOut);
         }
-        const StepCost cost = sim.stepCost(model, precision, work);
-        now += cost.cycles();
+        const StepOutcome cost = step_fn(work);
+        now += cost.cycles;
         report.steps += 1;
-        report.totalCycles += cost.cycles();
+        report.totalCycles += cost.cycles;
         report.traffic.weightBytes += cost.traffic.weightBytes;
         report.traffic.activationBytes +=
             cost.traffic.activationBytes;
         report.traffic.kvBytes += cost.traffic.kvBytes;
+        report.traffic.interconnectBytes +=
+            cost.traffic.interconnectBytes;
         report.energy.dramNj += cost.energy.dramNj;
         report.energy.bufferNj += cost.energy.bufferNj;
         report.energy.coreNj += cost.energy.coreNj;
+        report.energy.interconnectNj += cost.energy.interconnectNj;
 
         const size_t busy = admitted.size() + running.size();
         report.occupancyHist[busy] += 1.0;
@@ -312,9 +333,65 @@ simulateServing(const AccelSim &sim, const LlmSpec &model,
         for (double &bin : report.occupancyHist)
             bin /= steps;
     }
-    // The chip leaks for the whole makespan, idle gaps included.
-    report.energy.bufferNj += sim.idleLeakageNj(makespanCycles);
+    // The chip(s) leak for the whole makespan, idle gaps included.
+    report.energy.bufferNj += leak_nj(makespanCycles);
     report.requests = std::move(requests);
+    return report;
+}
+
+} // namespace
+
+ServingReport
+simulateServing(const AccelSim &sim, const LlmSpec &model,
+                const PrecisionChoice &precision,
+                const ServingParams &params)
+{
+    const size_t slots = params.maxConcurrency > 0
+                             ? params.maxConcurrency
+                             : sim.config().peRows;
+    return simulateServingCore(
+        sim.config().clockGhz, slots, params,
+        [&](const StepWork &work) {
+            const StepCost c = sim.stepCost(model, precision, work);
+            return StepOutcome{c.cycles(), c.traffic, c.energy};
+        },
+        [&](double cycles) { return sim.idleLeakageNj(cycles); });
+}
+
+ServingReport
+simulateServing(const ShardedSim &sim, const LlmSpec &model,
+                const ServingParams &params)
+{
+    const size_t slots = params.maxConcurrency > 0
+                             ? params.maxConcurrency
+                             : sim.lane().config().peRows;
+    const size_t nLanes = sim.lanes().size();
+    std::vector<double> laneBusyCycles(nLanes, 0.0);
+    double allReduceCycles = 0.0;
+    ServingReport report = simulateServingCore(
+        sim.lane().config().clockGhz, slots, params,
+        [&](const StepWork &work) {
+            const ShardedStepCost c = sim.stepCost(model, work);
+            for (size_t i = 0; i < nLanes; ++i)
+                laneBusyCycles[i] += c.perLaneCycles[i];
+            allReduceCycles += c.allReduceCycles;
+            return StepOutcome{c.cycles(), c.traffic, c.energy};
+        },
+        [&](double cycles) { return sim.idleLeakageNj(cycles); });
+
+    ShardingStats stats;
+    stats.tpDegree = sim.tpDegree();
+    if (report.totalCycles > 0.0) {
+        stats.interconnectStallShare =
+            allReduceCycles / report.totalCycles;
+        stats.shardUtilization.reserve(nLanes);
+        for (double busy : laneBusyCycles)
+            stats.shardUtilization.push_back(busy /
+                                             report.totalCycles);
+    } else {
+        stats.shardUtilization.assign(nLanes, 0.0);
+    }
+    report.sharding = std::move(stats);
     return report;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "accel/perf_model.hh"
+#include "accel/sharding.hh"
 #include "model/llm_zoo.hh"
 #include "serve/request.hh"
 
@@ -54,6 +55,18 @@ std::vector<ServingRequest> loadArrivalTrace(const std::string &path,
  */
 ServingReport simulateServing(const AccelSim &sim, const LlmSpec &model,
                               const PrecisionChoice &precision,
+                              const ServingParams &params);
+
+/**
+ * Serving simulation across a tensor-parallel fleet: identical engine
+ * loop, but every step is charged through ShardedSim::stepCost — the
+ * lockstep lanes plus the ring all-reduce on the critical path — and
+ * the report carries fleet-wide traffic/energy plus ShardingStats
+ * (per-shard utilization, interconnect stall share).  With tpDegree 1
+ * the result is bit-identical to the single-chip overload.
+ */
+ServingReport simulateServing(const ShardedSim &sim,
+                              const LlmSpec &model,
                               const ServingParams &params);
 
 } // namespace bitmod

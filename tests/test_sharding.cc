@@ -1,0 +1,529 @@
+/**
+ * @file
+ * Tests for tensor-parallel sharding: the shardRowRange partition,
+ * bit-identity of the TP=1 sharded paths to the plain single-chip
+ * code (stepCost, run, deployment, serving), per-shard packed images
+ * whose bytes and GEMV outputs merge back to the full matrix exactly,
+ * the ring all-reduce analytic cross-check, the shard-sliced profile
+ * cache key, and thread-invariant parallel shard measurement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "accel/accel_config.hh"
+#include "accel/measured_profile.hh"
+#include "accel/perf_model.hh"
+#include "accel/sharding.hh"
+#include "common/rng.hh"
+#include "core/bitmod_api.hh"
+#include "pe/pe_column.hh"
+#include "quant/packing.hh"
+#include "tensor/generator.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+/** The PE-able datatypes (the packed-stream GEMV surface). */
+std::vector<Dtype>
+testDtypes()
+{
+    return {dtypes::bitmodFp4(), dtypes::bitmodFp3(),
+            dtypes::intSym(4), dtypes::intAsym(4), dtypes::flint(4),
+            dtypes::olive(4), dtypes::mxfp(4)};
+}
+
+Matrix
+randomMatrix(size_t rows, size_t cols, Rng &rng, bool heavy_tail)
+{
+    WeightGenParams p;
+    if (heavy_tail) {
+        p.groupOutlierRate = 0.3;
+        p.outlierSigmaHi = 10.0;
+    }
+    return generateWeights(rows, cols, p, rng);
+}
+
+std::vector<Float16>
+randomActs(size_t n, Rng &rng)
+{
+    std::vector<Float16> acts;
+    acts.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        acts.emplace_back(static_cast<float>(rng.gaussian()));
+    return acts;
+}
+
+/** A serving-step shape with both phases live. */
+StepWork
+mixedStep()
+{
+    StepWork w;
+    w.prefillSeqs = 2;
+    w.prefillTokens = 48;
+    w.prefillAttnTokenPairs = 24.0 * 25.0 / 2.0 * 2.0;
+    w.decodeSeqs = 5;
+    w.decodeContextSum = 5 * 40.0;
+    return w;
+}
+
+bool
+sameTraffic(const MemoryTraffic &a, const MemoryTraffic &b)
+{
+    return a.weightBytes == b.weightBytes &&
+           a.activationBytes == b.activationBytes &&
+           a.kvBytes == b.kvBytes &&
+           a.interconnectBytes == b.interconnectBytes;
+}
+
+bool
+sameEnergy(const EnergyBreakdown &a, const EnergyBreakdown &b)
+{
+    return a.dramNj == b.dramNj && a.bufferNj == b.bufferNj &&
+           a.coreNj == b.coreNj && a.interconnectNj == b.interconnectNj;
+}
+
+bool
+sameRunReport(const RunReport &a, const RunReport &b)
+{
+    return a.prefillCycles == b.prefillCycles &&
+           a.decodeCycles == b.decodeCycles &&
+           a.prefillComputeCycles == b.prefillComputeCycles &&
+           a.prefillMemCycles == b.prefillMemCycles &&
+           a.decodeComputeCycles == b.decodeComputeCycles &&
+           a.decodeMemCycles == b.decodeMemCycles &&
+           sameTraffic(a.traffic.prefill, b.traffic.prefill) &&
+           sameTraffic(a.traffic.decode, b.traffic.decode) &&
+           sameEnergy(a.energy, b.energy) &&
+           a.measured == b.measured;
+}
+
+// ------------------------------------------------- shardRowRange
+
+TEST(ShardRowRange, PartitionIsContiguousExhaustiveAndBalanced)
+{
+    for (const size_t rows : {1u, 5u, 8u, 17u, 64u, 4096u, 32000u}) {
+        for (const int tp : {1, 2, 3, 4, 7, 8}) {
+            size_t total = 0;
+            size_t minCount = rows, maxCount = 0;
+            for (int s = 0; s < tp; ++s) {
+                const ShardRange r = shardRowRange(rows, tp, s);
+                if (s == 0) {
+                    EXPECT_EQ(r.begin, 0u);
+                } else {
+                    EXPECT_EQ(r.begin,
+                              shardRowRange(rows, tp, s - 1).end);
+                }
+                if (s == tp - 1) {
+                    EXPECT_EQ(r.end, rows);
+                }
+                total += r.count();
+                minCount = std::min(minCount, r.count());
+                maxCount = std::max(maxCount, r.count());
+            }
+            EXPECT_EQ(total, rows) << rows << " rows, tp " << tp;
+            EXPECT_LE(maxCount - minCount, 1u)
+                << rows << " rows, tp " << tp;
+        }
+    }
+}
+
+// ------------------------------------------ TP=1 bit-identity
+
+TEST(ShardingTp1, StepCostBitIdenticalToPlain)
+{
+    const LlmSpec &model = llmByName("Llama-2-7B");
+    const AccelSim sim(makeBitmod());
+    const PrecisionChoice precision =
+        PrecisionChoice::bitmod(dtypes::bitmodFp4());
+    const StepWork work = mixedStep();
+
+    // Default shard argument vs explicit unit fractions.
+    const StepCost plain = sim.stepCost(model, precision, work);
+    const StepCost unit =
+        sim.stepCost(model, precision, work, ShardFractions{});
+    EXPECT_EQ(plain.computeCycles, unit.computeCycles);
+    EXPECT_EQ(plain.memCycles, unit.memCycles);
+    EXPECT_TRUE(sameTraffic(plain.traffic, unit.traffic));
+    EXPECT_TRUE(sameEnergy(plain.energy, unit.energy));
+
+    // The tp=1 fleet step is the plain step: no all-reduce, same
+    // cycles, traffic and energy bit for bit.
+    const ShardingConfig cfg;  // tpDegree 1
+    const auto lanes =
+        buildShardLanes(model, precision, cfg, /*measured=*/false);
+    ASSERT_EQ(lanes.size(), 1u);
+    const ShardedSim ssim(AccelSim(makeBitmod()), cfg, lanes);
+    const ShardedStepCost fleet = ssim.stepCost(model, work);
+    EXPECT_EQ(fleet.laneCycles, plain.cycles());
+    EXPECT_EQ(fleet.allReduceBytes, 0.0);
+    EXPECT_EQ(fleet.allReduceCycles, 0.0);
+    EXPECT_EQ(fleet.cycles(), plain.cycles());
+    EXPECT_TRUE(sameTraffic(fleet.traffic, plain.traffic));
+    EXPECT_TRUE(sameEnergy(fleet.energy, plain.energy));
+}
+
+TEST(ShardingTp1, RunBitIdenticalToPlainAnalyticAndMeasured)
+{
+    const LlmSpec &model = llmByName("OPT-1.3B");
+    const TaskSpec task = TaskSpec::generative();
+    const ShardingConfig cfg;  // tpDegree 1
+    ProfileConfig pcfg;
+    pcfg.maxRows = 16;
+    pcfg.maxCols = 512;
+
+    for (const bool measured : {false, true}) {
+        PrecisionChoice precision =
+            PrecisionChoice::bitmod(dtypes::bitmodFp4());
+        const auto lanes = buildShardLanes(model, precision, cfg,
+                                           measured, pcfg);
+        const ShardedSim ssim(AccelSim(makeBitmod()), cfg, lanes);
+        const ShardedRunReport rr = ssim.run(model, task);
+
+        if (measured)
+            precision.applyProfile(
+                measureProfile(model, precision.quantConfig, pcfg));
+        const RunReport plain =
+            AccelSim(makeBitmod()).run(model, task, precision);
+        EXPECT_TRUE(sameRunReport(rr.combined, plain))
+            << (measured ? "measured" : "analytic");
+        EXPECT_EQ(rr.prefillAllReduceCycles, 0.0);
+        EXPECT_EQ(rr.decodeAllReduceCycles, 0.0);
+        EXPECT_EQ(rr.allReduceBytesPerChip, 0.0);
+    }
+}
+
+TEST(ShardingTp1, DeploymentWithShardingOneMatchesUnsharded)
+{
+    ServingParams sp;
+    sp.seed = 0xfee1;
+    sp.numRequests = 10;
+    sp.inTokens = 12;
+    sp.inTokensMax = 24;
+    sp.outTokens = 8;
+    sp.arrivalRatePerSec = 40.0;
+
+    const auto request = [&](bool sharded) {
+        DeployRequest r("BitMoD", "OPT-1.3B");
+        r.with(Policy::Lossy).withServing(sp);
+        if (sharded)
+            r.withSharding(1, 32.0);
+        return simulateDeployment(r);
+    };
+    const DeploymentSummary a = request(true);
+    const DeploymentSummary b = request(false);
+
+    EXPECT_TRUE(sameRunReport(a.report, b.report));
+    ASSERT_TRUE(a.sharding.has_value());
+    EXPECT_FALSE(b.sharding.has_value());
+    EXPECT_EQ(a.sharding->interconnectBytes, 0.0);
+    EXPECT_EQ(a.sharding->interconnectCycles, 0.0);
+
+    // Serving percentiles for the fixed seed, bit for bit.
+    ASSERT_TRUE(a.serving && b.serving);
+    EXPECT_EQ(a.serving->ttftMs.p50, b.serving->ttftMs.p50);
+    EXPECT_EQ(a.serving->ttftMs.p99, b.serving->ttftMs.p99);
+    EXPECT_EQ(a.serving->tpotMs.p99, b.serving->tpotMs.p99);
+    EXPECT_EQ(a.serving->e2eMs.p99, b.serving->e2eMs.p99);
+    EXPECT_EQ(a.serving->totalCycles, b.serving->totalCycles);
+    EXPECT_EQ(a.serving->energy.totalNj(), b.serving->energy.totalNj());
+    EXPECT_TRUE(sameTraffic(a.serving->traffic, b.serving->traffic));
+    // The sharded path reports its (degenerate) fleet stats.
+    ASSERT_TRUE(a.serving->sharding.has_value());
+    EXPECT_EQ(a.serving->sharding->tpDegree, 1);
+    EXPECT_EQ(a.serving->sharding->interconnectStallShare, 0.0);
+}
+
+// --------------------------------------- per-shard packed images
+
+TEST(ShardPackedImages, BytesSumAndMergedGemvMatchFullPerDtype)
+{
+    // A shard's packed image is the real row slice: per-shard bytes
+    // sum to the full image exactly, and streaming each shard through
+    // the PE columns reproduces the full GEMV outputs bit for bit —
+    // for every PE-able datatype, at a ragged degree (24 rows, tp 3
+    // would be even; use tp 3 on 26 rows for uneven shards).
+    const size_t rows = 26, cols = 256;
+    const int tp = 3;
+    Rng rng(0x5a4d);
+    const auto acts = randomActs(cols, rng);
+    const std::span<const Float16> actSpan{acts.data(), acts.size()};
+
+    for (const Dtype &dt : testDtypes()) {
+        QuantConfig cfg;
+        cfg.dtype = dt;
+        cfg.groupSize = 64;
+        cfg.scaleBits = 8;
+        cfg.captureEncoding = true;
+        if (dt.kind == DtypeKind::OliveOvp)
+            cfg.oliveMaxOutliers = 1 << 20;
+        Rng wrng(0xbead);
+        const Matrix full = randomMatrix(
+            rows, cols, wrng, dt.kind == DtypeKind::OliveOvp);
+        const GroupPacker packer(cfg);
+        const PackedMatrix fullPacked =
+            packer.packMatrix(quantizeMatrix(full, cfg).encoded);
+        const PackedGemvResult fullOut =
+            tileGemv(fullPacked, dt, actSpan, 1);
+
+        size_t shardBytes = 0;
+        std::vector<double> merged;
+        for (int s = 0; s < tp; ++s) {
+            const ShardRange range = shardRowRange(rows, tp, s);
+            Matrix slice(range.count(), cols);
+            for (size_t r = 0; r < range.count(); ++r) {
+                const auto src = full.row(range.begin + r);
+                std::copy(src.begin(), src.end(),
+                          slice.row(r).begin());
+            }
+            const PackedMatrix packed =
+                packer.packMatrix(quantizeMatrix(slice, cfg).encoded);
+            shardBytes += packed.imageBytes();
+            const PackedGemvResult out =
+                tileGemv(packed, dt, actSpan, 1);
+            merged.insert(merged.end(), out.values.begin(),
+                          out.values.end());
+        }
+        EXPECT_EQ(shardBytes, fullPacked.imageBytes()) << dt.name;
+        ASSERT_EQ(merged.size(), fullOut.values.size()) << dt.name;
+        EXPECT_EQ(0, std::memcmp(merged.data(), fullOut.values.data(),
+                                 merged.size() * sizeof(double)))
+            << dt.name;
+    }
+}
+
+// ------------------------------------------- all-reduce model
+
+TEST(AllReduce, TrafficAndCyclesMatchRingFormulas)
+{
+    const LlmSpec &model = llmByName("Llama-2-7B");
+    ShardingConfig cfg;
+    cfg.tpDegree = 4;
+    cfg.linkGBs = 32.0;
+    cfg.hopLatencyCycles = 250.0;
+    cfg.linkEnergyPerBitPj = 8.0;
+    const PrecisionChoice precision =
+        PrecisionChoice::bitmod(dtypes::bitmodFp4());
+    const auto lanes =
+        buildShardLanes(model, precision, cfg, /*measured=*/false);
+    ASSERT_EQ(lanes.size(), 4u);
+    const AccelSim plainSim(makeBitmod());
+    const ShardedSim ssim(AccelSim(makeBitmod()), cfg, lanes);
+
+    const StepWork work = mixedStep();
+    const ShardedStepCost fleet = ssim.stepCost(model, work);
+
+    // Per-chip ring bytes: activations (replicated, identical on
+    // every lane) x 2(N-1)/N.
+    const StepCost lane0 =
+        plainSim.stepCost(model, precision, work, lanes[0].fractions);
+    const double actBytes = lane0.traffic.activationBytes;
+    const double perChip = actBytes * 2.0 * 3.0 / 4.0;
+    EXPECT_DOUBLE_EQ(fleet.allReduceBytes, perChip);
+    EXPECT_DOUBLE_EQ(fleet.traffic.interconnectBytes, 4.0 * perChip);
+
+    // Cycles: bytes over the link at the accelerator clock plus
+    // 2(N-1) hop latencies for the one launch.
+    const double clockGhz = makeBitmod().clockGhz;
+    const double linkBytesPerCycle = cfg.linkGBs / clockGhz;
+    EXPECT_DOUBLE_EQ(fleet.allReduceCycles,
+                     perChip / linkBytesPerCycle +
+                         2.0 * 3.0 * cfg.hopLatencyCycles);
+    EXPECT_EQ(fleet.cycles(), fleet.laneCycles + fleet.allReduceCycles);
+
+    // Energy: fleet link bytes x 8 bits x pJ/bit, in nJ.
+    EXPECT_DOUBLE_EQ(fleet.energy.interconnectNj,
+                     4.0 * perChip * 8.0 * cfg.linkEnergyPerBitPj *
+                         1e-3);
+
+    // The lane fractions partition the model exactly.
+    double linearSum = 0.0, headSum = 0.0, kvSum = 0.0;
+    for (const ShardLane &lane : lanes) {
+        linearSum += lane.fractions.linear;
+        headSum += lane.fractions.heads;
+        kvSum += lane.fractions.kv;
+    }
+    EXPECT_NEAR(linearSum, 1.0, 1e-12);
+    EXPECT_NEAR(headSum, 1.0, 1e-12);
+    EXPECT_NEAR(kvSum, 1.0, 1e-12);
+
+    // run(): the decode all-reduce pays one hop set per decode step.
+    const TaskSpec task{64, 9, 1};  // 8 decode steps
+    const ShardedRunReport rr = ssim.run(model, task);
+    const RunReport lane0Run =
+        plainSim.run(model, task, precision, lanes[0].fractions);
+    const double prefillPerChip =
+        lane0Run.traffic.prefill.activationBytes * 2.0 * 3.0 / 4.0;
+    const double decodePerChip =
+        lane0Run.traffic.decode.activationBytes * 2.0 * 3.0 / 4.0;
+    EXPECT_DOUBLE_EQ(rr.prefillAllReduceCycles,
+                     prefillPerChip / linkBytesPerCycle +
+                         2.0 * 3.0 * cfg.hopLatencyCycles);
+    EXPECT_DOUBLE_EQ(rr.decodeAllReduceCycles,
+                     decodePerChip / linkBytesPerCycle +
+                         8.0 * 2.0 * 3.0 * cfg.hopLatencyCycles);
+    EXPECT_DOUBLE_EQ(rr.combined.traffic.prefill.interconnectBytes,
+                     4.0 * prefillPerChip);
+    EXPECT_DOUBLE_EQ(rr.combined.traffic.decode.interconnectBytes,
+                     4.0 * decodePerChip);
+    EXPECT_GT(rr.combined.energy.interconnectNj, 0.0);
+
+    // Sharding shortens the critical path on this memory-bound model
+    // even with the all-reduce charged.
+    const RunReport whole = plainSim.run(model, task, precision);
+    EXPECT_LT(rr.combined.totalCycles(), whole.totalCycles());
+}
+
+// ------------------------------------------- sharded serving
+
+TEST(ShardedServing, SeededRunsAreDeterministicWithFleetStats)
+{
+    ServingParams sp;
+    sp.seed = 0xd00d;
+    sp.numRequests = 8;
+    sp.inTokens = 12;
+    sp.outTokens = 8;
+    sp.arrivalRatePerSec = 50.0;
+
+    const auto run = [&]() {
+        return simulateDeployment(DeployRequest("BitMoD", "Llama-2-7B")
+                                      .with(Policy::Lossy)
+                                      .withServing(sp)
+                                      .withSharding(4, 32.0));
+    };
+    const DeploymentSummary a = run();
+    const DeploymentSummary b = run();
+
+    ASSERT_TRUE(a.serving && b.serving);
+    EXPECT_EQ(a.serving->ttftMs.p99, b.serving->ttftMs.p99);
+    EXPECT_EQ(a.serving->tpotMs.p99, b.serving->tpotMs.p99);
+    EXPECT_EQ(a.serving->totalCycles, b.serving->totalCycles);
+    EXPECT_EQ(a.serving->energy.totalNj(), b.serving->energy.totalNj());
+    EXPECT_EQ(a.serving->traffic.interconnectBytes,
+              b.serving->traffic.interconnectBytes);
+
+    // Fleet stats: 4 busy-share entries in (0, 1], a positive
+    // interconnect stall share, interconnect traffic and energy.
+    ASSERT_TRUE(a.serving->sharding.has_value());
+    const ShardingStats &stats = *a.serving->sharding;
+    EXPECT_EQ(stats.tpDegree, 4);
+    ASSERT_EQ(stats.shardUtilization.size(), 4u);
+    for (const double u : stats.shardUtilization) {
+        EXPECT_GT(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+    EXPECT_GT(stats.interconnectStallShare, 0.0);
+    EXPECT_LT(stats.interconnectStallShare, 1.0);
+    EXPECT_GT(a.serving->traffic.interconnectBytes, 0.0);
+    EXPECT_GT(a.serving->energy.interconnectNj, 0.0);
+
+    // The deployment summary's fleet view agrees.
+    ASSERT_TRUE(a.sharding.has_value());
+    EXPECT_EQ(a.sharding->shardWeightBytes.size(), 4u);
+    EXPECT_GT(a.sharding->interconnectBytes, 0.0);
+    EXPECT_GT(a.sharding->interconnectShare, 0.0);
+}
+
+// -------------------------------------- shard-sliced profile cache
+
+TEST(ProfileCacheShard, KeyCoversShardSliceAndHitsAreIdentical)
+{
+    const LlmSpec &model = llmByName("OPT-1.3B");
+    const QuantConfig cfg = bitmodConfig(4);
+    ProfileConfig pcfg;
+    pcfg.maxRows = 16;
+    pcfg.maxCols = 512;
+
+    ProfileCache cache;
+    ProfileConfig shard0 = pcfg, shard1 = pcfg;
+    shard0.tpDegree = shard1.tpDegree = 2;
+    shard1.tpShard = 1;
+    const auto &p0 = cache.get(model, cfg, shard0);
+    const auto &p1 = cache.get(model, cfg, shard1);
+    EXPECT_NE(&p0, &p1);
+    EXPECT_EQ(cache.misses(), 2u);
+
+    // The default slice (1/1) shares the entry with an explicit one.
+    cache.get(model, cfg, pcfg);
+    EXPECT_EQ(cache.misses(), 3u);
+    ProfileConfig explicitWhole = pcfg;
+    explicitWhole.tpDegree = 1;
+    explicitWhole.tpShard = 0;
+    cache.get(model, cfg, explicitWhole);
+    EXPECT_EQ(cache.misses(), 3u);
+    EXPECT_EQ(cache.hits(), 1u);
+
+    // A shard hit is bit-identical to a fresh measurement.
+    const auto &hit = cache.get(model, cfg, shard1);
+    EXPECT_EQ(cache.hits(), 2u);
+    const auto fresh = measureProfile(model, cfg, shard1);
+    EXPECT_EQ(hit.weightBitsPerElem, fresh.weightBitsPerElem);
+    EXPECT_EQ(hit.effectualTermsPerWeight,
+              fresh.effectualTermsPerWeight);
+    EXPECT_EQ(hit.shardElemFraction, fresh.shardElemFraction);
+    ASSERT_EQ(hit.layers.size(), fresh.layers.size());
+    for (size_t i = 0; i < fresh.layers.size(); ++i) {
+        EXPECT_EQ(hit.layers[i].packedBytes,
+                  fresh.layers[i].packedBytes);
+        EXPECT_EQ(hit.layers[i].effectualTerms,
+                  fresh.layers[i].effectualTerms);
+    }
+}
+
+TEST(ShardedProfiles, ParallelMeasurementIsThreadInvariant)
+{
+    const LlmSpec &model = llmByName("OPT-1.3B");
+    const QuantConfig cfg = bitmodConfig(4);
+    ProfileConfig pcfg;
+    pcfg.maxRows = 24;
+    pcfg.maxCols = 512;
+
+    ProfileConfig serial = pcfg, pooled = pcfg;
+    serial.threads = 1;
+    pooled.threads = 4;
+    const auto a = measureShardedProfiles(model, cfg, serial, 3);
+    const auto b = measureShardedProfiles(model, cfg, pooled, 3);
+    ASSERT_EQ(a.size(), 3u);
+    ASSERT_EQ(b.size(), 3u);
+
+    // Numeric measurements bitwise equal for any pool width (the
+    // recorded sample.threads may differ; it is not a measurement).
+    size_t shardLayerBytes = 0;
+    for (int s = 0; s < 3; ++s) {
+        EXPECT_EQ(a[s].weightBitsPerElem, b[s].weightBitsPerElem);
+        EXPECT_EQ(a[s].effectualTermsPerWeight,
+                  b[s].effectualTermsPerWeight);
+        EXPECT_EQ(a[s].shardElemFraction, b[s].shardElemFraction);
+        ASSERT_EQ(a[s].layers.size(), b[s].layers.size());
+        for (size_t i = 0; i < a[s].layers.size(); ++i) {
+            EXPECT_EQ(a[s].layers[i].packedBytes,
+                      b[s].layers[i].packedBytes);
+            EXPECT_EQ(a[s].layers[i].effectualTerms,
+                      b[s].layers[i].effectualTerms);
+            EXPECT_EQ(a[s].layers[i].skipCycles,
+                      b[s].layers[i].skipCycles);
+            shardLayerBytes += a[s].layers[i].packedBytes;
+        }
+    }
+
+    // The shard slices partition every sampled proxy, so their packed
+    // bytes sum to the whole-model profile's exactly.
+    const auto whole = measureProfile(model, cfg, pcfg);
+    size_t wholeBytes = 0;
+    for (const auto &layer : whole.layers)
+        wholeBytes += layer.packedBytes;
+    EXPECT_EQ(shardLayerBytes, wholeBytes);
+
+    // And the shard element fractions cover the model.
+    double fractionSum = 0.0;
+    for (const auto &p : a)
+        fractionSum += p.shardElemFraction;
+    EXPECT_NEAR(fractionSum, 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace bitmod

@@ -17,9 +17,12 @@ detection rate is a correctness hole, not a perf tradeoff) and
 fails, like a footprint), and the BENCH_serving.json / BENCH_sharding.json families: *_ms
 latencies (TTFT/TPOT/e2e percentiles — an increase beyond the
 threshold fails, the inverse of a throughput), *_sustainable_rate
-max-rates-under-SLO (throughput-like, a drop fails) and the
+max-rates-under-SLO (throughput-like, a drop fails), the
 *_efficiency scaling ratios of the sharding sweep (a drop means the
-tensor-parallel speedup stopped tracking the degree).  The delta table
+tensor-parallel speedup stopped tracking the degree), and the
+BENCH_compression.json *_ratio compression ratios (raw over stored
+bytes, so a drop means the memory controller started shipping more
+bytes for the same stream — a bandwidth regression).  The delta table
 is always printed, regression or not, so the trajectory is visible in
 every CI log.  A missing baseline (first run on a branch, expired
 artifact) is not an error: the gate prints a note and passes.
@@ -46,17 +49,19 @@ COVERAGE_EPSILON_PCT = 0.1
 def tracked_fields(doc):
     """Yield (section.key, value, higher_is_better, strict) for every
     gated field: *_wps throughputs, *_speedup / *_eff / *_efficiency
-    simulator ratios, *_sustainable_rate serving capacities and
-    *_coverage detection rates (higher better; coverage is strict),
-    *_bytes footprints, *_overhead protection ratios and *_ms
-    latencies (lower better)."""
+    simulator ratios, *_ratio compression ratios,
+    *_sustainable_rate serving capacities and *_coverage detection
+    rates (higher better; coverage is strict), *_bytes footprints,
+    *_overhead protection ratios and *_ms latencies (lower
+    better)."""
     for section, body in sorted(doc.items()):
         if isinstance(body, dict):
             for key, value in sorted(body.items()):
                 if not isinstance(value, (int, float)):
                     continue
                 if key.endswith(("_wps", "_speedup", "_eff",
-                                 "_efficiency", "_sustainable_rate")):
+                                 "_efficiency", "_sustainable_rate",
+                                 "_ratio")):
                     yield f"{section}.{key}", float(value), True, False
                 elif key.endswith("_coverage"):
                     yield f"{section}.{key}", float(value), True, True
@@ -207,6 +212,15 @@ def self_test():
         "planner_tp4_fcfs": {"fleet_max_sustainable_rate": 20.0,
                              "interconnect_stall_share": 0.02,
                              "load90_ttft_p99_ms": 60.0},
+        # Memory-controller compression families: stream ratios are
+        # gated higher-better (a drop means more bytes on the bus for
+        # the same stream), the composed protection overhead is
+        # footprint-like, and bit_identical carries the
+        # compression-off identity.
+        "weight_streams": {"fp4_ratio": 1.2, "int4_ratio": 1.5},
+        "composition": {"lz4_crc_overhead": 0.07},
+        "end_to_end": {"serving_tpot_ms": 600.0,
+                       "bit_identical": True},
     }
 
     def variant(factor, identical=True):
@@ -243,6 +257,12 @@ def self_test():
 
     simd_tier_mismatch = json.loads(json.dumps(base))
     simd_tier_mismatch["simd"]["bit_identical"] = False
+
+    dropped_ratio_field = json.loads(json.dumps(base))
+    del dropped_ratio_field["weight_streams"]["int4_ratio"]
+
+    compression_identity_broken = json.loads(json.dumps(base))
+    compression_identity_broken["end_to_end"]["bit_identical"] = False
 
     checks = [
         ("identical run passes", run_gate(base, base, 10) == 0),
@@ -354,6 +374,22 @@ def self_test():
         ("planner latency +30% fails",
          run_gate(base, ratio(1.3, "planner_tp4_fcfs",
                               "load90_ttft_p99_ms"), 10) == 1),
+        ("compression ratio -20% fails",
+         run_gate(base, ratio(0.8, "weight_streams", "fp4_ratio"),
+                  10) == 1),
+        ("compression ratio -5% within threshold passes",
+         run_gate(base, ratio(0.95, "weight_streams", "fp4_ratio"),
+                  10) == 0),
+        ("compression ratio +30% passes",
+         run_gate(base, ratio(1.3, "weight_streams", "int4_ratio"),
+                  10) == 0),
+        ("dropped compression ratio field fails",
+         run_gate(base, dropped_ratio_field, 10) == 1),
+        ("composed compression overhead +30% fails",
+         run_gate(base, ratio(1.3, "composition",
+                              "lz4_crc_overhead"), 10) == 1),
+        ("compression-off identity failure fails",
+         run_gate(base, compression_identity_broken, 10) == 1),
     ]
     print("\n--- self-test results ---")
     failed = [name for name, ok in checks if not ok]

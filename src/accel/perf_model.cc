@@ -184,6 +184,38 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
         prefillInt.uncorrectableErrors +
         decodeInt.uncorrectableErrors;
 
+    // Burst decompression rides the DRAM path: each phase pays the
+    // controller's fixed cost per raw burst plus a per-raw-byte cost
+    // over the streams it decompresses (weights, activations, KV —
+    // interconnect bytes never pass the controller).  Raw bytes are
+    // the pre-compression, pre-protection stream sizes.
+    const CompressionModel &cm = precision.compression;
+    double prefillDecompCycles = 0.0;
+    double decodeDecompCycles = 0.0;
+    if (cm.enabled) {
+        PrecisionSpec rawSpec = precision.spec();
+        rawSpec.weightStreamRatio = 1.0;
+        rawSpec.activationStreamRatio = 1.0;
+        rawSpec.kvStreamRatio = 1.0;
+        rawSpec.weightProtectionOverhead = 0.0;
+        const PhaseTraffic rawTraffic =
+            computePhaseTraffic(model, task, rawSpec, shard);
+        const auto decompCycles = [&](const MemoryTraffic &t) {
+            const double rawBytes =
+                t.weightBytes + t.activationBytes + t.kvBytes;
+            if (rawBytes <= 0.0)
+                return 0.0;
+            const double bursts = std::ceil(
+                rawBytes / static_cast<double>(cm.burstBytes));
+            return cm.decompressFixedCycles * bursts +
+                   cm.decompressCyclesPerByte * rawBytes;
+        };
+        prefillDecompCycles = decompCycles(rawTraffic.prefill);
+        decodeDecompCycles = decompCycles(rawTraffic.decode);
+        report.decompressionCycles =
+            prefillDecompCycles + decodeDecompCycles;
+    }
+
     const double layers = static_cast<double>(model.numLayers);
     const double blockParams =
         static_cast<double>(model.blockLinearParams());
@@ -232,7 +264,7 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
         const double memCycles =
             dram_.transferCycles(report.traffic.prefill.total(),
                                  accel_.clockGhz) +
-            prefillInt.retryCycles;
+            prefillInt.retryCycles + prefillDecompCycles;
         report.prefillComputeCycles = computeCycles;
         report.prefillMemCycles = memCycles;
         report.prefillCycles = std::max(computeCycles, memCycles);
@@ -294,7 +326,7 @@ AccelSim::run(const LlmSpec &model, const TaskSpec &task,
         const double memCycles =
             dram_.transferCycles(report.traffic.decode.total(),
                                  accel_.clockGhz) +
-            decodeInt.retryCycles;
+            decodeInt.retryCycles + decodeDecompCycles;
         report.decodeComputeCycles = computeCycles;
         report.decodeMemCycles = memCycles;
         report.decodeCycles = std::max(computeCycles, memCycles);
@@ -348,9 +380,11 @@ AccelSim::stepCost(const LlmSpec &model,
 
     const PrecisionSpec spec = precision.spec();
     const double wBytesPerElem =
-        spec.weightBits / 8.0 * (1.0 + spec.weightProtectionOverhead);
-    const double aBytesPerElem = spec.activationBits / 8.0;
-    const double kvBytesPerElem = spec.kvBits / 8.0;
+        spec.weightBits / 8.0 * spec.weightStreamRatio *
+        (1.0 + spec.weightProtectionOverhead);
+    const double aBytesPerElem =
+        spec.activationBits / 8.0 * spec.activationStreamRatio;
+    const double kvBytesPerElem = spec.kvBits / 8.0 * spec.kvStreamRatio;
 
     const double layers = static_cast<double>(model.numLayers);
     const double blockParams =
@@ -417,6 +451,29 @@ AccelSim::stepCost(const LlmSpec &model,
 
     const double memBytes = cost.traffic.total();
     cost.memCycles = dram_.transferCycles(memBytes, accel_.clockGhz);
+
+    // Burst decompression on the step's DRAM path, charged per raw
+    // (pre-compression, pre-protection) byte exactly as run() does.
+    const CompressionModel &cm = precision.compression;
+    if (cm.enabled) {
+        const double rawWeightBytes =
+            allParams * shard.linear * (spec.weightBits / 8.0);
+        const double aRawPerElem = spec.activationBits / 8.0;
+        const double rawActBytes =
+            streamedTokens *
+                ((layers * 2.0 + 1.0) * model.hiddenDim * aRawPerElem) +
+            (prefillSeqs + decodeSeqs) * model.vocabSize * aRawPerElem;
+        const double rawKvBytes =
+            layers * kvPerTokenLayer * shard.kv * (spec.kvBits / 8.0) *
+            (streamedTokens + work.decodeContextSum);
+        const double rawBytes = rawWeightBytes + rawActBytes + rawKvBytes;
+        if (rawBytes > 0.0) {
+            const double bursts = std::ceil(
+                rawBytes / static_cast<double>(cm.burstBytes));
+            cost.memCycles += cm.decompressFixedCycles * bursts +
+                              cm.decompressCyclesPerByte * rawBytes;
+        }
+    }
 
     // ------------------------------------------------------- energy
     // Mirrors run(): DRAM per byte, one buffer write+read pass for

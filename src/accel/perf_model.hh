@@ -15,6 +15,7 @@
 
 #include "accel/accel_config.hh"
 #include "accel/measured_profile.hh"
+#include "mem/mem_controller.hh"
 #include "model/llm_zoo.hh"
 #include "model/traffic.hh"
 #include "quant/quantizer.hh"
@@ -50,6 +51,9 @@ struct PrecisionChoice
     ProtectionConfig protection;
     /** Modeled DRAM bit-error rate driving the re-fetch retry model. */
     double bitErrorRate = 0.0;
+    /** Measured memory-controller compression view (disabled =
+     *  pre-controller behavior, bit-identical). */
+    CompressionModel compression;
 
     /** The traffic-model view of this choice. */
     PrecisionSpec
@@ -57,6 +61,11 @@ struct PrecisionChoice
     {
         PrecisionSpec s{weightBitsPerElem, actBits, kvBits};
         s.weightProtectionOverhead = protectionOverhead();
+        if (compression.enabled) {
+            s.weightStreamRatio = compression.weightRatio;
+            s.activationStreamRatio = compression.activationRatio;
+            s.kvStreamRatio = compression.kvRatio;
+        }
         return s;
     }
 
@@ -77,6 +86,12 @@ struct PrecisionChoice
     {
         protection = cfg;
         bitErrorRate = ber;
+    }
+
+    /** Charge the measured memory-controller compression view. */
+    void setCompression(const CompressionModel &model)
+    {
+        compression = model;
     }
 
     /**
@@ -153,6 +168,9 @@ struct RunReport
     PhaseTraffic traffic;
     /** Integrity outcome (all zero with protection off). */
     IntegrityReport integrity;
+    /** Burst-decompression cycles charged to the memory side (0 with
+     *  compression off). */
+    double decompressionCycles = 0.0;
     /** True when the precision view was backed by a MeasuredProfile. */
     bool measured = false;
 

@@ -84,6 +84,12 @@ simulateDeployment(const DeployRequest &request)
             ? selectLosslessPrecision(accel)
             : selectLossyPrecision(accel, model, generative);
 
+    // The memory-controller compression view rides the precision, so
+    // both branches below — and every sharded lane, which copies the
+    // base precision — charge it without further plumbing.
+    if (request.compression)
+        precision.setCompression(*request.compression);
+
     if (request.sharding) {
         // Tensor-parallel fleet: buildShardLanes slices the model
         // (and, in measured mode, re-points every lane at its own

@@ -171,6 +171,16 @@ struct DeployRequest
      */
     std::optional<ShardingConfig> sharding;
 
+    /**
+     * Measured memory-controller compression (mem/mem_controller.hh):
+     * per-stream effective byte ratios and decompression latency
+     * charged on the DRAM path, end to end — the one-shot report,
+     * serving steps and every sharded lane all see it.  nullopt (or a
+     * model with enabled == false) is bit-identical to pre-controller
+     * behavior.
+     */
+    std::optional<CompressionModel> compression;
+
     DeployRequest() = default;
     DeployRequest(std::string accel_name, std::string model_name)
         : accel(std::move(accel_name)), model(std::move(model_name))
@@ -231,6 +241,12 @@ struct DeployRequest
     withSharding(const ShardingConfig &cfg)
     {
         sharding = cfg;
+        return *this;
+    }
+    DeployRequest &
+    withCompression(const CompressionModel &model)
+    {
+        compression = model;
         return *this;
     }
 

@@ -1,0 +1,51 @@
+#include "mem/burst_transform.hh"
+
+#include "common/logging.hh"
+
+namespace bitmod
+{
+
+void TransformPipeline::encode(std::span<const uint8_t> raw,
+                               EncodedBurst &out) const
+{
+    out.payload.assign(raw.begin(), raw.end());
+    out.meta.clear();
+    out.rawBytes = raw.size();
+    out.encodeCycles = 0.0;
+
+    std::vector<uint8_t> next;
+    std::vector<uint8_t> meta;
+    for (const auto &stage : stages_)
+    {
+        out.encodeCycles += stage->encodeLatency().cycles(out.payload.size());
+        next.clear();
+        meta.clear();
+        stage->encode(out.payload, next, meta);
+        out.payload.swap(next);
+        out.meta.push_back(meta);
+    }
+}
+
+bool TransformPipeline::decode(const EncodedBurst &burst,
+                               std::vector<uint8_t> &out,
+                               double *cycles) const
+{
+    BITMOD_ASSERT(burst.meta.size() == stages_.size(),
+                  "pipeline decode: burst carries ", burst.meta.size(),
+                  " meta blocks for ", stages_.size(), " stages");
+    out = burst.payload;
+    std::vector<uint8_t> next;
+    for (size_t i = stages_.size(); i-- > 0;)
+    {
+        const auto &stage = *stages_[i];
+        if (cycles)
+            *cycles += stage.decodeLatency().cycles(out.size());
+        next.clear();
+        if (!stage.decode(out, burst.meta[i], next))
+            return false;
+        out.swap(next);
+    }
+    return true;
+}
+
+} // namespace bitmod

@@ -1,0 +1,122 @@
+#ifndef BITMOD_MEM_BURST_TRANSFORM_HH
+#define BITMOD_MEM_BURST_TRANSFORM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bitmod
+{
+
+/**
+ * Latency charged for running a transform over one burst: a fixed
+ * per-burst cost plus a per-input-byte cost, in accelerator cycles.
+ */
+struct TransformLatency
+{
+    double fixedCycles = 0.0;
+    double cyclesPerByte = 0.0;
+
+    double cycles(size_t input_bytes) const
+    {
+        return fixedCycles + cyclesPerByte * double(input_bytes);
+    }
+};
+
+/**
+ * One memory-controller pipeline stage: bytes in, transformed bytes +
+ * sideband metadata out.  Compression and CRC/SECDED protection are the
+ * same shape of stage — both charge (payload + meta) / raw to traffic
+ * and a fixed+per-byte latency to the burst.
+ */
+class BurstTransform
+{
+  public:
+    virtual ~BurstTransform() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Transform one burst.  @p payload receives the in-band bytes that
+     * replace the raw burst on the wire; @p meta receives sideband
+     * bytes (CRC/parity words, headers) stored alongside.  Either may
+     * be empty.
+     */
+    virtual void encode(std::span<const uint8_t> raw,
+                        std::vector<uint8_t> &payload,
+                        std::vector<uint8_t> &meta) const = 0;
+
+    /**
+     * Invert encode().  Returns false when the payload/meta pair is
+     * malformed or fails an integrity check; @p out is unspecified in
+     * that case.  Must be bounds-checked against arbitrary input.
+     */
+    virtual bool decode(std::span<const uint8_t> payload,
+                        std::span<const uint8_t> meta,
+                        std::vector<uint8_t> &out) const = 0;
+
+    virtual TransformLatency encodeLatency() const = 0;
+    virtual TransformLatency decodeLatency() const = 0;
+};
+
+/** One burst after running through a TransformPipeline. */
+struct EncodedBurst
+{
+    std::vector<uint8_t> payload;
+    /** Sideband metadata per stage, in encode order. */
+    std::vector<std::vector<uint8_t>> meta;
+    size_t rawBytes = 0;
+    double encodeCycles = 0.0;
+
+    size_t metaBytes() const
+    {
+        size_t n = 0;
+        for (const auto &m : meta)
+            n += m.size();
+        return n;
+    }
+
+    /** Total DRAM-side footprint charged for this burst. */
+    size_t storedBytes() const { return payload.size() + metaBytes(); }
+};
+
+/**
+ * An ordered chain of transforms applied per burst, exactly like a real
+ * controller pipeline: encode runs stages front to back
+ * (e.g. compress-then-protect), decode runs them back to front.
+ */
+class TransformPipeline
+{
+  public:
+    TransformPipeline() = default;
+
+    void add(std::unique_ptr<BurstTransform> stage)
+    {
+        stages_.push_back(std::move(stage));
+    }
+
+    bool empty() const { return stages_.empty(); }
+    size_t stages() const { return stages_.size(); }
+    const BurstTransform &stage(size_t i) const { return *stages_[i]; }
+
+    /** Run all stages over one raw burst, charging encode latency. */
+    void encode(std::span<const uint8_t> raw, EncodedBurst &out) const;
+
+    /**
+     * Invert encode() stage by stage in reverse order.  Returns false
+     * if any stage rejects its input; decode latency for the stages
+     * that ran is accumulated into @p cycles when non-null.
+     */
+    bool decode(const EncodedBurst &burst, std::vector<uint8_t> &out,
+                double *cycles = nullptr) const;
+
+  private:
+    std::vector<std::unique_ptr<BurstTransform>> stages_;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_MEM_BURST_TRANSFORM_HH

@@ -1,0 +1,194 @@
+#include "mem/compress.hh"
+
+#include <array>
+#include <cstring>
+
+namespace bitmod
+{
+
+namespace
+{
+
+constexpr int kHashBits = 13;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+
+uint32_t read32(std::span<const uint8_t> in, size_t pos)
+{
+    uint32_t v;
+    std::memcpy(&v, in.data() + pos, 4);
+    return v;
+}
+
+uint32_t hash4(uint32_t v)
+{
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/** Append a nibble-saturating length: the remainder beyond @p nibble_max
+ *  is emitted as 255-run extension bytes with a terminating byte < 255. */
+void emitExtendedLength(std::vector<uint8_t> &out, size_t value)
+{
+    while (value >= 255)
+    {
+        out.push_back(255);
+        value -= 255;
+    }
+    out.push_back(uint8_t(value));
+}
+
+void emitSequence(std::vector<uint8_t> &out, std::span<const uint8_t> in,
+                  size_t lit_begin, size_t lit_len, size_t match_len,
+                  size_t offset)
+{
+    const size_t litNibble = lit_len < 15 ? lit_len : 15;
+    const size_t matchVal = match_len >= kMinMatch ? match_len - kMinMatch : 0;
+    const size_t matchNibble = matchVal < 15 ? matchVal : 15;
+    out.push_back(uint8_t((litNibble << 4) | matchNibble));
+    if (litNibble == 15)
+        emitExtendedLength(out, lit_len - 15);
+    out.insert(out.end(), in.begin() + long(lit_begin),
+               in.begin() + long(lit_begin + lit_len));
+    if (match_len == 0)
+        return; // final literals-only sequence
+    out.push_back(uint8_t(offset & 0xff));
+    out.push_back(uint8_t(offset >> 8));
+    if (matchNibble == 15)
+        emitExtendedLength(out, matchVal - 15);
+}
+
+} // namespace
+
+void lz4Compress(std::span<const uint8_t> raw, std::vector<uint8_t> &out)
+{
+    out.clear();
+    const size_t n = raw.size();
+    std::array<uint32_t, size_t(1) << kHashBits> table{}; // position + 1
+    size_t anchor = 0;
+    size_t i = 0;
+    while (i + kMinMatch <= n)
+    {
+        const uint32_t cur = read32(raw, i);
+        const uint32_t h = hash4(cur);
+        const size_t cand = table[h];
+        table[h] = uint32_t(i + 1);
+        if (cand != 0 && i - (cand - 1) <= kMaxOffset &&
+            read32(raw, cand - 1) == cur)
+        {
+            const size_t matchPos = cand - 1;
+            size_t len = kMinMatch;
+            while (i + len < n && raw[matchPos + len] == raw[i + len])
+                ++len;
+            emitSequence(out, raw, anchor, i - anchor, len, i - matchPos);
+            i += len;
+            anchor = i;
+        }
+        else
+        {
+            ++i;
+        }
+    }
+    emitSequence(out, raw, anchor, n - anchor, 0, 0);
+}
+
+namespace
+{
+
+/** Read one extended length; false on truncated input or overflow. */
+bool readExtendedLength(std::span<const uint8_t> in, size_t &pos,
+                        size_t &value)
+{
+    uint8_t b;
+    do
+    {
+        if (pos >= in.size())
+            return false;
+        b = in[pos++];
+        value += b;
+        if (value > kMaxDecodedBurstBytes)
+            return false;
+    } while (b == 255);
+    return true;
+}
+
+} // namespace
+
+bool lz4Decompress(std::span<const uint8_t> in, std::vector<uint8_t> &out,
+                   size_t max_out)
+{
+    out.clear();
+    size_t pos = 0;
+    while (pos < in.size())
+    {
+        const uint8_t token = in[pos++];
+        size_t litLen = token >> 4;
+        if (litLen == 15 && !readExtendedLength(in, pos, litLen))
+            return false;
+        if (litLen > in.size() - pos || out.size() + litLen > max_out)
+            return false;
+        out.insert(out.end(), in.begin() + long(pos),
+                   in.begin() + long(pos + litLen));
+        pos += litLen;
+        if (pos == in.size())
+            return true; // final literals-only sequence
+        if (in.size() - pos < 2)
+            return false;
+        const size_t offset = size_t(in[pos]) | (size_t(in[pos + 1]) << 8);
+        pos += 2;
+        if (offset == 0 || offset > out.size())
+            return false;
+        size_t matchLen = (token & 0x0f);
+        if (matchLen == 15 && !readExtendedLength(in, pos, matchLen))
+            return false;
+        matchLen += kMinMatch;
+        if (out.size() + matchLen > max_out)
+            return false;
+        size_t src = out.size() - offset;
+        for (size_t k = 0; k < matchLen; ++k)
+            out.push_back(out[src + k]); // byte-wise: overlap copy is RLE
+    }
+    // A well-formed stream ends inside the loop (final literal run); an
+    // empty stream decodes to an empty burst.
+    return in.empty();
+}
+
+void Lz4Transform::encode(std::span<const uint8_t> raw,
+                          std::vector<uint8_t> &payload,
+                          std::vector<uint8_t> &meta) const
+{
+    meta.clear();
+    std::vector<uint8_t> compressed;
+    lz4Compress(raw, compressed);
+    payload.clear();
+    if (compressed.size() < raw.size())
+    {
+        payload.reserve(compressed.size() + 1);
+        payload.push_back(1);
+        payload.insert(payload.end(), compressed.begin(), compressed.end());
+    }
+    else
+    {
+        payload.reserve(raw.size() + 1);
+        payload.push_back(0); // stored mode: incompressible burst
+        payload.insert(payload.end(), raw.begin(), raw.end());
+    }
+}
+
+bool Lz4Transform::decode(std::span<const uint8_t> payload,
+                          std::span<const uint8_t> meta,
+                          std::vector<uint8_t> &out) const
+{
+    if (!meta.empty() || payload.empty())
+        return false;
+    const std::span<const uint8_t> body = payload.subspan(1);
+    if (payload[0] == 0)
+    {
+        out.assign(body.begin(), body.end());
+        return true;
+    }
+    if (payload[0] != 1)
+        return false;
+    return lz4Decompress(body, out);
+}
+
+} // namespace bitmod

@@ -1,0 +1,72 @@
+#ifndef BITMOD_MEM_COMPRESS_HH
+#define BITMOD_MEM_COMPRESS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mem/burst_transform.hh"
+
+namespace bitmod
+{
+
+/** Hard cap on decompressed burst size, so a malformed stream cannot
+ *  balloon the decoder output (fuzz safety). */
+constexpr size_t kMaxDecodedBurstBytes = size_t(1) << 20;
+
+/**
+ * Compress @p raw with an LZ4-style match/literal block format:
+ * sequences of [token][literals][2-byte LE offset][match], where the
+ * token packs literal length (high nibble) and match length - 4 (low
+ * nibble), each nibble extended by 255-run bytes when saturated.  The
+ * final sequence is literals-only (no offset/match follows).  Always
+ * produces a valid stream; the output may be larger than the input on
+ * incompressible data (callers use a stored-mode fallback).
+ */
+void lz4Compress(std::span<const uint8_t> raw, std::vector<uint8_t> &out);
+
+/**
+ * Invert lz4Compress().  Every read and copy is bounds-checked;
+ * returns false on malformed input or when the output would exceed
+ * @p max_out.  Match copies run byte-by-byte so offset < length
+ * overlap (RLE) works.
+ */
+bool lz4Decompress(std::span<const uint8_t> in, std::vector<uint8_t> &out,
+                   size_t max_out = kMaxDecodedBurstBytes);
+
+/**
+ * LZ4 block compression as a controller pipeline stage.  The payload
+ * carries a one-byte mode header (0 = stored raw, 1 = LZ4) so
+ * incompressible bursts fall back to stored mode and never expand by
+ * more than the header.
+ */
+class Lz4Transform final : public BurstTransform
+{
+  public:
+    Lz4Transform(TransformLatency encode_latency,
+                 TransformLatency decode_latency)
+        : encodeLatency_(encode_latency), decodeLatency_(decode_latency)
+    {
+    }
+
+    const char *name() const override { return "lz4"; }
+
+    void encode(std::span<const uint8_t> raw, std::vector<uint8_t> &payload,
+                std::vector<uint8_t> &meta) const override;
+
+    bool decode(std::span<const uint8_t> payload,
+                std::span<const uint8_t> meta,
+                std::vector<uint8_t> &out) const override;
+
+    TransformLatency encodeLatency() const override { return encodeLatency_; }
+    TransformLatency decodeLatency() const override { return decodeLatency_; }
+
+  private:
+    TransformLatency encodeLatency_;
+    TransformLatency decodeLatency_;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_MEM_COMPRESS_HH

@@ -1,0 +1,85 @@
+#include "mem/mem_controller.hh"
+
+#include <cstring>
+#include <memory>
+
+#include "common/logging.hh"
+#include "mem/compress.hh"
+#include "mem/protect.hh"
+
+namespace bitmod
+{
+
+const char *
+compressorKindName(CompressorKind k)
+{
+    switch (k) {
+      case CompressorKind::None:
+        return "none";
+      case CompressorKind::Lz4:
+        return "lz4";
+    }
+    return "unknown";
+}
+
+MemController::MemController(const MemControllerConfig &cfg) : cfg_(cfg)
+{
+    BITMOD_ASSERT(cfg_.burstBytes > 0, "memory controller burstBytes == 0");
+    if (cfg_.compressor == CompressorKind::Lz4)
+        pipeline_.add(std::make_unique<Lz4Transform>(
+            cfg_.compressLatency, cfg_.decompressLatency));
+    if (cfg_.protection.scheme != ProtectionScheme::None)
+        pipeline_.add(std::make_unique<ProtectTransform>(
+            cfg_.protection, cfg_.protectLatency, cfg_.scrubLatency));
+}
+
+StreamStats
+MemController::processStream(std::span<const uint8_t> raw) const
+{
+    StreamStats stats;
+    EncodedBurst enc;
+    std::vector<uint8_t> decoded;
+    for (size_t b0 = 0; b0 < raw.size(); b0 += cfg_.burstBytes)
+    {
+        const std::span<const uint8_t> burst =
+            raw.subspan(b0, std::min(cfg_.burstBytes, raw.size() - b0));
+        pipeline_.encode(burst, enc);
+        stats.rawBytes += burst.size();
+        stats.payloadBytes += enc.payload.size();
+        stats.metaBytes += enc.metaBytes();
+        stats.bursts += 1;
+        stats.encodeCycles += enc.encodeCycles;
+        const bool ok = pipeline_.decode(enc, decoded, &stats.decodeCycles);
+        stats.roundTripOk =
+            stats.roundTripOk && ok && decoded.size() == burst.size() &&
+            (burst.empty() ||
+             std::memcmp(decoded.data(), burst.data(), burst.size()) == 0);
+    }
+    return stats;
+}
+
+CompressionModel
+compressionModelFrom(const MemControllerConfig &cfg,
+                     const StreamStats &weights,
+                     const StreamStats &activations, const StreamStats &kv)
+{
+    CompressionModel m;
+    m.enabled = true;
+    m.burstBytes = cfg.burstBytes;
+    m.weightRatio = weights.effectiveByteRatio();
+    m.activationRatio = activations.effectiveByteRatio();
+    m.kvRatio = kv.effectiveByteRatio();
+    if (cfg.compressor != CompressorKind::None)
+    {
+        m.decompressFixedCycles += cfg.decompressLatency.fixedCycles;
+        m.decompressCyclesPerByte += cfg.decompressLatency.cyclesPerByte;
+    }
+    if (cfg.protection.scheme != ProtectionScheme::None)
+    {
+        m.decompressFixedCycles += cfg.scrubLatency.fixedCycles;
+        m.decompressCyclesPerByte += cfg.scrubLatency.cyclesPerByte;
+    }
+    return m;
+}
+
+} // namespace bitmod

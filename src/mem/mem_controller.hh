@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Compression-capable memory controller over the packed DRAM streams.
+ * A MemController runs a per-burst TransformPipeline (LZ4-style block
+ * compression, CRC/SECDED protection, or both composed
+ * compress-then-protect) over real bytes — packed weight images, KV
+ * pages, activation bursts — and *measures* the achieved ratio and
+ * (de)compression latency instead of assuming one.  The measured
+ * StreamStats fold into a CompressionModel that
+ * computePhaseTraffic / AccelSim::stepCost charge end to end, so
+ * serving and sharding sweeps see the effective bandwidth.
+ */
+
+#ifndef BITMOD_MEM_MEM_CONTROLLER_HH
+#define BITMOD_MEM_MEM_CONTROLLER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "mem/burst_transform.hh"
+#include "rel/integrity.hh"
+
+namespace bitmod
+{
+
+/** Which block compressor the controller runs (first pipeline stage). */
+enum class CompressorKind : uint8_t
+{
+    None = 0,
+    Lz4,
+};
+
+/** Name of a CompressorKind (for reports and bench JSON). */
+const char *compressorKindName(CompressorKind k);
+
+/** Static configuration of one memory-controller pipeline. */
+struct MemControllerConfig
+{
+    CompressorKind compressor = CompressorKind::Lz4;
+    /** Scheme None = no protection stage. */
+    ProtectionConfig protection;
+    /** DRAM burst granularity the pipeline transforms at. */
+    size_t burstBytes = 256;
+    /** Charged latencies per stage (accelerator cycles). */
+    TransformLatency compressLatency{32.0, 0.5};
+    TransformLatency decompressLatency{16.0, 0.125};
+    TransformLatency protectLatency{4.0, 0.0625};
+    TransformLatency scrubLatency{4.0, 0.0625};
+};
+
+/** Measured outcome of one stream run through the controller. */
+struct StreamStats
+{
+    size_t rawBytes = 0;
+    size_t payloadBytes = 0;
+    size_t metaBytes = 0;
+    size_t bursts = 0;
+    double encodeCycles = 0.0;
+    double decodeCycles = 0.0;
+    /** Every burst decoded back byte-identical to its raw input. */
+    bool roundTripOk = true;
+
+    size_t storedBytes() const { return payloadBytes + metaBytes; }
+
+    /** Compression ratio raw / (payload + meta); >= 1 is a win. */
+    double ratio() const
+    {
+        return storedBytes() == 0
+                   ? 1.0
+                   : double(rawBytes) / double(storedBytes());
+    }
+
+    /** Stored bytes per raw byte — the factor traffic charges. */
+    double effectiveByteRatio() const
+    {
+        return rawBytes == 0 ? 1.0
+                             : double(storedBytes()) / double(rawBytes);
+    }
+
+    /** Sideband bytes per payload byte (protection cost). */
+    double metaOverhead() const
+    {
+        return payloadBytes == 0
+                   ? 0.0
+                   : double(metaBytes) / double(payloadBytes);
+    }
+};
+
+/**
+ * One configured controller pipeline.  processStream() chops a stream
+ * into bursts, encodes and decodes every one of them, verifies the
+ * round trip byte-exact, and returns the measured stats.
+ */
+class MemController
+{
+  public:
+    explicit MemController(const MemControllerConfig &cfg);
+
+    const MemControllerConfig &config() const { return cfg_; }
+    const TransformPipeline &pipeline() const { return pipeline_; }
+
+    StreamStats processStream(std::span<const uint8_t> raw) const;
+
+  private:
+    MemControllerConfig cfg_;
+    TransformPipeline pipeline_;
+};
+
+/**
+ * The measured compression view one deployment charges: per-stream
+ * effective byte ratios (stored bytes per raw byte, so 1.0 = off and
+ * < 1.0 = bandwidth win) and the decompression latency added to
+ * memory-bound cycles per raw burst/byte.  Defaults are the exact
+ * pre-compression model — every factor multiplies by 1.0 and no
+ * cycles are added — so compression off stays bit-identical.
+ */
+struct CompressionModel
+{
+    bool enabled = false;
+    size_t burstBytes = 256;
+    double weightRatio = 1.0;
+    double activationRatio = 1.0;
+    double kvRatio = 1.0;
+    double decompressFixedCycles = 0.0;
+    double decompressCyclesPerByte = 0.0;
+};
+
+/**
+ * Fold measured per-stream stats into the model a deployment charges.
+ * Latency is the sum of the pipeline's decode-stage costs from @p cfg,
+ * charged per raw burst / raw byte.
+ */
+CompressionModel compressionModelFrom(const MemControllerConfig &cfg,
+                                      const StreamStats &weights,
+                                      const StreamStats &activations,
+                                      const StreamStats &kv);
+
+} // namespace bitmod
+
+#endif // BITMOD_MEM_MEM_CONTROLLER_HH

@@ -1,0 +1,25 @@
+#include "mem/protect.hh"
+
+namespace bitmod
+{
+
+void ProtectTransform::encode(std::span<const uint8_t> raw,
+                              std::vector<uint8_t> &payload,
+                              std::vector<uint8_t> &meta) const
+{
+    payload.assign(raw.begin(), raw.end());
+    meta = protectBurst(raw, cfg_);
+}
+
+bool ProtectTransform::decode(std::span<const uint8_t> payload,
+                              std::span<const uint8_t> meta,
+                              std::vector<uint8_t> &out) const
+{
+    if (meta.size() != analyticProtectionBytes(payload.size(), cfg_))
+        return false;
+    out.assign(payload.begin(), payload.end());
+    const RowScrub scrub = scrubBurst(out, meta, cfg_);
+    return scrub.badBlocks == 0 && scrub.uncorrectableWords == 0;
+}
+
+} // namespace bitmod

@@ -1,0 +1,53 @@
+#ifndef BITMOD_MEM_PROTECT_HH
+#define BITMOD_MEM_PROTECT_HH
+
+#include "mem/burst_transform.hh"
+#include "rel/integrity.hh"
+
+namespace bitmod
+{
+
+/**
+ * The CRC/SECDED integrity sidecar (src/rel) as a controller pipeline
+ * stage: the payload passes through untouched, the sideband carries
+ * the protectBurst() metadata.  decode() scrubs a copy (SECDED
+ * single-bit repair under CrcSecded) and rejects the burst when any
+ * CRC block still mismatches — the re-fetch case.
+ */
+class ProtectTransform final : public BurstTransform
+{
+  public:
+    ProtectTransform(const ProtectionConfig &cfg,
+                     TransformLatency encode_latency,
+                     TransformLatency decode_latency)
+        : cfg_(cfg), encodeLatency_(encode_latency),
+          decodeLatency_(decode_latency)
+    {
+    }
+
+    const char *name() const override
+    {
+        return protectionSchemeName(cfg_.scheme);
+    }
+
+    const ProtectionConfig &config() const { return cfg_; }
+
+    void encode(std::span<const uint8_t> raw, std::vector<uint8_t> &payload,
+                std::vector<uint8_t> &meta) const override;
+
+    bool decode(std::span<const uint8_t> payload,
+                std::span<const uint8_t> meta,
+                std::vector<uint8_t> &out) const override;
+
+    TransformLatency encodeLatency() const override { return encodeLatency_; }
+    TransformLatency decodeLatency() const override { return decodeLatency_; }
+
+  private:
+    ProtectionConfig cfg_;
+    TransformLatency encodeLatency_;
+    TransformLatency decodeLatency_;
+};
+
+} // namespace bitmod
+
+#endif // BITMOD_MEM_PROTECT_HH

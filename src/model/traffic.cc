@@ -11,11 +11,16 @@ computePhaseTraffic(const LlmSpec &model, const TaskSpec &task,
     PhaseTraffic t;
     // Protection sidecar bytes travel with every weight fetch — the
     // ratio is zero unless an integrity scheme is enabled upstream.
+    // The stream ratios are the memory controller's measured
+    // stored-per-raw factors (compress-then-protect on weights: the
+    // compressed payload is what the protection overhead rides on).
     const double wBytesPerElem =
-        precision.weightBits / 8.0 *
+        precision.weightBits / 8.0 * precision.weightStreamRatio *
         (1.0 + precision.weightProtectionOverhead);
-    const double aBytesPerElem = precision.activationBits / 8.0;
-    const double kvBytesPerElem = precision.kvBits / 8.0;
+    const double aBytesPerElem =
+        precision.activationBits / 8.0 * precision.activationStreamRatio;
+    const double kvBytesPerElem =
+        precision.kvBits / 8.0 * precision.kvStreamRatio;
 
     const double blockParams =
         static_cast<double>(model.blockLinearParams());

@@ -115,6 +115,18 @@ struct PrecisionSpec
      * reliability layer.  0 = unprotected, bit-identical to before.
      */
     double weightProtectionOverhead = 0.0;
+    /**
+     * Effective DRAM bytes per raw byte per stream after the memory
+     * controller's burst pipeline (mem/mem_controller.hh) — measured
+     * stored/(raw) ratios, < 1.0 when compression wins.  Weights
+     * compose compress-then-protect: the stream ratio multiplies the
+     * payload and weightProtectionOverhead rides on top.  The defaults
+     * are exactly 1.0 and inserted multiplicatively, so compression
+     * off stays bit-identical to the pre-controller model.
+     */
+    double weightStreamRatio = 1.0;
+    double activationStreamRatio = 1.0;
+    double kvStreamRatio = 1.0;
 };
 
 /**

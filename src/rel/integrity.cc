@@ -97,6 +97,21 @@ storeWord(std::span<uint8_t> row, size_t byte0, uint64_t w)
     std::memcpy(row.data() + byte0, &w, n);
 }
 
+size_t
+burstBlockSize(size_t burst_bytes, const ProtectionConfig &cfg)
+{
+    return cfg.crcBlockBytes == 0 ? std::max<size_t>(1, burst_bytes)
+                                  : cfg.crcBlockBytes;
+}
+
+uint32_t
+loadCrc(std::span<const uint8_t> meta, size_t idx)
+{
+    uint32_t c;
+    std::memcpy(&c, meta.data() + idx * 4, 4);
+    return c;
+}
+
 } // namespace
 
 const char *
@@ -157,40 +172,117 @@ secdedDecode(uint64_t &word, uint8_t parity)
     return SecdedResult::Corrected;
 }
 
+size_t
+protectionBlocks(size_t burst_bytes, const ProtectionConfig &cfg)
+{
+    if (cfg.scheme == ProtectionScheme::None || burst_bytes == 0)
+        return 0;
+    const size_t bs = burstBlockSize(burst_bytes, cfg);
+    return (burst_bytes + bs - 1) / bs;
+}
+
+std::vector<uint8_t>
+protectBurst(std::span<const uint8_t> data, const ProtectionConfig &cfg)
+{
+    std::vector<uint8_t> meta;
+    if (cfg.scheme == ProtectionScheme::None || data.empty())
+        return meta;
+    meta.reserve(analyticProtectionBytes(data.size(), cfg));
+    const size_t bs = burstBlockSize(data.size(), cfg);
+    for (size_t b0 = 0; b0 < data.size(); b0 += bs) {
+        const uint32_t c = crc32c(data.subspan(
+            b0, std::min(bs, data.size() - b0)));
+        meta.resize(meta.size() + 4);
+        std::memcpy(meta.data() + meta.size() - 4, &c, 4);
+    }
+    if (cfg.scheme == ProtectionScheme::CrcSecded)
+        for (size_t w0 = 0; w0 < data.size(); w0 += 8)
+            meta.push_back(secdedEncode(loadWord(data, w0)));
+    BITMOD_ASSERT(meta.size() == analyticProtectionBytes(data.size(), cfg),
+                  "protectBurst sidecar size drifted from analytic");
+    return meta;
+}
+
+int
+verifyBurst(std::span<const uint8_t> data, std::span<const uint8_t> meta,
+            const ProtectionConfig &cfg)
+{
+    if (cfg.scheme == ProtectionScheme::None || data.empty())
+        return 0;
+    BITMOD_ASSERT(meta.size() == analyticProtectionBytes(data.size(), cfg),
+                  "verifyBurst: sidecar of ", meta.size(),
+                  " bytes does not match a ", data.size(), "-byte burst");
+    const size_t bs = burstBlockSize(data.size(), cfg);
+    int bad = 0;
+    size_t c = 0;
+    for (size_t b0 = 0; b0 < data.size(); b0 += bs, ++c)
+        bad += crc32c(data.subspan(b0, std::min(bs, data.size() - b0)))
+               != loadCrc(meta, c);
+    return bad;
+}
+
+RowScrub
+scrubBurst(std::span<uint8_t> data, std::span<const uint8_t> meta,
+           const ProtectionConfig &cfg)
+{
+    RowScrub out;
+    if (cfg.scheme == ProtectionScheme::None || data.empty())
+        return out;
+    BITMOD_ASSERT(meta.size() == analyticProtectionBytes(data.size(), cfg),
+                  "scrubBurst: sidecar of ", meta.size(),
+                  " bytes does not match a ", data.size(), "-byte burst");
+    if (cfg.scheme == ProtectionScheme::CrcSecded) {
+        const size_t parity0 = protectionBlocks(data.size(), cfg) * 4;
+        size_t p = parity0;
+        for (size_t w0 = 0; w0 < data.size(); w0 += 8, ++p) {
+            uint64_t w = loadWord(data, w0);
+            switch (secdedDecode(w, meta[p])) {
+              case SecdedResult::Clean:
+                break;
+              case SecdedResult::Corrected:
+                storeWord(data, w0, w);
+                ++out.correctedWords;
+                break;
+              case SecdedResult::Uncorrectable:
+                ++out.uncorrectableWords;
+                break;
+            }
+        }
+    }
+    out.badBlocks = verifyBurst(data, meta, cfg);
+    return out;
+}
+
 ImageProtection::ImageProtection(const PackedMatrix &pm,
                                  const ProtectionConfig &cfg)
     : cfg_(cfg), rows_(pm.rows())
 {
     BITMOD_ASSERT(cfg.scheme != ProtectionScheme::None,
                   "building a protection sidecar with scheme none");
-    rowCrcOff_.assign(rows_ + 1, 0);
-    rowParityOff_.assign(rows_ + 1, 0);
+    rowMetaOff_.assign(rows_ + 1, 0);
+    rowBlockOff_.assign(rows_ + 1, 0);
     for (size_t r = 0; r < rows_; ++r) {
         const std::span<const uint8_t> row = pm.rowBytes(r);
         imageBytes_ += row.size();
-        const size_t bs = blockSize(row.size());
-        for (size_t b0 = 0; b0 < row.size(); b0 += bs)
-            crcs_.push_back(crc32c(row.subspan(
-                b0, std::min(bs, row.size() - b0))));
-        if (cfg_.scheme == ProtectionScheme::CrcSecded)
-            for (size_t w0 = 0; w0 < row.size(); w0 += 8)
-                parity_.push_back(secdedEncode(loadWord(row, w0)));
-        rowCrcOff_[r + 1] = crcs_.size();
-        rowParityOff_[r + 1] = parity_.size();
+        const std::vector<uint8_t> meta = protectBurst(row, cfg_);
+        meta_.insert(meta_.end(), meta.begin(), meta.end());
+        rowMetaOff_[r + 1] = meta_.size();
+        rowBlockOff_[r + 1] =
+            rowBlockOff_[r] + protectionBlocks(row.size(), cfg_);
     }
 }
 
-size_t
-ImageProtection::blockSize(size_t row_bytes) const
+std::span<const uint8_t>
+ImageProtection::rowMeta(size_t r) const
 {
-    return cfg_.crcBlockBytes == 0 ? std::max<size_t>(1, row_bytes)
-                                   : cfg_.crcBlockBytes;
+    return std::span<const uint8_t>(meta_).subspan(
+        rowMetaOff_[r], rowMetaOff_[r + 1] - rowMetaOff_[r]);
 }
 
 size_t
 ImageProtection::bytes() const
 {
-    return crcs_.size() * 4 + parity_.size();
+    return meta_.size();
 }
 
 double
@@ -205,48 +297,19 @@ ImageProtection::overheadRatio() const
 size_t
 ImageProtection::rowBlocks(size_t r) const
 {
-    return rowCrcOff_[r + 1] - rowCrcOff_[r];
+    return rowBlockOff_[r + 1] - rowBlockOff_[r];
 }
 
 int
 ImageProtection::verifyRow(const PackedMatrix &pm, size_t r) const
 {
-    const std::span<const uint8_t> row = pm.rowBytes(r);
-    const size_t bs = blockSize(row.size());
-    int bad = 0;
-    size_t c = rowCrcOff_[r];
-    for (size_t b0 = 0; b0 < row.size(); b0 += bs, ++c)
-        bad += crc32c(row.subspan(b0, std::min(bs, row.size() - b0)))
-               != crcs_[c];
-    BITMOD_ASSERT(c == rowCrcOff_[r + 1],
-                  "row ", r, " block layout drifted");
-    return bad;
+    return verifyBurst(pm.rowBytes(r), rowMeta(r), cfg_);
 }
 
 RowScrub
 ImageProtection::scrubRow(PackedMatrix &pm, size_t r) const
 {
-    RowScrub out;
-    const std::span<uint8_t> row = pm.mutableRowBytes(r);
-    if (cfg_.scheme == ProtectionScheme::CrcSecded) {
-        size_t p = rowParityOff_[r];
-        for (size_t w0 = 0; w0 < row.size(); w0 += 8, ++p) {
-            uint64_t w = loadWord(row, w0);
-            switch (secdedDecode(w, parity_[p])) {
-              case SecdedResult::Clean:
-                break;
-              case SecdedResult::Corrected:
-                storeWord(row, w0, w);
-                ++out.correctedWords;
-                break;
-              case SecdedResult::Uncorrectable:
-                ++out.uncorrectableWords;
-                break;
-            }
-        }
-    }
-    out.badBlocks = verifyRow(pm, r);
-    return out;
+    return scrubBurst(pm.mutableRowBytes(r), rowMeta(r), cfg_);
 }
 
 ScrubReport

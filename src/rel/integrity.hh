@@ -83,7 +83,7 @@ enum class SecdedResult : uint8_t
  */
 SecdedResult secdedDecode(uint64_t &word, uint8_t parity);
 
-/** Scrub outcome for one protected row. */
+/** Scrub outcome for one protected row or burst. */
 struct RowScrub
 {
     int correctedWords = 0;      //!< SECDED single-bit fixes
@@ -105,6 +105,37 @@ struct ScrubReport
         return badBlocks == 0 && uncorrectableWords == 0;
     }
 };
+
+/** CRC blocks covering a burst of @p burst_bytes under @p cfg. */
+size_t protectionBlocks(size_t burst_bytes, const ProtectionConfig &cfg);
+
+/**
+ * Build the sidecar metadata for one burst: block CRCs (4-byte LE
+ * each) followed, under CrcSecded, by one parity byte per started
+ * 64-bit word.  Exactly analyticProtectionBytes(data.size(), cfg)
+ * bytes.  This is the per-burst primitive both ImageProtection (row
+ * bursts) and the memory controller's ProtectTransform are built on.
+ */
+std::vector<uint8_t> protectBurst(std::span<const uint8_t> data,
+                                  const ProtectionConfig &cfg);
+
+/**
+ * Detection-only pass: count CRC-mismatched blocks in @p data against
+ * a protectBurst() sidecar built over the pristine bytes.
+ */
+int verifyBurst(std::span<const uint8_t> data,
+                std::span<const uint8_t> meta,
+                const ProtectionConfig &cfg);
+
+/**
+ * Scrub one burst in place: SECDED-correct single-bit errors
+ * (CrcSecded only), then CRC-check the blocks.  badBlocks > 0 models
+ * a re-fetch; uncorrectableWords counts words SECDED flagged as
+ * multi-bit.
+ */
+RowScrub scrubBurst(std::span<uint8_t> data,
+                    std::span<const uint8_t> meta,
+                    const ProtectionConfig &cfg);
 
 /**
  * Protection sidecar of one PackedMatrix: per-row block CRCs and
@@ -148,17 +179,17 @@ class ImageProtection
     ScrubReport scrub(PackedMatrix &pm) const;
 
   private:
-    size_t blockSize(size_t row_bytes) const;
+    std::span<const uint8_t> rowMeta(size_t r) const;
 
     ProtectionConfig cfg_;
     size_t rows_ = 0;
     size_t imageBytes_ = 0;
-    /** Per-row start index into crcs_ (rows_ + 1 entries). */
-    std::vector<size_t> rowCrcOff_;
-    std::vector<uint32_t> crcs_;
-    /** Per-row start index into parity_ (rows_ + 1 entries). */
-    std::vector<size_t> rowParityOff_;
-    std::vector<uint8_t> parity_;
+    /** Per-row start index into meta_ (rows_ + 1 entries). */
+    std::vector<size_t> rowMetaOff_;
+    /** Per-row cumulative CRC block count (rows_ + 1 entries). */
+    std::vector<size_t> rowBlockOff_;
+    /** Concatenated per-row protectBurst() sidecars. */
+    std::vector<uint8_t> meta_;
 };
 
 /**

@@ -49,6 +49,45 @@ summarizeLatencies(std::vector<double> values)
     return s;
 }
 
+TraceLineStatus
+parseArrivalTraceLine(const std::string &line, double &arrival_ms,
+                      long long &in_tok, long long &out_tok,
+                      std::string &error)
+{
+    std::string body = line;
+    const auto hash = body.find('#');
+    if (hash != std::string::npos)
+        body.resize(hash);
+    if (body.find_first_not_of(" \t\r\n\v\f") == std::string::npos)
+        return TraceLineStatus::Blank;
+    std::istringstream fields(body);
+    // Token counts parse signed: extracting "-5" into a size_t wraps
+    // to ~1.8e19 tokens instead of failing, and a first field that
+    // does not parse must not masquerade as a blank line.
+    if (!(fields >> arrival_ms >> in_tok >> out_tok)) {
+        error = "unparseable fields (want \"<arrival_ms> <in> <out>\")";
+        return TraceLineStatus::Malformed;
+    }
+    if (arrival_ms < 0.0) {
+        error = "negative arrival time";
+        return TraceLineStatus::Malformed;
+    }
+    if (in_tok < 0 || out_tok < 0) {
+        error = "negative token count";
+        return TraceLineStatus::Malformed;
+    }
+    if (out_tok < 1) {
+        error = "out tokens must be >= 1";
+        return TraceLineStatus::Malformed;
+    }
+    std::string trailing;
+    if (fields >> trailing) {
+        error = "trailing garbage \"" + trailing + "\" after <out>";
+        return TraceLineStatus::Malformed;
+    }
+    return TraceLineStatus::Parsed;
+}
+
 std::vector<ServingRequest>
 loadArrivalTrace(const std::string &path, double clock_ghz)
 {
@@ -60,24 +99,21 @@ loadArrivalTrace(const std::string &path, double clock_ghz)
     size_t lineNo = 0;
     while (std::getline(in, line)) {
         ++lineNo;
-        const auto hash = line.find('#');
-        if (hash != std::string::npos)
-            line.resize(hash);
-        std::istringstream fields(line);
         double arrivalMs = 0.0;
-        size_t inTok = 0, outTok = 0;
-        if (!(fields >> arrivalMs))
-            continue;  // blank / comment-only line
-        if (!(fields >> inTok >> outTok) || arrivalMs < 0.0 ||
-            outTok < 1)
+        long long inTok = 0, outTok = 0;
+        std::string error;
+        const TraceLineStatus status =
+            parseArrivalTraceLine(line, arrivalMs, inTok, outTok,
+                                  error);
+        if (status == TraceLineStatus::Blank)
+            continue;
+        if (status == TraceLineStatus::Malformed)
             BITMOD_FATAL("malformed trace line ", lineNo, " in ",
-                         path,
-                         " (want \"<arrival_ms> <in> <out>\", out "
-                         ">= 1)");
+                         path, ": ", error);
         ServingRequest r;
         r.arrivalCycle = arrivalMs * clock_ghz * 1e6;
-        r.inTokens = inTok;
-        r.outTokens = outTok;
+        r.inTokens = static_cast<size_t>(inTok);
+        r.outTokens = static_cast<size_t>(outTok);
         reqs.push_back(r);
     }
     std::stable_sort(reqs.begin(), reqs.end(),

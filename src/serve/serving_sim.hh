@@ -39,11 +39,35 @@ namespace bitmod
 std::vector<ServingRequest> generateArrivals(const ServingParams &params,
                                              double clock_ghz);
 
+/** Outcome of parsing one arrival-trace line. */
+enum class TraceLineStatus : uint8_t
+{
+    Blank = 0,  //!< empty or comment-only: skip silently
+    Parsed,     //!< a valid "<arrival_ms> <in> <out>" triple
+    Malformed,  //!< anything else: reject loudly
+};
+
+/**
+ * Parse one arrival-trace line: "<arrival_ms> <in_tokens>
+ * <out_tokens>", '#' starting a comment.  Token counts are parsed
+ * signed so a negative ("10 -5 3") is rejected instead of wrapping to
+ * a huge unsigned count, and trailing garbage after <out> is rejected
+ * too; on Malformed, @p error says why.  Exposed so the fuzz suite
+ * can drive the parser in-process on arbitrary bytes.
+ */
+TraceLineStatus parseArrivalTraceLine(const std::string &line,
+                                      double &arrival_ms,
+                                      long long &in_tok,
+                                      long long &out_tok,
+                                      std::string &error);
+
 /**
  * Parse an arrival trace: one "<arrival_ms> <in_tokens> <out_tokens>"
  * line per request ('#' starts a comment; blank lines are skipped),
  * sorted by arrival time.  Fatal on unreadable files or malformed
- * lines — a trace is an experiment input, not user chat.
+ * lines (unparseable fields, negative values, trailing garbage) with
+ * the offending line number — a trace is an experiment input, not
+ * user chat.
  */
 std::vector<ServingRequest> loadArrivalTrace(const std::string &path,
                                              double clock_ghz);

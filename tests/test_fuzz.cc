@@ -21,15 +21,19 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/rng.hh"
+#include "mem/compress.hh"
+#include "mem/mem_controller.hh"
 #include "pe/pe_column.hh"
 #include "quant/dtype.hh"
 #include "quant/packing.hh"
 #include "quant/quantizer.hh"
 #include "rel/fault.hh"
+#include "serve/serving_sim.hh"
 
 namespace bitmod
 {
@@ -308,6 +312,106 @@ TEST(Fuzz, CheckedDecodeIsDeterministic)
     ASSERT_EQ(a.values, b.values) << seedNote();
     EXPECT_EQ(a.corruptGroups, b.corruptGroups);
     EXPECT_EQ(a.quarantinedRows, b.quarantinedRows);
+}
+
+/**
+ * The LZ4 decoder on raw garbage and on mutated valid streams: every
+ * outcome is a clean accept/reject — no out-of-bounds read (sanitizer
+ * job), no unbounded allocation, and a success never returns more
+ * than the decode cap.
+ */
+TEST(Fuzz, Lz4DecoderSurvivesGarbageAndMutations)
+{
+    Rng rng(fuzzSeed() ^ 0x7);
+    std::vector<uint8_t> out;
+    for (int trial = 0; trial < 256; ++trial) {
+        std::vector<uint8_t> garbage(rng.below(512));
+        for (auto &b : garbage)
+            b = static_cast<uint8_t>(rng.below(256));
+        if (lz4Decompress(garbage, out, 1 << 16))
+            ASSERT_LE(out.size(), size_t(1) << 16) << seedNote();
+    }
+    // Mutated real streams: flip bits in a valid compressed burst.
+    std::vector<uint8_t> raw(1024);
+    for (size_t i = 0; i < raw.size(); ++i)
+        raw[i] = static_cast<uint8_t>((i * i) % 251);
+    std::vector<uint8_t> compressed;
+    lz4Compress(raw, compressed);
+    for (int trial = 0; trial < 256; ++trial) {
+        std::vector<uint8_t> mutant = compressed;
+        const size_t flips = 1 + rng.below(8);
+        for (size_t f = 0; f < flips; ++f) {
+            const size_t bit = rng.below(mutant.size() * 8);
+            mutant[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        }
+        if (lz4Decompress(mutant, out, 1 << 16))
+            ASSERT_LE(out.size(), size_t(1) << 16) << seedNote();
+    }
+}
+
+/**
+ * The composed controller pipeline under payload/meta corruption: a
+ * flipped compressed payload must be caught by the protection stage
+ * (decode returns false) or decode back clean — never crash, and
+ * under CRC-only protection never silently mis-decode.
+ */
+TEST(Fuzz, ControllerPipelineRejectsCorruptBursts)
+{
+    Rng rng(fuzzSeed() ^ 0x8);
+    MemControllerConfig cfg;
+    cfg.compressor = CompressorKind::Lz4;
+    cfg.protection.scheme = ProtectionScheme::Crc;
+    cfg.protection.crcBlockBytes = 64;
+    cfg.burstBytes = 256;
+    const MemController mc(cfg);
+    PackedCase c = packCase(dtypes::bitmodFp4(), 4, 256, rng);
+    const auto raw = c.pm.bytes();
+    EncodedBurst enc;
+    std::vector<uint8_t> decoded;
+    for (int trial = 0; trial < 128; ++trial) {
+        const size_t b0 =
+            rng.below(raw.size() / cfg.burstBytes) * cfg.burstBytes;
+        const auto burst = raw.subspan(
+            b0, std::min(cfg.burstBytes, raw.size() - b0));
+        mc.pipeline().encode(burst, enc);
+        const size_t bit = rng.below(enc.payload.size() * 8);
+        enc.payload[bit / 8] ^=
+            static_cast<uint8_t>(1u << (bit % 8));
+        if (mc.pipeline().decode(enc, decoded)) {
+            // CRC accepted: the flip must not have survived into the
+            // decoded bytes.
+            ASSERT_EQ(decoded.size(), burst.size()) << seedNote();
+            ASSERT_EQ(std::memcmp(decoded.data(), burst.data(),
+                                  burst.size()),
+                      0)
+                << seedNote();
+        }
+    }
+}
+
+/** The arrival-trace line parser on random bytes: classify, never die. */
+TEST(Fuzz, TraceLineParserSurvivesRandomBytes)
+{
+    Rng rng(fuzzSeed() ^ 0x9);
+    const char alphabet[] = "0123456789.-+eE \t#abcXYZ\x01\x7f";
+    for (int trial = 0; trial < 512; ++trial) {
+        std::string line;
+        const size_t len = rng.below(40);
+        for (size_t i = 0; i < len; ++i)
+            line += alphabet[rng.below(sizeof alphabet - 1)];
+        double ms = 0.0;
+        long long in = 0, out = 0;
+        std::string err;
+        const TraceLineStatus st =
+            parseArrivalTraceLine(line, ms, in, out, err);
+        if (st == TraceLineStatus::Parsed) {
+            ASSERT_GE(ms, 0.0) << seedNote() << " line: " << line;
+            ASSERT_GE(in, 0) << seedNote() << " line: " << line;
+            ASSERT_GE(out, 1) << seedNote() << " line: " << line;
+        } else if (st == TraceLineStatus::Malformed) {
+            ASSERT_FALSE(err.empty()) << seedNote();
+        }
+    }
 }
 
 } // namespace

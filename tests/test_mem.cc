@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Memory-controller tests: LZ4 codec round trips and malformed-input
+ * rejection, transform/composition byte-identity over every PE-able
+ * dtype's packed image, analytic-vs-charged ratio cross-checks,
+ * compression-off bit-identity pins, and the randomized
+ * incompressible-vs-structured property.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+#include "core/bitmod_api.hh"
+#include "mem/compress.hh"
+#include "mem/mem_controller.hh"
+#include "mem/protect.hh"
+#include "quant/dtype.hh"
+#include "quant/packing.hh"
+#include "quant/quantizer.hh"
+#include "tensor/matrix.hh"
+
+namespace bitmod
+{
+namespace
+{
+
+std::vector<uint8_t>
+lz4RoundTrip(const std::vector<uint8_t> &raw)
+{
+    std::vector<uint8_t> compressed, decoded;
+    lz4Compress(raw, compressed);
+    EXPECT_TRUE(lz4Decompress(compressed, decoded));
+    return decoded;
+}
+
+PackedMatrix
+packImage(const Dtype &dt, size_t rows, size_t cols, uint64_t seed)
+{
+    QuantConfig cfg;
+    cfg.dtype = dt;
+    cfg.groupSize = 64;
+    cfg.scaleBits = 8;
+    cfg.captureEncoding = true;
+    Rng rng(seed);
+    Matrix w(rows, cols);
+    for (float &x : w.flat())
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    // A sprinkle of outliers so OliVe escapes genuinely trigger.
+    for (float &x : w.flat())
+        if (rng.uniform() < 0.04)
+            x *= static_cast<float>(20.0 + 40.0 * rng.uniform());
+    const auto q = quantizeMatrix(w, cfg);
+    return GroupPacker(cfg).packMatrix(q.encoded);
+}
+
+TEST(Lz4Codec, RoundTripsDegenerateAndStructuredBuffers)
+{
+    EXPECT_TRUE(lz4RoundTrip({}).empty());
+    for (const size_t n : {size_t(1), size_t(3), size_t(4), size_t(64),
+                           size_t(255), size_t(4096)})
+    {
+        std::vector<uint8_t> zeros(n, 0);
+        EXPECT_EQ(lz4RoundTrip(zeros), zeros) << "zeros n=" << n;
+        std::vector<uint8_t> pattern(n);
+        for (size_t i = 0; i < n; ++i)
+            pattern[i] = uint8_t(i % 7);
+        EXPECT_EQ(lz4RoundTrip(pattern), pattern) << "pattern n=" << n;
+    }
+    // Long zero runs exercise the overlap (RLE) copy and the extended
+    // match-length encoding, and must actually compress.
+    std::vector<uint8_t> zeros(4096, 0);
+    std::vector<uint8_t> compressed;
+    lz4Compress(zeros, compressed);
+    EXPECT_LT(compressed.size(), zeros.size() / 20);
+}
+
+TEST(Lz4Codec, RoundTripsRandomBytes)
+{
+    Rng rng(7);
+    for (int t = 0; t < 16; ++t)
+    {
+        std::vector<uint8_t> raw(64 + rng.below(4096));
+        for (uint8_t &b : raw)
+            b = uint8_t(rng.below(256));
+        EXPECT_EQ(lz4RoundTrip(raw), raw);
+    }
+}
+
+TEST(Lz4Codec, RejectsMalformedStreams)
+{
+    std::vector<uint8_t> out;
+    // Literal run longer than the remaining input.
+    EXPECT_FALSE(lz4Decompress(std::vector<uint8_t>{0xF0}, out));
+    // Match with no history to copy from.
+    EXPECT_FALSE(
+        lz4Decompress(std::vector<uint8_t>{0x00, 0x01, 0x00}, out));
+    // Zero offset is never valid.
+    EXPECT_FALSE(lz4Decompress(
+        std::vector<uint8_t>{0x10, 0x41, 0x00, 0x00}, out));
+    // Truncated offset.
+    EXPECT_FALSE(
+        lz4Decompress(std::vector<uint8_t>{0x10, 0x41, 0x01}, out));
+    // Unbounded extended length must not overflow or allocate wildly.
+    std::vector<uint8_t> runaway{0x0F};
+    runaway.resize(4096, 0xFF);
+    EXPECT_FALSE(lz4Decompress(runaway, out));
+}
+
+TEST(Lz4Codec, DecodeCapsOutputSize)
+{
+    // A legitimate stream that would expand past max_out is rejected.
+    std::vector<uint8_t> zeros(1024, 0);
+    std::vector<uint8_t> compressed, out;
+    lz4Compress(zeros, compressed);
+    EXPECT_TRUE(lz4Decompress(compressed, out, 1024));
+    EXPECT_FALSE(lz4Decompress(compressed, out, 1023));
+}
+
+MemControllerConfig
+controllerConfig(CompressorKind comp, ProtectionScheme scheme,
+                 size_t burst)
+{
+    MemControllerConfig cfg;
+    cfg.compressor = comp;
+    cfg.protection.scheme = scheme;
+    cfg.protection.crcBlockBytes = 64;
+    cfg.burstBytes = burst;
+    return cfg;
+}
+
+TEST(MemController, RoundTripsEveryDtypePackedImage)
+{
+    const char *names[] = {"INT4-Sym",   "INT6-Sym",  "INT4-Asym",
+                           "FP4",        "BitMoD-FP3", "BitMoD-FP4",
+                           "MX-FP4",     "OliVe4",    "OliVe3"};
+    const MemControllerConfig configs[] = {
+        controllerConfig(CompressorKind::Lz4, ProtectionScheme::None, 256),
+        controllerConfig(CompressorKind::None, ProtectionScheme::Crc, 256),
+        controllerConfig(CompressorKind::Lz4, ProtectionScheme::CrcSecded,
+                         64),
+        controllerConfig(CompressorKind::Lz4, ProtectionScheme::Crc, 4096),
+    };
+    uint64_t seed = 11;
+    for (const char *name : names)
+    {
+        const PackedMatrix pm = packImage(dtypes::byName(name), 16, 256,
+                                          seed++);
+        ASSERT_GT(pm.imageBytes(), 0u) << name;
+        for (const MemControllerConfig &cfg : configs)
+        {
+            const MemController mc(cfg);
+            const StreamStats stats = mc.processStream(pm.bytes());
+            EXPECT_TRUE(stats.roundTripOk)
+                << name << " via " << compressorKindName(cfg.compressor)
+                << "+" << protectionSchemeName(cfg.protection.scheme);
+            EXPECT_EQ(stats.rawBytes, pm.imageBytes());
+            EXPECT_EQ(stats.bursts,
+                      (pm.imageBytes() + cfg.burstBytes - 1) /
+                          cfg.burstBytes);
+        }
+    }
+}
+
+TEST(MemController, ProtectOnlyMetaMatchesAnalytic)
+{
+    const PackedMatrix pm =
+        packImage(dtypes::bitmodFp4(), 16, 256, 3);
+    for (const ProtectionScheme scheme :
+         {ProtectionScheme::Crc, ProtectionScheme::CrcSecded})
+    {
+        const MemControllerConfig cfg =
+            controllerConfig(CompressorKind::None, scheme, 256);
+        const MemController mc(cfg);
+        const StreamStats stats = mc.processStream(pm.bytes());
+        EXPECT_TRUE(stats.roundTripOk);
+        // Protection passes the payload through: stored = raw + meta,
+        // with meta exactly the analytic per-burst sidecar sum.
+        EXPECT_EQ(stats.payloadBytes, stats.rawBytes);
+        size_t analytic = 0;
+        for (size_t b0 = 0; b0 < pm.imageBytes(); b0 += cfg.burstBytes)
+            analytic += analyticProtectionBytes(
+                std::min(cfg.burstBytes, pm.imageBytes() - b0),
+                cfg.protection);
+        EXPECT_EQ(stats.metaBytes, analytic);
+        EXPECT_DOUBLE_EQ(stats.ratio(),
+                         double(stats.rawBytes) /
+                             double(stats.rawBytes + analytic));
+    }
+}
+
+TEST(MemController, ComposedPipelineProtectsCompressedPayload)
+{
+    const MemControllerConfig cfg = controllerConfig(
+        CompressorKind::Lz4, ProtectionScheme::CrcSecded, 256);
+    const MemController mc(cfg);
+    ASSERT_EQ(mc.pipeline().stages(), 2u);
+    std::vector<uint8_t> burst(256, 0);
+    for (size_t i = 0; i < burst.size(); ++i)
+        burst[i] = uint8_t(i % 5);
+    EncodedBurst enc;
+    mc.pipeline().encode(burst, enc);
+    // Compress-then-protect: the sidecar covers the compressed
+    // payload, not the raw burst.
+    EXPECT_LT(enc.payload.size(), burst.size());
+    ASSERT_EQ(enc.meta.size(), 2u);
+    EXPECT_TRUE(enc.meta[0].empty());
+    EXPECT_EQ(enc.meta[1].size(),
+              analyticProtectionBytes(enc.payload.size(),
+                                      cfg.protection));
+    std::vector<uint8_t> decoded;
+    EXPECT_TRUE(mc.pipeline().decode(enc, decoded));
+    EXPECT_EQ(decoded, burst);
+}
+
+TEST(ProtectTransform, DetectsAndCorrectsFlips)
+{
+    std::vector<uint8_t> burst(256);
+    Rng rng(5);
+    for (uint8_t &b : burst)
+        b = uint8_t(rng.below(256));
+
+    ProtectionConfig crc{ProtectionScheme::Crc, 64};
+    ProtectionConfig secded{ProtectionScheme::CrcSecded, 64};
+    const TransformLatency lat{};
+    std::vector<uint8_t> payload, meta, out;
+
+    // CRC only: a single flipped payload bit is detected (re-fetch).
+    const ProtectTransform pc(crc, lat, lat);
+    pc.encode(burst, payload, meta);
+    payload[17] ^= 0x04;
+    EXPECT_FALSE(pc.decode(payload, meta, out));
+
+    // SECDED: the same single-bit flip is corrected in place.
+    const ProtectTransform ps(secded, lat, lat);
+    ps.encode(burst, payload, meta);
+    payload[17] ^= 0x04;
+    EXPECT_TRUE(ps.decode(payload, meta, out));
+    EXPECT_EQ(out, burst);
+
+    // Two flips in one 64-bit word defeat SECDED and the CRC catches
+    // the word — the burst is rejected, never silently wrong.
+    ps.encode(burst, payload, meta);
+    payload[16] ^= 0x01;
+    payload[17] ^= 0x01;
+    EXPECT_FALSE(ps.decode(payload, meta, out));
+
+    // A sidecar that does not match the burst size is malformed.
+    ps.encode(burst, payload, meta);
+    meta.pop_back();
+    EXPECT_FALSE(ps.decode(payload, meta, out));
+}
+
+TEST(MemController, RandomVsStructuredBurstsProperty)
+{
+    const MemControllerConfig cfg = controllerConfig(
+        CompressorKind::Lz4, ProtectionScheme::None, 256);
+    const MemController mc(cfg);
+    Rng rng(23);
+    for (int t = 0; t < 20; ++t)
+    {
+        // Incompressible: uniform random bytes fall back to stored
+        // mode, so the expansion is bounded by the 1-byte header per
+        // burst and the round trip still holds.
+        std::vector<uint8_t> random(1024 + rng.below(4096));
+        for (uint8_t &b : random)
+            b = uint8_t(rng.below(256));
+        const StreamStats rs = mc.processStream(random);
+        EXPECT_TRUE(rs.roundTripOk);
+        EXPECT_LE(rs.storedBytes(), rs.rawBytes + rs.bursts);
+        EXPECT_GE(rs.ratio(),
+                  double(rs.rawBytes) /
+                          double(rs.rawBytes + rs.bursts) -
+                      1e-9);
+
+        // Structured: long runs must compress well.
+        std::vector<uint8_t> structured(random.size(), 0);
+        for (size_t i = 0; i < structured.size(); i += 97)
+            structured[i] = uint8_t(rng.below(256));
+        const StreamStats ss = mc.processStream(structured);
+        EXPECT_TRUE(ss.roundTripOk);
+        EXPECT_GT(ss.ratio(), 4.0);
+        EXPECT_GT(ss.ratio(), rs.ratio());
+    }
+}
+
+TEST(Traffic, StreamRatiosScaleExactlyPerStream)
+{
+    const LlmSpec &model = llmByName("Llama-2-7B");
+    const TaskSpec task = TaskSpec::generative();
+    PrecisionSpec spec;
+    spec.weightBits = 4.25;
+    spec.activationBits = 16.0;
+    spec.kvBits = 8.0;
+    spec.weightProtectionOverhead = 0.01;
+    const PhaseTraffic base = computePhaseTraffic(model, task, spec);
+
+    PrecisionSpec comp = spec;
+    comp.weightStreamRatio = 0.6;
+    comp.activationStreamRatio = 0.9;
+    comp.kvStreamRatio = 0.5;
+    const PhaseTraffic c = computePhaseTraffic(model, task, comp);
+    for (const auto phase :
+         {std::make_pair(&PhaseTraffic::prefill, "prefill"),
+          std::make_pair(&PhaseTraffic::decode, "decode")})
+    {
+        const MemoryTraffic &b = base.*(phase.first);
+        const MemoryTraffic &m = c.*(phase.first);
+        EXPECT_NEAR(m.weightBytes, 0.6 * b.weightBytes,
+                    1e-9 * b.weightBytes + 1e-9)
+            << phase.second;
+        EXPECT_NEAR(m.activationBytes, 0.9 * b.activationBytes,
+                    1e-9 * b.activationBytes + 1e-9)
+            << phase.second;
+        EXPECT_NEAR(m.kvBytes, 0.5 * b.kvBytes,
+                    1e-9 * b.kvBytes + 1e-9)
+            << phase.second;
+    }
+}
+
+TEST(AccelSim, CompressionOffIsBitIdentical)
+{
+    const AccelSim sim{accelByName("BitMoD")};
+    const LlmSpec &model = llmByName("Llama-2-7B");
+    const TaskSpec task = TaskSpec::generative();
+    const PrecisionChoice base =
+        PrecisionChoice::bitmod(dtypes::bitmodFp4());
+
+    PrecisionChoice off = base;
+    off.setCompression(CompressionModel{});  // enabled == false
+    const RunReport a = sim.run(model, task, base);
+    const RunReport b = sim.run(model, task, off);
+    EXPECT_EQ(a.prefillCycles, b.prefillCycles);
+    EXPECT_EQ(a.decodeCycles, b.decodeCycles);
+    EXPECT_EQ(a.traffic.total().weightBytes,
+              b.traffic.total().weightBytes);
+    EXPECT_EQ(a.traffic.total().kvBytes, b.traffic.total().kvBytes);
+    EXPECT_EQ(a.energy.totalNj(), b.energy.totalNj());
+    EXPECT_EQ(b.decompressionCycles, 0.0);
+
+    // Unit ratios with zero latency are also exact: every factor
+    // multiplies by 1.0.
+    PrecisionChoice unit = base;
+    CompressionModel unitModel;
+    unitModel.enabled = true;
+    unit.setCompression(unitModel);
+    const RunReport u = sim.run(model, task, unit);
+    EXPECT_EQ(a.prefillCycles, u.prefillCycles);
+    EXPECT_EQ(a.decodeCycles, u.decodeCycles);
+    EXPECT_EQ(a.energy.totalNj(), u.energy.totalNj());
+
+    StepWork work;
+    work.prefillSeqs = 1;
+    work.prefillTokens = 32;
+    work.prefillAttnTokenPairs = 32.0 * 33.0 / 2.0;
+    work.decodeSeqs = 3;
+    work.decodeContextSum = 3.0 * 40.0;
+    const StepCost sa = sim.stepCost(model, base, work);
+    const StepCost sb = sim.stepCost(model, off, work);
+    const StepCost su = sim.stepCost(model, unit, work);
+    EXPECT_EQ(sa.computeCycles, sb.computeCycles);
+    EXPECT_EQ(sa.memCycles, sb.memCycles);
+    EXPECT_EQ(sa.memCycles, su.memCycles);
+    EXPECT_EQ(sa.traffic.total(), sb.traffic.total());
+}
+
+TEST(AccelSim, CompressionReducesTrafficAndChargesLatency)
+{
+    const AccelSim sim{accelByName("BitMoD")};
+    const LlmSpec &model = llmByName("Llama-2-7B");
+    const TaskSpec task = TaskSpec::generative();
+    PrecisionChoice base = PrecisionChoice::bitmod(dtypes::bitmodFp4());
+
+    CompressionModel cm;
+    cm.enabled = true;
+    cm.weightRatio = 0.7;
+    cm.activationRatio = 0.95;
+    cm.kvRatio = 0.6;
+    cm.burstBytes = 256;
+    cm.decompressFixedCycles = 16.0;
+    cm.decompressCyclesPerByte = 0.125;
+    PrecisionChoice comp = base;
+    comp.setCompression(cm);
+
+    const RunReport a = sim.run(model, task, base);
+    const RunReport c = sim.run(model, task, comp);
+    EXPECT_NEAR(c.traffic.total().weightBytes,
+                0.7 * a.traffic.total().weightBytes,
+                1e-9 * a.traffic.total().weightBytes);
+    EXPECT_NEAR(c.traffic.total().kvBytes,
+                0.6 * a.traffic.total().kvBytes,
+                1e-9 * a.traffic.total().kvBytes);
+    EXPECT_GT(c.decompressionCycles, 0.0);
+    // The charged decompression latency lands on the memory side.
+    EXPECT_GT(c.decodeMemCycles + c.prefillMemCycles,
+              0.0);
+
+    StepWork work;
+    work.decodeSeqs = 4;
+    work.decodeContextSum = 4.0 * 100.0;
+    const StepCost sa = sim.stepCost(model, base, work);
+    const StepCost sc = sim.stepCost(model, comp, work);
+    EXPECT_LT(sc.traffic.weightBytes, sa.traffic.weightBytes);
+    // Latency-free compression with the same ratios strictly lowers
+    // mem cycles; the fixed+per-byte charge then adds back on top.
+    CompressionModel free = cm;
+    free.decompressFixedCycles = 0.0;
+    free.decompressCyclesPerByte = 0.0;
+    PrecisionChoice compFree = base;
+    compFree.setCompression(free);
+    const StepCost sf = sim.stepCost(model, compFree, work);
+    EXPECT_LT(sf.memCycles, sa.memCycles);
+    EXPECT_GT(sc.memCycles, sf.memCycles);
+}
+
+TEST(Deployment, CompressionFlowsThroughServingAndSharding)
+{
+    CompressionModel cm;
+    cm.enabled = true;
+    cm.weightRatio = 0.7;
+    cm.activationRatio = 0.95;
+    cm.kvRatio = 0.6;
+    cm.decompressFixedCycles = 16.0;
+    cm.decompressCyclesPerByte = 0.125;
+
+    const DeploymentSummary base =
+        simulateDeployment(DeployRequest("BitMoD", "Llama-2-7B"));
+    const DeploymentSummary comp = simulateDeployment(
+        DeployRequest("BitMoD", "Llama-2-7B").withCompression(cm));
+    EXPECT_NEAR(comp.report.traffic.total().weightBytes,
+                0.7 * base.report.traffic.total().weightBytes,
+                1e-9 * base.report.traffic.total().weightBytes);
+
+    // A disabled model is bit-identical to not passing one.
+    const DeploymentSummary off = simulateDeployment(
+        DeployRequest("BitMoD", "Llama-2-7B")
+            .withCompression(CompressionModel{}));
+    EXPECT_EQ(off.report.totalCycles(), base.report.totalCycles());
+    EXPECT_EQ(off.report.energy.totalNj(),
+              base.report.energy.totalNj());
+
+    // Sharded lanes copy the base precision, so the compression view
+    // reaches every lane.
+    const DeploymentSummary shard = simulateDeployment(
+        DeployRequest("BitMoD", "Llama-2-7B")
+            .withSharding(2)
+            .withCompression(cm));
+    ASSERT_TRUE(shard.sharding.has_value());
+    EXPECT_TRUE(shard.precision.compression.enabled);
+    const DeploymentSummary shardBase = simulateDeployment(
+        DeployRequest("BitMoD", "Llama-2-7B").withSharding(2));
+    EXPECT_LT(shard.report.traffic.total().weightBytes,
+              shardBase.report.traffic.total().weightBytes);
+
+    // And the serving engine's steps see it too.
+    ServingParams sp;
+    sp.numRequests = 8;
+    sp.arrivalRatePerSec = 1000.0;
+    const DeploymentSummary serve = simulateDeployment(
+        DeployRequest("BitMoD", "Llama-2-7B")
+            .withServing(sp)
+            .withCompression(cm));
+    ASSERT_TRUE(serve.serving.has_value());
+    const DeploymentSummary serveBase = simulateDeployment(
+        DeployRequest("BitMoD", "Llama-2-7B").withServing(sp));
+    ASSERT_TRUE(serveBase.serving.has_value());
+    EXPECT_NE(serve.serving->e2eMs.mean, serveBase.serving->e2eMs.mean);
+}
+
+TEST(MemController, CompressionModelFoldsMeasuredStats)
+{
+    const MemControllerConfig cfg = controllerConfig(
+        CompressorKind::Lz4, ProtectionScheme::None, 256);
+    const MemController mc(cfg);
+    const PackedMatrix pm = packImage(dtypes::bitmodFp4(), 16, 256, 9);
+    const StreamStats w = mc.processStream(pm.bytes());
+    ASSERT_TRUE(w.roundTripOk);
+    const CompressionModel cm = compressionModelFrom(cfg, w, w, w);
+    EXPECT_TRUE(cm.enabled);
+    EXPECT_EQ(cm.burstBytes, cfg.burstBytes);
+    EXPECT_DOUBLE_EQ(cm.weightRatio, w.effectiveByteRatio());
+    EXPECT_DOUBLE_EQ(cm.weightRatio * w.ratio(), 1.0);
+    EXPECT_EQ(cm.decompressFixedCycles,
+              cfg.decompressLatency.fixedCycles);
+}
+
+} // namespace
+} // namespace bitmod

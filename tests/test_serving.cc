@@ -471,5 +471,123 @@ TEST(ServingGolden, CommittedTraceRunMatchesGoldenMetrics)
     }
 }
 
+// ------------------------------------------------ arrival-trace parser
+
+/** Write @p content verbatim to a temp trace file, return its path. */
+std::string
+writeTrace(const std::string &name, const std::string &content)
+{
+    const std::string path = testing::TempDir() + name;
+    std::ofstream f(path);
+    EXPECT_TRUE(f.good()) << "cannot write " << path;
+    f << content;
+    return path;
+}
+
+TEST(ArrivalTraceParser, AcceptsCommentsBlanksAndWhitespace)
+{
+    const std::string path = writeTrace(
+        "trace_ok.txt",
+        "# header comment\n"
+        "\n"
+        "   \t  \n"
+        "0.5 16 8   # inline comment\n"
+        "  1.25\t32\t4\n"
+        "#2.0 64 2\n");
+    const auto reqs = loadArrivalTrace(path, 1.0);
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[0].inTokens, 16u);
+    EXPECT_EQ(reqs[0].outTokens, 8u);
+    EXPECT_EQ(reqs[1].inTokens, 32u);
+    EXPECT_EQ(reqs[1].outTokens, 4u);
+}
+
+TEST(ArrivalTraceParser, SortsUnsortedArrivalsAndRenumbers)
+{
+    const std::string path = writeTrace("trace_unsorted.txt",
+                                        "5.0 16 8\n"
+                                        "1.0 32 4\n"
+                                        "3.0 64 2\n");
+    const auto reqs = loadArrivalTrace(path, 1.0);
+    ASSERT_EQ(reqs.size(), 3u);
+    EXPECT_LE(reqs[0].arrivalCycle, reqs[1].arrivalCycle);
+    EXPECT_LE(reqs[1].arrivalCycle, reqs[2].arrivalCycle);
+    EXPECT_EQ(reqs[0].inTokens, 32u);
+    EXPECT_EQ(reqs[2].inTokens, 16u);
+    for (size_t i = 0; i < reqs.size(); ++i)
+        EXPECT_EQ(reqs[i].id, i);
+}
+
+TEST(ArrivalTraceParserDeathTest, NegativeTokensFailLoudly)
+{
+    // Regression: "<arrival> -5 3" used to wrap the negative into a
+    // ~1.8e19 token count via a size_t extraction.
+    const std::string path =
+        writeTrace("trace_negative.txt", "10 -5 3\n");
+    EXPECT_DEATH(loadArrivalTrace(path, 1.0),
+                 "line 1 .*negative token count");
+    const std::string path2 =
+        writeTrace("trace_negative_out.txt", "10 5 -3\n");
+    EXPECT_DEATH(loadArrivalTrace(path2, 1.0),
+                 "line 1 .*negative token count");
+}
+
+TEST(ArrivalTraceParserDeathTest, MalformedFirstFieldFailsLoudly)
+{
+    // Regression: a line whose first field failed to parse ("abc 5 3")
+    // used to be treated as blank and silently skipped.
+    const std::string path = writeTrace("trace_malformed.txt",
+                                        "0.5 16 8\n"
+                                        "abc 5 3\n");
+    EXPECT_DEATH(loadArrivalTrace(path, 1.0),
+                 "line 2 .*unparseable fields");
+}
+
+TEST(ArrivalTraceParserDeathTest, TrailingGarbageFailsLoudly)
+{
+    // Regression: extra fields after <out> used to be ignored.
+    const std::string path =
+        writeTrace("trace_trailing.txt", "0.5 16 8 999\n");
+    EXPECT_DEATH(loadArrivalTrace(path, 1.0),
+                 "line 1 .*trailing garbage");
+}
+
+TEST(ArrivalTraceParserDeathTest, OtherMalformedLinesStillFail)
+{
+    EXPECT_DEATH(
+        loadArrivalTrace(writeTrace("trace_short.txt", "0.5 16\n"),
+                         1.0),
+        "line 1 .*unparseable fields");
+    EXPECT_DEATH(loadArrivalTrace(
+                     writeTrace("trace_negms.txt", "-1 16 8\n"), 1.0),
+                 "line 1 .*negative arrival time");
+    EXPECT_DEATH(loadArrivalTrace(
+                     writeTrace("trace_zeroout.txt", "1 16 0\n"), 1.0),
+                 "line 1 .*out tokens must be >= 1");
+}
+
+TEST(ArrivalTraceParser, LineParserClassifiesWithoutDying)
+{
+    double ms = 0.0;
+    long long in = 0, out = 0;
+    std::string err;
+    EXPECT_EQ(parseArrivalTraceLine("", ms, in, out, err),
+              TraceLineStatus::Blank);
+    EXPECT_EQ(parseArrivalTraceLine("  # note", ms, in, out, err),
+              TraceLineStatus::Blank);
+    EXPECT_EQ(parseArrivalTraceLine("1.5 8 4", ms, in, out, err),
+              TraceLineStatus::Parsed);
+    EXPECT_EQ(ms, 1.5);
+    EXPECT_EQ(in, 8);
+    EXPECT_EQ(out, 4);
+    EXPECT_EQ(parseArrivalTraceLine("1.5 8 4 junk", ms, in, out, err),
+              TraceLineStatus::Malformed);
+    EXPECT_EQ(parseArrivalTraceLine("nope", ms, in, out, err),
+              TraceLineStatus::Malformed);
+    // In-tokens may be zero (a pure-decode request), out must be >= 1.
+    EXPECT_EQ(parseArrivalTraceLine("0 0 1", ms, in, out, err),
+              TraceLineStatus::Parsed);
+}
+
 } // namespace
 } // namespace bitmod
